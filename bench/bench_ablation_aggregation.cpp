@@ -1,0 +1,55 @@
+// Ablation: CCN interest aggregation (PIT). The paper's IRM model has no
+// notion of in-flight time, so it cannot see that concurrent requests for
+// the same content share one upstream fetch. At realistic arrival rates
+// this cuts upstream fetches for the popular tail of misses — measured
+// here as a function of the per-router request rate.
+#include <iostream>
+
+#include "ccnopt/common/strings.hpp"
+#include "ccnopt/common/table.hpp"
+#include "ccnopt/sim/simulation.hpp"
+#include "ccnopt/topology/datasets.hpp"
+
+int main() {
+  using namespace ccnopt;
+  std::cout << "=== Ablation: interest aggregation vs arrival rate (GEANT, "
+               "N=5000, c=50, x=25, origin 50 ms away) ===\n\n";
+
+  TextTable table({"req/ms per router", "aggregated share",
+                   "upstream fetches (PIT)", "upstream fetches (no PIT)",
+                   "latency PIT ms", "latency no-PIT ms"});
+  for (const double rate : {0.02, 0.1, 0.5, 2.0, 10.0}) {
+    sim::SimConfig config;
+    config.network.catalog_size = 5000;
+    config.network.capacity_c = 50;
+    config.network.local_mode = sim::LocalStoreMode::kStaticTop;
+    config.network.origin_extra_ms = 50.0;
+    config.coordinated_x = 25;
+    config.zipf_s = 0.8;
+    config.measured_requests = 100000;
+    config.arrival_rate_per_router = rate;
+    config.seed = 8;
+
+    sim::SimConfig with = config;
+    with.interest_aggregation = true;
+    sim::Simulation sim_with(topology::geant(), with);
+    sim::Simulation sim_without(topology::geant(), config);
+    const sim::SimReport r_with = sim_with.run();
+    const sim::SimReport r_without = sim_without.run();
+
+    table.add_row(
+        {format_double(rate, 2),
+         format_percent(static_cast<double>(r_with.aggregated_requests) /
+                        static_cast<double>(r_with.total_requests)),
+         std::to_string(r_with.upstream_fetches),
+         std::to_string(r_without.upstream_fetches),
+         format_double(r_with.mean_latency_ms, 2),
+         format_double(r_without.mean_latency_ms, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(at low rates fetches never overlap and PIT is inert; as "
+               "the rate grows an increasing share of misses ride an "
+               "in-flight fetch, cutting upstream traffic and tail "
+               "latency)\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Ablation: router failures — the flip side of coordination the paper
+// does not evaluate. Coordinated pools hold *unique* contents, so losing
+// a router loses its pool share until the coordinator re-provisions
+// ("repair"); non-coordinated networks only lose topology. Measured on
+// US-A with the same request stream across scenarios.
+#include <iostream>
+
+#include "ccnopt/common/strings.hpp"
+#include "ccnopt/common/table.hpp"
+#include "ccnopt/sim/network.hpp"
+#include "ccnopt/sim/workload.hpp"
+#include "ccnopt/topology/datasets.hpp"
+
+namespace {
+
+using namespace ccnopt;
+
+struct Measurement {
+  double origin_load = 0.0;
+  double mean_latency_ms = 0.0;
+};
+
+Measurement measure(sim::CcnNetwork& network, std::uint64_t requests,
+                    std::uint64_t seed) {
+  sim::ZipfWorkload workload(network.router_count(),
+                             network.config().catalog_size, 0.8, seed);
+  double latency = 0.0;
+  std::uint64_t origin = 0;
+  std::uint64_t served = 0;
+  for (std::uint64_t r = 0; r < requests; ++r) {
+    const auto router =
+        static_cast<topology::NodeId>(r % network.router_count());
+    if (network.is_failed(router)) continue;  // clients of dead routers
+    const sim::ServeResult result =
+        network.serve(router, workload.next(router));
+    latency += result.latency_ms;
+    origin += (result.tier == sim::ServeTier::kOrigin) ? 1 : 0;
+    ++served;
+  }
+  return Measurement{static_cast<double>(origin) / static_cast<double>(served),
+                     latency / static_cast<double>(served)};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: router failures vs coordination level (US-A, "
+               "N=20000, c=200, s=0.8) ===\n\n";
+  sim::NetworkConfig config;
+  config.catalog_size = 20000;
+  config.capacity_c = 200;
+  config.local_mode = sim::LocalStoreMode::kStaticTop;
+  config.origin_gateway = 0;
+  config.origin_extra_ms = 50.0;
+
+  // Fail well-connected non-gateway routers (Atlanta, Dallas, Kansas City,
+  // Phoenix) in an order that keeps the survivors connected to the
+  // Seattle gateway.
+  const std::vector<topology::NodeId> failure_order = {13, 7, 9, 4};
+
+  for (const std::size_t x : {std::size_t{0}, std::size_t{100},
+                              std::size_t{200}}) {
+    std::cout << "coordinated x = " << x << " per router (l = "
+              << format_double(static_cast<double>(x) / 200.0, 2) << ")\n";
+    TextTable table({"failed routers", "origin load", "mean latency ms",
+                     "pool contents lost", "origin after repair",
+                     "latency after repair"});
+    sim::CcnNetwork network(topology::us_a(), config);
+    network.provision(x);
+    const Measurement healthy = measure(network, 120000, 1);
+    table.add_row({"0", format_double(healthy.origin_load, 4),
+                   format_double(healthy.mean_latency_ms, 2), "0", "-", "-"});
+    for (std::size_t k = 1; k <= failure_order.size(); ++k) {
+      sim::CcnNetwork damaged(topology::us_a(), config);
+      damaged.provision(x);
+      for (std::size_t i = 0; i < k; ++i) {
+        damaged.set_router_failed(failure_order[i], true);
+      }
+      const std::size_t lost = damaged.coordinated_contents_lost();
+      const Measurement broken = measure(damaged, 120000, 1);
+      damaged.provision(x);  // repair: redistribute over survivors
+      const Measurement repaired = measure(damaged, 120000, 1);
+      table.add_row({std::to_string(k), format_double(broken.origin_load, 4),
+                     format_double(broken.mean_latency_ms, 2),
+                     std::to_string(lost),
+                     format_double(repaired.origin_load, 4),
+                     format_double(repaired.mean_latency_ms, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "(higher coordination -> more unique contents lost per "
+               "failure -> larger origin spike, but repair recovers nearly "
+               "all of it by reassigning the pool over survivors)\n";
+  return 0;
+}

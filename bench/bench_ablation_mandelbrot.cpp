@@ -1,0 +1,46 @@
+// Ablation: robustness of the paper's conclusions to the popularity law's
+// head shape. The analysis assumes pure Zipf; real web/video catalogs are
+// often Zipf-Mandelbrot, f(i) ~ (i+q)^{-s}. The generalized model (any
+// CDF) re-optimizes l* as the plateau q grows.
+#include <iostream>
+
+#include "ccnopt/common/strings.hpp"
+#include "ccnopt/common/table.hpp"
+#include "ccnopt/model/general.hpp"
+#include "ccnopt/popularity/mandelbrot.hpp"
+
+int main() {
+  using namespace ccnopt;
+  using namespace ccnopt::model;
+
+  std::cout << "=== Ablation: Zipf-Mandelbrot popularity (s=0.8, n=20, "
+               "N=1e6, c=1e3) ===\n"
+            << "f(i) ~ (i+q)^{-s}; q = 0 is the paper's pure Zipf\n\n";
+
+  for (const double alpha : {1.0, 0.6}) {
+    const SystemParams p =
+        with_alpha(SystemParams::paper_defaults(), alpha);
+    std::cout << "alpha = " << alpha << "\n";
+    TextTable table({"plateau q", "l*", "G_O", "G_R", "F(c) head mass"});
+    for (const double q : {0.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0}) {
+      const popularity::ContinuousZipfMandelbrot zm(p.catalog_n, p.s, q);
+      const GeneralPerformanceModel general(
+          GeneralParams::from_system(p),
+          [zm](double x) { return zm.cdf(x); });
+      const auto strategy = general.optimize(1024);
+      if (!strategy) continue;
+      const auto gains = general.gains(strategy->x_star);
+      table.add_row({format_double(q, 0),
+                     format_double(strategy->ell_star, 4),
+                     format_double(gains.origin_load_reduction, 4),
+                     format_double(gains.routing_improvement, 4),
+                     format_double(zm.cdf(p.capacity_c), 4)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "(a mild plateau barely moves the optimum — the paper's "
+               "conclusions are robust; a catalog-scale plateau erodes the "
+               "head mass caching feeds on and the gains collapse)\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Ablation: the analytical model (Eq. 2, tier splits, origin load) against
+// the discrete-event simulator on all four evaluation topologies. The
+// simulator never touches the formulas — agreement here validates the
+// model end to end.
+#include <iostream>
+
+#include "ccnopt/common/strings.hpp"
+#include "ccnopt/common/table.hpp"
+#include "ccnopt/experiments/sim_vs_model.hpp"
+#include "ccnopt/topology/datasets.hpp"
+
+int main() {
+  using namespace ccnopt;
+  std::cout << "=== Ablation: analytical model vs discrete-event simulation "
+               "===\n"
+            << "(N=50000, c=500, s=0.8, static-top local stores, 200k "
+               "requests per point)\n\n";
+  for (const topology::Graph& graph : topology::all_datasets()) {
+    const experiments::SimVsModelResult result =
+        experiments::run_sim_vs_model(graph);
+    std::cout << graph.name() << " (n=" << graph.node_count()
+              << ", derived gamma="
+              << format_double(result.params.latency.gamma(), 2) << ")\n";
+    TextTable table({"l=x/c", "T model", "T sim", "origin model",
+                     "origin sim", "local model", "local sim"});
+    for (const auto& point : result.points) {
+      table.add_row({format_double(point.ell, 2),
+                     format_double(point.model_latency_ms, 2),
+                     format_double(point.sim_latency_ms, 2),
+                     format_double(point.model_origin_load, 4),
+                     format_double(point.sim_origin_load, 4),
+                     format_double(point.model_local_fraction, 4),
+                     format_double(point.sim_local_fraction, 4)});
+    }
+    table.print(std::cout);
+    std::cout << "max |origin error| = "
+              << format_double(result.max_origin_load_abs_error, 4)
+              << ", max latency rel error = "
+              << format_percent(result.max_latency_rel_error) << "\n\n";
+  }
+  return 0;
+}

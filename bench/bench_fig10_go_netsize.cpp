@@ -1,0 +1,13 @@
+// Regenerates Figure 10: origin load reduction G_O vs the network size n
+// (flat for small alpha, rising with n as alpha -> 1).
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ccnopt;
+  const auto base = model::SystemParams::paper_defaults();
+  bench::print_params_banner(base, "Figure 10: G_O vs n",
+                             "n in [10,500], alpha in {0.2..1.0}");
+  const auto data = experiments::sweep_vs_routers(base);
+  return bench::run_figure_bench(data, experiments::Metric::kOriginGain, argc,
+                                 argv);
+}

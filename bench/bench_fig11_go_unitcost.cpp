@@ -1,0 +1,13 @@
+// Regenerates Figure 11: origin load reduction G_O vs the unit
+// coordination cost w (drops fast for small alpha, invariant at alpha = 1).
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ccnopt;
+  const auto base = model::SystemParams::paper_defaults();
+  bench::print_params_banner(base, "Figure 11: G_O vs w",
+                             "w in [10,100] ms, alpha in {0.2..1.0}");
+  const auto data = experiments::sweep_vs_unit_cost(base);
+  return bench::run_figure_bench(data, experiments::Metric::kOriginGain, argc,
+                                 argv);
+}

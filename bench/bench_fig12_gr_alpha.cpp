@@ -1,0 +1,15 @@
+// Regenerates Figure 12: routing performance improvement G_R vs alpha, per
+// gamma. Note (EXPERIMENTS.md): the paper quotes 60-90% improvement for
+// alpha >= 0.5, gamma >= 8; the stated Table IV parameters bound G_R well
+// below that — the monotone ordering in alpha and gamma is what reproduces.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ccnopt;
+  const auto base = model::SystemParams::paper_defaults();
+  bench::print_params_banner(base, "Figure 12: G_R vs alpha",
+                             "alpha in (0,1], gamma in {2,4,6,8,10}");
+  const auto data = experiments::sweep_vs_alpha(base);
+  return bench::run_figure_bench(data, experiments::Metric::kRoutingGain,
+                                 argc, argv);
+}

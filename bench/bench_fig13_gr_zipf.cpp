@@ -1,0 +1,13 @@
+// Regenerates Figure 13: routing performance improvement G_R vs the Zipf
+// exponent s (maximum near s = 1, small far from it).
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ccnopt;
+  const auto base = model::SystemParams::paper_defaults();
+  bench::print_params_banner(base, "Figure 13: G_R vs s",
+                             "s in [0.1,1) U (1,1.9], alpha in {0.2..1.0}");
+  const auto data = experiments::sweep_vs_zipf(base);
+  return bench::run_figure_bench(data, experiments::Metric::kRoutingGain,
+                                 argc, argv);
+}

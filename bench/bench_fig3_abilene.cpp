@@ -1,0 +1,35 @@
+// Regenerates Figure 3: the Abilene topology. Prints the adjacency with
+// link latencies and emits Graphviz DOT (pass a path to write it; render
+// with `neato -Tpng`).
+#include <fstream>
+#include <iostream>
+
+#include "ccnopt/common/strings.hpp"
+#include "ccnopt/common/table.hpp"
+#include "ccnopt/topology/datasets.hpp"
+#include "ccnopt/topology/io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ccnopt;
+  const topology::Graph g = topology::abilene();
+  std::cout << "=== Figure 3: the Abilene network (" << g.node_count()
+            << " nodes, " << g.directed_edge_count()
+            << " directed edges) ===\n\n";
+  TextTable table({"link", "latency ms"});
+  for (const topology::Graph::Link& link : g.links()) {
+    table.add_row({g.node(link.u).name + " -- " + g.node(link.v).name,
+                   format_double(link.latency_ms, 2)});
+  }
+  table.print(std::cout);
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    if (!out) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    topology::write_dot(g, out);
+    std::cout << "\nDOT written to " << argv[1]
+              << " (render: neato -Tpng)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Regenerates Figure 4: optimal strategy l* vs the trade-off weight alpha,
+// one series per tiered latency ratio gamma in {2,4,6,8,10}.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ccnopt;
+  const auto base = model::SystemParams::paper_defaults();
+  bench::print_params_banner(base, "Figure 4: l* vs alpha",
+                             "alpha in (0,1], gamma in {2,4,6,8,10}");
+  const auto data = experiments::sweep_vs_alpha(base);
+  return bench::run_figure_bench(data, experiments::Metric::kEllStar, argc,
+                                 argv);
+}

@@ -1,0 +1,14 @@
+// Regenerates Figure 5: optimal strategy l* vs the Zipf exponent s, one
+// series per alpha in {0.2,...,1.0}; s = 1 is the singular point and is
+// excluded from the grid.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ccnopt;
+  const auto base = model::SystemParams::paper_defaults();
+  bench::print_params_banner(base, "Figure 5: l* vs s",
+                             "s in [0.1,1) U (1,1.9], alpha in {0.2..1.0}");
+  const auto data = experiments::sweep_vs_zipf(base);
+  return bench::run_figure_bench(data, experiments::Metric::kEllStar, argc,
+                                 argv);
+}

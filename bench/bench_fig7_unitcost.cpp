@@ -1,0 +1,12 @@
+// Regenerates Figure 7: optimal strategy l* vs the unit coordination cost w.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ccnopt;
+  const auto base = model::SystemParams::paper_defaults();
+  bench::print_params_banner(base, "Figure 7: l* vs w",
+                             "w in [10,100] ms, alpha in {0.2..1.0}");
+  const auto data = experiments::sweep_vs_unit_cost(base);
+  return bench::run_figure_bench(data, experiments::Metric::kEllStar, argc,
+                                 argv);
+}

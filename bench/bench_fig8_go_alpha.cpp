@@ -1,0 +1,12 @@
+// Regenerates Figure 8: origin load reduction G_O vs alpha, per gamma.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ccnopt;
+  const auto base = model::SystemParams::paper_defaults();
+  bench::print_params_banner(base, "Figure 8: G_O vs alpha",
+                             "alpha in (0,1], gamma in {2,4,6,8,10}");
+  const auto data = experiments::sweep_vs_alpha(base);
+  return bench::run_figure_bench(data, experiments::Metric::kOriginGain, argc,
+                                 argv);
+}

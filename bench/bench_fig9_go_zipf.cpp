@@ -1,0 +1,13 @@
+// Regenerates Figure 9: origin load reduction G_O vs the Zipf exponent s
+// (the paper's reported maximum sits around s ~ 1.3 for partial alpha).
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ccnopt;
+  const auto base = model::SystemParams::paper_defaults();
+  bench::print_params_banner(base, "Figure 9: G_O vs s",
+                             "s in [0.1,1) U (1,1.9], alpha in {0.2..1.0}");
+  const auto data = experiments::sweep_vs_zipf(base);
+  return bench::run_figure_bench(data, experiments::Metric::kOriginGain, argc,
+                                 argv);
+}

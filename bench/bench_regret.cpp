@@ -1,0 +1,55 @@
+// Misestimation regret: the objective cost of provisioning against a wrong
+// Zipf exponent or tiered latency ratio — the stability question behind
+// Sections I and V-B, quantified, and the motivation for the adaptive
+// controller (its per-epoch estimation error maps through these curves).
+#include <iostream>
+
+#include "ccnopt/common/strings.hpp"
+#include "ccnopt/common/table.hpp"
+#include "ccnopt/model/robustness.hpp"
+#include "ccnopt/model/sensitivity.hpp"
+
+int main() {
+  using namespace ccnopt;
+  using namespace ccnopt::model;
+
+  std::cout << "=== Regret of parameter misestimation (Table IV defaults, "
+               "alpha=0.7) ===\n\n";
+  const SystemParams base = with_alpha(SystemParams::paper_defaults(), 0.7);
+
+  std::cout << "Zipf exponent: truth per column, belief per row "
+               "(relative regret)\n";
+  const std::vector<double> truths = {0.5, 0.8, 1.2, 1.5};
+  const std::vector<double> beliefs = {0.3, 0.5, 0.8, 1.2, 1.5, 1.8};
+  TextTable zipf_table({"believed \\ true", "s=0.5", "s=0.8", "s=1.2",
+                        "s=1.5"});
+  for (const double belief : beliefs) {
+    std::vector<std::string> row{format_double(belief, 1)};
+    for (const double truth : truths) {
+      const auto regret = misestimation_regret(with_zipf(base, belief),
+                                               with_zipf(base, truth));
+      row.push_back(regret ? format_percent(regret->relative, 2) : "-");
+    }
+    zipf_table.add_row(std::move(row));
+  }
+  zipf_table.print(std::cout);
+
+  std::cout << "\nTiered latency ratio gamma: truth 5, beliefs swept\n";
+  const auto curve = gamma_regret_curve(base, linspace(1.0, 10.0, 10));
+  if (curve) {
+    TextTable gamma_table({"believed gamma", "relative regret",
+                           "x believed", "x true"});
+    for (const auto& point : *curve) {
+      gamma_table.add_row({format_double(point.believed_parameter, 1),
+                           format_percent(point.regret.relative, 2),
+                           format_double(point.regret.x_believed, 0),
+                           format_double(point.regret.x_true, 0)});
+    }
+    gamma_table.print(std::cout);
+  }
+  std::cout << "\n(regret vanishes at the truth and grows asymmetrically: "
+               "underestimating s — believing demand flatter than it is — "
+               "is the costlier direction, e.g. believing 0.5 against a "
+               "true 1.5 costs ~59% while the reverse costs ~3%)\n";
+  return 0;
+}

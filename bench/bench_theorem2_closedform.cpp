@@ -1,0 +1,52 @@
+// Theorem 2 check: the (corrected) closed form l* = 1/(gamma^{-1/s}
+// n^{1-1/s} + 1) against the exact first-order optimum at alpha = 1, and
+// the latency-scale-free property. See the erratum note in
+// src/ccnopt/model/optimizer.cpp: the paper prints gamma^{+1/s}, which
+// contradicts its own Appendix Eq. 10 and Figures 4/5.
+#include <cmath>
+#include <iostream>
+
+#include "ccnopt/common/strings.hpp"
+#include "ccnopt/common/table.hpp"
+#include "ccnopt/model/optimizer.hpp"
+
+int main() {
+  using namespace ccnopt;
+  using namespace ccnopt::model;
+  const SystemParams base = with_alpha(SystemParams::paper_defaults(), 1.0);
+
+  std::cout << "=== Theorem 2: closed form vs exact optimum (alpha = 1) ===\n";
+  TextTable table({"s", "gamma", "n", "closed form l*", "exact l*",
+                   "paper-printed form", "|closed-exact|"});
+  for (double s : {0.3, 0.5, 0.8, 1.2, 1.5, 1.9}) {
+    for (double gamma : {2.0, 5.0, 10.0}) {
+      for (double n : {20.0, 100.0}) {
+        const SystemParams p = with_routers(with_gamma(with_zipf(base, s), gamma), n);
+        const auto closed = closed_form_alpha1(p);
+        const auto exact = solve_exact_first_order(p);
+        const double printed =
+            1.0 / (std::pow(gamma, 1.0 / s) * std::pow(n, 1.0 - 1.0 / s) + 1.0);
+        table.add_row({format_double(s, 1), format_double(gamma, 0),
+                       format_double(n, 0), format_double(*closed, 4),
+                       format_double(exact->ell_star, 4),
+                       format_double(printed, 4),
+                       format_double(std::abs(*closed - exact->ell_star), 4)});
+      }
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\n=== Latency scale-free property ===\n";
+  TextTable scale({"latency scale", "exact l* (gamma=5, s=0.8, n=20)"});
+  for (double factor : {0.1, 1.0, 10.0, 1000.0}) {
+    SystemParams p = base;
+    p.latency.d0 *= factor;
+    p.latency.d1 *= factor;
+    p.latency.d2 *= factor;
+    const auto exact = solve_exact_first_order(p);
+    scale.add_row({format_double(factor, 1),
+                   format_double(exact->ell_star, 10)});
+  }
+  scale.print(std::cout);
+  return 0;
+}

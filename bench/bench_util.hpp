@@ -1,0 +1,45 @@
+// Shared plumbing for the figure benches: prints the Table IV parameter
+// row, renders one metric of a sweep as an aligned table, and optionally
+// dumps the full-resolution CSV when a path is passed as argv[1].
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "ccnopt/experiments/figures.hpp"
+#include "ccnopt/experiments/report.hpp"
+#include "ccnopt/model/params.hpp"
+
+namespace ccnopt::bench {
+
+inline void print_params_banner(const model::SystemParams& p,
+                                const std::string& figure,
+                                const std::string& varied) {
+  std::cout << "=== " << figure << " ===\n"
+            << "Table IV row: s=" << p.s << " n=" << p.n
+            << " N=" << p.catalog_n << " c=" << p.capacity_c
+            << " gamma=" << p.latency.gamma()
+            << " w=" << p.cost.unit_cost_w << "ms"
+            << " d1-d0=" << (p.latency.d1 - p.latency.d0)
+            << " amortization=" << p.cost.amortization
+            << " | varied: " << varied << "\n\n";
+}
+
+inline int run_figure_bench(const experiments::FigureData& data,
+                            experiments::Metric metric, int argc,
+                            char** argv) {
+  experiments::print_series_table(data, metric, std::cout);
+  if (argc > 1) {
+    std::ofstream csv(argv[1]);
+    if (!csv) {
+      std::cerr << "cannot open CSV path " << argv[1] << "\n";
+      return 1;
+    }
+    experiments::write_series_csv(data, csv);
+    std::cout << "\nfull-resolution CSV written to " << argv[1] << "\n";
+  }
+  return 0;
+}
+
+}  // namespace ccnopt::bench

@@ -1,0 +1,69 @@
+#include "ccnopt/cache/che.hpp"
+
+#include <cmath>
+
+#include "ccnopt/common/assert.hpp"
+#include "ccnopt/numerics/roots.hpp"
+
+namespace ccnopt::cache {
+namespace {
+
+double expected_occupancy(const std::vector<double>& pmf, double t_c) {
+  double total = 0.0;
+  for (const double p : pmf) total += -std::expm1(-p * t_c);  // 1 - e^{-pT}
+  return total;
+}
+
+}  // namespace
+
+Expected<CheApproximation> CheApproximation::create(
+    const popularity::ZipfDistribution& popularity, std::size_t capacity) {
+  const std::uint64_t catalog = popularity.catalog_size();
+  if (capacity < 1 || capacity >= catalog) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "che: need 1 <= capacity < catalog");
+  }
+  std::vector<double> pmf(catalog);
+  for (std::uint64_t i = 0; i < catalog; ++i) {
+    pmf[i] = popularity.pmf(i + 1);
+  }
+
+  // g(T) = sum_i (1 - e^{-p_i T}) - C: g(0) = -C < 0, g(inf) = N - C > 0.
+  const auto g = [&pmf, capacity](double t) {
+    return expected_occupancy(pmf, t) -
+           static_cast<double>(capacity);
+  };
+  // Upper bracket: occupancy(T) >= C once every one of the top 2C contents
+  // has p_i T >> 1; grow geometrically from C (the T ~ C ballpark of a
+  // uniform catalog).
+  double hi = static_cast<double>(capacity);
+  int expansions = 0;
+  while (g(hi) <= 0.0) {
+    hi *= 2.0;
+    if (++expansions > 200) {
+      return Status(ErrorCode::kNumericalFailure,
+                    "che: could not bracket the characteristic time");
+    }
+  }
+  const auto root = numerics::brent(g, 0.0, hi,
+                                    numerics::RootOptions{1e-9, 1e-9, 300});
+  if (!root) return root.status();
+  return CheApproximation(std::move(pmf), capacity, root->root);
+}
+
+CheApproximation::CheApproximation(std::vector<double> pmf,
+                                   std::size_t capacity, double t_c)
+    : pmf_(std::move(pmf)), capacity_(capacity), t_c_(t_c) {
+  for (std::size_t i = 0; i < pmf_.size(); ++i) {
+    const double h = -std::expm1(-pmf_[i] * t_c_);
+    aggregate_ += pmf_[i] * h;
+    if (i < capacity_) ideal_ += pmf_[i];
+  }
+}
+
+double CheApproximation::hit_ratio(std::uint64_t rank) const {
+  CCNOPT_EXPECTS(rank >= 1 && rank <= pmf_.size());
+  return -std::expm1(-pmf_[rank - 1] * t_c_);
+}
+
+}  // namespace ccnopt::cache

@@ -1,0 +1,52 @@
+// Che's approximation for LRU hit ratios under the Independent Reference
+// Model (Che, Tung & Wang 2002): an LRU cache of capacity C behaves as if
+// each content i stays resident for a fixed "characteristic time" T_C
+// after each request, giving
+//   h_i = 1 - exp(-p_i * T_C),   with T_C solving  sum_i h_i = C.
+//
+// This is the analytical counterpart of the simulator's LRU stores: the
+// paper's model assumes frequency-ideal (static-top) locals, and Che
+// quantifies how far a real LRU deployment falls from that ideal without
+// running the simulator (validated against it in tests and the policy
+// ablation bench).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ccnopt/common/error.hpp"
+#include "ccnopt/popularity/zipf.hpp"
+
+namespace ccnopt::cache {
+
+class CheApproximation {
+ public:
+  /// Builds the approximation for an LRU cache of `capacity` contents
+  /// under IRM with Zipf popularity. Requires 1 <= capacity < catalog.
+  /// Construction solves for the characteristic time (Brent).
+  static Expected<CheApproximation> create(
+      const popularity::ZipfDistribution& popularity, std::size_t capacity);
+
+  double characteristic_time() const { return t_c_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Per-content hit probability h_i; requires 1 <= rank <= catalog.
+  double hit_ratio(std::uint64_t rank) const;
+
+  /// Aggregate hit ratio sum_i p_i h_i — what a long simulation measures.
+  double aggregate_hit_ratio() const { return aggregate_; }
+
+  /// The frequency-ideal (static top-C) hit ratio F(C), Che's upper bound.
+  double ideal_hit_ratio() const { return ideal_; }
+
+ private:
+  CheApproximation(std::vector<double> pmf, std::size_t capacity, double t_c);
+
+  std::vector<double> pmf_;  // indexed by rank - 1
+  std::size_t capacity_;
+  double t_c_;
+  double aggregate_ = 0.0;
+  double ideal_ = 0.0;
+};
+
+}  // namespace ccnopt::cache

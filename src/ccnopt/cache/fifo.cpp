@@ -1,0 +1,19 @@
+#include "ccnopt/cache/fifo.hpp"
+
+namespace ccnopt::cache {
+
+bool FifoCache::handle(ContentId id) {
+  if (members_.count(id) > 0) return true;
+  if (capacity() == 0) return false;
+  if (members_.size() == capacity()) {
+    members_.erase(order_.front());
+    order_.pop_front();
+    count_eviction();
+  }
+  order_.push_back(id);
+  members_.insert(id);
+  count_insertion();
+  return false;
+}
+
+}  // namespace ccnopt::cache

@@ -1,0 +1,30 @@
+// First-in-first-out replacement: insertion order only, no recency update.
+#pragma once
+
+#include <deque>
+#include <unordered_set>
+
+#include "ccnopt/cache/policy.hpp"
+
+namespace ccnopt::cache {
+
+class FifoCache final : public CachePolicy {
+ public:
+  explicit FifoCache(std::size_t capacity) : CachePolicy(capacity) {}
+
+  std::size_t size() const override { return members_.size(); }
+  bool contains(ContentId id) const override { return members_.count(id) > 0; }
+  std::vector<ContentId> contents() const override {
+    return {order_.begin(), order_.end()};
+  }
+  const char* name() const override { return "fifo"; }
+
+ protected:
+  bool handle(ContentId id) override;
+
+ private:
+  std::deque<ContentId> order_;  // front = oldest
+  std::unordered_set<ContentId> members_;
+};
+
+}  // namespace ccnopt::cache

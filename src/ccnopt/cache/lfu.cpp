@@ -1,0 +1,50 @@
+#include "ccnopt/cache/lfu.hpp"
+
+namespace ccnopt::cache {
+
+std::vector<ContentId> LfuCache::contents() const {
+  std::vector<ContentId> out;
+  out.reserve(index_.size());
+  for (const auto& [id, entry] : index_) out.push_back(id);
+  return out;
+}
+
+std::uint64_t LfuCache::frequency(ContentId id) const {
+  const auto it = index_.find(id);
+  return it == index_.end() ? 0 : it->second.frequency;
+}
+
+void LfuCache::bump(ContentId id, Entry& entry) {
+  auto bucket = buckets_.find(entry.frequency);
+  bucket->second.erase(entry.position);
+  if (bucket->second.empty()) buckets_.erase(bucket);
+  ++entry.frequency;
+  auto& next = buckets_[entry.frequency];
+  next.push_front(id);
+  entry.position = next.begin();
+}
+
+bool LfuCache::handle(ContentId id) {
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    bump(id, it->second);
+    return true;
+  }
+  if (capacity() == 0) return false;
+  if (index_.size() == capacity()) {
+    // Evict the least-frequent bucket's least-recent entry.
+    auto lowest = buckets_.begin();
+    const ContentId victim = lowest->second.back();
+    lowest->second.pop_back();
+    if (lowest->second.empty()) buckets_.erase(lowest);
+    index_.erase(victim);
+    count_eviction();
+  }
+  auto& bucket = buckets_[1];
+  bucket.push_front(id);
+  index_.emplace(id, Entry{1, bucket.begin()});
+  count_insertion();
+  return false;
+}
+
+}  // namespace ccnopt::cache

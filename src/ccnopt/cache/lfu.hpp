@@ -1,0 +1,44 @@
+// Least-frequently-used replacement with O(1) operations via frequency
+// buckets (the Ketabi/Shokrollahi structure): each frequency maps to an LRU
+// list, ties broken by recency. Under a stationary Zipf stream this policy
+// converges to holding the top-capacity ranks, which is the paper's
+// steady-state non-coordinated store (Section II's "canonical caching
+// policy based on frequency").
+#pragma once
+
+#include <list>
+#include <map>
+#include <unordered_map>
+
+#include "ccnopt/cache/policy.hpp"
+
+namespace ccnopt::cache {
+
+class LfuCache final : public CachePolicy {
+ public:
+  explicit LfuCache(std::size_t capacity) : CachePolicy(capacity) {}
+
+  std::size_t size() const override { return index_.size(); }
+  bool contains(ContentId id) const override { return index_.count(id) > 0; }
+  std::vector<ContentId> contents() const override;
+  const char* name() const override { return "lfu"; }
+
+  /// Request count of `id` if cached, 0 otherwise (for tests).
+  std::uint64_t frequency(ContentId id) const;
+
+ protected:
+  bool handle(ContentId id) override;
+
+ private:
+  struct Entry {
+    std::uint64_t frequency;
+    std::list<ContentId>::iterator position;
+  };
+  // frequency -> ids at that frequency, most recent at front.
+  std::map<std::uint64_t, std::list<ContentId>> buckets_;
+  std::unordered_map<ContentId, Entry> index_;
+
+  void bump(ContentId id, Entry& entry);
+};
+
+}  // namespace ccnopt::cache

@@ -1,0 +1,27 @@
+#include "ccnopt/cache/lru.hpp"
+
+namespace ccnopt::cache {
+
+std::vector<ContentId> LruCache::contents() const {
+  return {order_.begin(), order_.end()};
+}
+
+bool LruCache::handle(ContentId id) {
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    order_.splice(order_.begin(), order_, it->second);
+    return true;
+  }
+  if (capacity() == 0) return false;
+  if (index_.size() == capacity()) {
+    index_.erase(order_.back());
+    order_.pop_back();
+    count_eviction();
+  }
+  order_.push_front(id);
+  index_.emplace(id, order_.begin());
+  count_insertion();
+  return false;
+}
+
+}  // namespace ccnopt::cache

@@ -1,0 +1,30 @@
+// Least-recently-used replacement: classic list + hash map, O(1) per
+// operation.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "ccnopt/cache/policy.hpp"
+
+namespace ccnopt::cache {
+
+class LruCache final : public CachePolicy {
+ public:
+  explicit LruCache(std::size_t capacity) : CachePolicy(capacity) {}
+
+  std::size_t size() const override { return index_.size(); }
+  bool contains(ContentId id) const override { return index_.count(id) > 0; }
+  std::vector<ContentId> contents() const override;
+  const char* name() const override { return "lru"; }
+
+ protected:
+  bool handle(ContentId id) override;
+
+ private:
+  // Front = most recently used.
+  std::list<ContentId> order_;
+  std::unordered_map<ContentId, std::list<ContentId>::iterator> index_;
+};
+
+}  // namespace ccnopt::cache

@@ -1,0 +1,39 @@
+#include "ccnopt/cache/partitioned.hpp"
+
+namespace ccnopt::cache {
+
+PartitionedStore::PartitionedStore(std::size_t total_capacity,
+                                   std::size_t coordinated_capacity,
+                                   std::unique_ptr<CachePolicy> local,
+                                   std::vector<ContentId> coordinated_ids)
+    : CachePolicy(total_capacity),
+      coordinated_capacity_(coordinated_capacity),
+      local_(std::move(local)) {
+  CCNOPT_EXPECTS(coordinated_capacity <= total_capacity);
+  CCNOPT_EXPECTS(local_ != nullptr);
+  CCNOPT_EXPECTS(local_->capacity() == total_capacity - coordinated_capacity);
+  assign_coordinated(coordinated_ids);
+}
+
+std::vector<ContentId> PartitionedStore::contents() const {
+  std::vector<ContentId> out = local_->contents();
+  out.insert(out.end(), coordinated_.begin(), coordinated_.end());
+  return out;
+}
+
+void PartitionedStore::assign_coordinated(
+    const std::vector<ContentId>& ids) {
+  CCNOPT_EXPECTS(ids.size() <= coordinated_capacity_);
+  coordinated_.clear();
+  coordinated_.insert(ids.begin(), ids.end());
+  CCNOPT_EXPECTS(coordinated_.size() == ids.size());  // no duplicates
+}
+
+bool PartitionedStore::handle(ContentId id) {
+  if (coordinated_.count(id) > 0) return true;
+  // Delegate to the local partition; its own stats also accrue, which the
+  // simulator reports per partition.
+  return local_->admit(id);
+}
+
+}  // namespace ccnopt::cache

@@ -1,0 +1,40 @@
+#include "ccnopt/cache/policy.hpp"
+
+#include "ccnopt/cache/fifo.hpp"
+#include "ccnopt/cache/lfu.hpp"
+#include "ccnopt/cache/lru.hpp"
+#include "ccnopt/cache/random_policy.hpp"
+
+namespace ccnopt::cache {
+
+const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLru:
+      return "lru";
+    case PolicyKind::kLfu:
+      return "lfu";
+    case PolicyKind::kFifo:
+      return "fifo";
+    case PolicyKind::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<CachePolicy> make_policy(PolicyKind kind, std::size_t capacity,
+                                         std::uint64_t seed) {
+  switch (kind) {
+    case PolicyKind::kLru:
+      return std::make_unique<LruCache>(capacity);
+    case PolicyKind::kLfu:
+      return std::make_unique<LfuCache>(capacity);
+    case PolicyKind::kFifo:
+      return std::make_unique<FifoCache>(capacity);
+    case PolicyKind::kRandom:
+      return std::make_unique<RandomCache>(capacity, seed);
+  }
+  CCNOPT_ASSERT(false);
+  return nullptr;
+}
+
+}  // namespace ccnopt::cache

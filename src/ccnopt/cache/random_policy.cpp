@@ -1,0 +1,25 @@
+#include "ccnopt/cache/random_policy.hpp"
+
+namespace ccnopt::cache {
+
+bool RandomCache::handle(ContentId id) {
+  if (index_.count(id) > 0) return true;
+  if (capacity() == 0) return false;
+  if (slots_.size() == capacity()) {
+    const std::size_t victim_slot =
+        static_cast<std::size_t>(rng_.uniform_int(0, slots_.size() - 1));
+    index_.erase(slots_[victim_slot]);
+    if (victim_slot != slots_.size() - 1) {
+      slots_[victim_slot] = slots_.back();
+      index_[slots_[victim_slot]] = victim_slot;
+    }
+    slots_.pop_back();
+    count_eviction();
+  }
+  index_.emplace(id, slots_.size());
+  slots_.push_back(id);
+  count_insertion();
+  return false;
+}
+
+}  // namespace ccnopt::cache

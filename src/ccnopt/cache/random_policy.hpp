@@ -1,0 +1,33 @@
+// Random replacement: a uniformly random resident is evicted on overflow.
+// Serves as the no-information baseline in the policy ablation.
+#pragma once
+
+#include <unordered_map>
+
+#include "ccnopt/cache/policy.hpp"
+#include "ccnopt/common/random.hpp"
+
+namespace ccnopt::cache {
+
+class RandomCache final : public CachePolicy {
+ public:
+  RandomCache(std::size_t capacity, std::uint64_t seed)
+      : CachePolicy(capacity), rng_(seed) {}
+
+  std::size_t size() const override { return slots_.size(); }
+  bool contains(ContentId id) const override { return index_.count(id) > 0; }
+  std::vector<ContentId> contents() const override { return slots_; }
+  const char* name() const override { return "random"; }
+
+ protected:
+  bool handle(ContentId id) override;
+
+ private:
+  // Dense slot vector enables O(1) uniform victim selection; the index maps
+  // id -> slot and is patched on swap-remove.
+  std::vector<ContentId> slots_;
+  std::unordered_map<ContentId, std::size_t> index_;
+  Rng rng_;
+};
+
+}  // namespace ccnopt::cache

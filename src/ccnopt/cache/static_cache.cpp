@@ -1,0 +1,25 @@
+#include "ccnopt/cache/static_cache.hpp"
+
+#include <numeric>
+
+namespace ccnopt::cache {
+
+StaticCache::StaticCache(std::vector<ContentId> ids)
+    : CachePolicy(ids.size()), members_(ids.begin(), ids.end()) {
+  CCNOPT_EXPECTS(members_.size() == ids.size());  // no duplicates
+}
+
+std::vector<ContentId> StaticCache::top_rank_ids(std::size_t k) {
+  std::vector<ContentId> ids(k);
+  std::iota(ids.begin(), ids.end(), ContentId{1});
+  return ids;
+}
+
+void StaticCache::reprovision(std::vector<ContentId> ids) {
+  CCNOPT_EXPECTS(ids.size() <= capacity());
+  members_.clear();
+  members_.insert(ids.begin(), ids.end());
+  CCNOPT_EXPECTS(members_.size() == ids.size());
+}
+
+}  // namespace ccnopt::cache

@@ -1,0 +1,43 @@
+// Provisioned content store: holds a fixed set, never admits on miss.
+// Models the steady-state stores of the analytical model — the top-ranked
+// local partition and the coordinator-assigned partition.
+#pragma once
+
+#include <unordered_set>
+
+#include "ccnopt/cache/policy.hpp"
+
+namespace ccnopt::cache {
+
+class StaticCache final : public CachePolicy {
+ public:
+  /// Holds exactly `ids` (its size defines the capacity).
+  explicit StaticCache(std::vector<ContentId> ids);
+
+  /// The id set {1, ..., k}: the top k ranks (rank = popularity order),
+  /// the steady-state non-coordinated store of Section III-A.
+  static std::vector<ContentId> top_rank_ids(std::size_t k);
+
+  /// Convenience factory for a store holding exactly the top `k` ranks.
+  static std::unique_ptr<StaticCache> make_top(std::size_t k) {
+    return std::make_unique<StaticCache>(top_rank_ids(k));
+  }
+
+  std::size_t size() const override { return members_.size(); }
+  bool contains(ContentId id) const override { return members_.count(id) > 0; }
+  std::vector<ContentId> contents() const override {
+    return {members_.begin(), members_.end()};
+  }
+  const char* name() const override { return "static"; }
+
+  /// Replaces the provisioned set (a coordinator epoch update).
+  void reprovision(std::vector<ContentId> ids);
+
+ protected:
+  bool handle(ContentId id) override { return members_.count(id) > 0; }
+
+ private:
+  std::unordered_set<ContentId> members_;
+};
+
+}  // namespace ccnopt::cache

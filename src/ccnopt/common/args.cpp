@@ -1,0 +1,94 @@
+#include "ccnopt/common/args.hpp"
+
+#include <cstdlib>
+
+#include "ccnopt/common/strings.hpp"
+
+namespace ccnopt {
+
+Expected<ArgParser> ArgParser::parse(int argc, const char* const* argv) {
+  ArgParser parser;
+  bool options_done = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    // Only "--name" tokens are options; single-dash tokens (including
+    // negative numbers) are positional.
+    if (options_done || !starts_with(arg, "--")) {
+      parser.positional_.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      options_done = true;
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      parser.options_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--key value" consumes the next token unless it is another option;
+    // otherwise the key is a bare flag. Note the ambiguity this buys:
+    // a bare flag directly before a positional swallows it — use
+    // "--flag=" or option order to disambiguate.
+    if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      parser.options_[body] = argv[++i];
+    } else {
+      parser.options_[body] = "";
+    }
+  }
+  return parser;
+}
+
+bool ArgParser::has(const std::string& key) const {
+  const bool present = options_.count(key) > 0;
+  if (present) consumed_[key] = true;
+  return present;
+}
+
+std::string ArgParser::get(const std::string& key,
+                           const std::string& fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  consumed_[key] = true;
+  return it->second;
+}
+
+Expected<double> ArgParser::get_double(const std::string& key,
+                                       double fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  consumed_[key] = true;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status(ErrorCode::kParseError,
+                  "--" + key + " expects a number, got '" + it->second + "'");
+  }
+  return value;
+}
+
+Expected<std::int64_t> ArgParser::get_int(const std::string& key,
+                                          std::int64_t fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  consumed_[key] = true;
+  char* end = nullptr;
+  const long long value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status(ErrorCode::kParseError,
+                  "--" + key + " expects an integer, got '" + it->second +
+                      "'");
+  }
+  return static_cast<std::int64_t>(value);
+}
+
+std::vector<std::string> ArgParser::unused_keys() const {
+  std::vector<std::string> unused;
+  for (const auto& [key, value] : options_) {
+    if (consumed_.count(key) == 0) unused.push_back(key);
+  }
+  return unused;
+}
+
+}  // namespace ccnopt

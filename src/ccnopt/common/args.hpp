@@ -1,0 +1,41 @@
+// Minimal command-line argument parser for the tools: positional words
+// plus --key=value / --key value options and --flag switches.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ccnopt/common/error.hpp"
+
+namespace ccnopt {
+
+class ArgParser {
+ public:
+  /// Parses argv[1..); "--key=value" and "--key value" set options,
+  /// "--flag" (no value-looking successor) sets a flag, everything else is
+  /// positional. A standalone "--" ends option parsing.
+  static Expected<ArgParser> parse(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& key) const;
+
+  /// String value of --key, or `fallback` when absent.
+  std::string get(const std::string& key, const std::string& fallback) const;
+
+  /// Numeric value of --key; kParseError on malformed numbers.
+  Expected<double> get_double(const std::string& key, double fallback) const;
+  Expected<std::int64_t> get_int(const std::string& key,
+                                 std::int64_t fallback) const;
+
+  /// Keys that were supplied but never read — typo detection for tools.
+  std::vector<std::string> unused_keys() const;
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> options_;
+  mutable std::map<std::string, bool> consumed_;
+};
+
+}  // namespace ccnopt

@@ -1,0 +1,43 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (I.6/I.8). Violations are programming errors, so they
+// terminate via std::abort after printing the failed condition; they are not
+// recoverable error paths (those use Status/Expected in error.hpp).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ccnopt::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* cond,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "ccnopt: %s violated: (%s) at %s:%d\n", kind, cond,
+               file, line);
+  std::abort();
+}
+
+}  // namespace ccnopt::detail
+
+/// Precondition check: argument/state requirements at function entry.
+#define CCNOPT_EXPECTS(cond)                                          \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::ccnopt::detail::contract_failure("precondition", #cond,       \
+                                         __FILE__, __LINE__);         \
+  } while (false)
+
+/// Postcondition check: guarantees at function exit.
+#define CCNOPT_ENSURES(cond)                                          \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::ccnopt::detail::contract_failure("postcondition", #cond,      \
+                                         __FILE__, __LINE__);         \
+  } while (false)
+
+/// Internal invariant check.
+#define CCNOPT_ASSERT(cond)                                           \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::ccnopt::detail::contract_failure("invariant", #cond,          \
+                                         __FILE__, __LINE__);         \
+  } while (false)

@@ -1,0 +1,41 @@
+#include "ccnopt/common/csv.hpp"
+
+#include "ccnopt/common/strings.hpp"
+
+namespace ccnopt {
+
+std::string CsvWriter::escape(std::string_view field, char sep) {
+  const bool needs_quoting =
+      field.find(sep) != std::string_view::npos ||
+      field.find('"') != std::string_view::npos ||
+      field.find('\n') != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char ch : field) {
+    if (ch == '"') out.push_back('"');
+    out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) (*out_) << sep_;
+    (*out_) << escape(fields[i], sep_);
+  }
+  (*out_) << '\n';
+  ++rows_;
+}
+
+void CsvWriter::write_numeric_row(const std::vector<double>& values,
+                                  int precision) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(format_double(v, precision));
+  write_row(fields);
+}
+
+}  // namespace ccnopt

@@ -1,0 +1,36 @@
+// Minimal CSV emitter for experiment output. Fields containing the
+// separator, quotes or newlines are quoted per RFC 4180.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccnopt {
+
+class CsvWriter {
+ public:
+  /// Writes rows to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out, char sep = ',') : out_(&out), sep_(sep) {}
+
+  /// Writes one row of already-formatted fields.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Writes a header row; identical to write_row, named for readability.
+  void write_header(const std::vector<std::string>& fields) { write_row(fields); }
+
+  /// Writes a row of doubles formatted with `precision` digits.
+  void write_numeric_row(const std::vector<double>& values, int precision = 6);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  static std::string escape(std::string_view field, char sep);
+
+  std::ostream* out_;
+  char sep_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace ccnopt

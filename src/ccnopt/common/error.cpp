@@ -1,0 +1,25 @@
+#include "ccnopt/common/error.hpp"
+
+namespace ccnopt {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kOutOfRange:
+      return "out_of_range";
+    case ErrorCode::kFailedPrecondition:
+      return "failed_precondition";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kNumericalFailure:
+      return "numerical_failure";
+    case ErrorCode::kParseError:
+      return "parse_error";
+  }
+  return "unknown";
+}
+
+}  // namespace ccnopt

@@ -1,0 +1,106 @@
+// Recoverable-error vocabulary: Status (code + message) and Expected<T>
+// (value-or-Status). Used for operations whose failure is a legitimate
+// runtime outcome (parse errors, infeasible parameters, non-bracketed roots)
+// rather than a contract violation.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "ccnopt/common/assert.hpp"
+
+namespace ccnopt {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   // caller-supplied parameter outside the documented domain
+  kOutOfRange,        // index/rank/capacity outside a container or interval
+  kFailedPrecondition,// object state does not admit the operation
+  kNotFound,          // lookup miss (topology name, content id, ...)
+  kNumericalFailure,  // solver did not converge / lost its bracket
+  kParseError,        // malformed textual input
+};
+
+/// Human-readable name of an ErrorCode ("invalid_argument", ...).
+const char* to_string(ErrorCode code);
+
+/// A success/failure result with an optional diagnostic message.
+class [[nodiscard]] Status {
+ public:
+  /// Success.
+  Status() = default;
+  /// Failure with a diagnostic message. `code` must not be kOk.
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    CCNOPT_EXPECTS(code != ErrorCode::kOk);
+  }
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string to_string() const {
+    if (is_ok()) return "ok";
+    return std::string(ccnopt::to_string(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-error result, modeled on std::expected (not yet in C++20).
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  /// Successful result.
+  Expected(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Failed result. `status` must not be ok.
+  Expected(Status status) : rep_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    CCNOPT_EXPECTS(!std::get<Status>(rep_).is_ok());
+  }
+
+  bool has_value() const { return std::holds_alternative<T>(rep_); }
+  explicit operator bool() const { return has_value(); }
+
+  /// The contained value; precondition: has_value().
+  const T& value() const& {
+    CCNOPT_EXPECTS(has_value());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    CCNOPT_EXPECTS(has_value());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    CCNOPT_EXPECTS(has_value());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+  /// The contained value, or `fallback` on error.
+  T value_or(T fallback) const {
+    return has_value() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+  /// The error; precondition: !has_value().
+  const Status& status() const {
+    CCNOPT_EXPECTS(!has_value());
+    return std::get<Status>(rep_);
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace ccnopt

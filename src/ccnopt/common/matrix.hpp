@@ -1,0 +1,40 @@
+// Dense row-major matrix with bounds-checked access, used for all-pairs
+// shortest-path tables.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ccnopt/common/assert.hpp"
+
+namespace ccnopt {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    CCNOPT_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    CCNOPT_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<T>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace ccnopt

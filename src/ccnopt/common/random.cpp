@@ -1,0 +1,4 @@
+#include "ccnopt/common/random.hpp"
+
+// Rng is header-only today; this TU anchors the library target and reserves
+// a home for out-of-line distributions if they grow.

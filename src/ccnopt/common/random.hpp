@@ -1,0 +1,52 @@
+// Deterministic RNG wrapper. All stochastic components (workload samplers,
+// topology generators, randomized cache policies) take an Rng& so experiments
+// are reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "ccnopt/common/assert.hpp"
+
+namespace ccnopt {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi); requires lo < hi.
+  double uniform(double lo, double hi) {
+    CCNOPT_EXPECTS(lo < hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi]; requires lo <= hi.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) {
+    CCNOPT_EXPECTS(lo <= hi);
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli draw with success probability p in [0, 1].
+  bool bernoulli(double p) {
+    CCNOPT_EXPECTS(p >= 0.0 && p <= 1.0);
+    return uniform() < p;
+  }
+
+  /// Exponential draw with the given rate (> 0).
+  double exponential(double rate) {
+    CCNOPT_EXPECTS(rate > 0.0);
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ccnopt

@@ -1,0 +1,31 @@
+// Small string utilities used by the CSV/table writers and topology parsers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccnopt {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Formats `value` with `precision` digits after the decimal point.
+std::string format_double(double value, int precision);
+
+/// Formats a fraction in [0,1] as a percentage string, e.g. 0.336 -> "33.6%".
+std::string format_percent(double fraction, int precision = 1);
+
+/// Lower-cases ASCII letters.
+std::string to_lower(std::string_view text);
+
+}  // namespace ccnopt

@@ -1,0 +1,46 @@
+#include "ccnopt/common/table.hpp"
+
+#include <algorithm>
+
+#include "ccnopt/common/strings.hpp"
+
+namespace ccnopt {
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_row(const std::string& label,
+                        const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(format_double(v, precision));
+  add_row(std::move(row));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << (i == 0 ? "" : "  ");
+      out << row[i];
+      out << std::string(width[i] - row[i].size(), ' ');
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w;
+  out << std::string(total + 2 * (width.size() - 1), '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace ccnopt

@@ -1,0 +1,33 @@
+// Aligned plain-text table printer used by the benches to render the
+// paper's tables and figure series on the console.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ccnopt {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Adds one body row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: first column is a label, the rest are doubles.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 4);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with column alignment and a rule under the header.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ccnopt

@@ -1,0 +1,169 @@
+#include "ccnopt/experiments/adaptive_loop.hpp"
+
+#include <cmath>
+
+#include "ccnopt/common/assert.hpp"
+#include "ccnopt/model/adaptive.hpp"
+#include "ccnopt/sim/network.hpp"
+#include "ccnopt/sim/workload.hpp"
+#include "ccnopt/topology/shortest_paths.hpp"
+
+namespace ccnopt::experiments {
+namespace {
+
+/// Analytic twin derived from the topology the Section V-A way.
+model::SystemParams derive_twin(const topology::Graph& graph,
+                                const AdaptiveLoopOptions& options,
+                                double initial_s) {
+  const topology::AllPairs paths = topology::all_pairs(graph);
+  const std::size_t n = graph.node_count();
+  double sum_pairwise = 0.0;
+  double sum_gateway = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) sum_pairwise += paths.latency_ms(i, j);
+    sum_gateway += paths.latency_ms(i, 0);
+  }
+  model::SystemParams params;
+  params.alpha = 1.0;  // the loop optimizes routing performance
+  params.s = initial_s;
+  params.n = static_cast<double>(n);
+  params.catalog_n = static_cast<double>(options.catalog_size);
+  params.capacity_c = static_cast<double>(options.capacity_c);
+  params.latency.d0 = options.access_latency_d0_ms;
+  params.latency.d1 =
+      options.access_latency_d0_ms +
+      sum_pairwise / (static_cast<double>(n) * static_cast<double>(n));
+  params.latency.d2 = options.access_latency_d0_ms +
+                      sum_gateway / static_cast<double>(n) +
+                      options.origin_extra_ms;
+  params.cost = model::CostModel{};
+  CCNOPT_ENSURES(params.validate().is_ok());
+  return params;
+}
+
+struct EpochMeasurement {
+  double latency_sum = 0.0;
+  std::uint64_t origin_hits = 0;
+};
+
+}  // namespace
+
+Expected<AdaptiveLoopResult> run_adaptive_loop(
+    const topology::Graph& graph, const AdaptiveLoopOptions& options) {
+  if (options.s_per_epoch.size() < 2) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "adaptive loop: need at least 2 epochs");
+  }
+  if (options.catalog_size <=
+      graph.node_count() * options.capacity_c) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "adaptive loop: need catalog > n * c");
+  }
+
+  const double initial_s = options.s_per_epoch.front();
+  const model::SystemParams twin = derive_twin(graph, options, initial_s);
+
+  // One drifting workload; each epoch is one phase.
+  std::vector<sim::DriftingZipfWorkload::Phase> schedule;
+  schedule.reserve(options.s_per_epoch.size());
+  for (std::size_t e = 0; e < options.s_per_epoch.size(); ++e) {
+    schedule.push_back(sim::DriftingZipfWorkload::Phase{
+        e * options.requests_per_epoch, options.s_per_epoch[e]});
+  }
+  sim::DriftingZipfWorkload workload(graph.node_count(), options.catalog_size,
+                                     schedule, options.seed);
+
+  // Three identical networks served with the identical stream.
+  sim::NetworkConfig net_config;
+  net_config.catalog_size = options.catalog_size;
+  net_config.capacity_c = options.capacity_c;
+  net_config.local_mode = sim::LocalStoreMode::kStaticTop;
+  net_config.access_latency_d0_ms = options.access_latency_d0_ms;
+  net_config.origin_extra_ms = options.origin_extra_ms;
+  net_config.seed = options.seed;
+  sim::CcnNetwork adaptive_net(graph, net_config);
+  sim::CcnNetwork static_net(graph, net_config);
+  sim::CcnNetwork oracle_net(graph, net_config);
+
+  const auto provision_for = [&](double s) -> Expected<std::size_t> {
+    const auto strategy = model::optimize(model::with_zipf(twin, s));
+    if (!strategy) return strategy.status();
+    return static_cast<std::size_t>(strategy->x_star + 0.5);
+  };
+
+  const auto initial_x = provision_for(initial_s);
+  if (!initial_x) return initial_x.status();
+  adaptive_net.provision(*initial_x);
+  static_net.provision(*initial_x);
+
+  model::AdaptiveConfig controller_config;
+  controller_config.catalog_size = options.catalog_size;
+  controller_config.epoch_requests = options.requests_per_epoch;
+  controller_config.smoothing = options.smoothing;
+  model::AdaptiveController controller(twin, controller_config);
+
+  AdaptiveLoopResult result;
+  double total_adaptive = 0.0, total_static = 0.0, total_oracle = 0.0;
+
+  for (std::size_t e = 0; e < options.s_per_epoch.size(); ++e) {
+    const double true_s = options.s_per_epoch[e];
+    const auto oracle_x = provision_for(true_s);
+    if (!oracle_x) return oracle_x.status();
+    oracle_net.provision(*oracle_x);
+    const auto oracle_strategy = model::optimize(model::with_zipf(twin, true_s));
+
+    EpochMeasurement adaptive_m, static_m, oracle_m;
+    for (std::uint64_t r = 0; r < options.requests_per_epoch; ++r) {
+      const auto router = static_cast<topology::NodeId>(
+          r % graph.node_count());
+      const cache::ContentId content = workload.next(router);
+      controller.observe(content);
+      const sim::ServeResult sa = adaptive_net.serve(router, content);
+      const sim::ServeResult ss = static_net.serve(router, content);
+      const sim::ServeResult so = oracle_net.serve(router, content);
+      adaptive_m.latency_sum += sa.latency_ms;
+      static_m.latency_sum += ss.latency_ms;
+      oracle_m.latency_sum += so.latency_ms;
+      adaptive_m.origin_hits += (sa.tier == sim::ServeTier::kOrigin) ? 1 : 0;
+      static_m.origin_hits += (ss.tier == sim::ServeTier::kOrigin) ? 1 : 0;
+      oracle_m.origin_hits += (so.tier == sim::ServeTier::kOrigin) ? 1 : 0;
+    }
+
+    AdaptiveEpochReport report;
+    report.epoch = e;
+    report.true_s = true_s;
+    const double requests =
+        static_cast<double>(options.requests_per_epoch);
+    report.latency_adaptive_ms = adaptive_m.latency_sum / requests;
+    report.latency_static_ms = static_m.latency_sum / requests;
+    report.latency_oracle_ms = oracle_m.latency_sum / requests;
+    report.origin_adaptive =
+        static_cast<double>(adaptive_m.origin_hits) / requests;
+    report.origin_static =
+        static_cast<double>(static_m.origin_hits) / requests;
+    report.origin_oracle =
+        static_cast<double>(oracle_m.origin_hits) / requests;
+    report.ell_oracle = oracle_strategy ? oracle_strategy->ell_star : 0.0;
+
+    // Close the controller's epoch and apply its decision for the next one.
+    const auto decision = controller.end_epoch();
+    if (!decision) return decision.status();
+    report.estimated_s = decision->estimated_s;
+    report.smoothed_s = decision->smoothed_s;
+    report.ell_adaptive = decision->ell_star;
+    adaptive_net.provision(static_cast<std::size_t>(decision->x_star + 0.5));
+
+    total_adaptive += report.latency_adaptive_ms;
+    total_static += report.latency_static_ms;
+    total_oracle += report.latency_oracle_ms;
+    result.epochs.push_back(report);
+  }
+
+  const double epochs = static_cast<double>(result.epochs.size());
+  result.mean_latency_adaptive_ms = total_adaptive / epochs;
+  result.mean_latency_static_ms = total_static / epochs;
+  result.mean_latency_oracle_ms = total_oracle / epochs;
+  return result;
+}
+
+}  // namespace ccnopt::experiments

@@ -1,0 +1,56 @@
+// Closed loop: the online adaptive controller (model/adaptive.hpp) driving
+// the simulator under a drifting Zipf workload, compared per epoch against
+//   * static    — provisioned once from the initial exponent, never adapts;
+//   * oracle    — re-provisioned each epoch with the *true* exponent.
+// All three networks serve the identical request stream, so differences
+// are purely provisioning quality.
+#pragma once
+
+#include <vector>
+
+#include "ccnopt/common/error.hpp"
+#include "ccnopt/topology/graph.hpp"
+
+namespace ccnopt::experiments {
+
+struct AdaptiveLoopOptions {
+  std::uint64_t catalog_size = 20000;
+  std::size_t capacity_c = 200;
+  std::uint64_t requests_per_epoch = 40000;
+  /// True Zipf exponent per epoch (the drift the controller must track).
+  std::vector<double> s_per_epoch = {0.6, 0.7, 0.9, 1.2, 1.4, 1.2, 0.9, 0.7};
+  /// EWMA weight of each epoch's estimate.
+  double smoothing = 0.7;
+  double access_latency_d0_ms = 1.0;
+  double origin_extra_ms = 50.0;
+  std::uint64_t seed = 31;
+};
+
+struct AdaptiveEpochReport {
+  std::uint64_t epoch = 0;
+  double true_s = 0.0;
+  double estimated_s = 0.0;  ///< raw estimate the controller formed
+  double smoothed_s = 0.0;   ///< belief after EWMA
+  double ell_adaptive = 0.0;
+  double ell_oracle = 0.0;
+  double latency_adaptive_ms = 0.0;
+  double latency_static_ms = 0.0;
+  double latency_oracle_ms = 0.0;
+  double origin_adaptive = 0.0;
+  double origin_static = 0.0;
+  double origin_oracle = 0.0;
+};
+
+struct AdaptiveLoopResult {
+  std::vector<AdaptiveEpochReport> epochs;
+  double mean_latency_adaptive_ms = 0.0;
+  double mean_latency_static_ms = 0.0;
+  double mean_latency_oracle_ms = 0.0;
+};
+
+/// Runs the loop on `graph` (connected, uniform capacities). Requires at
+/// least 2 epochs and catalog > n * c.
+Expected<AdaptiveLoopResult> run_adaptive_loop(
+    const topology::Graph& graph, const AdaptiveLoopOptions& options = {});
+
+}  // namespace ccnopt::experiments

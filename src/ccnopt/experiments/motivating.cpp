@@ -1,0 +1,65 @@
+#include "ccnopt/experiments/motivating.hpp"
+
+#include <memory>
+
+#include "ccnopt/common/assert.hpp"
+#include "ccnopt/sim/simulation.hpp"
+
+namespace ccnopt::experiments {
+namespace {
+
+// Figure 1: R0 connects R1, R2 and the origin; R1 and R2 are also peered
+// directly (the coordinated strategy fetches across that one-hop link).
+topology::Graph motivating_graph() {
+  topology::Graph g("motivating");
+  const auto r0 = g.add_node(topology::NodeInfo{"R0", {}});
+  const auto r1 = g.add_node(topology::NodeInfo{"R1", {}});
+  const auto r2 = g.add_node(topology::NodeInfo{"R2", {}});
+  CCNOPT_ASSERT(g.add_edge(r1, r0, 5.0).is_ok());
+  CCNOPT_ASSERT(g.add_edge(r2, r0, 5.0).is_ok());
+  CCNOPT_ASSERT(g.add_edge(r1, r2, 5.0).is_ok());
+  return g;
+}
+
+MotivatingRow run_strategy(std::size_t coordinated_x, std::uint64_t cycles) {
+  sim::SimConfig config;
+  config.network.catalog_size = 2;  // contents a (rank 1) and b (rank 2)
+  config.network.capacity_c = 1;
+  config.network.capacity_overrides = {0, 1, 1};  // R0 routes only
+  config.network.local_mode = sim::LocalStoreMode::kStaticTop;
+  config.network.access_latency_d0_ms = 1.0;
+  config.network.origin_gateway = 0;   // O hangs off R0...
+  config.network.origin_extra_ms = 50.0;
+  config.network.origin_extra_hops = 1;  // ...one hop beyond it
+  config.coordinated_x = coordinated_x;
+  config.warmup_requests = 0;
+  config.measured_requests = cycles * 6;  // two 3-request flows per cycle
+
+  sim::Simulation simulation(motivating_graph(), config);
+  // Flows: R0 none, R1 and R2 each the repeating {a, a, b}.
+  simulation.set_workload(std::make_unique<sim::CyclicWorkload>(
+      std::vector<std::vector<cache::ContentId>>{{}, {1, 1, 2}, {1, 1, 2}}));
+  const sim::SimReport report = simulation.run();
+
+  MotivatingRow row;
+  row.origin_load = report.origin_load;
+  row.mean_hops = report.mean_hops;
+  row.coordination_messages = report.coordination_messages;
+  return row;
+}
+
+}  // namespace
+
+MotivatingResult run_motivating_example(std::uint64_t cycles) {
+  CCNOPT_EXPECTS(cycles >= 1);
+  MotivatingResult result;
+  // Non-coordinated: x = 0, each storage-bearing router keeps its locally
+  // most popular content — the static top-1, i.e. {a} at both R1 and R2.
+  result.non_coordinated = run_strategy(/*coordinated_x=*/0, cycles);
+  // Coordinated: x = 1 (the full capacity), the coordinator assigns the
+  // rank range {1, 2} round-robin: R1 <- a, R2 <- b.
+  result.coordinated = run_strategy(/*coordinated_x=*/1, cycles);
+  return result;
+}
+
+}  // namespace ccnopt::experiments

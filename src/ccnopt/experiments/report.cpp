@@ -1,0 +1,72 @@
+#include "ccnopt/experiments/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ccnopt/common/assert.hpp"
+#include "ccnopt/common/csv.hpp"
+#include "ccnopt/common/strings.hpp"
+#include "ccnopt/common/table.hpp"
+
+namespace ccnopt::experiments {
+
+void print_series_table(const FigureData& data, Metric metric,
+                        std::ostream& out, int max_rows) {
+  CCNOPT_EXPECTS(!data.series.empty());
+  CCNOPT_EXPECTS(max_rows >= 2);
+  // All series of one figure share the same parameter grid by
+  // construction; use the longest series as the row index in case a sweep
+  // skipped invalid values (the s = 1 hole).
+  std::size_t longest = 0;
+  for (std::size_t i = 1; i < data.series.size(); ++i) {
+    if (data.series[i].points.size() > data.series[longest].points.size()) {
+      longest = i;
+    }
+  }
+  const auto& axis = data.series[longest].points;
+
+  std::vector<std::string> header{data.x_label};
+  for (const Series& series : data.series) {
+    header.push_back(series.label + " " + to_string(metric));
+  }
+  TextTable table(std::move(header));
+
+  const std::size_t rows = axis.size();
+  const std::size_t stride =
+      std::max<std::size_t>(1, rows / static_cast<std::size_t>(max_rows));
+  for (std::size_t row = 0; row < rows; row += stride) {
+    const double parameter = axis[row].parameter;
+    std::vector<double> values;
+    values.reserve(data.series.size());
+    for (const Series& series : data.series) {
+      // Match by parameter value (series may have holes).
+      const auto it = std::find_if(
+          series.points.begin(), series.points.end(),
+          [parameter](const model::SweepPoint& p) {
+            return std::abs(p.parameter - parameter) < 1e-9;
+          });
+      values.push_back(it == series.points.end()
+                           ? std::numeric_limits<double>::quiet_NaN()
+                           : metric_value(*it, metric));
+    }
+    table.add_row(format_double(parameter, 3), values);
+  }
+  out << data.title << " [" << to_string(metric) << "]\n";
+  table.print(out);
+}
+
+void write_series_csv(const FigureData& data, std::ostream& out) {
+  CsvWriter csv(out);
+  csv.write_header({data.x_label, "series", "ell_star", "G_O", "G_R"});
+  for (const Series& series : data.series) {
+    for (const model::SweepPoint& point : series.points) {
+      csv.write_row({format_double(point.parameter, 6), series.label,
+                     format_double(point.ell_star, 6),
+                     format_double(point.origin_load_reduction, 6),
+                     format_double(point.routing_improvement, 6)});
+    }
+  }
+}
+
+}  // namespace ccnopt::experiments

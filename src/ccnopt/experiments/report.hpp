@@ -1,0 +1,20 @@
+// Rendering of figure sweeps as aligned console tables and CSV — the
+// bench binaries' output layer.
+#pragma once
+
+#include <ostream>
+
+#include "ccnopt/experiments/figures.hpp"
+
+namespace ccnopt::experiments {
+
+/// Prints one metric of a figure sweep as a table: first column the swept
+/// parameter, one column per series. Rows are subsampled to at most
+/// `max_rows` so figure benches stay readable.
+void print_series_table(const FigureData& data, Metric metric,
+                        std::ostream& out, int max_rows = 25);
+
+/// Full-resolution CSV: parameter, series label, ell_star, G_O, G_R.
+void write_series_csv(const FigureData& data, std::ostream& out);
+
+}  // namespace ccnopt::experiments

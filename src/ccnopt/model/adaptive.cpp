@@ -1,0 +1,85 @@
+#include "ccnopt/model/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ccnopt/common/assert.hpp"
+
+namespace ccnopt::model {
+
+Status AdaptiveConfig::validate() const {
+  if (catalog_size < 2) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "adaptive: catalog_size must be >= 2");
+  }
+  if (epoch_requests < 1) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "adaptive: epoch_requests must be >= 1");
+  }
+  if (!(smoothing > 0.0 && smoothing <= 1.0)) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "adaptive: smoothing must be in (0, 1]");
+  }
+  if (!(min_s > 0.0 && min_s < max_s && max_s < 2.0)) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "adaptive: need 0 < min_s < max_s < 2");
+  }
+  if (!(singularity_margin > 0.0 && singularity_margin < 0.5)) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "adaptive: singularity_margin must be in (0, 0.5)");
+  }
+  return Status::ok();
+}
+
+AdaptiveController::AdaptiveController(SystemParams initial,
+                                       AdaptiveConfig config)
+    : params_(std::move(initial)), config_(std::move(config)) {
+  CCNOPT_EXPECTS(params_.validate().is_ok());
+  CCNOPT_EXPECTS(config_.validate().is_ok());
+  histogram_.assign(config_.catalog_size, 0);
+}
+
+void AdaptiveController::observe(std::uint64_t rank) {
+  CCNOPT_EXPECTS(rank >= 1 && rank <= histogram_.size());
+  ++histogram_[rank - 1];
+  ++observed_;
+}
+
+double AdaptiveController::clamp_exponent(double s) const {
+  s = std::clamp(s, config_.min_s, config_.max_s);
+  // Nudge off the singular point (validate() rejects s = 1).
+  if (std::abs(s - 1.0) < config_.singularity_margin) {
+    s = (s < 1.0) ? 1.0 - config_.singularity_margin
+                  : 1.0 + config_.singularity_margin;
+  }
+  return s;
+}
+
+Expected<AdaptiveController::EpochDecision> AdaptiveController::end_epoch() {
+  const auto fit = config_.use_mle
+                       ? popularity::fit_zipf_mle(histogram_)
+                       : popularity::fit_zipf_loglog(histogram_);
+  // The histogram is consumed either way: a failed epoch should not bleed
+  // its few samples into the next one.
+  std::fill(histogram_.begin(), histogram_.end(), 0);
+  observed_ = 0;
+  if (!fit) return fit.status();
+
+  ++epoch_index_;
+  EpochDecision decision;
+  decision.epoch = epoch_index_;
+  decision.estimated_s = fit->s;
+
+  const double blended = (1.0 - config_.smoothing) * params_.s +
+                         config_.smoothing * fit->s;
+  params_.s = clamp_exponent(blended);
+  decision.smoothed_s = params_.s;
+
+  const auto strategy = optimize(params_);
+  if (!strategy) return strategy.status();
+  decision.ell_star = strategy->ell_star;
+  decision.x_star = strategy->x_star;
+  return decision;
+}
+
+}  // namespace ccnopt::model

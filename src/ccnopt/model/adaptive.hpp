@@ -1,0 +1,83 @@
+// Online self-adaptive coordination — the paper's Section VII future work
+// ("design online self-adaptive algorithms to adjust the coordination
+// level").
+//
+// A deployed coordinator does not know the Zipf exponent s; it sees
+// requests. The controller accumulates a rank histogram per epoch,
+// estimates s (MLE or log-log fit, popularity/estimator.hpp), smooths the
+// estimate with an EWMA to avoid thrashing the provisioning, re-runs the
+// optimizer, and emits the new coordination amount x for the next epoch.
+// The closed loop against the simulator lives in
+// experiments/adaptive_loop.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ccnopt/common/error.hpp"
+#include "ccnopt/model/optimizer.hpp"
+#include "ccnopt/popularity/estimator.hpp"
+
+namespace ccnopt::model {
+
+struct AdaptiveConfig {
+  /// Histogram width for estimation; must equal the workload's catalog.
+  std::uint64_t catalog_size = 10000;
+  /// Requests per adaptation epoch.
+  std::uint64_t epoch_requests = 50000;
+  /// EWMA weight of the new estimate (1 = trust the epoch fully).
+  double smoothing = 0.5;
+  /// MLE (tight) vs log-log fit (the classic measurement-paper approach).
+  bool use_mle = true;
+  /// Estimates are clamped into [min_s, max_s] and nudged off the s = 1
+  /// singular point by `singularity_margin`.
+  double min_s = 0.05;
+  double max_s = 1.95;
+  double singularity_margin = 0.02;
+
+  Status validate() const;
+};
+
+class AdaptiveController {
+ public:
+  /// `initial` provides everything but s (latency tiers, cost, n, N, c);
+  /// its s seeds the EWMA. Requires valid params and config.
+  AdaptiveController(SystemParams initial, AdaptiveConfig config);
+
+  /// Records one served request's content rank (1-based).
+  void observe(std::uint64_t rank);
+
+  std::uint64_t observed_in_epoch() const { return observed_; }
+  bool epoch_complete() const {
+    return observed_ >= config_.epoch_requests;
+  }
+
+  /// The controller's current belief (drives the next provisioning).
+  const SystemParams& params() const { return params_; }
+  std::uint64_t epochs_completed() const { return epoch_index_; }
+
+  struct EpochDecision {
+    std::uint64_t epoch = 0;
+    double estimated_s = 0.0;  ///< raw per-epoch estimate
+    double smoothed_s = 0.0;   ///< EWMA fed to the optimizer
+    double ell_star = 0.0;
+    double x_star = 0.0;
+  };
+
+  /// Closes the epoch: estimates s from the histogram, smooths, re-runs
+  /// optimize(), resets the histogram. Fails (leaving the previous belief
+  /// in place, histogram reset) when the epoch has too few samples for
+  /// estimation.
+  Expected<EpochDecision> end_epoch();
+
+ private:
+  SystemParams params_;
+  AdaptiveConfig config_;
+  std::vector<std::uint64_t> histogram_;
+  std::uint64_t observed_ = 0;
+  std::uint64_t epoch_index_ = 0;
+
+  double clamp_exponent(double s) const;
+};
+
+}  // namespace ccnopt::model

@@ -1,0 +1,65 @@
+#include "ccnopt/model/exact.hpp"
+
+#include "ccnopt/common/assert.hpp"
+
+namespace ccnopt::model {
+
+ExactDiscreteModel::ExactDiscreteModel(SystemParams params,
+                                       std::uint64_t catalog_n,
+                                       std::uint64_t routers,
+                                       std::uint64_t capacity_c)
+    : params_(std::move(params)),
+      zipf_(catalog_n, params_.s),
+      routers_(routers),
+      capacity_(capacity_c) {
+  CCNOPT_EXPECTS(routers >= 2);
+  CCNOPT_EXPECTS(capacity_c >= 1);
+  CCNOPT_EXPECTS(catalog_n > routers * capacity_c);
+  CCNOPT_EXPECTS(params_.latency.validate().is_ok());
+  CCNOPT_EXPECTS(params_.cost.validate().is_ok());
+  // Keep the continuous-model fields consistent for callers that read them.
+  params_.catalog_n = static_cast<double>(catalog_n);
+  params_.n = static_cast<double>(routers);
+  params_.capacity_c = static_cast<double>(capacity_c);
+}
+
+double ExactDiscreteModel::routing_performance(std::uint64_t x) const {
+  CCNOPT_EXPECTS(x <= capacity_);
+  const std::uint64_t local_span = capacity_ - x;
+  const std::uint64_t network_span = capacity_ + (routers_ - 1) * x;
+  const double f_local = zipf_.cdf(local_span);
+  const double f_network = zipf_.cdf(network_span);
+  return f_local * params_.latency.d0 +
+         (f_network - f_local) * params_.latency.d1 +
+         (1.0 - f_network) * params_.latency.d2;
+}
+
+double ExactDiscreteModel::coordination_cost(std::uint64_t x) const {
+  CCNOPT_EXPECTS(x <= capacity_);
+  return params_.cost.total_cost(static_cast<double>(x),
+                                 static_cast<double>(routers_));
+}
+
+double ExactDiscreteModel::objective(std::uint64_t x) const {
+  return params_.alpha * routing_performance(x) +
+         (1.0 - params_.alpha) * coordination_cost(x);
+}
+
+ExactDiscreteModel::DiscreteOptimum ExactDiscreteModel::brute_force_optimum()
+    const {
+  DiscreteOptimum best;
+  best.x_star = 0;
+  best.objective = objective(0);
+  for (std::uint64_t x = 1; x <= capacity_; ++x) {
+    const double value = objective(x);
+    if (value < best.objective) {
+      best.objective = value;
+      best.x_star = x;
+    }
+  }
+  best.ell_star =
+      static_cast<double>(best.x_star) / static_cast<double>(capacity_);
+  return best;
+}
+
+}  // namespace ccnopt::model

@@ -1,0 +1,58 @@
+// Exact discrete counterpart of the continuous model: the same Eq. 2/3/4
+// structure evaluated with the exact Zipf CDF F(k) = H_{k,s}/H_{N,s}
+// (Eq. 1) over integer coordination amounts x in {0, ..., c}.
+//
+// The paper's analysis lives entirely in the continuous approximation
+// (Eq. 6); this class is the ground truth it is checked against (ablation
+// bench `bench_ablation_approximation` and the Lemma-1/2 property tests).
+#pragma once
+
+#include <cstdint>
+
+#include "ccnopt/model/params.hpp"
+#include "ccnopt/popularity/zipf.hpp"
+
+namespace ccnopt::model {
+
+class ExactDiscreteModel {
+ public:
+  /// Discrete system: `catalog_n` contents, `routers` routers of capacity
+  /// `capacity_c` contents each. Requires routers >= 2, capacity >= 1, and
+  /// catalog_n > routers * capacity_c (non-empty origin tier); alpha, s,
+  /// latency and cost come from `params` (catalog/n/c fields of `params`
+  /// are ignored in favor of the integer arguments).
+  ExactDiscreteModel(SystemParams params, std::uint64_t catalog_n,
+                     std::uint64_t routers, std::uint64_t capacity_c);
+
+  std::uint64_t catalog_n() const { return zipf_.catalog_size(); }
+  std::uint64_t routers() const { return routers_; }
+  std::uint64_t capacity_c() const { return capacity_; }
+
+  /// Exact F(k) = H_{k,s} / H_{N,s}.
+  double popularity_cdf(std::uint64_t rank) const { return zipf_.cdf(rank); }
+
+  /// Eq. 2 with the exact CDF; requires x <= capacity_c.
+  double routing_performance(std::uint64_t x) const;
+
+  /// Eq. 3 (amortized), as in the continuous model.
+  double coordination_cost(std::uint64_t x) const;
+
+  /// Eq. 4.
+  double objective(std::uint64_t x) const;
+
+  /// Brute-force scan of all integer x in [0, c]; the discrete optimum.
+  struct DiscreteOptimum {
+    std::uint64_t x_star = 0;
+    double ell_star = 0.0;
+    double objective = 0.0;
+  };
+  DiscreteOptimum brute_force_optimum() const;
+
+ private:
+  SystemParams params_;
+  popularity::ZipfDistribution zipf_;
+  std::uint64_t routers_;
+  std::uint64_t capacity_;
+};
+
+}  // namespace ccnopt::model

@@ -1,0 +1,37 @@
+#include "ccnopt/model/gains.hpp"
+
+#include <cmath>
+
+#include "ccnopt/common/assert.hpp"
+
+namespace ccnopt::model {
+
+GainReport compute_gains(const PerformanceModel& model, double x_star) {
+  const SystemParams& p = model.params();
+  CCNOPT_EXPECTS(x_star >= 0.0 && x_star <= p.capacity_c);
+  GainReport report;
+  const double covered = p.capacity_c + (p.n - 1.0) * x_star;
+  report.origin_load_optimal = 1.0 - model.popularity_cdf(covered);
+  report.origin_load_baseline = 1.0 - model.popularity_cdf(p.capacity_c);
+  CCNOPT_ASSERT(report.origin_load_baseline > 0.0);
+  report.origin_load_reduction =
+      1.0 - report.origin_load_optimal / report.origin_load_baseline;
+  report.routing_optimal = model.routing_performance(x_star);
+  report.routing_baseline = model.baseline_performance();
+  CCNOPT_ASSERT(report.routing_baseline > 0.0);
+  report.routing_improvement =
+      1.0 - report.routing_optimal / report.routing_baseline;
+  return report;
+}
+
+double origin_load_reduction_closed_form(const SystemParams& params,
+                                         double x_star) {
+  const double one_minus_s = 1.0 - params.s;
+  const double covered = params.capacity_c + (params.n - 1.0) * x_star;
+  return (std::pow(covered, one_minus_s) -
+          std::pow(params.capacity_c, one_minus_s)) /
+         (std::pow(params.catalog_n, one_minus_s) -
+          std::pow(params.capacity_c, one_minus_s));
+}
+
+}  // namespace ccnopt::model

@@ -1,0 +1,34 @@
+// Performance gains of the optimal strategy (Section IV-E):
+//   G_O — origin load reduction vs the non-coordinated baseline
+//   G_R — routing performance improvement vs the non-coordinated baseline
+#pragma once
+
+#include "ccnopt/model/performance.hpp"
+
+namespace ccnopt::model {
+
+struct GainReport {
+  /// Fraction of requests hitting the origin with the optimal strategy,
+  /// 1 - F(c + (n-1) x*).
+  double origin_load_optimal = 0.0;
+  /// Fraction of requests hitting the origin non-coordinated, 1 - F(c).
+  double origin_load_baseline = 0.0;
+  /// G_O = 1 - origin_load_optimal / origin_load_baseline
+  ///     = ((c+(n-1)x*)^{1-s} - c^{1-s}) / (N^{1-s} - c^{1-s}).
+  double origin_load_reduction = 0.0;
+  /// T(x*) and T(0).
+  double routing_optimal = 0.0;
+  double routing_baseline = 0.0;
+  /// G_R = 1 - T(x*)/T(0).
+  double routing_improvement = 0.0;
+};
+
+/// Evaluates both gains at coordinated amount `x_star` in [0, c].
+GainReport compute_gains(const PerformanceModel& model, double x_star);
+
+/// Section IV-E's closed form for G_O, used by tests to cross-check the
+/// definition-based computation in compute_gains.
+double origin_load_reduction_closed_form(const SystemParams& params,
+                                         double x_star);
+
+}  // namespace ccnopt::model

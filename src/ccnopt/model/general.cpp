@@ -1,0 +1,90 @@
+#include "ccnopt/model/general.hpp"
+
+#include "ccnopt/common/assert.hpp"
+#include "ccnopt/numerics/minimize.hpp"
+
+namespace ccnopt::model {
+
+Status GeneralParams::validate() const {
+  if (alpha < 0.0 || alpha > 1.0) {
+    return Status(ErrorCode::kInvalidArgument, "alpha must be in [0, 1]");
+  }
+  if (!(n > 1.0)) {
+    return Status(ErrorCode::kInvalidArgument, "need n > 1 routers");
+  }
+  if (!(capacity_c > 0.0)) {
+    return Status(ErrorCode::kInvalidArgument, "need capacity c > 0");
+  }
+  if (Status st = latency.validate(); !st.is_ok()) return st;
+  if (Status st = cost.validate(); !st.is_ok()) return st;
+  return Status::ok();
+}
+
+GeneralParams GeneralParams::from_system(const SystemParams& params) {
+  GeneralParams gp;
+  gp.alpha = params.alpha;
+  gp.n = params.n;
+  gp.capacity_c = params.capacity_c;
+  gp.latency = params.latency;
+  gp.cost = params.cost;
+  return gp;
+}
+
+GeneralPerformanceModel::GeneralPerformanceModel(GeneralParams params,
+                                                 PopularityCdf cdf)
+    : params_(std::move(params)), cdf_(std::move(cdf)) {
+  CCNOPT_EXPECTS(params_.validate().is_ok());
+  CCNOPT_EXPECTS(cdf_ != nullptr);
+}
+
+double GeneralPerformanceModel::routing_performance(double x) const {
+  CCNOPT_EXPECTS(x >= 0.0 && x <= params_.capacity_c);
+  const double f_local = cdf_(params_.capacity_c - x);
+  const double f_network = cdf_(params_.capacity_c + (params_.n - 1.0) * x);
+  return f_local * params_.latency.d0 +
+         (f_network - f_local) * params_.latency.d1 +
+         (1.0 - f_network) * params_.latency.d2;
+}
+
+double GeneralPerformanceModel::coordination_cost(double x) const {
+  CCNOPT_EXPECTS(x >= 0.0 && x <= params_.capacity_c);
+  return params_.cost.total_cost(x, params_.n);
+}
+
+double GeneralPerformanceModel::objective(double x) const {
+  return params_.alpha * routing_performance(x) +
+         (1.0 - params_.alpha) * coordination_cost(x);
+}
+
+Expected<StrategyResult> GeneralPerformanceModel::optimize(
+    int grid_points) const {
+  const auto f = [this](double x) { return objective(x); };
+  const auto best =
+      numerics::grid_refine(f, 0.0, params_.capacity_c, grid_points);
+  if (!best) return best.status();
+  StrategyResult result;
+  result.x_star = best->x_min;
+  result.ell_star = best->x_min / params_.capacity_c;
+  result.objective = best->f_min;
+  result.routing = routing_performance(best->x_min);
+  result.cost = coordination_cost(best->x_min);
+  result.method = SolveMethod::kDirectMinimization;
+  result.iterations = best->iterations;
+  return result;
+}
+
+GeneralPerformanceModel::GeneralGains GeneralPerformanceModel::gains(
+    double x) const {
+  CCNOPT_EXPECTS(x >= 0.0 && x <= params_.capacity_c);
+  GeneralGains report;
+  const double covered = params_.capacity_c + (params_.n - 1.0) * x;
+  const double origin_optimal = 1.0 - cdf_(covered);
+  const double origin_baseline = 1.0 - cdf_(params_.capacity_c);
+  CCNOPT_ASSERT(origin_baseline > 0.0);
+  report.origin_load_reduction = 1.0 - origin_optimal / origin_baseline;
+  report.routing_improvement =
+      1.0 - routing_performance(x) / baseline_performance();
+  return report;
+}
+
+}  // namespace ccnopt::model

@@ -1,0 +1,62 @@
+// CDF-agnostic performance-cost model: Eq. 2's structure with an arbitrary
+// popularity CDF F plugged in. Everything the paper derives assumes pure
+// Zipf; this generalization answers "do the conclusions survive other
+// popularity laws?" (exercised with Zipf-Mandelbrot in
+// bench_ablation_mandelbrot). No convexity guarantee is inherited, so the
+// optimizer is a grid-refined derivative-free search.
+#pragma once
+
+#include <functional>
+
+#include "ccnopt/common/error.hpp"
+#include "ccnopt/model/optimizer.hpp"
+
+namespace ccnopt::model {
+
+/// F: rank coverage -> probability mass in [0, 1]; must be non-decreasing
+/// with F(x <= 1) = 0.
+using PopularityCdf = std::function<double(double)>;
+
+/// The subset of SystemParams a general popularity law still needs.
+struct GeneralParams {
+  double alpha = 1.0;
+  double n = 20.0;
+  double capacity_c = 1e3;
+  LatencyProfile latency;
+  CostModel cost;
+
+  Status validate() const;
+
+  /// Copies the shared fields from SystemParams (s and N live in the CDF).
+  static GeneralParams from_system(const SystemParams& params);
+};
+
+class GeneralPerformanceModel {
+ public:
+  /// Requires valid params and a callable CDF.
+  GeneralPerformanceModel(GeneralParams params, PopularityCdf cdf);
+
+  const GeneralParams& params() const { return params_; }
+
+  /// Eq. 2 with the supplied F.
+  double routing_performance(double x) const;
+  double coordination_cost(double x) const;
+  double objective(double x) const;
+  double baseline_performance() const { return routing_performance(0.0); }
+
+  /// Derivative-free minimization of the objective over [0, c].
+  Expected<StrategyResult> optimize(int grid_points = 512) const;
+
+  /// Gains at x relative to the non-coordinated baseline.
+  struct GeneralGains {
+    double origin_load_reduction = 0.0;
+    double routing_improvement = 0.0;
+  };
+  GeneralGains gains(double x) const;
+
+ private:
+  GeneralParams params_;
+  PopularityCdf cdf_;
+};
+
+}  // namespace ccnopt::model

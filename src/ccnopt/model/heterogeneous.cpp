@@ -1,0 +1,278 @@
+#include "ccnopt/model/heterogeneous.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ccnopt/common/assert.hpp"
+#include "ccnopt/common/strings.hpp"
+#include "ccnopt/numerics/minimize.hpp"
+
+namespace ccnopt::model {
+
+Expected<std::vector<double>> parse_capacity_spec(const std::string& spec) {
+  std::vector<double> capacities;
+  for (const std::string& group : split(spec, ',')) {
+    const std::string entry(trim(group));
+    if (entry.empty()) {
+      return Status(ErrorCode::kParseError,
+                    "capacity spec: empty group in '" + spec + "'");
+    }
+    const std::size_t x_pos = entry.find('x');
+    std::string value_text = entry;
+    std::size_t count = 1;
+    if (x_pos != std::string::npos) {
+      value_text = entry.substr(0, x_pos);
+      const std::string count_text = entry.substr(x_pos + 1);
+      try {
+        std::size_t consumed = 0;
+        const long long parsed = std::stoll(count_text, &consumed);
+        if (consumed != count_text.size() || parsed <= 0) throw std::exception();
+        count = static_cast<std::size_t>(parsed);
+      } catch (const std::exception&) {
+        return Status(ErrorCode::kParseError,
+                      "capacity spec: bad count '" + count_text + "'");
+      }
+    }
+    double value = 0.0;
+    try {
+      std::size_t consumed = 0;
+      value = std::stod(value_text, &consumed);
+      if (consumed != value_text.size()) throw std::exception();
+    } catch (const std::exception&) {
+      return Status(ErrorCode::kParseError,
+                    "capacity spec: bad capacity '" + value_text + "'");
+    }
+    if (!(value > 0.0)) {
+      return Status(ErrorCode::kParseError,
+                    "capacity spec: capacities must be > 0");
+    }
+    capacities.insert(capacities.end(), count, value);
+  }
+  if (capacities.empty()) {
+    return Status(ErrorCode::kParseError, "capacity spec: empty");
+  }
+  return capacities;
+}
+
+Status HeterogeneousParams::validate() const {
+  if (alpha < 0.0 || alpha > 1.0) {
+    return Status(ErrorCode::kInvalidArgument, "alpha must be in [0, 1]");
+  }
+  if (!(s > 0.0 && s < 2.0) || std::abs(s - 1.0) < 1e-9) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "s must be in (0,1) U (1,2)");
+  }
+  if (capacities.size() < 2) {
+    return Status(ErrorCode::kInvalidArgument, "need at least 2 routers");
+  }
+  double total_capacity = 0.0;
+  for (const double c : capacities) {
+    if (!(c > 0.0)) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "every capacity must be > 0");
+    }
+    total_capacity += c;
+  }
+  if (!(catalog_n > total_capacity)) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "need catalog N > sum of capacities");
+  }
+  if (!request_share.empty()) {
+    if (request_share.size() != capacities.size()) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "request_share size must match capacities");
+    }
+    double total_share = 0.0;
+    for (const double share : request_share) {
+      if (share < 0.0) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "request shares must be >= 0");
+      }
+      total_share += share;
+    }
+    if (std::abs(total_share - 1.0) > 1e-6) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "request shares must sum to 1");
+    }
+  }
+  if (Status st = latency.validate(); !st.is_ok()) return st;
+  if (Status st = cost.validate(); !st.is_ok()) return st;
+  return Status::ok();
+}
+
+HeterogeneousParams HeterogeneousParams::from_homogeneous(
+    const SystemParams& params) {
+  HeterogeneousParams hp;
+  hp.alpha = params.alpha;
+  hp.s = params.s;
+  hp.catalog_n = params.catalog_n;
+  hp.latency = params.latency;
+  hp.cost = params.cost;
+  hp.capacities.assign(static_cast<std::size_t>(params.n),
+                       params.capacity_c);
+  return hp;
+}
+
+double HeterogeneousStrategy::total_coordinated() const {
+  return std::accumulate(x.begin(), x.end(), 0.0);
+}
+
+double HeterogeneousStrategy::coordination_level(
+    const HeterogeneousParams& params) const {
+  const double total_capacity = std::accumulate(params.capacities.begin(),
+                                                params.capacities.end(), 0.0);
+  return total_coordinated() / total_capacity;
+}
+
+HeterogeneousModel::HeterogeneousModel(HeterogeneousParams params)
+    : params_(std::move(params)), zipf_(params_.catalog_n, params_.s) {
+  CCNOPT_EXPECTS(params_.validate().is_ok());
+}
+
+double HeterogeneousModel::share(std::size_t router) const {
+  if (params_.request_share.empty()) {
+    return 1.0 / static_cast<double>(router_count());
+  }
+  return params_.request_share[router];
+}
+
+HeterogeneousModel::RouterTierSplit HeterogeneousModel::tier_split(
+    std::size_t router, std::span<const double> x) const {
+  CCNOPT_EXPECTS(router < router_count());
+  CCNOPT_EXPECTS(x.size() == router_count());
+  double coverage_l = 0.0;  // L = max_i m_i
+  double pool = 0.0;        // X = sum x_i
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    CCNOPT_EXPECTS(x[i] >= 0.0 && x[i] <= params_.capacities[i] + 1e-9);
+    coverage_l = std::max(coverage_l, params_.capacities[i] - x[i]);
+    pool += x[i];
+  }
+  const double m_i = params_.capacities[router] - x[router];
+  RouterTierSplit split;
+  split.local = zipf_.cdf(m_i);
+  const double f_l = zipf_.cdf(coverage_l);
+  const double f_pool = zipf_.cdf(coverage_l + pool);
+  split.network = f_pool - f_l;
+  split.dead_zone = f_l - split.local;
+  split.origin = 1.0 - split.local - split.network;
+  return split;
+}
+
+double HeterogeneousModel::routing_performance(
+    std::span<const double> x) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < router_count(); ++i) {
+    const RouterTierSplit split = tier_split(i, x);
+    total += share(i) * (split.local * params_.latency.d0 +
+                         split.network * params_.latency.d1 +
+                         split.origin * params_.latency.d2);
+  }
+  return total;
+}
+
+double HeterogeneousModel::coordination_cost(std::span<const double> x) const {
+  CCNOPT_EXPECTS(x.size() == router_count());
+  const double pool = std::accumulate(x.begin(), x.end(), 0.0);
+  return (params_.cost.unit_cost_w * pool + params_.cost.fixed_cost) /
+         params_.cost.amortization;
+}
+
+double HeterogeneousModel::objective(std::span<const double> x) const {
+  return params_.alpha * routing_performance(x) +
+         (1.0 - params_.alpha) * coordination_cost(x);
+}
+
+double HeterogeneousModel::baseline_performance() const {
+  const std::vector<double> zero(router_count(), 0.0);
+  return routing_performance(zero);
+}
+
+HeterogeneousStrategy HeterogeneousModel::evaluate(std::vector<double> x,
+                                                   int iterations) const {
+  HeterogeneousStrategy strategy;
+  strategy.routing = routing_performance(x);
+  strategy.cost = coordination_cost(x);
+  strategy.objective = params_.alpha * strategy.routing +
+                       (1.0 - params_.alpha) * strategy.cost;
+  strategy.x = std::move(x);
+  strategy.iterations = iterations;
+  return strategy;
+}
+
+Expected<HeterogeneousStrategy> HeterogeneousModel::optimize_uniform_level()
+    const {
+  const auto objective_at_level = [this](double level) {
+    std::vector<double> x(router_count());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = level * params_.capacities[i];
+    }
+    return objective(x);
+  };
+  const auto best = numerics::grid_refine(objective_at_level, 0.0, 1.0, 256);
+  if (!best) return best.status();
+  std::vector<double> x(router_count());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = best->x_min * params_.capacities[i];
+  }
+  return evaluate(std::move(x), best->iterations);
+}
+
+Expected<HeterogeneousStrategy> HeterogeneousModel::optimize_equal_coverage()
+    const {
+  const double max_capacity = *std::max_element(params_.capacities.begin(),
+                                                params_.capacities.end());
+  const auto x_for_coverage = [this](double coverage) {
+    std::vector<double> x(router_count());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = params_.capacities[i] - std::min(coverage, params_.capacities[i]);
+    }
+    return x;
+  };
+  const auto objective_at_coverage = [&](double coverage) {
+    return objective(x_for_coverage(coverage));
+  };
+  const auto best =
+      numerics::grid_refine(objective_at_coverage, 0.0, max_capacity, 256);
+  if (!best) return best.status();
+  return evaluate(x_for_coverage(best->x_min), best->iterations);
+}
+
+Expected<HeterogeneousStrategy>
+HeterogeneousModel::optimize_coordinate_descent(int max_sweeps,
+                                                double tolerance) const {
+  // Warm start: the better of the two 1-D families.
+  const auto uniform = optimize_uniform_level();
+  if (!uniform) return uniform.status();
+  const auto equal = optimize_equal_coverage();
+  if (!equal) return equal.status();
+  std::vector<double> x =
+      (uniform->objective <= equal->objective) ? uniform->x : equal->x;
+  double current = objective(x);
+
+  int sweeps = 0;
+  for (; sweeps < max_sweeps; ++sweeps) {
+    const double before = current;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const auto line = [&](double xi) {
+        const double saved = x[i];
+        x[i] = xi;
+        const double value = objective(x);
+        x[i] = saved;
+        return value;
+      };
+      const auto best =
+          numerics::golden_section(line, 0.0, params_.capacities[i],
+                                   numerics::MinimizeOptions{1e-10, 120});
+      if (!best) return best.status();
+      if (best->f_min < current) {
+        x[i] = best->x_min;
+        current = best->f_min;
+      }
+    }
+    if (before - current <= tolerance * (std::abs(before) + 1.0)) break;
+  }
+  return evaluate(std::move(x), sweeps);
+}
+
+}  // namespace ccnopt::model

@@ -1,0 +1,124 @@
+// Heterogeneous extension of the performance-cost model — the paper's
+// Section VII future work ("a heterogeneous model where the routers'
+// storage capacity may vary").
+//
+// Router i has capacity c_i and dedicates x_i in [0, c_i] to coordination;
+// its local partition holds the top m_i = c_i - x_i ranks. The coordinated
+// pool stores the X = sum x_i distinct ranks immediately after the
+// network-wide local coverage L = max_i m_i (so pool contents never
+// duplicate any local store). A request at router i is then served
+//   locally        with probability F(m_i),
+//   by the pool    with probability F(L + X) - F(L),
+//   by the origin  otherwise — including i's "dead zone" (m_i, L], ranks
+//                  held only in *other* routers' local partitions, which
+//                  the model (like Eq. 2) does not fetch from peers.
+// With equal capacities and equal x this reduces exactly to Eq. 2.
+//
+// The dead-zone term is what shapes the optimum: leaving routers at
+// unequal local coverage wastes requests to the origin, so the optimal
+// provisioning tends to equalize m_i and pour every spare unit of the
+// larger routers into coordination ("equal-coverage" strategies).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ccnopt/common/error.hpp"
+#include "ccnopt/model/params.hpp"
+#include "ccnopt/popularity/zipf.hpp"
+
+namespace ccnopt::model {
+
+struct HeterogeneousParams {
+  double alpha = 1.0;
+  double s = 0.8;
+  double catalog_n = 1e6;
+  LatencyProfile latency;
+  CostModel cost;
+  /// Per-router capacities c_i; the router count is capacities.size().
+  std::vector<double> capacities;
+  /// Request share per router; empty = uniform. Must sum to ~1 otherwise.
+  std::vector<double> request_share;
+
+  /// Lemma-1-style conditions, plus every c_i > 0 and
+  /// N > sum c_i (non-empty origin tier even at full coordination).
+  Status validate() const;
+
+  /// Homogeneous paper defaults replicated across `routers` routers.
+  static HeterogeneousParams from_homogeneous(const SystemParams& params);
+};
+
+/// Parses a capacity specification like "500x10,1500x10" (ten routers of
+/// 500 and ten of 1500) or "100,200,300" (one each). Rejects empty specs,
+/// non-positive capacities and zero counts.
+Expected<std::vector<double>> parse_capacity_spec(const std::string& spec);
+
+/// A provisioning vector and its objective decomposition.
+struct HeterogeneousStrategy {
+  std::vector<double> x;    ///< coordinated amount per router
+  double objective = 0.0;
+  double routing = 0.0;
+  double cost = 0.0;
+  int iterations = 0;
+
+  double total_coordinated() const;
+  /// Network-wide coordination level: sum x_i / sum c_i.
+  double coordination_level(const HeterogeneousParams& params) const;
+};
+
+class HeterogeneousModel {
+ public:
+  /// Requires params.validate().is_ok().
+  explicit HeterogeneousModel(HeterogeneousParams params);
+
+  const HeterogeneousParams& params() const { return params_; }
+  std::size_t router_count() const { return params_.capacities.size(); }
+
+  /// Mean latency over all routers' requests at provisioning x (size n,
+  /// each x_i in [0, c_i]).
+  double routing_performance(std::span<const double> x) const;
+
+  /// (w * sum x_i + w_hat) / amortization — the Eq. 3 generalization.
+  double coordination_cost(std::span<const double> x) const;
+
+  /// alpha * T + (1 - alpha) * W.
+  double objective(std::span<const double> x) const;
+
+  /// Tier probabilities seen by router i under x.
+  struct RouterTierSplit {
+    double local = 0.0;
+    double network = 0.0;
+    double dead_zone = 0.0;  ///< (m_i, L] mass, charged to the origin tier
+    double origin = 0.0;     ///< includes the dead zone
+  };
+  RouterTierSplit tier_split(std::size_t router,
+                             std::span<const double> x) const;
+
+  /// Baseline: x = 0 everywhere (non-coordinated).
+  double baseline_performance() const;
+
+  // --- Strategy families -------------------------------------------------
+
+  /// Every router coordinates the same fraction: x_i = l * c_i; the best l
+  /// found by 1-D minimization. The natural port of the homogeneous rule.
+  Expected<HeterogeneousStrategy> optimize_uniform_level() const;
+
+  /// Equal local coverage m: x_i = c_i - min(m, c_i); the best m by 1-D
+  /// minimization. Exploits the dead-zone structure.
+  Expected<HeterogeneousStrategy> optimize_equal_coverage() const;
+
+  /// General: cyclic coordinate descent with golden-section line searches,
+  /// warm-started from the better of the two 1-D families. Monotone in the
+  /// objective; stops when a full sweep improves less than `tolerance`.
+  Expected<HeterogeneousStrategy> optimize_coordinate_descent(
+      int max_sweeps = 60, double tolerance = 1e-10) const;
+
+ private:
+  HeterogeneousStrategy evaluate(std::vector<double> x, int iterations) const;
+  double share(std::size_t router) const;
+
+  HeterogeneousParams params_;
+  popularity::ContinuousZipf zipf_;
+};
+
+}  // namespace ccnopt::model

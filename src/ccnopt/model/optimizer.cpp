@@ -1,0 +1,164 @@
+#include "ccnopt/model/optimizer.hpp"
+
+#include <cmath>
+
+#include "ccnopt/numerics/minimize.hpp"
+#include "ccnopt/numerics/roots.hpp"
+
+namespace ccnopt::model {
+namespace {
+
+StrategyResult make_result(const PerformanceModel& model, double x_star,
+                           SolveMethod method, int iterations) {
+  StrategyResult result;
+  result.x_star = x_star;
+  result.ell_star = x_star / model.params().capacity_c;
+  result.objective = model.objective(x_star);
+  result.routing = model.routing_performance(x_star);
+  result.cost = model.coordination_cost(x_star);
+  result.method = method;
+  result.iterations = iterations;
+  return result;
+}
+
+}  // namespace
+
+const char* to_string(SolveMethod method) {
+  switch (method) {
+    case SolveMethod::kClosedFormAlpha1:
+      return "closed_form_alpha1";
+    case SolveMethod::kLemma2Root:
+      return "lemma2_root";
+    case SolveMethod::kExactFirstOrder:
+      return "exact_first_order";
+    case SolveMethod::kDirectMinimization:
+      return "direct_minimization";
+  }
+  return "unknown";
+}
+
+Expected<Lemma2Coefficients> lemma2_coefficients(const SystemParams& params) {
+  if (Status st = params.validate(); !st.is_ok()) return st;
+  if (!(params.alpha > 0.0)) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "lemma2_coefficients: Eq. 7 requires alpha > 0");
+  }
+  Lemma2Coefficients coeff;
+  coeff.a = params.latency.gamma() * std::pow(params.n, 1.0 - params.s);
+  const double zipf_factor =
+      (std::pow(params.catalog_n, 1.0 - params.s) - 1.0) / (1.0 - params.s);
+  coeff.b = (1.0 - params.alpha) / params.alpha * zipf_factor *
+            (params.n - 1.0) * params.cost.effective_unit_cost() /
+            (params.latency.d1 - params.latency.d0) *
+            std::pow(params.capacity_c, params.s);
+  return coeff;
+}
+
+Expected<double> closed_form_alpha1(const SystemParams& params) {
+  if (Status st = params.validate(); !st.is_ok()) return st;
+  const double gamma = params.latency.gamma();
+  if (!(gamma > 0.0)) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "closed_form_alpha1: Theorem 2 requires gamma > 0");
+  }
+  const double s = params.s;
+  // Erratum note: the paper prints l* = 1/(gamma^{1/s} n^{1-1/s} + 1), but
+  // its own Appendix Eq. 10 / Lemma 2 (b = 0 at alpha = 1) yield
+  // gamma^{-1/s}; the printed sign contradicts the paper's Figure 4
+  // ("higher gamma -> higher coordination") and its Figure 5 endpoint
+  // (l* ~= 0.35 at s = 2, which only the corrected form reproduces).
+  // See DESIGN.md and EXPERIMENTS.md.
+  return 1.0 /
+         (std::pow(gamma, -1.0 / s) * std::pow(params.n, 1.0 - 1.0 / s) + 1.0);
+}
+
+Expected<StrategyResult> solve_lemma2(const SystemParams& params) {
+  const auto coeff = lemma2_coefficients(params);
+  if (!coeff) return coeff.status();
+  const double a = coeff->a;
+  const double b = coeff->b;
+  const double s = params.s;
+  // g(l) = a l^{-s} - (1-l)^{-s} - b: +inf at l -> 0, -inf at l -> 1, so a
+  // bracket on (eps, 1-eps) always exists (Theorem 1).
+  const auto g = [a, b, s](double l) {
+    return a * std::pow(l, -s) - std::pow(1.0 - l, -s) - b;
+  };
+  constexpr double kEps = 1e-12;
+  const auto root = numerics::brent(g, kEps, 1.0 - kEps,
+                                    numerics::RootOptions{1e-14, 0.0, 300});
+  if (!root) return root.status();
+  const PerformanceModel model(params);
+  return make_result(model, root->root * params.capacity_c,
+                     SolveMethod::kLemma2Root, root->iterations);
+}
+
+Expected<StrategyResult> solve_exact_first_order(const SystemParams& params) {
+  if (Status st = params.validate(); !st.is_ok()) return st;
+  const PerformanceModel model(params);
+
+  if (params.alpha == 0.0) {
+    // Pure cost: W is strictly increasing in x, so x* = 0.
+    return make_result(model, 0.0, SolveMethod::kExactFirstOrder, 0);
+  }
+  // Convexity (Lemma 1) makes the sign of the left-edge derivative decide
+  // between the boundary x* = 0 and an interior root.
+  if (model.objective_derivative(0.0) >= 0.0) {
+    return make_result(model, 0.0, SolveMethod::kExactFirstOrder, 0);
+  }
+  // The derivative diverges to +inf as x -> c (the (c-x)^{-s} local term),
+  // so [0, c(1-eps)] brackets the unique interior root. Should the finite
+  // right probe still be negative (extremely small s paired with tiny
+  // catalogs), widen towards c until the sign flips.
+  const double c = params.capacity_c;
+  double hi = c * (1.0 - 1e-9);
+  int widen = 0;
+  while (model.objective_derivative(hi) <= 0.0) {
+    const double next = c - (c - hi) * 0.5;
+    if (!(next > hi) || !(next < c) || ++widen > 60) {
+      // The derivative is still negative at the largest representable
+      // x < c (very small s drives the root within machine epsilon of c):
+      // the optimum is the right boundary at double resolution.
+      const double boundary = model.objective(c) <= model.objective(hi) ? c : hi;
+      return make_result(model, boundary, SolveMethod::kExactFirstOrder,
+                         widen);
+    }
+    hi = next;
+  }
+  const auto df = [&model](double x) { return model.objective_derivative(x); };
+  const auto root =
+      numerics::brent(df, 0.0, hi, numerics::RootOptions{1e-12 * c, 0.0, 300});
+  if (!root) return root.status();
+  StrategyResult interior = make_result(model, root->root,
+                                        SolveMethod::kExactFirstOrder,
+                                        root->iterations);
+  // Eq. 6's F clamps to 0 below rank 1, so on the final unit interval
+  // x in (c-1, c] the (clamped) objective keeps falling while the
+  // unclamped derivative has already turned positive — x = c can undercut
+  // the interior stationary point when that point sits within one content
+  // of full coordination. Compare explicitly.
+  if (model.objective(c) < interior.objective) {
+    return make_result(model, c, SolveMethod::kExactFirstOrder,
+                       root->iterations);
+  }
+  return interior;
+}
+
+Expected<StrategyResult> solve_direct(const SystemParams& params) {
+  if (Status st = params.validate(); !st.is_ok()) return st;
+  const PerformanceModel model(params);
+  const auto objective = [&model](double x) { return model.objective(x); };
+  const auto min = numerics::brent_minimize(
+      objective, 0.0, params.capacity_c,
+      numerics::MinimizeOptions{1e-12, 300});
+  if (!min) return min.status();
+  return make_result(model, min->x_min, SolveMethod::kDirectMinimization,
+                     min->iterations);
+}
+
+Expected<StrategyResult> optimize(const SystemParams& params) {
+  const auto exact = solve_exact_first_order(params);
+  if (exact) return exact;
+  return solve_direct(params);
+}
+
+}  // namespace ccnopt::model

@@ -1,0 +1,69 @@
+// Solvers for the optimal provisioning strategy (Section IV).
+//
+// Four routes to x* = argmin T_w(x), cross-checked in tests:
+//   * closed_form_alpha1     — Theorem 2's closed form for alpha = 1.
+//   * solve_lemma2           — root of a*l^{-s} = (1-l)^{-s} + b (Eq. 7),
+//                              the paper's approximate characterization.
+//   * solve_exact_first_order— root of the exact dT_w/dx (Eq. 10) with
+//                              boundary handling; the reference solver.
+//   * solve_direct           — derivative-free convex minimization of T_w;
+//                              the belt-and-braces oracle.
+#pragma once
+
+#include "ccnopt/common/error.hpp"
+#include "ccnopt/model/performance.hpp"
+
+namespace ccnopt::model {
+
+enum class SolveMethod {
+  kClosedFormAlpha1,
+  kLemma2Root,
+  kExactFirstOrder,
+  kDirectMinimization,
+};
+
+const char* to_string(SolveMethod method);
+
+/// The optimal strategy and the objective decomposition at the optimum.
+struct StrategyResult {
+  double x_star = 0.0;      ///< optimal coordinated storage per router
+  double ell_star = 0.0;    ///< coordination level x*/c (the paper's l*)
+  double objective = 0.0;   ///< T_w(x*)
+  double routing = 0.0;     ///< T(x*)
+  double cost = 0.0;        ///< W(x*)
+  SolveMethod method = SolveMethod::kExactFirstOrder;
+  int iterations = 0;
+};
+
+/// Lemma 2's coefficients: a ~= gamma * n^{1-s} and
+/// b ~= (1-alpha)/alpha * (N^{1-s}-1)/(1-s) * (n-1) w_eff/(d1-d0) * c^s.
+/// b requires alpha > 0 (the paper's Eq. 7 divides by alpha).
+struct Lemma2Coefficients {
+  double a = 0.0;
+  double b = 0.0;
+};
+Expected<Lemma2Coefficients> lemma2_coefficients(const SystemParams& params);
+
+/// Theorem 2: l* = 1/(gamma^{1/s} * n^{1-1/s} + 1) for alpha = 1.
+/// Fails if params are invalid; ignores params.alpha (the formula is the
+/// alpha = 1 special case by construction).
+Expected<double> closed_form_alpha1(const SystemParams& params);
+
+/// Solves Eq. 7 by Brent root finding on (0, 1); Theorem 1 guarantees a
+/// unique interior root. Requires alpha > 0.
+Expected<StrategyResult> solve_lemma2(const SystemParams& params);
+
+/// Reference solver: finds the root of the exact first-order condition
+/// (Eq. 10) on [0, c), returning the boundary x* = 0 when the objective is
+/// non-decreasing from the left edge (the derivative diverges to +inf at
+/// x = c, so the right boundary is never optimal under Lemma 1).
+Expected<StrategyResult> solve_exact_first_order(const SystemParams& params);
+
+/// Derivative-free: Brent minimization of T_w over [0, c].
+Expected<StrategyResult> solve_direct(const SystemParams& params);
+
+/// The default entry point: exact first-order solver with a direct-
+/// minimization fallback should the derivative bracket degenerate.
+Expected<StrategyResult> optimize(const SystemParams& params);
+
+}  // namespace ccnopt::model

@@ -1,0 +1,138 @@
+#include "ccnopt/model/params.hpp"
+
+#include <cmath>
+
+#include "ccnopt/common/assert.hpp"
+
+namespace ccnopt::model {
+
+LatencyProfile LatencyProfile::from_gamma(double d0, double d1_minus_d0,
+                                          double gamma) {
+  CCNOPT_EXPECTS(d1_minus_d0 > 0.0);
+  CCNOPT_EXPECTS(gamma >= 0.0);
+  LatencyProfile p;
+  p.d0 = d0;
+  p.d1 = d0 + d1_minus_d0;
+  p.d2 = p.d1 + gamma * d1_minus_d0;
+  return p;
+}
+
+Status LatencyProfile::validate() const {
+  if (d0 < 0.0) {
+    return Status(ErrorCode::kInvalidArgument, "latency: d0 must be >= 0");
+  }
+  if (!(d0 < d1)) {
+    return Status(ErrorCode::kInvalidArgument, "latency: need d0 < d1");
+  }
+  if (!(d1 <= d2)) {
+    return Status(ErrorCode::kInvalidArgument, "latency: need d1 <= d2");
+  }
+  return Status::ok();
+}
+
+Status CostModel::validate() const {
+  if (!(unit_cost_w > 0.0)) {
+    return Status(ErrorCode::kInvalidArgument, "cost: w must be > 0");
+  }
+  if (fixed_cost < 0.0) {
+    return Status(ErrorCode::kInvalidArgument, "cost: w_hat must be >= 0");
+  }
+  if (!(amortization > 0.0)) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "cost: amortization must be > 0");
+  }
+  return Status::ok();
+}
+
+Status SystemParams::validate() const {
+  if (alpha < 0.0 || alpha > 1.0) {
+    return Status(ErrorCode::kInvalidArgument, "alpha must be in [0, 1]");
+  }
+  if (!(s > 0.0 && s < 2.0) || std::abs(s - 1.0) < 1e-9) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "s must be in (0,1) U (1,2); s = 1 is the singular point");
+  }
+  if (!(n > 1.0)) {
+    return Status(ErrorCode::kInvalidArgument, "need n > 1 routers");
+  }
+  if (!(capacity_c > 0.0)) {
+    return Status(ErrorCode::kInvalidArgument, "need capacity c > 0");
+  }
+  if (!(catalog_n > capacity_c + (n - 1.0) * capacity_c)) {
+    // N must exceed the maximum number of distinct cached contents
+    // c + (n-1)c = n*c, otherwise the whole catalog fits in the network and
+    // the origin tier vanishes (the model's F would clamp everywhere).
+    return Status(ErrorCode::kInvalidArgument,
+                  "need catalog N > n*c (origin tier must be non-empty)");
+  }
+  if (Status st = latency.validate(); !st.is_ok()) return st;
+  if (Status st = cost.validate(); !st.is_ok()) return st;
+  return Status::ok();
+}
+
+SystemParams SystemParams::paper_defaults() {
+  SystemParams p;
+  p.alpha = 1.0;
+  p.s = 0.8;
+  p.n = 20.0;
+  p.catalog_n = 1e6;
+  p.capacity_c = 1e3;
+  // Table IV: d1 - d0 = 2.2842 hops (US-A), gamma = 5; d0 = 1 hop puts the
+  // first tier at the client-to-router access hop.
+  p.latency = LatencyProfile::from_gamma(/*d0=*/1.0, /*d1_minus_d0=*/2.2842,
+                                         /*gamma=*/5.0);
+  p.cost.unit_cost_w = 26.7;
+  p.cost.fixed_cost = 0.0;
+  p.cost.amortization = 1.0;
+  p.cost.amortization = calibrate_amortization(p);
+  return p;
+}
+
+double calibrate_amortization(const SystemParams& params) {
+  // Lemma 2 coefficients with amortization 1:
+  //   a = gamma * n^{1-s}
+  //   b = (1-alpha)/alpha * (N^{1-s}-1)/(1-s) * (n-1) w / (d1-d0) * c^s
+  // At alpha = 0.5 the (1-alpha)/alpha factor is 1; choose the epoch size
+  // rho so that b/rho = a, i.e. the two objective terms trade off evenly at
+  // the midpoint of the alpha axis.
+  SystemParams p = params;
+  p.cost.amortization = 1.0;
+  CCNOPT_EXPECTS(p.validate().is_ok());
+  const double a = p.latency.gamma() * std::pow(p.n, 1.0 - p.s);
+  CCNOPT_EXPECTS(a > 0.0);
+  const double denom_zipf =
+      (std::pow(p.catalog_n, 1.0 - p.s) - 1.0) / (1.0 - p.s);
+  const double b_raw = denom_zipf * (p.n - 1.0) * p.cost.unit_cost_w /
+                       (p.latency.d1 - p.latency.d0) *
+                       std::pow(p.capacity_c, p.s);
+  CCNOPT_ENSURES(b_raw > 0.0);
+  return b_raw / a;
+}
+
+SystemParams with_alpha(SystemParams p, double alpha) {
+  p.alpha = alpha;
+  return p;
+}
+
+SystemParams with_zipf(SystemParams p, double s) {
+  p.s = s;
+  return p;
+}
+
+SystemParams with_routers(SystemParams p, double n) {
+  p.n = n;
+  return p;
+}
+
+SystemParams with_unit_cost(SystemParams p, double w) {
+  p.cost.unit_cost_w = w;
+  return p;
+}
+
+SystemParams with_gamma(SystemParams p, double gamma) {
+  p.latency = LatencyProfile::from_gamma(p.latency.d0,
+                                         p.latency.d1 - p.latency.d0, gamma);
+  return p;
+}
+
+}  // namespace ccnopt::model

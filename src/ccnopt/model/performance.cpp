@@ -1,0 +1,98 @@
+#include "ccnopt/model/performance.hpp"
+
+#include <cmath>
+
+#include "ccnopt/common/assert.hpp"
+
+namespace ccnopt::model {
+
+PerformanceModel::PerformanceModel(SystemParams params)
+    : params_(std::move(params)),
+      zipf_(params_.catalog_n, params_.s) {
+  const Status status = params_.validate();
+  if (!status.is_ok()) {
+    CCNOPT_EXPECTS(status.is_ok() && "SystemParams failed validation");
+  }
+}
+
+PerformanceModel::TierSplit PerformanceModel::tier_split(double x) const {
+  CCNOPT_EXPECTS(x >= 0.0 && x <= params_.capacity_c);
+  const double local_span = params_.capacity_c - x;
+  const double network_span = params_.capacity_c + (params_.n - 1.0) * x;
+  TierSplit split;
+  split.local = zipf_.cdf(local_span);
+  const double f_network = zipf_.cdf(network_span);
+  split.network = f_network - split.local;
+  split.origin = 1.0 - f_network;
+  return split;
+}
+
+double PerformanceModel::routing_performance(double x) const {
+  const TierSplit split = tier_split(x);
+  return split.local * params_.latency.d0 +
+         split.network * params_.latency.d1 +
+         split.origin * params_.latency.d2;
+}
+
+double PerformanceModel::coordination_cost(double x) const {
+  CCNOPT_EXPECTS(x >= 0.0 && x <= params_.capacity_c);
+  return params_.cost.total_cost(x, params_.n);
+}
+
+double PerformanceModel::objective(double x) const {
+  return params_.alpha * routing_performance(x) +
+         (1.0 - params_.alpha) * coordination_cost(x);
+}
+
+double PerformanceModel::objective_derivative(double x) const {
+  CCNOPT_EXPECTS(x >= 0.0 && x < params_.capacity_c);
+  const double s = params_.s;
+  const double n = params_.n;
+  const double denom = zipf_.denominator();  // N^{1-s} - 1
+  const double local_span = params_.capacity_c - x;
+  const double network_span = params_.capacity_c + (n - 1.0) * x;
+  const double latency_term =
+      (1.0 - s) * params_.alpha / denom *
+      ((params_.latency.d1 - params_.latency.d0) * std::pow(local_span, -s) -
+       (params_.latency.d2 - params_.latency.d1) * (n - 1.0) *
+           std::pow(network_span, -s));
+  const double cost_term =
+      (1.0 - params_.alpha) * params_.cost.effective_unit_cost() * n;
+  return latency_term + cost_term;
+}
+
+double PerformanceModel::objective_second_derivative(double x) const {
+  CCNOPT_EXPECTS(x >= 0.0 && x < params_.capacity_c);
+  const double s = params_.s;
+  const double n = params_.n;
+  const double denom = zipf_.denominator();
+  const double local_span = params_.capacity_c - x;
+  const double network_span = params_.capacity_c + (n - 1.0) * x;
+  return s * (1.0 - s) * params_.alpha / denom *
+         ((params_.latency.d1 - params_.latency.d0) *
+              std::pow(local_span, -s - 1.0) +
+          (params_.latency.d2 - params_.latency.d1) * (n - 1.0) * (n - 1.0) *
+              std::pow(network_span, -s - 1.0));
+}
+
+bool PerformanceModel::is_convex(int samples) const {
+  CCNOPT_EXPECTS(samples >= 3);
+  // Stay away from the x = c singularity; the analytic check plus a
+  // secant-slope (three-point) check guard against sign errors in either
+  // derivation.
+  const double hi = params_.capacity_c * (1.0 - 1e-6);
+  const double step = hi / (samples + 1);
+  for (int i = 1; i <= samples; ++i) {
+    const double x = step * static_cast<double>(i);
+    if (params_.alpha > 0.0 && objective_second_derivative(x) <= 0.0) {
+      return false;
+    }
+    const double h = step * 0.25;
+    const double mid2 = 2.0 * objective(x);
+    const double chord = objective(x - h) + objective(x + h);
+    if (chord + 1e-9 * std::abs(mid2) < mid2) return false;
+  }
+  return true;
+}
+
+}  // namespace ccnopt::model

@@ -1,0 +1,65 @@
+// The performance-cost model of Section III-B:
+//   T(x)   — average latency of serving a request (Eq. 2)
+//   W(x)   — coordination cost (Eq. 3, via CostModel)
+//   T_w(x) — the convex combination alpha*T + (1-alpha)*W (Eq. 4)
+// together with the analytic first and second derivatives used in the
+// Appendix proof of Lemma 1.
+#pragma once
+
+#include "ccnopt/model/params.hpp"
+#include "ccnopt/popularity/zipf.hpp"
+
+namespace ccnopt::model {
+
+class PerformanceModel {
+ public:
+  /// Requires params.validate().is_ok().
+  explicit PerformanceModel(SystemParams params);
+
+  const SystemParams& params() const { return params_; }
+
+  /// The Zipf CDF F evaluated through the continuous approximation (Eq. 6).
+  double popularity_cdf(double rank) const { return zipf_.cdf(rank); }
+
+  /// Fraction of requests served by each latency tier at coordination
+  /// amount x: local hit F(c-x), in-network hit F(c+(n-1)x) - F(c-x),
+  /// origin 1 - F(c+(n-1)x).
+  struct TierSplit {
+    double local = 0.0;
+    double network = 0.0;
+    double origin = 0.0;
+  };
+  TierSplit tier_split(double x) const;
+
+  /// Eq. 2: average latency at coordination amount x in [0, c].
+  double routing_performance(double x) const;
+
+  /// Eq. 3 (amortized): coordination cost at x.
+  double coordination_cost(double x) const;
+
+  /// Eq. 4: the combined objective.
+  double objective(double x) const;
+
+  /// Analytic dT_w/dx (Eq. 10 in the Appendix). x must be in [0, c); the
+  /// derivative diverges to +inf as x -> c.
+  double objective_derivative(double x) const;
+
+  /// Analytic d^2T_w/dx^2; strictly positive on [0, c) under Lemma 1's
+  /// conditions whenever alpha > 0.
+  double objective_second_derivative(double x) const;
+
+  /// Numerically verifies convexity by sampling the second derivative (and
+  /// a finite-difference cross-check) on `samples` points of [0, c).
+  /// Diagnostic used by the Lemma-1 property tests.
+  bool is_convex(int samples = 64) const;
+
+  /// T(0), the non-coordinated baseline of Section IV-E:
+  /// ((N^{1-s} - c^{1-s}) d2 + (c^{1-s} - 1) d0) / (N^{1-s} - 1).
+  double baseline_performance() const { return routing_performance(0.0); }
+
+ private:
+  SystemParams params_;
+  popularity::ContinuousZipf zipf_;
+};
+
+}  // namespace ccnopt::model

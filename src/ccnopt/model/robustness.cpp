@@ -1,0 +1,71 @@
+#include "ccnopt/model/robustness.hpp"
+
+#include <cmath>
+
+#include "ccnopt/model/performance.hpp"
+
+namespace ccnopt::model {
+
+Expected<Regret> misestimation_regret(const SystemParams& believed,
+                                      const SystemParams& actual) {
+  if (Status st = believed.validate(); !st.is_ok()) return st;
+  if (Status st = actual.validate(); !st.is_ok()) return st;
+  if (believed.n != actual.n || believed.capacity_c != actual.capacity_c) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "regret: structural parameters (n, c) must match");
+  }
+  const auto provisioned = optimize(believed);
+  if (!provisioned) return provisioned.status();
+  const auto ideal = optimize(actual);
+  if (!ideal) return ideal.status();
+
+  const PerformanceModel truth(actual);
+  Regret regret;
+  regret.x_believed = provisioned->x_star;
+  regret.x_true = ideal->x_star;
+  const double paid = truth.objective(provisioned->x_star);
+  const double best = truth.objective(ideal->x_star);
+  regret.absolute = paid - best;
+  // Convexity of the true objective guarantees non-negativity up to solver
+  // tolerance; clamp the numerical dust.
+  if (regret.absolute < 0.0 && regret.absolute > -1e-9 * (std::abs(best) + 1.0)) {
+    regret.absolute = 0.0;
+  }
+  regret.relative = (best > 0.0) ? regret.absolute / best : 0.0;
+  return regret;
+}
+
+namespace {
+
+Expected<std::vector<RegretPoint>> regret_curve(
+    const SystemParams& actual, const std::vector<double>& beliefs,
+    SystemParams (*mutate)(SystemParams, double)) {
+  std::vector<RegretPoint> points;
+  points.reserve(beliefs.size());
+  for (const double belief : beliefs) {
+    const SystemParams believed = mutate(actual, belief);
+    if (!believed.validate().is_ok()) continue;
+    const auto regret = misestimation_regret(believed, actual);
+    if (!regret) return regret.status();
+    points.push_back(RegretPoint{belief, *regret});
+  }
+  if (points.empty()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "regret curve: no valid belief value");
+  }
+  return points;
+}
+
+}  // namespace
+
+Expected<std::vector<RegretPoint>> zipf_regret_curve(
+    const SystemParams& actual, const std::vector<double>& believed_s) {
+  return regret_curve(actual, believed_s, &with_zipf);
+}
+
+Expected<std::vector<RegretPoint>> gamma_regret_curve(
+    const SystemParams& actual, const std::vector<double>& believed_gamma) {
+  return regret_curve(actual, believed_gamma, &with_gamma);
+}
+
+}  // namespace ccnopt::model

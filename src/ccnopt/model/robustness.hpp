@@ -1,0 +1,45 @@
+// Robustness of the optimal strategy to parameter misestimation.
+//
+// A carrier provisions l* from *estimated* parameters; the traffic obeys
+// the true ones. The regret of believing b when the truth is t is
+//   R(b | t) = T_w^t(x*(b)) - T_w^t(x*(t))  >= 0,
+// the extra objective paid for optimizing against the wrong belief. This
+// quantifies the stability discussion of Sections I/V-B (how carefully
+// alpha and s must be known) and motivates the adaptive controller: its
+// per-epoch estimation error maps through these curves to a latency cost.
+#pragma once
+
+#include <vector>
+
+#include "ccnopt/common/error.hpp"
+#include "ccnopt/model/optimizer.hpp"
+
+namespace ccnopt::model {
+
+/// Regret of provisioning with belief `believed` when traffic follows
+/// `actual`. The two must differ only in popularity/latency/cost fields,
+/// not in structural ones (n, c); both must validate. Returns
+/// {regret, relative_regret} where relative is against the true optimum.
+struct Regret {
+  double absolute = 0.0;  ///< T_w^t(x*(b)) - T_w^t(x*(t))
+  double relative = 0.0;  ///< absolute / T_w^t(x*(t))
+  double x_believed = 0.0;
+  double x_true = 0.0;
+};
+Expected<Regret> misestimation_regret(const SystemParams& believed,
+                                      const SystemParams& actual);
+
+/// Regret curve for Zipf-exponent misestimation: the truth is `actual`;
+/// beliefs scan `believed_s`. Invalid beliefs (s = 1) are skipped.
+struct RegretPoint {
+  double believed_parameter = 0.0;
+  Regret regret;
+};
+Expected<std::vector<RegretPoint>> zipf_regret_curve(
+    const SystemParams& actual, const std::vector<double>& believed_s);
+
+/// Same for the tiered latency ratio gamma.
+Expected<std::vector<RegretPoint>> gamma_regret_curve(
+    const SystemParams& actual, const std::vector<double>& believed_gamma);
+
+}  // namespace ccnopt::model

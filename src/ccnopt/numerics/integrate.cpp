@@ -1,0 +1,82 @@
+#include "ccnopt/numerics/integrate.hpp"
+
+#include <cmath>
+
+#include "ccnopt/common/assert.hpp"
+
+namespace ccnopt::numerics {
+
+double trapezoid(const Integrand& f, double lo, double hi, int intervals) {
+  CCNOPT_EXPECTS(lo <= hi);
+  CCNOPT_EXPECTS(intervals >= 1);
+  if (lo == hi) return 0.0;
+  const double h = (hi - lo) / intervals;
+  double sum = 0.5 * (f(lo) + f(hi));
+  for (int i = 1; i < intervals; ++i) sum += f(lo + h * i);
+  return sum * h;
+}
+
+double simpson(const Integrand& f, double lo, double hi, int intervals) {
+  CCNOPT_EXPECTS(lo <= hi);
+  CCNOPT_EXPECTS(intervals >= 2);
+  if (lo == hi) return 0.0;
+  if (intervals % 2 != 0) ++intervals;
+  const double h = (hi - lo) / intervals;
+  double sum = f(lo) + f(hi);
+  for (int i = 1; i < intervals; ++i) {
+    sum += f(lo + h * i) * ((i % 2 == 1) ? 4.0 : 2.0);
+  }
+  return sum * h / 3.0;
+}
+
+namespace {
+
+double adaptive_step(const Integrand& f, double lo, double hi, double flo,
+                     double fmid, double fhi, double whole, double tolerance,
+                     int depth, int max_depth, bool& converged) {
+  const double mid = 0.5 * (lo + hi);
+  const double lmid = 0.5 * (lo + mid);
+  const double rmid = 0.5 * (mid + hi);
+  const double flmid = f(lmid);
+  const double frmid = f(rmid);
+  const double h = hi - lo;
+  const double left = h / 12.0 * (flo + 4.0 * flmid + fmid);
+  const double right = h / 12.0 * (fmid + 4.0 * frmid + fhi);
+  const double delta = left + right - whole;
+  if (depth >= max_depth) {
+    converged = false;
+    return left + right + delta / 15.0;
+  }
+  if (std::abs(delta) <= 15.0 * tolerance) {
+    return left + right + delta / 15.0;  // Richardson extrapolation
+  }
+  return adaptive_step(f, lo, mid, flo, flmid, fmid, left, tolerance / 2.0,
+                       depth + 1, max_depth, converged) +
+         adaptive_step(f, mid, hi, fmid, frmid, fhi, right, tolerance / 2.0,
+                       depth + 1, max_depth, converged);
+}
+
+}  // namespace
+
+Expected<double> adaptive_simpson(const Integrand& f, double lo, double hi,
+                                  const AdaptiveOptions& options) {
+  if (!(lo <= hi)) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "adaptive_simpson: lo must be <= hi");
+  }
+  if (lo == hi) return 0.0;
+  const double mid = 0.5 * (lo + hi);
+  const double flo = f(lo), fmid = f(mid), fhi = f(hi);
+  const double whole = (hi - lo) / 6.0 * (flo + 4.0 * fmid + fhi);
+  bool converged = true;
+  const double value =
+      adaptive_step(f, lo, hi, flo, fmid, fhi, whole, options.tolerance, 0,
+                    options.max_depth, converged);
+  if (!converged) {
+    return Status(ErrorCode::kNumericalFailure,
+                  "adaptive_simpson: max recursion depth reached");
+  }
+  return value;
+}
+
+}  // namespace ccnopt::numerics

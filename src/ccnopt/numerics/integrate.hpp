@@ -1,0 +1,31 @@
+// Numerical quadrature. Used to validate the paper's Eq. 6 continuous
+// approximation against direct integration and by tests of the harmonic
+// machinery.
+#pragma once
+
+#include <functional>
+
+#include "ccnopt/common/error.hpp"
+
+namespace ccnopt::numerics {
+
+using Integrand = std::function<double(double)>;
+
+/// Composite trapezoid rule with `intervals` uniform panels on [lo, hi].
+/// Requires lo <= hi and intervals >= 1.
+double trapezoid(const Integrand& f, double lo, double hi, int intervals);
+
+/// Composite Simpson's rule; `intervals` is rounded up to the next even
+/// number. Requires lo <= hi and intervals >= 2.
+double simpson(const Integrand& f, double lo, double hi, int intervals);
+
+struct AdaptiveOptions {
+  double tolerance = 1e-10;
+  int max_depth = 40;
+};
+
+/// Adaptive Simpson quadrature with Richardson error control.
+Expected<double> adaptive_simpson(const Integrand& f, double lo, double hi,
+                                  const AdaptiveOptions& options = {});
+
+}  // namespace ccnopt::numerics

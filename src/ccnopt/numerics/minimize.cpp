@@ -1,0 +1,163 @@
+#include "ccnopt/numerics/minimize.hpp"
+
+#include <cmath>
+
+namespace ccnopt::numerics {
+namespace {
+
+constexpr double kGolden = 0.6180339887498949;  // (sqrt(5) - 1) / 2
+
+Status bad_interval() {
+  return Status(ErrorCode::kInvalidArgument, "minimize: lo must be < hi");
+}
+
+MinimizeResult pick_best(const Objective& f, double a, double b, double x,
+                         double fx, int iterations) {
+  // The interior estimate can be beaten by an endpoint when the true
+  // minimum sits on the boundary; compare explicitly.
+  MinimizeResult best{x, fx, iterations};
+  const double fa = f(a);
+  if (fa < best.f_min) best = MinimizeResult{a, fa, iterations};
+  const double fb = f(b);
+  if (fb < best.f_min) best = MinimizeResult{b, fb, iterations};
+  return best;
+}
+
+}  // namespace
+
+Expected<MinimizeResult> golden_section(const Objective& f, double lo,
+                                        double hi,
+                                        const MinimizeOptions& options) {
+  if (!(lo < hi)) return bad_interval();
+  const double width0 = hi - lo;
+  double a = lo, b = hi;
+  double x1 = b - kGolden * (b - a);
+  double x2 = a + kGolden * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  int it = 0;
+  for (; it < options.max_iterations; ++it) {
+    if ((b - a) <= options.x_tolerance * width0) break;
+    if (f1 <= f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kGolden * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kGolden * (b - a);
+      f2 = f(x2);
+    }
+  }
+  const double x = (f1 <= f2) ? x1 : x2;
+  const double fx = std::min(f1, f2);
+  return pick_best(f, lo, hi, x, fx, it);
+}
+
+Expected<MinimizeResult> brent_minimize(const Objective& f, double lo,
+                                        double hi,
+                                        const MinimizeOptions& options) {
+  if (!(lo < hi)) return bad_interval();
+  // Numerical Recipes-style Brent minimizer.
+  const double tol = std::max(options.x_tolerance, 1e-14);
+  double a = lo, b = hi;
+  double x = a + kGolden * (b - a);
+  double w = x, v = x;
+  double fx = f(x), fw = fx, fv = fx;
+  double d = 0.0, e = 0.0;
+  int it = 0;
+  for (; it < options.max_iterations; ++it) {
+    const double xm = 0.5 * (a + b);
+    const double tol1 = tol * std::abs(x) + 1e-15;
+    const double tol2 = 2.0 * tol1;
+    if (std::abs(x - xm) <= tol2 - 0.5 * (b - a)) break;
+    bool take_golden = true;
+    if (std::abs(e) > tol1) {
+      // Parabolic fit through x, v, w.
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::abs(q);
+      const double e_prev = e;
+      e = d;
+      if (std::abs(p) < std::abs(0.5 * q * e_prev) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        d = p / q;
+        const double u = x + d;
+        if (u - a < tol2 || b - u < tol2) {
+          d = (xm >= x) ? tol1 : -tol1;
+        }
+        take_golden = false;
+      }
+    }
+    if (take_golden) {
+      e = (x >= xm) ? a - x : b - x;
+      d = (1.0 - kGolden) * e;
+    }
+    const double u = (std::abs(d) >= tol1) ? x + d : x + ((d >= 0) ? tol1 : -tol1);
+    const double fu = f(u);
+    if (fu <= fx) {
+      if (u >= x) {
+        a = x;
+      } else {
+        b = x;
+      }
+      v = w;
+      fv = fw;
+      w = x;
+      fw = fx;
+      x = u;
+      fx = fu;
+    } else {
+      if (u < x) {
+        a = u;
+      } else {
+        b = u;
+      }
+      if (fu <= fw || w == x) {
+        v = w;
+        fv = fw;
+        w = u;
+        fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u;
+        fv = fu;
+      }
+    }
+  }
+  return pick_best(f, lo, hi, x, fx, it);
+}
+
+Expected<MinimizeResult> grid_refine(const Objective& f, double lo, double hi,
+                                     int grid_points,
+                                     const MinimizeOptions& options) {
+  if (!(lo < hi)) return bad_interval();
+  if (grid_points < 3) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "grid_refine: need at least 3 grid points");
+  }
+  const double step = (hi - lo) / (grid_points - 1);
+  double best_x = lo;
+  double best_f = f(lo);
+  for (int i = 1; i < grid_points; ++i) {
+    const double x = lo + step * i;
+    const double fx = f(x);
+    if (fx < best_f) {
+      best_f = fx;
+      best_x = x;
+    }
+  }
+  const double refine_lo = std::max(lo, best_x - step);
+  const double refine_hi = std::min(hi, best_x + step);
+  auto refined = golden_section(f, refine_lo, refine_hi, options);
+  if (!refined) return refined;
+  if (refined->f_min <= best_f) return refined;
+  return MinimizeResult{best_x, best_f, refined->iterations};
+}
+
+}  // namespace ccnopt::numerics

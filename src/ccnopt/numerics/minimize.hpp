@@ -1,0 +1,44 @@
+// One-dimensional minimization over an interval. Eq. 5 (min of the convex
+// objective T_w over [0, c]) is solved through these; golden-section needs
+// only unimodality, which Lemma 1 guarantees.
+#pragma once
+
+#include <functional>
+
+#include "ccnopt/common/error.hpp"
+
+namespace ccnopt::numerics {
+
+struct MinimizeOptions {
+  double x_tolerance = 1e-10;  // relative to the interval width
+  int max_iterations = 200;
+};
+
+struct MinimizeResult {
+  double x_min = 0.0;
+  double f_min = 0.0;
+  int iterations = 0;
+};
+
+using Objective = std::function<double(double)>;
+
+/// Golden-section search on [lo, hi]; requires lo < hi and f unimodal on the
+/// interval (convex suffices). Endpoint minima are returned correctly.
+Expected<MinimizeResult> golden_section(const Objective& f, double lo,
+                                        double hi,
+                                        const MinimizeOptions& options = {});
+
+/// Brent's parabolic-interpolation minimizer on [lo, hi]; same requirements
+/// as golden_section, faster on smooth objectives.
+Expected<MinimizeResult> brent_minimize(const Objective& f, double lo,
+                                        double hi,
+                                        const MinimizeOptions& options = {});
+
+/// Exhaustive grid scan followed by golden-section refinement around the
+/// best grid cell. Robust against mild non-unimodality; used as the
+/// cross-check oracle in tests.
+Expected<MinimizeResult> grid_refine(const Objective& f, double lo, double hi,
+                                     int grid_points = 512,
+                                     const MinimizeOptions& options = {});
+
+}  // namespace ccnopt::numerics

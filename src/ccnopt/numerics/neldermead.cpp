@@ -1,0 +1,130 @@
+#include "ccnopt/numerics/neldermead.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccnopt::numerics {
+namespace {
+
+void clamp_into(std::vector<double>& x, const std::vector<double>& lower,
+                const std::vector<double>& upper) {
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::clamp(x[i], lower[i], upper[i]);
+  }
+}
+
+}  // namespace
+
+Expected<NelderMeadResult> nelder_mead(const ObjectiveNd& f,
+                                       std::vector<double> start,
+                                       const std::vector<double>& lower,
+                                       const std::vector<double>& upper,
+                                       const NelderMeadOptions& options) {
+  const std::size_t dim = start.size();
+  if (dim == 0 || lower.size() != dim || upper.size() != dim) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "nelder_mead: dimension mismatch or empty");
+  }
+  for (std::size_t i = 0; i < dim; ++i) {
+    if (!(lower[i] < upper[i])) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "nelder_mead: need lower < upper in every coordinate");
+    }
+  }
+  clamp_into(start, lower, upper);
+
+  int evaluations = 0;
+  const auto eval = [&](const std::vector<double>& x) {
+    ++evaluations;
+    return f(x);
+  };
+
+  // Initial simplex: start plus one vertex per coordinate, stepped inward
+  // if the step would leave the box.
+  struct Vertex {
+    std::vector<double> x;
+    double f;
+  };
+  std::vector<Vertex> simplex;
+  simplex.reserve(dim + 1);
+  simplex.push_back(Vertex{start, eval(start)});
+  for (std::size_t i = 0; i < dim; ++i) {
+    std::vector<double> x = start;
+    const double step = options.initial_step * (upper[i] - lower[i]);
+    x[i] = (x[i] + step <= upper[i]) ? x[i] + step : x[i] - step;
+    clamp_into(x, lower, upper);
+    simplex.push_back(Vertex{x, eval(x)});
+  }
+  const auto by_f = [](const Vertex& a, const Vertex& b) {
+    return a.f < b.f;
+  };
+
+  while (evaluations < options.max_evaluations) {
+    std::sort(simplex.begin(), simplex.end(), by_f);
+    if (simplex.back().f - simplex.front().f <=
+        options.f_tolerance * (std::abs(simplex.front().f) + 1.0)) {
+      return NelderMeadResult{simplex.front().x, simplex.front().f,
+                              evaluations, true};
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(dim, 0.0);
+    for (std::size_t v = 0; v < dim; ++v) {
+      for (std::size_t i = 0; i < dim; ++i) centroid[i] += simplex[v].x[i];
+    }
+    for (double& c : centroid) c /= static_cast<double>(dim);
+
+    Vertex& worst = simplex.back();
+    const auto step_from_centroid = [&](double coefficient) {
+      std::vector<double> x(dim);
+      for (std::size_t i = 0; i < dim; ++i) {
+        x[i] = centroid[i] + coefficient * (centroid[i] - worst.x[i]);
+      }
+      clamp_into(x, lower, upper);
+      return x;
+    };
+
+    const std::vector<double> reflected =
+        step_from_centroid(options.reflection);
+    const double f_reflected = eval(reflected);
+
+    if (f_reflected < simplex.front().f) {
+      // Try expanding past the reflection.
+      const std::vector<double> expanded =
+          step_from_centroid(options.expansion);
+      const double f_expanded = eval(expanded);
+      if (f_expanded < f_reflected) {
+        worst = Vertex{expanded, f_expanded};
+      } else {
+        worst = Vertex{reflected, f_reflected};
+      }
+      continue;
+    }
+    if (f_reflected < simplex[dim - 1].f) {
+      worst = Vertex{reflected, f_reflected};
+      continue;
+    }
+    // Contract toward the centroid.
+    const std::vector<double> contracted =
+        step_from_centroid(-options.contraction);
+    const double f_contracted = eval(contracted);
+    if (f_contracted < worst.f) {
+      worst = Vertex{contracted, f_contracted};
+      continue;
+    }
+    // Shrink everything toward the best vertex.
+    for (std::size_t v = 1; v <= dim; ++v) {
+      for (std::size_t i = 0; i < dim; ++i) {
+        simplex[v].x[i] = simplex[0].x[i] +
+                          options.shrink * (simplex[v].x[i] - simplex[0].x[i]);
+      }
+      clamp_into(simplex[v].x, lower, upper);
+      simplex[v].f = eval(simplex[v].x);
+    }
+  }
+  std::sort(simplex.begin(), simplex.end(), by_f);
+  return NelderMeadResult{simplex.front().x, simplex.front().f, evaluations,
+                          false};
+}
+
+}  // namespace ccnopt::numerics

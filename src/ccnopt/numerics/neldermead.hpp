@@ -1,0 +1,42 @@
+// Nelder-Mead downhill simplex: derivative-free N-dimensional minimization
+// with box constraints (coordinates clamped into [lower, upper]). Used as
+// the independent cross-check oracle for the heterogeneous model's
+// coordinate-descent optimizer.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ccnopt/common/error.hpp"
+
+namespace ccnopt::numerics {
+
+using ObjectiveNd = std::function<double(const std::vector<double>&)>;
+
+struct NelderMeadOptions {
+  int max_evaluations = 20000;
+  double f_tolerance = 1e-12;   // stop when the simplex's f-spread is below
+  double initial_step = 0.1;    // relative to each box width
+  // Standard coefficients.
+  double reflection = 1.0;
+  double expansion = 2.0;
+  double contraction = 0.5;
+  double shrink = 0.5;
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double f = 0.0;
+  int evaluations = 0;
+  bool converged = false;
+};
+
+/// Minimizes f over the box [lower, upper] starting at `start` (clamped
+/// in). Requires matching non-empty dimensions with lower < upper.
+Expected<NelderMeadResult> nelder_mead(const ObjectiveNd& f,
+                                       std::vector<double> start,
+                                       const std::vector<double>& lower,
+                                       const std::vector<double>& upper,
+                                       const NelderMeadOptions& options = {});
+
+}  // namespace ccnopt::numerics

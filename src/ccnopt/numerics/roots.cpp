@@ -1,0 +1,185 @@
+#include "ccnopt/numerics/roots.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace ccnopt::numerics {
+namespace {
+
+bool opposite_signs(double a, double b) {
+  return (a <= 0.0 && b >= 0.0) || (a >= 0.0 && b <= 0.0);
+}
+
+Status bad_bracket(double lo, double hi, double flo, double fhi) {
+  return Status(ErrorCode::kInvalidArgument,
+                "no sign change on bracket [" + std::to_string(lo) + ", " +
+                    std::to_string(hi) + "]: f(lo)=" + std::to_string(flo) +
+                    ", f(hi)=" + std::to_string(fhi));
+}
+
+}  // namespace
+
+Expected<RootResult> bisect(const Fn& f, double lo, double hi,
+                            const RootOptions& options) {
+  if (!(lo < hi)) {
+    return Status(ErrorCode::kInvalidArgument, "bisect: lo must be < hi");
+  }
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return RootResult{lo, 0.0, 0};
+  if (fhi == 0.0) return RootResult{hi, 0.0, 0};
+  if (!opposite_signs(flo, fhi)) return bad_bracket(lo, hi, flo, fhi);
+
+  RootResult result;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    result = RootResult{mid, fmid, it + 1};
+    if (fmid == 0.0 || (hi - lo) < options.x_tolerance ||
+        (options.f_tolerance > 0.0 && std::abs(fmid) < options.f_tolerance)) {
+      return result;
+    }
+    if (opposite_signs(flo, fmid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+      flo = fmid;
+    }
+  }
+  return result;  // best effort after max_iterations
+}
+
+Expected<RootResult> brent(const Fn& f, double lo, double hi,
+                           const RootOptions& options) {
+  if (!(lo < hi)) {
+    return Status(ErrorCode::kInvalidArgument, "brent: lo must be < hi");
+  }
+  double a = lo, b = hi;
+  double fa = f(a), fb = f(b);
+  if (fa == 0.0) return RootResult{a, 0.0, 0};
+  if (fb == 0.0) return RootResult{b, 0.0, 0};
+  if (!opposite_signs(fa, fb)) return bad_bracket(lo, hi, fa, fb);
+
+  // Keep b the best iterate (smallest |f|), c the previous b.
+  if (std::abs(fa) < std::abs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a, fc = fa;
+  bool used_bisection = true;
+  double d = 0.0;  // step before last, for the interpolation guard
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    double s;
+    if (fa != fc && fb != fc) {
+      // Inverse quadratic interpolation.
+      s = a * fb * fc / ((fa - fb) * (fa - fc)) +
+          b * fa * fc / ((fb - fa) * (fb - fc)) +
+          c * fa * fb / ((fc - fa) * (fc - fb));
+    } else {
+      // Secant step.
+      s = b - fb * (b - a) / (fb - fa);
+    }
+
+    const double mid = 0.5 * (a + b);
+    const bool s_outside = !((s > std::min(mid, b)) && (s < std::max(mid, b)));
+    const bool step_too_small =
+        used_bisection ? std::abs(s - b) >= 0.5 * std::abs(b - c)
+                       : std::abs(s - b) >= 0.5 * std::abs(c - d);
+    if (s_outside || step_too_small) {
+      s = mid;
+      used_bisection = true;
+    } else {
+      used_bisection = false;
+    }
+
+    const double fs = f(s);
+    d = c;
+    c = b;
+    fc = fb;
+    if (opposite_signs(fa, fs)) {
+      b = s;
+      fb = fs;
+    } else {
+      a = s;
+      fa = fs;
+    }
+    if (std::abs(fa) < std::abs(fb)) {
+      std::swap(a, b);
+      std::swap(fa, fb);
+    }
+    if (fb == 0.0 || std::abs(b - a) < options.x_tolerance ||
+        (options.f_tolerance > 0.0 && std::abs(fb) < options.f_tolerance)) {
+      return RootResult{b, fb, it + 1};
+    }
+  }
+  return RootResult{b, fb, options.max_iterations};
+}
+
+Expected<RootResult> newton_safeguarded(const Fn& f, const Fn& df, double lo,
+                                        double hi,
+                                        const RootOptions& options) {
+  if (!(lo < hi)) {
+    return Status(ErrorCode::kInvalidArgument, "newton: lo must be < hi");
+  }
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return RootResult{lo, 0.0, 0};
+  if (fhi == 0.0) return RootResult{hi, 0.0, 0};
+  if (!opposite_signs(flo, fhi)) return bad_bracket(lo, hi, flo, fhi);
+
+  double x = 0.5 * (lo + hi);
+  for (int it = 0; it < options.max_iterations; ++it) {
+    const double fx = f(x);
+    if (fx == 0.0 ||
+        (options.f_tolerance > 0.0 && std::abs(fx) < options.f_tolerance)) {
+      return RootResult{x, fx, it};
+    }
+    // Shrink the bracket around the sign change.
+    if (opposite_signs(flo, fx)) {
+      hi = x;
+    } else {
+      lo = x;
+      flo = fx;
+    }
+    if ((hi - lo) < options.x_tolerance) return RootResult{x, fx, it};
+
+    const double dfx = df(x);
+    double next = (dfx != 0.0) ? x - fx / dfx : 0.5 * (lo + hi);
+    // Fall back to bisection when Newton escapes the bracket.
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+    x = next;
+  }
+  return RootResult{x, f(x), options.max_iterations};
+}
+
+Expected<std::pair<double, double>> expand_bracket(const Fn& f, double lo,
+                                                   double hi, double limit_lo,
+                                                   double limit_hi,
+                                                   int max_expansions) {
+  if (!(lo < hi) || !(limit_lo <= lo) || !(hi <= limit_hi)) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "expand_bracket: need limit_lo <= lo < hi <= limit_hi");
+  }
+  double flo = f(lo);
+  double fhi = f(hi);
+  for (int i = 0; i < max_expansions; ++i) {
+    if (opposite_signs(flo, fhi)) return std::make_pair(lo, hi);
+    const double width = hi - lo;
+    // Expand the side with the larger |f| (heuristic: the root is likely
+    // beyond the flatter side).
+    if (std::abs(flo) < std::abs(fhi)) {
+      lo = std::max(limit_lo, lo - width);
+      flo = f(lo);
+    } else {
+      hi = std::min(limit_hi, hi + width);
+      fhi = f(hi);
+    }
+    if (lo == limit_lo && hi == limit_hi && !opposite_signs(flo, fhi)) break;
+  }
+  if (opposite_signs(flo, fhi)) return std::make_pair(lo, hi);
+  return Status(ErrorCode::kNumericalFailure,
+                "expand_bracket: no sign change found within limits");
+}
+
+}  // namespace ccnopt::numerics

@@ -1,0 +1,72 @@
+// Summary statistics and small inference helpers used by the simulator's
+// metrics and by distribution tests of the Zipf samplers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ccnopt::numerics {
+
+/// Streaming mean/variance accumulator (Welford). Numerically stable for
+/// long simulation runs.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return count_; }
+  /// Requires count() >= 1.
+  double mean() const;
+  /// Sample variance (n-1 denominator); requires count() >= 2.
+  double variance() const;
+  double stddev() const;
+  /// Requires count() >= 1.
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-safe combine).
+  void merge(const RunningStats& other);
+
+  /// Half-width of a normal-approximation confidence interval on the mean,
+  /// z * stddev / sqrt(n) (z = 1.96 ~ 95%); requires count() >= 2.
+  double mean_ci_half_width(double z = 1.96) const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Arithmetic mean; requires non-empty input.
+double mean(std::span<const double> xs);
+
+/// Sample variance (n-1); requires size >= 2.
+double variance(std::span<const double> xs);
+
+/// Linearly-interpolated quantile, q in [0, 1]; requires non-empty input.
+/// Sorts a copy; O(n log n).
+double quantile(std::span<const double> xs, double q);
+
+/// Pearson chi-square statistic of observed counts against expected counts.
+/// Bins with expected < 1e-12 are skipped. Sizes must match.
+double chi_square_statistic(std::span<const std::uint64_t> observed,
+                            std::span<const double> expected);
+
+/// Maximum absolute difference between two empirical CDF vectors
+/// (Kolmogorov-Smirnov distance on pre-binned data). Sizes must match.
+double ks_distance(std::span<const double> cdf_a, std::span<const double> cdf_b);
+
+/// Least-squares slope and intercept of y against x; requires >= 2 points
+/// and non-constant x. Used to estimate Zipf exponents from log-log data.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+}  // namespace ccnopt::numerics

@@ -1,0 +1,100 @@
+#include "ccnopt/popularity/estimator.hpp"
+
+#include <cmath>
+
+#include "ccnopt/common/assert.hpp"
+#include "ccnopt/numerics/roots.hpp"
+#include "ccnopt/numerics/stats.hpp"
+
+namespace ccnopt::popularity {
+
+std::vector<std::uint64_t> rank_histogram(std::span<const std::uint64_t> ranks,
+                                          std::uint64_t catalog_size) {
+  CCNOPT_EXPECTS(catalog_size >= 1);
+  std::vector<std::uint64_t> histogram(catalog_size, 0);
+  for (const std::uint64_t rank : ranks) {
+    CCNOPT_EXPECTS(rank >= 1 && rank <= catalog_size);
+    ++histogram[rank - 1];
+  }
+  return histogram;
+}
+
+Expected<ZipfFit> fit_zipf_loglog(std::span<const std::uint64_t> histogram,
+                                  std::uint64_t head_ranks) {
+  std::vector<double> log_rank;
+  std::vector<double> log_freq;
+  std::uint64_t samples = 0;
+  const std::uint64_t limit =
+      head_ranks == 0 ? histogram.size()
+                      : std::min<std::uint64_t>(head_ranks, histogram.size());
+  for (std::uint64_t i = 0; i < limit; ++i) {
+    samples += histogram[i];
+    if (histogram[i] == 0) continue;
+    log_rank.push_back(std::log(static_cast<double>(i + 1)));
+    log_freq.push_back(std::log(static_cast<double>(histogram[i])));
+  }
+  if (log_rank.size() < 3) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "fit_zipf_loglog: need at least 3 distinct observed ranks");
+  }
+  const numerics::LinearFit fit = numerics::linear_fit(log_rank, log_freq);
+  ZipfFit result;
+  result.s = -fit.slope;
+  result.r_squared = fit.r_squared;
+  result.samples = samples;
+  return result;
+}
+
+Expected<ZipfFit> fit_zipf_mle(std::span<const std::uint64_t> histogram) {
+  const std::uint64_t catalog = histogram.size();
+  if (catalog < 2) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "fit_zipf_mle: catalog must have at least 2 ranks");
+  }
+  std::uint64_t samples = 0;
+  double sum_log_rank = 0.0;
+  std::uint64_t distinct = 0;
+  for (std::uint64_t i = 0; i < catalog; ++i) {
+    if (histogram[i] == 0) continue;
+    ++distinct;
+    samples += histogram[i];
+    sum_log_rank += static_cast<double>(histogram[i]) *
+                    std::log(static_cast<double>(i + 1));
+  }
+  if (samples == 0 || distinct < 2) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "fit_zipf_mle: need samples on at least 2 distinct ranks");
+  }
+  const double mean_log_rank = sum_log_rank / static_cast<double>(samples);
+
+  // Score: g(s) = T1(s)/T0(s) - mean_log_rank, where
+  //   T0 = sum_j j^{-s},  T1 = sum_j j^{-s} log j
+  // (T1/T0 is the model's expected log-rank; MLE matches it to the data).
+  // g is continuous and decreasing in s; bracket and solve with Brent.
+  auto expected_log_rank = [catalog](double s) {
+    double t0 = 0.0, t1 = 0.0;
+    for (std::uint64_t j = catalog; j >= 1; --j) {
+      const double w = std::pow(static_cast<double>(j), -s);
+      const double lj = std::log(static_cast<double>(j));
+      t0 += w;
+      t1 += w * lj;
+    }
+    return t1 / t0;
+  };
+  const auto g = [&](double s) {
+    return expected_log_rank(s) - mean_log_rank;
+  };
+
+  constexpr double kLo = 0.05;
+  constexpr double kHi = 3.0;
+  // Clamp to the bracket if the data sit outside the searchable range
+  // (e.g. a nearly-uniform or single-spike histogram).
+  if (g(kLo) <= 0.0) return ZipfFit{kLo, 1.0, samples};
+  if (g(kHi) >= 0.0) return ZipfFit{kHi, 1.0, samples};
+  const auto root =
+      numerics::brent(g, kLo, kHi, numerics::RootOptions{1e-10, 0.0, 200});
+  if (!root) return root.status();
+  return ZipfFit{root->root, 1.0, samples};
+}
+
+}  // namespace ccnopt::popularity

@@ -1,0 +1,46 @@
+// Zipf exponent estimation from observed requests.
+//
+// The optimizer needs s; a deployed coordinator only sees request streams.
+// Two estimators:
+//   * fit_zipf_loglog — least-squares slope of log(frequency) vs log(rank)
+//     over the observed head; simple, biased by the noisy tail, standard in
+//     measurement papers (e.g. the paper's [17]).
+//   * fit_zipf_mle — maximum likelihood: solves
+//       d/ds log L = -sum(log r_i)/n - d/ds log H_{N,s} = 0
+//     by Newton on the exact harmonic sums; consistent and much tighter.
+// Both operate on a rank-frequency histogram (counts indexed by true rank)
+// or on raw samples. The adaptive controller (model/adaptive.hpp) feeds
+// these from its per-epoch observations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ccnopt/common/error.hpp"
+
+namespace ccnopt::popularity {
+
+struct ZipfFit {
+  double s = 0.0;         ///< estimated exponent
+  double r_squared = 1.0; ///< goodness of the log-log fit (1.0 for MLE)
+  std::uint64_t samples = 0;
+};
+
+/// Builds a frequency histogram from raw rank samples (1-based ranks);
+/// index i holds the count of rank i+1. `catalog_size` bounds the ranks.
+std::vector<std::uint64_t> rank_histogram(std::span<const std::uint64_t> ranks,
+                                          std::uint64_t catalog_size);
+
+/// Log-log least squares over the ranks with non-zero counts, optionally
+/// truncated to the `head_ranks` most popular ranks (0 = use all). Requires
+/// at least 3 distinct observed ranks.
+Expected<ZipfFit> fit_zipf_loglog(std::span<const std::uint64_t> histogram,
+                                  std::uint64_t head_ranks = 0);
+
+/// Maximum-likelihood fit over catalog 1..histogram.size(): Newton on the
+/// score function, bracketed in s in [0.05, 3]. Requires a non-empty
+/// histogram with at least one count and at least two distinct ranks.
+Expected<ZipfFit> fit_zipf_mle(std::span<const std::uint64_t> histogram);
+
+}  // namespace ccnopt::popularity

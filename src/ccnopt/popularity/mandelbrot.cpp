@@ -1,0 +1,64 @@
+#include "ccnopt/popularity/mandelbrot.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccnopt::popularity {
+
+ZipfMandelbrot::ZipfMandelbrot(std::uint64_t catalog_size, double exponent,
+                               double plateau)
+    : s_(exponent), q_(plateau) {
+  CCNOPT_EXPECTS(catalog_size >= 1);
+  CCNOPT_EXPECTS(exponent > 0.0);
+  CCNOPT_EXPECTS(plateau >= 0.0);
+  prefix_.resize(catalog_size + 1);
+  prefix_[0] = 0.0;
+  for (std::uint64_t k = 1; k <= catalog_size; ++k) {
+    prefix_[k] =
+        prefix_[k - 1] + std::pow(static_cast<double>(k) + q_, -s_);
+  }
+}
+
+double ZipfMandelbrot::pmf(std::uint64_t rank) const {
+  CCNOPT_EXPECTS(rank >= 1 && rank <= catalog_size());
+  return std::pow(static_cast<double>(rank) + q_, -s_) / prefix_.back();
+}
+
+double ZipfMandelbrot::cdf(std::uint64_t rank) const {
+  if (rank == 0) return 0.0;
+  rank = std::min<std::uint64_t>(rank, catalog_size());
+  return prefix_[rank] / prefix_.back();
+}
+
+std::vector<double> ZipfMandelbrot::weights() const {
+  std::vector<double> out(catalog_size());
+  for (std::uint64_t i = 0; i < out.size(); ++i) {
+    out[i] = std::pow(static_cast<double>(i + 1) + q_, -s_);
+  }
+  return out;
+}
+
+ContinuousZipfMandelbrot::ContinuousZipfMandelbrot(double catalog_size,
+                                                   double exponent,
+                                                   double plateau)
+    : n_(catalog_size), s_(exponent), q_(plateau) {
+  CCNOPT_EXPECTS(catalog_size > 1.0);
+  CCNOPT_EXPECTS(exponent > 0.0);
+  CCNOPT_EXPECTS(std::abs(exponent - 1.0) > 1e-9);
+  CCNOPT_EXPECTS(plateau >= 0.0);
+  head_ = std::pow(1.0 + q_, 1.0 - s_);
+  denom_ = std::pow(n_ + q_, 1.0 - s_) - head_;
+}
+
+double ContinuousZipfMandelbrot::cdf(double x) const {
+  if (x <= 1.0) return 0.0;
+  if (x >= n_) return 1.0;
+  return (std::pow(x + q_, 1.0 - s_) - head_) / denom_;
+}
+
+double ContinuousZipfMandelbrot::inverse_cdf(double p) const {
+  CCNOPT_EXPECTS(p >= 0.0 && p <= 1.0);
+  return std::pow(p * denom_ + head_, 1.0 / (1.0 - s_)) - q_;
+}
+
+}  // namespace ccnopt::popularity

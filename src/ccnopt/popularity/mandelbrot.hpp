@@ -1,0 +1,63 @@
+// Zipf-Mandelbrot popularity: f(i) ~ (i + q)^{-s}. The plateau parameter
+// q >= 0 flattens the head — measured web/video popularity (the paper's
+// refs [17]-[19]) is often Zipf-Mandelbrot rather than pure Zipf (q = 0).
+// Paired with the generalized model (model/general.hpp) this tests how
+// robust the paper's conclusions are to the popularity law's head shape.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ccnopt/common/assert.hpp"
+
+namespace ccnopt::popularity {
+
+/// Exact discrete Zipf-Mandelbrot over ranks 1..N.
+class ZipfMandelbrot {
+ public:
+  /// Requires N >= 1, s > 0, q >= 0. q = 0 recovers ZipfDistribution.
+  ZipfMandelbrot(std::uint64_t catalog_size, double exponent, double plateau);
+
+  std::uint64_t catalog_size() const { return prefix_.size() - 1; }
+  double exponent() const { return s_; }
+  double plateau() const { return q_; }
+
+  /// P(rank = i); requires 1 <= i <= N.
+  double pmf(std::uint64_t rank) const;
+  /// P(rank <= k); clamps beyond N.
+  double cdf(std::uint64_t rank) const;
+  /// Unnormalized weights (i + q)^{-s} for AliasSampler.
+  std::vector<double> weights() const;
+
+ private:
+  double s_;
+  double q_;
+  std::vector<double> prefix_;  // prefix_[k] = sum_{j<=k} (j+q)^{-s}
+};
+
+/// Continuous approximation (the Eq. 6 analogue):
+/// F(x) = ((x+q)^{1-s} - (1+q)^{1-s}) / ((N+q)^{1-s} - (1+q)^{1-s}).
+class ContinuousZipfMandelbrot {
+ public:
+  /// Requires N > 1, s > 0, s != 1, q >= 0.
+  ContinuousZipfMandelbrot(double catalog_size, double exponent,
+                           double plateau);
+
+  double catalog_size() const { return n_; }
+  double exponent() const { return s_; }
+  double plateau() const { return q_; }
+
+  /// Clamped to [0, 1]; F(x <= 1) = 0.
+  double cdf(double x) const;
+  /// x with F(x) = p, p in [0, 1].
+  double inverse_cdf(double p) const;
+
+ private:
+  double n_;
+  double s_;
+  double q_;
+  double head_;   // (1+q)^{1-s}
+  double denom_;  // (N+q)^{1-s} - (1+q)^{1-s}
+};
+
+}  // namespace ccnopt::popularity

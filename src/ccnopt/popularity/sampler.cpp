@@ -1,0 +1,66 @@
+#include "ccnopt/popularity/sampler.hpp"
+
+#include <cmath>
+
+#include "ccnopt/common/assert.hpp"
+
+namespace ccnopt::popularity {
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  build(weights);
+}
+
+AliasSampler::AliasSampler(const ZipfDistribution& zipf) {
+  std::vector<double> weights(zipf.catalog_size());
+  for (std::uint64_t i = 0; i < weights.size(); ++i) {
+    weights[i] = std::pow(static_cast<double>(i + 1), -zipf.exponent());
+  }
+  build(weights);
+}
+
+void AliasSampler::build(const std::vector<double>& weights) {
+  CCNOPT_EXPECTS(!weights.empty());
+  const std::size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    CCNOPT_EXPECTS(w >= 0.0);
+    total += w;
+  }
+  CCNOPT_EXPECTS(total > 0.0);
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  // Scaled probabilities: mean 1.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are numerically 1.
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+  for (std::uint32_t i : small) prob_[i] = 1.0;
+}
+
+std::uint64_t AliasSampler::sample(Rng& rng) {
+  const std::uint64_t bucket = rng.uniform_int(0, prob_.size() - 1);
+  const bool accept = rng.uniform() < prob_[bucket];
+  const std::uint64_t index = accept ? bucket : alias_[bucket];
+  return index + 1;  // ranks are 1-based
+}
+
+}  // namespace ccnopt::popularity

@@ -1,0 +1,61 @@
+// Random rank samplers for Zipf workloads (the simulator's Independent
+// Reference Model request stream).
+//
+// Two implementations with different trade-offs:
+//   * AliasSampler — Walker/Vose alias method: O(N) build, O(1) draw.
+//     The default for simulator catalogs.
+//   * InverseCdfSampler — binary search over the harmonic prefix table:
+//     zero extra memory beyond the distribution, O(log N) draw.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ccnopt/common/random.hpp"
+#include "ccnopt/popularity/zipf.hpp"
+
+namespace ccnopt::popularity {
+
+/// Uniform-over-categories sampler interface: draws ranks in 1..N.
+class RankSampler {
+ public:
+  virtual ~RankSampler() = default;
+  virtual std::uint64_t sample(Rng& rng) = 0;
+  virtual std::uint64_t catalog_size() const = 0;
+};
+
+/// Walker/Vose alias method over an explicit probability vector.
+class AliasSampler final : public RankSampler {
+ public:
+  /// Builds from any discrete distribution over ranks 1..N given as
+  /// (unnormalized) weights; requires non-empty weights, all >= 0, sum > 0.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Convenience: builds the weight vector from a ZipfDistribution.
+  explicit AliasSampler(const ZipfDistribution& zipf);
+
+  std::uint64_t sample(Rng& rng) override;
+  std::uint64_t catalog_size() const override { return prob_.size(); }
+
+ private:
+  void build(const std::vector<double>& weights);
+
+  std::vector<double> prob_;        // acceptance probability per bucket
+  std::vector<std::uint32_t> alias_;  // fallback bucket
+};
+
+/// Inverse-CDF sampler backed by the distribution's harmonic table.
+class InverseCdfSampler final : public RankSampler {
+ public:
+  explicit InverseCdfSampler(ZipfDistribution zipf) : zipf_(std::move(zipf)) {}
+
+  std::uint64_t sample(Rng& rng) override {
+    return zipf_.inverse_cdf(rng.uniform());
+  }
+  std::uint64_t catalog_size() const override { return zipf_.catalog_size(); }
+
+ private:
+  ZipfDistribution zipf_;
+};
+
+}  // namespace ccnopt::popularity

@@ -1,0 +1,77 @@
+#include "ccnopt/popularity/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ccnopt/common/assert.hpp"
+
+namespace ccnopt::popularity {
+
+ZipfDistribution::ZipfDistribution(std::uint64_t catalog_size,
+                                   double exponent)
+    : n_(catalog_size),
+      s_(exponent),
+      table_(std::make_shared<numerics::HarmonicTable>(catalog_size,
+                                                       exponent)) {
+  CCNOPT_EXPECTS(catalog_size >= 1);
+  CCNOPT_EXPECTS(exponent > 0.0);
+}
+
+double ZipfDistribution::pmf(std::uint64_t rank) const {
+  CCNOPT_EXPECTS(rank >= 1 && rank <= n_);
+  return std::pow(static_cast<double>(rank), -s_) / normalizer();
+}
+
+double ZipfDistribution::cdf(std::uint64_t rank) const {
+  if (rank == 0) return 0.0;
+  rank = std::min(rank, n_);
+  return table_->at(rank) / normalizer();
+}
+
+std::uint64_t ZipfDistribution::inverse_cdf(double u) const {
+  CCNOPT_EXPECTS(u >= 0.0 && u <= 1.0);
+  return table_->lower_bound(u * normalizer());
+}
+
+ContinuousZipf::ContinuousZipf(double catalog_size, double exponent)
+    : n_(catalog_size), s_(exponent) {
+  CCNOPT_EXPECTS(catalog_size > 1.0);
+  CCNOPT_EXPECTS(exponent > 0.0);
+  CCNOPT_EXPECTS(std::abs(exponent - 1.0) > 1e-9);
+  denom_ = std::pow(n_, 1.0 - s_) - 1.0;
+}
+
+double ContinuousZipf::cdf(double x) const {
+  if (x <= 1.0) return 0.0;
+  if (x >= n_) return 1.0;
+  return (std::pow(x, 1.0 - s_) - 1.0) / denom_;
+}
+
+double ContinuousZipf::density(double x) const {
+  if (x < 1.0 || x > n_) return 0.0;
+  return (1.0 - s_) / denom_ * std::pow(x, -s_);
+}
+
+double ContinuousZipf::inverse_cdf(double p) const {
+  CCNOPT_EXPECTS(p >= 0.0 && p <= 1.0);
+  return std::pow(p * denom_ + 1.0, 1.0 / (1.0 - s_));
+}
+
+double continuous_approximation_error(const ZipfDistribution& exact,
+                                      int probe_points) {
+  CCNOPT_EXPECTS(probe_points >= 2);
+  const double n = static_cast<double>(exact.catalog_size());
+  const ContinuousZipf approx(n, exact.exponent());
+  double worst = 0.0;
+  const double log_n = std::log(n);
+  for (int i = 0; i < probe_points; ++i) {
+    const double t = static_cast<double>(i) / (probe_points - 1);
+    const auto rank = static_cast<std::uint64_t>(
+        std::clamp(std::exp(t * log_n), 1.0, n));
+    worst = std::max(worst, std::abs(exact.cdf(rank) -
+                                     approx.cdf(static_cast<double>(rank))));
+  }
+  return worst;
+}
+
+}  // namespace ccnopt::popularity

@@ -1,0 +1,86 @@
+// Zipf content-popularity models.
+//
+// The paper (Section III-A) models content popularity as Zipf with exponent
+// s in (0,1) U (1,2) over a catalog of N contents:
+//   f(i; s, N) = i^{-s} / H_{N,s}                      (Eq. 1)
+//   F(k; s, N) = H_{k,s} / H_{N,s}
+// and, for analysis, the continuous approximation (Eq. 6):
+//   F(x; s, N) ~= (x^{1-s} - 1) / (N^{1-s} - 1).
+//
+// ZipfDistribution is the exact discrete model (ground truth, workload
+// generation); ContinuousZipf is the analytical stand-in the optimizer uses.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "ccnopt/numerics/harmonic.hpp"
+
+namespace ccnopt::popularity {
+
+/// Exact discrete Zipf(s, N) over ranks 1..N.
+class ZipfDistribution {
+ public:
+  /// Requires N >= 1 and s > 0. Builds an O(N) harmonic table, so this is
+  /// for catalogs that fit in memory (the simulator's regime); the analytic
+  /// model uses ContinuousZipf for the paper's N up to 10^12.
+  ZipfDistribution(std::uint64_t catalog_size, double exponent);
+
+  std::uint64_t catalog_size() const { return n_; }
+  double exponent() const { return s_; }
+
+  /// P(rank = i); requires 1 <= i <= N.
+  double pmf(std::uint64_t rank) const;
+
+  /// P(rank <= k) = H_{k,s}/H_{N,s}; ranks above N clamp to 1, rank 0 -> 0.
+  double cdf(std::uint64_t rank) const;
+
+  /// Smallest rank r with cdf(r) >= u, for u in [0, 1].
+  std::uint64_t inverse_cdf(double u) const;
+
+  /// Normalization constant H_{N,s}.
+  double normalizer() const { return table_->at(n_); }
+
+  const numerics::HarmonicTable& table() const { return *table_; }
+
+ private:
+  std::uint64_t n_;
+  double s_;
+  std::shared_ptr<const numerics::HarmonicTable> table_;
+};
+
+/// The paper's continuous approximation (Eq. 6), valid for enormous N.
+class ContinuousZipf {
+ public:
+  /// Requires N > 1, s > 0, s != 1 (the paper excludes s = 1; cdf would be
+  /// log-form and Eq. 2 degenerates to T = d2 there).
+  ContinuousZipf(double catalog_size, double exponent);
+
+  double catalog_size() const { return n_; }
+  double exponent() const { return s_; }
+
+  /// F(x) = (x^{1-s} - 1)/(N^{1-s} - 1), clamped to [0, 1]; F(x<=1) = 0.
+  double cdf(double x) const;
+
+  /// dF/dx = (1-s)/(N^{1-s}-1) * x^{-s} for x in [1, N].
+  double density(double x) const;
+
+  /// x with F(x) = p, p in [0, 1].
+  double inverse_cdf(double p) const;
+
+  /// The denominator N^{1-s} - 1 (appears throughout Lemmas 1-2).
+  double denominator() const { return denom_; }
+
+ private:
+  double n_;
+  double s_;
+  double denom_;
+};
+
+/// Maximum absolute CDF error of the continuous approximation against the
+/// exact distribution, scanned over `probe_points` ranks spread
+/// logarithmically across 1..N. Test/diagnostic helper for Eq. 6.
+double continuous_approximation_error(const ZipfDistribution& exact,
+                                      int probe_points = 64);
+
+}  // namespace ccnopt::popularity

@@ -1,0 +1,57 @@
+#include "ccnopt/sim/coordinator.hpp"
+
+#include "ccnopt/common/assert.hpp"
+
+namespace ccnopt::sim {
+
+Coordinator::Coordinator(std::vector<topology::NodeId> participants)
+    : participants_(std::move(participants)) {
+  CCNOPT_EXPECTS(!participants_.empty());
+}
+
+Coordinator::Assignment Coordinator::assign(cache::ContentId first_rank,
+                                            std::size_t per_router_x) const {
+  CCNOPT_EXPECTS(first_rank >= 1);
+  Assignment assignment;
+  const std::size_t n = participants_.size();
+  assignment.per_router.resize(n);
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(per_router_x) * static_cast<std::uint64_t>(n);
+  assignment.owner.reserve(total);
+  for (std::uint64_t offset = 0; offset < total; ++offset) {
+    const cache::ContentId content = first_rank + offset;
+    const std::size_t router_index = offset % n;
+    assignment.owner.emplace(content, participants_[router_index]);
+    assignment.per_router[router_index].push_back(content);
+  }
+  assignment.messages = total;  // one placement message per content
+  return assignment;
+}
+
+Coordinator::Assignment Coordinator::assign_weighted(
+    cache::ContentId first_rank, const std::vector<std::size_t>& counts) const {
+  CCNOPT_EXPECTS(first_rank >= 1);
+  CCNOPT_EXPECTS(counts.size() == participants_.size());
+  Assignment assignment;
+  const std::size_t n = participants_.size();
+  assignment.per_router.resize(n);
+  std::uint64_t total = 0;
+  for (const std::size_t count : counts) total += count;
+  assignment.owner.reserve(total);
+
+  std::vector<std::size_t> remaining = counts;
+  cache::ContentId next_content = first_rank;
+  std::size_t cursor = 0;
+  for (std::uint64_t placed = 0; placed < total; ++placed) {
+    while (remaining[cursor] == 0) cursor = (cursor + 1) % n;
+    assignment.owner.emplace(next_content, participants_[cursor]);
+    assignment.per_router[cursor].push_back(next_content);
+    --remaining[cursor];
+    ++next_content;
+    cursor = (cursor + 1) % n;
+  }
+  assignment.messages = total;
+  return assignment;
+}
+
+}  // namespace ccnopt::sim

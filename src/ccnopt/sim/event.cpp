@@ -1,0 +1,36 @@
+#include "ccnopt/sim/event.hpp"
+
+#include <utility>
+
+namespace ccnopt::sim {
+
+void EventQueue::schedule_at(SimTime at, Action action) {
+  CCNOPT_EXPECTS(at >= now_);
+  CCNOPT_EXPECTS(action != nullptr);
+  heap_.push(Entry{at, next_seq_++, std::move(action)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is the
+  // standard idiom-free alternative: copy the action handle (cheap —
+  // std::function) then pop.
+  Entry entry = heap_.top();
+  heap_.pop();
+  now_ = entry.time;
+  ++dispatched_;
+  entry.action();
+  return true;
+}
+
+void EventQueue::run(std::uint64_t max_events) {
+  for (std::uint64_t i = 0; i < max_events; ++i) {
+    if (!step()) return;
+  }
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace ccnopt::sim

@@ -1,0 +1,61 @@
+// Deterministic discrete-event scheduler. Events fire in (time, sequence)
+// order; ties on time resolve by scheduling order, so runs are reproducible
+// bit-for-bit from the workload seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "ccnopt/common/assert.hpp"
+
+namespace ccnopt::sim {
+
+using SimTime = double;  // milliseconds of simulated time
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  SimTime now() const { return now_; }
+  std::size_t pending() const { return heap_.size(); }
+  std::uint64_t dispatched() const { return dispatched_; }
+
+  /// Schedules `action` at absolute time `at` (>= now()).
+  void schedule_at(SimTime at, Action action);
+
+  /// Schedules `action` `delay` (>= 0) after now().
+  void schedule_after(SimTime delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Runs the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains or `max_events` have fired.
+  void run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Drops all pending events (used by simulation teardown between epochs).
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace ccnopt::sim

@@ -1,0 +1,89 @@
+#include "ccnopt/sim/metrics.hpp"
+
+#include <ostream>
+
+#include "ccnopt/common/assert.hpp"
+
+namespace ccnopt::sim {
+
+const char* to_string(ServeTier tier) {
+  switch (tier) {
+    case ServeTier::kLocal:
+      return "local";
+    case ServeTier::kNetwork:
+      return "network";
+    case ServeTier::kOrigin:
+      return "origin";
+  }
+  return "unknown";
+}
+
+void MetricsCollector::record(ServeTier tier, double latency_ms,
+                              std::uint32_t hops) {
+  CCNOPT_EXPECTS(latency_ms >= 0.0);
+  latency_.add(latency_ms);
+  hops_.add(static_cast<double>(hops));
+  const auto index = static_cast<std::size_t>(tier);
+  tier_latency_[index].add(latency_ms);
+  ++tier_counts_[index];
+}
+
+void MetricsCollector::reset() { *this = MetricsCollector{}; }
+
+std::uint64_t MetricsCollector::total_requests() const {
+  return tier_counts_[0] + tier_counts_[1] + tier_counts_[2];
+}
+
+std::uint64_t MetricsCollector::tier_count(ServeTier tier) const {
+  return tier_counts_[static_cast<std::size_t>(tier)];
+}
+
+double MetricsCollector::tier_fraction(ServeTier tier) const {
+  const std::uint64_t total = total_requests();
+  if (total == 0) return 0.0;
+  return static_cast<double>(tier_count(tier)) / static_cast<double>(total);
+}
+
+double MetricsCollector::mean_latency_ms() const {
+  return latency_.count() == 0 ? 0.0 : latency_.mean();
+}
+
+double MetricsCollector::mean_tier_latency_ms(ServeTier tier) const {
+  const auto& stats = tier_latency_[static_cast<std::size_t>(tier)];
+  return stats.count() == 0 ? 0.0 : stats.mean();
+}
+
+double MetricsCollector::mean_hops() const {
+  return hops_.count() == 0 ? 0.0 : hops_.mean();
+}
+
+SimReport make_report(const MetricsCollector& metrics) {
+  SimReport report;
+  report.total_requests = metrics.total_requests();
+  report.local_fraction = metrics.tier_fraction(ServeTier::kLocal);
+  report.network_fraction = metrics.tier_fraction(ServeTier::kNetwork);
+  report.origin_load = metrics.origin_load();
+  report.mean_latency_ms = metrics.mean_latency_ms();
+  report.mean_hops = metrics.mean_hops();
+  report.mean_local_latency_ms =
+      metrics.mean_tier_latency_ms(ServeTier::kLocal);
+  report.mean_network_latency_ms =
+      metrics.mean_tier_latency_ms(ServeTier::kNetwork);
+  report.mean_origin_latency_ms =
+      metrics.mean_tier_latency_ms(ServeTier::kOrigin);
+  report.coordination_messages = metrics.coordination_messages();
+  return report;
+}
+
+std::ostream& operator<<(std::ostream& out, const SimReport& report) {
+  out << "requests=" << report.total_requests
+      << " local=" << report.local_fraction
+      << " network=" << report.network_fraction
+      << " origin=" << report.origin_load
+      << " mean_latency_ms=" << report.mean_latency_ms
+      << " mean_hops=" << report.mean_hops
+      << " coordination_messages=" << report.coordination_messages;
+  return out;
+}
+
+}  // namespace ccnopt::sim

@@ -1,0 +1,78 @@
+// Simulation measurement: per-tier counts and latency/hop accumulators,
+// reported as the quantities the paper evaluates (origin load, average
+// latency, average hop count, coordination messages).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "ccnopt/numerics/stats.hpp"
+
+namespace ccnopt::sim {
+
+/// Where a request was ultimately served from (the three latency tiers of
+/// Figure 2).
+enum class ServeTier { kLocal = 0, kNetwork = 1, kOrigin = 2 };
+
+const char* to_string(ServeTier tier);
+
+class MetricsCollector {
+ public:
+  void record(ServeTier tier, double latency_ms, std::uint32_t hops);
+  void record_coordination_messages(std::uint64_t count) {
+    coordination_messages_ += count;
+  }
+  void reset();
+
+  std::uint64_t total_requests() const;
+  std::uint64_t tier_count(ServeTier tier) const;
+  /// Fraction of requests served by `tier`; 0 when nothing recorded.
+  double tier_fraction(ServeTier tier) const;
+  /// Fraction of requests served by the origin (the paper's "load on
+  /// origin").
+  double origin_load() const { return tier_fraction(ServeTier::kOrigin); }
+
+  /// Mean end-to-end latency over all recorded requests (ms).
+  double mean_latency_ms() const;
+  /// Mean latency conditional on the tier — the empirical d0/d1/d2.
+  double mean_tier_latency_ms(ServeTier tier) const;
+  /// Mean router-side hop count per request.
+  double mean_hops() const;
+
+  std::uint64_t coordination_messages() const {
+    return coordination_messages_;
+  }
+
+ private:
+  numerics::RunningStats latency_;
+  numerics::RunningStats hops_;
+  numerics::RunningStats tier_latency_[3];
+  std::uint64_t tier_counts_[3] = {0, 0, 0};
+  std::uint64_t coordination_messages_ = 0;
+};
+
+/// Final report of one simulation run.
+struct SimReport {
+  std::uint64_t total_requests = 0;
+  /// Requests that joined an in-flight fetch instead of issuing their own
+  /// (0 unless SimConfig::interest_aggregation).
+  std::uint64_t aggregated_requests = 0;
+  /// Upstream fetches actually issued (network + origin tiers, after
+  /// aggregation).
+  std::uint64_t upstream_fetches = 0;
+  double local_fraction = 0.0;
+  double network_fraction = 0.0;
+  double origin_load = 0.0;
+  double mean_latency_ms = 0.0;
+  double mean_hops = 0.0;
+  double mean_local_latency_ms = 0.0;    // empirical d0
+  double mean_network_latency_ms = 0.0;  // empirical d1
+  double mean_origin_latency_ms = 0.0;   // empirical d2
+  std::uint64_t coordination_messages = 0;
+};
+
+SimReport make_report(const MetricsCollector& metrics);
+
+std::ostream& operator<<(std::ostream& out, const SimReport& report);
+
+}  // namespace ccnopt::sim

@@ -1,0 +1,333 @@
+#include "ccnopt/sim/network.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ccnopt/cache/static_cache.hpp"
+#include "ccnopt/common/assert.hpp"
+
+namespace ccnopt::sim {
+namespace {
+
+std::unique_ptr<cache::CachePolicy> make_local_partition(
+    LocalStoreMode mode, std::size_t capacity, std::uint64_t seed) {
+  switch (mode) {
+    case LocalStoreMode::kStaticTop:
+      return cache::StaticCache::make_top(capacity);
+    case LocalStoreMode::kLru:
+      return cache::make_policy(cache::PolicyKind::kLru, capacity, seed);
+    case LocalStoreMode::kLfu:
+      return cache::make_policy(cache::PolicyKind::kLfu, capacity, seed);
+    case LocalStoreMode::kFifo:
+      return cache::make_policy(cache::PolicyKind::kFifo, capacity, seed);
+    case LocalStoreMode::kRandom:
+      return cache::make_policy(cache::PolicyKind::kRandom, capacity, seed);
+  }
+  CCNOPT_ASSERT(false);
+  return nullptr;
+}
+
+}  // namespace
+
+const char* to_string(LocalStoreMode mode) {
+  switch (mode) {
+    case LocalStoreMode::kStaticTop:
+      return "static_top";
+    case LocalStoreMode::kLru:
+      return "lru";
+    case LocalStoreMode::kLfu:
+      return "lfu";
+    case LocalStoreMode::kFifo:
+      return "fifo";
+    case LocalStoreMode::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+std::vector<topology::NodeId> CcnNetwork::find_participants(
+    const topology::Graph& graph, const NetworkConfig& config) {
+  std::vector<topology::NodeId> participants;
+  for (topology::NodeId id = 0; id < graph.node_count(); ++id) {
+    const std::size_t capacity = config.capacity_overrides.empty()
+                                     ? config.capacity_c
+                                     : config.capacity_overrides[id];
+    if (capacity > 0) participants.push_back(id);
+  }
+  return participants;
+}
+
+CcnNetwork::CcnNetwork(topology::Graph graph, NetworkConfig config)
+    : graph_(std::move(graph)),
+      config_(std::move(config)),
+      coordinator_(find_participants(graph_, config_)) {
+  CCNOPT_EXPECTS(graph_.node_count() >= 2);
+  CCNOPT_EXPECTS(graph_.is_connected());
+  CCNOPT_EXPECTS(config_.capacity_overrides.empty() ||
+                 config_.capacity_overrides.size() == graph_.node_count());
+  CCNOPT_EXPECTS(config_.catalog_size >= 1);
+  // Resolve the origin set: explicit multi-origin list, or the single
+  // gateway fields.
+  if (config_.origins.empty()) {
+    origins_.push_back(NetworkConfig::OriginSpec{
+        config_.origin_gateway, config_.origin_extra_ms,
+        config_.origin_extra_hops});
+  } else {
+    origins_ = config_.origins;
+  }
+  for (const NetworkConfig::OriginSpec& origin : origins_) {
+    CCNOPT_EXPECTS(origin.gateway < graph_.node_count());
+  }
+  stores_.resize(graph_.node_count());
+  failed_.assign(graph_.node_count(), false);
+  rebuild_routing();
+  provision(0);
+}
+
+void CcnNetwork::rebuild_routing() {
+  paths_ = topology::all_pairs_filtered(graph_, failed_);
+  if (config_.track_link_load) {
+    trees_.clear();
+    trees_.reserve(graph_.node_count());
+    for (topology::NodeId src = 0; src < graph_.node_count(); ++src) {
+      trees_.push_back(topology::dijkstra_filtered(graph_, src, failed_));
+    }
+  }
+}
+
+const NetworkConfig::OriginSpec& CcnNetwork::origin_for(
+    cache::ContentId content) const {
+  return origins_[content % origins_.size()];
+}
+
+void CcnNetwork::record_path(topology::NodeId src, topology::NodeId dst) {
+  if (!config_.track_link_load || src == dst) return;
+  const topology::SsspResult& tree = trees_[src];
+  const auto n = static_cast<std::uint64_t>(graph_.node_count());
+  for (topology::NodeId v = dst; v != src;) {
+    const topology::NodeId p = tree.parent[v];
+    CCNOPT_ASSERT(p != topology::kNoParent);
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(std::min(p, v)) * n + std::max(p, v);
+    ++link_counts_[key];
+    ++total_traversals_;
+    v = p;
+  }
+}
+
+std::vector<CcnNetwork::LinkLoad> CcnNetwork::link_load() const {
+  CCNOPT_EXPECTS(config_.track_link_load);
+  std::vector<LinkLoad> loads;
+  loads.reserve(graph_.links().size());
+  const auto n = static_cast<std::uint64_t>(graph_.node_count());
+  for (const topology::Graph::Link& link : graph_.links()) {
+    const std::uint64_t key = static_cast<std::uint64_t>(link.u) * n + link.v;
+    const auto it = link_counts_.find(key);
+    loads.push_back(LinkLoad{link.u, link.v,
+                             it == link_counts_.end() ? 0 : it->second});
+  }
+  return loads;
+}
+
+std::uint64_t CcnNetwork::max_link_load() const {
+  std::uint64_t worst = 0;
+  for (const auto& [key, count] : link_counts_) {
+    worst = std::max(worst, count);
+  }
+  return worst;
+}
+
+void CcnNetwork::reset_link_load() {
+  link_counts_.clear();
+  total_traversals_ = 0;
+}
+
+std::vector<topology::NodeId> CcnNetwork::alive_participants() const {
+  std::vector<topology::NodeId> alive;
+  for (const topology::NodeId id : coordinator_.participants()) {
+    if (!failed_[id]) alive.push_back(id);
+  }
+  return alive;
+}
+
+void CcnNetwork::set_router_failed(topology::NodeId id, bool failed) {
+  CCNOPT_EXPECTS(id < graph_.node_count());
+  if (failed) {
+    for (const NetworkConfig::OriginSpec& origin : origins_) {
+      CCNOPT_EXPECTS(id != origin.gateway);
+    }
+  }
+  if (failed_[id] == failed) return;
+  failed_[id] = failed;
+  rebuild_routing();
+}
+
+bool CcnNetwork::is_failed(topology::NodeId id) const {
+  CCNOPT_EXPECTS(id < graph_.node_count());
+  return failed_[id];
+}
+
+std::size_t CcnNetwork::failed_count() const {
+  std::size_t count = 0;
+  for (const bool f : failed_) count += f ? 1 : 0;
+  return count;
+}
+
+std::size_t CcnNetwork::coordinated_contents_lost() const {
+  std::size_t lost = 0;
+  for (const auto& [content, owner] : assignment_.owner) {
+    if (failed_[owner]) ++lost;
+  }
+  return lost;
+}
+
+std::size_t CcnNetwork::capacity_of(topology::NodeId id) const {
+  CCNOPT_EXPECTS(id < graph_.node_count());
+  return config_.capacity_overrides.empty() ? config_.capacity_c
+                                            : config_.capacity_overrides[id];
+}
+
+std::uint64_t CcnNetwork::provision(std::size_t coordinated_x) {
+  // The coordinated pool spans the surviving participants only, so
+  // re-provisioning after failures acts as the repair step. The analytical
+  // model assumes homogeneous participant capacity; clamp x to the
+  // smallest alive participant so the rank ranges line up.
+  const std::vector<topology::NodeId> alive = alive_participants();
+  CCNOPT_EXPECTS(!alive.empty());
+  std::size_t min_capacity = SIZE_MAX;
+  for (const topology::NodeId id : alive) {
+    min_capacity = std::min(min_capacity, capacity_of(id));
+  }
+  CCNOPT_EXPECTS(coordinated_x <= min_capacity);
+  provisioned_x_ = coordinated_x;
+
+  const cache::ContentId first_coordinated_rank =
+      static_cast<cache::ContentId>(min_capacity - coordinated_x) + 1;
+  const Coordinator alive_coordinator(alive);
+  assignment_ = alive_coordinator.assign(first_coordinated_rank,
+                                         coordinated_x);
+
+  std::size_t alive_index = 0;
+  for (topology::NodeId id = 0; id < graph_.node_count(); ++id) {
+    const std::size_t capacity = capacity_of(id);
+    const bool participates = capacity > 0 && !failed_[id];
+    const std::size_t x = participates ? coordinated_x : 0;
+    std::vector<cache::ContentId> assigned;
+    if (participates) {
+      assigned = assignment_.per_router[alive_index];
+      ++alive_index;
+    }
+    stores_[id] = std::make_unique<cache::PartitionedStore>(
+        capacity, x,
+        make_local_partition(config_.local_mode, capacity - x,
+                             config_.seed + 0x51ED2701ULL * (id + 1)),
+        std::move(assigned));
+  }
+  return assignment_.messages;
+}
+
+std::uint64_t CcnNetwork::provision_heterogeneous(
+    const std::vector<std::size_t>& x) {
+  const auto& participants = coordinator_.participants();
+  CCNOPT_EXPECTS(failed_count() == 0);  // hetero + failures not combined
+  CCNOPT_EXPECTS(x.size() == participants.size());
+  std::size_t coverage_l = 0;  // L = max_i (c_i - x_i)
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    const std::size_t capacity = capacity_of(participants[i]);
+    CCNOPT_EXPECTS(x[i] <= capacity);
+    coverage_l = std::max(coverage_l, capacity - x[i]);
+  }
+  provisioned_x_ = 0;  // heterogeneous epochs have no single x
+
+  assignment_ = coordinator_.assign_weighted(
+      static_cast<cache::ContentId>(coverage_l) + 1, x);
+
+  std::size_t participant_index = 0;
+  for (topology::NodeId id = 0; id < graph_.node_count(); ++id) {
+    const std::size_t capacity = capacity_of(id);
+    std::size_t coordinated = 0;
+    std::vector<cache::ContentId> assigned;
+    if (capacity > 0) {
+      coordinated = x[participant_index];
+      assigned = assignment_.per_router[participant_index];
+      ++participant_index;
+    }
+    stores_[id] = std::make_unique<cache::PartitionedStore>(
+        capacity, coordinated,
+        make_local_partition(config_.local_mode, capacity - coordinated,
+                             config_.seed + 0x51ED2701ULL * (id + 1)),
+        std::move(assigned));
+  }
+  return assignment_.messages;
+}
+
+ServeResult CcnNetwork::serve(topology::NodeId first_hop,
+                              cache::ContentId content) {
+  CCNOPT_EXPECTS(first_hop < graph_.node_count());
+  CCNOPT_EXPECTS(!failed_[first_hop]);
+  CCNOPT_EXPECTS(content >= 1 && content <= config_.catalog_size);
+  cache::PartitionedStore& own = *stores_[first_hop];
+
+  const bool own_coordinated = own.coordinated_contains(content);
+  if (own.admit(content)) {
+    return ServeResult{ServeTier::kLocal, config_.access_latency_d0_ms, 0,
+                       first_hop, own_coordinated};
+  }
+
+  // Coordinated placement lookup (the paper's mid tier). A failed or
+  // unreachable owner means the content is lost until repair.
+  const auto owner_it = assignment_.owner.find(content);
+  if (owner_it != assignment_.owner.end() && owner_it->second != first_hop &&
+      !failed_[owner_it->second] &&
+      paths_.latency_ms(first_hop, owner_it->second) <
+          topology::kUnreachable) {
+    const topology::NodeId peer = owner_it->second;
+    record_path(first_hop, peer);
+    return ServeResult{
+        ServeTier::kNetwork,
+        config_.access_latency_d0_ms + paths_.latency_ms(first_hop, peer),
+        paths_.hops(first_hop, peer), peer, false};
+  }
+
+  // Optional opportunistic replica lookup in peers' local partitions.
+  if (config_.allow_peer_local_fetch) {
+    topology::NodeId best_peer = first_hop;
+    double best_latency = topology::kUnreachable;
+    for (const topology::NodeId peer : coordinator_.participants()) {
+      if (peer == first_hop || failed_[peer]) continue;
+      if (!stores_[peer]->contains(content)) continue;
+      const double latency = paths_.latency_ms(first_hop, peer);
+      if (latency < best_latency) {
+        best_latency = latency;
+        best_peer = peer;
+      }
+    }
+    if (best_peer != first_hop) {
+      record_path(first_hop, best_peer);
+      return ServeResult{ServeTier::kNetwork,
+                         config_.access_latency_d0_ms + best_latency,
+                         paths_.hops(first_hop, best_peer), best_peer, false};
+    }
+  }
+
+  // Origin: the gateway hosting this content's origin server. It must
+  // remain reachable from every alive router.
+  const NetworkConfig::OriginSpec& origin = origin_for(content);
+  CCNOPT_ASSERT(paths_.latency_ms(first_hop, origin.gateway) <
+                topology::kUnreachable);
+  record_path(first_hop, origin.gateway);
+  const double latency = config_.access_latency_d0_ms +
+                         paths_.latency_ms(first_hop, origin.gateway) +
+                         origin.extra_ms;
+  const std::uint32_t hops =
+      paths_.hops(first_hop, origin.gateway) + origin.extra_hops;
+  return ServeResult{ServeTier::kOrigin, latency, hops, origin.gateway,
+                     false};
+}
+
+const cache::PartitionedStore& CcnNetwork::store(topology::NodeId id) const {
+  CCNOPT_EXPECTS(id < stores_.size());
+  return *stores_[id];
+}
+
+}  // namespace ccnopt::sim

@@ -1,0 +1,165 @@
+// The CCN data plane: routers with partitioned content stores on a real
+// topology, an origin behind a gateway router, and the three-tier serve
+// path of Figure 2 (own store -> coordinated peer -> origin).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ccnopt/cache/partitioned.hpp"
+#include "ccnopt/sim/coordinator.hpp"
+#include "ccnopt/sim/metrics.hpp"
+#include "ccnopt/topology/graph.hpp"
+#include "ccnopt/topology/shortest_paths.hpp"
+
+namespace ccnopt::sim {
+
+enum class LocalStoreMode { kStaticTop, kLru, kLfu, kFifo, kRandom };
+
+const char* to_string(LocalStoreMode mode);
+
+struct NetworkConfig {
+  std::uint64_t catalog_size = 10000;
+  /// Uniform per-router capacity; `capacity_overrides` (indexed by node id,
+  /// same length as the node count) replaces it when non-empty. Routers
+  /// with zero capacity route but do not cache (R0 in Section II).
+  std::size_t capacity_c = 100;
+  std::vector<std::size_t> capacity_overrides;
+  LocalStoreMode local_mode = LocalStoreMode::kStaticTop;
+  /// d0: client <-> first-hop router access latency.
+  double access_latency_d0_ms = 1.0;
+  /// The origin hangs off this router...
+  topology::NodeId origin_gateway = 0;
+  /// ...at this extra latency / hop distance.
+  double origin_extra_ms = 50.0;
+  std::uint32_t origin_extra_hops = 1;
+  /// When true, a miss may be served by the nearest peer whose *local*
+  /// partition holds the content (opportunistic replica lookup); the
+  /// paper's model only consults the coordinator's assignment, so this is
+  /// off by default and exercised by the policy ablation.
+  bool allow_peer_local_fetch = false;
+  /// When true, every network/origin fetch walks its shortest path and
+  /// increments per-link traversal counters (link_load()); carriers read
+  /// this as link utilization. Off by default (costs one tree walk per
+  /// non-local request).
+  bool track_link_load = false;
+  /// Multiple origin attachment points: content -> origins[content mod k].
+  /// Non-empty overrides the single origin_gateway/extra fields ("O is an
+  /// abstraction of multiple origin servers", Section III-A).
+  struct OriginSpec {
+    topology::NodeId gateway = 0;
+    double extra_ms = 50.0;
+    std::uint32_t extra_hops = 1;
+  };
+  std::vector<OriginSpec> origins;
+  std::uint64_t seed = 42;
+};
+
+struct ServeResult {
+  ServeTier tier = ServeTier::kLocal;
+  double latency_ms = 0.0;
+  std::uint32_t hops = 0;
+  topology::NodeId served_by = 0;
+  /// True when the hit came from the router's own coordinated partition —
+  /// Eq. 2 charges those d1 while the physical path is d0; the
+  /// model-vs-simulation bench uses this to reconcile the two accountings.
+  bool own_coordinated_hit = false;
+};
+
+class CcnNetwork {
+ public:
+  /// Requires a connected graph with at least 2 nodes and at least one
+  /// router of non-zero capacity.
+  CcnNetwork(topology::Graph graph, NetworkConfig config);
+
+  const topology::Graph& graph() const { return graph_; }
+  const NetworkConfig& config() const { return config_; }
+  std::size_t router_count() const { return graph_.node_count(); }
+  const std::vector<topology::NodeId>& participants() const {
+    return coordinator_.participants();
+  }
+
+  /// (Re)provisions all stores for a coordination amount `x` per router
+  /// (clamped to each router's capacity): local partitions are rebuilt in
+  /// `local_mode`, the coordinated partitions receive the epoch assignment
+  /// of ranks c_min - x + 1 ... Returns the epoch's coordination message
+  /// count (0 when x = 0).
+  std::uint64_t provision(std::size_t coordinated_x);
+
+  /// Heterogeneous epoch (model/heterogeneous.hpp semantics): participant
+  /// i coordinates x[i] <= capacity, keeps the top capacity - x[i] ranks
+  /// locally, and the pool of sum(x) contents covers the ranks immediately
+  /// after the network-wide local coverage L = max_i (c_i - x_i). x is
+  /// indexed by participant order (participants()). Returns the epoch's
+  /// message count.
+  std::uint64_t provision_heterogeneous(const std::vector<std::size_t>& x);
+
+  /// Serves one request arriving at `first_hop`; mutates dynamic local
+  /// partitions (miss-path admission).
+  ServeResult serve(topology::NodeId first_hop, cache::ContentId content);
+
+  /// Store of one router; precondition: id < router_count().
+  const cache::PartitionedStore& store(topology::NodeId id) const;
+
+  std::size_t capacity_of(topology::NodeId id) const;
+  std::size_t provisioned_x() const { return provisioned_x_; }
+
+  // --- Failure injection ---------------------------------------------------
+  // A failed router neither serves nor forwards: paths are recomputed over
+  // the surviving subgraph, its coordinated contents become unreachable
+  // (requests for them fall through to the origin), and requests cannot
+  // originate at it. The origin gateway must stay alive. Re-provisioning
+  // after failures ("repair") redistributes the coordinated pool over the
+  // surviving participants only.
+
+  /// Marks `id` failed/recovered and recomputes routing. Precondition:
+  /// the origin gateway stays alive.
+  void set_router_failed(topology::NodeId id, bool failed);
+  bool is_failed(topology::NodeId id) const;
+  std::size_t failed_count() const;
+
+  /// Coordinated contents currently owned by failed routers (unreachable
+  /// until repair re-provisions).
+  std::size_t coordinated_contents_lost() const;
+
+  // --- Link load (requires config.track_link_load) -------------------------
+
+  struct LinkLoad {
+    topology::NodeId u = 0;  ///< u < v
+    topology::NodeId v = 0;
+    std::uint64_t traversals = 0;
+  };
+  /// Per-link traversal counts accumulated by serve(); zero-traffic links
+  /// included. Precondition: tracking enabled.
+  std::vector<LinkLoad> link_load() const;
+  /// Largest per-link count (0 when nothing recorded).
+  std::uint64_t max_link_load() const;
+  std::uint64_t total_link_traversals() const { return total_traversals_; }
+  void reset_link_load();
+
+ private:
+  topology::Graph graph_;
+  NetworkConfig config_;
+  std::vector<NetworkConfig::OriginSpec> origins_;  // resolved, never empty
+  topology::AllPairs paths_;
+  Coordinator coordinator_;
+  Coordinator::Assignment assignment_;
+  std::vector<std::unique_ptr<cache::PartitionedStore>> stores_;
+  std::size_t provisioned_x_ = 0;
+  std::vector<bool> failed_;
+
+  static std::vector<topology::NodeId> find_participants(
+      const topology::Graph& graph, const NetworkConfig& config);
+  std::vector<topology::NodeId> alive_participants() const;
+  const NetworkConfig::OriginSpec& origin_for(cache::ContentId content) const;
+  void rebuild_routing();
+  void record_path(topology::NodeId src, topology::NodeId dst);
+
+  // Link-load state: per-source shortest-path trees (kept in sync with
+  // failures) and per-link counters keyed by undirected link index.
+  std::vector<topology::SsspResult> trees_;
+  std::unordered_map<std::uint64_t, std::uint64_t> link_counts_;
+  std::uint64_t total_traversals_ = 0;
+};
+
+}  // namespace ccnopt::sim

@@ -1,0 +1,132 @@
+#include "ccnopt/sim/simulation.hpp"
+
+#include <vector>
+
+#include "ccnopt/common/assert.hpp"
+#include "ccnopt/common/random.hpp"
+
+namespace ccnopt::sim {
+
+Simulation::Simulation(topology::Graph graph, SimConfig config)
+    : config_(std::move(config)) {
+  network_ = std::make_unique<CcnNetwork>(std::move(graph), config_.network);
+  workload_ = std::make_unique<ZipfWorkload>(
+      network_->router_count(), config_.network.catalog_size, config_.zipf_s,
+      config_.seed);
+}
+
+void Simulation::set_workload(std::unique_ptr<Workload> workload) {
+  CCNOPT_EXPECTS(workload != nullptr);
+  CCNOPT_EXPECTS(workload->catalog_size() <= config_.network.catalog_size);
+  workload_ = std::move(workload);
+}
+
+SimReport Simulation::run() {
+  CCNOPT_EXPECTS(config_.arrival_rate_per_router > 0.0);
+  const std::uint64_t messages = network_->provision(config_.coordinated_x);
+
+  MetricsCollector metrics;
+  metrics.record_coordination_messages(messages);
+
+  EventQueue queue;
+  const std::uint64_t total_requests =
+      config_.warmup_requests + config_.measured_requests;
+  std::uint64_t emitted = 0;
+  std::uint64_t aggregated = 0;
+  std::uint64_t upstream = 0;
+
+  // Per-router arrival processes with independent seeded clocks.
+  std::vector<Rng> clocks;
+  clocks.reserve(network_->router_count());
+  for (std::size_t i = 0; i < network_->router_count(); ++i) {
+    clocks.emplace_back(config_.seed ^ (0xA24BAED4963EE407ULL * (i + 1)));
+  }
+
+  // Pending Interest Table (per router x content): requests arriving while
+  // a fetch is in flight join it and complete at its completion event.
+  // A joiner's latency is the remaining flight time — strictly less than a
+  // fresh fetch would have cost it.
+  struct PendingInterest {
+    std::vector<std::pair<SimTime, bool>> joiners;  // (arrival, measured?)
+  };
+  std::unordered_map<std::uint64_t, PendingInterest> pit;
+  const std::uint64_t router_count = network_->router_count();
+  const auto pit_key = [router_count](std::size_t router,
+                                      cache::ContentId content) {
+    return content * router_count + router;
+  };
+
+  // One self-rescheduling arrival chain per active router.
+  std::function<void(std::size_t)> arrival = [&](std::size_t router) {
+    if (emitted >= total_requests) return;
+    const bool measured = emitted >= config_.warmup_requests;
+    ++emitted;
+    const cache::ContentId content = workload_->next(router);
+
+    if (!config_.interest_aggregation) {
+      const ServeResult result =
+          network_->serve(static_cast<topology::NodeId>(router), content);
+      if (result.tier != ServeTier::kLocal) ++upstream;
+      if (measured) {
+        metrics.record(result.tier, result.latency_ms, result.hops);
+      }
+    } else {
+      const std::uint64_t key = pit_key(router, content);
+      const auto it = pit.find(key);
+      if (it != pit.end()) {
+        ++aggregated;
+        it->second.joiners.emplace_back(queue.now(), measured);
+      } else {
+        const ServeResult result =
+            network_->serve(static_cast<topology::NodeId>(router), content);
+        if (result.tier == ServeTier::kLocal) {
+          if (measured) {
+            metrics.record(result.tier, result.latency_ms, result.hops);
+          }
+        } else {
+          ++upstream;
+          pit.emplace(key, PendingInterest{});
+          queue.schedule_after(
+              result.latency_ms, [&metrics, &pit, &queue, key, result,
+                                  measured] {
+                if (measured) {
+                  metrics.record(result.tier, result.latency_ms, result.hops);
+                }
+                auto node = pit.extract(key);
+                CCNOPT_ASSERT(!node.empty());
+                for (const auto& [joined_at, joiner_measured] :
+                     node.mapped().joiners) {
+                  if (joiner_measured) {
+                    metrics.record(result.tier, queue.now() - joined_at,
+                                   result.hops);
+                  }
+                }
+              });
+        }
+      }
+    }
+    queue.schedule_after(
+        clocks[router].exponential(config_.arrival_rate_per_router),
+        [&arrival, router] { arrival(router); });
+  };
+
+  bool any_active = false;
+  for (std::size_t router = 0; router < network_->router_count(); ++router) {
+    if (!workload_->active(router)) continue;
+    any_active = true;
+    queue.schedule_after(
+        clocks[router].exponential(config_.arrival_rate_per_router),
+        [&arrival, router] { arrival(router); });
+  }
+  CCNOPT_EXPECTS(any_active);
+
+  queue.run();
+  CCNOPT_ENSURES(emitted == total_requests);
+  CCNOPT_ENSURES(pit.empty());
+  SimReport report = make_report(metrics);
+  report.aggregated_requests = aggregated;
+  report.upstream_fetches = upstream;
+  return report;
+}
+
+}  // namespace ccnopt::sim

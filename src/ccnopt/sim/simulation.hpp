@@ -1,0 +1,59 @@
+// Ties workload, network, metrics and the event queue into one run:
+// Poisson request arrivals per router, a warmup phase (cache convergence),
+// then a measured phase whose metrics form the SimReport.
+#pragma once
+
+#include <memory>
+
+#include "ccnopt/sim/event.hpp"
+#include "ccnopt/sim/network.hpp"
+#include "ccnopt/sim/workload.hpp"
+
+namespace ccnopt::sim {
+
+struct SimConfig {
+  NetworkConfig network;
+  /// Per-router coordinated storage x (contents). The provisioning epoch
+  /// runs once at simulation start.
+  std::size_t coordinated_x = 0;
+  /// Zipf exponent of the default IRM workload (ignored when a custom
+  /// workload is installed).
+  double zipf_s = 0.8;
+  std::uint64_t warmup_requests = 0;
+  std::uint64_t measured_requests = 100000;
+  /// Poisson arrival rate per router, requests per millisecond.
+  double arrival_rate_per_router = 1.0;
+  /// CCN Pending Interest Table semantics: while a router's fetch for a
+  /// content is in flight, further local requests for it join the pending
+  /// interest instead of issuing their own upstream fetch, and complete
+  /// together when the data arrives. The paper's model has no notion of
+  /// in-flight time, so this is off by default;
+  /// bench_ablation_aggregation measures what it saves.
+  bool interest_aggregation = false;
+  std::uint64_t seed = 42;
+};
+
+class Simulation {
+ public:
+  /// Builds the network and a default ZipfWorkload.
+  Simulation(topology::Graph graph, SimConfig config);
+
+  /// Replaces the workload (e.g. CyclicWorkload for the motivating
+  /// example). Must be called before run(); the workload must cover
+  /// router_count() routers and a catalog within the network's.
+  void set_workload(std::unique_ptr<Workload> workload);
+
+  /// Provisions coordination, replays warmup + measured requests, returns
+  /// the measured-phase report (coordination messages included).
+  SimReport run();
+
+  const CcnNetwork& network() const { return *network_; }
+  CcnNetwork& network() { return *network_; }
+
+ private:
+  SimConfig config_;
+  std::unique_ptr<CcnNetwork> network_;
+  std::unique_ptr<Workload> workload_;
+};
+
+}  // namespace ccnopt::sim

@@ -1,0 +1,117 @@
+#include "ccnopt/sim/workload.hpp"
+
+#include <algorithm>
+
+#include "ccnopt/common/assert.hpp"
+#include "ccnopt/popularity/zipf.hpp"
+
+namespace ccnopt::sim {
+
+ZipfWorkload::ZipfWorkload(std::size_t router_count,
+                           std::uint64_t catalog_size, double exponent,
+                           std::uint64_t seed)
+    : catalog_size_(catalog_size) {
+  CCNOPT_EXPECTS(router_count >= 1);
+  CCNOPT_EXPECTS(catalog_size >= 1);
+  sampler_ = std::make_shared<popularity::AliasSampler>(
+      popularity::ZipfDistribution(catalog_size, exponent));
+  streams_.reserve(router_count);
+  for (std::size_t i = 0; i < router_count; ++i) {
+    streams_.emplace_back(seed + 0x9E3779B97F4A7C15ULL * (i + 1));
+  }
+}
+
+cache::ContentId ZipfWorkload::next(std::size_t router_index) {
+  CCNOPT_EXPECTS(router_index < streams_.size());
+  return sampler_->sample(streams_[router_index]);
+}
+
+DriftingZipfWorkload::DriftingZipfWorkload(std::size_t router_count,
+                                           std::uint64_t catalog_size,
+                                           std::vector<Phase> schedule,
+                                           std::uint64_t seed)
+    : catalog_size_(catalog_size), schedule_(std::move(schedule)) {
+  CCNOPT_EXPECTS(router_count >= 1);
+  CCNOPT_EXPECTS(catalog_size >= 1);
+  CCNOPT_EXPECTS(!schedule_.empty());
+  CCNOPT_EXPECTS(schedule_.front().start_request == 0);
+  for (std::size_t i = 0; i < schedule_.size(); ++i) {
+    CCNOPT_EXPECTS(schedule_[i].exponent > 0.0);
+    if (i > 0) {
+      CCNOPT_EXPECTS(schedule_[i].start_request >
+                     schedule_[i - 1].start_request);
+    }
+  }
+  samplers_.resize(schedule_.size());
+  streams_.reserve(router_count);
+  for (std::size_t i = 0; i < router_count; ++i) {
+    streams_.emplace_back(seed + 0x9E3779B97F4A7C15ULL * (i + 1));
+  }
+}
+
+double DriftingZipfWorkload::current_exponent() const {
+  return schedule_[phase_].exponent;
+}
+
+cache::ContentId DriftingZipfWorkload::next(std::size_t router_index) {
+  CCNOPT_EXPECTS(router_index < streams_.size());
+  while (phase_ + 1 < schedule_.size() &&
+         emitted_ >= schedule_[phase_ + 1].start_request) {
+    ++phase_;
+  }
+  if (samplers_[phase_] == nullptr) {
+    samplers_[phase_] = std::make_shared<popularity::AliasSampler>(
+        popularity::ZipfDistribution(catalog_size_,
+                                     schedule_[phase_].exponent));
+  }
+  ++emitted_;
+  return samplers_[phase_]->sample(streams_[router_index]);
+}
+
+SlidingZipfWorkload::SlidingZipfWorkload(std::size_t router_count,
+                                         std::uint64_t catalog_size,
+                                         double exponent,
+                                         std::uint64_t active_window,
+                                         std::uint64_t drift_interval,
+                                         std::uint64_t seed)
+    : catalog_size_(catalog_size), drift_interval_(drift_interval) {
+  CCNOPT_EXPECTS(router_count >= 1);
+  CCNOPT_EXPECTS(active_window >= 1 && active_window <= catalog_size);
+  CCNOPT_EXPECTS(drift_interval >= 1);
+  sampler_ = std::make_shared<popularity::AliasSampler>(
+      popularity::ZipfDistribution(active_window, exponent));
+  streams_.reserve(router_count);
+  for (std::size_t i = 0; i < router_count; ++i) {
+    streams_.emplace_back(seed + 0x9E3779B97F4A7C15ULL * (i + 1));
+  }
+}
+
+cache::ContentId SlidingZipfWorkload::next(std::size_t router_index) {
+  CCNOPT_EXPECTS(router_index < streams_.size());
+  base_ = emitted_ / drift_interval_;
+  ++emitted_;
+  const std::uint64_t rank = sampler_->sample(streams_[router_index]);
+  return (base_ + rank - 1) % catalog_size_ + 1;
+}
+
+CyclicWorkload::CyclicWorkload(
+    std::vector<std::vector<cache::ContentId>> patterns)
+    : patterns_(std::move(patterns)), cursor_(patterns_.size(), 0) {
+  for (const auto& pattern : patterns_) {
+    for (const cache::ContentId id : pattern) {
+      CCNOPT_EXPECTS(id >= 1);
+      max_id_ = std::max(max_id_, id);
+    }
+  }
+}
+
+cache::ContentId CyclicWorkload::next(std::size_t router_index) {
+  CCNOPT_EXPECTS(router_index < patterns_.size());
+  const auto& pattern = patterns_[router_index];
+  CCNOPT_EXPECTS(!pattern.empty());
+  const cache::ContentId id = pattern[cursor_[router_index]];
+  cursor_[router_index] = (cursor_[router_index] + 1) % pattern.size();
+  return id;
+}
+
+}  // namespace ccnopt::sim

@@ -1,0 +1,125 @@
+// Request workloads. Each router has an attached client population that
+// emits content requests; ZipfWorkload is the Independent Reference Model
+// stream of Section III-A, CyclicWorkload replays a fixed pattern (the
+// motivating example's {a, a, b} flows).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ccnopt/cache/policy.hpp"
+#include "ccnopt/common/random.hpp"
+#include "ccnopt/popularity/sampler.hpp"
+
+namespace ccnopt::sim {
+
+/// Per-router request source; `next(router)` returns the rank requested by
+/// that router's clients.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual cache::ContentId next(std::size_t router_index) = 0;
+  virtual std::uint64_t catalog_size() const = 0;
+  /// False for routers with no attached clients (they route and cache but
+  /// never originate requests).
+  virtual bool active(std::size_t) const { return true; }
+};
+
+/// IRM: every router draws i.i.d. Zipf(s, N) ranks from its own seeded
+/// stream (so event interleaving does not perturb per-router sequences).
+class ZipfWorkload final : public Workload {
+ public:
+  ZipfWorkload(std::size_t router_count, std::uint64_t catalog_size,
+               double exponent, std::uint64_t seed);
+
+  cache::ContentId next(std::size_t router_index) override;
+  std::uint64_t catalog_size() const override { return catalog_size_; }
+
+ private:
+  std::uint64_t catalog_size_;
+  std::shared_ptr<popularity::AliasSampler> sampler_;  // shared, stateless
+  std::vector<Rng> streams_;
+};
+
+/// Zipf IRM whose exponent drifts through a schedule of phases — the
+/// non-stationary workload the adaptive controller (model/adaptive.hpp) is
+/// built against. The phase is selected by the total request count across
+/// all routers, so two instances with equal seeds and schedules replay
+/// identical streams.
+class DriftingZipfWorkload final : public Workload {
+ public:
+  struct Phase {
+    std::uint64_t start_request = 0;  ///< first global request index of the phase
+    double exponent = 0.8;
+  };
+
+  /// Phases must be non-empty, start at request 0, be strictly increasing
+  /// in start_request, and carry exponents > 0.
+  DriftingZipfWorkload(std::size_t router_count, std::uint64_t catalog_size,
+                       std::vector<Phase> schedule, std::uint64_t seed);
+
+  cache::ContentId next(std::size_t router_index) override;
+  std::uint64_t catalog_size() const override { return catalog_size_; }
+
+  double current_exponent() const;
+  std::uint64_t requests_emitted() const { return emitted_; }
+
+ private:
+  std::uint64_t catalog_size_;
+  std::vector<Phase> schedule_;
+  // One sampler per phase, built lazily on first entry.
+  std::vector<std::shared_ptr<popularity::AliasSampler>> samplers_;
+  std::vector<Rng> streams_;
+  std::uint64_t emitted_ = 0;
+  std::size_t phase_ = 0;
+};
+
+/// Zipf IRM with catalog churn: popularity ranks slide through the content
+/// id space, modeling new contents displacing old ones (news cycles, VoD
+/// releases). Rank r maps to id ((base + r - 1) mod catalog) + 1 and the
+/// base advances by one every `drift_interval` total requests, so after
+/// `active_window * drift_interval` requests the popular set has fully
+/// turned over. The paper's steady-state provisioning assumes no churn;
+/// bench_ablation_churn measures what that assumption costs.
+class SlidingZipfWorkload final : public Workload {
+ public:
+  /// Requires active_window <= catalog_size, drift_interval >= 1.
+  SlidingZipfWorkload(std::size_t router_count, std::uint64_t catalog_size,
+                      double exponent, std::uint64_t active_window,
+                      std::uint64_t drift_interval, std::uint64_t seed);
+
+  cache::ContentId next(std::size_t router_index) override;
+  std::uint64_t catalog_size() const override { return catalog_size_; }
+
+  std::uint64_t base_offset() const { return base_; }
+
+ private:
+  std::uint64_t catalog_size_;
+  std::uint64_t drift_interval_;
+  std::shared_ptr<popularity::AliasSampler> sampler_;  // Zipf(active_window)
+  std::vector<Rng> streams_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t base_ = 0;
+};
+
+/// Replays a fixed cyclic pattern per router; routers with an empty pattern
+/// never request (the motivating example's R0).
+class CyclicWorkload final : public Workload {
+ public:
+  explicit CyclicWorkload(std::vector<std::vector<cache::ContentId>> patterns);
+
+  cache::ContentId next(std::size_t router_index) override;
+  std::uint64_t catalog_size() const override { return max_id_; }
+
+  bool active(std::size_t router_index) const override {
+    return !patterns_[router_index].empty();
+  }
+
+ private:
+  std::vector<std::vector<cache::ContentId>> patterns_;
+  std::vector<std::size_t> cursor_;
+  std::uint64_t max_id_ = 0;
+};
+
+}  // namespace ccnopt::sim

@@ -1,0 +1,229 @@
+#include "ccnopt/topology/datasets.hpp"
+
+#include <initializer_list>
+#include <utility>
+
+#include "ccnopt/common/assert.hpp"
+#include "ccnopt/common/strings.hpp"
+#include "ccnopt/topology/geo.hpp"
+
+namespace ccnopt::topology {
+namespace {
+
+struct City {
+  const char* name;
+  double lat;
+  double lon;
+};
+
+Graph build(const std::string& name, std::initializer_list<City> cities,
+            std::initializer_list<std::pair<const char*, const char*>> links,
+            std::size_t expected_links) {
+  Graph g(name);
+  for (const City& c : cities) {
+    g.add_node(NodeInfo{c.name, GeoPoint{c.lat, c.lon}});
+  }
+  const LatencyModel model{};
+  for (const auto& [a, b] : links) add_geo_edge(g, a, b, model);
+  CCNOPT_ENSURES(g.undirected_edge_count() == expected_links);
+  CCNOPT_ENSURES(g.is_connected());
+  return g;
+}
+
+}  // namespace
+
+Graph abilene() {
+  return build(
+      "Abilene",
+      {
+          {"Seattle", 47.61, -122.33},
+          {"Sunnyvale", 37.37, -122.04},
+          {"LosAngeles", 34.05, -118.24},
+          {"Denver", 39.74, -104.99},
+          {"KansasCity", 39.10, -94.58},
+          {"Houston", 29.76, -95.37},
+          {"Indianapolis", 39.77, -86.16},
+          {"Atlanta", 33.75, -84.39},
+          {"Chicago", 41.88, -87.63},
+          {"WashingtonDC", 38.91, -77.04},
+          {"NewYork", 40.71, -74.01},
+      },
+      {
+          {"Seattle", "Sunnyvale"},
+          {"Seattle", "Denver"},
+          {"Sunnyvale", "LosAngeles"},
+          {"Sunnyvale", "Denver"},
+          {"LosAngeles", "Houston"},
+          {"Denver", "KansasCity"},
+          {"KansasCity", "Houston"},
+          {"KansasCity", "Indianapolis"},
+          {"Houston", "Atlanta"},
+          {"Indianapolis", "Atlanta"},
+          {"Indianapolis", "Chicago"},
+          {"Chicago", "NewYork"},
+          {"Atlanta", "WashingtonDC"},
+          {"NewYork", "WashingtonDC"},
+      },
+      14);
+}
+
+Graph cernet() {
+  return build(
+      "CERNET",
+      {
+          {"Beijing", 39.90, 116.40},   {"Shanghai", 31.23, 121.47},
+          {"Guangzhou", 23.13, 113.26}, {"Wuhan", 30.59, 114.31},
+          {"Nanjing", 32.06, 118.80},   {"Xian", 34.34, 108.94},
+          {"Chengdu", 30.57, 104.07},   {"Shenyang", 41.80, 123.43},
+          {"Tianjin", 39.13, 117.20},   {"Jinan", 36.65, 117.12},
+          {"Hefei", 31.82, 117.23},     {"Hangzhou", 30.27, 120.15},
+          {"Fuzhou", 26.07, 119.30},    {"Xiamen", 24.48, 118.09},
+          {"Changsha", 28.23, 112.94},  {"Chongqing", 29.56, 106.55},
+          {"Kunming", 25.04, 102.72},   {"Guiyang", 26.65, 106.63},
+          {"Nanning", 22.82, 108.32},   {"Haikou", 20.04, 110.32},
+          {"Zhengzhou", 34.75, 113.63}, {"Shijiazhuang", 38.04, 114.51},
+          {"Taiyuan", 37.87, 112.55},   {"Hohhot", 40.84, 111.75},
+          {"Lanzhou", 36.06, 103.83},   {"Xining", 36.62, 101.78},
+          {"Yinchuan", 38.49, 106.23},  {"Urumqi", 43.83, 87.62},
+          {"Harbin", 45.80, 126.53},    {"Changchun", 43.82, 125.32},
+          {"Dalian", 38.91, 121.61},    {"Qingdao", 36.07, 120.38},
+          {"Suzhou", 31.30, 120.58},    {"Ningbo", 29.87, 121.54},
+          {"Nanchang", 28.68, 115.86},  {"Lhasa", 29.65, 91.14},
+      },
+      {
+          {"Beijing", "Shanghai"},     {"Beijing", "Wuhan"},
+          {"Beijing", "Xian"},         {"Beijing", "Shenyang"},
+          {"Beijing", "Tianjin"},      {"Shanghai", "Nanjing"},
+          {"Shanghai", "Wuhan"},       {"Shanghai", "Guangzhou"},
+          {"Shanghai", "Hangzhou"},    {"Guangzhou", "Wuhan"},
+          {"Guangzhou", "Changsha"},   {"Guangzhou", "Nanning"},
+          {"Guangzhou", "Haikou"},     {"Guangzhou", "Xiamen"},
+          {"Wuhan", "Changsha"},       {"Wuhan", "Zhengzhou"},
+          {"Wuhan", "Nanchang"},       {"Wuhan", "Chongqing"},
+          {"Nanjing", "Hefei"},        {"Nanjing", "Suzhou"},
+          {"Nanjing", "Jinan"},        {"Xian", "Chengdu"},
+          {"Xian", "Lanzhou"},         {"Xian", "Zhengzhou"},
+          {"Xian", "Taiyuan"},         {"Chengdu", "Chongqing"},
+          {"Chengdu", "Kunming"},      {"Chengdu", "Lhasa"},
+          {"Shenyang", "Changchun"},   {"Changchun", "Harbin"},
+          {"Shenyang", "Dalian"},      {"Tianjin", "Jinan"},
+          {"Jinan", "Qingdao"},        {"Hangzhou", "Ningbo"},
+          {"Hangzhou", "Fuzhou"},      {"Fuzhou", "Xiamen"},
+          {"Changsha", "Guiyang"},     {"Guiyang", "Kunming"},
+          {"Guiyang", "Chongqing"},    {"Zhengzhou", "Shijiazhuang"},
+          {"Shijiazhuang", "Beijing"}, {"Taiyuan", "Shijiazhuang"},
+          {"Hohhot", "Beijing"},       {"Hohhot", "Taiyuan"},
+          {"Lanzhou", "Xining"},       {"Lanzhou", "Yinchuan"},
+          {"Yinchuan", "Hohhot"},      {"Urumqi", "Lanzhou"},
+          {"Urumqi", "Xian"},          {"Hefei", "Wuhan"},
+          {"Nanchang", "Changsha"},    {"Nanchang", "Fuzhou"},
+          {"Suzhou", "Shanghai"},      {"Qingdao", "Shanghai"},
+          {"Haikou", "Nanning"},       {"Xining", "Chengdu"},
+      },
+      56);
+}
+
+Graph geant() {
+  return build(
+      "GEANT",
+      {
+          {"London", 51.51, -0.13},    {"Paris", 48.86, 2.35},
+          {"Frankfurt", 50.11, 8.68},  {"Milan", 45.46, 9.19},
+          {"Madrid", 40.42, -3.70},    {"Lisbon", 38.72, -9.14},
+          {"Dublin", 53.35, -6.26},    {"Amsterdam", 52.37, 4.90},
+          {"Brussels", 50.85, 4.35},   {"Luxembourg", 49.61, 6.13},
+          {"Geneva", 46.20, 6.14},     {"Vienna", 48.21, 16.37},
+          {"Prague", 50.08, 14.44},    {"Poznan", 52.41, 16.93},
+          {"Bratislava", 48.15, 17.11},{"Budapest", 47.50, 19.04},
+          {"Ljubljana", 46.06, 14.51}, {"Zagreb", 45.81, 15.98},
+          {"Athens", 37.98, 23.73},    {"Bucharest", 44.43, 26.10},
+          {"Stockholm", 59.33, 18.07}, {"Copenhagen", 55.68, 12.57},
+          {"Tallinn", 59.44, 24.75},
+      },
+      {
+          {"London", "Paris"},        {"London", "Amsterdam"},
+          {"London", "Dublin"},       {"London", "Frankfurt"},
+          {"Paris", "Madrid"},        {"Paris", "Geneva"},
+          {"Paris", "Brussels"},      {"Paris", "Frankfurt"},
+          {"Frankfurt", "Amsterdam"}, {"Frankfurt", "Geneva"},
+          {"Frankfurt", "Prague"},    {"Frankfurt", "Vienna"},
+          {"Frankfurt", "Copenhagen"},{"Frankfurt", "Poznan"},
+          {"Amsterdam", "Brussels"},  {"Amsterdam", "Copenhagen"},
+          {"Brussels", "Luxembourg"}, {"Luxembourg", "Frankfurt"},
+          {"Geneva", "Milan"},        {"Milan", "Vienna"},
+          {"Milan", "Madrid"},        {"Madrid", "Lisbon"},
+          {"Lisbon", "London"},       {"Vienna", "Prague"},
+          {"Vienna", "Budapest"},     {"Vienna", "Bratislava"},
+          {"Vienna", "Ljubljana"},    {"Prague", "Poznan"},
+          {"Poznan", "Stockholm"},    {"Bratislava", "Budapest"},
+          {"Budapest", "Zagreb"},     {"Budapest", "Bucharest"},
+          {"Ljubljana", "Zagreb"},    {"Stockholm", "Tallinn"},
+          {"Athens", "Milan"},        {"Bucharest", "Athens"},
+          {"Stockholm", "Copenhagen"},
+      },
+      37);
+}
+
+Graph us_a() {
+  return build(
+      "US-A",
+      {
+          {"Seattle", 47.61, -122.33},     {"SanFrancisco", 37.77, -122.42},
+          {"LosAngeles", 34.05, -118.24},  {"SanDiego", 32.72, -117.16},
+          {"Phoenix", 33.45, -112.07},     {"SaltLakeCity", 40.76, -111.89},
+          {"Denver", 39.74, -104.99},      {"Dallas", 32.78, -96.80},
+          {"Houston", 29.76, -95.37},      {"KansasCity", 39.10, -94.58},
+          {"Minneapolis", 44.98, -93.27},  {"Chicago", 41.88, -87.63},
+          {"StLouis", 38.63, -90.20},      {"Atlanta", 33.75, -84.39},
+          {"Miami", 25.76, -80.19},        {"Charlotte", 35.23, -80.84},
+          {"WashingtonDC", 38.91, -77.04}, {"Philadelphia", 39.95, -75.17},
+          {"NewYork", 40.71, -74.01},      {"Boston", 42.36, -71.06},
+      },
+      {
+          {"Seattle", "SanFrancisco"},    {"Seattle", "SaltLakeCity"},
+          {"Seattle", "Minneapolis"},     {"SanFrancisco", "LosAngeles"},
+          {"SanFrancisco", "SaltLakeCity"},{"SanFrancisco", "Denver"},
+          {"LosAngeles", "SanDiego"},     {"LosAngeles", "Phoenix"},
+          {"LosAngeles", "Dallas"},       {"SanDiego", "Phoenix"},
+          {"Phoenix", "Dallas"},          {"Phoenix", "Denver"},
+          {"SaltLakeCity", "Denver"},     {"Denver", "KansasCity"},
+          {"Denver", "Dallas"},           {"Dallas", "Houston"},
+          {"Dallas", "KansasCity"},       {"Dallas", "Atlanta"},
+          {"Houston", "Atlanta"},         {"Houston", "Miami"},
+          {"KansasCity", "StLouis"},      {"KansasCity", "Chicago"},
+          {"Minneapolis", "Chicago"},     {"Minneapolis", "KansasCity"},
+          {"Chicago", "StLouis"},         {"Chicago", "NewYork"},
+          {"Chicago", "WashingtonDC"},    {"Chicago", "Boston"},
+          {"StLouis", "Atlanta"},         {"Atlanta", "Charlotte"},
+          {"Atlanta", "Miami"},           {"Atlanta", "WashingtonDC"},
+          {"Charlotte", "WashingtonDC"},  {"Miami", "WashingtonDC"},
+          {"WashingtonDC", "Philadelphia"},{"Philadelphia", "NewYork"},
+          {"NewYork", "Boston"},          {"NewYork", "WashingtonDC"},
+          {"Boston", "Philadelphia"},     {"Seattle", "Denver"},
+      },
+      40);
+}
+
+std::vector<std::string> dataset_names() {
+  return {"Abilene", "CERNET", "GEANT", "US-A"};
+}
+
+Expected<Graph> dataset_by_name(const std::string& name) {
+  const std::string key = to_lower(name);
+  if (key == "abilene") return abilene();
+  if (key == "cernet") return cernet();
+  if (key == "geant") return geant();
+  if (key == "us-a" || key == "usa" || key == "us_a") return us_a();
+  return Status(ErrorCode::kNotFound, "unknown dataset: " + name);
+}
+
+std::vector<Graph> all_datasets() {
+  std::vector<Graph> out;
+  out.push_back(abilene());
+  out.push_back(cernet());
+  out.push_back(geant());
+  out.push_back(us_a());
+  return out;
+}
+
+}  // namespace ccnopt::topology

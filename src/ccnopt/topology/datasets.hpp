@@ -1,0 +1,42 @@
+// The four evaluation topologies of the paper's Table II.
+//
+// Abilene is the real Internet2/Abilene backbone (11 PoPs, 14 links; the
+// paper's |E| = 28 counts directed edges). CERNET, GEANT and US-A are
+// geographically faithful synthetics: real city coordinates, hand-authored
+// link sets matched to the paper's |V| and |E|, link latencies from the
+// great-circle LatencyModel. See DESIGN.md "Substitutions".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ccnopt/common/error.hpp"
+#include "ccnopt/topology/graph.hpp"
+
+namespace ccnopt::topology {
+
+/// Internet2/Abilene backbone: 11 nodes, 28 directed edges, North America.
+Graph abilene();
+
+/// CERNET (China Education and Research Network): 36 nodes, 112 directed
+/// edges, East Asia. Synthetic link set.
+Graph cernet();
+
+/// GEANT pan-European research network: 23 nodes, 74 directed edges.
+/// Synthetic link set.
+Graph geant();
+
+/// Anonymized North-American tier-1 commercial carrier: 20 nodes, 80
+/// directed edges. Synthetic link set.
+Graph us_a();
+
+/// Names accepted by `dataset_by_name`, in the paper's Table II order.
+std::vector<std::string> dataset_names();
+
+/// Case-insensitive lookup: "abilene", "cernet", "geant", "us-a" (or "usa").
+Expected<Graph> dataset_by_name(const std::string& name);
+
+/// All four datasets in Table II order.
+std::vector<Graph> all_datasets();
+
+}  // namespace ccnopt::topology

@@ -1,0 +1,41 @@
+// Synthetic topology generators: structured families (ring, line, star,
+// grid, full mesh) with constant link latency, and Waxman random geometric
+// graphs. Used by property tests and by sensitivity experiments that vary
+// the network size n beyond the four embedded datasets.
+#pragma once
+
+#include <cstddef>
+
+#include "ccnopt/common/random.hpp"
+#include "ccnopt/topology/graph.hpp"
+
+namespace ccnopt::topology {
+
+/// Ring of n >= 3 nodes, each link with `latency_ms`.
+Graph make_ring(std::size_t n, double latency_ms = 1.0);
+
+/// Path of n >= 2 nodes.
+Graph make_line(std::size_t n, double latency_ms = 1.0);
+
+/// Star: node 0 is the hub, nodes 1..n-1 are leaves. Requires n >= 2.
+Graph make_star(std::size_t n, double latency_ms = 1.0);
+
+/// rows x cols grid, 4-neighborhood. Requires rows, cols >= 1 and
+/// rows * cols >= 2.
+Graph make_grid(std::size_t rows, std::size_t cols, double latency_ms = 1.0);
+
+/// Complete graph on n >= 2 nodes.
+Graph make_full_mesh(std::size_t n, double latency_ms = 1.0);
+
+/// Waxman random geometric graph: n nodes uniform in a `side_km` square;
+/// link probability alpha * exp(-dist / (beta * L)) with L the diagonal.
+/// A spanning tree over nearest neighbors is added first so the result is
+/// always connected. Latencies follow the geographic LatencyModel.
+struct WaxmanOptions {
+  double alpha = 0.4;
+  double beta = 0.2;
+  double side_km = 4000.0;
+};
+Graph make_waxman(std::size_t n, Rng& rng, const WaxmanOptions& options = {});
+
+}  // namespace ccnopt::topology

@@ -1,0 +1,175 @@
+#include "ccnopt/topology/shortest_paths.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "ccnopt/common/assert.hpp"
+
+namespace ccnopt::topology {
+
+SsspResult dijkstra(const Graph& g, NodeId source) {
+  CCNOPT_EXPECTS(source < g.node_count());
+  const std::size_t n = g.node_count();
+  SsspResult result;
+  result.latency_ms.assign(n, kUnreachable);
+  result.parent.assign(n, kNoParent);
+  result.latency_ms[source] = 0.0;
+
+  using Entry = std::pair<double, NodeId>;  // (distance, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [dist, u] = heap.top();
+    heap.pop();
+    if (dist > result.latency_ms[u]) continue;  // stale entry
+    for (const Edge& e : g.neighbors(u)) {
+      const double candidate = dist + e.latency_ms;
+      if (candidate < result.latency_ms[e.to]) {
+        result.latency_ms[e.to] = candidate;
+        result.parent[e.to] = u;
+        heap.emplace(candidate, e.to);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::uint32_t> bfs_hops(const Graph& g, NodeId source) {
+  CCNOPT_EXPECTS(source < g.node_count());
+  std::vector<std::uint32_t> hops(g.node_count(), kUnreachableHops);
+  hops[source] = 0;
+  std::queue<NodeId> frontier;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const Edge& e : g.neighbors(u)) {
+      if (hops[e.to] == kUnreachableHops) {
+        hops[e.to] = hops[u] + 1;
+        frontier.push(e.to);
+      }
+    }
+  }
+  return hops;
+}
+
+std::vector<NodeId> extract_path(const SsspResult& sssp, NodeId source,
+                                 NodeId target) {
+  CCNOPT_EXPECTS(target < sssp.parent.size());
+  if (sssp.latency_ms[target] >= kUnreachable) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = target; v != source; v = sssp.parent[v]) {
+    CCNOPT_ASSERT(v != kNoParent);
+    path.push_back(v);
+  }
+  path.push_back(source);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+AllPairs all_pairs(const Graph& g) {
+  const std::size_t n = g.node_count();
+  AllPairs table{Matrix<double>(n, n, kUnreachable),
+                 Matrix<std::uint32_t>(n, n, kUnreachableHops)};
+  for (NodeId src = 0; src < n; ++src) {
+    const SsspResult sssp = dijkstra(g, src);
+    const std::vector<std::uint32_t> hops = bfs_hops(g, src);
+    for (NodeId dst = 0; dst < n; ++dst) {
+      table.latency_ms(src, dst) = sssp.latency_ms[dst];
+      table.hops(src, dst) = hops[dst];
+    }
+  }
+  return table;
+}
+
+SsspResult dijkstra_filtered(const Graph& g, NodeId source,
+                             const std::vector<bool>& blocked) {
+  CCNOPT_EXPECTS(source < g.node_count());
+  CCNOPT_EXPECTS(blocked.size() == g.node_count());
+  const std::size_t n = g.node_count();
+  SsspResult result;
+  result.latency_ms.assign(n, kUnreachable);
+  result.parent.assign(n, kNoParent);
+  if (blocked[source]) return result;
+  result.latency_ms[source] = 0.0;
+
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [dist, u] = heap.top();
+    heap.pop();
+    if (dist > result.latency_ms[u]) continue;
+    for (const Edge& e : g.neighbors(u)) {
+      if (blocked[e.to]) continue;
+      const double candidate = dist + e.latency_ms;
+      if (candidate < result.latency_ms[e.to]) {
+        result.latency_ms[e.to] = candidate;
+        result.parent[e.to] = u;
+        heap.emplace(candidate, e.to);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::uint32_t> bfs_hops_filtered(
+    const Graph& g, NodeId source, const std::vector<bool>& blocked) {
+  CCNOPT_EXPECTS(source < g.node_count());
+  CCNOPT_EXPECTS(blocked.size() == g.node_count());
+  std::vector<std::uint32_t> hops(g.node_count(), kUnreachableHops);
+  if (blocked[source]) return hops;
+  hops[source] = 0;
+  std::queue<NodeId> frontier;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const Edge& e : g.neighbors(u)) {
+      if (blocked[e.to]) continue;
+      if (hops[e.to] == kUnreachableHops) {
+        hops[e.to] = hops[u] + 1;
+        frontier.push(e.to);
+      }
+    }
+  }
+  return hops;
+}
+
+AllPairs all_pairs_filtered(const Graph& g,
+                            const std::vector<bool>& blocked) {
+  const std::size_t n = g.node_count();
+  AllPairs table{Matrix<double>(n, n, kUnreachable),
+                 Matrix<std::uint32_t>(n, n, kUnreachableHops)};
+  for (NodeId src = 0; src < n; ++src) {
+    const SsspResult sssp = dijkstra_filtered(g, src, blocked);
+    const std::vector<std::uint32_t> hops = bfs_hops_filtered(g, src, blocked);
+    for (NodeId dst = 0; dst < n; ++dst) {
+      table.latency_ms(src, dst) = sssp.latency_ms[dst];
+      table.hops(src, dst) = hops[dst];
+    }
+  }
+  return table;
+}
+
+Matrix<double> floyd_warshall_latency(const Graph& g) {
+  const std::size_t n = g.node_count();
+  Matrix<double> dist(n, n, kUnreachable);
+  for (std::size_t i = 0; i < n; ++i) dist(i, i) = 0.0;
+  for (const Graph::Link& link : g.links()) {
+    dist(link.u, link.v) = std::min(dist(link.u, link.v), link.latency_ms);
+    dist(link.v, link.u) = std::min(dist(link.v, link.u), link.latency_ms);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dist(i, k) >= kUnreachable) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double via = dist(i, k) + dist(k, j);
+        if (via < dist(i, j)) dist(i, j) = via;
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace ccnopt::topology

@@ -1,0 +1,51 @@
+#include "ccnopt/cache/fifo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccnopt::cache {
+namespace {
+
+TEST(Fifo, EvictsOldestInsertion) {
+  FifoCache cache(2);
+  cache.admit(1);
+  cache.admit(2);
+  cache.admit(3);  // evicts 1
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(Fifo, HitsDoNotRefreshOrder) {
+  FifoCache cache(2);
+  cache.admit(1);
+  cache.admit(2);
+  EXPECT_TRUE(cache.admit(1));  // hit, but 1 stays oldest
+  cache.admit(3);               // still evicts 1
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(Fifo, ContentsInInsertionOrder) {
+  FifoCache cache(3);
+  cache.admit(5);
+  cache.admit(3);
+  cache.admit(9);
+  EXPECT_EQ(cache.contents(), (std::vector<ContentId>{5, 3, 9}));
+}
+
+TEST(Fifo, ZeroCapacity) {
+  FifoCache cache(0);
+  EXPECT_FALSE(cache.admit(1));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(Fifo, StatsTrackEvictions) {
+  FifoCache cache(1);
+  cache.admit(1);
+  cache.admit(2);
+  cache.admit(3);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_EQ(cache.stats().insertions, 3u);
+}
+
+}  // namespace
+}  // namespace ccnopt::cache

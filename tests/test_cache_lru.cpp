@@ -1,0 +1,90 @@
+#include "ccnopt/cache/lru.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccnopt::cache {
+namespace {
+
+TEST(Lru, MissThenHit) {
+  LruCache cache(2);
+  EXPECT_FALSE(cache.admit(1));
+  EXPECT_TRUE(cache.admit(1));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  LruCache cache(2);
+  cache.admit(1);
+  cache.admit(2);
+  cache.admit(1);  // 1 is now most recent
+  cache.admit(3);  // evicts 2
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(Lru, HitRefreshesRecency) {
+  LruCache cache(3);
+  cache.admit(1);
+  cache.admit(2);
+  cache.admit(3);
+  cache.admit(1);  // refresh 1
+  cache.admit(4);  // evicts 2 (oldest untouched)
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(Lru, ContainsDoesNotRefresh) {
+  LruCache cache(2);
+  cache.admit(1);
+  cache.admit(2);
+  EXPECT_TRUE(cache.contains(1));  // lookup without touching recency
+  cache.admit(3);                  // must still evict 1 (oldest by admit)
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(Lru, ContentsInRecencyOrder) {
+  LruCache cache(3);
+  cache.admit(1);
+  cache.admit(2);
+  cache.admit(3);
+  cache.admit(1);
+  EXPECT_EQ(cache.contents(), (std::vector<ContentId>{1, 3, 2}));
+}
+
+TEST(Lru, ZeroCapacityNeverStores) {
+  LruCache cache(0);
+  EXPECT_FALSE(cache.admit(1));
+  EXPECT_FALSE(cache.admit(1));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(Lru, StatsAccounting) {
+  LruCache cache(1);
+  cache.admit(1);  // miss + insert
+  cache.admit(1);  // hit
+  cache.admit(2);  // miss + insert + evict
+  const CacheStats& stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.insertions, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_ratio(), 1.0 / 3.0);
+  cache.reset_stats();
+  EXPECT_EQ(cache.stats().requests(), 0u);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_ratio(), 0.0);
+}
+
+TEST(Lru, SequentialScanThrashes) {
+  // Classic LRU pathology: a cyclic scan one larger than capacity never
+  // hits after warmup.
+  LruCache cache(3);
+  for (int round = 0; round < 5; ++round) {
+    for (ContentId id = 1; id <= 4; ++id) cache.admit(id);
+  }
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace ccnopt::cache

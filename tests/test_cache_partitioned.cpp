@@ -1,0 +1,103 @@
+#include "ccnopt/cache/partitioned.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ccnopt/cache/lru.hpp"
+#include "ccnopt/cache/static_cache.hpp"
+
+namespace ccnopt::cache {
+namespace {
+
+std::unique_ptr<PartitionedStore> make_store(std::size_t total,
+                                             std::size_t coordinated,
+                                             std::vector<ContentId> assigned) {
+  return std::make_unique<PartitionedStore>(
+      total, coordinated, std::make_unique<LruCache>(total - coordinated),
+      std::move(assigned));
+}
+
+TEST(Partitioned, LookupConsultsBothPartitions) {
+  auto store = make_store(4, 2, {100, 101});
+  EXPECT_TRUE(store->admit(100));  // coordinated hit
+  EXPECT_FALSE(store->admit(7));   // miss -> admitted to local LRU
+  EXPECT_TRUE(store->admit(7));    // local hit
+  EXPECT_TRUE(store->contains(101));
+  EXPECT_TRUE(store->contains(7));
+}
+
+TEST(Partitioned, CoordinatedHitsDoNotTouchLocal) {
+  auto store = make_store(3, 1, {42});
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(store->admit(42));
+  EXPECT_EQ(store->local().size(), 0u);
+}
+
+TEST(Partitioned, MissesOnlyAdmitIntoLocal) {
+  auto store = make_store(3, 1, {42});
+  store->admit(1);
+  store->admit(2);
+  store->admit(3);  // local capacity 2 -> evicts 1
+  EXPECT_FALSE(store->contains(1));
+  EXPECT_TRUE(store->contains(2));
+  EXPECT_TRUE(store->contains(3));
+  EXPECT_TRUE(store->coordinated_contains(42));
+  EXPECT_LE(store->size(), store->capacity());
+}
+
+TEST(Partitioned, AssignCoordinatedReplacesEpoch) {
+  auto store = make_store(4, 2, {10, 11});
+  store->assign_coordinated({20});
+  EXPECT_FALSE(store->coordinated_contains(10));
+  EXPECT_TRUE(store->coordinated_contains(20));
+  EXPECT_EQ(store->coordinated_contents(), (std::vector<ContentId>{20}));
+}
+
+TEST(Partitioned, ContentsUnionOfPartitions) {
+  auto store = make_store(4, 2, {100, 101});
+  store->admit(1);
+  auto contents = store->contents();
+  std::sort(contents.begin(), contents.end());
+  EXPECT_EQ(contents, (std::vector<ContentId>{1, 100, 101}));
+}
+
+TEST(Partitioned, FullyCoordinated) {
+  auto store = make_store(2, 2, {5, 6});
+  EXPECT_FALSE(store->admit(9));  // nothing can be admitted locally
+  EXPECT_FALSE(store->contains(9));
+  EXPECT_EQ(store->size(), 2u);
+}
+
+TEST(Partitioned, FullyLocal) {
+  auto store = make_store(2, 0, {});
+  EXPECT_EQ(store->coordinated_capacity(), 0u);
+  store->admit(1);
+  EXPECT_TRUE(store->contains(1));
+}
+
+TEST(Partitioned, StatsAggregateAtStoreLevel) {
+  auto store = make_store(3, 1, {42});
+  store->admit(42);  // hit
+  store->admit(1);   // miss
+  store->admit(1);   // hit (local)
+  EXPECT_EQ(store->stats().hits, 2u);
+  EXPECT_EQ(store->stats().misses, 1u);
+}
+
+TEST(PartitionedDeath, LocalCapacityMustMatchSplit) {
+  EXPECT_DEATH(PartitionedStore(4, 2, std::make_unique<LruCache>(3), {}),
+               "precondition");
+}
+
+TEST(PartitionedDeath, AssignmentOverflow) {
+  auto store = make_store(3, 1, {});
+  EXPECT_DEATH(store->assign_coordinated({1, 2}), "precondition");
+}
+
+TEST(PartitionedDeath, CoordinatedExceedsTotal) {
+  EXPECT_DEATH(PartitionedStore(2, 3, std::make_unique<LruCache>(0), {}),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace ccnopt::cache

@@ -1,0 +1,75 @@
+#include "ccnopt/cache/random_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace ccnopt::cache {
+namespace {
+
+TEST(RandomCache, BasicHitMiss) {
+  RandomCache cache(2, 1);
+  EXPECT_FALSE(cache.admit(1));
+  EXPECT_TRUE(cache.admit(1));
+  EXPECT_FALSE(cache.admit(2));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(RandomCache, CapacityNeverExceeded) {
+  RandomCache cache(4, 2);
+  for (ContentId id = 1; id <= 200; ++id) {
+    cache.admit(id);
+    EXPECT_LE(cache.size(), 4u);
+  }
+  EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST(RandomCache, EvictionVictimIsResident) {
+  // After every admit, the contents must be a subset of everything ever
+  // inserted and contain the newest id.
+  RandomCache cache(3, 7);
+  std::set<ContentId> inserted;
+  for (ContentId id = 1; id <= 50; ++id) {
+    cache.admit(id);
+    inserted.insert(id);
+    EXPECT_TRUE(cache.contains(id));
+    for (ContentId resident : cache.contents()) {
+      EXPECT_TRUE(inserted.count(resident) > 0);
+    }
+  }
+}
+
+TEST(RandomCache, DeterministicPerSeed) {
+  RandomCache a(3, 42), b(3, 42);
+  for (ContentId id = 1; id <= 100; ++id) {
+    a.admit(id);
+    b.admit(id);
+  }
+  auto ca = a.contents();
+  auto cb = b.contents();
+  std::sort(ca.begin(), ca.end());
+  std::sort(cb.begin(), cb.end());
+  EXPECT_EQ(ca, cb);
+}
+
+TEST(RandomCache, EventuallyEvictsAnything) {
+  // With uniform victims, any given early entry is eventually displaced.
+  RandomCache cache(2, 9);
+  cache.admit(1);
+  bool evicted = false;
+  for (ContentId id = 2; id <= 200 && !evicted; ++id) {
+    cache.admit(id);
+    evicted = !cache.contains(1);
+  }
+  EXPECT_TRUE(evicted);
+}
+
+TEST(RandomCache, ZeroCapacity) {
+  RandomCache cache(0, 3);
+  EXPECT_FALSE(cache.admit(1));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ccnopt::cache

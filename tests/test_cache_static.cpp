@@ -1,0 +1,74 @@
+#include "ccnopt/cache/static_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ccnopt::cache {
+namespace {
+
+TEST(StaticCache, HoldsExactlyTheProvisionedSet) {
+  StaticCache cache({3, 5, 7});
+  EXPECT_EQ(cache.capacity(), 3u);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_TRUE(cache.contains(5));
+  EXPECT_TRUE(cache.contains(7));
+  EXPECT_FALSE(cache.contains(4));
+}
+
+TEST(StaticCache, NeverAdmitsOnMiss) {
+  StaticCache cache({1});
+  EXPECT_FALSE(cache.admit(2));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(StaticCache, HitsOnProvisionedContents) {
+  StaticCache cache({1, 2});
+  EXPECT_TRUE(cache.admit(1));
+  EXPECT_TRUE(cache.admit(2));
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(StaticCache, TopRankIds) {
+  const auto ids = StaticCache::top_rank_ids(4);
+  EXPECT_EQ(ids, (std::vector<ContentId>{1, 2, 3, 4}));
+  EXPECT_TRUE(StaticCache::top_rank_ids(0).empty());
+}
+
+TEST(StaticCache, MakeTopFactory) {
+  const auto cache = StaticCache::make_top(3);
+  EXPECT_TRUE(cache->contains(1));
+  EXPECT_TRUE(cache->contains(3));
+  EXPECT_FALSE(cache->contains(4));
+}
+
+TEST(StaticCache, ReprovisionReplacesSet) {
+  StaticCache cache({1, 2, 3});
+  cache.reprovision({8, 9});
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(8));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.capacity(), 3u);  // capacity fixed at construction
+}
+
+TEST(StaticCache, EmptySet) {
+  StaticCache cache(std::vector<ContentId>{});
+  EXPECT_EQ(cache.capacity(), 0u);
+  EXPECT_FALSE(cache.admit(1));
+}
+
+TEST(StaticCacheDeath, DuplicateIdsRejected) {
+  EXPECT_DEATH(StaticCache({1, 1}), "precondition");
+}
+
+TEST(StaticCacheDeath, ReprovisionOverCapacity) {
+  StaticCache cache({1});
+  EXPECT_DEATH(cache.reprovision({2, 3}), "precondition");
+}
+
+}  // namespace
+}  // namespace ccnopt::cache

@@ -1,0 +1,118 @@
+// End-to-end tests of the `ccnopt` CLI binary: each subcommand is spawned
+// as a real process (path injected by CMake) and its stdout inspected.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#ifndef CCNOPT_CLI_PATH
+#error "CCNOPT_CLI_PATH must be defined by the build"
+#endif
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult run_cli(const std::string& arguments) {
+  const std::string command =
+      std::string(CCNOPT_CLI_PATH) + " " + arguments + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  RunResult result;
+  std::array<char, 4096> buffer;
+  while (fgets(buffer.data(), static_cast<int>(buffer.size()), pipe)) {
+    result.output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+TEST(Cli, HelpListsSubcommands) {
+  const RunResult result = run_cli("help");
+  EXPECT_EQ(result.exit_code, 0);
+  for (const char* subcommand :
+       {"optimize", "sweep", "simulate", "adaptive", "hetero", "regret",
+        "topology"}) {
+    EXPECT_NE(result.output.find(subcommand), std::string::npos)
+        << subcommand;
+  }
+}
+
+TEST(Cli, NoArgumentsPrintsUsage) {
+  const RunResult result = run_cli("");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("subcommands"), std::string::npos);
+}
+
+TEST(Cli, UnknownSubcommandFails) {
+  const RunResult result = run_cli("frobnicate");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("unknown subcommand"), std::string::npos);
+}
+
+TEST(Cli, OptimizeReportsStrategyAndGains) {
+  const RunResult result = run_cli("optimize --topology=abilene --alpha=0.8");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("l* ="), std::string::npos);
+  EXPECT_NE(result.output.find("G_O ="), std::string::npos);
+  EXPECT_NE(result.output.find("Abilene"), std::string::npos);
+}
+
+TEST(Cli, OptimizeRejectsBadTopology) {
+  const RunResult result = run_cli("optimize --topology=arpanet");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("error"), std::string::npos);
+}
+
+TEST(Cli, OptimizeRejectsMalformedNumber) {
+  const RunResult result = run_cli("optimize --alpha=high");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("expects a number"), std::string::npos);
+}
+
+TEST(Cli, SweepPrintsSeries) {
+  const RunResult result = run_cli("sweep --figure=4");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("gamma=10"), std::string::npos);
+  EXPECT_NE(result.output.find("ell_star"), std::string::npos);
+}
+
+TEST(Cli, SweepRejectsUnknownFigure) {
+  const RunResult result = run_cli("sweep --figure=99");
+  EXPECT_NE(result.exit_code, 0);
+}
+
+TEST(Cli, SimulateReportsTiers) {
+  const RunResult result = run_cli(
+      "simulate --topology=abilene --x=20 --requests=5000 --catalog=2000 "
+      "--c=50");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("origin="), std::string::npos);
+  EXPECT_NE(result.output.find("mean_latency_ms="), std::string::npos);
+}
+
+TEST(Cli, HeteroComparesStrategies) {
+  const RunResult result = run_cli("hetero --capacities=400x3,1200x3");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("equal coverage"), std::string::npos);
+  EXPECT_NE(result.output.find("coordinate descent"), std::string::npos);
+}
+
+TEST(Cli, HeteroRejectsBadSpec) {
+  const RunResult result = run_cli("hetero --capacities=0x3");
+  EXPECT_NE(result.exit_code, 0);
+}
+
+TEST(Cli, TopologyStatsAndUnusedOptionWarning) {
+  const RunResult result = run_cli("topology --name=geant --bogus=1");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("23 routers"), std::string::npos);
+  EXPECT_NE(result.output.find("unused option --bogus"), std::string::npos);
+}
+
+}  // namespace

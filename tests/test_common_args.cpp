@@ -1,0 +1,91 @@
+#include "ccnopt/common/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccnopt {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"tool"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  const auto parser =
+      ArgParser::parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(parser.has_value());
+  return *parser;
+}
+
+TEST(ArgParser, PositionalsAndOptionsSeparate) {
+  const ArgParser args = parse({"optimize", "--alpha=0.7", "us-a"});
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"optimize", "us-a"}));
+  EXPECT_EQ(args.get("alpha", ""), "0.7");
+}
+
+TEST(ArgParser, KeyValueBothSyntaxes) {
+  const ArgParser args = parse({"--a=1", "--b", "2"});
+  EXPECT_EQ(args.get("a", ""), "1");
+  EXPECT_EQ(args.get("b", ""), "2");
+}
+
+TEST(ArgParser, BareFlag) {
+  const ArgParser args = parse({"--verbose", "--csv", "out.csv"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get("verbose", "x"), "");
+  EXPECT_EQ(args.get("csv", ""), "out.csv");
+  EXPECT_FALSE(args.has("quiet"));
+}
+
+TEST(ArgParser, TrailingFlagHasNoValue) {
+  const ArgParser args = parse({"run", "--fast"});
+  EXPECT_TRUE(args.has("fast"));
+  EXPECT_EQ(args.positional().size(), 1u);
+}
+
+TEST(ArgParser, DoubleDashEndsOptions) {
+  const ArgParser args = parse({"--a=1", "--", "--not-an-option"});
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"--not-an-option"}));
+}
+
+TEST(ArgParser, NumericAccessors) {
+  const ArgParser args = parse({"--alpha=0.25", "--count=42"});
+  EXPECT_DOUBLE_EQ(*args.get_double("alpha", 0.0), 0.25);
+  EXPECT_EQ(*args.get_int("count", 0), 42);
+  EXPECT_DOUBLE_EQ(*args.get_double("missing", 9.5), 9.5);
+  EXPECT_EQ(*args.get_int("missing", -3), -3);
+}
+
+TEST(ArgParser, MalformedNumbersFail) {
+  const ArgParser args = parse({"--alpha=zero", "--count=4x"});
+  EXPECT_FALSE(args.get_double("alpha", 0.0).has_value());
+  EXPECT_FALSE(args.get_int("count", 0).has_value());
+}
+
+TEST(ArgParser, NegativeNumberAsValue) {
+  // Only "--" prefixes mark options, so "-5" is consumable as a value.
+  const ArgParser args = parse({"--offset", "-5"});
+  EXPECT_EQ(*args.get_int("offset", 0), -5);
+  const ArgParser eq = parse({"--offset=-5"});
+  EXPECT_EQ(*eq.get_int("offset", 0), -5);
+}
+
+TEST(ArgParser, UnusedKeysDetected) {
+  const ArgParser args = parse({"--used=1", "--typo=2"});
+  (void)args.get("used", "");
+  EXPECT_EQ(args.unused_keys(), (std::vector<std::string>{"typo"}));
+}
+
+TEST(ArgParser, SingleDashTokensArePositional) {
+  const ArgParser args = parse({"-x", "-"});
+  EXPECT_EQ(args.positional(), (std::vector<std::string>{"-x", "-"}));
+}
+
+TEST(ArgParser, EmptyCommandLine) {
+  std::vector<const char*> argv{"tool"};
+  const auto parser = ArgParser::parse(1, argv.data());
+  ASSERT_TRUE(parser.has_value());
+  EXPECT_TRUE(parser->positional().empty());
+}
+
+}  // namespace
+}  // namespace ccnopt

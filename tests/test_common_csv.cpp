@@ -1,0 +1,65 @@
+#include "ccnopt/common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ccnopt {
+namespace {
+
+TEST(CsvWriter, PlainRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+  EXPECT_EQ(csv.rows_written(), 1u);
+}
+
+TEST(CsvWriter, QuotesSeparator) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row({"a,b", "c"});
+  EXPECT_EQ(out.str(), "\"a,b\",c\n");
+}
+
+TEST(CsvWriter, EscapesQuotes) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row({"say \"hi\""});
+  EXPECT_EQ(out.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, QuotesNewlines) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row({"two\nlines", "x"});
+  EXPECT_EQ(out.str(), "\"two\nlines\",x\n");
+}
+
+TEST(CsvWriter, CustomSeparator) {
+  std::ostringstream out;
+  CsvWriter csv(out, ';');
+  csv.write_row({"a;b", "c,d"});
+  // Only the active separator triggers quoting.
+  EXPECT_EQ(out.str(), "\"a;b\";c,d\n");
+}
+
+TEST(CsvWriter, NumericRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_numeric_row({1.5, 2.25}, 2);
+  EXPECT_EQ(out.str(), "1.50,2.25\n");
+}
+
+TEST(CsvWriter, MultipleRowsCounted) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_header({"x", "y"});
+  csv.write_numeric_row({1.0, 2.0}, 0);
+  csv.write_numeric_row({3.0, 4.0}, 0);
+  EXPECT_EQ(csv.rows_written(), 3u);
+  EXPECT_EQ(out.str(), "x,y\n1,2\n3,4\n");
+}
+
+}  // namespace
+}  // namespace ccnopt

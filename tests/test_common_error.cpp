@@ -1,0 +1,81 @@
+#include "ccnopt/common/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccnopt {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOk);
+  EXPECT_EQ(status.to_string(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status status(ErrorCode::kNotFound, "missing thing");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing thing");
+  EXPECT_EQ(status.to_string(), "not_found: missing thing");
+}
+
+TEST(Status, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status(ErrorCode::kParseError, "a"),
+            Status(ErrorCode::kParseError, "b"));
+  EXPECT_FALSE(Status(ErrorCode::kParseError, "a") ==
+               Status(ErrorCode::kNotFound, "a"));
+}
+
+TEST(ErrorCodeNames, AllDistinct) {
+  const ErrorCode codes[] = {
+      ErrorCode::kOk,           ErrorCode::kInvalidArgument,
+      ErrorCode::kOutOfRange,   ErrorCode::kFailedPrecondition,
+      ErrorCode::kNotFound,     ErrorCode::kNumericalFailure,
+      ErrorCode::kParseError};
+  for (std::size_t i = 0; i < std::size(codes); ++i) {
+    for (std::size_t j = i + 1; j < std::size(codes); ++j) {
+      EXPECT_STRNE(to_string(codes[i]), to_string(codes[j]));
+    }
+  }
+}
+
+TEST(Expected, HoldsValue) {
+  Expected<int> value(42);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_TRUE(static_cast<bool>(value));
+  EXPECT_EQ(*value, 42);
+  EXPECT_EQ(value.value_or(7), 42);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> error(Status(ErrorCode::kOutOfRange, "index"));
+  ASSERT_FALSE(error.has_value());
+  EXPECT_EQ(error.status().code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(error.value_or(7), 7);
+}
+
+TEST(Expected, MoveOnlyValueSupported) {
+  Expected<std::unique_ptr<int>> value(std::make_unique<int>(5));
+  ASSERT_TRUE(value.has_value());
+  std::unique_ptr<int> extracted = std::move(value).value();
+  EXPECT_EQ(*extracted, 5);
+}
+
+TEST(Expected, ArrowOperator) {
+  Expected<std::string> value(std::string("hello"));
+  EXPECT_EQ(value->size(), 5u);
+}
+
+TEST(ExpectedDeath, ValueOnErrorAborts) {
+  Expected<int> error(Status(ErrorCode::kNotFound, "x"));
+  EXPECT_DEATH((void)error.value(), "precondition");
+}
+
+TEST(ExpectedDeath, StatusOnValueAborts) {
+  Expected<int> value(3);
+  EXPECT_DEATH((void)value.status(), "precondition");
+}
+
+}  // namespace
+}  // namespace ccnopt

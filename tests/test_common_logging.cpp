@@ -1,0 +1,48 @@
+#include "ccnopt/common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccnopt {
+namespace {
+
+// The logger writes to stderr; these tests exercise the level gate and the
+// macro plumbing rather than capturing output.
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  // Must not crash or emit; nothing to assert beyond survival.
+  log_message(LogLevel::kError, "suppressed");
+  CCNOPT_LOG(kError) << "also suppressed " << 42;
+}
+
+TEST_F(LoggingTest, MacroBuildsMessageFromStreamParts) {
+  set_log_level(LogLevel::kOff);  // keep test output clean
+  // The temporary must accept heterogeneous << operands.
+  CCNOPT_LOG(kInfo) << "value=" << 3.5 << " name=" << std::string("x");
+}
+
+TEST_F(LoggingTest, OrderingOfLevels) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug),
+            static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo),
+            static_cast<int>(LogLevel::kWarn));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarn),
+            static_cast<int>(LogLevel::kError));
+  EXPECT_LT(static_cast<int>(LogLevel::kError),
+            static_cast<int>(LogLevel::kOff));
+}
+
+}  // namespace
+}  // namespace ccnopt

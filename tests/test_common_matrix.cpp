@@ -1,0 +1,47 @@
+#include "ccnopt/common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccnopt {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(Matrix, FillValue) {
+  Matrix<double> m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 1.5);
+  }
+}
+
+TEST(Matrix, ReadWrite) {
+  Matrix<int> m(3, 3, 0);
+  m(1, 2) = 42;
+  EXPECT_EQ(m(1, 2), 42);
+  EXPECT_EQ(m(2, 1), 0);
+}
+
+TEST(Matrix, RowMajorLayout) {
+  Matrix<int> m(2, 2, 0);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(1, 0) = 3;
+  m(1, 1) = 4;
+  EXPECT_EQ(m.data(), (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(MatrixDeath, OutOfBounds) {
+  Matrix<int> m(2, 2, 0);
+  EXPECT_DEATH((void)m(2, 0), "precondition");
+  EXPECT_DEATH((void)m(0, 2), "precondition");
+}
+
+}  // namespace
+}  // namespace ccnopt

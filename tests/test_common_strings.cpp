@@ -1,0 +1,64 @@
+#include "ccnopt/common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccnopt {
+namespace {
+
+TEST(Split, BasicFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Split, SingleField) {
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Trim, PreservesInnerWhitespace) { EXPECT_EQ(trim(" a b "), "a b"); }
+
+TEST(StartsWith, Matches) {
+  EXPECT_TRUE(starts_with("figure4", "fig"));
+  EXPECT_TRUE(starts_with("fig", "fig"));
+  EXPECT_FALSE(starts_with("fi", "fig"));
+  EXPECT_FALSE(starts_with("afig", "fig"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"one"}, ","), "one");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.14159, 0), "3");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(FormatPercent, Basic) {
+  EXPECT_EQ(format_percent(0.336, 1), "33.6%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+  EXPECT_EQ(format_percent(0.0), "0.0%");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("GEANT"), "geant");
+  EXPECT_EQ(to_lower("Us-A"), "us-a");
+  EXPECT_EQ(to_lower("123abc"), "123abc");
+}
+
+}  // namespace
+}  // namespace ccnopt

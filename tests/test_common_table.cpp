@@ -1,0 +1,50 @@
+#include "ccnopt/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace ccnopt {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+}
+
+TEST(TextTable, NumericConvenienceRow) {
+  TextTable table({"label", "a", "b"});
+  table.add_row("row", {1.23456, 7.0}, 2);
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("1.23"), std::string::npos);
+  EXPECT_NE(out.str().find("7.00"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"only"});
+  std::ostringstream out;
+  table.print(out);  // must not crash; row padded to 3 columns
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(TextTable, OverlongRowsAreTruncated) {
+  TextTable table({"a"});
+  table.add_row({"x", "extra", "more"});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_EQ(out.str().find("extra"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccnopt

@@ -1,0 +1,95 @@
+#include "ccnopt/experiments/adaptive_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccnopt/topology/datasets.hpp"
+#include "ccnopt/topology/generators.hpp"
+
+namespace ccnopt::experiments {
+namespace {
+
+AdaptiveLoopOptions fast_options() {
+  AdaptiveLoopOptions options;
+  options.catalog_size = 10000;
+  options.capacity_c = 100;
+  options.requests_per_epoch = 20000;
+  options.s_per_epoch = {0.6, 0.8, 1.2, 1.4, 1.2, 0.8};
+  return options;
+}
+
+TEST(AdaptiveLoop, OneReportPerEpoch) {
+  const auto result = run_adaptive_loop(topology::geant(), fast_options());
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->epochs.size(), 6u);
+  for (std::size_t e = 0; e < result->epochs.size(); ++e) {
+    EXPECT_EQ(result->epochs[e].epoch, e);
+    EXPECT_DOUBLE_EQ(result->epochs[e].true_s,
+                     fast_options().s_per_epoch[e]);
+  }
+}
+
+TEST(AdaptiveLoop, EstimatesTrackTheTrueExponent) {
+  const auto result = run_adaptive_loop(topology::geant(), fast_options());
+  ASSERT_TRUE(result.has_value());
+  for (const AdaptiveEpochReport& report : result->epochs) {
+    EXPECT_NEAR(report.estimated_s, report.true_s, 0.08)
+        << "epoch " << report.epoch;
+  }
+}
+
+TEST(AdaptiveLoop, AdaptiveBeatsStaticUnderDrift) {
+  const auto result = run_adaptive_loop(topology::geant(), fast_options());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LT(result->mean_latency_adaptive_ms,
+            result->mean_latency_static_ms);
+}
+
+TEST(AdaptiveLoop, OracleIsTheFloor) {
+  const auto result = run_adaptive_loop(topology::geant(), fast_options());
+  ASSERT_TRUE(result.has_value());
+  // The oracle re-provisions with the true exponent: nothing beats it by
+  // more than estimation noise.
+  EXPECT_LE(result->mean_latency_oracle_ms,
+            result->mean_latency_adaptive_ms + 0.05);
+  EXPECT_LE(result->mean_latency_oracle_ms,
+            result->mean_latency_static_ms + 0.05);
+  // And the adaptive controller lands much closer to the oracle than the
+  // static baseline does.
+  const double adaptive_gap = result->mean_latency_adaptive_ms -
+                              result->mean_latency_oracle_ms;
+  const double static_gap =
+      result->mean_latency_static_ms - result->mean_latency_oracle_ms;
+  EXPECT_LT(adaptive_gap, 0.5 * static_gap);
+}
+
+TEST(AdaptiveLoop, FirstEpochMatchesStaticByConstruction) {
+  // Both start from the same initial provisioning; the first epoch's
+  // traffic is identical.
+  const auto result = run_adaptive_loop(topology::geant(), fast_options());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->epochs.front().latency_adaptive_ms,
+                   result->epochs.front().latency_static_ms);
+}
+
+TEST(AdaptiveLoop, WorksOnSyntheticTopology) {
+  AdaptiveLoopOptions options = fast_options();
+  options.s_per_epoch = {0.7, 1.3};
+  const auto result =
+      run_adaptive_loop(topology::make_ring(6, 3.0), options);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->epochs.size(), 2u);
+}
+
+TEST(AdaptiveLoop, RejectsBadOptions) {
+  AdaptiveLoopOptions one_epoch = fast_options();
+  one_epoch.s_per_epoch = {0.8};
+  EXPECT_FALSE(run_adaptive_loop(topology::geant(), one_epoch).has_value());
+
+  AdaptiveLoopOptions tiny_catalog = fast_options();
+  tiny_catalog.catalog_size = 100;
+  EXPECT_FALSE(
+      run_adaptive_loop(topology::geant(), tiny_catalog).has_value());
+}
+
+}  // namespace
+}  // namespace ccnopt::experiments

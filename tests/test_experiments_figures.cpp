@@ -1,0 +1,106 @@
+#include "ccnopt/experiments/figures.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "ccnopt/experiments/report.hpp"
+
+namespace ccnopt::experiments {
+namespace {
+
+model::SystemParams base() { return model::SystemParams::paper_defaults(); }
+
+TEST(Grids, TableIVRangesRespected) {
+  const auto alphas = alpha_grid();
+  EXPECT_GT(alphas.front(), 0.0);
+  EXPECT_DOUBLE_EQ(alphas.back(), 1.0);
+
+  const auto zipfs = zipf_grid();
+  for (double s : zipfs) {
+    EXPECT_GE(s, 0.1);
+    EXPECT_LE(s, 1.9);
+    EXPECT_GT(std::abs(s - 1.0), 0.01);  // singular point excluded
+  }
+
+  const auto ns = router_grid();
+  EXPECT_DOUBLE_EQ(ns.front(), 10.0);
+  EXPECT_DOUBLE_EQ(ns.back(), 500.0);
+
+  const auto ws = unit_cost_grid();
+  EXPECT_DOUBLE_EQ(ws.front(), 10.0);
+  EXPECT_DOUBLE_EQ(ws.back(), 100.0);
+
+  EXPECT_EQ(gamma_series_values(), (std::vector<double>{2, 4, 6, 8, 10}));
+  EXPECT_EQ(alpha_series_values().size(), 5u);
+}
+
+TEST(SweepVsAlpha, FiveGammaSeriesCoveringTheGrid) {
+  const FigureData data = sweep_vs_alpha(base());
+  ASSERT_EQ(data.series.size(), 5u);
+  EXPECT_EQ(data.series[0].label, "gamma=2");
+  EXPECT_EQ(data.series[4].label, "gamma=10");
+  for (const Series& series : data.series) {
+    EXPECT_EQ(series.points.size(), alpha_grid().size());
+  }
+}
+
+TEST(SweepVsZipf, SeriesSkipOnlyTheSingularPoint) {
+  const FigureData data = sweep_vs_zipf(base());
+  ASSERT_EQ(data.series.size(), 5u);
+  for (const Series& series : data.series) {
+    EXPECT_EQ(series.points.size(), zipf_grid().size());
+  }
+}
+
+TEST(MetricAccessors, ExtractTheRightField) {
+  model::SweepPoint point;
+  point.ell_star = 0.1;
+  point.origin_load_reduction = 0.2;
+  point.routing_improvement = 0.3;
+  EXPECT_DOUBLE_EQ(metric_value(point, Metric::kEllStar), 0.1);
+  EXPECT_DOUBLE_EQ(metric_value(point, Metric::kOriginGain), 0.2);
+  EXPECT_DOUBLE_EQ(metric_value(point, Metric::kRoutingGain), 0.3);
+  EXPECT_STREQ(to_string(Metric::kEllStar), "ell_star");
+}
+
+TEST(PrintSeriesTable, RendersHeaderAndRows) {
+  const FigureData data = sweep_vs_alpha(base());
+  std::ostringstream out;
+  print_series_table(data, Metric::kEllStar, out, 10);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("gamma=6"), std::string::npos);
+  EXPECT_NE(text.find("ell_star"), std::string::npos);
+}
+
+TEST(WriteSeriesCsv, OneRowPerPointPlusHeader) {
+  const FigureData data = sweep_vs_alpha(base());
+  std::ostringstream out;
+  write_series_csv(data, out);
+  const std::string text = out.str();
+  std::size_t lines = 0;
+  for (char c : text) lines += (c == '\n') ? 1 : 0;
+  EXPECT_EQ(lines, 1 + 5 * alpha_grid().size());
+  EXPECT_NE(text.find("ell_star"), std::string::npos);
+}
+
+TEST(SweepVsRouters, SharedGridAcrossSeries) {
+  const FigureData data = sweep_vs_routers(base());
+  ASSERT_EQ(data.series.size(), 5u);
+  for (const Series& series : data.series) {
+    EXPECT_EQ(series.points.front().parameter, 10.0);
+    EXPECT_EQ(series.points.back().parameter, 500.0);
+  }
+}
+
+TEST(SweepVsUnitCost, AllValuesProduceResults) {
+  const FigureData data = sweep_vs_unit_cost(base());
+  for (const Series& series : data.series) {
+    EXPECT_EQ(series.points.size(), unit_cost_grid().size());
+  }
+}
+
+}  // namespace
+}  // namespace ccnopt::experiments

@@ -1,0 +1,79 @@
+#include "ccnopt/experiments/sim_vs_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccnopt/topology/datasets.hpp"
+#include "ccnopt/topology/generators.hpp"
+
+namespace ccnopt::experiments {
+namespace {
+
+SimVsModelOptions fast_options() {
+  SimVsModelOptions options;
+  options.catalog_size = 20000;
+  options.capacity_c = 200;
+  options.measured_requests = 80000;
+  options.x_points = 4;
+  return options;
+}
+
+TEST(SimVsModel, OriginLoadTracksTheModel) {
+  const SimVsModelResult result =
+      run_sim_vs_model(topology::us_a(), fast_options());
+  ASSERT_EQ(result.points.size(), 4u);
+  EXPECT_LT(result.max_origin_load_abs_error, 0.02);
+}
+
+TEST(SimVsModel, LatencyTracksEquationTwo) {
+  const SimVsModelResult result =
+      run_sim_vs_model(topology::us_a(), fast_options());
+  EXPECT_LT(result.max_latency_rel_error, 0.08);
+}
+
+TEST(SimVsModel, SweepCoversFullCoordinationRange) {
+  const SimVsModelResult result =
+      run_sim_vs_model(topology::us_a(), fast_options());
+  EXPECT_EQ(result.points.front().x, 0u);
+  EXPECT_EQ(result.points.back().x, 200u);
+  EXPECT_DOUBLE_EQ(result.points.front().ell, 0.0);
+  EXPECT_DOUBLE_EQ(result.points.back().ell, 1.0);
+}
+
+TEST(SimVsModel, OriginLoadDecreasesWithCoordination) {
+  const SimVsModelResult result =
+      run_sim_vs_model(topology::geant(), fast_options());
+  for (std::size_t i = 1; i < result.points.size(); ++i) {
+    EXPECT_LT(result.points[i].sim_origin_load,
+              result.points[i - 1].sim_origin_load);
+    EXPECT_LT(result.points[i].model_origin_load,
+              result.points[i - 1].model_origin_load);
+  }
+}
+
+TEST(SimVsModel, LocalFractionsComparableUnderModelAccounting) {
+  const SimVsModelResult result =
+      run_sim_vs_model(topology::abilene(), fast_options());
+  for (const SimVsModelPoint& point : result.points) {
+    EXPECT_NEAR(point.sim_local_fraction, point.model_local_fraction, 0.02)
+        << "x=" << point.x;
+  }
+}
+
+TEST(SimVsModel, DerivedTwinMatchesTopology) {
+  const SimVsModelResult result =
+      run_sim_vs_model(topology::us_a(), fast_options());
+  EXPECT_DOUBLE_EQ(result.params.n, 20.0);
+  EXPECT_DOUBLE_EQ(result.params.capacity_c, 200.0);
+  EXPECT_GT(result.params.latency.gamma(), 1.0);
+}
+
+TEST(SimVsModel, WorksOnSyntheticTopologies) {
+  SimVsModelOptions options = fast_options();
+  options.measured_requests = 40000;
+  const SimVsModelResult result =
+      run_sim_vs_model(topology::make_ring(8, 3.0), options);
+  EXPECT_LT(result.max_origin_load_abs_error, 0.03);
+}
+
+}  // namespace
+}  // namespace ccnopt::experiments

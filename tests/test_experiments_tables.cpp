@@ -1,0 +1,58 @@
+#include "ccnopt/experiments/tables.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccnopt::experiments {
+namespace {
+
+TEST(Table3, FourRowsInTableOrder) {
+  const auto rows = table3_rows();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].name, "Abilene");
+  EXPECT_EQ(rows[1].name, "CERNET");
+  EXPECT_EQ(rows[2].name, "GEANT");
+  EXPECT_EQ(rows[3].name, "US-A");
+}
+
+TEST(Table3, RouterCountsMatchTableII) {
+  const auto rows = table3_rows();
+  EXPECT_EQ(rows[0].n, 11u);
+  EXPECT_EQ(rows[1].n, 36u);
+  EXPECT_EQ(rows[2].n, 23u);
+  EXPECT_EQ(rows[3].n, 20u);
+}
+
+TEST(Table3, ParametersPhysicallySensible) {
+  for (const auto& row : table3_rows()) {
+    // Max pairwise latency exceeds the mean.
+    EXPECT_GT(row.unit_cost_w_ms, row.mean_latency_ms) << row.name;
+    // Mean hops at least 1 (most pairs are not self) and below diameter.
+    EXPECT_GT(row.mean_hops, 1.0) << row.name;
+    EXPECT_LT(row.mean_hops, row.diameter_hops) << row.name;
+    // Intradomain latencies: single-digit to tens of ms.
+    EXPECT_GT(row.unit_cost_w_ms, 5.0) << row.name;
+    EXPECT_LT(row.unit_cost_w_ms, 60.0) << row.name;
+  }
+}
+
+TEST(PaperTable3, ReferenceValuesRecorded) {
+  const auto paper = paper_table3();
+  ASSERT_EQ(paper.size(), 4u);
+  EXPECT_STREQ(paper[3].name, "US-A");
+  EXPECT_DOUBLE_EQ(paper[3].w_ms, 26.7);
+  EXPECT_DOUBLE_EQ(paper[3].d1_minus_d0_hops, 2.2842);
+}
+
+TEST(Table3VsPaper, SameOrderAndRegime) {
+  const auto measured = table3_rows();
+  const auto paper = paper_table3();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(measured[i].name, paper[i].name);
+    EXPECT_EQ(static_cast<double>(measured[i].n), paper[i].n);
+    EXPECT_NEAR(measured[i].mean_hops, paper[i].d1_minus_d0_hops,
+                0.35 * paper[i].d1_minus_d0_hops);
+  }
+}
+
+}  // namespace
+}  // namespace ccnopt::experiments

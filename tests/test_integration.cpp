@@ -1,0 +1,158 @@
+// End-to-end pipeline tests: topology -> derived Table III parameters ->
+// calibrated model -> optimal strategy -> simulator validation. These cross
+// every module boundary in one pass, the way the examples and benches use
+// the library.
+#include <gtest/gtest.h>
+
+#include "ccnopt/experiments/sim_vs_model.hpp"
+#include "ccnopt/model/gains.hpp"
+#include "ccnopt/model/optimizer.hpp"
+#include "ccnopt/sim/simulation.hpp"
+#include "ccnopt/topology/datasets.hpp"
+#include "ccnopt/topology/params.hpp"
+
+namespace ccnopt {
+namespace {
+
+// Builds SystemParams from a topology the way Section V-A does: n and
+// d1 - d0 (hops) from the graph, w from the max pairwise latency.
+model::SystemParams params_from_topology(const topology::Graph& graph,
+                                         double gamma, double alpha) {
+  const topology::TopologyParameters derived =
+      topology::derive_parameters(graph);
+  model::SystemParams p = model::SystemParams::paper_defaults();
+  p.n = static_cast<double>(derived.n);
+  p.latency =
+      model::LatencyProfile::from_gamma(1.0, derived.mean_hops, gamma);
+  p.cost.unit_cost_w = derived.unit_cost_w_ms;
+  p.cost.amortization = 1.0;
+  p.cost.amortization = model::calibrate_amortization(p);
+  p.alpha = alpha;
+  return p;
+}
+
+class TopologyPipeline : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TopologyPipeline, DerivedParamsYieldValidModel) {
+  const auto graph = topology::dataset_by_name(GetParam());
+  ASSERT_TRUE(graph.has_value());
+  const model::SystemParams p = params_from_topology(*graph, 5.0, 0.7);
+  EXPECT_TRUE(p.validate().is_ok());
+  const auto strategy = model::optimize(p);
+  ASSERT_TRUE(strategy.has_value());
+  EXPECT_GT(strategy->ell_star, 0.0);
+  EXPECT_LE(strategy->ell_star, 1.0);
+}
+
+TEST_P(TopologyPipeline, OptimalStrategyBeatsBaselines) {
+  const auto graph = topology::dataset_by_name(GetParam());
+  const model::SystemParams p = params_from_topology(*graph, 5.0, 0.7);
+  const auto strategy = model::optimize(p);
+  ASSERT_TRUE(strategy.has_value());
+  const model::PerformanceModel perf(p);
+  // Objective at the optimum beats both pure strategies.
+  EXPECT_LE(strategy->objective, perf.objective(0.0) + 1e-9);
+  EXPECT_LE(strategy->objective, perf.objective(p.capacity_c) + 1e-9);
+}
+
+TEST_P(TopologyPipeline, SimulatorConfirmsModelOnThisTopology) {
+  const auto graph = topology::dataset_by_name(GetParam());
+  experiments::SimVsModelOptions options;
+  options.catalog_size = 20000;
+  options.capacity_c = 150;
+  options.measured_requests = 60000;
+  options.x_points = 3;
+  const auto result = experiments::run_sim_vs_model(*graph, options);
+  EXPECT_LT(result.max_origin_load_abs_error, 0.025) << GetParam();
+  EXPECT_LT(result.max_latency_rel_error, 0.10) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, TopologyPipeline,
+                         ::testing::Values("abilene", "cernet", "geant",
+                                           "usa"));
+
+TEST(Integration, OptimalProvisioningBeatsNonCoordinatedInSimulation) {
+  // Close the loop: compute x* from the model, provision the simulator
+  // with it, and verify the measured latency beats the x = 0 baseline.
+  const topology::Graph graph = topology::us_a();
+
+  sim::SimConfig config;
+  config.network.catalog_size = 20000;
+  config.network.capacity_c = 200;
+  config.network.local_mode = sim::LocalStoreMode::kStaticTop;
+  config.network.origin_extra_ms = 60.0;
+  config.zipf_s = 0.8;
+  config.measured_requests = 60000;
+  config.seed = 17;
+
+  // The analytic twin (alpha = 1: pure routing performance).
+  model::SystemParams p = model::SystemParams::paper_defaults();
+  p.n = static_cast<double>(graph.node_count());
+  p.catalog_n = static_cast<double>(config.network.catalog_size);
+  p.capacity_c = static_cast<double>(config.network.capacity_c);
+  p.alpha = 1.0;
+  const auto strategy = model::optimize(p);
+  ASSERT_TRUE(strategy.has_value());
+  const auto x_star = static_cast<std::size_t>(strategy->x_star);
+
+  sim::SimConfig optimal = config;
+  optimal.coordinated_x = x_star;
+  sim::Simulation baseline_sim(topology::us_a(), config);
+  sim::Simulation optimal_sim(topology::us_a(), optimal);
+  const sim::SimReport baseline = baseline_sim.run();
+  const sim::SimReport tuned = optimal_sim.run();
+
+  EXPECT_LT(tuned.mean_latency_ms, baseline.mean_latency_ms);
+  EXPECT_LT(tuned.origin_load, baseline.origin_load);
+
+  // The measured origin-load reduction must track the model's G_O.
+  const model::GainReport gains =
+      model::compute_gains(model::PerformanceModel(p), strategy->x_star);
+  const double measured_reduction = 1.0 - tuned.origin_load / baseline.origin_load;
+  EXPECT_NEAR(measured_reduction, gains.origin_load_reduction, 0.05);
+}
+
+TEST(Integration, FullCoordinationNotAlwaysBestInSimulation) {
+  // With s in (1, 2) and many routers the model prefers little
+  // coordination; verify in simulation that full coordination indeed
+  // loses to the model's x* on mean latency.
+  const topology::Graph graph = topology::cernet();
+
+  sim::SimConfig config;
+  config.network.catalog_size = 40000;
+  config.network.capacity_c = 100;
+  config.network.local_mode = sim::LocalStoreMode::kStaticTop;
+  config.network.origin_extra_ms = 8.0;  // origin close: peers barely help
+  config.zipf_s = 1.5;
+  config.measured_requests = 60000;
+  config.seed = 23;
+
+  model::SystemParams p = model::SystemParams::paper_defaults();
+  p.n = static_cast<double>(graph.node_count());
+  p.catalog_n = static_cast<double>(config.network.catalog_size);
+  p.capacity_c = static_cast<double>(config.network.capacity_c);
+  p.s = config.zipf_s;
+  p.alpha = 1.0;
+  // Latency twin: mean peer distance ~8 ms, origin just beyond gateway.
+  const topology::TopologyParameters derived =
+      topology::derive_parameters(graph);
+  p.latency.d0 = 1.0;
+  p.latency.d1 = 1.0 + derived.mean_latency_ms;
+  p.latency.d2 = 1.0 + derived.mean_latency_ms + config.network.origin_extra_ms;
+  const auto strategy = model::optimize(p);
+  ASSERT_TRUE(strategy.has_value());
+  EXPECT_LT(strategy->ell_star, 0.9);  // full coordination not optimal
+
+  sim::SimConfig tuned_cfg = config;
+  tuned_cfg.coordinated_x = static_cast<std::size_t>(strategy->x_star);
+  sim::SimConfig full_cfg = config;
+  full_cfg.coordinated_x = config.network.capacity_c;
+
+  sim::Simulation tuned_sim(topology::cernet(), tuned_cfg);
+  sim::Simulation full_sim(topology::cernet(), full_cfg);
+  EXPECT_LT(tuned_sim.run().mean_latency_ms,
+            full_sim.run().mean_latency_ms);
+}
+
+}  // namespace
+}  // namespace ccnopt

@@ -1,0 +1,104 @@
+#include "ccnopt/model/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccnopt/model/optimizer.hpp"
+#include "ccnopt/model/performance.hpp"
+
+namespace ccnopt::model {
+namespace {
+
+// A scaled-down system where exact harmonic sums are affordable.
+SystemParams small_params() {
+  SystemParams p = SystemParams::paper_defaults();
+  p.catalog_n = 50000.0;
+  p.capacity_c = 500.0;
+  p.n = 10.0;
+  p.cost.amortization = calibrate_amortization(p);
+  return p;
+}
+
+TEST(ExactDiscreteModel, TierAccountingByHand) {
+  // Catalog 10, 2 routers of capacity 2, x = 1: local = top-1 {1};
+  // coordinated ranks {2, 3}; origin ranks {4..10}.
+  SystemParams p = SystemParams::paper_defaults();
+  const ExactDiscreteModel exact(p, /*catalog=*/10, /*routers=*/2,
+                                 /*capacity=*/2);
+  const popularity::ZipfDistribution zipf(10, p.s);
+  const double expected = zipf.cdf(1) * p.latency.d0 +
+                          (zipf.cdf(3) - zipf.cdf(1)) * p.latency.d1 +
+                          (1.0 - zipf.cdf(3)) * p.latency.d2;
+  EXPECT_NEAR(exact.routing_performance(1), expected, 1e-12);
+}
+
+TEST(ExactDiscreteModel, CoordinationCostMatchesEquationThree) {
+  SystemParams p = SystemParams::paper_defaults();
+  p.cost.amortization = 1.0;
+  const ExactDiscreteModel exact(p, 1000, 5, 50);
+  EXPECT_DOUBLE_EQ(exact.coordination_cost(10),
+                   p.cost.unit_cost_w * 5.0 * 10.0);
+  EXPECT_DOUBLE_EQ(exact.coordination_cost(0), 0.0);
+}
+
+TEST(ExactDiscreteModel, ContinuousModelTracksExact) {
+  // The continuous T(x) (Eq. 6 approximation) must track the exact
+  // discrete T(x) within a tight relative error at N = 50000.
+  const SystemParams p = small_params();
+  const ExactDiscreteModel exact(with_alpha(p, 1.0),
+                                 static_cast<std::uint64_t>(p.catalog_n),
+                                 static_cast<std::uint64_t>(p.n),
+                                 static_cast<std::uint64_t>(p.capacity_c));
+  const PerformanceModel continuous(with_alpha(p, 1.0));
+  for (std::uint64_t x : {0ULL, 100ULL, 250ULL, 400ULL, 500ULL}) {
+    const double t_exact = exact.routing_performance(x);
+    const double t_cont =
+        continuous.routing_performance(static_cast<double>(x));
+    EXPECT_NEAR(t_cont, t_exact, 0.02 * t_exact) << "x=" << x;
+  }
+}
+
+TEST(ExactDiscreteModel, BruteForceOptimumNearContinuousOptimum) {
+  for (double alpha : {1.0, 0.6}) {
+    const SystemParams p = with_alpha(small_params(), alpha);
+    const ExactDiscreteModel exact(p,
+                                   static_cast<std::uint64_t>(p.catalog_n),
+                                   static_cast<std::uint64_t>(p.n),
+                                   static_cast<std::uint64_t>(p.capacity_c));
+    const auto discrete = exact.brute_force_optimum();
+    const auto continuous = optimize(p);
+    ASSERT_TRUE(continuous.has_value());
+    EXPECT_NEAR(discrete.ell_star, continuous->ell_star, 0.05)
+        << "alpha=" << alpha;
+  }
+}
+
+TEST(ExactDiscreteModel, BruteForceIsActuallyMinimal) {
+  const SystemParams p = with_alpha(small_params(), 0.5);
+  const ExactDiscreteModel exact(p, 20000, 8, 200);
+  const auto best = exact.brute_force_optimum();
+  for (std::uint64_t x = 0; x <= 200; x += 7) {
+    EXPECT_GE(exact.objective(x), best.objective - 1e-12);
+  }
+}
+
+TEST(ExactDiscreteModel, ObjectiveIsConvexSequence) {
+  // Second differences of the discrete objective are non-negative.
+  const SystemParams p = with_alpha(small_params(), 0.9);
+  const ExactDiscreteModel exact(p, 20000, 8, 200);
+  for (std::uint64_t x = 1; x < 200; ++x) {
+    const double second_diff = exact.objective(x + 1) -
+                               2.0 * exact.objective(x) +
+                               exact.objective(x - 1);
+    EXPECT_GE(second_diff, -1e-9) << "x=" << x;
+  }
+}
+
+TEST(ExactDiscreteModelDeath, Preconditions) {
+  const SystemParams p = SystemParams::paper_defaults();
+  EXPECT_DEATH(ExactDiscreteModel(p, 100, 1, 10), "precondition");
+  EXPECT_DEATH(ExactDiscreteModel(p, 100, 5, 0), "precondition");
+  EXPECT_DEATH(ExactDiscreteModel(p, 100, 5, 20), "precondition");  // N<=n*c
+}
+
+}  // namespace
+}  // namespace ccnopt::model

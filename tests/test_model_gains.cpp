@@ -1,0 +1,102 @@
+#include "ccnopt/model/gains.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccnopt/model/optimizer.hpp"
+
+namespace ccnopt::model {
+namespace {
+
+SystemParams base() { return SystemParams::paper_defaults(); }
+
+TEST(Gains, ZeroCoordinationMeansZeroGain) {
+  const PerformanceModel model(base());
+  const GainReport report = compute_gains(model, 0.0);
+  EXPECT_DOUBLE_EQ(report.origin_load_reduction, 0.0);
+  EXPECT_DOUBLE_EQ(report.routing_improvement, 0.0);
+  EXPECT_DOUBLE_EQ(report.origin_load_optimal, report.origin_load_baseline);
+}
+
+TEST(Gains, DefinitionMatchesClosedForm) {
+  // G_O from the tier-coverage definition must equal Section IV-E's closed
+  // form ((c+(n-1)x)^{1-s} - c^{1-s}) / (N^{1-s} - c^{1-s}).
+  const SystemParams p = base();
+  const PerformanceModel model(p);
+  for (double x : {100.0, 400.0, 900.0}) {
+    const GainReport report = compute_gains(model, x);
+    EXPECT_NEAR(report.origin_load_reduction,
+                origin_load_reduction_closed_form(p, x), 1e-9)
+        << "x=" << x;
+  }
+}
+
+TEST(Gains, ClosedFormWorksOnBothZipfBranches) {
+  for (double s : {0.5, 1.5}) {
+    const SystemParams p = with_zipf(base(), s);
+    const PerformanceModel model(p);
+    const GainReport report = compute_gains(model, 500.0);
+    EXPECT_NEAR(report.origin_load_reduction,
+                origin_load_reduction_closed_form(p, 500.0), 1e-9);
+    EXPECT_GT(report.origin_load_reduction, 0.0);
+    EXPECT_LT(report.origin_load_reduction, 1.0);
+  }
+}
+
+TEST(Gains, MonotoneInCoordinationAmount) {
+  const PerformanceModel model(base());
+  double prev_go = -1.0;
+  for (double x = 0.0; x <= 1000.0; x += 100.0) {
+    const GainReport report = compute_gains(model, x);
+    EXPECT_GE(report.origin_load_reduction, prev_go);
+    prev_go = report.origin_load_reduction;
+  }
+}
+
+TEST(Gains, RoutingImprovementDefinition) {
+  const PerformanceModel model(base());
+  const double x = 600.0;
+  const GainReport report = compute_gains(model, x);
+  EXPECT_NEAR(report.routing_improvement,
+              1.0 - model.routing_performance(x) /
+                        model.baseline_performance(),
+              1e-12);
+  EXPECT_DOUBLE_EQ(report.routing_baseline, model.baseline_performance());
+}
+
+TEST(Gains, BothGainsInUnitIntervalAtOptimum) {
+  for (double alpha : {0.2, 0.5, 0.8, 1.0}) {
+    const SystemParams p = with_alpha(base(), alpha);
+    const auto strategy = optimize(p);
+    ASSERT_TRUE(strategy.has_value());
+    const PerformanceModel model(p);
+    const GainReport report = compute_gains(model, strategy->x_star);
+    EXPECT_GE(report.origin_load_reduction, 0.0);
+    EXPECT_LE(report.origin_load_reduction, 1.0);
+    EXPECT_GE(report.routing_improvement, 0.0);
+    EXPECT_LT(report.routing_improvement, 1.0);
+  }
+}
+
+TEST(Gains, HigherGammaYieldsLargerRoutingGain) {
+  // Figure 12's ordering: at alpha = 1, a larger tiered latency ratio
+  // leaves more to win.
+  double prev = -1.0;
+  for (double gamma : {2.0, 4.0, 6.0, 8.0, 10.0}) {
+    const SystemParams p = with_alpha(with_gamma(base(), gamma), 1.0);
+    const auto strategy = optimize(p);
+    ASSERT_TRUE(strategy.has_value());
+    const GainReport report =
+        compute_gains(PerformanceModel(p), strategy->x_star);
+    EXPECT_GT(report.routing_improvement, prev) << "gamma=" << gamma;
+    prev = report.routing_improvement;
+  }
+}
+
+TEST(GainsDeath, XOutsideCapacity) {
+  const PerformanceModel model(base());
+  EXPECT_DEATH((void)compute_gains(model, -1.0), "precondition");
+  EXPECT_DEATH((void)compute_gains(model, 1001.0), "precondition");
+}
+
+}  // namespace
+}  // namespace ccnopt::model

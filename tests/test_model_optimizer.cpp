@@ -1,0 +1,206 @@
+#include "ccnopt/model/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ccnopt::model {
+namespace {
+
+SystemParams base() { return SystemParams::paper_defaults(); }
+
+TEST(Lemma2Coefficients, MatchTheFormulas) {
+  const SystemParams p = with_alpha(base(), 0.5);
+  const auto coeff = lemma2_coefficients(p);
+  ASSERT_TRUE(coeff.has_value());
+  EXPECT_NEAR(coeff->a, p.latency.gamma() * std::pow(p.n, 1.0 - p.s), 1e-12);
+  const double expected_b = (1.0 - p.alpha) / p.alpha *
+                            (std::pow(p.catalog_n, 1.0 - p.s) - 1.0) /
+                            (1.0 - p.s) * (p.n - 1.0) *
+                            p.cost.effective_unit_cost() /
+                            (p.latency.d1 - p.latency.d0) *
+                            std::pow(p.capacity_c, p.s);
+  EXPECT_NEAR(coeff->b, expected_b, 1e-9 * expected_b);
+}
+
+TEST(Lemma2Coefficients, BVanishesAtAlphaOne) {
+  const auto coeff = lemma2_coefficients(with_alpha(base(), 1.0));
+  ASSERT_TRUE(coeff.has_value());
+  EXPECT_DOUBLE_EQ(coeff->b, 0.0);
+}
+
+TEST(Lemma2Coefficients, RequiresPositiveAlpha) {
+  const auto coeff = lemma2_coefficients(with_alpha(base(), 0.0));
+  EXPECT_FALSE(coeff.has_value());
+}
+
+TEST(ClosedFormAlpha1, HandComputedValue) {
+  // gamma=5, s=0.8, n=20: l* = 1/(5^{-1.25} * 20^{-0.25} + 1) ~ 0.9405.
+  const auto ell = closed_form_alpha1(base());
+  ASSERT_TRUE(ell.has_value());
+  EXPECT_NEAR(*ell, 0.9405, 5e-4);
+}
+
+TEST(ClosedFormAlpha1, PaperFigure5Endpoint) {
+  // The paper reports l* ~ 0.35 at s -> 2 (gamma = 5, n = 20); only the
+  // corrected gamma^{-1/s} form reproduces it (see the erratum note).
+  const auto ell = closed_form_alpha1(with_zipf(base(), 1.95));
+  ASSERT_TRUE(ell.has_value());
+  EXPECT_NEAR(*ell, 0.35, 0.03);
+}
+
+TEST(ClosedFormAlpha1, MatchesLemma2AtAlphaOne) {
+  for (double s : {0.5, 0.8, 1.3, 1.7}) {
+    for (double gamma : {2.0, 5.0, 10.0}) {
+      const SystemParams p = with_gamma(with_zipf(base(), s), gamma);
+      const auto closed = closed_form_alpha1(p);
+      const auto root = solve_lemma2(with_alpha(p, 1.0));
+      ASSERT_TRUE(closed.has_value());
+      ASSERT_TRUE(root.has_value());
+      EXPECT_NEAR(*closed, root->ell_star, 1e-6)
+          << "s=" << s << " gamma=" << gamma;
+    }
+  }
+}
+
+TEST(ClosedFormAlpha1, NearExactSolverAtAlphaOne) {
+  // The closed form uses n-1 ~ n and 1+(n-1)l ~ nl; for n = 20 it must sit
+  // within a percent of the exact first-order root.
+  const auto closed = closed_form_alpha1(base());
+  const auto exact = solve_exact_first_order(with_alpha(base(), 1.0));
+  ASSERT_TRUE(closed.has_value());
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_NEAR(*closed, exact->ell_star, 0.01);
+}
+
+TEST(ClosedFormAlpha1, LatencyScaleFree) {
+  // Theorem 2: l* depends on gamma only, not on absolute latencies.
+  SystemParams small = base();
+  SystemParams large = base();
+  large.latency.d0 *= 37.0;
+  large.latency.d1 *= 37.0;
+  large.latency.d2 *= 37.0;
+  const auto ell_small = closed_form_alpha1(small);
+  const auto ell_large = closed_form_alpha1(large);
+  ASSERT_TRUE(ell_small.has_value());
+  ASSERT_TRUE(ell_large.has_value());
+  EXPECT_DOUBLE_EQ(*ell_small, *ell_large);
+  // The exact solver shares the property at alpha = 1.
+  const auto exact_small = solve_exact_first_order(with_alpha(small, 1.0));
+  const auto exact_large = solve_exact_first_order(with_alpha(large, 1.0));
+  EXPECT_NEAR(exact_small->ell_star, exact_large->ell_star, 1e-9);
+}
+
+TEST(ClosedFormAlpha1, OppositeLimitsAcrossSingularPoint) {
+  // Theorem 2's headline: s in (0,1) drives l* -> 1 with n; s in (1,2)
+  // drives l* -> 0.
+  const auto below_small_n = closed_form_alpha1(with_routers(with_zipf(base(), 0.6), 20.0));
+  const auto below_large_n = closed_form_alpha1(with_routers(with_zipf(base(), 0.6), 450.0));
+  EXPECT_GT(*below_large_n, *below_small_n);
+  EXPECT_GT(*below_large_n, 0.95);
+
+  const auto above_small_n = closed_form_alpha1(with_routers(with_zipf(base(), 1.5), 20.0));
+  const auto above_large_n = closed_form_alpha1(with_routers(with_zipf(base(), 1.5), 450.0));
+  EXPECT_LT(*above_large_n, *above_small_n);
+  EXPECT_LT(*above_large_n, 0.35);
+}
+
+// The three general solvers must agree on the optimum across the whole
+// Table IV grid.
+struct GridPoint {
+  double alpha;
+  double s;
+  double gamma;
+};
+
+class SolverAgreement : public ::testing::TestWithParam<GridPoint> {};
+
+TEST_P(SolverAgreement, ExactLemma2AndDirectAgree) {
+  const GridPoint gp = GetParam();
+  const SystemParams p =
+      with_alpha(with_zipf(with_gamma(base(), gp.gamma), gp.s), gp.alpha);
+  const auto exact = solve_exact_first_order(p);
+  const auto direct = solve_direct(p);
+  ASSERT_TRUE(exact.has_value());
+  ASSERT_TRUE(direct.has_value());
+  // Direct minimization is the oracle: same optimum up to the flatness of
+  // the objective around it.
+  EXPECT_NEAR(exact->ell_star, direct->ell_star, 1e-3);
+  EXPECT_NEAR(exact->objective, direct->objective,
+              1e-5 * (std::abs(direct->objective) + 1.0));
+
+  if (gp.alpha > 0.05) {
+    const auto lemma = solve_lemma2(p);
+    ASSERT_TRUE(lemma.has_value());
+    // Lemma 2 carries the paper's n-1 ~ n and 1+(n-1)l ~ nl
+    // approximations, worth up to ~0.08 in l at n = 20.
+    EXPECT_NEAR(lemma->ell_star, exact->ell_star, 0.1);
+  }
+}
+
+std::string grid_point_name(
+    const ::testing::TestParamInfo<GridPoint>& param_info) {
+  const GridPoint& gp = param_info.param;
+  return "alpha" + std::to_string(static_cast<int>(gp.alpha * 10)) + "_s" +
+         std::to_string(static_cast<int>(gp.s * 10)) + "_gamma" +
+         std::to_string(static_cast<int>(gp.gamma));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableIVGrid, SolverAgreement,
+    ::testing::Values(GridPoint{1.0, 0.8, 5.0}, GridPoint{0.5, 0.8, 5.0},
+                      GridPoint{0.2, 0.8, 5.0}, GridPoint{0.8, 0.3, 5.0},
+                      GridPoint{0.8, 1.5, 5.0}, GridPoint{0.6, 0.8, 2.0},
+                      GridPoint{0.6, 0.8, 10.0}, GridPoint{1.0, 1.9, 8.0},
+                      GridPoint{0.9, 0.5, 1.0}, GridPoint{0.3, 1.2, 6.0}),
+    grid_point_name);
+
+TEST(Optimize, AlphaZeroMeansNoCoordination) {
+  const auto result = optimize(with_alpha(base(), 0.0));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->ell_star, 0.0);
+  EXPECT_DOUBLE_EQ(result->x_star, 0.0);
+}
+
+TEST(Optimize, ResultDecompositionConsistent) {
+  const SystemParams p = with_alpha(base(), 0.6);
+  const auto result = optimize(p);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->objective,
+              p.alpha * result->routing + (1.0 - p.alpha) * result->cost,
+              1e-9);
+  EXPECT_NEAR(result->ell_star, result->x_star / p.capacity_c, 1e-12);
+}
+
+TEST(Optimize, ObjectiveIsActuallyMinimal) {
+  const SystemParams p = with_alpha(base(), 0.7);
+  const auto result = optimize(p);
+  ASSERT_TRUE(result.has_value());
+  const PerformanceModel model(p);
+  for (double x = 0.0; x <= p.capacity_c; x += p.capacity_c / 64.0) {
+    EXPECT_GE(model.objective(x), result->objective - 1e-9);
+  }
+}
+
+TEST(Optimize, TinyZipfExponentSaturatesAtFullCoordination) {
+  // s = 0.1 pushes the interior root within machine epsilon of c; the
+  // solver must return the boundary rather than abort (regression test).
+  const auto result = optimize(with_alpha(with_zipf(base(), 0.1), 1.0));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GT(result->ell_star, 0.999);
+}
+
+TEST(Optimize, RejectsInvalidParams) {
+  const auto result = optimize(with_zipf(base(), 1.0));
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(SolveMethodNames, Distinct) {
+  EXPECT_STRNE(to_string(SolveMethod::kClosedFormAlpha1),
+               to_string(SolveMethod::kLemma2Root));
+  EXPECT_STRNE(to_string(SolveMethod::kExactFirstOrder),
+               to_string(SolveMethod::kDirectMinimization));
+}
+
+}  // namespace
+}  // namespace ccnopt::model

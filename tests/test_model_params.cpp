@@ -1,0 +1,135 @@
+#include "ccnopt/model/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ccnopt::model {
+namespace {
+
+TEST(LatencyProfile, DerivedRatios) {
+  const LatencyProfile p{10.0, 25.0, 100.0};
+  EXPECT_DOUBLE_EQ(p.t1(), 2.5);
+  EXPECT_DOUBLE_EQ(p.t2(), 4.0);
+  EXPECT_DOUBLE_EQ(p.gamma(), 75.0 / 15.0);
+}
+
+TEST(LatencyProfile, FromGammaInverts) {
+  const LatencyProfile p = LatencyProfile::from_gamma(1.0, 2.2842, 5.0);
+  EXPECT_DOUBLE_EQ(p.d0, 1.0);
+  EXPECT_NEAR(p.d1 - p.d0, 2.2842, 1e-12);
+  EXPECT_NEAR(p.gamma(), 5.0, 1e-12);
+}
+
+TEST(LatencyProfile, ValidationOrdering) {
+  EXPECT_TRUE((LatencyProfile{1.0, 2.0, 3.0}).validate().is_ok());
+  EXPECT_TRUE((LatencyProfile{1.0, 2.0, 2.0}).validate().is_ok());  // d1 = d2
+  EXPECT_FALSE((LatencyProfile{2.0, 2.0, 3.0}).validate().is_ok());
+  EXPECT_FALSE((LatencyProfile{1.0, 3.0, 2.0}).validate().is_ok());
+  EXPECT_FALSE((LatencyProfile{-1.0, 2.0, 3.0}).validate().is_ok());
+}
+
+TEST(CostModel, TotalCostIsEquationThree) {
+  CostModel cost;
+  cost.unit_cost_w = 3.0;
+  cost.fixed_cost = 7.0;
+  cost.amortization = 1.0;
+  // W(x) = w*n*x + w_hat.
+  EXPECT_DOUBLE_EQ(cost.total_cost(10.0, 20.0), 3.0 * 20.0 * 10.0 + 7.0);
+  EXPECT_DOUBLE_EQ(cost.total_cost(0.0, 20.0), 7.0);
+}
+
+TEST(CostModel, AmortizationDividesEverything) {
+  CostModel cost;
+  cost.unit_cost_w = 3.0;
+  cost.fixed_cost = 7.0;
+  cost.amortization = 100.0;
+  EXPECT_DOUBLE_EQ(cost.total_cost(10.0, 20.0), (600.0 + 7.0) / 100.0);
+  EXPECT_DOUBLE_EQ(cost.effective_unit_cost(), 0.03);
+}
+
+TEST(CostModel, Validation) {
+  CostModel ok;
+  EXPECT_TRUE(ok.validate().is_ok());
+  CostModel bad_w = ok;
+  bad_w.unit_cost_w = 0.0;
+  EXPECT_FALSE(bad_w.validate().is_ok());
+  CostModel bad_fixed = ok;
+  bad_fixed.fixed_cost = -1.0;
+  EXPECT_FALSE(bad_fixed.validate().is_ok());
+  CostModel bad_amort = ok;
+  bad_amort.amortization = 0.0;
+  EXPECT_FALSE(bad_amort.validate().is_ok());
+}
+
+TEST(SystemParams, PaperDefaultsValid) {
+  const SystemParams p = SystemParams::paper_defaults();
+  EXPECT_TRUE(p.validate().is_ok());
+  EXPECT_DOUBLE_EQ(p.s, 0.8);
+  EXPECT_DOUBLE_EQ(p.n, 20.0);
+  EXPECT_DOUBLE_EQ(p.catalog_n, 1e6);
+  EXPECT_DOUBLE_EQ(p.capacity_c, 1e3);
+  EXPECT_NEAR(p.latency.gamma(), 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(p.cost.unit_cost_w, 26.7);
+  EXPECT_GT(p.cost.amortization, 1.0);
+}
+
+TEST(SystemParams, ValidationRejectsLemma1Violations) {
+  const SystemParams base = SystemParams::paper_defaults();
+  EXPECT_FALSE(with_alpha(base, -0.1).validate().is_ok());
+  EXPECT_FALSE(with_alpha(base, 1.1).validate().is_ok());
+  EXPECT_FALSE(with_zipf(base, 1.0).validate().is_ok());  // singular point
+  EXPECT_FALSE(with_zipf(base, 0.0).validate().is_ok());
+  EXPECT_FALSE(with_zipf(base, 2.0).validate().is_ok());
+  EXPECT_FALSE(with_routers(base, 1.0).validate().is_ok());
+  SystemParams tiny_catalog = base;
+  tiny_catalog.catalog_n = 1000.0;  // <= n*c = 20000
+  EXPECT_FALSE(tiny_catalog.validate().is_ok());
+  SystemParams no_capacity = base;
+  no_capacity.capacity_c = 0.0;
+  EXPECT_FALSE(no_capacity.validate().is_ok());
+}
+
+TEST(SystemParams, SEdgesOfBothBranchesValid) {
+  const SystemParams base = SystemParams::paper_defaults();
+  EXPECT_TRUE(with_zipf(base, 0.1).validate().is_ok());
+  EXPECT_TRUE(with_zipf(base, 0.99).validate().is_ok());
+  EXPECT_TRUE(with_zipf(base, 1.01).validate().is_ok());
+  EXPECT_TRUE(with_zipf(base, 1.9).validate().is_ok());
+}
+
+TEST(CalibrateAmortization, HandComputedValue) {
+  // rho = b_raw / a with the Table IV numbers (see DESIGN.md): ~4.55e5.
+  const double rho = calibrate_amortization(SystemParams::paper_defaults());
+  EXPECT_NEAR(rho, 4.55e5, 0.01e5);
+}
+
+TEST(CalibrateAmortization, MakesLemma2CoefficientsCrossAtHalf) {
+  // After calibration, b(alpha=0.5) == a by construction.
+  SystemParams p = SystemParams::paper_defaults();
+  const double a = p.latency.gamma() * std::pow(p.n, 1.0 - p.s);
+  const double zipf_factor =
+      (std::pow(p.catalog_n, 1.0 - p.s) - 1.0) / (1.0 - p.s);
+  const double b_at_half = zipf_factor * (p.n - 1.0) *
+                           p.cost.effective_unit_cost() /
+                           (p.latency.d1 - p.latency.d0) *
+                           std::pow(p.capacity_c, p.s);
+  EXPECT_NEAR(b_at_half, a, 1e-9 * a);
+}
+
+TEST(WithHelpers, OverrideSingleField) {
+  const SystemParams base = SystemParams::paper_defaults();
+  EXPECT_DOUBLE_EQ(with_alpha(base, 0.3).alpha, 0.3);
+  EXPECT_DOUBLE_EQ(with_zipf(base, 1.5).s, 1.5);
+  EXPECT_DOUBLE_EQ(with_routers(base, 100.0).n, 100.0);
+  EXPECT_DOUBLE_EQ(with_unit_cost(base, 50.0).cost.unit_cost_w, 50.0);
+  EXPECT_NEAR(with_gamma(base, 8.0).latency.gamma(), 8.0, 1e-12);
+  // with_gamma preserves d0 and d1 - d0.
+  const SystemParams changed = with_gamma(base, 8.0);
+  EXPECT_DOUBLE_EQ(changed.latency.d0, base.latency.d0);
+  EXPECT_NEAR(changed.latency.d1 - changed.latency.d0,
+              base.latency.d1 - base.latency.d0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ccnopt::model

@@ -1,0 +1,167 @@
+#include "ccnopt/model/performance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ccnopt::model {
+namespace {
+
+SystemParams base() { return SystemParams::paper_defaults(); }
+
+TEST(TierSplit, SumsToOneEverywhere) {
+  const PerformanceModel model(base());
+  for (double x : {0.0, 100.0, 500.0, 999.0, 1000.0}) {
+    const auto split = model.tier_split(x);
+    EXPECT_NEAR(split.local + split.network + split.origin, 1.0, 1e-12);
+    EXPECT_GE(split.local, 0.0);
+    EXPECT_GE(split.network, 0.0);
+    EXPECT_GE(split.origin, 0.0);
+  }
+}
+
+TEST(TierSplit, NoCoordinationHasEmptyNetworkTier) {
+  const PerformanceModel model(base());
+  const auto split = model.tier_split(0.0);
+  EXPECT_DOUBLE_EQ(split.network, 0.0);
+  EXPECT_GT(split.local, 0.0);
+  EXPECT_GT(split.origin, 0.0);
+}
+
+TEST(TierSplit, FullCoordinationHasEmptyLocalTier) {
+  const PerformanceModel model(base());
+  const auto split = model.tier_split(1000.0);
+  EXPECT_DOUBLE_EQ(split.local, 0.0);
+  EXPECT_GT(split.network, 0.0);
+}
+
+TEST(TierSplit, CoordinationGrowsNetworkCoverage) {
+  const PerformanceModel model(base());
+  double prev_origin = 1.0;
+  for (double x : {0.0, 250.0, 500.0, 750.0, 1000.0}) {
+    const auto split = model.tier_split(x);
+    EXPECT_LE(split.origin, prev_origin + 1e-12);
+    prev_origin = split.origin;
+  }
+}
+
+TEST(RoutingPerformance, MatchesEquationTwoByHand) {
+  // T(x) = F(c-x) d0 + [F(c+(n-1)x) - F(c-x)] d1 + [1 - F(c+(n-1)x)] d2.
+  const SystemParams p = base();
+  const PerformanceModel model(p);
+  const double x = 400.0;
+  const double f_local = model.popularity_cdf(p.capacity_c - x);
+  const double f_net = model.popularity_cdf(p.capacity_c + (p.n - 1.0) * x);
+  const double expected = f_local * p.latency.d0 +
+                          (f_net - f_local) * p.latency.d1 +
+                          (1.0 - f_net) * p.latency.d2;
+  EXPECT_NEAR(model.routing_performance(x), expected, 1e-12);
+}
+
+TEST(RoutingPerformance, BaselineMatchesSectionIVEFormula) {
+  // T(0) = ((N^{1-s} - c^{1-s}) d2 + (c^{1-s} - 1) d0) / (N^{1-s} - 1).
+  const SystemParams p = base();
+  const PerformanceModel model(p);
+  const double one_minus_s = 1.0 - p.s;
+  const double expected =
+      ((std::pow(p.catalog_n, one_minus_s) -
+        std::pow(p.capacity_c, one_minus_s)) *
+           p.latency.d2 +
+       (std::pow(p.capacity_c, one_minus_s) - 1.0) * p.latency.d0) /
+      (std::pow(p.catalog_n, one_minus_s) - 1.0);
+  EXPECT_NEAR(model.baseline_performance(), expected, 1e-12);
+}
+
+TEST(RoutingPerformance, BoundedByLatencyTiers) {
+  const PerformanceModel model(base());
+  for (double x = 0.0; x <= 1000.0; x += 50.0) {
+    const double t = model.routing_performance(x);
+    EXPECT_GT(t, model.params().latency.d0);
+    EXPECT_LT(t, model.params().latency.d2);
+  }
+}
+
+TEST(CoordinationCost, LinearInX) {
+  const SystemParams p = base();
+  const PerformanceModel model(p);
+  const double w0 = model.coordination_cost(0.0);
+  const double w1 = model.coordination_cost(100.0);
+  const double w2 = model.coordination_cost(200.0);
+  EXPECT_NEAR(w2 - w1, w1 - w0, 1e-12);
+  EXPECT_GT(w1, w0);
+}
+
+TEST(Objective, ConvexCombination) {
+  const SystemParams p = with_alpha(base(), 0.3);
+  const PerformanceModel model(p);
+  const double x = 321.0;
+  EXPECT_NEAR(model.objective(x),
+              0.3 * model.routing_performance(x) +
+                  0.7 * model.coordination_cost(x),
+              1e-12);
+}
+
+TEST(Objective, AlphaOneIsPureRouting) {
+  const PerformanceModel model(with_alpha(base(), 1.0));
+  EXPECT_DOUBLE_EQ(model.objective(500.0),
+                   model.routing_performance(500.0));
+}
+
+TEST(ObjectiveDerivative, MatchesFiniteDifference) {
+  for (double alpha : {0.2, 0.7, 1.0}) {
+    for (double s : {0.5, 0.8, 1.3}) {
+      const PerformanceModel model(with_alpha(with_zipf(base(), s), alpha));
+      for (double x : {10.0, 300.0, 900.0}) {
+        const double h = 1e-4;
+        const double fd =
+            (model.objective(x + h) - model.objective(x - h)) / (2 * h);
+        EXPECT_NEAR(model.objective_derivative(x), fd,
+                    1e-5 * (1.0 + std::abs(fd)))
+            << "alpha=" << alpha << " s=" << s << " x=" << x;
+      }
+    }
+  }
+}
+
+TEST(ObjectiveSecondDerivative, MatchesFiniteDifference) {
+  const PerformanceModel model(with_alpha(base(), 0.8));
+  for (double x : {50.0, 500.0, 950.0}) {
+    const double h = 1e-2;
+    const double fd = (model.objective(x + h) - 2.0 * model.objective(x) +
+                       model.objective(x - h)) /
+                      (h * h);
+    EXPECT_NEAR(model.objective_second_derivative(x), fd,
+                1e-3 * (1.0 + std::abs(fd)));
+  }
+}
+
+TEST(ObjectiveSecondDerivative, PositiveOnBothZipfBranches) {
+  // The Appendix's Lemma 1 argument: s(1-s)/(N^{1-s}-1) > 0 on both
+  // branches, so T_w'' > 0.
+  for (double s : {0.2, 0.8, 1.2, 1.8}) {
+    const PerformanceModel model(with_zipf(base(), s));
+    for (double x = 0.0; x < 1000.0; x += 100.0) {
+      EXPECT_GT(model.objective_second_derivative(x), 0.0)
+          << "s=" << s << " x=" << x;
+    }
+  }
+}
+
+TEST(IsConvex, HoldsForPaperDefaults) {
+  EXPECT_TRUE(PerformanceModel(base()).is_convex());
+  EXPECT_TRUE(PerformanceModel(with_alpha(base(), 0.0)).is_convex());
+}
+
+TEST(PerformanceModelDeath, RejectsInvalidParams) {
+  EXPECT_DEATH(PerformanceModel(with_zipf(base(), 1.0)), "precondition");
+}
+
+TEST(PerformanceModelDeath, DomainChecks) {
+  const PerformanceModel model(base());
+  EXPECT_DEATH((void)model.routing_performance(-1.0), "precondition");
+  EXPECT_DEATH((void)model.routing_performance(1001.0), "precondition");
+  EXPECT_DEATH((void)model.objective_derivative(1000.0), "precondition");
+}
+
+}  // namespace
+}  // namespace ccnopt::model

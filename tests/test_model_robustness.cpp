@@ -1,0 +1,103 @@
+#include "ccnopt/model/robustness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccnopt/model/sensitivity.hpp"
+
+namespace ccnopt::model {
+namespace {
+
+SystemParams base() {
+  return with_alpha(SystemParams::paper_defaults(), 0.7);
+}
+
+TEST(Regret, CorrectBeliefHasZeroRegret) {
+  const auto regret = misestimation_regret(base(), base());
+  ASSERT_TRUE(regret.has_value());
+  EXPECT_NEAR(regret->absolute, 0.0, 1e-9);
+  EXPECT_NEAR(regret->relative, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(regret->x_believed, regret->x_true);
+}
+
+TEST(Regret, AlwaysNonNegative) {
+  for (double believed_s : {0.3, 0.6, 1.2, 1.7}) {
+    for (double true_s : {0.5, 0.8, 1.4}) {
+      const auto regret = misestimation_regret(
+          with_zipf(base(), believed_s), with_zipf(base(), true_s));
+      ASSERT_TRUE(regret.has_value());
+      EXPECT_GE(regret->absolute, 0.0)
+          << "believed " << believed_s << " true " << true_s;
+    }
+  }
+}
+
+TEST(Regret, GrowsWithMisestimationDistance) {
+  const SystemParams truth = with_zipf(base(), 0.8);
+  const auto mild = misestimation_regret(with_zipf(base(), 0.9), truth);
+  const auto severe = misestimation_regret(with_zipf(base(), 1.7), truth);
+  ASSERT_TRUE(mild.has_value());
+  ASSERT_TRUE(severe.has_value());
+  EXPECT_LT(mild->absolute, severe->absolute);
+}
+
+TEST(Regret, GammaScaleFreeAtAlphaOne) {
+  // At alpha = 1 only gamma matters, and by Theorem 2's scale-freeness a
+  // belief scaling all latencies uniformly costs nothing.
+  SystemParams truth = with_alpha(base(), 1.0);
+  SystemParams believed = truth;
+  believed.latency.d0 *= 3.0;
+  believed.latency.d1 *= 3.0;
+  believed.latency.d2 *= 3.0;
+  const auto regret = misestimation_regret(believed, truth);
+  ASSERT_TRUE(regret.has_value());
+  EXPECT_NEAR(regret->absolute, 0.0, 1e-9);
+}
+
+TEST(Regret, StructuralMismatchRejected) {
+  const auto regret =
+      misestimation_regret(with_routers(base(), 30.0), base());
+  EXPECT_FALSE(regret.has_value());
+  EXPECT_EQ(regret.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(ZipfRegretCurve, MinimumAtTheTruth) {
+  const SystemParams truth = with_zipf(base(), 0.8);
+  const auto curve =
+      zipf_regret_curve(truth, linspace(0.3, 1.7, 29));
+  ASSERT_TRUE(curve.has_value());
+  double best_belief = 0.0;
+  double best_regret = 1e300;
+  for (const RegretPoint& point : *curve) {
+    EXPECT_GE(point.regret.absolute, 0.0);
+    if (point.regret.absolute < best_regret) {
+      best_regret = point.regret.absolute;
+      best_belief = point.believed_parameter;
+    }
+  }
+  EXPECT_NEAR(best_belief, 0.8, 0.06);
+}
+
+TEST(ZipfRegretCurve, SkipsTheSingularPoint) {
+  const auto curve = zipf_regret_curve(base(), {0.8, 1.0, 1.2});
+  ASSERT_TRUE(curve.has_value());
+  EXPECT_EQ(curve->size(), 2u);
+}
+
+TEST(GammaRegretCurve, UnderestimatingGammaCostsMore) {
+  // Believing the origin is closer than it is (gamma too small) leaves
+  // requests on the origin path; with the truth at gamma = 8, a belief of
+  // 2 must cost more than a belief of 6.
+  const SystemParams truth = with_gamma(with_alpha(base(), 1.0), 8.0);
+  const auto curve = gamma_regret_curve(truth, {2.0, 6.0, 8.0});
+  ASSERT_TRUE(curve.has_value());
+  ASSERT_EQ(curve->size(), 3u);
+  EXPECT_GT((*curve)[0].regret.absolute, (*curve)[1].regret.absolute);
+  EXPECT_NEAR((*curve)[2].regret.absolute, 0.0, 1e-9);
+}
+
+TEST(RegretCurve, FailsWhenNoBeliefValid) {
+  EXPECT_FALSE(zipf_regret_curve(base(), {1.0}).has_value());
+}
+
+}  // namespace
+}  // namespace ccnopt::model

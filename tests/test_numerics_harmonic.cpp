@@ -1,0 +1,115 @@
+#include "ccnopt/numerics/harmonic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ccnopt::numerics {
+namespace {
+
+TEST(HarmonicExact, SmallValuesByHand) {
+  EXPECT_DOUBLE_EQ(harmonic_exact(0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic_exact(1, 2.0), 1.0);
+  EXPECT_NEAR(harmonic_exact(3, 1.0), 1.0 + 0.5 + 1.0 / 3.0, 1e-15);
+  EXPECT_NEAR(harmonic_exact(2, 0.5), 1.0 + 1.0 / std::sqrt(2.0), 1e-15);
+}
+
+TEST(HarmonicExact, ClassicHarmonicNumber) {
+  // H_100 ~= 5.1873775...
+  EXPECT_NEAR(harmonic_exact(100, 1.0), 5.187377517639621, 1e-12);
+}
+
+TEST(HarmonicEulerMaclaurin, MatchesExactAcrossExponents) {
+  for (double s : {0.2, 0.5, 0.8, 1.0, 1.2, 1.5, 1.9}) {
+    for (std::uint64_t k : {20ULL, 100ULL, 1000ULL, 50000ULL}) {
+      EXPECT_NEAR(harmonic_euler_maclaurin(k, s), harmonic_exact(k, s),
+                  1e-10 * harmonic_exact(k, s))
+          << "s=" << s << " k=" << k;
+    }
+  }
+}
+
+TEST(HarmonicEulerMaclaurin, SmallKFallsBackToExact) {
+  for (std::uint64_t k = 1; k <= 16; ++k) {
+    EXPECT_DOUBLE_EQ(harmonic_euler_maclaurin(k, 0.8), harmonic_exact(k, 0.8));
+  }
+}
+
+TEST(HarmonicEulerMaclaurin, HugeKIsFiniteAndMonotone) {
+  // Direct summation is impossible at N = 10^12; the expansion must still
+  // be finite and monotone in k.
+  const double h1 = harmonic_euler_maclaurin(1000000000ULL, 0.8);
+  const double h2 = harmonic_euler_maclaurin(1000000000000ULL, 0.8);
+  EXPECT_TRUE(std::isfinite(h1));
+  EXPECT_TRUE(std::isfinite(h2));
+  EXPECT_GT(h2, h1);
+}
+
+TEST(HarmonicDispatch, ThresholdRouting) {
+  // Below the threshold the dispatcher must agree with exact to the bit.
+  EXPECT_DOUBLE_EQ(harmonic(100, 0.8, 4096), harmonic_exact(100, 0.8));
+  // Above it, with Euler-Maclaurin to high accuracy.
+  EXPECT_NEAR(harmonic(100000, 0.8, 64), harmonic_exact(100000, 0.8), 1e-8);
+  EXPECT_DOUBLE_EQ(harmonic(0, 0.8), 0.0);
+}
+
+TEST(HarmonicIntegral, ClosedFormAgainstPow) {
+  EXPECT_NEAR(harmonic_integral(10.0, 0.5),
+              (std::pow(10.0, 0.5) - 1.0) / 0.5, 1e-12);
+  EXPECT_NEAR(harmonic_integral(10.0, 2.0), (std::pow(10.0, -1.0) - 1.0) / -1.0,
+              1e-12);
+}
+
+TEST(HarmonicIntegral, LogFormAtSEqualOne) {
+  EXPECT_NEAR(harmonic_integral(std::exp(1.0), 1.0), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(harmonic_integral(1.0, 1.0), 0.0);
+}
+
+TEST(HarmonicIntegral, DerivativeIsPowerLaw) {
+  EXPECT_NEAR(harmonic_integral_derivative(4.0, 0.5), 0.5, 1e-15);
+  // Finite-difference cross-check.
+  const double h = 1e-6;
+  const double fd =
+      (harmonic_integral(5.0 + h, 0.8) - harmonic_integral(5.0 - h, 0.8)) /
+      (2 * h);
+  EXPECT_NEAR(harmonic_integral_derivative(5.0, 0.8), fd, 1e-8);
+}
+
+TEST(HarmonicTable, MatchesExact) {
+  const HarmonicTable table(1000, 0.8);
+  EXPECT_DOUBLE_EQ(table.at(0), 0.0);
+  for (std::uint64_t k : {1ULL, 7ULL, 100ULL, 1000ULL}) {
+    EXPECT_NEAR(table.at(k), harmonic_exact(k, 0.8), 1e-10);
+  }
+  EXPECT_EQ(table.max_k(), 1000u);
+  EXPECT_DOUBLE_EQ(table.s(), 0.8);
+}
+
+TEST(HarmonicTable, LowerBoundInvertsPrefix) {
+  const HarmonicTable table(100, 1.0);
+  // lower_bound(H_k) == k for every k.
+  for (std::uint64_t k = 1; k <= 100; ++k) {
+    EXPECT_EQ(table.lower_bound(table.at(k)), k);
+  }
+  // A target between H_k and H_{k+1} resolves to k+1.
+  EXPECT_EQ(table.lower_bound(0.5 * (table.at(3) + table.at(4))), 4u);
+  // Beyond the table: clamps to max_k.
+  EXPECT_EQ(table.lower_bound(table.at(100) + 1.0), 100u);
+}
+
+TEST(HarmonicProperties, MonotoneInKDecreasingInS) {
+  for (double s : {0.3, 0.9, 1.4}) {
+    double prev = 0.0;
+    for (std::uint64_t k = 1; k <= 64; ++k) {
+      const double h = harmonic_exact(k, s);
+      EXPECT_GT(h, prev);
+      prev = h;
+    }
+  }
+  // For fixed k >= 2, H_{k,s} decreases in s.
+  EXPECT_GT(harmonic_exact(50, 0.5), harmonic_exact(50, 1.0));
+  EXPECT_GT(harmonic_exact(50, 1.0), harmonic_exact(50, 1.5));
+}
+
+}  // namespace
+}  // namespace ccnopt::numerics

@@ -1,0 +1,75 @@
+#include "ccnopt/numerics/integrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ccnopt::numerics {
+namespace {
+
+TEST(Trapezoid, ExactOnLinear) {
+  EXPECT_NEAR(trapezoid([](double x) { return 2.0 * x + 1.0; }, 0.0, 2.0, 1),
+              6.0, 1e-12);
+}
+
+TEST(Trapezoid, ConvergesOnQuadratic) {
+  const auto f = [](double x) { return x * x; };
+  EXPECT_NEAR(trapezoid(f, 0.0, 1.0, 1000), 1.0 / 3.0, 1e-6);
+}
+
+TEST(Trapezoid, EmptyInterval) {
+  EXPECT_DOUBLE_EQ(trapezoid([](double) { return 5.0; }, 2.0, 2.0, 4), 0.0);
+}
+
+TEST(Simpson, ExactOnCubic) {
+  // Simpson is exact through degree 3.
+  const auto f = [](double x) { return x * x * x - 2.0 * x; };
+  EXPECT_NEAR(simpson(f, 0.0, 2.0, 2), 0.0, 1e-12);
+}
+
+TEST(Simpson, OddIntervalsRoundedUp) {
+  const auto f = [](double x) { return x * x; };
+  EXPECT_NEAR(simpson(f, 0.0, 1.0, 3), 1.0 / 3.0, 1e-10);
+}
+
+TEST(AdaptiveSimpson, SmoothFunction) {
+  const auto result =
+      adaptive_simpson([](double x) { return std::sin(x); }, 0.0, M_PI);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(*result, 2.0, 1e-9);
+}
+
+TEST(AdaptiveSimpson, PowerLawMatchesHarmonicIntegral) {
+  // The paper's Eq. 6 numerator: \int_1^x t^{-s} dt.
+  for (double s : {0.5, 0.8, 1.5}) {
+    const auto result =
+        adaptive_simpson([s](double t) { return std::pow(t, -s); }, 1.0, 100.0);
+    ASSERT_TRUE(result.has_value());
+    const double closed = (std::pow(100.0, 1.0 - s) - 1.0) / (1.0 - s);
+    EXPECT_NEAR(*result, closed, 1e-8) << "s=" << s;
+  }
+}
+
+TEST(AdaptiveSimpson, EmptyInterval) {
+  const auto result = adaptive_simpson([](double) { return 1.0; }, 3.0, 3.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(*result, 0.0);
+}
+
+TEST(AdaptiveSimpson, RejectsInvertedInterval) {
+  const auto result = adaptive_simpson([](double) { return 1.0; }, 1.0, 0.0);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(AdaptiveSimpson, DepthLimitReported) {
+  AdaptiveOptions options;
+  options.tolerance = 1e-30;  // unattainable
+  options.max_depth = 3;
+  const auto result = adaptive_simpson(
+      [](double x) { return std::sqrt(std::abs(x)); }, -1.0, 1.0, options);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(result.status().code(), ErrorCode::kNumericalFailure);
+}
+
+}  // namespace
+}  // namespace ccnopt::numerics

@@ -1,0 +1,113 @@
+#include "ccnopt/numerics/minimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ccnopt::numerics {
+namespace {
+
+struct MinCase {
+  const char* name;
+  Objective f;
+  double lo;
+  double hi;
+  double x_min;
+  // Attainable x accuracy: limited by how flat f is at the minimum (the
+  // quartic's floating-point plateau is ~(eps*f)^(1/4) wide).
+  double x_tol;
+};
+
+std::vector<MinCase> cases() {
+  return {
+      {"parabola", [](double x) { return (x - 2.0) * (x - 2.0); }, 0.0, 5.0,
+       2.0, 1e-5},
+      {"quartic", [](double x) { return std::pow(x - 1.0, 4.0) + 3.0; }, -2.0,
+       4.0, 1.0, 5e-3},
+      {"cosh", [](double x) { return std::cosh(x - 0.5); }, -3.0, 3.0, 0.5,
+       1e-5},
+      {"abs", [](double x) { return std::abs(x + 1.0); }, -4.0, 2.0, -1.0,
+       1e-5},
+      {"left_boundary", [](double x) { return x; }, 1.0, 3.0, 1.0, 1e-9},
+      {"right_boundary", [](double x) { return -x; }, 1.0, 3.0, 3.0, 1e-9},
+  };
+}
+
+class Minimizers : public ::testing::TestWithParam<int> {};
+
+Expected<MinimizeResult> minimize(int which, const MinCase& c) {
+  switch (which) {
+    case 0:
+      return golden_section(c.f, c.lo, c.hi);
+    case 1:
+      return brent_minimize(c.f, c.lo, c.hi);
+    default:
+      return grid_refine(c.f, c.lo, c.hi);
+  }
+}
+
+TEST_P(Minimizers, FindsKnownMinima) {
+  for (const MinCase& c : cases()) {
+    const auto result = minimize(GetParam(), c);
+    ASSERT_TRUE(result.has_value()) << c.name;
+    EXPECT_NEAR(result->x_min, c.x_min, c.x_tol) << c.name;
+    EXPECT_NEAR(result->f_min, c.f(c.x_min), 1e-9) << c.name;
+  }
+}
+
+TEST_P(Minimizers, RejectsInvertedInterval) {
+  const auto result = minimize(
+      GetParam(), {"bad", [](double x) { return x * x; }, 2.0, 1.0, 0.0, 0.0});
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(result.status().code(), ErrorCode::kInvalidArgument);
+}
+
+std::string minimizer_name(const ::testing::TestParamInfo<int>& param_info) {
+  static const char* const kNames[] = {"golden", "brent", "grid"};
+  return kNames[param_info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMinimizers, Minimizers, ::testing::Values(0, 1, 2),
+                         minimizer_name);
+
+TEST(GoldenSection, FlatFunctionReturnsSomePoint) {
+  const auto result = golden_section([](double) { return 7.0; }, 0.0, 1.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->f_min, 7.0);
+  EXPECT_GE(result->x_min, 0.0);
+  EXPECT_LE(result->x_min, 1.0);
+}
+
+TEST(GridRefine, SurvivesMildNonUnimodality) {
+  // Two local minima; the global one (at x = 3, value -2) must win even
+  // though golden-section alone could settle into the x = 0 basin.
+  const Objective f = [](double x) {
+    return std::min((x - 0.0) * (x - 0.0) - 1.0,
+                    (x - 3.0) * (x - 3.0) - 2.0);
+  };
+  const auto result = grid_refine(f, -1.0, 4.0, 256);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->x_min, 3.0, 1e-3);
+}
+
+TEST(GridRefine, RejectsTooFewPoints) {
+  const auto result = grid_refine([](double x) { return x; }, 0.0, 1.0, 2);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(BrentMinimize, TighterToleranceImprovesAccuracy) {
+  const Objective f = [](double x) { return std::pow(x - 1.23456789, 2.0); };
+  MinimizeOptions loose;
+  loose.x_tolerance = 1e-3;
+  MinimizeOptions tight;
+  tight.x_tolerance = 1e-12;
+  const auto coarse = brent_minimize(f, 0.0, 3.0, loose);
+  const auto fine = brent_minimize(f, 0.0, 3.0, tight);
+  ASSERT_TRUE(coarse.has_value());
+  ASSERT_TRUE(fine.has_value());
+  EXPECT_LE(std::abs(fine->x_min - 1.23456789),
+            std::abs(coarse->x_min - 1.23456789) + 1e-12);
+}
+
+}  // namespace
+}  // namespace ccnopt::numerics

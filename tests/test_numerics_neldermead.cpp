@@ -1,0 +1,126 @@
+#include "ccnopt/numerics/neldermead.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ccnopt/model/heterogeneous.hpp"
+
+namespace ccnopt::numerics {
+namespace {
+
+TEST(NelderMead, QuadraticBowl2D) {
+  const ObjectiveNd f = [](const std::vector<double>& x) {
+    return (x[0] - 1.0) * (x[0] - 1.0) + 2.0 * (x[1] + 0.5) * (x[1] + 0.5);
+  };
+  const auto result =
+      nelder_mead(f, {0.0, 0.0}, {-5.0, -5.0}, {5.0, 5.0});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->converged);
+  EXPECT_NEAR(result->x[0], 1.0, 1e-4);
+  EXPECT_NEAR(result->x[1], -0.5, 1e-4);
+  EXPECT_NEAR(result->f, 0.0, 1e-8);
+}
+
+TEST(NelderMead, Rosenbrock2D) {
+  const ObjectiveNd f = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions options;
+  options.max_evaluations = 100000;
+  const auto result =
+      nelder_mead(f, {-1.2, 1.0}, {-5.0, -5.0}, {5.0, 5.0}, options);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->x[0], 1.0, 1e-3);
+  EXPECT_NEAR(result->x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, HigherDimensionalSphere) {
+  const ObjectiveNd f = [](const std::vector<double>& x) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - static_cast<double>(i);
+      total += d * d;
+    }
+    return total;
+  };
+  const std::vector<double> start(6, 0.0);
+  const std::vector<double> lower(6, -10.0);
+  const std::vector<double> upper(6, 10.0);
+  NelderMeadOptions options;
+  options.max_evaluations = 200000;
+  const auto result = nelder_mead(f, start, lower, upper, options);
+  ASSERT_TRUE(result.has_value());
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(result->x[i], static_cast<double>(i), 1e-2) << i;
+  }
+}
+
+TEST(NelderMead, RespectsBoxConstraints) {
+  // Unconstrained minimum at (-3, -3); box forces the corner (0, 0).
+  const ObjectiveNd f = [](const std::vector<double>& x) {
+    return (x[0] + 3.0) * (x[0] + 3.0) + (x[1] + 3.0) * (x[1] + 3.0);
+  };
+  const auto result = nelder_mead(f, {2.0, 2.0}, {0.0, 0.0}, {5.0, 5.0});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->x[0], 0.0, 1e-5);
+  EXPECT_NEAR(result->x[1], 0.0, 1e-5);
+}
+
+TEST(NelderMead, StartOutsideBoxIsClamped) {
+  const ObjectiveNd f = [](const std::vector<double>& x) {
+    return x[0] * x[0];
+  };
+  const auto result = nelder_mead(f, {100.0}, {-1.0, }, {1.0});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->x[0], 0.0, 1e-5);
+}
+
+TEST(NelderMead, RejectsBadInputs) {
+  const ObjectiveNd f = [](const std::vector<double>&) { return 0.0; };
+  EXPECT_FALSE(nelder_mead(f, {}, {}, {}).has_value());
+  EXPECT_FALSE(nelder_mead(f, {0.0}, {0.0, 1.0}, {1.0}).has_value());
+  EXPECT_FALSE(nelder_mead(f, {0.0}, {1.0}, {1.0}).has_value());
+}
+
+TEST(NelderMead, EvaluationBudgetReported) {
+  const ObjectiveNd f = [](const std::vector<double>& x) {
+    return std::sin(x[0]) + x[0] * x[0];
+  };
+  NelderMeadOptions options;
+  options.max_evaluations = 50;
+  const auto result = nelder_mead(f, {3.0}, {-10.0}, {10.0}, options);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LE(result->evaluations, 60);  // a few evals past the check is fine
+}
+
+TEST(NelderMead, CrossChecksHeterogeneousCoordinateDescent) {
+  // Independent oracle: Nelder-Mead over the full x vector must not find
+  // a meaningfully better heterogeneous provisioning than coordinate
+  // descent did.
+  model::HeterogeneousParams hp = model::HeterogeneousParams::from_homogeneous(
+      model::with_alpha(model::SystemParams::paper_defaults(), 1.0));
+  hp.capacities.resize(6);
+  for (std::size_t i = 0; i < hp.capacities.size(); ++i) {
+    hp.capacities[i] = (i % 2 == 0) ? 600.0 : 1400.0;
+  }
+  const model::HeterogeneousModel hetero(hp);
+  const auto descent = hetero.optimize_coordinate_descent();
+  ASSERT_TRUE(descent.has_value());
+
+  const ObjectiveNd objective = [&hetero](const std::vector<double>& x) {
+    return hetero.objective(x);
+  };
+  NelderMeadOptions options;
+  options.max_evaluations = 60000;
+  const std::vector<double> lower(6, 0.0);
+  const auto oracle = nelder_mead(objective, descent->x, lower,
+                                  hp.capacities, options);
+  ASSERT_TRUE(oracle.has_value());
+  EXPECT_GE(oracle->f, descent->objective - 1e-4 * descent->objective);
+}
+
+}  // namespace
+}  // namespace ccnopt::numerics

@@ -1,0 +1,133 @@
+#include "ccnopt/numerics/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ccnopt::numerics {
+namespace {
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all, left, right;
+  const std::vector<double> xs = {1.5, -2.0, 3.25, 8.0, 0.0, -1.0, 4.5};
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    all.add(xs[i]);
+    (i < 3 ? left : right).add(xs[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStatsDeath, RequiresSamples) {
+  RunningStats empty;
+  EXPECT_DEATH((void)empty.mean(), "precondition");
+  RunningStats one;
+  one.add(1.0);
+  EXPECT_DEATH((void)one.variance(), "precondition");
+}
+
+TEST(RunningStats, ConfidenceIntervalShrinksWithSamples) {
+  RunningStats small, large;
+  for (int i = 0; i < 16; ++i) small.add(i % 4);
+  for (int i = 0; i < 1024; ++i) large.add(i % 4);
+  EXPECT_GT(small.mean_ci_half_width(), large.mean_ci_half_width());
+  // Known case: stddev 0 -> zero-width interval.
+  RunningStats constant;
+  constant.add(5.0);
+  constant.add(5.0);
+  EXPECT_DOUBLE_EQ(constant.mean_ci_half_width(), 0.0);
+}
+
+TEST(Mean, Basic) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.0);
+}
+
+TEST(Variance, MatchesRunningStats) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::vector<double> xs = {3.0, 1.0, 2.0, 4.0};  // unsorted input
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(ChiSquare, ZeroWhenObservedMatchesExpected) {
+  const std::vector<std::uint64_t> observed = {10, 20, 30};
+  const std::vector<double> expected = {10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(chi_square_statistic(observed, expected), 0.0);
+}
+
+TEST(ChiSquare, KnownValue) {
+  const std::vector<std::uint64_t> observed = {12, 8};
+  const std::vector<double> expected = {10.0, 10.0};
+  EXPECT_DOUBLE_EQ(chi_square_statistic(observed, expected), 0.8);
+}
+
+TEST(ChiSquare, SkipsEmptyBins) {
+  const std::vector<std::uint64_t> observed = {5, 0};
+  const std::vector<double> expected = {5.0, 0.0};
+  EXPECT_DOUBLE_EQ(chi_square_statistic(observed, expected), 0.0);
+}
+
+TEST(KsDistance, MaxAbsoluteGap) {
+  const std::vector<double> a = {0.1, 0.5, 1.0};
+  const std::vector<double> b = {0.2, 0.4, 1.0};
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), 0.1);
+}
+
+TEST(LinearFit, RecoversExactLine) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {3.0, 5.0, 7.0, 9.0};  // y = 2x + 1
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, EstimatesZipfExponentFromLogLog) {
+  // log f(i) = -s log i + const; the fit must recover s.
+  const double s = 0.8;
+  std::vector<double> log_rank, log_freq;
+  for (int i = 1; i <= 100; ++i) {
+    log_rank.push_back(std::log(i));
+    log_freq.push_back(-s * std::log(i) + 2.0);
+  }
+  const LinearFit fit = linear_fit(log_rank, log_freq);
+  EXPECT_NEAR(fit.slope, -0.8, 1e-10);
+}
+
+}  // namespace
+}  // namespace ccnopt::numerics

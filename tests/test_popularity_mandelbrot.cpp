@@ -1,0 +1,99 @@
+#include "ccnopt/popularity/mandelbrot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccnopt/common/random.hpp"
+#include "ccnopt/popularity/sampler.hpp"
+
+namespace ccnopt::popularity {
+namespace {
+
+TEST(ZipfMandelbrot, PmfSumsToOne) {
+  const ZipfMandelbrot zm(300, 0.8, 25.0);
+  double total = 0.0;
+  for (std::uint64_t i = 1; i <= 300; ++i) total += zm.pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfMandelbrot, ZeroPlateauEqualsPureZipf) {
+  const ZipfMandelbrot zm(200, 0.9, 0.0);
+  const ZipfDistribution zipf(200, 0.9);
+  for (std::uint64_t rank : {1ULL, 10ULL, 100ULL, 200ULL}) {
+    EXPECT_NEAR(zm.pmf(rank), zipf.pmf(rank), 1e-12);
+    EXPECT_NEAR(zm.cdf(rank), zipf.cdf(rank), 1e-12);
+  }
+}
+
+TEST(ZipfMandelbrot, PlateauFlattensTheHead) {
+  const ZipfMandelbrot sharp(500, 1.0, 0.0);
+  const ZipfMandelbrot flat(500, 1.0, 100.0);
+  // Ratio between ranks 1 and 10 shrinks as q grows.
+  EXPECT_GT(sharp.pmf(1) / sharp.pmf(10), flat.pmf(1) / flat.pmf(10));
+  // Head mass shrinks, tail mass grows.
+  EXPECT_GT(sharp.cdf(10), flat.cdf(10));
+}
+
+TEST(ZipfMandelbrot, CdfMonotoneAndClamped) {
+  const ZipfMandelbrot zm(100, 0.7, 5.0);
+  EXPECT_DOUBLE_EQ(zm.cdf(0), 0.0);
+  double prev = 0.0;
+  for (std::uint64_t k = 1; k <= 100; ++k) {
+    EXPECT_GT(zm.cdf(k), prev);
+    prev = zm.cdf(k);
+  }
+  EXPECT_NEAR(zm.cdf(100), 1.0, 1e-12);
+  EXPECT_NEAR(zm.cdf(500), 1.0, 1e-12);
+}
+
+TEST(ZipfMandelbrot, WeightsDriveAliasSampler) {
+  const ZipfMandelbrot zm(50, 1.2, 10.0);
+  AliasSampler sampler(zm.weights());
+  Rng rng(55);
+  std::vector<int> counts(51, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_NEAR(static_cast<double>(counts[1]) / draws, zm.pmf(1), 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[25]) / draws, zm.pmf(25), 0.01);
+}
+
+TEST(ContinuousZipfMandelbrot, MatchesDiscreteAtScale) {
+  const std::uint64_t n = 50000;
+  const ZipfMandelbrot exact(n, 0.8, 50.0);
+  const ContinuousZipfMandelbrot approx(static_cast<double>(n), 0.8, 50.0);
+  for (std::uint64_t rank : {100ULL, 1000ULL, 10000ULL}) {
+    EXPECT_NEAR(approx.cdf(static_cast<double>(rank)), exact.cdf(rank), 0.02)
+        << rank;
+  }
+}
+
+TEST(ContinuousZipfMandelbrot, ZeroPlateauMatchesEquationSix) {
+  const ContinuousZipfMandelbrot zm(1e6, 0.8, 0.0);
+  const ContinuousZipf zipf(1e6, 0.8);
+  for (double x : {10.0, 1e3, 1e5}) {
+    EXPECT_NEAR(zm.cdf(x), zipf.cdf(x), 1e-12);
+  }
+}
+
+TEST(ContinuousZipfMandelbrot, InverseRoundTrips) {
+  const ContinuousZipfMandelbrot zm(1e5, 1.3, 20.0);
+  for (double p : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(zm.cdf(zm.inverse_cdf(p)), p, 1e-10);
+  }
+}
+
+TEST(ContinuousZipfMandelbrot, EndpointsClamped) {
+  const ContinuousZipfMandelbrot zm(1e4, 0.8, 30.0);
+  EXPECT_DOUBLE_EQ(zm.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(zm.cdf(1e4), 1.0);
+  EXPECT_DOUBLE_EQ(zm.cdf(1e6), 1.0);
+}
+
+TEST(ZipfMandelbrotDeath, Preconditions) {
+  EXPECT_DEATH(ZipfMandelbrot(0, 0.8, 1.0), "precondition");
+  EXPECT_DEATH(ZipfMandelbrot(10, 0.0, 1.0), "precondition");
+  EXPECT_DEATH(ZipfMandelbrot(10, 0.8, -1.0), "precondition");
+  EXPECT_DEATH(ContinuousZipfMandelbrot(1e4, 1.0, 1.0), "precondition");
+}
+
+}  // namespace
+}  // namespace ccnopt::popularity

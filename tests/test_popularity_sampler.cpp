@@ -1,0 +1,112 @@
+#include "ccnopt/popularity/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ccnopt/numerics/stats.hpp"
+
+namespace ccnopt::popularity {
+namespace {
+
+// Both samplers must realize the same distribution; run the same
+// frequency-vs-pmf check against each.
+enum class Kind { kAlias, kInverse };
+
+std::unique_ptr<RankSampler> make(Kind kind, std::uint64_t n, double s) {
+  const ZipfDistribution zipf(n, s);
+  if (kind == Kind::kAlias) return std::make_unique<AliasSampler>(zipf);
+  return std::make_unique<InverseCdfSampler>(zipf);
+}
+
+class Samplers : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(Samplers, RanksInCatalog) {
+  auto sampler = make(GetParam(), 50, 0.8);
+  Rng rng(42);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t rank = sampler->sample(rng);
+    EXPECT_GE(rank, 1u);
+    EXPECT_LE(rank, 50u);
+  }
+}
+
+TEST_P(Samplers, FrequenciesMatchPmf) {
+  const std::uint64_t n = 100;
+  const double s = 0.8;
+  const ZipfDistribution zipf(n, s);
+  auto sampler = make(GetParam(), n, s);
+  Rng rng(7);
+  const std::uint64_t draws = 200000;
+  std::vector<std::uint64_t> counts(n, 0);
+  for (std::uint64_t i = 0; i < draws; ++i) ++counts[sampler->sample(rng) - 1];
+
+  // Chi-square against the exact pmf; 99 dof -> 99.9th percentile ~ 149.
+  std::vector<double> expected(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    expected[i] = zipf.pmf(i + 1) * static_cast<double>(draws);
+  }
+  const double stat = numerics::chi_square_statistic(counts, expected);
+  EXPECT_LT(stat, 160.0);
+}
+
+TEST_P(Samplers, TopRankMostFrequent) {
+  auto sampler = make(GetParam(), 20, 1.2);
+  Rng rng(3);
+  std::vector<int> counts(21, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[sampler->sample(rng)];
+  for (int rank = 2; rank <= 20; ++rank) {
+    EXPECT_GT(counts[1], counts[rank]) << "rank=" << rank;
+  }
+}
+
+TEST_P(Samplers, Deterministic) {
+  auto a = make(GetParam(), 64, 0.9);
+  auto b = make(GetParam(), 64, 0.9);
+  Rng rng_a(99), rng_b(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a->sample(rng_a), b->sample(rng_b));
+  }
+}
+
+std::string sampler_name(const ::testing::TestParamInfo<Kind>& param_info) {
+  return param_info.param == Kind::kAlias ? "alias" : "inverse_cdf";
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSamplers, Samplers,
+                         ::testing::Values(Kind::kAlias, Kind::kInverse),
+                         sampler_name);
+
+TEST(AliasSampler, ExplicitWeights) {
+  // 3 categories with weights 1:2:1 -> rank 2 about half the draws.
+  AliasSampler sampler(std::vector<double>{1.0, 2.0, 1.0});
+  Rng rng(5);
+  std::vector<int> counts(4, 0);
+  const int draws = 40000;
+  for (int i = 0; i < draws; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_NEAR(counts[2] / static_cast<double>(draws), 0.5, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(draws), 0.25, 0.02);
+}
+
+TEST(AliasSampler, ZeroWeightCategoryNeverDrawn) {
+  AliasSampler sampler(std::vector<double>{1.0, 0.0, 1.0});
+  Rng rng(6);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_NE(sampler.sample(rng), 2u);
+  }
+}
+
+TEST(AliasSampler, SingleCategory) {
+  AliasSampler sampler(std::vector<double>{3.0});
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.sample(rng), 1u);
+}
+
+TEST(AliasSamplerDeath, RejectsInvalidWeights) {
+  EXPECT_DEATH(AliasSampler(std::vector<double>{}), "precondition");
+  EXPECT_DEATH(AliasSampler(std::vector<double>{0.0, 0.0}), "precondition");
+  EXPECT_DEATH(AliasSampler(std::vector<double>{1.0, -1.0}), "precondition");
+}
+
+}  // namespace
+}  // namespace ccnopt::popularity

@@ -1,0 +1,162 @@
+#include "ccnopt/popularity/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ccnopt::popularity {
+namespace {
+
+TEST(ZipfDistribution, PmfSumsToOne) {
+  for (double s : {0.5, 0.8, 1.2}) {
+    const ZipfDistribution zipf(500, s);
+    double total = 0.0;
+    for (std::uint64_t i = 1; i <= 500; ++i) total += zipf.pmf(i);
+    EXPECT_NEAR(total, 1.0, 1e-12) << "s=" << s;
+  }
+}
+
+TEST(ZipfDistribution, PmfMonotoneDecreasing) {
+  const ZipfDistribution zipf(100, 0.8);
+  for (std::uint64_t i = 1; i < 100; ++i) {
+    EXPECT_GT(zipf.pmf(i), zipf.pmf(i + 1));
+  }
+}
+
+TEST(ZipfDistribution, PmfMatchesEquationOne) {
+  // f(i; s, N) = i^{-s} / H_{N,s}.
+  const ZipfDistribution zipf(1000, 0.7);
+  const double h = numerics::harmonic_exact(1000, 0.7);
+  EXPECT_NEAR(zipf.pmf(1), 1.0 / h, 1e-14);
+  EXPECT_NEAR(zipf.pmf(10), std::pow(10.0, -0.7) / h, 1e-14);
+}
+
+TEST(ZipfDistribution, CdfEndpoints) {
+  const ZipfDistribution zipf(200, 0.9);
+  EXPECT_DOUBLE_EQ(zipf.cdf(0), 0.0);
+  EXPECT_NEAR(zipf.cdf(200), 1.0, 1e-12);
+  EXPECT_NEAR(zipf.cdf(500), 1.0, 1e-12);  // clamps beyond N
+}
+
+TEST(ZipfDistribution, CdfIsPmfPrefixSum) {
+  const ZipfDistribution zipf(50, 1.1);
+  double prefix = 0.0;
+  for (std::uint64_t k = 1; k <= 50; ++k) {
+    prefix += zipf.pmf(k);
+    EXPECT_NEAR(zipf.cdf(k), prefix, 1e-12);
+  }
+}
+
+TEST(ZipfDistribution, InverseCdfRoundTrips) {
+  const ZipfDistribution zipf(300, 0.8);
+  for (std::uint64_t k : {1ULL, 5ULL, 50ULL, 300ULL}) {
+    EXPECT_EQ(zipf.inverse_cdf(zipf.cdf(k)), k);
+  }
+  EXPECT_EQ(zipf.inverse_cdf(0.0), 1u);  // smallest rank covering p=0
+  EXPECT_EQ(zipf.inverse_cdf(1.0), 300u);
+}
+
+TEST(ZipfDistribution, HigherExponentConcentratesMass) {
+  const ZipfDistribution flat(1000, 0.3);
+  const ZipfDistribution steep(1000, 1.5);
+  EXPECT_GT(steep.cdf(10), flat.cdf(10));
+}
+
+TEST(ContinuousZipf, CdfEndpointsAndClamping) {
+  const ContinuousZipf zipf(1e6, 0.8);
+  EXPECT_DOUBLE_EQ(zipf.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(zipf.cdf(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(zipf.cdf(1e6), 1.0);
+  EXPECT_DOUBLE_EQ(zipf.cdf(1e9), 1.0);
+}
+
+TEST(ContinuousZipf, MatchesEquationSix) {
+  const double n = 1e6, s = 0.8;
+  const ContinuousZipf zipf(n, s);
+  for (double x : {10.0, 1e3, 1e5}) {
+    const double expected =
+        (std::pow(x, 1.0 - s) - 1.0) / (std::pow(n, 1.0 - s) - 1.0);
+    EXPECT_NEAR(zipf.cdf(x), expected, 1e-14);
+  }
+}
+
+TEST(ContinuousZipf, WorksAboveOne) {
+  // s in (1, 2): numerator and denominator are both negative.
+  const ContinuousZipf zipf(1e6, 1.5);
+  EXPECT_GT(zipf.cdf(100.0), 0.0);
+  EXPECT_LT(zipf.cdf(100.0), 1.0);
+  double prev = 0.0;
+  for (double x : {2.0, 10.0, 100.0, 1e4, 9e5}) {
+    EXPECT_GT(zipf.cdf(x), prev);
+    prev = zipf.cdf(x);
+  }
+}
+
+TEST(ContinuousZipf, InverseCdfRoundTrips) {
+  for (double s : {0.5, 1.5}) {
+    const ContinuousZipf zipf(1e6, s);
+    for (double p : {0.1, 0.5, 0.9}) {
+      EXPECT_NEAR(zipf.cdf(zipf.inverse_cdf(p)), p, 1e-10) << "s=" << s;
+    }
+  }
+}
+
+TEST(ContinuousZipf, DensityIntegratesToCdf) {
+  const ContinuousZipf zipf(1e4, 0.8);
+  // Riemann check over [1, 100].
+  double integral = 0.0;
+  const int steps = 20000;
+  const double width = 99.0 / steps;
+  for (int i = 0; i < steps; ++i) {
+    integral += zipf.density(1.0 + (i + 0.5) * width) * width;
+  }
+  EXPECT_NEAR(integral, zipf.cdf(100.0), 1e-6);
+}
+
+TEST(ContinuousZipf, DensityZeroOutsideSupport) {
+  const ContinuousZipf zipf(1e4, 0.8);
+  EXPECT_DOUBLE_EQ(zipf.density(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(zipf.density(2e4), 0.0);
+}
+
+TEST(ContinuousZipfDeath, RejectsSingularExponent) {
+  EXPECT_DEATH(ContinuousZipf(1e6, 1.0), "precondition");
+}
+
+TEST(ApproximationError, ShrinksWithCatalogSize) {
+  // Eq. 6's quality improves with N (the paper's N >> 1 assumption).
+  const double err_small =
+      continuous_approximation_error(ZipfDistribution(100, 0.8));
+  const double err_large =
+      continuous_approximation_error(ZipfDistribution(100000, 0.8));
+  EXPECT_LT(err_large, err_small);
+  EXPECT_LT(err_large, 0.05);
+}
+
+TEST(ApproximationError, TightBelowTheSingularPoint) {
+  // Eq. 6 is accurate for s in (0, 1): the head mass is spread out, so the
+  // integral tracks the sum closely.
+  for (double s : {0.3, 0.6, 0.9}) {
+    const double err =
+        continuous_approximation_error(ZipfDistribution(50000, s));
+    EXPECT_LT(err, 0.06) << "s=" << s;
+  }
+}
+
+TEST(ApproximationError, HeadDistortionAboveTheSingularPoint) {
+  // For s in (1, 2) the exact CDF jumps to pmf(1) at rank 1 while the
+  // continuous F(1) = 0, so Eq. 6 carries a large *head* error that does
+  // not vanish with N (characterized in EXPERIMENTS.md). It must still be
+  // bounded away from total breakdown and worsen with s.
+  const double err_12 =
+      continuous_approximation_error(ZipfDistribution(50000, 1.2));
+  const double err_17 =
+      continuous_approximation_error(ZipfDistribution(50000, 1.7));
+  EXPECT_GT(err_12, 0.05);
+  EXPECT_LT(err_12, 0.3);
+  EXPECT_GT(err_17, err_12);
+  EXPECT_LT(err_17, 0.6);
+}
+
+}  // namespace
+}  // namespace ccnopt::popularity

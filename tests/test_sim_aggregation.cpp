@@ -1,0 +1,118 @@
+// Interest aggregation (PIT semantics): concurrent requests for in-flight
+// content collapse into one upstream fetch.
+#include <gtest/gtest.h>
+
+#include "ccnopt/sim/simulation.hpp"
+#include "ccnopt/topology/generators.hpp"
+
+namespace ccnopt::sim {
+namespace {
+
+SimConfig base_config() {
+  SimConfig config;
+  config.network.catalog_size = 2000;
+  config.network.capacity_c = 10;
+  config.network.local_mode = LocalStoreMode::kStaticTop;
+  config.network.origin_extra_ms = 50.0;
+  config.zipf_s = 0.8;
+  config.measured_requests = 30000;
+  config.seed = 3;
+  return config;
+}
+
+TEST(Aggregation, OffByDefaultReportsZero) {
+  Simulation simulation(topology::make_ring(4, 2.0), base_config());
+  const SimReport report = simulation.run();
+  EXPECT_EQ(report.aggregated_requests, 0u);
+  // Upstream fetches are still counted without aggregation.
+  EXPECT_GT(report.upstream_fetches, 0u);
+  EXPECT_EQ(report.upstream_fetches,
+            report.total_requests -
+                static_cast<std::uint64_t>(report.local_fraction *
+                                               static_cast<double>(
+                                                   report.total_requests) +
+                                           0.5));
+}
+
+TEST(Aggregation, EveryRequestIsLocalUpstreamOrJoined) {
+  SimConfig config = base_config();
+  config.interest_aggregation = true;
+  config.arrival_rate_per_router = 2.0;  // flights overlap heavily
+  Simulation simulation(topology::make_ring(4, 2.0), config);
+  const SimReport report = simulation.run();
+  const auto local_hits = static_cast<std::uint64_t>(
+      report.local_fraction * static_cast<double>(report.total_requests) +
+      0.5);
+  EXPECT_EQ(local_hits + report.upstream_fetches + report.aggregated_requests,
+            report.total_requests);
+  EXPECT_GT(report.aggregated_requests, 0u);
+}
+
+TEST(Aggregation, ReducesUpstreamFetches) {
+  SimConfig with = base_config();
+  with.interest_aggregation = true;
+  with.arrival_rate_per_router = 2.0;
+  SimConfig without = base_config();
+  without.arrival_rate_per_router = 2.0;
+  Simulation sim_with(topology::make_ring(4, 2.0), with);
+  Simulation sim_without(topology::make_ring(4, 2.0), without);
+  const SimReport r_with = sim_with.run();
+  const SimReport r_without = sim_without.run();
+  EXPECT_LT(r_with.upstream_fetches, r_without.upstream_fetches);
+  // Joiners finish strictly earlier than a fresh fetch would have.
+  EXPECT_LT(r_with.mean_latency_ms, r_without.mean_latency_ms);
+}
+
+TEST(Aggregation, NoOverlapNoJoins) {
+  // At a glacial arrival rate every fetch completes long before the next
+  // request: nothing to aggregate.
+  SimConfig config = base_config();
+  config.interest_aggregation = true;
+  config.arrival_rate_per_router = 0.0001;  // ~10000 ms between arrivals
+  config.measured_requests = 2000;
+  Simulation simulation(topology::make_ring(4, 2.0), config);
+  const SimReport report = simulation.run();
+  EXPECT_EQ(report.aggregated_requests, 0u);
+}
+
+TEST(Aggregation, HigherRateMoreJoins) {
+  auto joins_at = [](double rate) {
+    SimConfig config = base_config();
+    config.interest_aggregation = true;
+    config.arrival_rate_per_router = rate;
+    Simulation simulation(topology::make_ring(4, 2.0), config);
+    return simulation.run().aggregated_requests;
+  };
+  EXPECT_LT(joins_at(0.05), joins_at(5.0));
+}
+
+TEST(Aggregation, DeterministicReplay) {
+  SimConfig config = base_config();
+  config.interest_aggregation = true;
+  config.arrival_rate_per_router = 1.0;
+  Simulation a(topology::make_ring(4, 2.0), config);
+  Simulation b(topology::make_ring(4, 2.0), config);
+  const SimReport ra = a.run();
+  const SimReport rb = b.run();
+  EXPECT_EQ(ra.aggregated_requests, rb.aggregated_requests);
+  EXPECT_EQ(ra.upstream_fetches, rb.upstream_fetches);
+  EXPECT_DOUBLE_EQ(ra.mean_latency_ms, rb.mean_latency_ms);
+}
+
+TEST(Aggregation, OriginLoadUnchangedButFetchesDrop) {
+  // Aggregation changes how many fetches go upstream, not which tier a
+  // request's data ultimately came from: tier fractions stay put.
+  SimConfig with = base_config();
+  with.interest_aggregation = true;
+  with.arrival_rate_per_router = 2.0;
+  SimConfig without = base_config();
+  without.arrival_rate_per_router = 2.0;
+  Simulation sim_with(topology::make_ring(4, 2.0), with);
+  Simulation sim_without(topology::make_ring(4, 2.0), without);
+  const SimReport r_with = sim_with.run();
+  const SimReport r_without = sim_without.run();
+  EXPECT_NEAR(r_with.origin_load, r_without.origin_load, 0.01);
+}
+
+}  // namespace
+}  // namespace ccnopt::sim

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "ccnopt/popularity/estimator.hpp"
+#include "ccnopt/sim/workload.hpp"
+
+namespace ccnopt::sim {
+namespace {
+
+using Phase = DriftingZipfWorkload::Phase;
+
+TEST(DriftingZipfWorkload, SinglePhaseBehavesLikeZipf) {
+  DriftingZipfWorkload workload(2, 500, {Phase{0, 0.8}}, 3);
+  EXPECT_DOUBLE_EQ(workload.current_exponent(), 0.8);
+  for (int i = 0; i < 1000; ++i) {
+    const auto rank = workload.next(static_cast<std::size_t>(i % 2));
+    EXPECT_GE(rank, 1u);
+    EXPECT_LE(rank, 500u);
+  }
+  EXPECT_EQ(workload.requests_emitted(), 1000u);
+}
+
+TEST(DriftingZipfWorkload, PhaseSwitchesAtScheduledRequest) {
+  DriftingZipfWorkload workload(1, 100, {Phase{0, 0.5}, Phase{10, 1.5}}, 4);
+  for (int i = 0; i < 10; ++i) {
+    (void)workload.next(0);
+    EXPECT_DOUBLE_EQ(workload.current_exponent(), 0.5);
+  }
+  (void)workload.next(0);  // request index 10 -> phase 2
+  EXPECT_DOUBLE_EQ(workload.current_exponent(), 1.5);
+}
+
+TEST(DriftingZipfWorkload, ExponentDriftIsMeasurable) {
+  // Estimate s from each phase's samples; the drift must be visible.
+  DriftingZipfWorkload workload(1, 1000,
+                                {Phase{0, 0.5}, Phase{60000, 1.4}}, 5);
+  std::vector<std::uint64_t> first(1000, 0), second(1000, 0);
+  for (int i = 0; i < 60000; ++i) ++first[workload.next(0) - 1];
+  for (int i = 0; i < 60000; ++i) ++second[workload.next(0) - 1];
+  const auto fit_first = popularity::fit_zipf_mle(first);
+  const auto fit_second = popularity::fit_zipf_mle(second);
+  ASSERT_TRUE(fit_first.has_value());
+  ASSERT_TRUE(fit_second.has_value());
+  EXPECT_NEAR(fit_first->s, 0.5, 0.06);
+  EXPECT_NEAR(fit_second->s, 1.4, 0.06);
+}
+
+TEST(DriftingZipfWorkload, IdenticalSeedsReplayIdenticalStreams) {
+  const std::vector<Phase> schedule = {Phase{0, 0.6}, Phase{500, 1.2}};
+  DriftingZipfWorkload a(3, 200, schedule, 9);
+  DriftingZipfWorkload b(3, 200, schedule, 9);
+  for (int i = 0; i < 2000; ++i) {
+    const auto router = static_cast<std::size_t>(i % 3);
+    EXPECT_EQ(a.next(router), b.next(router));
+  }
+}
+
+TEST(DriftingZipfWorkloadDeath, ScheduleValidation) {
+  EXPECT_DEATH(DriftingZipfWorkload(1, 100, {}, 1), "precondition");
+  EXPECT_DEATH(DriftingZipfWorkload(1, 100, {Phase{5, 0.8}}, 1),
+               "precondition");
+  EXPECT_DEATH(
+      DriftingZipfWorkload(1, 100, {Phase{0, 0.8}, Phase{0, 1.2}}, 1),
+      "precondition");
+  EXPECT_DEATH(DriftingZipfWorkload(1, 100, {Phase{0, 0.0}}, 1),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace ccnopt::sim

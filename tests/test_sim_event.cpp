@@ -1,0 +1,104 @@
+#include "ccnopt/sim/event.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ccnopt::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(3.0, [&] { order.push_back(3); });
+  queue.schedule_at(1.0, [&] { order.push_back(1); });
+  queue.schedule_at(2.0, [&] { order.push_back(2); });
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(5.0, [&] { order.push_back(1); });
+  queue.schedule_at(5.0, [&] { order.push_back(2); });
+  queue.schedule_at(5.0, [&] { order.push_back(3); });
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, ClockAdvancesToFiredEvent) {
+  EventQueue queue;
+  double seen = -1.0;
+  queue.schedule_at(7.5, [&] { seen = queue.now(); });
+  EXPECT_DOUBLE_EQ(queue.now(), 0.0);
+  queue.run();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+  EXPECT_DOUBLE_EQ(queue.now(), 7.5);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative) {
+  EventQueue queue;
+  std::vector<double> times;
+  queue.schedule_after(1.0, [&] {
+    times.push_back(queue.now());
+    queue.schedule_after(2.0, [&] { times.push_back(queue.now()); });
+  });
+  queue.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 3.0}));
+}
+
+TEST(EventQueue, SelfReschedulingChain) {
+  EventQueue queue;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 10) queue.schedule_after(1.0, tick);
+  };
+  queue.schedule_after(1.0, tick);
+  queue.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(queue.now(), 10.0);
+  EXPECT_EQ(queue.dispatched(), 10u);
+}
+
+TEST(EventQueue, MaxEventsBound) {
+  EventQueue queue;
+  int count = 0;
+  std::function<void()> forever = [&] {
+    ++count;
+    queue.schedule_after(1.0, forever);
+  };
+  queue.schedule_after(1.0, forever);
+  queue.run(25);
+  EXPECT_EQ(count, 25);
+  EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.step());
+  queue.schedule_at(1.0, [] {});
+  EXPECT_TRUE(queue.step());
+  EXPECT_FALSE(queue.step());
+}
+
+TEST(EventQueue, ClearDropsPending) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule_at(1.0, [&] { ++fired; });
+  queue.schedule_at(2.0, [&] { ++fired; });
+  queue.clear();
+  queue.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(EventQueueDeath, RejectsPastScheduling) {
+  EventQueue queue;
+  queue.schedule_at(5.0, [] {});
+  queue.run();
+  EXPECT_DEATH(queue.schedule_at(4.0, [] {}), "precondition");
+}
+
+}  // namespace
+}  // namespace ccnopt::sim

@@ -1,0 +1,150 @@
+// Link-load accounting and multi-origin content mapping in the data plane.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ccnopt/sim/network.hpp"
+#include "ccnopt/sim/workload.hpp"
+#include "ccnopt/topology/generators.hpp"
+
+namespace ccnopt::sim {
+namespace {
+
+NetworkConfig tracked_config() {
+  NetworkConfig config;
+  config.catalog_size = 1000;
+  config.capacity_c = 20;
+  config.local_mode = LocalStoreMode::kStaticTop;
+  config.origin_gateway = 0;
+  config.origin_extra_ms = 50.0;
+  config.track_link_load = true;
+  return config;
+}
+
+TEST(LinkLoad, LocalHitsTouchNoLinks) {
+  CcnNetwork network(topology::make_ring(4, 1.0), tracked_config());
+  network.provision(0);
+  for (int i = 0; i < 10; ++i) (void)network.serve(1, 1);
+  EXPECT_EQ(network.total_link_traversals(), 0u);
+  EXPECT_EQ(network.max_link_load(), 0u);
+}
+
+TEST(LinkLoad, OriginFetchWalksTheShortestPath) {
+  // Line 0-1-2-3, gateway at 0: a miss at router 3 crosses links
+  // (2,3), (1,2), (0,1) exactly once each.
+  CcnNetwork network(topology::make_line(4, 1.0), tracked_config());
+  network.provision(0);
+  (void)network.serve(3, 999);
+  EXPECT_EQ(network.total_link_traversals(), 3u);
+  for (const auto& load : network.link_load()) {
+    EXPECT_EQ(load.traversals, 1u) << load.u << "-" << load.v;
+  }
+}
+
+TEST(LinkLoad, PeerFetchWalksPathToOwner) {
+  CcnNetwork network(topology::make_line(4, 1.0), tracked_config());
+  network.provision(10);
+  // Find a content owned by router 3 and request it at router 2.
+  cache::ContentId owned = 0;
+  for (cache::ContentId rank = 11; rank <= 50 && owned == 0; ++rank) {
+    if (network.store(3).coordinated_contains(rank)) owned = rank;
+  }
+  ASSERT_NE(owned, 0u);
+  network.reset_link_load();
+  const ServeResult result = network.serve(2, owned);
+  ASSERT_EQ(result.tier, ServeTier::kNetwork);
+  EXPECT_EQ(network.total_link_traversals(), 1u);  // single link 2-3
+  const auto loads = network.link_load();
+  const auto it = std::find_if(loads.begin(), loads.end(), [](const auto& l) {
+    return l.u == 2 && l.v == 3;
+  });
+  ASSERT_NE(it, loads.end());
+  EXPECT_EQ(it->traversals, 1u);
+}
+
+TEST(LinkLoad, GatewayAdjacentLinksCarryTheOriginTraffic) {
+  // In a star with the hub as gateway, all origin traffic concentrates on
+  // leaf-hub links; total traversals == number of origin fetches.
+  CcnNetwork network(topology::make_star(5, 1.0), tracked_config());
+  network.provision(0);
+  ZipfWorkload workload(5, 1000, 0.8, 3);
+  std::uint64_t origin_fetches = 0;
+  for (std::uint64_t r = 0; r < 20000; ++r) {
+    const auto router = static_cast<topology::NodeId>(1 + r % 4);  // leaves
+    const ServeResult result = network.serve(router, workload.next(router));
+    origin_fetches += (result.tier == ServeTier::kOrigin) ? 1 : 0;
+  }
+  EXPECT_EQ(network.total_link_traversals(), origin_fetches);
+}
+
+TEST(LinkLoad, CoordinationSpreadsTraffic) {
+  // Fully coordinated pools exchange traffic among peers instead of
+  // funneling everything toward the gateway: the max-loaded link carries a
+  // smaller share of total traversals.
+  auto share = [](std::size_t x) {
+    NetworkConfig config = tracked_config();
+    config.catalog_size = 5000;
+    config.capacity_c = 100;
+    CcnNetwork network(topology::make_ring(8, 1.0), config);
+    network.provision(x);
+    ZipfWorkload workload(8, 5000, 0.8, 9);
+    for (std::uint64_t r = 0; r < 40000; ++r) {
+      const auto router = static_cast<topology::NodeId>(r % 8);
+      (void)network.serve(router, workload.next(router));
+    }
+    return static_cast<double>(network.max_link_load()) /
+           static_cast<double>(network.total_link_traversals());
+  };
+  EXPECT_LT(share(100), share(0));
+}
+
+TEST(LinkLoad, ResetClears) {
+  CcnNetwork network(topology::make_line(3, 1.0), tracked_config());
+  network.provision(0);
+  (void)network.serve(2, 999);
+  EXPECT_GT(network.total_link_traversals(), 0u);
+  network.reset_link_load();
+  EXPECT_EQ(network.total_link_traversals(), 0u);
+  EXPECT_EQ(network.max_link_load(), 0u);
+}
+
+TEST(LinkLoadDeath, AccessRequiresTracking) {
+  NetworkConfig config = tracked_config();
+  config.track_link_load = false;
+  CcnNetwork network(topology::make_line(3, 1.0), config);
+  EXPECT_DEATH((void)network.link_load(), "precondition");
+}
+
+TEST(MultiOrigin, ContentsHashAcrossGateways) {
+  NetworkConfig config = tracked_config();
+  config.track_link_load = false;
+  config.origins = {NetworkConfig::OriginSpec{0, 10.0, 1},
+                    NetworkConfig::OriginSpec{2, 30.0, 2}};
+  CcnNetwork network(topology::make_ring(4, 1.0), config);
+  network.provision(0);
+  // content % 2 selects the origin: even -> gateway 0, odd -> gateway 2.
+  const ServeResult even = network.serve(1, 998);
+  const ServeResult odd = network.serve(1, 999);
+  ASSERT_EQ(even.tier, ServeTier::kOrigin);
+  ASSERT_EQ(odd.tier, ServeTier::kOrigin);
+  EXPECT_EQ(even.served_by, 0u);
+  EXPECT_EQ(odd.served_by, 2u);
+  // Ring node 1: one hop to either gateway; extras differ per origin.
+  EXPECT_DOUBLE_EQ(even.latency_ms, 1.0 + 1.0 + 10.0);
+  EXPECT_DOUBLE_EQ(odd.latency_ms, 1.0 + 1.0 + 30.0);
+  EXPECT_EQ(even.hops, 2u);
+  EXPECT_EQ(odd.hops, 3u);
+}
+
+TEST(MultiOrigin, NoOriginGatewayMayFail) {
+  NetworkConfig config = tracked_config();
+  config.origins = {NetworkConfig::OriginSpec{0, 10.0, 1},
+                    NetworkConfig::OriginSpec{2, 30.0, 2}};
+  CcnNetwork network(topology::make_ring(4, 1.0), config);
+  EXPECT_DEATH(network.set_router_failed(2, true), "precondition");
+  network.set_router_failed(1, true);  // non-gateway is fine
+  EXPECT_TRUE(network.is_failed(1));
+}
+
+}  // namespace
+}  // namespace ccnopt::sim

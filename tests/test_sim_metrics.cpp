@@ -1,0 +1,100 @@
+#include "ccnopt/sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ccnopt::sim {
+namespace {
+
+TEST(MetricsCollector, EmptyCollectorIsAllZero) {
+  const MetricsCollector metrics;
+  EXPECT_EQ(metrics.total_requests(), 0u);
+  EXPECT_DOUBLE_EQ(metrics.origin_load(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_latency_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_hops(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_tier_latency_ms(ServeTier::kLocal), 0.0);
+  EXPECT_EQ(metrics.coordination_messages(), 0u);
+}
+
+TEST(MetricsCollector, TierAccounting) {
+  MetricsCollector metrics;
+  metrics.record(ServeTier::kLocal, 1.0, 0);
+  metrics.record(ServeTier::kLocal, 1.0, 0);
+  metrics.record(ServeTier::kNetwork, 5.0, 2);
+  metrics.record(ServeTier::kOrigin, 50.0, 4);
+  EXPECT_EQ(metrics.total_requests(), 4u);
+  EXPECT_EQ(metrics.tier_count(ServeTier::kLocal), 2u);
+  EXPECT_DOUBLE_EQ(metrics.tier_fraction(ServeTier::kLocal), 0.5);
+  EXPECT_DOUBLE_EQ(metrics.tier_fraction(ServeTier::kNetwork), 0.25);
+  EXPECT_DOUBLE_EQ(metrics.origin_load(), 0.25);
+  EXPECT_DOUBLE_EQ(metrics.mean_latency_ms(), 57.0 / 4.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_hops(), 6.0 / 4.0);
+}
+
+TEST(MetricsCollector, PerTierLatencyMeans) {
+  MetricsCollector metrics;
+  metrics.record(ServeTier::kNetwork, 4.0, 1);
+  metrics.record(ServeTier::kNetwork, 8.0, 3);
+  metrics.record(ServeTier::kOrigin, 100.0, 5);
+  EXPECT_DOUBLE_EQ(metrics.mean_tier_latency_ms(ServeTier::kNetwork), 6.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_tier_latency_ms(ServeTier::kOrigin), 100.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_tier_latency_ms(ServeTier::kLocal), 0.0);
+}
+
+TEST(MetricsCollector, CoordinationMessagesAccumulate) {
+  MetricsCollector metrics;
+  metrics.record_coordination_messages(10);
+  metrics.record_coordination_messages(5);
+  EXPECT_EQ(metrics.coordination_messages(), 15u);
+}
+
+TEST(MetricsCollector, ResetClearsEverything) {
+  MetricsCollector metrics;
+  metrics.record(ServeTier::kOrigin, 10.0, 2);
+  metrics.record_coordination_messages(7);
+  metrics.reset();
+  EXPECT_EQ(metrics.total_requests(), 0u);
+  EXPECT_EQ(metrics.coordination_messages(), 0u);
+}
+
+TEST(MakeReport, FieldsMirrorCollector) {
+  MetricsCollector metrics;
+  metrics.record(ServeTier::kLocal, 1.0, 0);
+  metrics.record(ServeTier::kOrigin, 9.0, 3);
+  metrics.record_coordination_messages(3);
+  const SimReport report = make_report(metrics);
+  EXPECT_EQ(report.total_requests, 2u);
+  EXPECT_DOUBLE_EQ(report.local_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(report.origin_load, 0.5);
+  EXPECT_DOUBLE_EQ(report.mean_latency_ms, 5.0);
+  EXPECT_DOUBLE_EQ(report.mean_hops, 1.5);
+  EXPECT_DOUBLE_EQ(report.mean_local_latency_ms, 1.0);
+  EXPECT_DOUBLE_EQ(report.mean_origin_latency_ms, 9.0);
+  EXPECT_EQ(report.coordination_messages, 3u);
+}
+
+TEST(SimReport, StreamOperatorListsKeyFields) {
+  MetricsCollector metrics;
+  metrics.record(ServeTier::kNetwork, 2.5, 1);
+  std::ostringstream out;
+  out << make_report(metrics);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("requests=1"), std::string::npos);
+  EXPECT_NE(text.find("network="), std::string::npos);
+  EXPECT_NE(text.find("mean_latency_ms="), std::string::npos);
+}
+
+TEST(ServeTierNames, Distinct) {
+  EXPECT_STREQ(to_string(ServeTier::kLocal), "local");
+  EXPECT_STREQ(to_string(ServeTier::kNetwork), "network");
+  EXPECT_STREQ(to_string(ServeTier::kOrigin), "origin");
+}
+
+TEST(MetricsCollectorDeath, NegativeLatencyRejected) {
+  MetricsCollector metrics;
+  EXPECT_DEATH(metrics.record(ServeTier::kLocal, -1.0, 0), "precondition");
+}
+
+}  // namespace
+}  // namespace ccnopt::sim

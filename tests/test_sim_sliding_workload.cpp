@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "ccnopt/cache/lru.hpp"
+#include "ccnopt/cache/static_cache.hpp"
+#include "ccnopt/sim/workload.hpp"
+
+namespace ccnopt::sim {
+namespace {
+
+TEST(SlidingZipf, IdsStayInCatalog) {
+  SlidingZipfWorkload workload(2, 500, 0.8, 100, 10, 3);
+  for (int i = 0; i < 5000; ++i) {
+    const auto id = workload.next(static_cast<std::size_t>(i % 2));
+    EXPECT_GE(id, 1u);
+    EXPECT_LE(id, 500u);
+  }
+}
+
+TEST(SlidingZipf, BaseAdvancesEveryInterval) {
+  SlidingZipfWorkload workload(1, 100, 0.8, 20, 5, 1);
+  for (int i = 0; i < 5; ++i) (void)workload.next(0);
+  EXPECT_EQ(workload.base_offset(), 0u);  // base at the 5th draw was 0
+  (void)workload.next(0);                 // 6th request: base = 1
+  EXPECT_EQ(workload.base_offset(), 1u);
+  for (int i = 0; i < 5; ++i) (void)workload.next(0);
+  EXPECT_EQ(workload.base_offset(), 2u);
+}
+
+TEST(SlidingZipf, NoDriftMatchesPlainZipfSupport) {
+  // With a huge drift interval the base never advances: all ids within
+  // the active window.
+  SlidingZipfWorkload workload(1, 1000, 0.8, 50, 1000000, 7);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_LE(workload.next(0), 50u);
+  }
+}
+
+TEST(SlidingZipf, PopularSetTurnsOver) {
+  // After base advances past the window, the original top ids vanish.
+  SlidingZipfWorkload workload(1, 10000, 0.8, 100, 1, 9);
+  // Skip far ahead: base = 5000 after 5000 requests.
+  for (int i = 0; i < 5000; ++i) (void)workload.next(0);
+  for (int i = 0; i < 2000; ++i) {
+    const auto id = workload.next(0);
+    EXPECT_GE(id, 5000u);  // old head ids (1..100) are gone
+  }
+}
+
+TEST(SlidingZipf, WrapsAroundTheCatalog) {
+  SlidingZipfWorkload workload(1, 64, 1.0, 16, 1, 11);
+  // Drive base well past the catalog size; ids must stay valid (wrap).
+  for (int i = 0; i < 1000; ++i) {
+    const auto id = workload.next(0);
+    EXPECT_GE(id, 1u);
+    EXPECT_LE(id, 64u);
+  }
+}
+
+TEST(SlidingZipf, StaticCacheDecaysLruAdapts) {
+  // The punchline: a static top-k provisioned at time zero decays as the
+  // popular set slides; LRU follows the drift.
+  const std::uint64_t window = 200;
+  const std::size_t capacity = 100;
+  SlidingZipfWorkload workload(1, 20000, 0.8, window, /*drift_interval=*/20,
+                               13);
+  cache::StaticCache static_cache(cache::StaticCache::top_rank_ids(capacity));
+  cache::LruCache lru(capacity);
+  // Warm both on the early phase.
+  for (int i = 0; i < 20000; ++i) {
+    const auto id = workload.next(0);
+    static_cache.admit(id);
+    lru.admit(id);
+  }
+  static_cache.reset_stats();
+  lru.reset_stats();
+  // Measure after substantial drift.
+  for (int i = 0; i < 40000; ++i) {
+    const auto id = workload.next(0);
+    static_cache.admit(id);
+    lru.admit(id);
+  }
+  EXPECT_GT(lru.stats().hit_ratio(), static_cache.stats().hit_ratio() + 0.2);
+  EXPECT_LT(static_cache.stats().hit_ratio(), 0.05);
+}
+
+TEST(SlidingZipfDeath, Preconditions) {
+  EXPECT_DEATH(SlidingZipfWorkload(0, 100, 0.8, 10, 1, 1), "precondition");
+  EXPECT_DEATH(SlidingZipfWorkload(1, 100, 0.8, 0, 1, 1), "precondition");
+  EXPECT_DEATH(SlidingZipfWorkload(1, 100, 0.8, 101, 1, 1), "precondition");
+  EXPECT_DEATH(SlidingZipfWorkload(1, 100, 0.8, 10, 0, 1), "precondition");
+}
+
+}  // namespace
+}  // namespace ccnopt::sim

@@ -1,0 +1,95 @@
+#include "ccnopt/sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccnopt/numerics/stats.hpp"
+#include "ccnopt/popularity/zipf.hpp"
+
+namespace ccnopt::sim {
+namespace {
+
+TEST(ZipfWorkload, RanksWithinCatalog) {
+  ZipfWorkload workload(3, 100, 0.8, 1);
+  for (int i = 0; i < 3000; ++i) {
+    const auto rank = workload.next(static_cast<std::size_t>(i % 3));
+    EXPECT_GE(rank, 1u);
+    EXPECT_LE(rank, 100u);
+  }
+  EXPECT_EQ(workload.catalog_size(), 100u);
+  EXPECT_TRUE(workload.active(0));
+}
+
+TEST(ZipfWorkload, PerRouterStreamsIndependentOfInterleaving) {
+  // Router 0's sequence must be identical whether or not router 1 draws in
+  // between (per-router seeded streams).
+  ZipfWorkload solo(2, 50, 0.8, 9);
+  ZipfWorkload interleaved(2, 50, 0.8, 9);
+  for (int i = 0; i < 200; ++i) {
+    const auto expected = solo.next(0);
+    (void)interleaved.next(1);  // extra draws on the other router
+    (void)interleaved.next(1);
+    EXPECT_EQ(interleaved.next(0), expected);
+  }
+}
+
+TEST(ZipfWorkload, DistinctRoutersDistinctStreams) {
+  ZipfWorkload workload(2, 1000, 0.8, 3);
+  int equal = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (workload.next(0) == workload.next(1)) ++equal;
+  }
+  EXPECT_LT(equal, 50);  // top ranks collide naturally under Zipf; streams differ
+}
+
+TEST(ZipfWorkload, MarginalMatchesZipfCdf) {
+  const std::uint64_t catalog = 200;
+  const double s = 0.9;
+  ZipfWorkload workload(1, catalog, s, 31);
+  const popularity::ZipfDistribution zipf(catalog, s);
+  std::uint64_t top10 = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    if (workload.next(0) <= 10) ++top10;
+  }
+  EXPECT_NEAR(static_cast<double>(top10) / draws, zipf.cdf(10), 0.01);
+}
+
+TEST(CyclicWorkload, ReplaysPatternInOrder) {
+  CyclicWorkload workload({{1, 1, 2}});
+  EXPECT_EQ(workload.next(0), 1u);
+  EXPECT_EQ(workload.next(0), 1u);
+  EXPECT_EQ(workload.next(0), 2u);
+  EXPECT_EQ(workload.next(0), 1u);  // wraps
+}
+
+TEST(CyclicWorkload, PerRouterCursors) {
+  CyclicWorkload workload({{1, 2}, {3, 4, 5}});
+  EXPECT_EQ(workload.next(0), 1u);
+  EXPECT_EQ(workload.next(1), 3u);
+  EXPECT_EQ(workload.next(0), 2u);
+  EXPECT_EQ(workload.next(1), 4u);
+}
+
+TEST(CyclicWorkload, InactiveRouters) {
+  CyclicWorkload workload({{}, {1, 2}});
+  EXPECT_FALSE(workload.active(0));
+  EXPECT_TRUE(workload.active(1));
+}
+
+TEST(CyclicWorkload, CatalogIsMaxId) {
+  CyclicWorkload workload({{3, 7}, {2}});
+  EXPECT_EQ(workload.catalog_size(), 7u);
+}
+
+TEST(CyclicWorkloadDeath, NextOnInactiveRouter) {
+  CyclicWorkload workload({{}, {1}});
+  EXPECT_DEATH((void)workload.next(0), "precondition");
+}
+
+TEST(CyclicWorkloadDeath, ZeroContentIdRejected) {
+  EXPECT_DEATH(CyclicWorkload(std::vector<std::vector<cache::ContentId>>{{0}}),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace ccnopt::sim

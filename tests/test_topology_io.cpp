@@ -1,0 +1,116 @@
+#include "ccnopt/topology/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ccnopt/topology/datasets.hpp"
+#include "ccnopt/topology/generators.hpp"
+
+namespace ccnopt::topology {
+namespace {
+
+TEST(EdgeList, RoundTripsAllDatasets) {
+  for (const Graph& original : all_datasets()) {
+    std::ostringstream out;
+    write_edge_list(original, out);
+    const auto parsed = read_edge_list_string(out.str());
+    ASSERT_TRUE(parsed.has_value()) << original.name();
+    EXPECT_EQ(parsed->name(), original.name());
+    EXPECT_EQ(parsed->node_count(), original.node_count());
+    EXPECT_EQ(parsed->undirected_edge_count(),
+              original.undirected_edge_count());
+    for (NodeId id = 0; id < original.node_count(); ++id) {
+      EXPECT_EQ(parsed->node(id).name, original.node(id).name);
+      EXPECT_NEAR(parsed->node(id).location.lat_deg,
+                  original.node(id).location.lat_deg, 1e-5);
+    }
+    for (const Graph::Link& link : original.links()) {
+      const auto latency = parsed->edge_latency(link.u, link.v);
+      ASSERT_TRUE(latency.has_value());
+      EXPECT_NEAR(*latency, link.latency_ms, 1e-5);
+    }
+  }
+}
+
+TEST(EdgeList, ParsesMinimalGraph) {
+  const auto graph = read_edge_list_string(
+      "# comment\n"
+      "graph tiny\n"
+      "node a 1.0 2.0\n"
+      "node b 3.0 4.0\n"
+      "\n"
+      "edge a b 7.5\n");
+  ASSERT_TRUE(graph.has_value());
+  EXPECT_EQ(graph->name(), "tiny");
+  EXPECT_EQ(graph->node_count(), 2u);
+  EXPECT_NEAR(*graph->edge_latency(0, 1), 7.5, 1e-12);
+  EXPECT_DOUBLE_EQ(graph->node(0).location.lat_deg, 1.0);
+}
+
+TEST(EdgeList, ParseErrorsCarryLineNumbers) {
+  struct Case {
+    const char* text;
+    const char* fragment;
+  };
+  const Case cases[] = {
+      {"node a\n", "node takes"},
+      {"graph g extra\n", "exactly one name"},
+      {"node a 1 2\nnode a 3 4\n", "duplicate node"},
+      {"node a 1 2\nedge a b 1\n", "unknown node b"},
+      {"node a 1 2\nnode b 3 4\nedge a b zero\n", "expected a number"},
+      {"node a 1 2\nnode b 3 4\nedge a b -1\n", "latency"},
+      {"teleport a b\n", "unknown directive"},
+      {"graph g\ngraph h\n", "duplicate graph"},
+      {"node a 1 2\nnode b 3 4\nedge a b 1\nedge b a 2\n", "duplicate link"},
+  };
+  for (const Case& c : cases) {
+    const auto graph = read_edge_list_string(c.text);
+    ASSERT_FALSE(graph.has_value()) << c.text;
+    EXPECT_EQ(graph.status().code(), ErrorCode::kParseError) << c.text;
+    EXPECT_NE(graph.status().message().find("line"), std::string::npos);
+    EXPECT_NE(graph.status().message().find(c.fragment), std::string::npos)
+        << graph.status().message();
+  }
+}
+
+TEST(EdgeList, NumberWithTrailingJunkRejected) {
+  const auto graph = read_edge_list_string("node a 1.0x 2.0\n");
+  ASSERT_FALSE(graph.has_value());
+  EXPECT_NE(graph.status().message().find("trailing junk"),
+            std::string::npos);
+}
+
+TEST(EdgeList, EmptyInputIsAnEmptyGraph) {
+  const auto graph = read_edge_list_string("");
+  ASSERT_TRUE(graph.has_value());
+  EXPECT_EQ(graph->node_count(), 0u);
+}
+
+TEST(Dot, ContainsEveryNodeAndLink) {
+  const Graph g = abilene();
+  std::ostringstream out;
+  write_dot(g, out);
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("graph \"Abilene\""), std::string::npos);
+  for (NodeId id = 0; id < g.node_count(); ++id) {
+    EXPECT_NE(dot.find("\"" + g.node(id).name + "\""), std::string::npos);
+  }
+  // One "--" per undirected link.
+  std::size_t separators = 0;
+  for (std::size_t pos = dot.find("--"); pos != std::string::npos;
+       pos = dot.find("--", pos + 2)) {
+    ++separators;
+  }
+  EXPECT_EQ(separators, g.undirected_edge_count());
+}
+
+TEST(Dot, GeneratedGraphsExportToo) {
+  const Graph g = make_grid(2, 3);
+  std::ostringstream out;
+  write_dot(g, out);
+  EXPECT_NE(out.str().find("grid"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccnopt::topology

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_approximation.dir/bench_ablation_approximation.cpp.o"
+  "CMakeFiles/bench_ablation_approximation.dir/bench_ablation_approximation.cpp.o.d"
+  "bench_ablation_approximation"
+  "bench_ablation_approximation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_approximation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_heterogeneous.dir/bench_ablation_heterogeneous.cpp.o"
+  "CMakeFiles/bench_ablation_heterogeneous.dir/bench_ablation_heterogeneous.cpp.o.d"
+  "bench_ablation_heterogeneous"
+  "bench_ablation_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

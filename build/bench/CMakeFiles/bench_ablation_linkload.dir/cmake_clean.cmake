@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_linkload.dir/bench_ablation_linkload.cpp.o"
+  "CMakeFiles/bench_ablation_linkload.dir/bench_ablation_linkload.cpp.o.d"
+  "bench_ablation_linkload"
+  "bench_ablation_linkload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_linkload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mandelbrot.dir/bench_ablation_mandelbrot.cpp.o"
+  "CMakeFiles/bench_ablation_mandelbrot.dir/bench_ablation_mandelbrot.cpp.o.d"
+  "bench_ablation_mandelbrot"
+  "bench_ablation_mandelbrot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mandelbrot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_go_netsize.dir/bench_fig10_go_netsize.cpp.o"
+  "CMakeFiles/bench_fig10_go_netsize.dir/bench_fig10_go_netsize.cpp.o.d"
+  "bench_fig10_go_netsize"
+  "bench_fig10_go_netsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_go_netsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_abilene.dir/bench_fig3_abilene.cpp.o"
+  "CMakeFiles/bench_fig3_abilene.dir/bench_fig3_abilene.cpp.o.d"
+  "bench_fig3_abilene"
+  "bench_fig3_abilene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_abilene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_zipf.dir/bench_fig5_zipf.cpp.o"
+  "CMakeFiles/bench_fig5_zipf.dir/bench_fig5_zipf.cpp.o.d"
+  "bench_fig5_zipf"
+  "bench_fig5_zipf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_zipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

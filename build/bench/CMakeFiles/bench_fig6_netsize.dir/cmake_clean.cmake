@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_netsize.dir/bench_fig6_netsize.cpp.o"
+  "CMakeFiles/bench_fig6_netsize.dir/bench_fig6_netsize.cpp.o.d"
+  "bench_fig6_netsize"
+  "bench_fig6_netsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_netsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

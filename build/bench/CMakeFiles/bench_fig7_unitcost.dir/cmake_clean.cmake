@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_unitcost.dir/bench_fig7_unitcost.cpp.o"
+  "CMakeFiles/bench_fig7_unitcost.dir/bench_fig7_unitcost.cpp.o.d"
+  "bench_fig7_unitcost"
+  "bench_fig7_unitcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_unitcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

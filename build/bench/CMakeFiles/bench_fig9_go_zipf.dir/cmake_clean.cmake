@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_go_zipf.dir/bench_fig9_go_zipf.cpp.o"
+  "CMakeFiles/bench_fig9_go_zipf.dir/bench_fig9_go_zipf.cpp.o.d"
+  "bench_fig9_go_zipf"
+  "bench_fig9_go_zipf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_go_zipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_motivating.dir/bench_table1_motivating.cpp.o"
+  "CMakeFiles/bench_table1_motivating.dir/bench_table1_motivating.cpp.o.d"
+  "bench_table1_motivating"
+  "bench_table1_motivating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_motivating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

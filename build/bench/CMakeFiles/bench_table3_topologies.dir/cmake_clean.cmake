@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_topologies.dir/bench_table3_topologies.cpp.o"
+  "CMakeFiles/bench_table3_topologies.dir/bench_table3_topologies.cpp.o.d"
+  "bench_table3_topologies"
+  "bench_table3_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

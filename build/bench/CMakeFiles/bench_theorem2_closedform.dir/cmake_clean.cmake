@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem2_closedform.dir/bench_theorem2_closedform.cpp.o"
+  "CMakeFiles/bench_theorem2_closedform.dir/bench_theorem2_closedform.cpp.o.d"
+  "bench_theorem2_closedform"
+  "bench_theorem2_closedform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem2_closedform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

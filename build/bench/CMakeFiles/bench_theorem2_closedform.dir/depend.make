@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_theorem2_closedform.
+# This may be replaced when dependencies are built.

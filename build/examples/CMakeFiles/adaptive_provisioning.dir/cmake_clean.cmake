@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_provisioning.dir/adaptive_provisioning.cpp.o"
+  "CMakeFiles/adaptive_provisioning.dir/adaptive_provisioning.cpp.o.d"
+  "adaptive_provisioning"
+  "adaptive_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provisioning_planner.dir/provisioning_planner.cpp.o"
+  "CMakeFiles/provisioning_planner.dir/provisioning_planner.cpp.o.d"
+  "provisioning_planner"
+  "provisioning_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provisioning_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

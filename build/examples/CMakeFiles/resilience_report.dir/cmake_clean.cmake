@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_report.dir/resilience_report.cpp.o"
+  "CMakeFiles/resilience_report.dir/resilience_report.cpp.o.d"
+  "resilience_report"
+  "resilience_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

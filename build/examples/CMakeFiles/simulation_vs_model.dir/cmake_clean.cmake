@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulation_vs_model.dir/simulation_vs_model.cpp.o"
+  "CMakeFiles/simulation_vs_model.dir/simulation_vs_model.cpp.o.d"
+  "simulation_vs_model"
+  "simulation_vs_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulation_vs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

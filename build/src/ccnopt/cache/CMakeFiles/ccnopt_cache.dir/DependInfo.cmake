@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ccnopt/cache/che.cpp" "src/ccnopt/cache/CMakeFiles/ccnopt_cache.dir/che.cpp.o" "gcc" "src/ccnopt/cache/CMakeFiles/ccnopt_cache.dir/che.cpp.o.d"
+  "/root/repo/src/ccnopt/cache/fifo.cpp" "src/ccnopt/cache/CMakeFiles/ccnopt_cache.dir/fifo.cpp.o" "gcc" "src/ccnopt/cache/CMakeFiles/ccnopt_cache.dir/fifo.cpp.o.d"
+  "/root/repo/src/ccnopt/cache/lfu.cpp" "src/ccnopt/cache/CMakeFiles/ccnopt_cache.dir/lfu.cpp.o" "gcc" "src/ccnopt/cache/CMakeFiles/ccnopt_cache.dir/lfu.cpp.o.d"
+  "/root/repo/src/ccnopt/cache/lru.cpp" "src/ccnopt/cache/CMakeFiles/ccnopt_cache.dir/lru.cpp.o" "gcc" "src/ccnopt/cache/CMakeFiles/ccnopt_cache.dir/lru.cpp.o.d"
+  "/root/repo/src/ccnopt/cache/partitioned.cpp" "src/ccnopt/cache/CMakeFiles/ccnopt_cache.dir/partitioned.cpp.o" "gcc" "src/ccnopt/cache/CMakeFiles/ccnopt_cache.dir/partitioned.cpp.o.d"
+  "/root/repo/src/ccnopt/cache/policy.cpp" "src/ccnopt/cache/CMakeFiles/ccnopt_cache.dir/policy.cpp.o" "gcc" "src/ccnopt/cache/CMakeFiles/ccnopt_cache.dir/policy.cpp.o.d"
+  "/root/repo/src/ccnopt/cache/random_policy.cpp" "src/ccnopt/cache/CMakeFiles/ccnopt_cache.dir/random_policy.cpp.o" "gcc" "src/ccnopt/cache/CMakeFiles/ccnopt_cache.dir/random_policy.cpp.o.d"
+  "/root/repo/src/ccnopt/cache/static_cache.cpp" "src/ccnopt/cache/CMakeFiles/ccnopt_cache.dir/static_cache.cpp.o" "gcc" "src/ccnopt/cache/CMakeFiles/ccnopt_cache.dir/static_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ccnopt/common/CMakeFiles/ccnopt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnopt/numerics/CMakeFiles/ccnopt_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnopt/popularity/CMakeFiles/ccnopt_popularity.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

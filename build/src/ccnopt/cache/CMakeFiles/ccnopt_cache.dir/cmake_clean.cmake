@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnopt_cache.dir/che.cpp.o"
+  "CMakeFiles/ccnopt_cache.dir/che.cpp.o.d"
+  "CMakeFiles/ccnopt_cache.dir/fifo.cpp.o"
+  "CMakeFiles/ccnopt_cache.dir/fifo.cpp.o.d"
+  "CMakeFiles/ccnopt_cache.dir/lfu.cpp.o"
+  "CMakeFiles/ccnopt_cache.dir/lfu.cpp.o.d"
+  "CMakeFiles/ccnopt_cache.dir/lru.cpp.o"
+  "CMakeFiles/ccnopt_cache.dir/lru.cpp.o.d"
+  "CMakeFiles/ccnopt_cache.dir/partitioned.cpp.o"
+  "CMakeFiles/ccnopt_cache.dir/partitioned.cpp.o.d"
+  "CMakeFiles/ccnopt_cache.dir/policy.cpp.o"
+  "CMakeFiles/ccnopt_cache.dir/policy.cpp.o.d"
+  "CMakeFiles/ccnopt_cache.dir/random_policy.cpp.o"
+  "CMakeFiles/ccnopt_cache.dir/random_policy.cpp.o.d"
+  "CMakeFiles/ccnopt_cache.dir/static_cache.cpp.o"
+  "CMakeFiles/ccnopt_cache.dir/static_cache.cpp.o.d"
+  "libccnopt_cache.a"
+  "libccnopt_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnopt_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ccnopt/common/args.cpp" "src/ccnopt/common/CMakeFiles/ccnopt_common.dir/args.cpp.o" "gcc" "src/ccnopt/common/CMakeFiles/ccnopt_common.dir/args.cpp.o.d"
+  "/root/repo/src/ccnopt/common/csv.cpp" "src/ccnopt/common/CMakeFiles/ccnopt_common.dir/csv.cpp.o" "gcc" "src/ccnopt/common/CMakeFiles/ccnopt_common.dir/csv.cpp.o.d"
+  "/root/repo/src/ccnopt/common/error.cpp" "src/ccnopt/common/CMakeFiles/ccnopt_common.dir/error.cpp.o" "gcc" "src/ccnopt/common/CMakeFiles/ccnopt_common.dir/error.cpp.o.d"
+  "/root/repo/src/ccnopt/common/logging.cpp" "src/ccnopt/common/CMakeFiles/ccnopt_common.dir/logging.cpp.o" "gcc" "src/ccnopt/common/CMakeFiles/ccnopt_common.dir/logging.cpp.o.d"
+  "/root/repo/src/ccnopt/common/random.cpp" "src/ccnopt/common/CMakeFiles/ccnopt_common.dir/random.cpp.o" "gcc" "src/ccnopt/common/CMakeFiles/ccnopt_common.dir/random.cpp.o.d"
+  "/root/repo/src/ccnopt/common/strings.cpp" "src/ccnopt/common/CMakeFiles/ccnopt_common.dir/strings.cpp.o" "gcc" "src/ccnopt/common/CMakeFiles/ccnopt_common.dir/strings.cpp.o.d"
+  "/root/repo/src/ccnopt/common/table.cpp" "src/ccnopt/common/CMakeFiles/ccnopt_common.dir/table.cpp.o" "gcc" "src/ccnopt/common/CMakeFiles/ccnopt_common.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

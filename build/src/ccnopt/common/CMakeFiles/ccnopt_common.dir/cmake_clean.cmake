@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnopt_common.dir/args.cpp.o"
+  "CMakeFiles/ccnopt_common.dir/args.cpp.o.d"
+  "CMakeFiles/ccnopt_common.dir/csv.cpp.o"
+  "CMakeFiles/ccnopt_common.dir/csv.cpp.o.d"
+  "CMakeFiles/ccnopt_common.dir/error.cpp.o"
+  "CMakeFiles/ccnopt_common.dir/error.cpp.o.d"
+  "CMakeFiles/ccnopt_common.dir/logging.cpp.o"
+  "CMakeFiles/ccnopt_common.dir/logging.cpp.o.d"
+  "CMakeFiles/ccnopt_common.dir/random.cpp.o"
+  "CMakeFiles/ccnopt_common.dir/random.cpp.o.d"
+  "CMakeFiles/ccnopt_common.dir/strings.cpp.o"
+  "CMakeFiles/ccnopt_common.dir/strings.cpp.o.d"
+  "CMakeFiles/ccnopt_common.dir/table.cpp.o"
+  "CMakeFiles/ccnopt_common.dir/table.cpp.o.d"
+  "libccnopt_common.a"
+  "libccnopt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnopt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ccnopt/experiments/adaptive_loop.cpp" "src/ccnopt/experiments/CMakeFiles/ccnopt_experiments.dir/adaptive_loop.cpp.o" "gcc" "src/ccnopt/experiments/CMakeFiles/ccnopt_experiments.dir/adaptive_loop.cpp.o.d"
+  "/root/repo/src/ccnopt/experiments/figures.cpp" "src/ccnopt/experiments/CMakeFiles/ccnopt_experiments.dir/figures.cpp.o" "gcc" "src/ccnopt/experiments/CMakeFiles/ccnopt_experiments.dir/figures.cpp.o.d"
+  "/root/repo/src/ccnopt/experiments/motivating.cpp" "src/ccnopt/experiments/CMakeFiles/ccnopt_experiments.dir/motivating.cpp.o" "gcc" "src/ccnopt/experiments/CMakeFiles/ccnopt_experiments.dir/motivating.cpp.o.d"
+  "/root/repo/src/ccnopt/experiments/report.cpp" "src/ccnopt/experiments/CMakeFiles/ccnopt_experiments.dir/report.cpp.o" "gcc" "src/ccnopt/experiments/CMakeFiles/ccnopt_experiments.dir/report.cpp.o.d"
+  "/root/repo/src/ccnopt/experiments/sim_vs_model.cpp" "src/ccnopt/experiments/CMakeFiles/ccnopt_experiments.dir/sim_vs_model.cpp.o" "gcc" "src/ccnopt/experiments/CMakeFiles/ccnopt_experiments.dir/sim_vs_model.cpp.o.d"
+  "/root/repo/src/ccnopt/experiments/tables.cpp" "src/ccnopt/experiments/CMakeFiles/ccnopt_experiments.dir/tables.cpp.o" "gcc" "src/ccnopt/experiments/CMakeFiles/ccnopt_experiments.dir/tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ccnopt/common/CMakeFiles/ccnopt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnopt/model/CMakeFiles/ccnopt_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnopt/sim/CMakeFiles/ccnopt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnopt/topology/CMakeFiles/ccnopt_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnopt/cache/CMakeFiles/ccnopt_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnopt/popularity/CMakeFiles/ccnopt_popularity.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnopt/numerics/CMakeFiles/ccnopt_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnopt_experiments.dir/adaptive_loop.cpp.o"
+  "CMakeFiles/ccnopt_experiments.dir/adaptive_loop.cpp.o.d"
+  "CMakeFiles/ccnopt_experiments.dir/figures.cpp.o"
+  "CMakeFiles/ccnopt_experiments.dir/figures.cpp.o.d"
+  "CMakeFiles/ccnopt_experiments.dir/motivating.cpp.o"
+  "CMakeFiles/ccnopt_experiments.dir/motivating.cpp.o.d"
+  "CMakeFiles/ccnopt_experiments.dir/report.cpp.o"
+  "CMakeFiles/ccnopt_experiments.dir/report.cpp.o.d"
+  "CMakeFiles/ccnopt_experiments.dir/sim_vs_model.cpp.o"
+  "CMakeFiles/ccnopt_experiments.dir/sim_vs_model.cpp.o.d"
+  "CMakeFiles/ccnopt_experiments.dir/tables.cpp.o"
+  "CMakeFiles/ccnopt_experiments.dir/tables.cpp.o.d"
+  "libccnopt_experiments.a"
+  "libccnopt_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnopt_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccnopt_experiments.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ccnopt/model/adaptive.cpp" "src/ccnopt/model/CMakeFiles/ccnopt_model.dir/adaptive.cpp.o" "gcc" "src/ccnopt/model/CMakeFiles/ccnopt_model.dir/adaptive.cpp.o.d"
+  "/root/repo/src/ccnopt/model/exact.cpp" "src/ccnopt/model/CMakeFiles/ccnopt_model.dir/exact.cpp.o" "gcc" "src/ccnopt/model/CMakeFiles/ccnopt_model.dir/exact.cpp.o.d"
+  "/root/repo/src/ccnopt/model/gains.cpp" "src/ccnopt/model/CMakeFiles/ccnopt_model.dir/gains.cpp.o" "gcc" "src/ccnopt/model/CMakeFiles/ccnopt_model.dir/gains.cpp.o.d"
+  "/root/repo/src/ccnopt/model/general.cpp" "src/ccnopt/model/CMakeFiles/ccnopt_model.dir/general.cpp.o" "gcc" "src/ccnopt/model/CMakeFiles/ccnopt_model.dir/general.cpp.o.d"
+  "/root/repo/src/ccnopt/model/heterogeneous.cpp" "src/ccnopt/model/CMakeFiles/ccnopt_model.dir/heterogeneous.cpp.o" "gcc" "src/ccnopt/model/CMakeFiles/ccnopt_model.dir/heterogeneous.cpp.o.d"
+  "/root/repo/src/ccnopt/model/optimizer.cpp" "src/ccnopt/model/CMakeFiles/ccnopt_model.dir/optimizer.cpp.o" "gcc" "src/ccnopt/model/CMakeFiles/ccnopt_model.dir/optimizer.cpp.o.d"
+  "/root/repo/src/ccnopt/model/params.cpp" "src/ccnopt/model/CMakeFiles/ccnopt_model.dir/params.cpp.o" "gcc" "src/ccnopt/model/CMakeFiles/ccnopt_model.dir/params.cpp.o.d"
+  "/root/repo/src/ccnopt/model/performance.cpp" "src/ccnopt/model/CMakeFiles/ccnopt_model.dir/performance.cpp.o" "gcc" "src/ccnopt/model/CMakeFiles/ccnopt_model.dir/performance.cpp.o.d"
+  "/root/repo/src/ccnopt/model/robustness.cpp" "src/ccnopt/model/CMakeFiles/ccnopt_model.dir/robustness.cpp.o" "gcc" "src/ccnopt/model/CMakeFiles/ccnopt_model.dir/robustness.cpp.o.d"
+  "/root/repo/src/ccnopt/model/sensitivity.cpp" "src/ccnopt/model/CMakeFiles/ccnopt_model.dir/sensitivity.cpp.o" "gcc" "src/ccnopt/model/CMakeFiles/ccnopt_model.dir/sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ccnopt/common/CMakeFiles/ccnopt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnopt/numerics/CMakeFiles/ccnopt_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnopt/popularity/CMakeFiles/ccnopt_popularity.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnopt/topology/CMakeFiles/ccnopt_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

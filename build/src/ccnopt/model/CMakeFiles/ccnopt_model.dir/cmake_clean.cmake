@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnopt_model.dir/adaptive.cpp.o"
+  "CMakeFiles/ccnopt_model.dir/adaptive.cpp.o.d"
+  "CMakeFiles/ccnopt_model.dir/exact.cpp.o"
+  "CMakeFiles/ccnopt_model.dir/exact.cpp.o.d"
+  "CMakeFiles/ccnopt_model.dir/gains.cpp.o"
+  "CMakeFiles/ccnopt_model.dir/gains.cpp.o.d"
+  "CMakeFiles/ccnopt_model.dir/general.cpp.o"
+  "CMakeFiles/ccnopt_model.dir/general.cpp.o.d"
+  "CMakeFiles/ccnopt_model.dir/heterogeneous.cpp.o"
+  "CMakeFiles/ccnopt_model.dir/heterogeneous.cpp.o.d"
+  "CMakeFiles/ccnopt_model.dir/optimizer.cpp.o"
+  "CMakeFiles/ccnopt_model.dir/optimizer.cpp.o.d"
+  "CMakeFiles/ccnopt_model.dir/params.cpp.o"
+  "CMakeFiles/ccnopt_model.dir/params.cpp.o.d"
+  "CMakeFiles/ccnopt_model.dir/performance.cpp.o"
+  "CMakeFiles/ccnopt_model.dir/performance.cpp.o.d"
+  "CMakeFiles/ccnopt_model.dir/robustness.cpp.o"
+  "CMakeFiles/ccnopt_model.dir/robustness.cpp.o.d"
+  "CMakeFiles/ccnopt_model.dir/sensitivity.cpp.o"
+  "CMakeFiles/ccnopt_model.dir/sensitivity.cpp.o.d"
+  "libccnopt_model.a"
+  "libccnopt_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnopt_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ccnopt/numerics/harmonic.cpp" "src/ccnopt/numerics/CMakeFiles/ccnopt_numerics.dir/harmonic.cpp.o" "gcc" "src/ccnopt/numerics/CMakeFiles/ccnopt_numerics.dir/harmonic.cpp.o.d"
+  "/root/repo/src/ccnopt/numerics/integrate.cpp" "src/ccnopt/numerics/CMakeFiles/ccnopt_numerics.dir/integrate.cpp.o" "gcc" "src/ccnopt/numerics/CMakeFiles/ccnopt_numerics.dir/integrate.cpp.o.d"
+  "/root/repo/src/ccnopt/numerics/minimize.cpp" "src/ccnopt/numerics/CMakeFiles/ccnopt_numerics.dir/minimize.cpp.o" "gcc" "src/ccnopt/numerics/CMakeFiles/ccnopt_numerics.dir/minimize.cpp.o.d"
+  "/root/repo/src/ccnopt/numerics/neldermead.cpp" "src/ccnopt/numerics/CMakeFiles/ccnopt_numerics.dir/neldermead.cpp.o" "gcc" "src/ccnopt/numerics/CMakeFiles/ccnopt_numerics.dir/neldermead.cpp.o.d"
+  "/root/repo/src/ccnopt/numerics/roots.cpp" "src/ccnopt/numerics/CMakeFiles/ccnopt_numerics.dir/roots.cpp.o" "gcc" "src/ccnopt/numerics/CMakeFiles/ccnopt_numerics.dir/roots.cpp.o.d"
+  "/root/repo/src/ccnopt/numerics/stats.cpp" "src/ccnopt/numerics/CMakeFiles/ccnopt_numerics.dir/stats.cpp.o" "gcc" "src/ccnopt/numerics/CMakeFiles/ccnopt_numerics.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ccnopt/common/CMakeFiles/ccnopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

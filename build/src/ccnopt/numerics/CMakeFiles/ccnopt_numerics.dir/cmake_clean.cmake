@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnopt_numerics.dir/harmonic.cpp.o"
+  "CMakeFiles/ccnopt_numerics.dir/harmonic.cpp.o.d"
+  "CMakeFiles/ccnopt_numerics.dir/integrate.cpp.o"
+  "CMakeFiles/ccnopt_numerics.dir/integrate.cpp.o.d"
+  "CMakeFiles/ccnopt_numerics.dir/minimize.cpp.o"
+  "CMakeFiles/ccnopt_numerics.dir/minimize.cpp.o.d"
+  "CMakeFiles/ccnopt_numerics.dir/neldermead.cpp.o"
+  "CMakeFiles/ccnopt_numerics.dir/neldermead.cpp.o.d"
+  "CMakeFiles/ccnopt_numerics.dir/roots.cpp.o"
+  "CMakeFiles/ccnopt_numerics.dir/roots.cpp.o.d"
+  "CMakeFiles/ccnopt_numerics.dir/stats.cpp.o"
+  "CMakeFiles/ccnopt_numerics.dir/stats.cpp.o.d"
+  "libccnopt_numerics.a"
+  "libccnopt_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnopt_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ccnopt/popularity/estimator.cpp" "src/ccnopt/popularity/CMakeFiles/ccnopt_popularity.dir/estimator.cpp.o" "gcc" "src/ccnopt/popularity/CMakeFiles/ccnopt_popularity.dir/estimator.cpp.o.d"
+  "/root/repo/src/ccnopt/popularity/mandelbrot.cpp" "src/ccnopt/popularity/CMakeFiles/ccnopt_popularity.dir/mandelbrot.cpp.o" "gcc" "src/ccnopt/popularity/CMakeFiles/ccnopt_popularity.dir/mandelbrot.cpp.o.d"
+  "/root/repo/src/ccnopt/popularity/sampler.cpp" "src/ccnopt/popularity/CMakeFiles/ccnopt_popularity.dir/sampler.cpp.o" "gcc" "src/ccnopt/popularity/CMakeFiles/ccnopt_popularity.dir/sampler.cpp.o.d"
+  "/root/repo/src/ccnopt/popularity/zipf.cpp" "src/ccnopt/popularity/CMakeFiles/ccnopt_popularity.dir/zipf.cpp.o" "gcc" "src/ccnopt/popularity/CMakeFiles/ccnopt_popularity.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ccnopt/common/CMakeFiles/ccnopt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnopt/numerics/CMakeFiles/ccnopt_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnopt_popularity.dir/estimator.cpp.o"
+  "CMakeFiles/ccnopt_popularity.dir/estimator.cpp.o.d"
+  "CMakeFiles/ccnopt_popularity.dir/mandelbrot.cpp.o"
+  "CMakeFiles/ccnopt_popularity.dir/mandelbrot.cpp.o.d"
+  "CMakeFiles/ccnopt_popularity.dir/sampler.cpp.o"
+  "CMakeFiles/ccnopt_popularity.dir/sampler.cpp.o.d"
+  "CMakeFiles/ccnopt_popularity.dir/zipf.cpp.o"
+  "CMakeFiles/ccnopt_popularity.dir/zipf.cpp.o.d"
+  "libccnopt_popularity.a"
+  "libccnopt_popularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnopt_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ccnopt/sim/coordinator.cpp" "src/ccnopt/sim/CMakeFiles/ccnopt_sim.dir/coordinator.cpp.o" "gcc" "src/ccnopt/sim/CMakeFiles/ccnopt_sim.dir/coordinator.cpp.o.d"
+  "/root/repo/src/ccnopt/sim/event.cpp" "src/ccnopt/sim/CMakeFiles/ccnopt_sim.dir/event.cpp.o" "gcc" "src/ccnopt/sim/CMakeFiles/ccnopt_sim.dir/event.cpp.o.d"
+  "/root/repo/src/ccnopt/sim/metrics.cpp" "src/ccnopt/sim/CMakeFiles/ccnopt_sim.dir/metrics.cpp.o" "gcc" "src/ccnopt/sim/CMakeFiles/ccnopt_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/ccnopt/sim/network.cpp" "src/ccnopt/sim/CMakeFiles/ccnopt_sim.dir/network.cpp.o" "gcc" "src/ccnopt/sim/CMakeFiles/ccnopt_sim.dir/network.cpp.o.d"
+  "/root/repo/src/ccnopt/sim/simulation.cpp" "src/ccnopt/sim/CMakeFiles/ccnopt_sim.dir/simulation.cpp.o" "gcc" "src/ccnopt/sim/CMakeFiles/ccnopt_sim.dir/simulation.cpp.o.d"
+  "/root/repo/src/ccnopt/sim/workload.cpp" "src/ccnopt/sim/CMakeFiles/ccnopt_sim.dir/workload.cpp.o" "gcc" "src/ccnopt/sim/CMakeFiles/ccnopt_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ccnopt/common/CMakeFiles/ccnopt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnopt/cache/CMakeFiles/ccnopt_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnopt/popularity/CMakeFiles/ccnopt_popularity.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnopt/topology/CMakeFiles/ccnopt_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnopt/numerics/CMakeFiles/ccnopt_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

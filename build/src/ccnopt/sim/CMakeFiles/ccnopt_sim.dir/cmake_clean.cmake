@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnopt_sim.dir/coordinator.cpp.o"
+  "CMakeFiles/ccnopt_sim.dir/coordinator.cpp.o.d"
+  "CMakeFiles/ccnopt_sim.dir/event.cpp.o"
+  "CMakeFiles/ccnopt_sim.dir/event.cpp.o.d"
+  "CMakeFiles/ccnopt_sim.dir/metrics.cpp.o"
+  "CMakeFiles/ccnopt_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/ccnopt_sim.dir/network.cpp.o"
+  "CMakeFiles/ccnopt_sim.dir/network.cpp.o.d"
+  "CMakeFiles/ccnopt_sim.dir/simulation.cpp.o"
+  "CMakeFiles/ccnopt_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/ccnopt_sim.dir/workload.cpp.o"
+  "CMakeFiles/ccnopt_sim.dir/workload.cpp.o.d"
+  "libccnopt_sim.a"
+  "libccnopt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnopt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

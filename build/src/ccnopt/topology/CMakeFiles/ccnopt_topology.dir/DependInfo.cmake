@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ccnopt/topology/datasets.cpp" "src/ccnopt/topology/CMakeFiles/ccnopt_topology.dir/datasets.cpp.o" "gcc" "src/ccnopt/topology/CMakeFiles/ccnopt_topology.dir/datasets.cpp.o.d"
+  "/root/repo/src/ccnopt/topology/generators.cpp" "src/ccnopt/topology/CMakeFiles/ccnopt_topology.dir/generators.cpp.o" "gcc" "src/ccnopt/topology/CMakeFiles/ccnopt_topology.dir/generators.cpp.o.d"
+  "/root/repo/src/ccnopt/topology/geo.cpp" "src/ccnopt/topology/CMakeFiles/ccnopt_topology.dir/geo.cpp.o" "gcc" "src/ccnopt/topology/CMakeFiles/ccnopt_topology.dir/geo.cpp.o.d"
+  "/root/repo/src/ccnopt/topology/graph.cpp" "src/ccnopt/topology/CMakeFiles/ccnopt_topology.dir/graph.cpp.o" "gcc" "src/ccnopt/topology/CMakeFiles/ccnopt_topology.dir/graph.cpp.o.d"
+  "/root/repo/src/ccnopt/topology/io.cpp" "src/ccnopt/topology/CMakeFiles/ccnopt_topology.dir/io.cpp.o" "gcc" "src/ccnopt/topology/CMakeFiles/ccnopt_topology.dir/io.cpp.o.d"
+  "/root/repo/src/ccnopt/topology/params.cpp" "src/ccnopt/topology/CMakeFiles/ccnopt_topology.dir/params.cpp.o" "gcc" "src/ccnopt/topology/CMakeFiles/ccnopt_topology.dir/params.cpp.o.d"
+  "/root/repo/src/ccnopt/topology/shortest_paths.cpp" "src/ccnopt/topology/CMakeFiles/ccnopt_topology.dir/shortest_paths.cpp.o" "gcc" "src/ccnopt/topology/CMakeFiles/ccnopt_topology.dir/shortest_paths.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ccnopt/common/CMakeFiles/ccnopt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnopt/numerics/CMakeFiles/ccnopt_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnopt_topology.dir/datasets.cpp.o"
+  "CMakeFiles/ccnopt_topology.dir/datasets.cpp.o.d"
+  "CMakeFiles/ccnopt_topology.dir/generators.cpp.o"
+  "CMakeFiles/ccnopt_topology.dir/generators.cpp.o.d"
+  "CMakeFiles/ccnopt_topology.dir/geo.cpp.o"
+  "CMakeFiles/ccnopt_topology.dir/geo.cpp.o.d"
+  "CMakeFiles/ccnopt_topology.dir/graph.cpp.o"
+  "CMakeFiles/ccnopt_topology.dir/graph.cpp.o.d"
+  "CMakeFiles/ccnopt_topology.dir/io.cpp.o"
+  "CMakeFiles/ccnopt_topology.dir/io.cpp.o.d"
+  "CMakeFiles/ccnopt_topology.dir/params.cpp.o"
+  "CMakeFiles/ccnopt_topology.dir/params.cpp.o.d"
+  "CMakeFiles/ccnopt_topology.dir/shortest_paths.cpp.o"
+  "CMakeFiles/ccnopt_topology.dir/shortest_paths.cpp.o.d"
+  "libccnopt_topology.a"
+  "libccnopt_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnopt_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_che.dir/test_cache_che.cpp.o"
+  "CMakeFiles/test_cache_che.dir/test_cache_che.cpp.o.d"
+  "test_cache_che"
+  "test_cache_che.pdb"
+  "test_cache_che[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_che.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_fifo.dir/test_cache_fifo.cpp.o"
+  "CMakeFiles/test_cache_fifo.dir/test_cache_fifo.cpp.o.d"
+  "test_cache_fifo"
+  "test_cache_fifo.pdb"
+  "test_cache_fifo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_fifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_lfu.dir/test_cache_lfu.cpp.o"
+  "CMakeFiles/test_cache_lfu.dir/test_cache_lfu.cpp.o.d"
+  "test_cache_lfu"
+  "test_cache_lfu.pdb"
+  "test_cache_lfu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_lfu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

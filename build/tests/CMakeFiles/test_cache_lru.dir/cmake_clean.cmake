@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_lru.dir/test_cache_lru.cpp.o"
+  "CMakeFiles/test_cache_lru.dir/test_cache_lru.cpp.o.d"
+  "test_cache_lru"
+  "test_cache_lru.pdb"
+  "test_cache_lru[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_lru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_partitioned.dir/test_cache_partitioned.cpp.o"
+  "CMakeFiles/test_cache_partitioned.dir/test_cache_partitioned.cpp.o.d"
+  "test_cache_partitioned"
+  "test_cache_partitioned.pdb"
+  "test_cache_partitioned[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_partitioned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_properties.dir/test_cache_properties.cpp.o"
+  "CMakeFiles/test_cache_properties.dir/test_cache_properties.cpp.o.d"
+  "test_cache_properties"
+  "test_cache_properties.pdb"
+  "test_cache_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

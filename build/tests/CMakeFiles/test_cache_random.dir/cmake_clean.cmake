@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_random.dir/test_cache_random.cpp.o"
+  "CMakeFiles/test_cache_random.dir/test_cache_random.cpp.o.d"
+  "test_cache_random"
+  "test_cache_random.pdb"
+  "test_cache_random[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

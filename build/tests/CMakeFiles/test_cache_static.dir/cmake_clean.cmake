@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_static.dir/test_cache_static.cpp.o"
+  "CMakeFiles/test_cache_static.dir/test_cache_static.cpp.o.d"
+  "test_cache_static"
+  "test_cache_static.pdb"
+  "test_cache_static[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

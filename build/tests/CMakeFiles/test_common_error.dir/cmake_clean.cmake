@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_error.dir/test_common_error.cpp.o"
+  "CMakeFiles/test_common_error.dir/test_common_error.cpp.o.d"
+  "test_common_error"
+  "test_common_error.pdb"
+  "test_common_error[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

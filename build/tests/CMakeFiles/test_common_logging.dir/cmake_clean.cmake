@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_logging.dir/test_common_logging.cpp.o"
+  "CMakeFiles/test_common_logging.dir/test_common_logging.cpp.o.d"
+  "test_common_logging"
+  "test_common_logging.pdb"
+  "test_common_logging[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_matrix.dir/test_common_matrix.cpp.o"
+  "CMakeFiles/test_common_matrix.dir/test_common_matrix.cpp.o.d"
+  "test_common_matrix"
+  "test_common_matrix.pdb"
+  "test_common_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_random.dir/test_common_random.cpp.o"
+  "CMakeFiles/test_common_random.dir/test_common_random.cpp.o.d"
+  "test_common_random"
+  "test_common_random.pdb"
+  "test_common_random[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_common_strings.cpp" "tests/CMakeFiles/test_common_strings.dir/test_common_strings.cpp.o" "gcc" "tests/CMakeFiles/test_common_strings.dir/test_common_strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ccnopt/experiments/CMakeFiles/ccnopt_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnopt/sim/CMakeFiles/ccnopt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnopt/model/CMakeFiles/ccnopt_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnopt/cache/CMakeFiles/ccnopt_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnopt/topology/CMakeFiles/ccnopt_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnopt/popularity/CMakeFiles/ccnopt_popularity.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnopt/numerics/CMakeFiles/ccnopt_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnopt/common/CMakeFiles/ccnopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_table.dir/test_common_table.cpp.o"
+  "CMakeFiles/test_common_table.dir/test_common_table.cpp.o.d"
+  "test_common_table"
+  "test_common_table.pdb"
+  "test_common_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

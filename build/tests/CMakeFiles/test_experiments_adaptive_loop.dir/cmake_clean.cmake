@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiments_adaptive_loop.dir/test_experiments_adaptive_loop.cpp.o"
+  "CMakeFiles/test_experiments_adaptive_loop.dir/test_experiments_adaptive_loop.cpp.o.d"
+  "test_experiments_adaptive_loop"
+  "test_experiments_adaptive_loop.pdb"
+  "test_experiments_adaptive_loop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiments_adaptive_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

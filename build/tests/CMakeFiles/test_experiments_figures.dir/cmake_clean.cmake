@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiments_figures.dir/test_experiments_figures.cpp.o"
+  "CMakeFiles/test_experiments_figures.dir/test_experiments_figures.cpp.o.d"
+  "test_experiments_figures"
+  "test_experiments_figures.pdb"
+  "test_experiments_figures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiments_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

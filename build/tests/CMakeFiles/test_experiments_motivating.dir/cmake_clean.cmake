@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiments_motivating.dir/test_experiments_motivating.cpp.o"
+  "CMakeFiles/test_experiments_motivating.dir/test_experiments_motivating.cpp.o.d"
+  "test_experiments_motivating"
+  "test_experiments_motivating.pdb"
+  "test_experiments_motivating[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiments_motivating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiments_sim_vs_model.dir/test_experiments_sim_vs_model.cpp.o"
+  "CMakeFiles/test_experiments_sim_vs_model.dir/test_experiments_sim_vs_model.cpp.o.d"
+  "test_experiments_sim_vs_model"
+  "test_experiments_sim_vs_model.pdb"
+  "test_experiments_sim_vs_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiments_sim_vs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_adaptive.dir/test_model_adaptive.cpp.o"
+  "CMakeFiles/test_model_adaptive.dir/test_model_adaptive.cpp.o.d"
+  "test_model_adaptive"
+  "test_model_adaptive.pdb"
+  "test_model_adaptive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

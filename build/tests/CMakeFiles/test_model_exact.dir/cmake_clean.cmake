@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_exact.dir/test_model_exact.cpp.o"
+  "CMakeFiles/test_model_exact.dir/test_model_exact.cpp.o.d"
+  "test_model_exact"
+  "test_model_exact.pdb"
+  "test_model_exact[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_gains.dir/test_model_gains.cpp.o"
+  "CMakeFiles/test_model_gains.dir/test_model_gains.cpp.o.d"
+  "test_model_gains"
+  "test_model_gains.pdb"
+  "test_model_gains[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_gains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_general.dir/test_model_general.cpp.o"
+  "CMakeFiles/test_model_general.dir/test_model_general.cpp.o.d"
+  "test_model_general"
+  "test_model_general.pdb"
+  "test_model_general[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_general.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

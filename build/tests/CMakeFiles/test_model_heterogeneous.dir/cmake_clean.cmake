@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_heterogeneous.dir/test_model_heterogeneous.cpp.o"
+  "CMakeFiles/test_model_heterogeneous.dir/test_model_heterogeneous.cpp.o.d"
+  "test_model_heterogeneous"
+  "test_model_heterogeneous.pdb"
+  "test_model_heterogeneous[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

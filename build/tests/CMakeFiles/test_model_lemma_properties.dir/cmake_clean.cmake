@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_lemma_properties.dir/test_model_lemma_properties.cpp.o"
+  "CMakeFiles/test_model_lemma_properties.dir/test_model_lemma_properties.cpp.o.d"
+  "test_model_lemma_properties"
+  "test_model_lemma_properties.pdb"
+  "test_model_lemma_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_lemma_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

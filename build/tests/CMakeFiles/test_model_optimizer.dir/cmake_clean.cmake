@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_optimizer.dir/test_model_optimizer.cpp.o"
+  "CMakeFiles/test_model_optimizer.dir/test_model_optimizer.cpp.o.d"
+  "test_model_optimizer"
+  "test_model_optimizer.pdb"
+  "test_model_optimizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_params.dir/test_model_params.cpp.o"
+  "CMakeFiles/test_model_params.dir/test_model_params.cpp.o.d"
+  "test_model_params"
+  "test_model_params.pdb"
+  "test_model_params[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_performance.dir/test_model_performance.cpp.o"
+  "CMakeFiles/test_model_performance.dir/test_model_performance.cpp.o.d"
+  "test_model_performance"
+  "test_model_performance.pdb"
+  "test_model_performance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

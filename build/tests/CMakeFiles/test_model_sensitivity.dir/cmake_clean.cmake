@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_sensitivity.dir/test_model_sensitivity.cpp.o"
+  "CMakeFiles/test_model_sensitivity.dir/test_model_sensitivity.cpp.o.d"
+  "test_model_sensitivity"
+  "test_model_sensitivity.pdb"
+  "test_model_sensitivity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

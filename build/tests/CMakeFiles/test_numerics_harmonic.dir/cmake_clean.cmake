@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerics_harmonic.dir/test_numerics_harmonic.cpp.o"
+  "CMakeFiles/test_numerics_harmonic.dir/test_numerics_harmonic.cpp.o.d"
+  "test_numerics_harmonic"
+  "test_numerics_harmonic.pdb"
+  "test_numerics_harmonic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerics_harmonic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

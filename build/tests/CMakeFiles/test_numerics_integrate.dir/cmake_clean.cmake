@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerics_integrate.dir/test_numerics_integrate.cpp.o"
+  "CMakeFiles/test_numerics_integrate.dir/test_numerics_integrate.cpp.o.d"
+  "test_numerics_integrate"
+  "test_numerics_integrate.pdb"
+  "test_numerics_integrate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerics_integrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerics_minimize.dir/test_numerics_minimize.cpp.o"
+  "CMakeFiles/test_numerics_minimize.dir/test_numerics_minimize.cpp.o.d"
+  "test_numerics_minimize"
+  "test_numerics_minimize.pdb"
+  "test_numerics_minimize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerics_minimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

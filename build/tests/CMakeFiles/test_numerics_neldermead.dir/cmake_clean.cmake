@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerics_neldermead.dir/test_numerics_neldermead.cpp.o"
+  "CMakeFiles/test_numerics_neldermead.dir/test_numerics_neldermead.cpp.o.d"
+  "test_numerics_neldermead"
+  "test_numerics_neldermead.pdb"
+  "test_numerics_neldermead[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerics_neldermead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerics_roots.dir/test_numerics_roots.cpp.o"
+  "CMakeFiles/test_numerics_roots.dir/test_numerics_roots.cpp.o.d"
+  "test_numerics_roots"
+  "test_numerics_roots.pdb"
+  "test_numerics_roots[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerics_roots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_popularity_estimator.dir/test_popularity_estimator.cpp.o"
+  "CMakeFiles/test_popularity_estimator.dir/test_popularity_estimator.cpp.o.d"
+  "test_popularity_estimator"
+  "test_popularity_estimator.pdb"
+  "test_popularity_estimator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_popularity_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

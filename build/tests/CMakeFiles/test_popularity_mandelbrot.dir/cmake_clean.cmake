@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_popularity_mandelbrot.dir/test_popularity_mandelbrot.cpp.o"
+  "CMakeFiles/test_popularity_mandelbrot.dir/test_popularity_mandelbrot.cpp.o.d"
+  "test_popularity_mandelbrot"
+  "test_popularity_mandelbrot.pdb"
+  "test_popularity_mandelbrot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_popularity_mandelbrot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

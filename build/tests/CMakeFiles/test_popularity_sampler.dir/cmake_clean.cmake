@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_popularity_sampler.dir/test_popularity_sampler.cpp.o"
+  "CMakeFiles/test_popularity_sampler.dir/test_popularity_sampler.cpp.o.d"
+  "test_popularity_sampler"
+  "test_popularity_sampler.pdb"
+  "test_popularity_sampler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_popularity_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_aggregation.dir/test_sim_aggregation.cpp.o"
+  "CMakeFiles/test_sim_aggregation.dir/test_sim_aggregation.cpp.o.d"
+  "test_sim_aggregation"
+  "test_sim_aggregation.pdb"
+  "test_sim_aggregation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_coordinator.dir/test_sim_coordinator.cpp.o"
+  "CMakeFiles/test_sim_coordinator.dir/test_sim_coordinator.cpp.o.d"
+  "test_sim_coordinator"
+  "test_sim_coordinator.pdb"
+  "test_sim_coordinator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_coordinator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

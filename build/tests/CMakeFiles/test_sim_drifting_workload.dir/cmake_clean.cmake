@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_drifting_workload.dir/test_sim_drifting_workload.cpp.o"
+  "CMakeFiles/test_sim_drifting_workload.dir/test_sim_drifting_workload.cpp.o.d"
+  "test_sim_drifting_workload"
+  "test_sim_drifting_workload.pdb"
+  "test_sim_drifting_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_drifting_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_event.dir/test_sim_event.cpp.o"
+  "CMakeFiles/test_sim_event.dir/test_sim_event.cpp.o.d"
+  "test_sim_event"
+  "test_sim_event.pdb"
+  "test_sim_event[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_failures.dir/test_sim_failures.cpp.o"
+  "CMakeFiles/test_sim_failures.dir/test_sim_failures.cpp.o.d"
+  "test_sim_failures"
+  "test_sim_failures.pdb"
+  "test_sim_failures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

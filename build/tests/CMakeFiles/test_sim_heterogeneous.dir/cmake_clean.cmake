@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_heterogeneous.dir/test_sim_heterogeneous.cpp.o"
+  "CMakeFiles/test_sim_heterogeneous.dir/test_sim_heterogeneous.cpp.o.d"
+  "test_sim_heterogeneous"
+  "test_sim_heterogeneous.pdb"
+  "test_sim_heterogeneous[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_link_load.dir/test_sim_link_load.cpp.o"
+  "CMakeFiles/test_sim_link_load.dir/test_sim_link_load.cpp.o.d"
+  "test_sim_link_load"
+  "test_sim_link_load.pdb"
+  "test_sim_link_load[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_link_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

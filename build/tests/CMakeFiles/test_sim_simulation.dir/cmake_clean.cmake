@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_simulation.dir/test_sim_simulation.cpp.o"
+  "CMakeFiles/test_sim_simulation.dir/test_sim_simulation.cpp.o.d"
+  "test_sim_simulation"
+  "test_sim_simulation.pdb"
+  "test_sim_simulation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology_datasets.dir/test_topology_datasets.cpp.o"
+  "CMakeFiles/test_topology_datasets.dir/test_topology_datasets.cpp.o.d"
+  "test_topology_datasets"
+  "test_topology_datasets.pdb"
+  "test_topology_datasets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology_generators.dir/test_topology_generators.cpp.o"
+  "CMakeFiles/test_topology_generators.dir/test_topology_generators.cpp.o.d"
+  "test_topology_generators"
+  "test_topology_generators.pdb"
+  "test_topology_generators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

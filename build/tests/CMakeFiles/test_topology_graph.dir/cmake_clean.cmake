@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology_graph.dir/test_topology_graph.cpp.o"
+  "CMakeFiles/test_topology_graph.dir/test_topology_graph.cpp.o.d"
+  "test_topology_graph"
+  "test_topology_graph.pdb"
+  "test_topology_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology_io.dir/test_topology_io.cpp.o"
+  "CMakeFiles/test_topology_io.dir/test_topology_io.cpp.o.d"
+  "test_topology_io"
+  "test_topology_io.pdb"
+  "test_topology_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology_params.dir/test_topology_params.cpp.o"
+  "CMakeFiles/test_topology_params.dir/test_topology_params.cpp.o.d"
+  "test_topology_params"
+  "test_topology_params.pdb"
+  "test_topology_params[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology_shortest_paths.dir/test_topology_shortest_paths.cpp.o"
+  "CMakeFiles/test_topology_shortest_paths.dir/test_topology_shortest_paths.cpp.o.d"
+  "test_topology_shortest_paths"
+  "test_topology_shortest_paths.pdb"
+  "test_topology_shortest_paths[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology_shortest_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

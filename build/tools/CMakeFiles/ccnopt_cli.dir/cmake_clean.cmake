@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnopt_cli.dir/ccnopt_cli.cpp.o"
+  "CMakeFiles/ccnopt_cli.dir/ccnopt_cli.cpp.o.d"
+  "ccnopt"
+  "ccnopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnopt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -2,22 +2,66 @@
 // the discrete-event simulator on all four evaluation topologies. The
 // simulator never touches the formulas — agreement here validates the
 // model end to end.
+//
+// The x-point sweeps are independent simulations, so each topology's sweep
+// also runs point-parallel on a hardware-sized ThreadPool; the serial and
+// parallel results are checked identical (the determinism contract) and
+// the wall-clock speedup is printed.
+#include <chrono>
 #include <iostream>
 
 #include "ccnopt/common/strings.hpp"
 #include "ccnopt/common/table.hpp"
 #include "ccnopt/experiments/sim_vs_model.hpp"
+#include "ccnopt/runtime/thread_pool.hpp"
 #include "ccnopt/topology/datasets.hpp"
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point start,
+                  std::chrono::steady_clock::time_point stop) {
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+bool same_points(const ccnopt::experiments::SimVsModelResult& a,
+                 const ccnopt::experiments::SimVsModelResult& b) {
+  if (a.points.size() != b.points.size()) return false;
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    if (a.points[i].sim_latency_ms != b.points[i].sim_latency_ms ||
+        a.points[i].sim_origin_load != b.points[i].sim_origin_load ||
+        a.points[i].sim_local_fraction != b.points[i].sim_local_fraction) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 int main() {
   using namespace ccnopt;
+  using Clock = std::chrono::steady_clock;
+  runtime::ThreadPool pool;
   std::cout << "=== Ablation: analytical model vs discrete-event simulation "
                "===\n"
             << "(N=50000, c=500, s=0.8, static-top local stores, 200k "
-               "requests per point)\n\n";
+               "requests per point; x points run on "
+            << pool.thread_count() << " threads)\n\n";
+  double serial_total_ms = 0.0;
+  double parallel_total_ms = 0.0;
+  bool all_identical = true;
   for (const topology::Graph& graph : topology::all_datasets()) {
-    const experiments::SimVsModelResult result =
+    const auto serial_start = Clock::now();
+    const experiments::SimVsModelResult serial =
         experiments::run_sim_vs_model(graph);
+    const auto serial_stop = Clock::now();
+    const experiments::SimVsModelResult result =
+        experiments::run_sim_vs_model(graph, {}, &pool);
+    const auto parallel_stop = Clock::now();
+    serial_total_ms += elapsed_ms(serial_start, serial_stop);
+    parallel_total_ms += elapsed_ms(serial_stop, parallel_stop);
+    all_identical = all_identical && same_points(serial, result);
+
     std::cout << graph.name() << " (n=" << graph.node_count()
               << ", derived gamma="
               << format_double(result.params.latency.gamma(), 2) << ")\n";
@@ -38,5 +82,11 @@ int main() {
               << ", max latency rel error = "
               << format_percent(result.max_latency_rel_error) << "\n\n";
   }
-  return 0;
+  std::cout << "total sim wall-clock: serial "
+            << format_double(serial_total_ms, 0) << " ms, parallel "
+            << format_double(parallel_total_ms, 0) << " ms (speedup "
+            << format_double(serial_total_ms / parallel_total_ms, 2)
+            << "x), serial/parallel results "
+            << (all_identical ? "identical" : "DIVERGED") << "\n";
+  return all_identical ? 0 : 1;
 }

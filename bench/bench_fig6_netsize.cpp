@@ -1,12 +1,58 @@
 // Regenerates Figure 6: optimal strategy l* vs the network size n.
+//
+// Also measures the parallel runtime: the sweep is run serially and then
+// point-parallel on a hardware-sized ThreadPool, the two outputs are
+// checked byte-identical (the determinism contract), and the wall-clock
+// speedup is printed.
+#include <chrono>
+#include <sstream>
+
 #include "bench_util.hpp"
+#include "ccnopt/common/strings.hpp"
+#include "ccnopt/runtime/thread_pool.hpp"
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point start,
+                  std::chrono::steady_clock::time_point stop) {
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ccnopt;
+  using Clock = std::chrono::steady_clock;
   const auto base = model::SystemParams::paper_defaults();
   bench::print_params_banner(base, "Figure 6: l* vs n",
                              "n in [10,500], alpha in {0.2..1.0}");
-  const auto data = experiments::sweep_vs_routers(base);
-  return bench::run_figure_bench(data, experiments::Metric::kEllStar, argc,
-                                 argv);
+
+  const auto serial_start = Clock::now();
+  const auto serial = experiments::sweep_vs_routers(base);
+  const auto serial_stop = Clock::now();
+
+  runtime::ThreadPool pool;
+  const auto parallel_start = Clock::now();
+  const auto parallel = experiments::sweep_vs_routers(base, &pool);
+  const auto parallel_stop = Clock::now();
+
+  std::ostringstream serial_csv, parallel_csv;
+  experiments::write_series_csv(serial, serial_csv);
+  experiments::write_series_csv(parallel, parallel_csv);
+  const bool identical = serial_csv.str() == parallel_csv.str();
+
+  const double serial_ms = elapsed_ms(serial_start, serial_stop);
+  const double parallel_ms = elapsed_ms(parallel_start, parallel_stop);
+  std::cout << "sweep wall-clock: serial " << format_double(serial_ms, 1)
+            << " ms, parallel " << format_double(parallel_ms, 1) << " ms ("
+            << pool.thread_count() << " threads, speedup "
+            << format_double(serial_ms / parallel_ms, 2) << "x), outputs "
+            << (identical ? "byte-identical" : "DIVERGED") << "\n\n";
+  if (!identical) {
+    std::cerr << "determinism violation: serial and parallel sweeps "
+                 "produced different CSV output\n";
+    return 1;
+  }
+  return bench::run_figure_bench(parallel, experiments::Metric::kEllStar,
+                                 argc, argv);
 }

@@ -2,11 +2,16 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace ccnopt {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+// Serializes sink writes so worker threads (runtime::ThreadPool tasks) can
+// log without interleaving lines. The level check stays lock-free.
+std::mutex g_sink_mutex;
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -31,6 +36,7 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_message(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
   std::fprintf(stderr, "[ccnopt %s] %s\n", tag(level), message.c_str());
 }
 

@@ -1,4 +1,20 @@
 #include "ccnopt/common/random.hpp"
 
-// Rng is header-only today; this TU anchors the library target and reserves
-// a home for out-of-line distributions if they grow.
+namespace ccnopt {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index) {
+  // The splitmix64 state is a Weyl sequence (state += golden gamma), so the
+  // state before the index-th draw is master + index * gamma; one step from
+  // there yields exactly the index-th output of the stream.
+  std::uint64_t state = master + index * 0x9E3779B97F4A7C15ULL;
+  return splitmix64(state);
+}
+
+}  // namespace ccnopt

@@ -49,4 +49,16 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// One step of the splitmix64 generator: advances `state` and returns the
+/// mixed output. Weyl-sequence state with a two-round finalizer; every seed
+/// gives a full-period 2^64 stream.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// The `index`-th output of the splitmix64 stream seeded with `master` —
+/// O(1) in `index`. This is the canonical way to derive independent
+/// sub-stream seeds (per-router clocks, per-replication runs) from one
+/// master seed: derived seeds are deterministic, well-mixed, and do not
+/// collide across nearby indices the way xor-multiply folklore mixes can.
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index);
+
 }  // namespace ccnopt

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "ccnopt/common/assert.hpp"
+#include "ccnopt/common/random.hpp"
+#include "ccnopt/runtime/parallel.hpp"
 #include "ccnopt/sim/network.hpp"
 #include "ccnopt/sim/workload.hpp"
 #include "ccnopt/topology/shortest_paths.hpp"
@@ -41,10 +43,59 @@ model::SystemParams derive_params(const topology::Graph& graph,
   return params;
 }
 
+/// One x point: its own network (provisioned at x) and its own workload
+/// sub-stream, so points are independent of each other and of thread count.
+SimVsModelPoint evaluate_x_point(const topology::Graph& graph,
+                                 const SimVsModelOptions& options,
+                                 const model::PerformanceModel& analytic,
+                                 const sim::NetworkConfig& net_config,
+                                 std::size_t index) {
+  const std::size_t x = options.capacity_c * index /
+                        static_cast<std::size_t>(options.x_points - 1);
+  sim::CcnNetwork network(graph, net_config);
+  sim::ZipfWorkload workload(network.router_count(), options.catalog_size,
+                             options.zipf_s,
+                             derive_seed(options.seed, index));
+  network.provision(x);
+
+  std::uint64_t origin_hits = 0;
+  std::uint64_t faithful_local_hits = 0;
+  double latency_sum = 0.0;
+  const std::uint64_t requests = options.measured_requests;
+  for (std::uint64_t r = 0; r < requests; ++r) {
+    const auto router =
+        static_cast<topology::NodeId>(r % network.router_count());
+    const sim::ServeResult served =
+        network.serve(router, workload.next(router));
+    latency_sum += served.latency_ms;
+    if (served.tier == sim::ServeTier::kOrigin) ++origin_hits;
+    // Eq. 2 charges a router's own coordinated contents to the network
+    // tier; reclassify so the tier splits are comparable.
+    if (served.tier == sim::ServeTier::kLocal && !served.own_coordinated_hit) {
+      ++faithful_local_hits;
+    }
+  }
+
+  SimVsModelPoint point;
+  point.x = x;
+  point.ell = static_cast<double>(x) / static_cast<double>(options.capacity_c);
+  point.model_latency_ms = analytic.routing_performance(static_cast<double>(x));
+  point.sim_latency_ms = latency_sum / static_cast<double>(requests);
+  const auto split = analytic.tier_split(static_cast<double>(x));
+  point.model_origin_load = split.origin;
+  point.model_local_fraction = split.local;
+  point.sim_origin_load =
+      static_cast<double>(origin_hits) / static_cast<double>(requests);
+  point.sim_local_fraction = static_cast<double>(faithful_local_hits) /
+                             static_cast<double>(requests);
+  return point;
+}
+
 }  // namespace
 
 SimVsModelResult run_sim_vs_model(const topology::Graph& graph,
-                                  const SimVsModelOptions& options) {
+                                  const SimVsModelOptions& options,
+                                  runtime::ThreadPool* pool) {
   CCNOPT_EXPECTS(options.x_points >= 2);
   CCNOPT_EXPECTS(graph.is_connected());
   CCNOPT_EXPECTS(options.catalog_size >
@@ -63,50 +114,19 @@ SimVsModelResult run_sim_vs_model(const topology::Graph& graph,
   net_config.origin_extra_ms = options.origin_extra_ms;
   net_config.seed = options.seed;
 
-  sim::CcnNetwork network(graph, net_config);
-  sim::ZipfWorkload workload(network.router_count(), options.catalog_size,
-                             options.zipf_s, options.seed);
+  const std::size_t point_count = static_cast<std::size_t>(options.x_points);
+  result.points.resize(point_count);
+  const auto evaluate = [&](std::size_t i) {
+    result.points[i] =
+        evaluate_x_point(graph, options, analytic, net_config, i);
+  };
+  if (pool != nullptr) {
+    runtime::parallel_for(*pool, point_count, evaluate);
+  } else {
+    for (std::size_t i = 0; i < point_count; ++i) evaluate(i);
+  }
 
-  for (int i = 0; i < options.x_points; ++i) {
-    const std::size_t x =
-        options.capacity_c * static_cast<std::size_t>(i) /
-        static_cast<std::size_t>(options.x_points - 1);
-    network.provision(x);
-
-    std::uint64_t origin_hits = 0;
-    std::uint64_t faithful_local_hits = 0;
-    double latency_sum = 0.0;
-    const std::uint64_t requests = options.measured_requests;
-    for (std::uint64_t r = 0; r < requests; ++r) {
-      const auto router =
-          static_cast<topology::NodeId>(r % network.router_count());
-      const sim::ServeResult served =
-          network.serve(router, workload.next(router));
-      latency_sum += served.latency_ms;
-      if (served.tier == sim::ServeTier::kOrigin) ++origin_hits;
-      // Eq. 2 charges a router's own coordinated contents to the network
-      // tier; reclassify so the tier splits are comparable.
-      if (served.tier == sim::ServeTier::kLocal && !served.own_coordinated_hit) {
-        ++faithful_local_hits;
-      }
-    }
-
-    SimVsModelPoint point;
-    point.x = x;
-    point.ell = static_cast<double>(x) /
-                static_cast<double>(options.capacity_c);
-    point.model_latency_ms =
-        analytic.routing_performance(static_cast<double>(x));
-    point.sim_latency_ms = latency_sum / static_cast<double>(requests);
-    const auto split = analytic.tier_split(static_cast<double>(x));
-    point.model_origin_load = split.origin;
-    point.model_local_fraction = split.local;
-    point.sim_origin_load =
-        static_cast<double>(origin_hits) / static_cast<double>(requests);
-    point.sim_local_fraction = static_cast<double>(faithful_local_hits) /
-                               static_cast<double>(requests);
-    result.points.push_back(point);
-
+  for (const SimVsModelPoint& point : result.points) {
     result.max_origin_load_abs_error =
         std::max(result.max_origin_load_abs_error,
                  std::abs(point.model_origin_load - point.sim_origin_load));

@@ -10,6 +10,10 @@
 #include "ccnopt/model/performance.hpp"
 #include "ccnopt/topology/graph.hpp"
 
+namespace ccnopt::runtime {
+class ThreadPool;
+}
+
 namespace ccnopt::experiments {
 
 struct SimVsModelOptions {
@@ -46,7 +50,13 @@ struct SimVsModelResult {
 /// twin derives d1 - d0 from the topology's mean pairwise latency and d2
 /// from the mean gateway distance plus the origin offset, exactly as
 /// Section V-A derives Table III.
+///
+/// Each x point replays its requests against its own freshly provisioned
+/// network with a workload seeded derive_seed(options.seed, point index),
+/// so points are independent; with a pool they run in parallel and the
+/// result is bit-identical to the serial (null-pool) run.
 SimVsModelResult run_sim_vs_model(const topology::Graph& graph,
-                                  const SimVsModelOptions& options = {});
+                                  const SimVsModelOptions& options = {},
+                                  runtime::ThreadPool* pool = nullptr);
 
 }  // namespace ccnopt::experiments

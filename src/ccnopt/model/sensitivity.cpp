@@ -6,25 +6,69 @@
 #include "ccnopt/model/gains.hpp"
 
 namespace ccnopt::model {
-namespace {
 
-using Mutator = SystemParams (*)(SystemParams, double);
+const char* to_string(SweepParameter parameter) {
+  switch (parameter) {
+    case SweepParameter::kAlpha:
+      return "alpha";
+    case SweepParameter::kZipf:
+      return "s";
+    case SweepParameter::kRouters:
+      return "n";
+    case SweepParameter::kUnitCost:
+      return "w";
+    case SweepParameter::kGamma:
+      return "gamma";
+  }
+  return "unknown";
+}
 
-Expected<std::vector<SweepPoint>> sweep(const SystemParams& base,
-                                        const std::vector<double>& values,
-                                        Mutator mutate) {
+SystemParams apply_sweep_parameter(const SystemParams& base,
+                                   SweepParameter parameter, double value) {
+  switch (parameter) {
+    case SweepParameter::kAlpha:
+      return with_alpha(base, value);
+    case SweepParameter::kZipf:
+      return with_zipf(base, value);
+    case SweepParameter::kRouters:
+      return with_routers(base, value);
+    case SweepParameter::kUnitCost:
+      return with_unit_cost(base, value);
+    case SweepParameter::kGamma:
+      return with_gamma(base, value);
+  }
+  CCNOPT_ASSERT(false);
+  return base;
+}
+
+SweepPointOutcome evaluate_sweep_point(const SystemParams& base,
+                                       SweepParameter parameter,
+                                       double value) {
+  SweepPointOutcome outcome;
+  const SystemParams params = apply_sweep_parameter(base, parameter, value);
+  if (!params.validate().is_ok()) return outcome;  // skip e.g. s = 1
+  outcome.valid = true;
+  const auto strategy = optimize(params);
+  if (!strategy) {
+    outcome.status = strategy.status();
+    return outcome;
+  }
+  const PerformanceModel model(params);
+  const GainReport gains = compute_gains(model, strategy->x_star);
+  outcome.point = SweepPoint{value, strategy->ell_star,
+                             gains.origin_load_reduction,
+                             gains.routing_improvement};
+  return outcome;
+}
+
+Expected<std::vector<SweepPoint>> reduce_sweep_outcomes(
+    const std::vector<SweepPointOutcome>& outcomes) {
   std::vector<SweepPoint> points;
-  points.reserve(values.size());
-  for (double value : values) {
-    const SystemParams params = mutate(base, value);
-    if (!params.validate().is_ok()) continue;  // skip e.g. s = 1
-    const auto strategy = optimize(params);
-    if (!strategy) return strategy.status();
-    const PerformanceModel model(params);
-    const GainReport gains = compute_gains(model, strategy->x_star);
-    points.push_back(SweepPoint{value, strategy->ell_star,
-                                gains.origin_load_reduction,
-                                gains.routing_improvement});
+  points.reserve(outcomes.size());
+  for (const SweepPointOutcome& outcome : outcomes) {
+    if (!outcome.valid) continue;
+    if (!outcome.status.is_ok()) return outcome.status;
+    points.push_back(outcome.point);
   }
   if (points.empty()) {
     return Status(ErrorCode::kInvalidArgument,
@@ -33,31 +77,44 @@ Expected<std::vector<SweepPoint>> sweep(const SystemParams& base,
   return points;
 }
 
-}  // namespace
+Expected<std::vector<SweepPoint>> sweep(const SystemParams& base,
+                                        SweepParameter parameter,
+                                        const std::vector<double>& values) {
+  std::vector<SweepPointOutcome> outcomes;
+  outcomes.reserve(values.size());
+  for (double value : values) {
+    outcomes.push_back(evaluate_sweep_point(base, parameter, value));
+    // Match the historical early-exit: nothing after an optimizer failure
+    // is evaluated (the parallel runner evaluates everything, but the
+    // reduction returns the same first error either way).
+    if (outcomes.back().valid && !outcomes.back().status.is_ok()) break;
+  }
+  return reduce_sweep_outcomes(outcomes);
+}
 
 Expected<std::vector<SweepPoint>> sweep_alpha(
     const SystemParams& base, const std::vector<double>& alphas) {
-  return sweep(base, alphas, &with_alpha);
+  return sweep(base, SweepParameter::kAlpha, alphas);
 }
 
 Expected<std::vector<SweepPoint>> sweep_zipf(
     const SystemParams& base, const std::vector<double>& exponents) {
-  return sweep(base, exponents, &with_zipf);
+  return sweep(base, SweepParameter::kZipf, exponents);
 }
 
 Expected<std::vector<SweepPoint>> sweep_routers(
     const SystemParams& base, const std::vector<double>& ns) {
-  return sweep(base, ns, &with_routers);
+  return sweep(base, SweepParameter::kRouters, ns);
 }
 
 Expected<std::vector<SweepPoint>> sweep_unit_cost(
     const SystemParams& base, const std::vector<double>& ws) {
-  return sweep(base, ws, &with_unit_cost);
+  return sweep(base, SweepParameter::kUnitCost, ws);
 }
 
 Expected<std::vector<SweepPoint>> sweep_gamma(
     const SystemParams& base, const std::vector<double>& gammas) {
-  return sweep(base, gammas, &with_gamma);
+  return sweep(base, SweepParameter::kGamma, gammas);
 }
 
 std::vector<double> linspace(double lo, double hi, int count) {

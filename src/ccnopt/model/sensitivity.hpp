@@ -18,9 +18,42 @@ struct SweepPoint {
   double routing_improvement = 0.0;     // G_R
 };
 
+/// Which knob a sweep varies (the with_* mutators of params.hpp).
+enum class SweepParameter { kAlpha, kZipf, kRouters, kUnitCost, kGamma };
+
+const char* to_string(SweepParameter parameter);
+
+/// `base` with the swept parameter set to `value` (not validated).
+SystemParams apply_sweep_parameter(const SystemParams& base,
+                                   SweepParameter parameter, double value);
+
+/// One grid point, evaluated exactly as the sweeps do. `valid` is false
+/// when the mutated parameters fail validation (sweeps skip such values,
+/// e.g. s = 1); a non-ok `status` carries an optimizer failure, which
+/// aborts the enclosing sweep. `point` is meaningful only when `valid`
+/// and `status.is_ok()`. Pure function of its arguments — safe to call
+/// concurrently from runtime::SweepRunner workers.
+struct SweepPointOutcome {
+  bool valid = false;
+  SweepPoint point;
+  Status status;
+};
+SweepPointOutcome evaluate_sweep_point(const SystemParams& base,
+                                       SweepParameter parameter, double value);
+
+/// Ordered reduction of per-point outcomes into a sweep result: skips
+/// invalid values, fails on the first (lowest-index) optimizer error, and
+/// fails if no value was valid. Shared by the serial sweeps and the
+/// parallel SweepRunner so both produce bit-identical results.
+Expected<std::vector<SweepPoint>> reduce_sweep_outcomes(
+    const std::vector<SweepPointOutcome>& outcomes);
+
 /// Evaluates optimize() + gains at each value of the named parameter,
 /// holding everything else in `base` fixed. Values outside the valid domain
 /// (e.g. s = 1) are skipped. The sweep fails only if no value is valid.
+Expected<std::vector<SweepPoint>> sweep(const SystemParams& base,
+                                        SweepParameter parameter,
+                                        const std::vector<double>& values);
 Expected<std::vector<SweepPoint>> sweep_alpha(const SystemParams& base,
                                               const std::vector<double>& alphas);
 Expected<std::vector<SweepPoint>> sweep_zipf(const SystemParams& base,

@@ -1,0 +1,27 @@
+#include "ccnopt/runtime/parallel.hpp"
+
+#include <algorithm>
+
+#include "ccnopt/common/assert.hpp"
+
+namespace ccnopt::runtime {
+
+std::vector<ChunkRange> static_chunks(std::size_t count,
+                                      std::size_t chunk_count) {
+  CCNOPT_EXPECTS(chunk_count >= 1);
+  chunk_count = std::min(std::max<std::size_t>(count, 1), chunk_count);
+  const std::size_t base = count / chunk_count;
+  const std::size_t remainder = count % chunk_count;
+  std::vector<ChunkRange> chunks;
+  chunks.reserve(chunk_count);
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < chunk_count; ++i) {
+    const std::size_t size = base + (i < remainder ? 1 : 0);
+    chunks.push_back(ChunkRange{begin, begin + size});
+    begin += size;
+  }
+  CCNOPT_ENSURES(begin == count);
+  return chunks;
+}
+
+}  // namespace ccnopt::runtime

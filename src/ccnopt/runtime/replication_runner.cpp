@@ -1,0 +1,49 @@
+#include "ccnopt/runtime/replication_runner.hpp"
+
+#include "ccnopt/common/assert.hpp"
+#include "ccnopt/common/random.hpp"
+#include "ccnopt/numerics/stats.hpp"
+#include "ccnopt/runtime/parallel.hpp"
+
+namespace ccnopt::runtime {
+namespace {
+
+MetricSummary summarize(const std::vector<sim::SimReport>& reports,
+                        double sim::SimReport::* metric) {
+  numerics::RunningStats stats;
+  for (const sim::SimReport& report : reports) stats.add(report.*metric);
+  MetricSummary summary;
+  summary.mean = stats.mean();
+  if (stats.count() >= 2) {
+    summary.stddev = stats.stddev();
+    summary.ci95_half_width = stats.mean_ci_half_width();
+  }
+  return summary;
+}
+
+}  // namespace
+
+ReplicationSummary ReplicationRunner::run(const topology::Graph& graph,
+                                          const sim::SimConfig& base,
+                                          std::size_t replications) const {
+  CCNOPT_EXPECTS(replications >= 1);
+  ReplicationSummary summary;
+  summary.master_seed = base.seed;
+  summary.reports.resize(replications);
+  parallel_for(pool_, replications, [&](std::size_t i) {
+    sim::SimConfig config = base;
+    config.seed = derive_seed(base.seed, i);
+    config.network.seed = derive_seed(config.seed, 1);
+    sim::Simulation simulation(graph, config);
+    summary.reports[i] = simulation.run();
+  });
+  summary.mean_latency_ms =
+      summarize(summary.reports, &sim::SimReport::mean_latency_ms);
+  summary.origin_load = summarize(summary.reports, &sim::SimReport::origin_load);
+  summary.local_fraction =
+      summarize(summary.reports, &sim::SimReport::local_fraction);
+  summary.mean_hops = summarize(summary.reports, &sim::SimReport::mean_hops);
+  return summary;
+}
+
+}  // namespace ccnopt::runtime

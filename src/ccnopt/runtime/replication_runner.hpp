@@ -1,0 +1,53 @@
+// Monte-Carlo replication of the discrete-event simulator.
+//
+// Fans out N independent sim::Simulation runs across the pool. Replication
+// i runs with seed derive_seed(master, i) (its network RNG gets the next
+// sub-stream of that seed), so the set of runs is fixed by the master seed
+// alone: results are bit-identical regardless of thread count. Reports are
+// kept in replication order and aggregated into mean / stddev / 95%-CI
+// summaries per metric.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ccnopt/runtime/thread_pool.hpp"
+#include "ccnopt/sim/simulation.hpp"
+#include "ccnopt/topology/graph.hpp"
+
+namespace ccnopt::runtime {
+
+/// Normal-approximation summary of one metric across replications
+/// (half-width z * sd / sqrt(n), z = 1.96; 0 when n < 2).
+struct MetricSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95_half_width = 0.0;
+};
+
+struct ReplicationSummary {
+  std::uint64_t master_seed = 0;
+  std::vector<sim::SimReport> reports;  // one per replication, in order
+  MetricSummary mean_latency_ms;
+  MetricSummary origin_load;
+  MetricSummary local_fraction;
+  MetricSummary mean_hops;
+
+  std::size_t replications() const { return reports.size(); }
+};
+
+class ReplicationRunner {
+ public:
+  explicit ReplicationRunner(ThreadPool& pool) : pool_(pool) {}
+
+  /// Runs `replications` independent simulations of `base` on `graph`
+  /// (base.seed is the master seed). Requires replications >= 1.
+  ReplicationSummary run(const topology::Graph& graph,
+                         const sim::SimConfig& base,
+                         std::size_t replications) const;
+
+ private:
+  ThreadPool& pool_;
+};
+
+}  // namespace ccnopt::runtime

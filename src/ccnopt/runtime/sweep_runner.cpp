@@ -1,0 +1,22 @@
+#include "ccnopt/runtime/sweep_runner.hpp"
+
+#include "ccnopt/runtime/parallel.hpp"
+
+namespace ccnopt::runtime {
+
+Expected<std::vector<model::SweepPoint>> SweepRunner::run(
+    const model::SystemParams& base, model::SweepParameter parameter,
+    const std::vector<double>& values) const {
+  std::vector<model::SweepPointOutcome> outcomes(values.size());
+  // Root-finding cost varies across the grid (e.g. near s = 1), so chunk
+  // finer than one-per-worker to keep the pool busy.
+  parallel_for(
+      pool_, values.size(),
+      [&](std::size_t i) {
+        outcomes[i] = model::evaluate_sweep_point(base, parameter, values[i]);
+      },
+      4 * pool_.thread_count());
+  return model::reduce_sweep_outcomes(outcomes);
+}
+
+}  // namespace ccnopt::runtime

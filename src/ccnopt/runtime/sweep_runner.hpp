@@ -1,0 +1,31 @@
+// Point-parallel evaluation of the model's parameter sweeps.
+//
+// Each grid point is an independent Lemma 2 / Theorem 1 root-finding
+// problem, so the grid fans out across the pool; results are written to
+// their point's index and reduced in order with the same
+// model::reduce_sweep_outcomes the serial sweeps use. The output is
+// therefore bit-identical to model::sweep_* regardless of thread count —
+// figure and table goldens stay valid.
+#pragma once
+
+#include <vector>
+
+#include "ccnopt/model/sensitivity.hpp"
+#include "ccnopt/runtime/thread_pool.hpp"
+
+namespace ccnopt::runtime {
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(ThreadPool& pool) : pool_(pool) {}
+
+  /// Parallel equivalent of model::sweep(base, parameter, values).
+  Expected<std::vector<model::SweepPoint>> run(
+      const model::SystemParams& base, model::SweepParameter parameter,
+      const std::vector<double>& values) const;
+
+ private:
+  ThreadPool& pool_;
+};
+
+}  // namespace ccnopt::runtime

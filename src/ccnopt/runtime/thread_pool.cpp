@@ -1,0 +1,61 @@
+#include "ccnopt/runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "ccnopt/common/assert.hpp"
+
+namespace ccnopt::runtime {
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  CCNOPT_EXPECTS(thread_count >= 1);
+  workers_.reserve(thread_count);
+  for (std::size_t i = 0; i < thread_count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    accepting_ = false;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  CCNOPT_ENSURES(queue_.empty());
+}
+
+std::size_t ThreadPool::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    CCNOPT_EXPECTS(accepting_);
+    queue_.push_back(std::move(job));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return !queue_.empty() || !accepting_; });
+      // Shutdown still drains the queue: exit only once it is empty.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();  // packaged_task captures any exception for the future
+  }
+}
+
+}  // namespace ccnopt::runtime

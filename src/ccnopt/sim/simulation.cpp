@@ -35,11 +35,12 @@ SimReport Simulation::run() {
   std::uint64_t aggregated = 0;
   std::uint64_t upstream = 0;
 
-  // Per-router arrival processes with independent seeded clocks.
+  // Per-router arrival processes with independent seeded clocks, each the
+  // router's splitmix64 sub-stream of the run seed.
   std::vector<Rng> clocks;
   clocks.reserve(network_->router_count());
   for (std::size_t i = 0; i < network_->router_count(); ++i) {
-    clocks.emplace_back(config_.seed ^ (0xA24BAED4963EE407ULL * (i + 1)));
+    clocks.emplace_back(derive_seed(config_.seed, i));
   }
 
   // Pending Interest Table (per router x content): requests arriving while

@@ -4,6 +4,8 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #ifndef CCNOPT_CLI_PATH
@@ -87,6 +89,34 @@ TEST(Cli, SweepRejectsUnknownFigure) {
   EXPECT_NE(result.exit_code, 0);
 }
 
+TEST(Cli, SweepRejectsBadThreadCount) {
+  const RunResult result = run_cli("sweep --figure=4 --threads=0");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("--threads"), std::string::npos);
+}
+
+TEST(Cli, SweepCsvIsByteIdenticalAcrossThreadCounts) {
+  const std::string one_path = testing::TempDir() + "ccnopt_sweep_t1.csv";
+  const std::string four_path = testing::TempDir() + "ccnopt_sweep_t4.csv";
+  const RunResult one =
+      run_cli("sweep --figure=6 --threads=1 --csv=" + one_path);
+  const RunResult four =
+      run_cli("sweep --figure=6 --threads=4 --csv=" + four_path);
+  EXPECT_EQ(one.exit_code, 0);
+  EXPECT_EQ(four.exit_code, 0);
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    return contents.str();
+  };
+  const std::string one_csv = slurp(one_path);
+  ASSERT_FALSE(one_csv.empty());
+  EXPECT_EQ(one_csv, slurp(four_path));
+  std::remove(one_path.c_str());
+  std::remove(four_path.c_str());
+}
+
 TEST(Cli, SimulateReportsTiers) {
   const RunResult result = run_cli(
       "simulate --topology=abilene --x=20 --requests=5000 --catalog=2000 "
@@ -94,6 +124,22 @@ TEST(Cli, SimulateReportsTiers) {
   EXPECT_EQ(result.exit_code, 0);
   EXPECT_NE(result.output.find("origin="), std::string::npos);
   EXPECT_NE(result.output.find("mean_latency_ms="), std::string::npos);
+}
+
+TEST(Cli, SimulateReplicationsReportConfidenceIntervals) {
+  const RunResult result = run_cli(
+      "simulate --topology=abilene --x=20 --requests=3000 --catalog=2000 "
+      "--c=50 --replications=3 --threads=2");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("3 replications"), std::string::npos);
+  EXPECT_NE(result.output.find("ci95 half-width"), std::string::npos);
+  EXPECT_NE(result.output.find("origin_load"), std::string::npos);
+}
+
+TEST(Cli, SimulateRejectsBadReplicationCount) {
+  const RunResult result = run_cli("simulate --replications=0");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("--replications"), std::string::npos);
 }
 
 TEST(Cli, HeteroComparesStrategies) {

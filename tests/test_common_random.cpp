@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+
 namespace ccnopt {
 namespace {
 
@@ -73,6 +75,49 @@ TEST(Rng, ExponentialMean) {
   const int trials = 50000;
   for (int i = 0; i < trials; ++i) sum += rng.exponential(2.0);
   EXPECT_NEAR(sum / trials, 0.5, 0.02);  // mean = 1/rate
+}
+
+TEST(SplitMix64, AdvancesStateAndIsDeterministic) {
+  std::uint64_t a = 42, b = 42;
+  const std::uint64_t first = splitmix64(a);
+  EXPECT_EQ(first, splitmix64(b));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, 42u);               // state moved on
+  EXPECT_NE(splitmix64(a), first);  // stream, not a fixed point
+}
+
+TEST(DeriveSeed, IsTheIndexthStreamOutput) {
+  const std::uint64_t master = 12345;
+  std::uint64_t state = master;
+  for (std::uint64_t index = 0; index < 64; ++index) {
+    EXPECT_EQ(derive_seed(master, index), splitmix64(state))
+        << "index " << index;
+  }
+}
+
+TEST(DeriveSeed, NoCollisionsAcrossNearbyIndices) {
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t index = 0; index < 10000; ++index) {
+    seen.insert(derive_seed(7, index));
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(DeriveSeed, DifferentMastersGiveDifferentStreams) {
+  int equal = 0;
+  for (std::uint64_t index = 0; index < 100; ++index) {
+    if (derive_seed(1, index) == derive_seed(2, index)) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(DeriveSeed, SeedsDivergentRngs) {
+  Rng a(derive_seed(42, 0)), b(derive_seed(42, 1));
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
 }
 
 TEST(RngDeath, InvalidRanges) {

@@ -1,0 +1,102 @@
+#include "ccnopt/runtime/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ccnopt::runtime {
+namespace {
+
+TEST(StaticChunks, PartitionCoversRangeContiguously) {
+  const auto chunks = static_chunks(10, 3);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks.front().begin, 0u);
+  EXPECT_EQ(chunks.back().end, 10u);
+  for (std::size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].begin, chunks[i - 1].end);
+  }
+  // Near-equal sizes: 4 + 3 + 3.
+  EXPECT_EQ(chunks[0].end - chunks[0].begin, 4u);
+  EXPECT_EQ(chunks[1].end - chunks[1].begin, 3u);
+  EXPECT_EQ(chunks[2].end - chunks[2].begin, 3u);
+}
+
+TEST(StaticChunks, MoreChunksThanItemsClampsToItems) {
+  const auto chunks = static_chunks(2, 8);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0].end - chunks[0].begin, 1u);
+  EXPECT_EQ(chunks[1].end - chunks[1].begin, 1u);
+}
+
+TEST(ParallelFor, VisitsEachIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(257);
+  parallel_for(pool, visits.size(),
+               [&visits](std::size_t i) { ++visits[i]; });
+  for (const auto& count : visits) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsANoOp) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  parallel_for(pool, 0, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ThreadPool pool(4);
+  const auto run = [&pool] {
+    parallel_for(pool, 100, [](std::size_t i) {
+      if (i == 37) throw std::runtime_error("index 37 failed");
+    });
+  };
+  EXPECT_THROW(run(), std::runtime_error);
+}
+
+TEST(ParallelFor, OtherChunksCompleteDespiteException) {
+  ThreadPool pool(4);
+  std::atomic<int> visited{0};
+  try {
+    parallel_for(pool, 64, [&visited](std::size_t i) {
+      if (i == 0) throw std::runtime_error("first chunk dies immediately");
+      ++visited;
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error&) {
+  }
+  // The throwing chunk skipped its remaining items, but every other
+  // chunk ran to completion before parallel_for returned.
+  const auto chunks = static_chunks(64, 4);
+  const int first_chunk_size =
+      static_cast<int>(chunks[0].end - chunks[0].begin);
+  EXPECT_EQ(visited.load(), 64 - first_chunk_size);
+}
+
+TEST(ParallelMap, PreservesItemOrder) {
+  ThreadPool pool(4);
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  const std::vector<std::string> mapped = parallel_map(
+      pool, items, [](const int& x) { return std::to_string(x * x); });
+  ASSERT_EQ(mapped.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(mapped[i], std::to_string(static_cast<int>(i * i)));
+  }
+}
+
+TEST(ParallelMap, FineChunkingMatchesDefault) {
+  ThreadPool pool(3);
+  const std::vector<int> items{5, 4, 3, 2, 1};
+  const auto coarse =
+      parallel_map(pool, items, [](const int& x) { return x * 10; });
+  const auto fine = parallel_map(
+      pool, items, [](const int& x) { return x * 10; }, 16);
+  EXPECT_EQ(coarse, fine);
+}
+
+}  // namespace
+}  // namespace ccnopt::runtime

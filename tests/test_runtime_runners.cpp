@@ -1,0 +1,151 @@
+// Determinism contract of the sweep/replication engines: output is
+// bit-identical whatever the thread count, and matches the serial paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ccnopt/model/sensitivity.hpp"
+#include "ccnopt/runtime/replication_runner.hpp"
+#include "ccnopt/runtime/sweep_runner.hpp"
+#include "ccnopt/topology/datasets.hpp"
+
+namespace ccnopt::runtime {
+namespace {
+
+void expect_same_points(const std::vector<model::SweepPoint>& a,
+                        const std::vector<model::SweepPoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].parameter, b[i].parameter) << "point " << i;
+    EXPECT_EQ(a[i].ell_star, b[i].ell_star) << "point " << i;
+    EXPECT_EQ(a[i].origin_load_reduction, b[i].origin_load_reduction)
+        << "point " << i;
+    EXPECT_EQ(a[i].routing_improvement, b[i].routing_improvement)
+        << "point " << i;
+  }
+}
+
+TEST(SweepRunner, MatchesSerialSweepBitForBit) {
+  const auto base = model::SystemParams::paper_defaults();
+  const auto grid = model::linspace(0.05, 1.0, 40);
+  const auto serial = model::sweep_alpha(base, grid);
+  ASSERT_TRUE(serial.has_value());
+  ThreadPool pool(8);
+  const auto parallel =
+      SweepRunner(pool).run(base, model::SweepParameter::kAlpha, grid);
+  ASSERT_TRUE(parallel.has_value());
+  expect_same_points(*serial, *parallel);
+}
+
+TEST(SweepRunner, OneThreadEqualsEightThreads) {
+  const auto base = model::SystemParams::paper_defaults();
+  const auto grid = model::linspace(10.0, 500.0, 50);
+  ThreadPool one(1);
+  ThreadPool eight(8);
+  const auto a =
+      SweepRunner(one).run(base, model::SweepParameter::kRouters, grid);
+  const auto b =
+      SweepRunner(eight).run(base, model::SweepParameter::kRouters, grid);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  expect_same_points(*a, *b);
+}
+
+TEST(SweepRunner, SkipsInvalidValuesLikeTheSerialSweep) {
+  const auto base = model::SystemParams::paper_defaults();
+  // s = 1 is the Zipf singular point: serial sweeps skip it.
+  const std::vector<double> grid{0.6, 0.8, 1.0, 1.2, 1.4};
+  ThreadPool pool(4);
+  const auto parallel =
+      SweepRunner(pool).run(base, model::SweepParameter::kZipf, grid);
+  const auto serial = model::sweep_zipf(base, grid);
+  ASSERT_TRUE(parallel.has_value());
+  ASSERT_TRUE(serial.has_value());
+  EXPECT_EQ(parallel->size(), 4u);
+  expect_same_points(*serial, *parallel);
+}
+
+TEST(SweepRunner, FailsWhenNoValueIsValid) {
+  const auto base = model::SystemParams::paper_defaults();
+  ThreadPool pool(2);
+  const auto result =
+      SweepRunner(pool).run(base, model::SweepParameter::kZipf, {1.0});
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.status().code(), ErrorCode::kInvalidArgument);
+}
+
+sim::SimConfig small_sim_config() {
+  sim::SimConfig config;
+  config.network.catalog_size = 2000;
+  config.network.capacity_c = 50;
+  config.coordinated_x = 20;
+  config.measured_requests = 4000;
+  config.seed = 99;
+  return config;
+}
+
+TEST(ReplicationRunner, OneThreadEqualsEightThreads) {
+  const topology::Graph graph = topology::abilene();
+  const sim::SimConfig config = small_sim_config();
+  ThreadPool one(1);
+  ThreadPool eight(8);
+  const ReplicationSummary a = ReplicationRunner(one).run(graph, config, 6);
+  const ReplicationSummary b = ReplicationRunner(eight).run(graph, config, 6);
+  ASSERT_EQ(a.replications(), 6u);
+  ASSERT_EQ(b.replications(), 6u);
+  for (std::size_t i = 0; i < a.reports.size(); ++i) {
+    EXPECT_EQ(a.reports[i].mean_latency_ms, b.reports[i].mean_latency_ms)
+        << "replication " << i;
+    EXPECT_EQ(a.reports[i].origin_load, b.reports[i].origin_load)
+        << "replication " << i;
+    EXPECT_EQ(a.reports[i].mean_hops, b.reports[i].mean_hops)
+        << "replication " << i;
+  }
+  EXPECT_EQ(a.mean_latency_ms.mean, b.mean_latency_ms.mean);
+  EXPECT_EQ(a.origin_load.stddev, b.origin_load.stddev);
+  EXPECT_EQ(a.mean_hops.ci95_half_width, b.mean_hops.ci95_half_width);
+}
+
+TEST(ReplicationRunner, ReplicationsAreIndependentRuns) {
+  ThreadPool pool(4);
+  const ReplicationSummary summary = ReplicationRunner(pool).run(
+      topology::abilene(), small_sim_config(), 4);
+  // Different derived seeds give different sample paths...
+  EXPECT_NE(summary.reports[0].mean_latency_ms,
+            summary.reports[1].mean_latency_ms);
+  // ...while measuring the same system, so the spread is small.
+  EXPECT_GT(summary.mean_latency_ms.stddev, 0.0);
+  EXPECT_LT(summary.mean_latency_ms.stddev,
+            summary.mean_latency_ms.mean * 0.2);
+}
+
+TEST(ReplicationRunner, SummaryMatchesHandComputedStats) {
+  ThreadPool pool(2);
+  const ReplicationSummary summary = ReplicationRunner(pool).run(
+      topology::abilene(), small_sim_config(), 5);
+  double sum = 0.0;
+  for (const auto& report : summary.reports) sum += report.origin_load;
+  const double mean = sum / 5.0;
+  EXPECT_NEAR(summary.origin_load.mean, mean, 1e-12);
+  double sq = 0.0;
+  for (const auto& report : summary.reports) {
+    sq += (report.origin_load - mean) * (report.origin_load - mean);
+  }
+  const double stddev = std::sqrt(sq / 4.0);
+  EXPECT_NEAR(summary.origin_load.stddev, stddev, 1e-12);
+  EXPECT_NEAR(summary.origin_load.ci95_half_width,
+              1.96 * stddev / std::sqrt(5.0), 1e-12);
+}
+
+TEST(ReplicationRunner, SingleReplicationHasNoSpread) {
+  ThreadPool pool(2);
+  const ReplicationSummary summary = ReplicationRunner(pool).run(
+      topology::abilene(), small_sim_config(), 1);
+  EXPECT_EQ(summary.replications(), 1u);
+  EXPECT_EQ(summary.origin_load.stddev, 0.0);
+  EXPECT_EQ(summary.origin_load.ci95_half_width, 0.0);
+  EXPECT_EQ(summary.origin_load.mean, summary.reports[0].origin_load);
+}
+
+}  // namespace
+}  // namespace ccnopt::runtime

@@ -1,0 +1,88 @@
+#include "ccnopt/runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ccnopt::runtime {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsTaskResult) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+  ThreadPool pool;
+  EXPECT_EQ(pool.thread_count(), ThreadPool::default_thread_count());
+}
+
+TEST(ThreadPool, ShutdownRunsEveryPendingTask) {
+  std::atomic<int> completed{0};
+  {
+    // One worker and a slow head-of-line task, so the remaining tasks are
+    // still queued when the destructor starts; they must run, not drop.
+    ThreadPool pool(1);
+    (void)pool.submit([&completed] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      ++completed;
+    });
+    for (int i = 0; i < 31; ++i) {
+      (void)pool.submit([&completed] { ++completed; });
+    }
+  }
+  EXPECT_EQ(completed.load(), 32);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, TaskExceptionDoesNotKillWorkers) {
+  ThreadPool pool(1);
+  auto bad = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  auto good = pool.submit([] { return 7; });
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPool, ManyTasksFromManySubmitters) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &sum] {
+      std::vector<std::future<void>> futures;
+      for (int i = 0; i < 100; ++i) {
+        futures.push_back(pool.submit([&sum] { ++sum; }));
+      }
+      for (auto& future : futures) future.get();
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+  EXPECT_EQ(sum.load(), 400);
+}
+
+TEST(ThreadPool, MoveOnlyResultsSupported) {
+  ThreadPool pool(2);
+  auto future =
+      pool.submit([] { return std::make_unique<int>(99); });
+  EXPECT_EQ(*future.get(), 99);
+}
+
+TEST(ThreadPoolDeath, ZeroThreadsRejected) {
+  EXPECT_DEATH(ThreadPool pool(0), "precondition");
+}
+
+}  // namespace
+}  // namespace ccnopt::runtime

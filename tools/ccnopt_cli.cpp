@@ -2,10 +2,14 @@
 //
 //   ccnopt optimize  [--topology=us-a] [--alpha=0.7] [--gamma=5] [--s=0.8]
 //                    [--n=] [--c=1000] [--catalog=1e6] [--w=]
-//   ccnopt sweep     --figure=4..13 [--csv=path]
+//   ccnopt sweep     --figure=4..13 [--csv=path] [--threads=N]
 //   ccnopt simulate  [--topology=geant] [--x=100] [--requests=100000]
 //                    [--policy=static|lru|lfu|fifo|random] [--s=0.8]
 //                    [--catalog=20000] [--c=200] [--seed=42]
+//                    [--replications=1] [--threads=N]
+//
+// --threads defaults to the hardware concurrency; results are bit-identical
+// for any thread count (deterministic seeding + ordered reduction).
 //   ccnopt adaptive  [--topology=geant] [--epochs=6]
 //   ccnopt hetero    [--capacities=500x10,1500x10] [--alpha=1] [--gamma=5]
 //                    [--s=0.8] [--catalog=1e6]
@@ -26,6 +30,8 @@
 #include "ccnopt/model/heterogeneous.hpp"
 #include "ccnopt/model/robustness.hpp"
 #include "ccnopt/model/sensitivity.hpp"
+#include "ccnopt/runtime/replication_runner.hpp"
+#include "ccnopt/runtime/thread_pool.hpp"
 #include "ccnopt/sim/simulation.hpp"
 #include "ccnopt/topology/datasets.hpp"
 #include "ccnopt/topology/io.hpp"
@@ -57,6 +63,19 @@ int usage() {
 int fail(const Status& status) {
   std::cerr << "error: " << status.to_string() << "\n";
   return 1;
+}
+
+/// --threads, defaulting to the hardware concurrency.
+Expected<std::size_t> parse_threads(const ArgParser& args) {
+  const auto threads = args.get_int(
+      "threads",
+      static_cast<std::int64_t>(runtime::ThreadPool::default_thread_count()));
+  if (!threads) return threads.status();
+  if (*threads < 1 || *threads > 256) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "--threads must be in [1, 256]");
+  }
+  return static_cast<std::size_t>(*threads);
 }
 
 Expected<topology::Graph> load_topology(const ArgParser& args,
@@ -127,6 +146,9 @@ int cmd_optimize(const ArgParser& args) {
 int cmd_sweep(const ArgParser& args) {
   const auto figure = args.get_int("figure", 4);
   if (!figure) return fail(figure.status());
+  const auto threads = parse_threads(args);
+  if (!threads) return fail(threads.status());
+  runtime::ThreadPool pool(*threads);
   const model::SystemParams base = model::SystemParams::paper_defaults();
   experiments::FigureData data;
   experiments::Metric metric = experiments::Metric::kEllStar;
@@ -134,20 +156,20 @@ int cmd_sweep(const ArgParser& args) {
     case 4:
     case 8:
     case 12:
-      data = experiments::sweep_vs_alpha(base);
+      data = experiments::sweep_vs_alpha(base, &pool);
       break;
     case 5:
     case 9:
     case 13:
-      data = experiments::sweep_vs_zipf(base);
+      data = experiments::sweep_vs_zipf(base, &pool);
       break;
     case 6:
     case 10:
-      data = experiments::sweep_vs_routers(base);
+      data = experiments::sweep_vs_routers(base, &pool);
       break;
     case 7:
     case 11:
-      data = experiments::sweep_vs_unit_cost(base);
+      data = experiments::sweep_vs_unit_cost(base, &pool);
       break;
     default:
       return fail(Status(ErrorCode::kInvalidArgument,
@@ -213,6 +235,38 @@ int cmd_simulate(const ArgParser& args) {
   } else {
     return fail(Status(ErrorCode::kInvalidArgument,
                        "--policy must be static|lru|lfu|fifo|random"));
+  }
+
+  const auto replications = args.get_int("replications", 1);
+  if (!replications) return fail(replications.status());
+  if (*replications < 1 || *replications > 10000) {
+    return fail(Status(ErrorCode::kInvalidArgument,
+                       "--replications must be in [1, 10000]"));
+  }
+  const auto threads = parse_threads(args);
+  if (!threads) return fail(threads.status());
+  if (*replications > 1) {
+    runtime::ThreadPool pool(*threads);
+    const runtime::ReplicationRunner runner(pool);
+    const runtime::ReplicationSummary summary = runner.run(
+        *graph, config, static_cast<std::size_t>(*replications));
+    std::cout << "topology " << graph->name() << ", policy " << policy
+              << ", x=" << config.coordinated_x << ", " << *replications
+              << " replications (master seed " << config.seed << ", "
+              << pool.thread_count() << " threads)\n";
+    TextTable table({"metric", "mean", "stddev", "ci95 half-width"});
+    const auto row = [&table](const char* name,
+                              const runtime::MetricSummary& m) {
+      table.add_row({name, format_double(m.mean, 4),
+                     format_double(m.stddev, 4),
+                     format_double(m.ci95_half_width, 4)});
+    };
+    row("mean_latency_ms", summary.mean_latency_ms);
+    row("origin_load", summary.origin_load);
+    row("local_fraction", summary.local_fraction);
+    row("mean_hops", summary.mean_hops);
+    table.print(std::cout);
+    return 0;
   }
 
   sim::Simulation simulation(*graph, config);

@@ -4,12 +4,14 @@
 // identical request stream on GEANT.
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "ccnopt/common/strings.hpp"
 #include "ccnopt/common/table.hpp"
 #include "ccnopt/experiments/adaptive_loop.hpp"
 #include "ccnopt/topology/datasets.hpp"
 
 int main() {
+  ccnopt::bench::BenchReporter reporter("ablation_adaptive");
   using namespace ccnopt;
   experiments::AdaptiveLoopOptions options;
   options.requests_per_epoch = 40000;
@@ -25,7 +27,7 @@ int main() {
   if (!result) {
     std::cerr << "adaptive loop failed: " << result.status().to_string()
               << "\n";
-    return 1;
+    return reporter.finish(1);
   }
 
   TextTable table({"epoch", "true s", "estimated s", "belief s", "l* adaptive",
@@ -56,5 +58,5 @@ int main() {
                              (result->mean_latency_static_ms -
                               result->mean_latency_oracle_ms))
             << " of the static-to-oracle gap\n";
-  return 0;
+  return reporter.finish();
 }

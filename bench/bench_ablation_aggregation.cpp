@@ -5,12 +5,14 @@
 // here as a function of the per-router request rate.
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "ccnopt/common/strings.hpp"
 #include "ccnopt/common/table.hpp"
 #include "ccnopt/sim/simulation.hpp"
 #include "ccnopt/topology/datasets.hpp"
 
 int main() {
+  ccnopt::bench::BenchReporter reporter("ablation_aggregation");
   using namespace ccnopt;
   std::cout << "=== Ablation: interest aggregation vs arrival rate (GEANT, "
                "N=5000, c=50, x=25, origin 50 ms away) ===\n\n";
@@ -51,5 +53,5 @@ int main() {
                "the rate grows an increasing share of misses ride an "
                "in-flight fetch, cutting upstream traffic and tail "
                "latency)\n";
-  return 0;
+  return reporter.finish();
 }

@@ -6,6 +6,7 @@
 //      carries at realistic network sizes.
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "ccnopt/common/strings.hpp"
 #include "ccnopt/common/table.hpp"
 #include "ccnopt/model/exact.hpp"
@@ -13,6 +14,7 @@
 #include "ccnopt/popularity/zipf.hpp"
 
 int main() {
+  ccnopt::bench::BenchReporter reporter("ablation_approximation");
   using namespace ccnopt;
   using namespace ccnopt::model;
 
@@ -55,5 +57,5 @@ int main() {
          format_double(std::abs(lemma->ell_star - exact->ell_star), 4)});
   }
   root_table.print(std::cout);
-  return 0;
+  return reporter.finish();
 }

@@ -6,6 +6,7 @@
 // scheme must re-run its provisioning step.
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "ccnopt/common/strings.hpp"
 #include "ccnopt/common/table.hpp"
 #include "ccnopt/sim/network.hpp"
@@ -62,6 +63,7 @@ Row run(sim::LocalStoreMode mode, std::uint64_t reprovision_every,
 }  // namespace
 
 int main() {
+  ccnopt::bench::BenchReporter reporter("ablation_churn");
   std::cout << "=== Ablation: catalog churn (US-A, sliding Zipf window 2000 "
                "of 50000, x=100) ===\n\n";
   TextTable table({"local stores", "drift 1/req", "drift 1/10 req",
@@ -84,5 +86,5 @@ int main() {
                "frequency-ideal static stores hold up only while the drift "
                "is slow relative to the provisioning epoch; LRU locals "
                "degrade gracefully because admission follows the stream)\n";
-  return 0;
+  return reporter.finish();
 }

@@ -5,6 +5,7 @@
 // US-A with the same request stream across scenarios.
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "ccnopt/common/strings.hpp"
 #include "ccnopt/common/table.hpp"
 #include "ccnopt/sim/network.hpp"
@@ -44,6 +45,7 @@ Measurement measure(sim::CcnNetwork& network, std::uint64_t requests,
 }  // namespace
 
 int main() {
+  ccnopt::bench::BenchReporter reporter("ablation_failures");
   std::cout << "=== Ablation: router failures vs coordination level (US-A, "
                "N=20000, c=200, s=0.8) ===\n\n";
   sim::NetworkConfig config;
@@ -92,5 +94,5 @@ int main() {
   std::cout << "(higher coordination -> more unique contents lost per "
                "failure -> larger origin spike, but repair recovers nearly "
                "all of it by reassigning the pool over survivors)\n";
-  return 0;
+  return reporter.finish();
 }

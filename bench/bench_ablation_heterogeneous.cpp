@@ -9,11 +9,13 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "ccnopt/common/strings.hpp"
 #include "ccnopt/common/table.hpp"
 #include "ccnopt/model/heterogeneous.hpp"
 
 int main() {
+  ccnopt::bench::BenchReporter reporter("ablation_heterogeneous");
   using namespace ccnopt;
   using namespace ccnopt::model;
   const SystemParams homo = with_alpha(SystemParams::paper_defaults(), 1.0);
@@ -59,5 +61,5 @@ int main() {
   structure.print(std::cout);
   std::cout << "(equal local coverage: all spare capacity of large routers "
                "goes to coordination)\n";
-  return 0;
+  return reporter.finish();
 }

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "ccnopt/common/strings.hpp"
 #include "ccnopt/common/table.hpp"
 #include "ccnopt/sim/network.hpp"
@@ -13,6 +14,7 @@
 #include "ccnopt/topology/datasets.hpp"
 
 int main() {
+  ccnopt::bench::BenchReporter reporter("ablation_linkload");
   using namespace ccnopt;
   std::cout << "=== Ablation: per-link traffic vs coordination level (US-A, "
                "N=20000, c=200, s=0.8, 200k requests) ===\n\n";
@@ -62,5 +64,5 @@ int main() {
   std::cout << "\n(x = 0 funnels every miss toward the Seattle gateway; "
                "full coordination trades total traversals up but spreads "
                "them, cutting the hottest link's share)\n";
-  return 0;
+  return reporter.finish();
 }

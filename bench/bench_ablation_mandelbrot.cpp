@@ -4,12 +4,14 @@
 // CDF) re-optimizes l* as the plateau q grows.
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "ccnopt/common/strings.hpp"
 #include "ccnopt/common/table.hpp"
 #include "ccnopt/model/general.hpp"
 #include "ccnopt/popularity/mandelbrot.hpp"
 
 int main() {
+  ccnopt::bench::BenchReporter reporter("ablation_mandelbrot");
   using namespace ccnopt;
   using namespace ccnopt::model;
 
@@ -42,5 +44,5 @@ int main() {
   std::cout << "(a mild plateau barely moves the optimum — the paper's "
                "conclusions are robust; a catalog-scale plateau erodes the "
                "head mass caching feeds on and the gains collapse)\n";
-  return 0;
+  return reporter.finish();
 }

@@ -5,6 +5,7 @@
 // model omits.
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "ccnopt/cache/che.hpp"
 #include "ccnopt/common/strings.hpp"
 #include "ccnopt/common/table.hpp"
@@ -35,6 +36,7 @@ ccnopt::sim::SimReport run(ccnopt::sim::LocalStoreMode mode,
 }  // namespace
 
 int main() {
+  ccnopt::bench::BenchReporter reporter("ablation_policies");
   using namespace ccnopt;
   using sim::LocalStoreMode;
   std::cout << "=== Ablation: local store policies (US-A, N=20000, c=200, "
@@ -102,5 +104,5 @@ int main() {
   peer_table.print(std::cout);
   std::cout << "(non-coordinated stores replicate the same top contents, so "
                "peer lookup barely helps — the paper's Section II point)\n";
-  return 0;
+  return reporter.finish();
 }

@@ -7,9 +7,11 @@
 // also runs point-parallel on a hardware-sized ThreadPool; the serial and
 // parallel results are checked identical (the determinism contract) and
 // the wall-clock speedup is printed.
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "ccnopt/common/strings.hpp"
 #include "ccnopt/common/table.hpp"
 #include "ccnopt/experiments/sim_vs_model.hpp"
@@ -41,6 +43,7 @@ bool same_points(const ccnopt::experiments::SimVsModelResult& a,
 int main() {
   using namespace ccnopt;
   using Clock = std::chrono::steady_clock;
+  bench::BenchReporter reporter("ablation_sim_vs_model");
   runtime::ThreadPool pool;
   std::cout << "=== Ablation: analytical model vs discrete-event simulation "
                "===\n"
@@ -50,6 +53,9 @@ int main() {
   double serial_total_ms = 0.0;
   double parallel_total_ms = 0.0;
   bool all_identical = true;
+  double max_origin_err = 0.0;
+  double max_latency_rel_err = 0.0;
+  std::size_t topologies = 0;
   for (const topology::Graph& graph : topology::all_datasets()) {
     const auto serial_start = Clock::now();
     const experiments::SimVsModelResult serial =
@@ -81,6 +87,10 @@ int main() {
               << format_double(result.max_origin_load_abs_error, 4)
               << ", max latency rel error = "
               << format_percent(result.max_latency_rel_error) << "\n\n";
+    max_origin_err = std::max(max_origin_err, result.max_origin_load_abs_error);
+    max_latency_rel_err =
+        std::max(max_latency_rel_err, result.max_latency_rel_error);
+    ++topologies;
   }
   std::cout << "total sim wall-clock: serial "
             << format_double(serial_total_ms, 0) << " ms, parallel "
@@ -88,5 +98,12 @@ int main() {
             << format_double(serial_total_ms / parallel_total_ms, 2)
             << "x), serial/parallel results "
             << (all_identical ? "identical" : "DIVERGED") << "\n";
-  return all_identical ? 0 : 1;
+  reporter.add_timing_ms("sim_serial_ms", serial_total_ms);
+  reporter.add_timing_ms("sim_parallel_ms", parallel_total_ms);
+  reporter.set_output("topologies", topologies);
+  reporter.set_output("threads", pool.thread_count());
+  reporter.set_output("serial_parallel_identical", all_identical);
+  reporter.set_output("max_origin_load_abs_error", max_origin_err);
+  reporter.set_output("max_latency_rel_error", max_latency_rel_err);
+  return reporter.finish(all_identical ? 0 : 1);
 }

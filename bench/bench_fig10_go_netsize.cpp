@@ -7,7 +7,8 @@ int main(int argc, char** argv) {
   const auto base = model::SystemParams::paper_defaults();
   bench::print_params_banner(base, "Figure 10: G_O vs n",
                              "n in [10,500], alpha in {0.2..1.0}");
+  bench::BenchReporter reporter("fig10_go_netsize");
   const auto data = experiments::sweep_vs_routers(base);
-  return bench::run_figure_bench(data, experiments::Metric::kOriginGain, argc,
-                                 argv);
+  return bench::run_figure_bench(reporter, data,
+                                 experiments::Metric::kOriginGain, argc, argv);
 }

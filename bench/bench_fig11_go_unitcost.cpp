@@ -7,7 +7,8 @@ int main(int argc, char** argv) {
   const auto base = model::SystemParams::paper_defaults();
   bench::print_params_banner(base, "Figure 11: G_O vs w",
                              "w in [10,100] ms, alpha in {0.2..1.0}");
+  bench::BenchReporter reporter("fig11_go_unitcost");
   const auto data = experiments::sweep_vs_unit_cost(base);
-  return bench::run_figure_bench(data, experiments::Metric::kOriginGain, argc,
-                                 argv);
+  return bench::run_figure_bench(reporter, data,
+                                 experiments::Metric::kOriginGain, argc, argv);
 }

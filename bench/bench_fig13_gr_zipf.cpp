@@ -7,7 +7,8 @@ int main(int argc, char** argv) {
   const auto base = model::SystemParams::paper_defaults();
   bench::print_params_banner(base, "Figure 13: G_R vs s",
                              "s in [0.1,1) U (1,1.9], alpha in {0.2..1.0}");
+  bench::BenchReporter reporter("fig13_gr_zipf");
   const auto data = experiments::sweep_vs_zipf(base);
-  return bench::run_figure_bench(data, experiments::Metric::kRoutingGain,
-                                 argc, argv);
+  return bench::run_figure_bench(reporter, data,
+                                 experiments::Metric::kRoutingGain, argc, argv);
 }

@@ -4,12 +4,14 @@
 #include <fstream>
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "ccnopt/common/strings.hpp"
 #include "ccnopt/common/table.hpp"
 #include "ccnopt/topology/datasets.hpp"
 #include "ccnopt/topology/io.hpp"
 
 int main(int argc, char** argv) {
+  ccnopt::bench::BenchReporter reporter("fig3_abilene");
   using namespace ccnopt;
   const topology::Graph g = topology::abilene();
   std::cout << "=== Figure 3: the Abilene network (" << g.node_count()
@@ -25,11 +27,11 @@ int main(int argc, char** argv) {
     std::ofstream out(argv[1]);
     if (!out) {
       std::cerr << "cannot open " << argv[1] << "\n";
-      return 1;
+      return reporter.finish(1);
     }
     topology::write_dot(g, out);
     std::cout << "\nDOT written to " << argv[1]
               << " (render: neato -Tpng)\n";
   }
-  return 0;
+  return reporter.finish();
 }

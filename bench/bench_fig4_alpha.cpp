@@ -7,7 +7,8 @@ int main(int argc, char** argv) {
   const auto base = model::SystemParams::paper_defaults();
   bench::print_params_banner(base, "Figure 4: l* vs alpha",
                              "alpha in (0,1], gamma in {2,4,6,8,10}");
+  bench::BenchReporter reporter("fig4_alpha");
   const auto data = experiments::sweep_vs_alpha(base);
-  return bench::run_figure_bench(data, experiments::Metric::kEllStar, argc,
-                                 argv);
+  return bench::run_figure_bench(reporter, data, experiments::Metric::kEllStar,
+                                 argc, argv);
 }

@@ -8,7 +8,8 @@ int main(int argc, char** argv) {
   const auto base = model::SystemParams::paper_defaults();
   bench::print_params_banner(base, "Figure 5: l* vs s",
                              "s in [0.1,1) U (1,1.9], alpha in {0.2..1.0}");
+  bench::BenchReporter reporter("fig5_zipf");
   const auto data = experiments::sweep_vs_zipf(base);
-  return bench::run_figure_bench(data, experiments::Metric::kEllStar, argc,
-                                 argv);
+  return bench::run_figure_bench(reporter, data, experiments::Metric::kEllStar,
+                                 argc, argv);
 }

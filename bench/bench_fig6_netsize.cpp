@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   const auto base = model::SystemParams::paper_defaults();
   bench::print_params_banner(base, "Figure 6: l* vs n",
                              "n in [10,500], alpha in {0.2..1.0}");
+  bench::BenchReporter reporter("fig6_netsize");
 
   const auto serial_start = Clock::now();
   const auto serial = experiments::sweep_vs_routers(base);
@@ -43,6 +44,10 @@ int main(int argc, char** argv) {
 
   const double serial_ms = elapsed_ms(serial_start, serial_stop);
   const double parallel_ms = elapsed_ms(parallel_start, parallel_stop);
+  reporter.add_timing_ms("sweep_serial_ms", serial_ms);
+  reporter.add_timing_ms("sweep_parallel_ms", parallel_ms);
+  reporter.set_output("threads", pool.thread_count());
+  reporter.set_output("serial_parallel_identical", identical);
   std::cout << "sweep wall-clock: serial " << format_double(serial_ms, 1)
             << " ms, parallel " << format_double(parallel_ms, 1) << " ms ("
             << pool.thread_count() << " threads, speedup "
@@ -51,8 +56,8 @@ int main(int argc, char** argv) {
   if (!identical) {
     std::cerr << "determinism violation: serial and parallel sweeps "
                  "produced different CSV output\n";
-    return 1;
+    return reporter.finish(1);
   }
-  return bench::run_figure_bench(parallel, experiments::Metric::kEllStar,
-                                 argc, argv);
+  return bench::run_figure_bench(reporter, parallel,
+                                 experiments::Metric::kEllStar, argc, argv);
 }

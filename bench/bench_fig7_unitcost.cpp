@@ -6,7 +6,8 @@ int main(int argc, char** argv) {
   const auto base = model::SystemParams::paper_defaults();
   bench::print_params_banner(base, "Figure 7: l* vs w",
                              "w in [10,100] ms, alpha in {0.2..1.0}");
+  bench::BenchReporter reporter("fig7_unitcost");
   const auto data = experiments::sweep_vs_unit_cost(base);
-  return bench::run_figure_bench(data, experiments::Metric::kEllStar, argc,
-                                 argv);
+  return bench::run_figure_bench(reporter, data, experiments::Metric::kEllStar,
+                                 argc, argv);
 }

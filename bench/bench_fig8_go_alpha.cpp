@@ -6,7 +6,8 @@ int main(int argc, char** argv) {
   const auto base = model::SystemParams::paper_defaults();
   bench::print_params_banner(base, "Figure 8: G_O vs alpha",
                              "alpha in (0,1], gamma in {2,4,6,8,10}");
+  bench::BenchReporter reporter("fig8_go_alpha");
   const auto data = experiments::sweep_vs_alpha(base);
-  return bench::run_figure_bench(data, experiments::Metric::kOriginGain, argc,
-                                 argv);
+  return bench::run_figure_bench(reporter, data,
+                                 experiments::Metric::kOriginGain, argc, argv);
 }

@@ -7,7 +7,8 @@ int main(int argc, char** argv) {
   const auto base = model::SystemParams::paper_defaults();
   bench::print_params_banner(base, "Figure 9: G_O vs s",
                              "s in [0.1,1) U (1,1.9], alpha in {0.2..1.0}");
+  bench::BenchReporter reporter("fig9_go_zipf");
   const auto data = experiments::sweep_vs_zipf(base);
-  return bench::run_figure_bench(data, experiments::Metric::kOriginGain, argc,
-                                 argv);
+  return bench::run_figure_bench(reporter, data,
+                                 experiments::Metric::kOriginGain, argc, argv);
 }

@@ -4,12 +4,14 @@
 // controller (its per-epoch estimation error maps through these curves).
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "ccnopt/common/strings.hpp"
 #include "ccnopt/common/table.hpp"
 #include "ccnopt/model/robustness.hpp"
 #include "ccnopt/model/sensitivity.hpp"
 
 int main() {
+  ccnopt::bench::BenchReporter reporter("regret");
   using namespace ccnopt;
   using namespace ccnopt::model;
 
@@ -51,5 +53,5 @@ int main() {
                "underestimating s — believing demand flatter than it is — "
                "is the costlier direction, e.g. believing 0.5 against a "
                "true 1.5 costs ~59% while the reverse costs ~3%)\n";
-  return 0;
+  return reporter.finish();
 }

@@ -2,11 +2,13 @@
 // simulator (two {a,a,b} flows at R1/R2, origin behind R0).
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "ccnopt/common/strings.hpp"
 #include "ccnopt/common/table.hpp"
 #include "ccnopt/experiments/motivating.hpp"
 
 int main() {
+  ccnopt::bench::BenchReporter reporter("table1_motivating");
   using namespace ccnopt;
   std::cout << "=== Table I: coordinated vs non-coordinated strategies ===\n"
             << "(simulated: 3 routers, origin behind R0, flows {a,a,b} at "
@@ -28,5 +30,5 @@ int main() {
                  std::to_string(result.coordinated.coordination_messages),
                  "0 -> >=1 (ours: n*x=2)"});
   table.print(std::cout);
-  return 0;
+  return reporter.finish();
 }

@@ -3,11 +3,13 @@
 // paper's published values.
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "ccnopt/common/strings.hpp"
 #include "ccnopt/common/table.hpp"
 #include "ccnopt/experiments/tables.hpp"
 
 int main() {
+  ccnopt::bench::BenchReporter reporter("table3_topologies");
   using namespace ccnopt;
   const auto measured = experiments::table3_rows();
   const auto paper = experiments::paper_table3();
@@ -35,5 +37,5 @@ int main() {
                     format_double(paper[i].d1_minus_d0_hops, 4)});
   }
   table3.print(std::cout);
-  return 0;
+  return reporter.finish();
 }

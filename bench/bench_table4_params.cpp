@@ -3,12 +3,14 @@
 // coordination-cost amortization; see DESIGN.md "Substitutions").
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "ccnopt/common/strings.hpp"
 #include "ccnopt/common/table.hpp"
 #include "ccnopt/experiments/figures.hpp"
 #include "ccnopt/model/params.hpp"
 
 int main() {
+  ccnopt::bench::BenchReporter reporter("table4_params");
   using namespace ccnopt;
   const model::SystemParams p = model::SystemParams::paper_defaults();
   std::cout << "=== Table IV: system parameters used in the analysis ===\n\n";
@@ -40,5 +42,5 @@ int main() {
             << " requests/epoch (makes Lemma 2's b equal a at alpha = 0.5; "
                "the paper's Figure 4 is unreproducible without a common "
                "scale — see EXPERIMENTS.md)\n";
-  return 0;
+  return reporter.finish();
 }

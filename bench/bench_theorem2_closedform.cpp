@@ -6,11 +6,13 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "ccnopt/common/strings.hpp"
 #include "ccnopt/common/table.hpp"
 #include "ccnopt/model/optimizer.hpp"
 
 int main() {
+  ccnopt::bench::BenchReporter reporter("theorem2_closedform");
   using namespace ccnopt;
   using namespace ccnopt::model;
   const SystemParams base = with_alpha(SystemParams::paper_defaults(), 1.0);
@@ -48,5 +50,5 @@ int main() {
                    format_double(exact->ell_star, 10)});
   }
   scale.print(std::cout);
-  return 0;
+  return reporter.finish();
 }

@@ -1,15 +1,28 @@
 // Shared plumbing for the figure benches: prints the Table IV parameter
-// row, renders one metric of a sweep as an aligned table, and optionally
-// dumps the full-resolution CSV when a path is passed as argv[1].
+// row, renders one metric of a sweep as an aligned table, optionally dumps
+// the full-resolution CSV when a path is passed as argv[1], and records a
+// machine-readable BENCH_<name>.json (schema "ccnopt-bench-v1") holding
+// wall-clock timings, key outputs, and the observability registry
+// snapshots. The record lands in $CCNOPT_BENCH_DIR (default: the working
+// directory); tools/check_bench_json.py validates it.
 #pragma once
 
+#include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "ccnopt/experiments/figures.hpp"
 #include "ccnopt/experiments/report.hpp"
 #include "ccnopt/model/params.hpp"
+#include "ccnopt/obs/export.hpp"
+#include "ccnopt/obs/registry.hpp"
+#include "ccnopt/obs/span.hpp"
 
 namespace ccnopt::bench {
 
@@ -26,20 +39,112 @@ inline void print_params_banner(const model::SystemParams& p,
             << " | varied: " << varied << "\n\n";
 }
 
-inline int run_figure_bench(const experiments::FigureData& data,
+/// Collects timings and key outputs of one bench run and writes them as
+/// BENCH_<name>.json on finish(). Construction starts the total wall clock.
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  void add_timing_ms(const std::string& label, double ms) {
+    timings_[label] = ms;
+  }
+
+  void set_output(const std::string& key, const std::string& value) {
+    outputs_[key] = "\"" + obs::json_escape(value) + "\"";
+  }
+  void set_output(const std::string& key, const char* value) {
+    set_output(key, std::string(value));
+  }
+  void set_output(const std::string& key, bool value) {
+    outputs_[key] = value ? "true" : "false";
+  }
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  void set_output(const std::string& key, T value) {
+    outputs_[key] = std::to_string(static_cast<long long>(value));
+  }
+  template <typename T,
+            std::enable_if_t<std::is_floating_point_v<T>, int> = 0>
+  void set_output(const std::string& key, T value) {
+    outputs_[key] = obs::json_number(static_cast<double>(value));
+  }
+
+  /// Writes BENCH_<name>.json and returns `exit_code` (or 1 when the write
+  /// fails and the bench itself succeeded).
+  int finish(int exit_code = 0) {
+    const auto stop = std::chrono::steady_clock::now();
+    timings_["total_ms"] =
+        std::chrono::duration<double, std::milli>(stop - start_).count();
+    const char* dir = std::getenv("CCNOPT_BENCH_DIR");
+    const std::string path =
+        std::string(dir && *dir ? dir : ".") + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (out) write_json(out);
+    if (!out) {
+      std::cerr << "cannot write bench record " << path << "\n";
+      return exit_code == 0 ? 1 : exit_code;
+    }
+    std::cout << "bench record written to " << path << "\n";
+    return exit_code;
+  }
+
+ private:
+  void write_json(std::ostream& out) const {
+    out << "{\n  \"schema\": \"ccnopt-bench-v1\",\n  \"name\": \""
+        << obs::json_escape(name_) << "\",\n  \"timings_ms\": {";
+    bool first = true;
+    for (const auto& [label, ms] : timings_) {
+      out << (first ? "" : ",") << "\n    \"" << obs::json_escape(label)
+          << "\": " << obs::json_number(ms);
+      first = false;
+    }
+    out << "\n  },\n  \"outputs\": {";
+    first = true;
+    for (const auto& [key, rendered] : outputs_) {
+      out << (first ? "" : ",") << "\n    \"" << obs::json_escape(key)
+          << "\": " << rendered;
+      first = false;
+    }
+    out << "\n  },\n  \"registry\": ";
+    obs::write_registry_json(out, obs::metrics().snapshot(), 2);
+    out << ",\n  \"perf\": ";
+    obs::write_registry_json(out, obs::perf().snapshot(), 2);
+    out << ",\n  \"spans\": ";
+    obs::write_spans_json(out, obs::SpanProfiler::instance().snapshot(), 2);
+    out << "\n}\n";
+  }
+
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::map<std::string, double> timings_;
+  std::map<std::string, std::string> outputs_;  // key -> rendered JSON value
+};
+
+inline int run_figure_bench(BenchReporter& reporter,
+                            const experiments::FigureData& data,
                             experiments::Metric metric, int argc,
                             char** argv) {
   experiments::print_series_table(data, metric, std::cout);
+  std::size_t points = 0;
+  for (const auto& series : data.series) points += series.points.size();
+  reporter.set_output("figure_id", data.id);
+  reporter.set_output("metric", experiments::to_string(metric));
+  reporter.set_output("series", data.series.size());
+  reporter.set_output("points", points);
+  int code = 0;
   if (argc > 1) {
     std::ofstream csv(argv[1]);
     if (!csv) {
       std::cerr << "cannot open CSV path " << argv[1] << "\n";
-      return 1;
+      code = 1;
+    } else {
+      experiments::write_series_csv(data, csv);
+      std::cout << "\nfull-resolution CSV written to " << argv[1] << "\n";
     }
-    experiments::write_series_csv(data, csv);
-    std::cout << "\nfull-resolution CSV written to " << argv[1] << "\n";
   }
-  return 0;
+  return reporter.finish(code);
 }
 
 }  // namespace ccnopt::bench

@@ -1,13 +1,21 @@
 #include "ccnopt/common/logging.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <mutex>
 
 namespace ccnopt {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+// Flips once the level has been decided — either explicitly through
+// set_log_level or by the lazy CCNOPT_LOG_LEVEL lookup — so the env var
+// never overrides an explicit choice.
+std::atomic<bool> g_level_decided{false};
 
 // Serializes sink writes so worker threads (runtime::ThreadPool tasks) can
 // log without interleaving lines. The level check stays lock-free.
@@ -31,13 +39,65 @@ const char* tag(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
+void set_log_level(LogLevel level) {
+  g_level_decided.store(true);
+  g_level.store(level);
+}
+
 LogLevel log_level() { return g_level.load(); }
 
+LogLevel parse_log_level(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+void init_log_level_from_env() {
+  g_level_decided.store(true);
+  const char* value = std::getenv("CCNOPT_LOG_LEVEL");
+  if (value == nullptr || value[0] == '\0') return;
+  g_level.store(parse_log_level(value));
+}
+
+std::string format_log_timestamp(
+    std::chrono::system_clock::time_point when) {
+  using namespace std::chrono;
+  const auto since_epoch = when.time_since_epoch();
+  auto secs = duration_cast<seconds>(since_epoch);
+  auto millis = duration_cast<milliseconds>(since_epoch) - secs;
+  if (millis.count() < 0) {  // pre-epoch times still format sanely
+    secs -= seconds(1);
+    millis += seconds(1);
+  }
+  const std::time_t as_time_t = static_cast<std::time_t>(secs.count());
+  std::tm utc{};
+  gmtime_r(&as_time_t, &utc);
+  char buffer[96];  // worst-case snprintf bound for int-ranged fields
+  std::snprintf(buffer, sizeof(buffer),
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ", utc.tm_year + 1900,
+                utc.tm_mon + 1, utc.tm_mday, utc.tm_hour, utc.tm_min,
+                utc.tm_sec, static_cast<int>(millis.count()));
+  return buffer;
+}
+
 void log_message(LogLevel level, const std::string& message) {
+  if (!g_level_decided.load() && !g_level_decided.exchange(true)) {
+    init_log_level_from_env();
+  }
   if (level < g_level.load()) return;
+  const std::string timestamp =
+      format_log_timestamp(std::chrono::system_clock::now());
   const std::lock_guard<std::mutex> lock(g_sink_mutex);
-  std::fprintf(stderr, "[ccnopt %s] %s\n", tag(level), message.c_str());
+  std::fprintf(stderr, "[%s ccnopt %s] %s\n", timestamp.c_str(), tag(level),
+               message.c_str());
 }
 
 }  // namespace ccnopt

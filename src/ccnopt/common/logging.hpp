@@ -1,18 +1,34 @@
 // Leveled stderr logger. Experiments default to kInfo; tests silence it.
+// Lines carry an ISO-8601 UTC timestamp; the initial level can come from
+// the CCNOPT_LOG_LEVEL environment variable (debug|info|warn|error|off).
 #pragma once
 
+#include <chrono>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace ccnopt {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Process-wide minimum level; messages below it are dropped.
+/// Process-wide minimum level; messages below it are dropped. An explicit
+/// call wins over CCNOPT_LOG_LEVEL.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits `message` at `level` to stderr with a level tag.
+/// Parses a level name, case-insensitive ("debug", "info", "warn" or
+/// "warning", "error", "off"). Unrecognized input yields kInfo.
+LogLevel parse_log_level(std::string_view name);
+
+/// Applies CCNOPT_LOG_LEVEL if set; no-op otherwise. Runs automatically
+/// before the first message, but may be called again (e.g. after setenv).
+void init_log_level_from_env();
+
+/// "2026-08-06T12:34:56.789Z" — ISO-8601 UTC with millisecond precision.
+std::string format_log_timestamp(std::chrono::system_clock::time_point when);
+
+/// Emits `message` at `level` to stderr with a timestamp and level tag.
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {

@@ -1,9 +1,21 @@
 #include "ccnopt/numerics/minimize.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "ccnopt/obs/registry.hpp"
 
 namespace ccnopt::numerics {
 namespace {
+
+// Iteration counts are a pure function of the objective and options, so
+// they live in the deterministic obs::metrics() domain.
+void count_minimize(const char* name, int iterations) {
+  obs::metrics().incr(std::string("numerics.minimize.") + name + ".calls");
+  obs::metrics().incr(std::string("numerics.minimize.") + name + ".iterations",
+                      static_cast<std::uint64_t>(iterations < 0 ? 0 : iterations));
+}
 
 constexpr double kGolden = 0.6180339887498949;  // (sqrt(5) - 1) / 2
 
@@ -54,6 +66,7 @@ Expected<MinimizeResult> golden_section(const Objective& f, double lo,
   }
   const double x = (f1 <= f2) ? x1 : x2;
   const double fx = std::min(f1, f2);
+  count_minimize("golden", it);
   return pick_best(f, lo, hi, x, fx, it);
 }
 
@@ -130,6 +143,7 @@ Expected<MinimizeResult> brent_minimize(const Objective& f, double lo,
       }
     }
   }
+  count_minimize("brent", it);
   return pick_best(f, lo, hi, x, fx, it);
 }
 
@@ -152,6 +166,7 @@ Expected<MinimizeResult> grid_refine(const Objective& f, double lo, double hi,
       best_x = x;
     }
   }
+  obs::metrics().incr("numerics.minimize.grid.calls");
   const double refine_lo = std::max(lo, best_x - step);
   const double refine_hi = std::min(hi, best_x + step);
   auto refined = golden_section(f, refine_lo, refine_hi, options);

@@ -1,10 +1,28 @@
 #include "ccnopt/numerics/roots.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <string>
 #include <utility>
+
+#include "ccnopt/obs/registry.hpp"
 
 namespace ccnopt::numerics {
 namespace {
+
+// Root-finder usage counters land in the deterministic registry: call and
+// iteration counts are pure functions of the solver inputs.
+Expected<RootResult> count_root(const char* name,
+                                Expected<RootResult> result) {
+  obs::MetricsRegistry& registry = obs::metrics();
+  registry.incr(std::string("numerics.roots.") + name + ".calls");
+  if (result) {
+    registry.incr(std::string("numerics.roots.") + name + ".iterations",
+                  static_cast<std::uint64_t>(
+                      result->iterations < 0 ? 0 : result->iterations));
+  }
+  return result;
+}
 
 bool opposite_signs(double a, double b) {
   return (a <= 0.0 && b >= 0.0) || (a >= 0.0 && b <= 0.0);
@@ -17,10 +35,8 @@ Status bad_bracket(double lo, double hi, double flo, double fhi) {
                     ", f(hi)=" + std::to_string(fhi));
 }
 
-}  // namespace
-
-Expected<RootResult> bisect(const Fn& f, double lo, double hi,
-                            const RootOptions& options) {
+Expected<RootResult> bisect_impl(const Fn& f, double lo, double hi,
+                                 const RootOptions& options) {
   if (!(lo < hi)) {
     return Status(ErrorCode::kInvalidArgument, "bisect: lo must be < hi");
   }
@@ -49,8 +65,8 @@ Expected<RootResult> bisect(const Fn& f, double lo, double hi,
   return result;  // best effort after max_iterations
 }
 
-Expected<RootResult> brent(const Fn& f, double lo, double hi,
-                           const RootOptions& options) {
+Expected<RootResult> brent_impl(const Fn& f, double lo, double hi,
+                                const RootOptions& options) {
   if (!(lo < hi)) {
     return Status(ErrorCode::kInvalidArgument, "brent: lo must be < hi");
   }
@@ -116,9 +132,8 @@ Expected<RootResult> brent(const Fn& f, double lo, double hi,
   return RootResult{b, fb, options.max_iterations};
 }
 
-Expected<RootResult> newton_safeguarded(const Fn& f, const Fn& df, double lo,
-                                        double hi,
-                                        const RootOptions& options) {
+Expected<RootResult> newton_impl(const Fn& f, const Fn& df, double lo,
+                                 double hi, const RootOptions& options) {
   if (!(lo < hi)) {
     return Status(ErrorCode::kInvalidArgument, "newton: lo must be < hi");
   }
@@ -151,6 +166,24 @@ Expected<RootResult> newton_safeguarded(const Fn& f, const Fn& df, double lo,
     x = next;
   }
   return RootResult{x, f(x), options.max_iterations};
+}
+
+}  // namespace
+
+Expected<RootResult> bisect(const Fn& f, double lo, double hi,
+                            const RootOptions& options) {
+  return count_root("bisect", bisect_impl(f, lo, hi, options));
+}
+
+Expected<RootResult> brent(const Fn& f, double lo, double hi,
+                           const RootOptions& options) {
+  return count_root("brent", brent_impl(f, lo, hi, options));
+}
+
+Expected<RootResult> newton_safeguarded(const Fn& f, const Fn& df, double lo,
+                                        double hi,
+                                        const RootOptions& options) {
+  return count_root("newton", newton_impl(f, df, lo, hi, options));
 }
 
 Expected<std::pair<double, double>> expand_bracket(const Fn& f, double lo,

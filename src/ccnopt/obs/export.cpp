@@ -1,0 +1,210 @@
+#include "ccnopt/obs/export.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+
+namespace ccnopt::obs {
+namespace {
+
+std::string indent_of(int indent) { return std::string(static_cast<std::size_t>(indent), ' '); }
+
+void write_number_map_json(std::ostream& out,
+                           const std::map<std::string, std::uint64_t>& values,
+                           int indent) {
+  const std::string pad = indent_of(indent);
+  out << "{";
+  bool first = true;
+  for (const auto& [name, value] : values) {
+    out << (first ? "\n" : ",\n") << pad << "  \"" << json_escape(name)
+        << "\": " << value;
+    first = false;
+  }
+  out << (first ? "" : "\n" + pad) << "}";
+}
+
+void write_double_map_json(std::ostream& out,
+                           const std::map<std::string, double>& values,
+                           int indent) {
+  const std::string pad = indent_of(indent);
+  out << "{";
+  bool first = true;
+  for (const auto& [name, value] : values) {
+    out << (first ? "\n" : ",\n") << pad << "  \"" << json_escape(name)
+        << "\": " << json_number(value);
+    first = false;
+  }
+  out << (first ? "" : "\n" + pad) << "}";
+}
+
+void write_histogram_json(std::ostream& out, const Histogram& hist) {
+  out << "{\"bounds\": [";
+  for (std::size_t i = 0; i < hist.bounds().size(); ++i) {
+    out << (i == 0 ? "" : ", ") << json_number(hist.bounds()[i]);
+  }
+  out << "], \"counts\": [";
+  for (std::size_t i = 0; i < hist.counts().size(); ++i) {
+    out << (i == 0 ? "" : ", ") << hist.counts()[i];
+  }
+  out << "], \"count\": " << hist.count()
+      << ", \"sum\": " << json_number(hist.sum())
+      << ", \"min\": " << json_number(hist.min())
+      << ", \"max\": " << json_number(hist.max()) << "}";
+}
+
+void csv_row(std::ostream& out, const std::string& section,
+             const std::string& type, const std::string& name,
+             const std::string& key, const std::string& value) {
+  out << section << "," << type << "," << name << "," << key << "," << value
+      << "\n";
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      case '\r':
+        escaped += "\\r";
+        break;
+      case '\t':
+        escaped += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          escaped += "\\u00";
+          escaped += hex[(c >> 4) & 0xF];
+          escaped += hex[c & 0xF];
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  return escaped;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buffer[64];
+  const auto result =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  std::string text(buffer, result.ptr);
+  // to_chars may emit bare "1e+30"-style exponents, which are valid JSON;
+  // integral values come out without a decimal point ("5"), also valid.
+  return text;
+}
+
+void write_registry_json(std::ostream& out, const RegistrySnapshot& snap,
+                         int indent) {
+  const std::string pad = indent_of(indent);
+  out << "{\n" << pad << "  \"counters\": ";
+  write_number_map_json(out, snap.counters, indent + 2);
+  out << ",\n" << pad << "  \"gauges\": ";
+  write_double_map_json(out, snap.gauges, indent + 2);
+  out << ",\n" << pad << "  \"histograms\": {";
+  bool first = true;
+  for (const auto& [name, hist] : snap.histograms) {
+    out << (first ? "\n" : ",\n") << pad << "    \"" << json_escape(name)
+        << "\": ";
+    write_histogram_json(out, hist);
+    first = false;
+  }
+  out << (first ? "" : "\n" + pad + "  ") << "}\n" << pad << "}";
+}
+
+void write_registry_csv(std::ostream& out, const std::string& section,
+                        const RegistrySnapshot& snap) {
+  for (const auto& [name, value] : snap.counters) {
+    csv_row(out, section, "counter", name, "", std::to_string(value));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    csv_row(out, section, "gauge", name, "", json_number(value));
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    for (std::size_t i = 0; i < hist.counts().size(); ++i) {
+      const std::string key =
+          i < hist.bounds().size() ? "le_" + json_number(hist.bounds()[i])
+                                   : "le_inf";
+      csv_row(out, section, "histogram", name, key,
+              std::to_string(hist.counts()[i]));
+    }
+    csv_row(out, section, "histogram", name, "count",
+            std::to_string(hist.count()));
+    csv_row(out, section, "histogram", name, "sum", json_number(hist.sum()));
+    csv_row(out, section, "histogram", name, "min", json_number(hist.min()));
+    csv_row(out, section, "histogram", name, "max", json_number(hist.max()));
+  }
+}
+
+void write_spans_json(std::ostream& out,
+                      const std::vector<SpanAggregate>& spans, int indent) {
+  const std::string pad = indent_of(indent);
+  out << "[";
+  bool first = true;
+  for (const SpanAggregate& span : spans) {
+    out << (first ? "\n" : ",\n") << pad << "  {\"path\": \""
+        << json_escape(span.path) << "\", \"count\": " << span.count
+        << ", \"wall_ms\": "
+        << json_number(static_cast<double>(span.wall_ns) / 1e6)
+        << ", \"cpu_ms\": "
+        << json_number(static_cast<double>(span.cpu_ns) / 1e6) << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n" + pad) << "]";
+}
+
+void write_spans_csv(std::ostream& out,
+                     const std::vector<SpanAggregate>& spans) {
+  for (const SpanAggregate& span : spans) {
+    csv_row(out, "spans", "span", span.path, "count",
+            std::to_string(span.count));
+    csv_row(out, "spans", "span", span.path, "wall_ms",
+            json_number(static_cast<double>(span.wall_ns) / 1e6));
+    csv_row(out, "spans", "span", span.path, "cpu_ms",
+            json_number(static_cast<double>(span.cpu_ns) / 1e6));
+  }
+}
+
+void export_snapshot(std::ostream& out, const ExportOptions& options) {
+  if (options.format == ExportFormat::kJson) {
+    out << "{\n  \"schema\": \"ccnopt-obs-v1\"";
+    if (options.include_metrics) {
+      out << ",\n  \"metrics\": ";
+      write_registry_json(out, metrics().snapshot(), 2);
+    }
+    if (options.include_perf) {
+      out << ",\n  \"perf\": ";
+      write_registry_json(out, perf().snapshot(), 2);
+    }
+    if (options.include_spans) {
+      out << ",\n  \"spans\": ";
+      write_spans_json(out, SpanProfiler::instance().snapshot(), 2);
+    }
+    out << "\n}\n";
+    return;
+  }
+  out << "section,type,name,key,value\n";
+  if (options.include_metrics) {
+    write_registry_csv(out, "metrics", metrics().snapshot());
+  }
+  if (options.include_perf) {
+    write_registry_csv(out, "perf", perf().snapshot());
+  }
+  if (options.include_spans) {
+    write_spans_csv(out, SpanProfiler::instance().snapshot());
+  }
+}
+
+}  // namespace ccnopt::obs

@@ -1,0 +1,63 @@
+// Serialization of observability state: registry snapshots and span
+// aggregates as JSON or CSV, and the common export_snapshot() entry point
+// used by the CLI flags and the bench JSON records.
+//
+// All writers are deterministic for deterministic input: maps are ordered,
+// spans are sorted by path, and doubles are rendered by std::to_chars
+// (shortest round-trip form), so equal state always serializes to equal
+// bytes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ccnopt/obs/registry.hpp"
+#include "ccnopt/obs/span.hpp"
+
+namespace ccnopt::obs {
+
+enum class ExportFormat { kJson, kCsv };
+
+struct ExportOptions {
+  ExportFormat format = ExportFormat::kJson;
+  /// The deterministic domain: obs::metrics(). Byte-identical for a given
+  /// seed regardless of thread count.
+  bool include_metrics = true;
+  /// The performance domain: obs::perf() (scheduling-dependent).
+  bool include_perf = false;
+  /// Span profiler aggregates (wall/CPU time; nondeterministic).
+  bool include_spans = false;
+};
+
+/// Writes the selected sections of the process-wide observability state.
+/// JSON: {"schema":"ccnopt-obs-v1","metrics":{...},"perf":{...},
+/// "spans":[...]}. CSV: "section,type,name,key,value" rows.
+void export_snapshot(std::ostream& out, const ExportOptions& options = {});
+
+/// JSON value escaping per RFC 8259.
+std::string json_escape(std::string_view text);
+
+/// Shortest round-trip decimal form of a finite double ("1.5", "0.25");
+/// non-finite values render as 0.
+std::string json_number(double value);
+
+/// One registry snapshot as a JSON object {"counters":{...},"gauges":{...},
+/// "histograms":{...}}; `indent` spaces prefix every emitted line.
+void write_registry_json(std::ostream& out, const RegistrySnapshot& snap,
+                         int indent = 0);
+
+/// Registry snapshot as CSV rows "section,type,name,key,value".
+void write_registry_csv(std::ostream& out, const std::string& section,
+                        const RegistrySnapshot& snap);
+
+/// Span aggregates as a JSON array of {path,count,wall_ms,cpu_ms}.
+void write_spans_json(std::ostream& out,
+                      const std::vector<SpanAggregate>& spans, int indent = 0);
+
+/// Span aggregates as CSV rows "spans,span,<path>,<field>,<value>".
+void write_spans_csv(std::ostream& out,
+                     const std::vector<SpanAggregate>& spans);
+
+}  // namespace ccnopt::obs

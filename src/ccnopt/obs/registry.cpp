@@ -1,0 +1,196 @@
+#include "ccnopt/obs/registry.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "ccnopt/common/assert.hpp"
+
+namespace ccnopt::obs {
+namespace {
+
+std::uint64_t next_registry_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1);
+}
+
+// Per-thread shard cache, keyed by registry id (not address, so a registry
+// allocated at a reused address never inherits a stale shard).
+thread_local std::unordered_map<std::uint64_t, void*> t_shards;
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  CCNOPT_EXPECTS(!bounds_.empty());
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    CCNOPT_EXPECTS(bounds_[i - 1] < bounds_[i]);
+  }
+}
+
+void Histogram::observe(double value) {
+  CCNOPT_EXPECTS(!bounds_.empty());
+  CCNOPT_EXPECTS(std::isfinite(value));
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_fp_ += std::llround(value * kSumScale);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (bounds_.empty()) {
+    *this = other;
+    return;
+  }
+  CCNOPT_EXPECTS(bounds_ == other.bounds_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_fp_ += other.sum_fp_;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_fp_ = 0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+MetricsRegistry::MetricsRegistry() : id_(next_registry_id()) {}
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() const {
+  const auto it = t_shards.find(id_);
+  if (it != t_shards.end()) return *static_cast<Shard*>(it->second);
+  auto shard = std::make_unique<Shard>();
+  Shard* raw = shard.get();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shards_.push_back(std::move(shard));
+  }
+  t_shards.emplace(id_, raw);
+  return *raw;
+}
+
+void MetricsRegistry::incr(const std::string& name, std::uint64_t delta) {
+  Shard& shard = local_shard();
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.counters[name] += delta;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::define_histogram(const std::string& name,
+                                       std::vector<double> bounds) {
+  CCNOPT_EXPECTS(!bounds.empty());
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histogram_bounds_.find(name);
+  if (it != histogram_bounds_.end()) {
+    CCNOPT_EXPECTS(it->second == bounds);
+    return;
+  }
+  histogram_bounds_.emplace(name, std::move(bounds));
+}
+
+std::vector<double> MetricsRegistry::bounds_for(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histogram_bounds_.find(name);
+  CCNOPT_EXPECTS(it != histogram_bounds_.end());
+  return it->second;
+}
+
+void MetricsRegistry::observe(const std::string& name, double value) {
+  Shard& shard = local_shard();
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.histograms.find(name);
+    if (it != shard.histograms.end()) {
+      it->second.observe(value);
+      return;
+    }
+  }
+  // First observation of this name on this thread: fetch the bounds (never
+  // while holding the shard mutex — lock order is registry before shard).
+  Histogram fresh(bounds_for(name));
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.histograms.emplace(name, std::move(fresh)).first->second.observe(value);
+}
+
+void MetricsRegistry::merge_histogram(const std::string& name,
+                                      const Histogram& h) {
+  CCNOPT_EXPECTS(!h.bounds().empty());
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = histogram_bounds_.find(name);
+    if (it == histogram_bounds_.end()) {
+      histogram_bounds_.emplace(name, h.bounds());
+    } else {
+      CCNOPT_EXPECTS(it->second == h.bounds());
+    }
+  }
+  Shard& shard = local_shard();
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.histograms[name].merge(h);
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  RegistrySnapshot snap;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  snap.gauges = gauges_;
+  for (const auto& [name, bounds] : histogram_bounds_) {
+    snap.histograms.emplace(name, Histogram(bounds));
+  }
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    for (const auto& [name, value] : shard->counters) {
+      snap.counters[name] += value;
+    }
+    for (const auto& [name, hist] : shard->histograms) {
+      snap.histograms[name].merge(hist);
+    }
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    shard->counters.clear();
+    shard->histograms.clear();
+  }
+  gauges_.clear();
+  histogram_bounds_.clear();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+MetricsRegistry& perf() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+}  // namespace ccnopt::obs

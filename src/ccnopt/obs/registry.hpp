@@ -1,0 +1,138 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms.
+//
+// Recording is sharded per thread: each (thread, registry) pair owns a
+// private shard guarded by its own mutex, so ThreadPool workers never
+// contend with each other — only a snapshot() briefly locks the shards one
+// by one to merge them. Merges are exact and order-independent by
+// construction: counters and bucket counts are integer sums, min/max are
+// order-free, and histogram value sums accumulate in fixed point (integer
+// micro-units) instead of floating point, so a merged snapshot is
+// bit-identical no matter how work was distributed across threads. That
+// property is what lets `--metrics-out` promise byte-identical output for
+// any --threads value.
+//
+// Two process-wide instances exist with distinct determinism contracts:
+//   obs::metrics() — the deterministic domain. Everything recorded here
+//     must be a pure function of seeds and inputs (request counts, tier
+//     splits, solver iterations). Exported by `--metrics-out`.
+//   obs::perf()    — the performance domain. Scheduling- and timing-
+//     dependent values (queue depths, task counts per pool). Exported by
+//     `--profile-out`, never mixed into deterministic output.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ccnopt::obs {
+
+/// Fixed-bucket histogram value type, usable standalone (e.g. accumulated
+/// locally in a hot loop and merged into a registry once per run).
+///
+/// Bucket i counts observations v <= bounds[i]; one implicit overflow
+/// bucket follows the last bound. The running sum is kept in fixed point
+/// (micro-units, i.e. 1e-6 resolution) so that merging histograms is exact
+/// integer arithmetic: any grouping of the same observations produces the
+/// same sum bit-for-bit.
+class Histogram {
+ public:
+  Histogram() = default;
+  /// Requires non-empty, strictly ascending bounds.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value);
+  /// Adds `other`'s observations; bounds must match (or this histogram
+  /// must be default-constructed, in which case it adopts them).
+  void merge(const Histogram& other);
+  /// Zeroes all observations, keeping the bucket bounds.
+  void reset();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size bounds().size() + 1 (last = overflow).
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::uint64_t count() const { return count_; }
+  /// Sum of observations at 1e-6 resolution (exact across merges).
+  double sum() const { return static_cast<double>(sum_fp_) / kSumScale; }
+  /// Smallest / largest observation; 0 when empty.
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  static constexpr double kSumScale = 1e6;
+
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::int64_t sum_fp_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One merged view of a registry. Maps are ordered so exports are stable.
+struct RegistrySnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Adds `delta` to the named counter in this thread's shard.
+  void incr(const std::string& name, std::uint64_t delta = 1);
+
+  /// Sets a gauge (registry-global, last write wins). Gauges are not
+  /// sharded; deterministic exports should only set them from code that
+  /// runs at a deterministic point (e.g. the reducing thread).
+  void set_gauge(const std::string& name, double value);
+
+  /// Registers a histogram's bucket bounds. Idempotent; re-defining with
+  /// different bounds is a contract violation. Must precede observe().
+  void define_histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Records one observation into the named (defined) histogram.
+  void observe(const std::string& name, double value);
+
+  /// Merges a locally accumulated histogram into the registry; defines the
+  /// name with `h`'s bounds on first use.
+  void merge_histogram(const std::string& name, const Histogram& h);
+
+  /// Merged view across all shards. Defined-but-unobserved histograms
+  /// appear with zero counts so the export schema is run-independent.
+  RegistrySnapshot snapshot() const;
+
+  /// Clears all counters, gauges, observations, and histogram definitions.
+  void reset();
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<std::string, std::uint64_t> counters;
+    std::unordered_map<std::string, Histogram> histograms;
+  };
+
+  Shard& local_shard() const;
+  std::vector<double> bounds_for(const std::string& name) const;
+
+  const std::uint64_t id_;  // keys the thread-local shard cache
+  mutable std::mutex mutex_;  // guards shards_ list, gauges_, bounds_
+  mutable std::vector<std::unique_ptr<Shard>> shards_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, std::vector<double>> histogram_bounds_;
+};
+
+/// The deterministic-domain registry (seed-determined quantities only).
+MetricsRegistry& metrics();
+
+/// The performance-domain registry (timing/scheduling-dependent values).
+MetricsRegistry& perf();
+
+}  // namespace ccnopt::obs

@@ -1,0 +1,95 @@
+// Phase profiler: RAII ScopedSpan timers with per-thread parent/child
+// nesting, aggregated per label path.
+//
+// Spans opened on the same thread nest: a span opened while another is
+// active records under "parent/child". Nesting is per-thread by design —
+// a span opened on a ThreadPool worker starts a fresh root there (cross-
+// thread parentage would need timestamps or ids that break determinism).
+//
+// Aggregation is sharded per thread like the metrics registry, so workers
+// record without contending; snapshot() merges counts and wall/CPU totals
+// per path. Wall and CPU times are inherently nondeterministic, so span
+// data belongs to the performance domain: it is exported by
+// `--profile-out` and bench JSON, never by `--metrics-out`.
+#pragma once
+
+#include <cstdint>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ccnopt::obs {
+
+/// Aggregated totals for one label path.
+struct SpanAggregate {
+  std::string path;  // "parent/child/..." (single label for roots)
+  std::uint64_t count = 0;
+  std::int64_t wall_ns = 0;
+  std::int64_t cpu_ns = 0;
+};
+
+class ScopedSpan;
+
+class SpanProfiler {
+ public:
+  static SpanProfiler& instance();
+
+  SpanProfiler(const SpanProfiler&) = delete;
+  SpanProfiler& operator=(const SpanProfiler&) = delete;
+
+  /// Merged per-path aggregates across all threads, sorted by path.
+  std::vector<SpanAggregate> snapshot() const;
+
+  /// Drops all aggregates (open spans still record on close).
+  void reset();
+
+ private:
+  friend class ScopedSpan;
+
+  struct Cell {
+    std::uint64_t count = 0;
+    std::int64_t wall_ns = 0;
+    std::int64_t cpu_ns = 0;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<std::string, Cell> cells;
+  };
+
+  SpanProfiler() = default;
+  Shard& local_shard() const;
+  void record(const std::string& path, std::int64_t wall_ns,
+              std::int64_t cpu_ns);
+
+  mutable std::mutex mutex_;
+  mutable std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Times a scope and records it under the active span path on this thread.
+/// Labels should be short dotted identifiers ("sim.replay") and must not
+/// contain '/', which joins path segments.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view label);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Innermost open span on the calling thread, or nullptr.
+  static const ScopedSpan* current();
+
+ private:
+  std::string path_;
+  ScopedSpan* parent_;
+  std::chrono::steady_clock::time_point wall_start_;
+  std::int64_t cpu_start_ns_;
+};
+
+}  // namespace ccnopt::obs

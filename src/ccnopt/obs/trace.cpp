@@ -1,0 +1,44 @@
+#include "ccnopt/obs/trace.hpp"
+
+#include <ostream>
+
+#include "ccnopt/common/assert.hpp"
+#include "ccnopt/common/random.hpp"
+#include "ccnopt/obs/export.hpp"
+
+namespace ccnopt::obs {
+
+bool TraceSampler::should_sample(std::uint64_t request_index) const {
+  CCNOPT_EXPECTS(enabled());
+  if (every_k_ == 1) return true;
+  return derive_seed(seed_, request_index) % every_k_ == 0;
+}
+
+void write_traces_json(std::ostream& out, const TraceBuffer& traces) {
+  out << "{\n  \"schema\": \"ccnopt-trace-v1\",\n  \"events\": [";
+  bool first = true;
+  for (const TraceEvent& event : traces) {
+    out << (first ? "\n" : ",\n") << "    {\"replication\": "
+        << event.replication << ", \"request\": " << event.request_index
+        << ", \"router\": " << event.router
+        << ", \"content\": " << event.content << ", \"tier\": \""
+        << json_escape(event.tier) << "\", \"hops\": " << event.hops
+        << ", \"served_by\": " << event.served_by << ", \"latency_ms\": "
+        << json_number(event.latency_ms) << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "]\n}\n";
+}
+
+void write_traces_csv(std::ostream& out, const TraceBuffer& traces) {
+  out << "replication,request,router,content,tier,hops,served_by,"
+         "latency_ms\n";
+  for (const TraceEvent& event : traces) {
+    out << event.replication << "," << event.request_index << ","
+        << event.router << "," << event.content << "," << event.tier << ","
+        << event.hops << "," << event.served_by << ","
+        << json_number(event.latency_ms) << "\n";
+  }
+}
+
+}  // namespace ccnopt::obs

@@ -1,0 +1,59 @@
+// Request tracing with deterministic 1-in-k sampling.
+//
+// The sampling decision for request i is a pure function of (seed, i) —
+// one O(1) splitmix64 draw via derive_seed — so the set of sampled
+// requests is fixed by the seed alone: the same requests are traced
+// whether the run executes on 1 thread or 8, and trace files diff cleanly
+// across runs. Buffers are collected per simulation (single-threaded) and
+// concatenated in replication order by the runner, so serialized traces
+// are byte-identical for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ccnopt::obs {
+
+/// One sampled request: where it entered, what it asked for, and how the
+/// three-tier serve path resolved it.
+struct TraceEvent {
+  std::uint32_t replication = 0;   // 0 for single runs
+  std::uint64_t request_index = 0;  // global emission index within the run
+  std::uint32_t router = 0;         // first-hop router
+  std::uint64_t content = 0;
+  std::string tier;                 // "local" | "network" | "origin"
+  std::uint32_t hops = 0;
+  std::uint32_t served_by = 0;
+  double latency_ms = 0.0;
+};
+
+using TraceBuffer = std::vector<TraceEvent>;
+
+/// Deterministic 1-in-k sampler. k = 0 disables sampling; k = 1 samples
+/// every request.
+class TraceSampler {
+ public:
+  TraceSampler() = default;
+  TraceSampler(std::uint64_t seed, std::uint64_t every_k)
+      : seed_(seed), every_k_(every_k) {}
+
+  bool enabled() const { return every_k_ > 0; }
+
+  /// True when request `request_index` is in the sample. Pure in
+  /// (seed, request_index): independent of threads, time, and call order.
+  bool should_sample(std::uint64_t request_index) const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::uint64_t every_k_ = 0;
+};
+
+/// JSON: {"schema":"ccnopt-trace-v1","events":[...]}.
+void write_traces_json(std::ostream& out, const TraceBuffer& traces);
+
+/// CSV with a fixed header row; one line per event.
+void write_traces_csv(std::ostream& out, const TraceBuffer& traces);
+
+}  // namespace ccnopt::obs

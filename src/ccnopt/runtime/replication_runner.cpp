@@ -3,6 +3,8 @@
 #include "ccnopt/common/assert.hpp"
 #include "ccnopt/common/random.hpp"
 #include "ccnopt/numerics/stats.hpp"
+#include "ccnopt/obs/registry.hpp"
+#include "ccnopt/obs/span.hpp"
 #include "ccnopt/runtime/parallel.hpp"
 
 namespace ccnopt::runtime {
@@ -27,16 +29,29 @@ ReplicationSummary ReplicationRunner::run(const topology::Graph& graph,
                                           const sim::SimConfig& base,
                                           std::size_t replications) const {
   CCNOPT_EXPECTS(replications >= 1);
+  const obs::ScopedSpan span("replication.run");
+  obs::metrics().incr("sim.replication_batches");
   ReplicationSummary summary;
   summary.master_seed = base.seed;
   summary.reports.resize(replications);
+  std::vector<obs::TraceBuffer> trace_slots(replications);
   parallel_for(pool_, replications, [&](std::size_t i) {
+    const obs::ScopedSpan sim_span("replication.sim");
     sim::SimConfig config = base;
     config.seed = derive_seed(base.seed, i);
     config.network.seed = derive_seed(config.seed, 1);
     sim::Simulation simulation(graph, config);
     summary.reports[i] = simulation.run();
+    if (base.trace_sample_k > 0) trace_slots[i] = simulation.traces();
   });
+  // Concatenate in replication order so the merged buffer is independent
+  // of worker scheduling.
+  for (std::size_t i = 0; i < replications; ++i) {
+    for (obs::TraceEvent event : trace_slots[i]) {
+      event.replication = static_cast<std::uint32_t>(i);
+      summary.traces.push_back(event);
+    }
+  }
   summary.mean_latency_ms =
       summarize(summary.reports, &sim::SimReport::mean_latency_ms);
   summary.origin_load = summarize(summary.reports, &sim::SimReport::origin_load);

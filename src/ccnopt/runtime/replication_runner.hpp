@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "ccnopt/obs/trace.hpp"
 #include "ccnopt/runtime/thread_pool.hpp"
 #include "ccnopt/sim/simulation.hpp"
 #include "ccnopt/topology/graph.hpp"
@@ -28,6 +29,11 @@ struct MetricSummary {
 struct ReplicationSummary {
   std::uint64_t master_seed = 0;
   std::vector<sim::SimReport> reports;  // one per replication, in order
+  /// Sampled request traces concatenated in replication order, with each
+  /// event's `replication` field set to its replication index. Empty unless
+  /// base.trace_sample_k > 0. Replication order (not completion order), so
+  /// the buffer is bit-identical regardless of thread count.
+  obs::TraceBuffer traces;
   MetricSummary mean_latency_ms;
   MetricSummary origin_load;
   MetricSummary local_fraction;

@@ -1,5 +1,7 @@
 #include "ccnopt/runtime/sweep_runner.hpp"
 
+#include "ccnopt/obs/registry.hpp"
+#include "ccnopt/obs/span.hpp"
 #include "ccnopt/runtime/parallel.hpp"
 
 namespace ccnopt::runtime {
@@ -7,6 +9,9 @@ namespace ccnopt::runtime {
 Expected<std::vector<model::SweepPoint>> SweepRunner::run(
     const model::SystemParams& base, model::SweepParameter parameter,
     const std::vector<double>& values) const {
+  const obs::ScopedSpan span("sweep.run");
+  obs::metrics().incr("model.sweep.runs");
+  obs::metrics().incr("model.sweep.points", values.size());
   std::vector<model::SweepPointOutcome> outcomes(values.size());
   // Root-finding cost varies across the grid (e.g. near s = 1), so chunk
   // finer than one-per-worker to keep the pool busy.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ccnopt/common/assert.hpp"
+#include "ccnopt/obs/registry.hpp"
 
 namespace ccnopt::runtime {
 
@@ -22,11 +23,35 @@ ThreadPool::~ThreadPool() {
   work_available_.notify_all();
   for (std::thread& worker : workers_) worker.join();
   CCNOPT_ENSURES(queue_.empty());
+  // Workers are joined: the accounting fields are stable without the lock.
+  obs::MetricsRegistry& registry = obs::perf();
+  registry.incr("runtime.pool.pools");
+  registry.incr("runtime.pool.tasks_submitted", tasks_submitted_);
+  registry.incr("runtime.pool.tasks_executed", tasks_executed_);
+  registry.set_gauge("runtime.pool.last_thread_count",
+                     static_cast<double>(workers_.size()));
+  registry.set_gauge("runtime.pool.last_max_queue_depth",
+                     static_cast<double>(max_queue_depth_));
 }
 
 std::size_t ThreadPool::pending() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();
+}
+
+std::uint64_t ThreadPool::tasks_submitted() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_submitted_;
+}
+
+std::uint64_t ThreadPool::tasks_executed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_executed_;
+}
+
+std::size_t ThreadPool::max_queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return max_queue_depth_;
 }
 
 std::size_t ThreadPool::default_thread_count() {
@@ -38,6 +63,8 @@ void ThreadPool::enqueue(std::function<void()> job) {
     const std::lock_guard<std::mutex> lock(mutex_);
     CCNOPT_EXPECTS(accepting_);
     queue_.push_back(std::move(job));
+    ++tasks_submitted_;
+    max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
   }
   work_available_.notify_one();
 }
@@ -53,6 +80,7 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;
       job = std::move(queue_.front());
       queue_.pop_front();
+      ++tasks_executed_;
     }
     job();  // packaged_task captures any exception for the future
   }

@@ -10,6 +10,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -39,6 +40,16 @@ class ThreadPool {
   /// Tasks queued but not yet picked up by a worker.
   std::size_t pending() const;
 
+  // Lifetime accounting, maintained under the queue mutex (no extra
+  // synchronization cost) and flushed to the obs::perf() registry by the
+  // destructor. Task counts depend on chunking (and therefore the thread
+  // count), and queue depth on scheduling, so none of this belongs in the
+  // deterministic obs::metrics() domain.
+  std::uint64_t tasks_submitted() const;
+  std::uint64_t tasks_executed() const;
+  /// High-water mark of the queue length observed at enqueue time.
+  std::size_t max_queue_depth() const;
+
   /// Enqueues `fn` and returns a future for its result. If `fn` throws,
   /// the exception is captured and rethrown from future::get().
   template <typename Fn>
@@ -62,6 +73,9 @@ class ThreadPool {
   std::condition_variable work_available_;
   std::deque<std::function<void()>> queue_;
   bool accepting_ = true;  // flips when the destructor begins
+  std::uint64_t tasks_submitted_ = 0;
+  std::uint64_t tasks_executed_ = 0;
+  std::size_t max_queue_depth_ = 0;
   std::vector<std::thread> workers_;
 };
 

@@ -1,6 +1,7 @@
 #include "ccnopt/sim/coordinator.hpp"
 
 #include "ccnopt/common/assert.hpp"
+#include "ccnopt/obs/registry.hpp"
 
 namespace ccnopt::sim {
 
@@ -25,6 +26,8 @@ Coordinator::Assignment Coordinator::assign(cache::ContentId first_rank,
     assignment.per_router[router_index].push_back(content);
   }
   assignment.messages = total;  // one placement message per content
+  obs::metrics().incr("sim.coordinator.assignments");
+  obs::metrics().incr("sim.coordinator.placements", total);
   return assignment;
 }
 
@@ -51,6 +54,8 @@ Coordinator::Assignment Coordinator::assign_weighted(
     cursor = (cursor + 1) % n;
   }
   assignment.messages = total;
+  obs::metrics().incr("sim.coordinator.assignments");
+  obs::metrics().incr("sim.coordinator.placements", total);
   return assignment;
 }
 

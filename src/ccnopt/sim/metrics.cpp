@@ -18,6 +18,13 @@ const char* to_string(ServeTier tier) {
   return "unknown";
 }
 
+std::vector<double> MetricsCollector::latency_bucket_bounds() {
+  return {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0};
+}
+
+MetricsCollector::MetricsCollector()
+    : latency_hist_(latency_bucket_bounds()) {}
+
 void MetricsCollector::record(ServeTier tier, double latency_ms,
                               std::uint32_t hops) {
   CCNOPT_EXPECTS(latency_ms >= 0.0);
@@ -26,9 +33,22 @@ void MetricsCollector::record(ServeTier tier, double latency_ms,
   const auto index = static_cast<std::size_t>(tier);
   tier_latency_[index].add(latency_ms);
   ++tier_counts_[index];
+  latency_hist_.observe(latency_ms);
 }
 
-void MetricsCollector::reset() { *this = MetricsCollector{}; }
+void MetricsCollector::reset() {
+  // Field-wise so every accumulator is provably covered; a new field added
+  // without a matching line here should fail the regression test in
+  // test_sim_metrics.cpp.
+  latency_ = numerics::RunningStats{};
+  hops_ = numerics::RunningStats{};
+  for (numerics::RunningStats& stats : tier_latency_) {
+    stats = numerics::RunningStats{};
+  }
+  for (std::uint64_t& count : tier_counts_) count = 0;
+  coordination_messages_ = 0;
+  latency_hist_.reset();
+}
 
 std::uint64_t MetricsCollector::total_requests() const {
   return tier_counts_[0] + tier_counts_[1] + tier_counts_[2];

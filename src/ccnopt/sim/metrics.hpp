@@ -5,8 +5,10 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <vector>
 
 #include "ccnopt/numerics/stats.hpp"
+#include "ccnopt/obs/registry.hpp"
 
 namespace ccnopt::sim {
 
@@ -18,10 +20,15 @@ const char* to_string(ServeTier tier);
 
 class MetricsCollector {
  public:
+  MetricsCollector();
+
   void record(ServeTier tier, double latency_ms, std::uint32_t hops);
   void record_coordination_messages(std::uint64_t count) {
     coordination_messages_ += count;
   }
+  /// Returns the collector to its freshly constructed state — every
+  /// accumulator is cleared, including coordination_messages_ and the
+  /// latency histogram.
   void reset();
 
   std::uint64_t total_requests() const;
@@ -43,12 +50,21 @@ class MetricsCollector {
     return coordination_messages_;
   }
 
+  /// Fixed-bucket latency distribution accumulated by record(); merged
+  /// into the obs::metrics() registry once per simulation run so the hot
+  /// path never touches the registry.
+  const obs::Histogram& latency_histogram() const { return latency_hist_; }
+
+  /// Upper bucket bounds (ms) of latency_histogram().
+  static std::vector<double> latency_bucket_bounds();
+
  private:
   numerics::RunningStats latency_;
   numerics::RunningStats hops_;
   numerics::RunningStats tier_latency_[3];
   std::uint64_t tier_counts_[3] = {0, 0, 0};
   std::uint64_t coordination_messages_ = 0;
+  obs::Histogram latency_hist_;
 };
 
 /// Final report of one simulation run.

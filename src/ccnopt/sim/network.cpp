@@ -5,6 +5,8 @@
 
 #include "ccnopt/cache/static_cache.hpp"
 #include "ccnopt/common/assert.hpp"
+#include "ccnopt/obs/registry.hpp"
+#include "ccnopt/obs/span.hpp"
 
 namespace ccnopt::sim {
 namespace {
@@ -85,6 +87,8 @@ CcnNetwork::CcnNetwork(topology::Graph graph, NetworkConfig config)
 }
 
 void CcnNetwork::rebuild_routing() {
+  const obs::ScopedSpan span("network.rebuild_routing");
+  obs::metrics().incr("sim.network.routing_rebuilds");
   paths_ = topology::all_pairs_filtered(graph_, failed_);
   if (config_.track_link_load) {
     trees_.clear();
@@ -223,6 +227,8 @@ std::uint64_t CcnNetwork::provision(std::size_t coordinated_x) {
                              config_.seed + 0x51ED2701ULL * (id + 1)),
         std::move(assigned));
   }
+  obs::metrics().incr("sim.provision.epochs");
+  obs::metrics().incr("sim.provision.messages", assignment_.messages);
   return assignment_.messages;
 }
 
@@ -258,6 +264,8 @@ std::uint64_t CcnNetwork::provision_heterogeneous(
                              config_.seed + 0x51ED2701ULL * (id + 1)),
         std::move(assigned));
   }
+  obs::metrics().incr("sim.provision.epochs");
+  obs::metrics().incr("sim.provision.messages", assignment_.messages);
   return assignment_.messages;
 }
 

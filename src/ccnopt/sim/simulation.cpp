@@ -4,8 +4,17 @@
 
 #include "ccnopt/common/assert.hpp"
 #include "ccnopt/common/random.hpp"
+#include "ccnopt/obs/registry.hpp"
+#include "ccnopt/obs/span.hpp"
 
 namespace ccnopt::sim {
+namespace {
+
+// Sub-stream index of the run seed reserved for the trace sampler, far
+// outside the per-router clock indices [0, router_count).
+constexpr std::uint64_t kTraceSeedIndex = 0x7ace5eedULL;
+
+}  // namespace
 
 Simulation::Simulation(topology::Graph graph, SimConfig config)
     : config_(std::move(config)) {
@@ -23,11 +32,20 @@ void Simulation::set_workload(std::unique_ptr<Workload> workload) {
 
 SimReport Simulation::run() {
   CCNOPT_EXPECTS(config_.arrival_rate_per_router > 0.0);
-  const std::uint64_t messages = network_->provision(config_.coordinated_x);
+  const obs::ScopedSpan run_span("sim.run");
+  trace_.clear();
+  const obs::TraceSampler sampler(derive_seed(config_.seed, kTraceSeedIndex),
+                                  config_.trace_sample_k);
+  std::uint64_t messages = 0;
+  {
+    const obs::ScopedSpan provision_span("sim.provision");
+    messages = network_->provision(config_.coordinated_x);
+  }
 
   MetricsCollector metrics;
   metrics.record_coordination_messages(messages);
 
+  const obs::ScopedSpan replay_span("sim.replay");
   EventQueue queue;
   const std::uint64_t total_requests =
       config_.warmup_requests + config_.measured_requests;
@@ -42,6 +60,17 @@ SimReport Simulation::run() {
   for (std::size_t i = 0; i < network_->router_count(); ++i) {
     clocks.emplace_back(derive_seed(config_.seed, i));
   }
+
+  // Records one sampled request; the decision is pure in (seed, index).
+  const auto maybe_trace = [&](std::uint64_t index, std::size_t router,
+                               cache::ContentId content,
+                               const ServeResult& result) {
+    if (!sampler.enabled() || !sampler.should_sample(index)) return;
+    trace_.push_back(obs::TraceEvent{
+        0, index, static_cast<std::uint32_t>(router), content,
+        to_string(result.tier), result.hops,
+        static_cast<std::uint32_t>(result.served_by), result.latency_ms});
+  };
 
   // Pending Interest Table (per router x content): requests arriving while
   // a fetch is in flight join it and complete at its completion event.
@@ -60,6 +89,7 @@ SimReport Simulation::run() {
   // One self-rescheduling arrival chain per active router.
   std::function<void(std::size_t)> arrival = [&](std::size_t router) {
     if (emitted >= total_requests) return;
+    const std::uint64_t request_index = emitted;
     const bool measured = emitted >= config_.warmup_requests;
     ++emitted;
     const cache::ContentId content = workload_->next(router);
@@ -70,6 +100,7 @@ SimReport Simulation::run() {
       if (result.tier != ServeTier::kLocal) ++upstream;
       if (measured) {
         metrics.record(result.tier, result.latency_ms, result.hops);
+        maybe_trace(request_index, router, content, result);
       }
     } else {
       const std::uint64_t key = pit_key(router, content);
@@ -83,9 +114,13 @@ SimReport Simulation::run() {
         if (result.tier == ServeTier::kLocal) {
           if (measured) {
             metrics.record(result.tier, result.latency_ms, result.hops);
+            maybe_trace(request_index, router, content, result);
           }
         } else {
           ++upstream;
+          if (measured) {
+            maybe_trace(request_index, router, content, result);
+          }
           pit.emplace(key, PendingInterest{});
           queue.schedule_after(
               result.latency_ms, [&metrics, &pit, &queue, key, result,
@@ -127,6 +162,23 @@ SimReport Simulation::run() {
   SimReport report = make_report(metrics);
   report.aggregated_requests = aggregated;
   report.upstream_fetches = upstream;
+
+  // One registry flush per run: integer sums and a fixed-point histogram
+  // merge, so totals are exact and order-independent no matter which
+  // thread (or how many) ran the replications.
+  obs::MetricsRegistry& registry = obs::metrics();
+  registry.incr("sim.runs");
+  registry.incr("sim.requests.measured", report.total_requests);
+  registry.incr("sim.requests.local", metrics.tier_count(ServeTier::kLocal));
+  registry.incr("sim.requests.network",
+                metrics.tier_count(ServeTier::kNetwork));
+  registry.incr("sim.requests.origin",
+                metrics.tier_count(ServeTier::kOrigin));
+  registry.incr("sim.requests.aggregated", aggregated);
+  registry.incr("sim.upstream_fetches", upstream);
+  registry.incr("sim.coordination_messages", report.coordination_messages);
+  registry.incr("sim.trace.sampled", trace_.size());
+  registry.merge_histogram("sim.latency_ms", metrics.latency_histogram());
   return report;
 }
 

@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "ccnopt/obs/trace.hpp"
 #include "ccnopt/sim/event.hpp"
 #include "ccnopt/sim/network.hpp"
 #include "ccnopt/sim/workload.hpp"
@@ -31,6 +32,13 @@ struct SimConfig {
   /// bench_ablation_aggregation measures what it saves.
   bool interest_aggregation = false;
   std::uint64_t seed = 42;
+  /// Deterministic request tracing: every k-th request (1-in-k sampling
+  /// keyed off the run seed) is recorded into traces(). 0 disables
+  /// tracing; 1 traces every measured request. The sampled set is a pure
+  /// function of (seed, request index), so traces are bit-identical across
+  /// thread counts. With interest_aggregation, requests that join an
+  /// in-flight fetch are not traced (only the initiating fetch is).
+  std::uint64_t trace_sample_k = 0;
 };
 
 class Simulation {
@@ -50,10 +58,15 @@ class Simulation {
   const CcnNetwork& network() const { return *network_; }
   CcnNetwork& network() { return *network_; }
 
+  /// Sampled request traces of the last run() (empty when
+  /// trace_sample_k == 0), in request emission order.
+  const obs::TraceBuffer& traces() const { return trace_; }
+
  private:
   SimConfig config_;
   std::unique_ptr<CcnNetwork> network_;
   std::unique_ptr<Workload> workload_;
+  obs::TraceBuffer trace_;
 };
 
 }  // namespace ccnopt::sim

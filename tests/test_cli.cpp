@@ -142,6 +142,109 @@ TEST(Cli, SimulateRejectsBadReplicationCount) {
   EXPECT_NE(result.output.find("--replications"), std::string::npos);
 }
 
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return contents.str();
+}
+
+TEST(Cli, MetricsOutIsByteIdenticalAcrossThreadCounts) {
+  const std::string one_path = testing::TempDir() + "ccnopt_metrics_t1.json";
+  const std::string eight_path = testing::TempDir() + "ccnopt_metrics_t8.json";
+  const std::string base =
+      "simulate --topology=abilene --x=20 --requests=3000 --catalog=2000 "
+      "--c=50 --replications=4 --seed=7";
+  const RunResult one =
+      run_cli(base + " --threads=1 --metrics-out=" + one_path);
+  const RunResult eight =
+      run_cli(base + " --threads=8 --metrics-out=" + eight_path);
+  EXPECT_EQ(one.exit_code, 0) << one.output;
+  EXPECT_EQ(eight.exit_code, 0) << eight.output;
+  const std::string one_json = slurp_file(one_path);
+  ASSERT_FALSE(one_json.empty());
+  EXPECT_NE(one_json.find("ccnopt-obs-v1"), std::string::npos);
+  EXPECT_NE(one_json.find("sim.requests.measured"), std::string::npos);
+  EXPECT_NE(one_json.find("sim.latency_ms"), std::string::npos);
+  EXPECT_EQ(one_json, slurp_file(eight_path));
+  std::remove(one_path.c_str());
+  std::remove(eight_path.c_str());
+}
+
+TEST(Cli, TraceOutIsByteIdenticalAcrossThreadCounts) {
+  const std::string one_path = testing::TempDir() + "ccnopt_trace_t1.csv";
+  const std::string eight_path = testing::TempDir() + "ccnopt_trace_t8.csv";
+  const std::string base =
+      "simulate --topology=abilene --x=20 --requests=3000 --catalog=2000 "
+      "--c=50 --replications=4 --seed=7 --trace-sample=20";
+  const RunResult one = run_cli(base + " --threads=1 --trace-out=" + one_path);
+  const RunResult eight =
+      run_cli(base + " --threads=8 --trace-out=" + eight_path);
+  EXPECT_EQ(one.exit_code, 0) << one.output;
+  EXPECT_EQ(eight.exit_code, 0) << eight.output;
+  const std::string one_csv = slurp_file(one_path);
+  ASSERT_FALSE(one_csv.empty());
+  EXPECT_EQ(one_csv.rfind("replication,request,router,content,tier,hops,"
+                          "served_by,latency_ms\n",
+                          0),
+            0u);
+  EXPECT_EQ(one_csv, slurp_file(eight_path));
+  std::remove(one_path.c_str());
+  std::remove(eight_path.c_str());
+}
+
+TEST(Cli, TraceOutJsonOnSingleRun) {
+  const std::string path = testing::TempDir() + "ccnopt_trace_single.json";
+  const RunResult result = run_cli(
+      "simulate --topology=abilene --x=20 --requests=3000 --catalog=2000 "
+      "--c=50 --trace-out=" +
+      path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("trace written to"), std::string::npos);
+  const std::string json = slurp_file(path);
+  EXPECT_NE(json.find("ccnopt-trace-v1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, SweepMetricsOutIncludesOptimizerCounters) {
+  const std::string path = testing::TempDir() + "ccnopt_sweep_metrics.json";
+  const RunResult result =
+      run_cli("sweep --figure=4 --threads=2 --metrics-out=" + path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  const std::string json = slurp_file(path);
+  EXPECT_NE(json.find("numerics.roots.brent.calls"), std::string::npos);
+  EXPECT_NE(json.find("model.sweep.points"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ProfileOutContainsSpansAndPerfCounters) {
+  const std::string path = testing::TempDir() + "ccnopt_profile.json";
+  const RunResult result = run_cli(
+      "simulate --topology=abilene --x=20 --requests=3000 --catalog=2000 "
+      "--c=50 --replications=2 --threads=2 --profile-out=" +
+      path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  const std::string json = slurp_file(path);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("replication.run"), std::string::npos);
+  EXPECT_NE(json.find("sim.run"), std::string::npos);
+  EXPECT_NE(json.find("runtime.pool.tasks_executed"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, MetricsOutCsvFormat) {
+  const std::string path = testing::TempDir() + "ccnopt_metrics.csv";
+  const RunResult result = run_cli(
+      "simulate --topology=abilene --x=20 --requests=2000 --catalog=2000 "
+      "--c=50 --metrics-out=" +
+      path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  const std::string csv = slurp_file(path);
+  EXPECT_EQ(csv.rfind("section,type,name,key,value\n", 0), 0u);
+  EXPECT_NE(csv.find("metrics,counter,sim.runs,,1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST(Cli, HeteroComparesStrategies) {
   const RunResult result = run_cli("hetero --capacities=400x3,1200x3");
   EXPECT_EQ(result.exit_code, 0);

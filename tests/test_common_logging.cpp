@@ -1,5 +1,8 @@
 #include "ccnopt/common/logging.hpp"
 
+#include <chrono>
+#include <cstdlib>
+
 #include <gtest/gtest.h>
 
 namespace ccnopt {
@@ -31,6 +34,48 @@ TEST_F(LoggingTest, MacroBuildsMessageFromStreamParts) {
   set_log_level(LogLevel::kOff);  // keep test output clean
   // The temporary must accept heterogeneous << operands.
   CCNOPT_LOG(kInfo) << "value=" << 3.5 << " name=" << std::string("x");
+}
+
+TEST_F(LoggingTest, ParseLogLevelRecognizesNamesCaseInsensitively) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("Warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  // Unknown names fall back to the default level rather than failing.
+  EXPECT_EQ(parse_log_level("verbose"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level(""), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, EnvVarInitializesLevel) {
+  ASSERT_EQ(setenv("CCNOPT_LOG_LEVEL", "error", 1), 0);
+  init_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  ASSERT_EQ(unsetenv("CCNOPT_LOG_LEVEL"), 0);
+  // Without the variable the current level is kept.
+  init_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, ExplicitSetOverridesEnv) {
+  ASSERT_EQ(setenv("CCNOPT_LOG_LEVEL", "debug", 1), 0);
+  init_log_level_from_env();
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  ASSERT_EQ(unsetenv("CCNOPT_LOG_LEVEL"), 0);
+}
+
+TEST_F(LoggingTest, TimestampIsIso8601Utc) {
+  using std::chrono::milliseconds;
+  const auto epoch = std::chrono::system_clock::time_point{};
+  EXPECT_EQ(format_log_timestamp(epoch), "1970-01-01T00:00:00.000Z");
+  EXPECT_EQ(format_log_timestamp(epoch + milliseconds(1234)),
+            "1970-01-01T00:00:01.234Z");
+  // 2026-08-06T12:34:56.789Z == 1786019696789 ms after the epoch.
+  EXPECT_EQ(format_log_timestamp(epoch + milliseconds(1786019696789LL)),
+            "2026-08-06T12:34:56.789Z");
 }
 
 TEST_F(LoggingTest, OrderingOfLevels) {

@@ -1,0 +1,121 @@
+#include "ccnopt/obs/export.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "ccnopt/obs/registry.hpp"
+#include "ccnopt/obs/span.hpp"
+
+namespace ccnopt::obs {
+namespace {
+
+TEST(ObsExport, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(ObsExport, JsonNumberIsShortestRoundTrip) {
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_EQ(json_number(5.0), "5");
+  EXPECT_EQ(json_number(0.25), "0.25");
+  // Non-finite values are not representable in JSON; they render as 0.
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "0");
+}
+
+TEST(ObsExport, RegistryJsonShape) {
+  MetricsRegistry registry;
+  registry.incr("hits", 3);
+  registry.set_gauge("load", 0.5);
+  registry.define_histogram("lat", {1.0, 2.0});
+  registry.observe("lat", 1.5);
+  std::ostringstream out;
+  write_registry_json(out, registry.snapshot(), 0);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"hits\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"load\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\": [1, 2]"), std::string::npos);
+  EXPECT_NE(json.find("\"counts\": [0, 1, 0]"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\": 1.5"), std::string::npos);
+}
+
+TEST(ObsExport, RegistryCsvShape) {
+  MetricsRegistry registry;
+  registry.incr("hits", 3);
+  registry.define_histogram("lat", {1.0});
+  registry.observe("lat", 0.5);
+  std::ostringstream out;
+  write_registry_csv(out, "metrics", registry.snapshot());
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("metrics,counter,hits,,3"), std::string::npos);
+  EXPECT_NE(csv.find("metrics,histogram,lat,le_1,1"), std::string::npos);
+  EXPECT_NE(csv.find("metrics,histogram,lat,le_inf,0"), std::string::npos);
+  EXPECT_NE(csv.find("metrics,histogram,lat,count,1"), std::string::npos);
+}
+
+TEST(ObsExport, EmptyRegistrySerializesToEmptyObjects) {
+  MetricsRegistry registry;
+  std::ostringstream out;
+  write_registry_json(out, registry.snapshot(), 0);
+  EXPECT_EQ(out.str(),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n"
+            "  \"histograms\": {}\n}");
+}
+
+TEST(ObsExport, SnapshotSectionsFollowOptions) {
+  metrics().reset();
+  perf().reset();
+  SpanProfiler::instance().reset();
+  metrics().incr("det.counter");
+  perf().incr("perf.counter");
+  { const ScopedSpan span("export_test_span"); }
+
+  std::ostringstream metrics_only;
+  export_snapshot(metrics_only, {});
+  EXPECT_NE(metrics_only.str().find("\"schema\": \"ccnopt-obs-v1\""),
+            std::string::npos);
+  EXPECT_NE(metrics_only.str().find("det.counter"), std::string::npos);
+  EXPECT_EQ(metrics_only.str().find("perf.counter"), std::string::npos);
+  EXPECT_EQ(metrics_only.str().find("export_test_span"), std::string::npos);
+
+  ExportOptions profile;
+  profile.include_metrics = false;
+  profile.include_perf = true;
+  profile.include_spans = true;
+  std::ostringstream profile_out;
+  export_snapshot(profile_out, profile);
+  EXPECT_EQ(profile_out.str().find("det.counter"), std::string::npos);
+  EXPECT_NE(profile_out.str().find("perf.counter"), std::string::npos);
+  EXPECT_NE(profile_out.str().find("export_test_span"), std::string::npos);
+}
+
+TEST(ObsExport, CsvSnapshotHasHeader) {
+  metrics().reset();
+  metrics().incr("csv.counter");
+  ExportOptions options;
+  options.format = ExportFormat::kCsv;
+  std::ostringstream out;
+  export_snapshot(out, options);
+  EXPECT_EQ(out.str().rfind("section,type,name,key,value\n", 0), 0u);
+  EXPECT_NE(out.str().find("metrics,counter,csv.counter,,1"),
+            std::string::npos);
+}
+
+TEST(ObsExport, SpansJsonShape) {
+  std::vector<SpanAggregate> spans;
+  spans.push_back(SpanAggregate{"a/b", 2, 3'000'000, 1'500'000});
+  std::ostringstream out;
+  write_spans_json(out, spans, 0);
+  EXPECT_NE(out.str().find("\"path\": \"a/b\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(out.str().find("\"wall_ms\": 3"), std::string::npos);
+  EXPECT_NE(out.str().find("\"cpu_ms\": 1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccnopt::obs

@@ -1,0 +1,168 @@
+#include "ccnopt/obs/registry.hpp"
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ccnopt/obs/export.hpp"
+
+namespace ccnopt::obs {
+namespace {
+
+std::string serialize(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  write_registry_json(out, registry.snapshot(), 0);
+  return out.str();
+}
+
+TEST(ObsRegistry, CountersAccumulateAndSnapshot) {
+  MetricsRegistry registry;
+  registry.incr("a");
+  registry.incr("a", 4);
+  registry.incr("b", 10);
+  const RegistrySnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters.at("a"), 5u);
+  EXPECT_EQ(snap.counters.at("b"), 10u);
+}
+
+TEST(ObsRegistry, GaugeLastWriteWins) {
+  MetricsRegistry registry;
+  registry.set_gauge("g", 1.5);
+  registry.set_gauge("g", 2.5);
+  EXPECT_DOUBLE_EQ(registry.snapshot().gauges.at("g"), 2.5);
+}
+
+TEST(ObsRegistry, HistogramBucketBoundariesAreLessOrEqual) {
+  Histogram hist({1.0, 2.0, 5.0});
+  hist.observe(0.5);  // <= 1
+  hist.observe(1.0);  // <= 1 (boundary lands in its bucket)
+  hist.observe(1.001);  // <= 2
+  hist.observe(5.0);  // <= 5
+  hist.observe(7.0);  // overflow
+  ASSERT_EQ(hist.counts().size(), 4u);
+  EXPECT_EQ(hist.counts()[0], 2u);
+  EXPECT_EQ(hist.counts()[1], 1u);
+  EXPECT_EQ(hist.counts()[2], 1u);
+  EXPECT_EQ(hist.counts()[3], 1u);
+  EXPECT_EQ(hist.count(), 5u);
+  EXPECT_DOUBLE_EQ(hist.min(), 0.5);
+  EXPECT_DOUBLE_EQ(hist.max(), 7.0);
+}
+
+TEST(ObsRegistry, HistogramSumIsExactFixedPoint) {
+  // 0.1 is not exactly representable; fixed-point micro-unit accumulation
+  // still makes any grouping of the observations sum identically.
+  Histogram a({10.0});
+  Histogram b({10.0});
+  Histogram all({10.0});
+  for (int i = 0; i < 1000; ++i) {
+    ((i % 2 == 0) ? a : b).observe(0.1);
+    all.observe(0.1);
+  }
+  Histogram merged({10.0});
+  merged.merge(b);
+  merged.merge(a);
+  EXPECT_EQ(merged.sum(), all.sum());
+  EXPECT_DOUBLE_EQ(merged.sum(), 100.0);
+  EXPECT_EQ(merged.count(), 1000u);
+}
+
+TEST(ObsRegistry, HistogramMergeAdoptsBoundsWhenDefault) {
+  Histogram hist({1.0, 2.0});
+  hist.observe(1.5);
+  Histogram target;
+  target.merge(hist);
+  EXPECT_EQ(target.bounds(), hist.bounds());
+  EXPECT_EQ(target.count(), 1u);
+}
+
+TEST(ObsRegistry, HistogramResetKeepsBounds) {
+  Histogram hist({1.0});
+  hist.observe(0.5);
+  hist.reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.0);
+  ASSERT_EQ(hist.bounds().size(), 1u);
+  EXPECT_EQ(hist.counts()[0], 0u);
+}
+
+TEST(ObsRegistry, DefineHistogramIsIdempotent) {
+  MetricsRegistry registry;
+  registry.define_histogram("h", {1.0, 2.0});
+  registry.define_histogram("h", {1.0, 2.0});  // same bounds: fine
+  registry.observe("h", 1.5);
+  EXPECT_EQ(registry.snapshot().histograms.at("h").count(), 1u);
+}
+
+TEST(ObsRegistryDeathTest, ObserveUndefinedHistogramAborts) {
+  MetricsRegistry registry;
+  EXPECT_DEATH(registry.observe("missing", 1.0), "precondition");
+}
+
+TEST(ObsRegistryDeathTest, RedefineWithDifferentBoundsAborts) {
+  MetricsRegistry registry;
+  registry.define_histogram("h", {1.0});
+  EXPECT_DEATH(registry.define_histogram("h", {2.0}), "precondition");
+}
+
+TEST(ObsRegistry, DefinedButUnobservedHistogramAppearsZeroed) {
+  MetricsRegistry registry;
+  registry.define_histogram("h", {1.0, 2.0});
+  const RegistrySnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.count("h"), 1u);
+  EXPECT_EQ(snap.histograms.at("h").count(), 0u);
+  EXPECT_EQ(snap.histograms.at("h").bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(ObsRegistry, MergeAcrossThreadsIsDeterministic) {
+  // The same logical observations recorded from 1 thread and from 8
+  // threads must serialize to the same bytes.
+  const auto record = [](MetricsRegistry& registry, int begin, int end) {
+    registry.define_histogram("latency", {1.0, 10.0, 100.0});
+    for (int i = begin; i < end; ++i) {
+      registry.incr("requests");
+      registry.incr("bytes", static_cast<std::uint64_t>(i));
+      registry.observe("latency", 0.1 * i);
+    }
+  };
+
+  MetricsRegistry serial;
+  record(serial, 0, 800);
+
+  MetricsRegistry sharded;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back(
+        [&sharded, t, &record] { record(sharded, t * 100, (t + 1) * 100); });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(serialize(serial), serialize(sharded));
+}
+
+TEST(ObsRegistry, ResetClearsEverything) {
+  MetricsRegistry registry;
+  registry.incr("c");
+  registry.set_gauge("g", 1.0);
+  registry.define_histogram("h", {1.0});
+  registry.observe("h", 0.5);
+  registry.reset();
+  const RegistrySnapshot snap = registry.snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+  // Definitions are gone too: the name can be redefined with new bounds.
+  registry.define_histogram("h", {2.0});
+  registry.observe("h", 1.0);
+  EXPECT_EQ(registry.snapshot().histograms.at("h").count(), 1u);
+}
+
+TEST(ObsRegistry, GlobalInstancesAreDistinct) {
+  EXPECT_NE(&metrics(), &perf());
+}
+
+}  // namespace
+}  // namespace ccnopt::obs

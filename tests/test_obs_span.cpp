@@ -1,0 +1,94 @@
+#include "ccnopt/obs/span.hpp"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ccnopt::obs {
+namespace {
+
+const SpanAggregate* find(const std::vector<SpanAggregate>& spans,
+                          const std::string& path) {
+  for (const SpanAggregate& span : spans) {
+    if (span.path == path) return &span;
+  }
+  return nullptr;
+}
+
+TEST(ObsSpan, NestedSpansJoinPathsWithSlash) {
+  SpanProfiler::instance().reset();
+  {
+    const ScopedSpan outer("outer");
+    EXPECT_EQ(outer.path(), "outer");
+    {
+      const ScopedSpan inner("inner");
+      EXPECT_EQ(inner.path(), "outer/inner");
+      EXPECT_EQ(ScopedSpan::current(), &inner);
+    }
+    EXPECT_EQ(ScopedSpan::current(), &outer);
+  }
+  EXPECT_EQ(ScopedSpan::current(), nullptr);
+  const auto spans = SpanProfiler::instance().snapshot();
+  ASSERT_NE(find(spans, "outer"), nullptr);
+  ASSERT_NE(find(spans, "outer/inner"), nullptr);
+  EXPECT_EQ(find(spans, "outer")->count, 1u);
+  EXPECT_EQ(find(spans, "outer/inner")->count, 1u);
+}
+
+TEST(ObsSpan, RepeatedSpansAggregate) {
+  SpanProfiler::instance().reset();
+  for (int i = 0; i < 5; ++i) {
+    const ScopedSpan span("phase");
+  }
+  const auto spans = SpanProfiler::instance().snapshot();
+  const SpanAggregate* phase = find(spans, "phase");
+  ASSERT_NE(phase, nullptr);
+  EXPECT_EQ(phase->count, 5u);
+  EXPECT_GE(phase->wall_ns, 0);
+  EXPECT_GE(phase->cpu_ns, 0);
+}
+
+TEST(ObsSpan, WorkerThreadsStartFreshRootsAndMerge) {
+  SpanProfiler::instance().reset();
+  const ScopedSpan outer("main_root");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      // No parent on this thread: the span is a root here, not
+      // "main_root/worker".
+      const ScopedSpan span("worker");
+      EXPECT_EQ(span.path(), "worker");
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const auto spans = SpanProfiler::instance().snapshot();
+  const SpanAggregate* worker = find(spans, "worker");
+  ASSERT_NE(worker, nullptr);
+  EXPECT_EQ(worker->count, 4u);
+  EXPECT_EQ(find(spans, "main_root/worker"), nullptr);
+}
+
+TEST(ObsSpan, SnapshotIsSortedByPath) {
+  SpanProfiler::instance().reset();
+  { const ScopedSpan b("bravo"); }
+  { const ScopedSpan a("alpha"); }
+  const auto spans = SpanProfiler::instance().snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].path, "alpha");
+  EXPECT_EQ(spans[1].path, "bravo");
+}
+
+TEST(ObsSpan, ResetDropsAggregates) {
+  SpanProfiler::instance().reset();
+  { const ScopedSpan span("gone"); }
+  SpanProfiler::instance().reset();
+  EXPECT_TRUE(SpanProfiler::instance().snapshot().empty());
+}
+
+TEST(ObsSpanDeathTest, LabelMustNotContainSlash) {
+  EXPECT_DEATH(ScopedSpan span("a/b"), "precondition");
+}
+
+}  // namespace
+}  // namespace ccnopt::obs

@@ -1,0 +1,164 @@
+// Determinism contract of request tracing: the sampled set is a pure
+// function of the seed, and serialized traces are byte-identical whatever
+// the thread count.
+#include "ccnopt/obs/trace.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "ccnopt/obs/export.hpp"
+#include "ccnopt/obs/registry.hpp"
+#include "ccnopt/runtime/replication_runner.hpp"
+#include "ccnopt/sim/simulation.hpp"
+#include "ccnopt/topology/datasets.hpp"
+
+namespace ccnopt::obs {
+namespace {
+
+TEST(TraceSampler, DisabledWhenKIsZero) {
+  const TraceSampler sampler(7, 0);
+  EXPECT_FALSE(sampler.enabled());
+}
+
+TEST(TraceSampler, KOfOneSamplesEveryRequest) {
+  const TraceSampler sampler(7, 1);
+  ASSERT_TRUE(sampler.enabled());
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(sampler.should_sample(i));
+  }
+}
+
+TEST(TraceSampler, DecisionIsPureInSeedAndIndex) {
+  const TraceSampler a(123, 10);
+  const TraceSampler b(123, 10);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.should_sample(i), b.should_sample(i)) << "request " << i;
+  }
+}
+
+TEST(TraceSampler, SamplesRoughlyOneInK) {
+  const TraceSampler sampler(99, 10);
+  int sampled = 0;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    if (sampler.should_sample(i)) ++sampled;
+  }
+  EXPECT_GT(sampled, 8000);
+  EXPECT_LT(sampled, 12000);
+}
+
+TEST(TraceSampler, DifferentSeedsSampleDifferentSets) {
+  const TraceSampler a(1, 10);
+  const TraceSampler b(2, 10);
+  int differs = 0;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    if (a.should_sample(i) != b.should_sample(i)) ++differs;
+  }
+  EXPECT_GT(differs, 0);
+}
+
+TEST(TraceWriters, CsvHasFixedHeaderAndOneLinePerEvent) {
+  TraceBuffer traces;
+  TraceEvent event;
+  event.replication = 1;
+  event.request_index = 42;
+  event.router = 3;
+  event.content = 17;
+  event.tier = "local";
+  event.hops = 0;
+  event.served_by = 3;
+  event.latency_ms = 1.25;
+  traces.push_back(event);
+  std::ostringstream out;
+  write_traces_csv(out, traces);
+  EXPECT_EQ(out.str(),
+            "replication,request,router,content,tier,hops,served_by,"
+            "latency_ms\n1,42,3,17,local,0,3,1.25\n");
+}
+
+TEST(TraceWriters, JsonCarriesSchemaAndEvents) {
+  TraceBuffer traces;
+  TraceEvent event;
+  event.tier = "origin";
+  traces.push_back(event);
+  std::ostringstream out;
+  write_traces_json(out, traces);
+  EXPECT_NE(out.str().find("\"schema\": \"ccnopt-trace-v1\""),
+            std::string::npos);
+  EXPECT_NE(out.str().find("\"tier\": \"origin\""), std::string::npos);
+}
+
+sim::SimConfig traced_config() {
+  sim::SimConfig config;
+  config.network.catalog_size = 2000;
+  config.network.capacity_c = 50;
+  config.coordinated_x = 20;
+  config.measured_requests = 3000;
+  config.seed = 99;
+  config.trace_sample_k = 25;
+  return config;
+}
+
+TEST(SimulationTrace, SampledEventsAreWellFormed) {
+  const topology::Graph graph = topology::abilene();
+  sim::Simulation simulation(graph, traced_config());
+  simulation.run();
+  const TraceBuffer& traces = simulation.traces();
+  ASSERT_FALSE(traces.empty());
+  for (const TraceEvent& event : traces) {
+    EXPECT_EQ(event.replication, 0u);
+    EXPECT_LT(event.router, graph.node_count());
+    EXPECT_TRUE(event.tier == "local" || event.tier == "network" ||
+                event.tier == "origin")
+        << event.tier;
+    EXPECT_GT(event.latency_ms, 0.0);
+  }
+}
+
+TEST(SimulationTrace, DisabledByDefault) {
+  sim::SimConfig config = traced_config();
+  config.trace_sample_k = 0;
+  sim::Simulation simulation(topology::abilene(), config);
+  simulation.run();
+  EXPECT_TRUE(simulation.traces().empty());
+}
+
+std::string run_replicated_csv(std::size_t threads) {
+  runtime::ThreadPool pool(threads);
+  const runtime::ReplicationSummary summary =
+      runtime::ReplicationRunner(pool).run(topology::abilene(),
+                                           traced_config(), 6);
+  std::ostringstream out;
+  write_traces_csv(out, summary.traces);
+  return out.str();
+}
+
+TEST(ReplicationTrace, ByteIdenticalAcrossThreadCounts) {
+  const std::string one = run_replicated_csv(1);
+  const std::string eight = run_replicated_csv(8);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, eight);
+}
+
+std::string run_replicated_metrics_json(std::size_t threads) {
+  metrics().reset();
+  runtime::ThreadPool pool(threads);
+  const runtime::ReplicationSummary summary =
+      runtime::ReplicationRunner(pool).run(topology::abilene(),
+                                           traced_config(), 6);
+  (void)summary;
+  std::ostringstream out;
+  write_registry_json(out, metrics().snapshot(), 0);
+  return out.str();
+}
+
+TEST(ReplicationTrace, MetricsRegistryByteIdenticalAcrossThreadCounts) {
+  const std::string one = run_replicated_metrics_json(1);
+  const std::string eight = run_replicated_metrics_json(8);
+  EXPECT_NE(one.find("sim.requests.measured"), std::string::npos);
+  EXPECT_NE(one.find("sim.latency_ms"), std::string::npos);
+  EXPECT_EQ(one, eight);
+}
+
+}  // namespace
+}  // namespace ccnopt::obs

@@ -58,6 +58,49 @@ TEST(MetricsCollector, ResetClearsEverything) {
   EXPECT_EQ(metrics.coordination_messages(), 0u);
 }
 
+TEST(MetricsCollector, ResetRoundTripMatchesFreshCollector) {
+  // Regression: reset() must clear every field — including coordination
+  // messages and the latency histogram — so a reused collector reports
+  // exactly what a fresh one would.
+  MetricsCollector used;
+  used.record(ServeTier::kLocal, 1.0, 0);
+  used.record(ServeTier::kNetwork, 5.0, 2);
+  used.record_coordination_messages(9);
+  used.reset();
+
+  MetricsCollector fresh;
+  const auto replay = [](MetricsCollector& m) {
+    m.record(ServeTier::kOrigin, 42.0, 3);
+    m.record_coordination_messages(4);
+  };
+  replay(used);
+  replay(fresh);
+
+  const SimReport a = make_report(used);
+  const SimReport b = make_report(fresh);
+  EXPECT_EQ(a.total_requests, b.total_requests);
+  EXPECT_EQ(a.coordination_messages, b.coordination_messages);
+  EXPECT_EQ(a.mean_latency_ms, b.mean_latency_ms);
+  EXPECT_EQ(a.origin_load, b.origin_load);
+  EXPECT_EQ(used.latency_histogram().count(), fresh.latency_histogram().count());
+  EXPECT_EQ(used.latency_histogram().sum(), fresh.latency_histogram().sum());
+  EXPECT_EQ(used.latency_histogram().counts(),
+            fresh.latency_histogram().counts());
+}
+
+TEST(MetricsCollector, LatencyHistogramTracksObservations) {
+  MetricsCollector metrics;
+  metrics.record(ServeTier::kLocal, 1.0, 0);
+  metrics.record(ServeTier::kNetwork, 15.0, 2);
+  metrics.record(ServeTier::kOrigin, 5000.0, 4);  // beyond the last bound
+  const obs::Histogram& hist = metrics.latency_histogram();
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 5016.0);
+  EXPECT_EQ(hist.bounds(), MetricsCollector::latency_bucket_bounds());
+  // The overflow bucket holds the out-of-range origin hit.
+  EXPECT_EQ(hist.counts().back(), 1u);
+}
+
 TEST(MakeReport, FieldsMirrorCollector) {
   MetricsCollector metrics;
   metrics.record(ServeTier::kLocal, 1.0, 0);

@@ -7,9 +7,19 @@
 //                    [--policy=static|lru|lfu|fifo|random] [--s=0.8]
 //                    [--catalog=20000] [--c=200] [--seed=42]
 //                    [--replications=1] [--threads=N]
+//                    [--trace-out=path] [--trace-sample=K]
 //
 // --threads defaults to the hardware concurrency; results are bit-identical
 // for any thread count (deterministic seeding + ordered reduction).
+//
+// Observability (any subcommand):
+//   --metrics-out=path   deterministic metrics registry snapshot (.csv → CSV,
+//                        else JSON); byte-identical across --threads values
+//   --profile-out=path   wall/CPU span profile + perf registry (timings and
+//                        scheduling counters — NOT deterministic)
+//   --trace-out=path     (simulate) sampled per-request trace; deterministic
+//   --trace-sample=K     trace 1-in-K measured requests (default 100 when
+//                        --trace-out is given; 1 = every measured request)
 //   ccnopt adaptive  [--topology=geant] [--epochs=6]
 //   ccnopt hetero    [--capacities=500x10,1500x10] [--alpha=1] [--gamma=5]
 //                    [--s=0.8] [--catalog=1e6]
@@ -30,6 +40,8 @@
 #include "ccnopt/model/heterogeneous.hpp"
 #include "ccnopt/model/robustness.hpp"
 #include "ccnopt/model/sensitivity.hpp"
+#include "ccnopt/obs/export.hpp"
+#include "ccnopt/obs/trace.hpp"
 #include "ccnopt/runtime/replication_runner.hpp"
 #include "ccnopt/runtime/thread_pool.hpp"
 #include "ccnopt/sim/simulation.hpp"
@@ -63,6 +75,57 @@ int usage() {
 int fail(const Status& status) {
   std::cerr << "error: " << status.to_string() << "\n";
   return 1;
+}
+
+bool wants_csv(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+}
+
+/// Writes an obs snapshot to `path` (CSV when the extension is .csv).
+int write_obs_export(const std::string& path, obs::ExportOptions options) {
+  options.format = wants_csv(path) ? obs::ExportFormat::kCsv
+                                   : obs::ExportFormat::kJson;
+  std::ofstream out(path);
+  if (!out) {
+    return fail(Status(ErrorCode::kInvalidArgument, "cannot open " + path));
+  }
+  obs::export_snapshot(out, options);
+  return 0;
+}
+
+/// --metrics-out / --profile-out, honoured after every subcommand.
+int write_obs_outputs(const ArgParser& args) {
+  if (args.has("metrics-out")) {
+    obs::ExportOptions options;  // deterministic metrics registry only
+    if (int code = write_obs_export(args.get("metrics-out", ""), options)) {
+      return code;
+    }
+  }
+  if (args.has("profile-out")) {
+    obs::ExportOptions options;
+    options.include_metrics = false;
+    options.include_perf = true;
+    options.include_spans = true;
+    if (int code = write_obs_export(args.get("profile-out", ""), options)) {
+      return code;
+    }
+  }
+  return 0;
+}
+
+int write_trace_out(const std::string& path, const obs::TraceBuffer& traces) {
+  std::ofstream out(path);
+  if (!out) {
+    return fail(Status(ErrorCode::kInvalidArgument, "cannot open " + path));
+  }
+  if (wants_csv(path)) {
+    obs::write_traces_csv(out, traces);
+  } else {
+    obs::write_traces_json(out, traces);
+  }
+  std::cout << "trace written to " << path << " (" << traces.size()
+            << " events)\n";
+  return 0;
 }
 
 /// --threads, defaulting to the hardware concurrency.
@@ -217,6 +280,16 @@ int cmd_simulate(const ArgParser& args) {
   if (!seed) return fail(seed.status());
   config.seed = static_cast<std::uint64_t>(*seed);
 
+  const bool want_trace = args.has("trace-out");
+  const std::string trace_path = args.get("trace-out", "");
+  const auto trace_sample = args.get_int("trace-sample", want_trace ? 100 : 0);
+  if (!trace_sample) return fail(trace_sample.status());
+  if (*trace_sample < 0) {
+    return fail(Status(ErrorCode::kInvalidArgument,
+                       "--trace-sample must be >= 0"));
+  }
+  config.trace_sample_k = static_cast<std::uint64_t>(*trace_sample);
+
   const std::string policy = args.get("policy", "static");
   if (policy == "static") {
     config.network.local_mode = sim::LocalStoreMode::kStaticTop;
@@ -266,6 +339,7 @@ int cmd_simulate(const ArgParser& args) {
     row("local_fraction", summary.local_fraction);
     row("mean_hops", summary.mean_hops);
     table.print(std::cout);
+    if (want_trace) return write_trace_out(trace_path, summary.traces);
     return 0;
   }
 
@@ -278,6 +352,7 @@ int cmd_simulate(const ArgParser& args) {
             << " d1^=" << format_double(report.mean_network_latency_ms, 2)
             << " d2^=" << format_double(report.mean_origin_latency_ms, 2)
             << " ms\n";
+  if (want_trace) return write_trace_out(trace_path, simulation.traces());
   return 0;
 }
 
@@ -475,6 +550,9 @@ int main(int argc, char** argv) {
   } else {
     std::cerr << "unknown subcommand '" << command << "'\n";
     return usage(), 1;
+  }
+  if (const int obs_code = write_obs_outputs(args); obs_code != 0 && code == 0) {
+    code = obs_code;
   }
   for (const std::string& key : args.unused_keys()) {
     std::cerr << "warning: unused option --" << key << "\n";

@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json records emitted by the bench harness.
+
+Every benchmark built on ``bench/bench_util.hpp`` writes a machine-readable
+record ``BENCH_<name>.json`` (schema ``ccnopt-bench-v1``) into the directory
+named by ``$CCNOPT_BENCH_DIR`` (default: the working directory).  This script
+checks those records against the schema so CI can catch silently-broken
+exports.
+
+Usage:
+  # Validate already-written records in a directory:
+  python3 tools/check_bench_json.py --out-dir /tmp/bench
+
+  # Run one or more bench binaries first, then validate what they wrote:
+  python3 tools/check_bench_json.py --out-dir /tmp/bench \
+      --run build/bench/bench_table4_params \
+      --run build/bench/bench_theorem2_closedform
+
+  # Validate specific files:
+  python3 tools/check_bench_json.py BENCH_fig6_netsize.json
+
+Exit status is 0 when every record validates, 1 otherwise.  Only the Python
+standard library is used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import numbers
+import os
+import subprocess
+import sys
+
+SCHEMA = "ccnopt-bench-v1"
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, numbers.Real) and not isinstance(value, bool)
+
+
+def _is_int(value: object) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def validate_registry(registry: object, where: str, errors: list[str]) -> None:
+    if not isinstance(registry, dict):
+        errors.append(f"{where}: must be an object")
+        return
+    for section in ("counters", "gauges", "histograms"):
+        if section not in registry:
+            errors.append(f"{where}: missing key '{section}'")
+    counters = registry.get("counters", {})
+    if isinstance(counters, dict):
+        for name, value in counters.items():
+            if not _is_int(value) or value < 0:
+                errors.append(
+                    f"{where}.counters[{name!r}]: expected non-negative "
+                    f"integer, got {value!r}")
+    else:
+        errors.append(f"{where}.counters: must be an object")
+    gauges = registry.get("gauges", {})
+    if isinstance(gauges, dict):
+        for name, value in gauges.items():
+            if not _is_number(value):
+                errors.append(
+                    f"{where}.gauges[{name!r}]: expected number, got "
+                    f"{value!r}")
+    else:
+        errors.append(f"{where}.gauges: must be an object")
+    histograms = registry.get("histograms", {})
+    if isinstance(histograms, dict):
+        for name, hist in histograms.items():
+            validate_histogram(hist, f"{where}.histograms[{name!r}]", errors)
+    else:
+        errors.append(f"{where}.histograms: must be an object")
+
+
+def validate_histogram(hist: object, where: str, errors: list[str]) -> None:
+    if not isinstance(hist, dict):
+        errors.append(f"{where}: must be an object")
+        return
+    bounds = hist.get("bounds")
+    counts = hist.get("counts")
+    if not isinstance(bounds, list) or not all(_is_number(b) for b in bounds):
+        errors.append(f"{where}.bounds: expected list of numbers")
+        return
+    if any(b >= a for b, a in zip(bounds, bounds[1:])):
+        errors.append(f"{where}.bounds: must be strictly ascending")
+    if not isinstance(counts, list) or not all(
+            _is_int(c) and c >= 0 for c in counts):
+        errors.append(f"{where}.counts: expected list of non-negative ints")
+        return
+    if len(counts) != len(bounds) + 1:
+        errors.append(
+            f"{where}.counts: expected len(bounds)+1 = {len(bounds) + 1} "
+            f"entries, got {len(counts)}")
+    count = hist.get("count")
+    if not _is_int(count) or count != sum(counts):
+        errors.append(
+            f"{where}.count: expected sum(counts) = {sum(counts)}, got "
+            f"{count!r}")
+    if not _is_number(hist.get("sum")):
+        errors.append(f"{where}.sum: expected number")
+
+
+def validate_spans(spans: object, where: str, errors: list[str]) -> None:
+    if not isinstance(spans, list):
+        errors.append(f"{where}: must be a list")
+        return
+    for index, span in enumerate(spans):
+        slot = f"{where}[{index}]"
+        if not isinstance(span, dict):
+            errors.append(f"{slot}: must be an object")
+            continue
+        if not isinstance(span.get("path"), str) or not span["path"]:
+            errors.append(f"{slot}.path: expected non-empty string")
+        if not _is_int(span.get("count")) or span["count"] < 1:
+            errors.append(f"{slot}.count: expected positive integer")
+        for key in ("wall_ms", "cpu_ms"):
+            if not _is_number(span.get(key)) or span[key] < 0:
+                errors.append(f"{slot}.{key}: expected non-negative number")
+
+
+def validate_record(path: str) -> list[str]:
+    errors: list[str] = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            record = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable or invalid JSON: {exc}"]
+    if not isinstance(record, dict):
+        return ["top level must be a JSON object"]
+    if record.get("schema") != SCHEMA:
+        errors.append(
+            f"schema: expected {SCHEMA!r}, got {record.get('schema')!r}")
+    name = record.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append(f"name: expected non-empty string, got {name!r}")
+    timings = record.get("timings_ms")
+    if not isinstance(timings, dict):
+        errors.append("timings_ms: must be an object")
+    else:
+        if "total_ms" not in timings:
+            errors.append("timings_ms: missing 'total_ms'")
+        for label, value in timings.items():
+            if not _is_number(value) or value < 0:
+                errors.append(
+                    f"timings_ms[{label!r}]: expected non-negative number, "
+                    f"got {value!r}")
+    outputs = record.get("outputs")
+    if not isinstance(outputs, dict):
+        errors.append("outputs: must be an object")
+    else:
+        for key, value in outputs.items():
+            if not (_is_number(value) or isinstance(value, (str, bool))):
+                errors.append(
+                    f"outputs[{key!r}]: expected number, string, or bool, "
+                    f"got {type(value).__name__}")
+    for section in ("registry", "perf"):
+        if section not in record:
+            errors.append(f"missing key '{section}'")
+        else:
+            validate_registry(record[section], section, errors)
+    if "spans" not in record:
+        errors.append("missing key 'spans'")
+    else:
+        validate_spans(record["spans"], "spans", errors)
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate ccnopt BENCH_*.json records")
+    parser.add_argument("files", nargs="*",
+                        help="specific record files to validate")
+    parser.add_argument("--out-dir", default=".",
+                        help="directory holding (or receiving) the records")
+    parser.add_argument("--run", action="append", default=[],
+                        metavar="BIN", dest="runs",
+                        help="bench binary to execute before validating "
+                             "(repeatable); CCNOPT_BENCH_DIR is pointed at "
+                             "--out-dir")
+    args = parser.parse_args()
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    for binary in args.runs:
+        env = dict(os.environ, CCNOPT_BENCH_DIR=args.out_dir)
+        print(f"running {binary} ...", flush=True)
+        result = subprocess.run([binary], env=env, stdout=subprocess.DEVNULL)
+        if result.returncode != 0:
+            print(f"FAIL: {binary} exited with {result.returncode}")
+            return 1
+
+    files = args.files or sorted(
+        glob.glob(os.path.join(args.out_dir, "BENCH_*.json")))
+    if not files:
+        print(f"FAIL: no BENCH_*.json records found in {args.out_dir!r}")
+        return 1
+
+    failed = 0
+    for path in files:
+        errors = validate_record(path)
+        if errors:
+            failed += 1
+            print(f"FAIL: {path}")
+            for error in errors:
+                print(f"  - {error}")
+        else:
+            print(f"ok: {path}")
+    print(f"{len(files) - failed}/{len(files)} records valid")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+// Throughput bench: raw replacement-policy admit loops, flat intrusive
+// implementations vs their node-based reference oracles, on a shared Zipf
+// request stream. The headline requests_per_sec is the flat LRU rate; the
+// per-policy rates land in outputs as <policy>_rps / <policy>_reference_rps
+// so regressions in any one rewrite are visible.
+//
+// Usage: bench_throughput_caches [ops] [capacity] [catalog]
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ccnopt/cache/policy.hpp"
+#include "ccnopt/cache/reference.hpp"
+#include "ccnopt/common/random.hpp"
+#include "ccnopt/common/strings.hpp"
+#include "ccnopt/common/table.hpp"
+#include "ccnopt/popularity/sampler.hpp"
+
+namespace {
+
+using namespace ccnopt;
+
+double admit_loop_rps(cache::CachePolicy& policy,
+                      const std::vector<cache::ContentId>& stream) {
+  const auto start = std::chrono::steady_clock::now();
+  for (const cache::ContentId id : stream) policy.admit(id);
+  const auto stop = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(stop - start).count();
+  return static_cast<double>(stream.size()) / (seconds > 0.0 ? seconds : 1e-9);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("throughput_caches");
+  const std::size_t ops = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                   : 400000;
+  const std::size_t capacity = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                        : 2000;
+  const std::uint64_t catalog = argc > 3 ? std::strtoull(argv[3], nullptr, 10)
+                                         : 50000;
+  std::cout << "=== Cache admit throughput (ops=" << ops
+            << ", capacity=" << capacity << ", catalog=" << catalog
+            << ", Zipf s=0.8) ===\n\n";
+
+  // One shared stream so every policy sees identical requests.
+  popularity::AliasSampler sampler(popularity::ZipfDistribution(catalog, 0.8));
+  Rng rng(20240806);
+  std::vector<cache::ContentId> stream(ops);
+  for (auto& id : stream) id = sampler.sample(rng);
+
+  const cache::PolicyKind kinds[] = {cache::PolicyKind::kLru,
+                                     cache::PolicyKind::kLfu,
+                                     cache::PolicyKind::kFifo};
+  TextTable table({"policy", "flat Mreq/s", "reference Mreq/s", "speedup"});
+  double lru_rps = 0.0;
+  for (const cache::PolicyKind kind : kinds) {
+    auto flat = cache::make_policy(kind, capacity, 7);
+    auto reference = cache::make_reference_policy(kind, capacity, 7);
+    const double flat_rps = admit_loop_rps(*flat, stream);
+    const double ref_rps = admit_loop_rps(*reference, stream);
+    if (kind == cache::PolicyKind::kLru) lru_rps = flat_rps;
+    const std::string name = flat->name();
+    table.add_row({name, format_double(flat_rps / 1e6, 2),
+                   format_double(ref_rps / 1e6, 2),
+                   format_double(flat_rps / ref_rps, 2)});
+    reporter.set_output(name + "_rps", flat_rps);
+    reporter.set_output(name + "_reference_rps", ref_rps);
+  }
+  table.print(std::cout);
+
+  reporter.set_output("requests_per_sec", lru_rps);
+  reporter.set_output("threads", 1);
+  reporter.set_output("catalog_size", catalog);
+  reporter.set_output("ops", ops);
+  reporter.set_output("capacity", capacity);
+  return reporter.finish();
+}

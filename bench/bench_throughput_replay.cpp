@@ -1,0 +1,99 @@
+// Throughput bench: whole-simulator replay — discrete-event loop, PIT,
+// workload sampling, metrics — reported as steady-state requests/sec,
+// serial and fanned out over the pool with ReplicationRunner (which keeps
+// results bit-identical for any thread count; this bench only times it).
+//
+// Usage: bench_throughput_replay [--threads N] [--requests R]
+//                                [--replications K]
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "ccnopt/runtime/replication_runner.hpp"
+#include "ccnopt/runtime/thread_pool.hpp"
+#include "ccnopt/sim/simulation.hpp"
+#include "ccnopt/topology/datasets.hpp"
+
+namespace {
+
+double replications_rps(ccnopt::runtime::ThreadPool& pool,
+                        const ccnopt::sim::SimConfig& config,
+                        std::size_t replications, double* out_ms) {
+  using namespace ccnopt;
+  const auto start = std::chrono::steady_clock::now();
+  const runtime::ReplicationRunner runner(pool);
+  const runtime::ReplicationSummary summary =
+      runner.run(topology::us_a(), config, replications);
+  const auto stop = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(stop - start).count();
+  if (out_ms != nullptr) *out_ms = seconds * 1000.0;
+  const double total_requests =
+      static_cast<double>(config.warmup_requests + config.measured_requests) *
+      static_cast<double>(summary.replications());
+  return total_requests / (seconds > 0.0 ? seconds : 1e-9);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ccnopt;
+  bench::BenchReporter reporter("throughput_replay");
+  std::size_t threads = std::min<std::size_t>(
+      8, std::max<std::size_t>(2, std::thread::hardware_concurrency()));
+  std::uint64_t requests = 60000;
+  std::size_t replications = 8;
+  for (int i = 1; i + 1 < argc + 1; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--replications") == 0 && i + 1 < argc) {
+      replications = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  if (threads == 0) threads = 1;
+
+  sim::SimConfig config;
+  config.network.catalog_size = 20000;
+  config.network.capacity_c = 200;
+  config.network.local_mode = sim::LocalStoreMode::kLru;
+  config.coordinated_x = 100;
+  config.zipf_s = 0.8;
+  config.warmup_requests = requests / 3;
+  config.measured_requests = requests - config.warmup_requests;
+  config.seed = 20240806;
+
+  std::cout << "=== Simulator replay throughput (US-A, N=20000, c=200, "
+            << replications << " replications x " << requests
+            << " requests) ===\n\n";
+
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  double serial_rps = 0.0;
+  {
+    runtime::ThreadPool pool(1);
+    serial_rps = replications_rps(pool, config, replications, &serial_ms);
+  }
+  double parallel_rps = 0.0;
+  {
+    runtime::ThreadPool pool(threads);
+    parallel_rps = replications_rps(pool, config, replications, &parallel_ms);
+  }
+
+  std::cout << "serial   (1 thread):  " << serial_rps / 1e6 << " Mreq/s\n"
+            << "parallel (" << threads << " threads): " << parallel_rps / 1e6
+            << " Mreq/s (speedup " << parallel_rps / serial_rps << "x)\n";
+
+  reporter.add_timing_ms("serial_ms", serial_ms);
+  reporter.add_timing_ms("parallel_ms", parallel_ms);
+  reporter.set_output("requests_per_sec", parallel_rps);
+  reporter.set_output("requests_per_sec_serial", serial_rps);
+  reporter.set_output("threads", threads);
+  reporter.set_output("catalog_size", config.network.catalog_size);
+  reporter.set_output("replications", replications);
+  reporter.set_output("requests_per_replication", requests);
+  return reporter.finish();
+}

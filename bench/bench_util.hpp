@@ -51,7 +51,10 @@ class BenchReporter {
   }
 
   void set_output(const std::string& key, const std::string& value) {
-    outputs_[key] = "\"" + obs::json_escape(value) + "\"";
+    std::string rendered = "\"";
+    rendered += obs::json_escape(value);
+    rendered += '"';
+    outputs_[key] = std::move(rendered);
   }
   void set_output(const std::string& key, const char* value) {
     set_output(key, std::string(value));

@@ -2,16 +2,35 @@
 
 namespace ccnopt::cache {
 
-bool FifoCache::handle(ContentId id) {
-  if (members_.count(id) > 0) return true;
-  if (capacity() == 0) return false;
-  if (members_.size() == capacity()) {
-    members_.erase(order_.front());
-    order_.pop_front();
-    count_eviction();
+FifoCache::FifoCache(std::size_t capacity) : CachePolicy(capacity) {
+  CCNOPT_EXPECTS(capacity < SlotMap::kNoSlot);
+  ring_.resize(capacity);
+}
+
+std::vector<ContentId> FifoCache::contents() const {
+  std::vector<ContentId> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(oldest_ + i) % capacity()]);
   }
-  order_.push_back(id);
-  members_.insert(id);
+  return out;
+}
+
+bool FifoCache::handle(ContentId id) {
+  if (members_.find(id) != SlotMap::kNoSlot) return true;
+  if (capacity() == 0) return false;
+  std::size_t slot;
+  if (size_ == capacity()) {
+    slot = oldest_;
+    members_.erase(ring_[slot]);
+    oldest_ = (oldest_ + 1) % capacity();
+    count_eviction();
+  } else {
+    slot = (oldest_ + size_) % capacity();
+    ++size_;
+  }
+  ring_[slot] = id;
+  members_.insert(id, static_cast<std::uint32_t>(slot));
   count_insertion();
   return false;
 }

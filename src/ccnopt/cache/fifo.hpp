@@ -1,30 +1,37 @@
-// First-in-first-out replacement: insertion order only, no recency update.
+// First-in-first-out replacement on a flat ring buffer: insertion order
+// lives in a contiguous vector cycled by an `oldest` cursor, membership in
+// a dense ContentId -> slot table. No recency update, no per-node
+// allocation; every operation is O(1).
+//
+// ReferenceFifoCache (reference.hpp) keeps the deque + hash set
+// implementation for the equivalence property tests.
 #pragma once
 
-#include <deque>
-#include <unordered_set>
-
 #include "ccnopt/cache/policy.hpp"
+#include "ccnopt/cache/slot_map.hpp"
 
 namespace ccnopt::cache {
 
 class FifoCache final : public CachePolicy {
  public:
-  explicit FifoCache(std::size_t capacity) : CachePolicy(capacity) {}
+  explicit FifoCache(std::size_t capacity);
 
-  std::size_t size() const override { return members_.size(); }
-  bool contains(ContentId id) const override { return members_.count(id) > 0; }
-  std::vector<ContentId> contents() const override {
-    return {order_.begin(), order_.end()};
+  std::size_t size() const override { return size_; }
+  bool contains(ContentId id) const override {
+    return members_.find(id) != SlotMap::kNoSlot;
   }
+  /// Oldest first (the ReferenceFifoCache order).
+  std::vector<ContentId> contents() const override;
   const char* name() const override { return "fifo"; }
 
  protected:
   bool handle(ContentId id) override;
 
  private:
-  std::deque<ContentId> order_;  // front = oldest
-  std::unordered_set<ContentId> members_;
+  std::vector<ContentId> ring_;  // insertion ring, ring_[oldest_] = oldest
+  std::size_t oldest_ = 0;
+  std::size_t size_ = 0;
+  SlotMap members_;
 };
 
 }  // namespace ccnopt::cache

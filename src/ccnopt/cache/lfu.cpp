@@ -2,47 +2,121 @@
 
 namespace ccnopt::cache {
 
+LfuCache::LfuCache(std::size_t capacity) : CachePolicy(capacity) {
+  CCNOPT_EXPECTS(capacity < kNull);
+  ids_.resize(capacity);
+  prev_.resize(capacity);
+  next_.resize(capacity);
+  bucket_.resize(capacity);
+}
+
 std::vector<ContentId> LfuCache::contents() const {
   std::vector<ContentId> out;
-  out.reserve(index_.size());
-  for (const auto& [id, entry] : index_) out.push_back(id);
+  out.reserve(size_);
+  // Slots [0, size_) are always live: evicted slots are reused immediately.
+  for (std::uint32_t slot = 0; slot < size_; ++slot) out.push_back(ids_[slot]);
   return out;
 }
 
 std::uint64_t LfuCache::frequency(ContentId id) const {
-  const auto it = index_.find(id);
-  return it == index_.end() ? 0 : it->second.frequency;
+  const std::uint32_t slot = slots_.find(id);
+  return slot == SlotMap::kNoSlot ? 0 : buckets_[bucket_[slot]].freq;
 }
 
-void LfuCache::bump(ContentId id, Entry& entry) {
-  auto bucket = buckets_.find(entry.frequency);
-  bucket->second.erase(entry.position);
-  if (bucket->second.empty()) buckets_.erase(bucket);
-  ++entry.frequency;
-  auto& next = buckets_[entry.frequency];
-  next.push_front(id);
-  entry.position = next.begin();
+std::uint32_t LfuCache::alloc_bucket(std::uint64_t freq) {
+  std::uint32_t node;
+  if (!free_buckets_.empty()) {
+    node = free_buckets_.back();
+    free_buckets_.pop_back();
+  } else {
+    node = static_cast<std::uint32_t>(buckets_.size());
+    buckets_.emplace_back();
+  }
+  buckets_[node] = Bucket{freq, kNull, kNull, kNull, kNull};
+  return node;
+}
+
+void LfuCache::free_bucket(std::uint32_t bucket) {
+  Bucket& b = buckets_[bucket];
+  (b.prev == kNull ? lowest_ : buckets_[b.prev].next) = b.next;
+  if (b.next != kNull) buckets_[b.next].prev = b.prev;
+  free_buckets_.push_back(bucket);
+}
+
+void LfuCache::detach(std::uint32_t slot) {
+  Bucket& b = buckets_[bucket_[slot]];
+  const std::uint32_t p = prev_[slot];
+  const std::uint32_t n = next_[slot];
+  (p == kNull ? b.head : next_[p]) = n;
+  (n == kNull ? b.tail : prev_[n]) = p;
+}
+
+void LfuCache::attach_front(std::uint32_t slot, std::uint32_t bucket) {
+  Bucket& b = buckets_[bucket];
+  prev_[slot] = kNull;
+  next_[slot] = b.head;
+  if (b.head != kNull) prev_[b.head] = slot;
+  b.head = slot;
+  if (b.tail == kNull) b.tail = slot;
+  bucket_[slot] = bucket;
+}
+
+void LfuCache::bump(std::uint32_t slot) {
+  const std::uint32_t from = bucket_[slot];
+  const std::uint64_t freq = buckets_[from].freq;
+  detach(slot);
+  const bool emptied = buckets_[from].head == kNull;
+  const std::uint32_t higher = buckets_[from].next;
+  std::uint32_t target;
+  if (higher != kNull && buckets_[higher].freq == freq + 1) {
+    target = higher;
+    if (emptied) free_bucket(from);
+  } else if (emptied) {
+    // Reuse the emptied bucket in place: its chain position stays valid
+    // because the next bucket (if any) has frequency > freq + 1.
+    buckets_[from].freq = freq + 1;
+    target = from;
+  } else {
+    target = alloc_bucket(freq + 1);
+    Bucket& t = buckets_[target];
+    t.prev = from;
+    t.next = higher;
+    buckets_[from].next = target;
+    if (higher != kNull) buckets_[higher].prev = target;
+  }
+  attach_front(slot, target);
 }
 
 bool LfuCache::handle(ContentId id) {
-  const auto it = index_.find(id);
-  if (it != index_.end()) {
-    bump(id, it->second);
+  const std::uint32_t found = slots_.find(id);
+  if (found != SlotMap::kNoSlot) {
+    bump(found);
     return true;
   }
   if (capacity() == 0) return false;
-  if (index_.size() == capacity()) {
+  std::uint32_t slot;
+  if (size_ == capacity()) {
     // Evict the least-frequent bucket's least-recent entry.
-    auto lowest = buckets_.begin();
-    const ContentId victim = lowest->second.back();
-    lowest->second.pop_back();
-    if (lowest->second.empty()) buckets_.erase(lowest);
-    index_.erase(victim);
+    slot = buckets_[lowest_].tail;
+    detach(slot);
+    if (buckets_[lowest_].head == kNull) free_bucket(lowest_);
+    slots_.erase(ids_[slot]);
     count_eviction();
+  } else {
+    slot = size_++;
   }
-  auto& bucket = buckets_[1];
-  bucket.push_front(id);
-  index_.emplace(id, Entry{1, bucket.begin()});
+  std::uint32_t target;
+  if (lowest_ != kNull && buckets_[lowest_].freq == 1) {
+    target = lowest_;
+  } else {
+    target = alloc_bucket(1);
+    buckets_[target].next = lowest_;
+    if (lowest_ != kNull) buckets_[lowest_].prev = target;
+    lowest_ = target;
+  }
+  ids_[slot] = id;
+  attach_front(slot, target);
+  slots_.insert(id, slot);
   count_insertion();
   return false;
 }

@@ -1,25 +1,32 @@
-// Least-frequently-used replacement with O(1) operations via frequency
-// buckets (the Ketabi/Shokrollahi structure): each frequency maps to an LRU
-// list, ties broken by recency. Under a stationary Zipf stream this policy
-// converges to holding the top-capacity ranks, which is the paper's
-// steady-state non-coordinated store (Section II's "canonical caching
-// policy based on frequency").
+// Least-frequently-used replacement with O(1) operations on an intrusive
+// frequency list (the Ketabi/Shokrollahi structure flattened into arrays):
+// entries are slots in contiguous vectors linked by index, frequency
+// buckets are pool-allocated nodes chained in ascending frequency order,
+// and membership is a dense ContentId -> slot table. No per-request heap
+// allocation and no std::map — bump, insert, and evict all touch a handful
+// of contiguous words.
+//
+// Semantics are identical to ReferenceLfuCache (reference.hpp): each
+// frequency bucket is an LRU list (most recent at head), eviction takes the
+// least-recent entry of the lowest-frequency bucket. Under a stationary
+// Zipf stream the policy converges to holding the top-capacity ranks — the
+// paper's steady-state non-coordinated store (Section II's "canonical
+// caching policy based on frequency").
 #pragma once
 
-#include <list>
-#include <map>
-#include <unordered_map>
-
 #include "ccnopt/cache/policy.hpp"
+#include "ccnopt/cache/slot_map.hpp"
 
 namespace ccnopt::cache {
 
 class LfuCache final : public CachePolicy {
  public:
-  explicit LfuCache(std::size_t capacity) : CachePolicy(capacity) {}
+  explicit LfuCache(std::size_t capacity);
 
-  std::size_t size() const override { return index_.size(); }
-  bool contains(ContentId id) const override { return index_.count(id) > 0; }
+  std::size_t size() const override { return size_; }
+  bool contains(ContentId id) const override {
+    return slots_.find(id) != SlotMap::kNoSlot;
+  }
   std::vector<ContentId> contents() const override;
   const char* name() const override { return "lfu"; }
 
@@ -30,15 +37,35 @@ class LfuCache final : public CachePolicy {
   bool handle(ContentId id) override;
 
  private:
-  struct Entry {
-    std::uint64_t frequency;
-    std::list<ContentId>::iterator position;
-  };
-  // frequency -> ids at that frequency, most recent at front.
-  std::map<std::uint64_t, std::list<ContentId>> buckets_;
-  std::unordered_map<ContentId, Entry> index_;
+  static constexpr std::uint32_t kNull = SlotMap::kNoSlot;
 
-  void bump(ContentId id, Entry& entry);
+  /// One frequency bucket: an intrusive LRU list of entry slots plus its
+  /// position in the ascending-frequency bucket chain.
+  struct Bucket {
+    std::uint64_t freq = 0;
+    std::uint32_t head = kNull;  // most recent entry
+    std::uint32_t tail = kNull;  // least recent entry
+    std::uint32_t prev = kNull;  // bucket with next-lower frequency
+    std::uint32_t next = kNull;  // bucket with next-higher frequency
+  };
+
+  void bump(std::uint32_t slot);
+  void detach(std::uint32_t slot);
+  void attach_front(std::uint32_t slot, std::uint32_t bucket);
+  std::uint32_t alloc_bucket(std::uint64_t freq);
+  void free_bucket(std::uint32_t bucket);
+
+  // Entry state, slot-indexed.
+  std::vector<ContentId> ids_;
+  std::vector<std::uint32_t> prev_;    // within-bucket links
+  std::vector<std::uint32_t> next_;
+  std::vector<std::uint32_t> bucket_;  // slot -> owning bucket node
+  // Bucket pool (free-listed); lowest_ is the minimum-frequency bucket.
+  std::vector<Bucket> buckets_;
+  std::vector<std::uint32_t> free_buckets_;
+  std::uint32_t lowest_ = kNull;
+  std::uint32_t size_ = 0;
+  SlotMap slots_;
 };
 
 }  // namespace ccnopt::cache

@@ -2,24 +2,59 @@
 
 namespace ccnopt::cache {
 
+LruCache::LruCache(std::size_t capacity) : CachePolicy(capacity) {
+  CCNOPT_EXPECTS(capacity < kNull);
+  ids_.resize(capacity);
+  prev_.resize(capacity);
+  next_.resize(capacity);
+}
+
 std::vector<ContentId> LruCache::contents() const {
-  return {order_.begin(), order_.end()};
+  std::vector<ContentId> out;
+  out.reserve(size_);
+  for (std::uint32_t slot = head_; slot != kNull; slot = next_[slot]) {
+    out.push_back(ids_[slot]);
+  }
+  return out;
+}
+
+void LruCache::unlink(std::uint32_t slot) {
+  const std::uint32_t p = prev_[slot];
+  const std::uint32_t n = next_[slot];
+  (p == kNull ? head_ : next_[p]) = n;
+  (n == kNull ? tail_ : prev_[n]) = p;
+}
+
+void LruCache::push_front(std::uint32_t slot) {
+  prev_[slot] = kNull;
+  next_[slot] = head_;
+  if (head_ != kNull) prev_[head_] = slot;
+  head_ = slot;
+  if (tail_ == kNull) tail_ = slot;
 }
 
 bool LruCache::handle(ContentId id) {
-  const auto it = index_.find(id);
-  if (it != index_.end()) {
-    order_.splice(order_.begin(), order_, it->second);
+  const std::uint32_t found = slots_.find(id);
+  if (found != SlotMap::kNoSlot) {
+    if (head_ != found) {
+      unlink(found);
+      push_front(found);
+    }
     return true;
   }
   if (capacity() == 0) return false;
-  if (index_.size() == capacity()) {
-    index_.erase(order_.back());
-    order_.pop_back();
+  std::uint32_t slot;
+  if (size_ == capacity()) {
+    slot = tail_;
+    unlink(slot);
+    slots_.erase(ids_[slot]);
     count_eviction();
+  } else {
+    slot = size_++;
   }
-  order_.push_front(id);
-  index_.emplace(id, order_.begin());
+  ids_[slot] = id;
+  push_front(slot);
+  slots_.insert(id, slot);
   count_insertion();
   return false;
 }

@@ -1,20 +1,28 @@
-// Least-recently-used replacement: classic list + hash map, O(1) per
-// operation.
+// Least-recently-used replacement on an intrusive array-backed list: the
+// recency chain lives in contiguous index vectors (no per-node heap
+// allocation) and membership is a dense ContentId -> slot table, so every
+// operation is O(1) with cache-friendly accesses. Slots are recycled in
+// place on eviction, so the arrays never exceed `capacity` entries.
+//
+// ReferenceLruCache (reference.hpp) keeps the classic std::list + hash map
+// implementation; the equivalence property tests replay identical request
+// streams through both and require identical hit/miss/eviction sequences.
 #pragma once
 
-#include <list>
-#include <unordered_map>
-
 #include "ccnopt/cache/policy.hpp"
+#include "ccnopt/cache/slot_map.hpp"
 
 namespace ccnopt::cache {
 
 class LruCache final : public CachePolicy {
  public:
-  explicit LruCache(std::size_t capacity) : CachePolicy(capacity) {}
+  explicit LruCache(std::size_t capacity);
 
-  std::size_t size() const override { return index_.size(); }
-  bool contains(ContentId id) const override { return index_.count(id) > 0; }
+  std::size_t size() const override { return size_; }
+  bool contains(ContentId id) const override {
+    return slots_.find(id) != SlotMap::kNoSlot;
+  }
+  /// Most recently used first (the ReferenceLruCache order).
   std::vector<ContentId> contents() const override;
   const char* name() const override { return "lru"; }
 
@@ -22,9 +30,18 @@ class LruCache final : public CachePolicy {
   bool handle(ContentId id) override;
 
  private:
-  // Front = most recently used.
-  std::list<ContentId> order_;
-  std::unordered_map<ContentId, std::list<ContentId>::iterator> index_;
+  static constexpr std::uint32_t kNull = SlotMap::kNoSlot;
+
+  void unlink(std::uint32_t slot);
+  void push_front(std::uint32_t slot);
+
+  std::vector<ContentId> ids_;       // slot -> content id
+  std::vector<std::uint32_t> prev_;  // slot -> more recent neighbour
+  std::vector<std::uint32_t> next_;  // slot -> less recent neighbour
+  std::uint32_t head_ = kNull;       // most recently used
+  std::uint32_t tail_ = kNull;       // least recently used
+  std::uint32_t size_ = 0;
+  SlotMap slots_;
 };
 
 }  // namespace ccnopt::cache

@@ -1,0 +1,105 @@
+#include "ccnopt/cache/reference.hpp"
+
+#include "ccnopt/cache/random_policy.hpp"
+
+namespace ccnopt::cache {
+
+std::vector<ContentId> ReferenceLruCache::contents() const {
+  return {order_.begin(), order_.end()};
+}
+
+bool ReferenceLruCache::handle(ContentId id) {
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    order_.splice(order_.begin(), order_, it->second);
+    return true;
+  }
+  if (capacity() == 0) return false;
+  if (index_.size() == capacity()) {
+    index_.erase(order_.back());
+    order_.pop_back();
+    count_eviction();
+  }
+  order_.push_front(id);
+  index_.emplace(id, order_.begin());
+  count_insertion();
+  return false;
+}
+
+std::vector<ContentId> ReferenceLfuCache::contents() const {
+  std::vector<ContentId> out;
+  out.reserve(index_.size());
+  for (const auto& [id, entry] : index_) out.push_back(id);
+  return out;
+}
+
+std::uint64_t ReferenceLfuCache::frequency(ContentId id) const {
+  const auto it = index_.find(id);
+  return it == index_.end() ? 0 : it->second.frequency;
+}
+
+void ReferenceLfuCache::bump(ContentId id, Entry& entry) {
+  auto bucket = buckets_.find(entry.frequency);
+  bucket->second.erase(entry.position);
+  if (bucket->second.empty()) buckets_.erase(bucket);
+  ++entry.frequency;
+  auto& next = buckets_[entry.frequency];
+  next.push_front(id);
+  entry.position = next.begin();
+}
+
+bool ReferenceLfuCache::handle(ContentId id) {
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    bump(id, it->second);
+    return true;
+  }
+  if (capacity() == 0) return false;
+  if (index_.size() == capacity()) {
+    // Evict the least-frequent bucket's least-recent entry.
+    auto lowest = buckets_.begin();
+    const ContentId victim = lowest->second.back();
+    lowest->second.pop_back();
+    if (lowest->second.empty()) buckets_.erase(lowest);
+    index_.erase(victim);
+    count_eviction();
+  }
+  auto& bucket = buckets_[1];
+  bucket.push_front(id);
+  index_.emplace(id, Entry{1, bucket.begin()});
+  count_insertion();
+  return false;
+}
+
+bool ReferenceFifoCache::handle(ContentId id) {
+  if (members_.count(id) > 0) return true;
+  if (capacity() == 0) return false;
+  if (members_.size() == capacity()) {
+    members_.erase(order_.front());
+    order_.pop_front();
+    count_eviction();
+  }
+  order_.push_back(id);
+  members_.insert(id);
+  count_insertion();
+  return false;
+}
+
+std::unique_ptr<CachePolicy> make_reference_policy(PolicyKind kind,
+                                                   std::size_t capacity,
+                                                   std::uint64_t seed) {
+  switch (kind) {
+    case PolicyKind::kLru:
+      return std::make_unique<ReferenceLruCache>(capacity);
+    case PolicyKind::kLfu:
+      return std::make_unique<ReferenceLfuCache>(capacity);
+    case PolicyKind::kFifo:
+      return std::make_unique<ReferenceFifoCache>(capacity);
+    case PolicyKind::kRandom:
+      return std::make_unique<RandomCache>(capacity, seed);
+  }
+  CCNOPT_ASSERT(false);
+  return nullptr;
+}
+
+}  // namespace ccnopt::cache

@@ -1,0 +1,64 @@
+// Dense ContentId -> slot table backing the flat cache policies.
+//
+// Simulator content ids are Zipf ranks: 1-based, contiguous, bounded by the
+// catalog size. An array indexed by id therefore resolves membership with a
+// single load instead of a hash + probe per request. The table grows on
+// demand (amortized doubling), and ids beyond kDenseLimit — possible only in
+// synthetic/adversarial streams, never in the simulator — spill into a hash
+// map so correctness holds for arbitrary 64-bit ids without unbounded
+// memory.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ccnopt/cache/policy.hpp"
+
+namespace ccnopt::cache {
+
+class SlotMap {
+ public:
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  std::uint32_t find(ContentId id) const {
+    if (id < dense_.size()) return dense_[id];
+    if (id < kDenseLimit) return kNoSlot;
+    const auto it = overflow_.find(id);
+    return it == overflow_.end() ? kNoSlot : it->second;
+  }
+
+  void insert(ContentId id, std::uint32_t slot) {
+    if (id < kDenseLimit) {
+      if (id >= dense_.size()) grow(id);
+      dense_[id] = slot;
+    } else {
+      overflow_[id] = slot;
+    }
+  }
+
+  void erase(ContentId id) {
+    if (id < dense_.size()) {
+      dense_[id] = kNoSlot;
+    } else if (id >= kDenseLimit) {
+      overflow_.erase(id);
+    }
+  }
+
+ private:
+  // 16M dense ids (64 MB worst case), reached only by actually admitting
+  // ids that large; the simulator's catalogs sit far below this.
+  static constexpr ContentId kDenseLimit = 1ull << 24;
+
+  void grow(ContentId id) {
+    std::size_t next = dense_.empty() ? 64 : dense_.size() * 2;
+    while (next <= id) next *= 2;
+    if (next > kDenseLimit) next = kDenseLimit;
+    dense_.resize(next, kNoSlot);
+  }
+
+  std::vector<std::uint32_t> dense_;
+  std::unordered_map<ContentId, std::uint32_t> overflow_;
+};
+
+}  // namespace ccnopt::cache

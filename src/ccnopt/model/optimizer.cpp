@@ -39,18 +39,25 @@ const char* to_string(SolveMethod method) {
 
 Expected<Lemma2Coefficients> lemma2_coefficients(const SystemParams& params) {
   if (Status st = params.validate(); !st.is_ok()) return st;
+  return lemma2_coefficients(PerformanceModel(params));
+}
+
+Expected<Lemma2Coefficients> lemma2_coefficients(
+    const PerformanceModel& model) {
+  const SystemParams& params = model.params();
   if (!(params.alpha > 0.0)) {
     return Status(ErrorCode::kInvalidArgument,
                   "lemma2_coefficients: Eq. 7 requires alpha > 0");
   }
+  // a = gamma n^{1-s}, b's zipf factor = (N^{1-s}-1)/(1-s), and c^s are
+  // the model's memoized invariants — identical expressions, evaluated
+  // once per model instead of once per call.
   Lemma2Coefficients coeff;
-  coeff.a = params.latency.gamma() * std::pow(params.n, 1.0 - params.s);
-  const double zipf_factor =
-      (std::pow(params.catalog_n, 1.0 - params.s) - 1.0) / (1.0 - params.s);
-  coeff.b = (1.0 - params.alpha) / params.alpha * zipf_factor *
-            (params.n - 1.0) * params.cost.effective_unit_cost() /
-            (params.latency.d1 - params.latency.d0) *
-            std::pow(params.capacity_c, params.s);
+  coeff.a = model.lemma2_a();
+  coeff.b = (1.0 - params.alpha) / params.alpha *
+            model.zipf_integral_factor() * (params.n - 1.0) *
+            params.cost.effective_unit_cost() /
+            (params.latency.d1 - params.latency.d0) * model.capacity_pow_s();
   return coeff;
 }
 
@@ -73,7 +80,11 @@ Expected<double> closed_form_alpha1(const SystemParams& params) {
 }
 
 Expected<StrategyResult> solve_lemma2(const SystemParams& params) {
-  const auto coeff = lemma2_coefficients(params);
+  if (Status st = params.validate(); !st.is_ok()) return st;
+  // One model for the whole solve: its memoized constants feed the
+  // coefficients and the final objective decomposition alike.
+  const PerformanceModel model(params);
+  const auto coeff = lemma2_coefficients(model);
   if (!coeff) return coeff.status();
   const double a = coeff->a;
   const double b = coeff->b;
@@ -87,7 +98,6 @@ Expected<StrategyResult> solve_lemma2(const SystemParams& params) {
   const auto root = numerics::brent(g, kEps, 1.0 - kEps,
                                     numerics::RootOptions{1e-14, 0.0, 300});
   if (!root) return root.status();
-  const PerformanceModel model(params);
   return make_result(model, root->root * params.capacity_c,
                      SolveMethod::kLemma2Root, root->iterations);
 }

@@ -44,6 +44,11 @@ struct Lemma2Coefficients {
 };
 Expected<Lemma2Coefficients> lemma2_coefficients(const SystemParams& params);
 
+/// Same coefficients from an already-built model, reusing its memoized
+/// pow() invariants (gamma n^{1-s}, c^s, the integrated Zipf factor) —
+/// solvers that hold a PerformanceModel should prefer this overload.
+Expected<Lemma2Coefficients> lemma2_coefficients(const PerformanceModel& model);
+
 /// Theorem 2: l* = 1/(gamma^{1/s} * n^{1-1/s} + 1) for alpha = 1.
 /// Fails if params are invalid; ignores params.alpha (the formula is the
 /// alpha = 1 special case by construction).

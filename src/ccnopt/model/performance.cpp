@@ -13,6 +13,10 @@ PerformanceModel::PerformanceModel(SystemParams params)
   if (!status.is_ok()) {
     CCNOPT_EXPECTS(status.is_ok() && "SystemParams failed validation");
   }
+  gamma_n_pow_ =
+      params_.latency.gamma() * std::pow(params_.n, 1.0 - params_.s);
+  c_pow_s_ = std::pow(params_.capacity_c, params_.s);
+  zipf_integral_factor_ = zipf_.denominator() / (1.0 - params_.s);
 }
 
 PerformanceModel::TierSplit PerformanceModel::tier_split(double x) const {

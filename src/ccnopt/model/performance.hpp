@@ -57,9 +57,22 @@ class PerformanceModel {
   /// ((N^{1-s} - c^{1-s}) d2 + (c^{1-s} - 1) d0) / (N^{1-s} - 1).
   double baseline_performance() const { return routing_performance(0.0); }
 
+  // Memoized Zipf-CDF constants, computed once per model so solvers that
+  // evaluate Lemma 2 / Eq. 7 repeatedly never re-run pow() on invariants.
+
+  /// gamma * n^{1-s} — Lemma 2's coefficient "a".
+  double lemma2_a() const { return gamma_n_pow_; }
+  /// c^s, the capacity factor of Lemma 2's coefficient "b".
+  double capacity_pow_s() const { return c_pow_s_; }
+  /// (N^{1-s} - 1)/(1 - s), the integrated Zipf factor in "b".
+  double zipf_integral_factor() const { return zipf_integral_factor_; }
+
  private:
   SystemParams params_;
   popularity::ContinuousZipf zipf_;
+  double gamma_n_pow_ = 0.0;
+  double c_pow_s_ = 0.0;
+  double zipf_integral_factor_ = 0.0;
 };
 
 }  // namespace ccnopt::model

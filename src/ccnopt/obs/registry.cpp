@@ -95,6 +95,29 @@ void MetricsRegistry::incr(const std::string& name, std::uint64_t delta) {
   shard.counters[name] += delta;
 }
 
+MetricsRegistry::CounterHandle MetricsRegistry::counter_handle(
+    const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counter_ids_.find(name);
+  if (it != counter_ids_.end()) return CounterHandle(this, it->second);
+  const auto id = static_cast<std::uint32_t>(counter_names_.size());
+  counter_names_.push_back(name);
+  counter_ids_.emplace(name, id);
+  return CounterHandle(this, id);
+}
+
+void MetricsRegistry::incr(CounterHandle handle, std::uint64_t delta) {
+  CCNOPT_EXPECTS(handle.registry_ == this);
+  Shard& shard = local_shard();
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  if (handle.id_ >= shard.counter_slots.size()) {
+    shard.counter_slots.resize(handle.id_ + 1, 0);
+    shard.counter_used.resize(handle.id_ + 1, 0);
+  }
+  shard.counter_used[handle.id_] = 1;
+  shard.counter_slots[handle.id_] += delta;
+}
+
 void MetricsRegistry::set_gauge(const std::string& name, double value) {
   const std::lock_guard<std::mutex> lock(mutex_);
   gauges_[name] = value;
@@ -136,6 +159,65 @@ void MetricsRegistry::observe(const std::string& name, double value) {
   shard.histograms.emplace(name, std::move(fresh)).first->second.observe(value);
 }
 
+MetricsRegistry::HistogramHandle MetricsRegistry::histogram_handle(
+    const std::string& name, std::vector<double> bounds) {
+  CCNOPT_EXPECTS(!bounds.empty());
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histogram_ids_.find(name);
+  if (it != histogram_ids_.end()) {
+    CCNOPT_EXPECTS(histogram_handle_bounds_[it->second] == bounds);
+    return HistogramHandle(this, it->second);
+  }
+  const auto id = static_cast<std::uint32_t>(histogram_names_.size());
+  histogram_names_.push_back(name);
+  histogram_handle_bounds_.push_back(std::move(bounds));
+  histogram_ids_.emplace(name, id);
+  return HistogramHandle(this, id);
+}
+
+void MetricsRegistry::observe(HistogramHandle handle, double value) {
+  CCNOPT_EXPECTS(handle.registry_ == this);
+  Shard& shard = local_shard();
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    if (handle.id_ < shard.histogram_slots.size() &&
+        !shard.histogram_slots[handle.id_].bounds().empty()) {
+      shard.histogram_slots[handle.id_].observe(value);
+      return;
+    }
+  }
+  // First observation on this thread: fetch the registered bounds (never
+  // while holding the shard mutex — lock order is registry before shard).
+  Histogram fresh;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    fresh = Histogram(histogram_handle_bounds_[handle.id_]);
+  }
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  if (handle.id_ >= shard.histogram_slots.size()) {
+    shard.histogram_slots.resize(handle.id_ + 1);
+  }
+  Histogram& slot = shard.histogram_slots[handle.id_];
+  if (slot.bounds().empty()) slot = std::move(fresh);
+  slot.observe(value);
+}
+
+void MetricsRegistry::merge_histogram(HistogramHandle handle,
+                                      const Histogram& h) {
+  CCNOPT_EXPECTS(handle.registry_ == this);
+  CCNOPT_EXPECTS(!h.bounds().empty());
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    CCNOPT_EXPECTS(histogram_handle_bounds_[handle.id_] == h.bounds());
+  }
+  Shard& shard = local_shard();
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  if (handle.id_ >= shard.histogram_slots.size()) {
+    shard.histogram_slots.resize(handle.id_ + 1);
+  }
+  shard.histogram_slots[handle.id_].merge(h);
+}
+
 void MetricsRegistry::merge_histogram(const std::string& name,
                                       const Histogram& h) {
   CCNOPT_EXPECTS(!h.bounds().empty());
@@ -168,6 +250,17 @@ RegistrySnapshot MetricsRegistry::snapshot() const {
     for (const auto& [name, hist] : shard->histograms) {
       snap.histograms[name].merge(hist);
     }
+    for (std::size_t id = 0; id < shard->counter_slots.size(); ++id) {
+      if (shard->counter_used[id]) {
+        snap.counters[counter_names_[id]] += shard->counter_slots[id];
+      }
+    }
+    for (std::size_t id = 0; id < shard->histogram_slots.size(); ++id) {
+      const Histogram& hist = shard->histogram_slots[id];
+      if (!hist.bounds().empty()) {
+        snap.histograms[histogram_names_[id]].merge(hist);
+      }
+    }
   }
   return snap;
 }
@@ -178,6 +271,12 @@ void MetricsRegistry::reset() {
     const std::lock_guard<std::mutex> shard_lock(shard->mutex);
     shard->counters.clear();
     shard->histograms.clear();
+    // Interned slots are zeroed, not discarded: outstanding handles stay
+    // valid (their names reappear in snapshots on the next record).
+    std::fill(shard->counter_slots.begin(), shard->counter_slots.end(), 0);
+    std::fill(shard->counter_used.begin(), shard->counter_used.end(),
+              std::uint8_t{0});
+    shard->histogram_slots.clear();
   }
   gauges_.clear();
   histogram_bounds_.clear();

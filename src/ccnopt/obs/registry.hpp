@@ -12,6 +12,15 @@
 // property is what lets `--metrics-out` promise byte-identical output for
 // any --threads value.
 //
+// Hot paths intern their metric names once and record through handles:
+// CounterHandle / HistogramHandle resolve the name to a dense id at
+// registration, so per-event recording is an array index update — no
+// string hashing, no map probe. String keys exist only at registration and
+// export; a handle-recorded metric is indistinguishable from a
+// string-recorded one in snapshots. Handles survive reset(): reset clears
+// every recorded value but keeps the interned id tables, so statically
+// cached handles stay valid for the life of the registry.
+//
 // Two process-wide instances exist with distinct determinism contracts:
 //   obs::metrics() — the deterministic domain. Everything recorded here
 //     must be a pure function of seeds and inputs (request counts, tier
@@ -82,12 +91,51 @@ struct RegistrySnapshot {
 
 class MetricsRegistry {
  public:
+  /// Pre-resolved counter identity: the name was interned at creation, so
+  /// incr(handle) touches only this thread's slot array. Default-constructed
+  /// handles are invalid; copy freely (it is two words).
+  class CounterHandle {
+   public:
+    CounterHandle() = default;
+    bool valid() const { return registry_ != nullptr; }
+
+   private:
+    friend class MetricsRegistry;
+    CounterHandle(MetricsRegistry* registry, std::uint32_t id)
+        : registry_(registry), id_(id) {}
+    MetricsRegistry* registry_ = nullptr;
+    std::uint32_t id_ = 0;
+  };
+
+  /// Pre-resolved histogram identity; bounds are fixed at creation.
+  class HistogramHandle {
+   public:
+    HistogramHandle() = default;
+    bool valid() const { return registry_ != nullptr; }
+
+   private:
+    friend class MetricsRegistry;
+    HistogramHandle(MetricsRegistry* registry, std::uint32_t id)
+        : registry_(registry), id_(id) {}
+    MetricsRegistry* registry_ = nullptr;
+    std::uint32_t id_ = 0;
+  };
+
   MetricsRegistry();
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// Adds `delta` to the named counter in this thread's shard.
   void incr(const std::string& name, std::uint64_t delta = 1);
+
+  /// Interns `name` and returns its handle (idempotent: the same name
+  /// always yields an equivalent handle). The counter appears in snapshots
+  /// once incremented (delta 0 counts as touched, matching string incr).
+  CounterHandle counter_handle(const std::string& name);
+
+  /// Adds `delta` to the handle's counter — no string hashing; the handle
+  /// must come from this registry.
+  void incr(CounterHandle handle, std::uint64_t delta = 1);
 
   /// Sets a gauge (registry-global, last write wins). Gauges are not
   /// sharded; deterministic exports should only set them from code that
@@ -101,15 +149,33 @@ class MetricsRegistry {
   /// Records one observation into the named (defined) histogram.
   void observe(const std::string& name, double value);
 
+  /// Interns a histogram with fixed bounds and returns its handle.
+  /// Idempotent for matching bounds; differing bounds are a contract
+  /// violation. The histogram appears in snapshots once observed into or
+  /// merged (unlike define_histogram it is not pre-seeded, so a reset()
+  /// hides it again until the next record).
+  HistogramHandle histogram_handle(const std::string& name,
+                                   std::vector<double> bounds);
+
+  /// Records one observation through a pre-resolved handle.
+  void observe(HistogramHandle handle, double value);
+
   /// Merges a locally accumulated histogram into the registry; defines the
   /// name with `h`'s bounds on first use.
   void merge_histogram(const std::string& name, const Histogram& h);
+
+  /// Merges a locally accumulated histogram through a pre-resolved handle;
+  /// `h`'s bounds must match the handle's registration.
+  void merge_histogram(HistogramHandle handle, const Histogram& h);
 
   /// Merged view across all shards. Defined-but-unobserved histograms
   /// appear with zero counts so the export schema is run-independent.
   RegistrySnapshot snapshot() const;
 
-  /// Clears all counters, gauges, observations, and histogram definitions.
+  /// Clears all recorded counters, gauges, observations, and string-keyed
+  /// histogram definitions. Interned handle tables persist: existing
+  /// CounterHandle/HistogramHandle values remain usable and simply start
+  /// from zero again.
   void reset();
 
  private:
@@ -117,16 +183,27 @@ class MetricsRegistry {
     std::mutex mutex;
     std::unordered_map<std::string, std::uint64_t> counters;
     std::unordered_map<std::string, Histogram> histograms;
+    // Interned-id-indexed slots; `counter_used` marks ids touched since the
+    // last reset so snapshots list exactly the recorded names.
+    std::vector<std::uint64_t> counter_slots;
+    std::vector<std::uint8_t> counter_used;
+    std::vector<Histogram> histogram_slots;  // empty bounds = untouched
   };
 
   Shard& local_shard() const;
   std::vector<double> bounds_for(const std::string& name) const;
 
   const std::uint64_t id_;  // keys the thread-local shard cache
-  mutable std::mutex mutex_;  // guards shards_ list, gauges_, bounds_
+  mutable std::mutex mutex_;  // guards shards_ list, gauges_, bounds_, interns
   mutable std::vector<std::unique_ptr<Shard>> shards_;
   std::map<std::string, double> gauges_;
   std::map<std::string, std::vector<double>> histogram_bounds_;
+  // Interned handle tables (append-only; survive reset()).
+  std::vector<std::string> counter_names_;
+  std::unordered_map<std::string, std::uint32_t> counter_ids_;
+  std::vector<std::string> histogram_names_;
+  std::vector<std::vector<double>> histogram_handle_bounds_;
+  std::unordered_map<std::string, std::uint32_t> histogram_ids_;
 };
 
 /// The deterministic-domain registry (seed-determined quantities only).

@@ -11,9 +11,15 @@ AliasSampler::AliasSampler(const std::vector<double>& weights) {
 }
 
 AliasSampler::AliasSampler(const ZipfDistribution& zipf) {
-  std::vector<double> weights(zipf.catalog_size());
-  for (std::uint64_t i = 0; i < weights.size(); ++i) {
-    weights[i] = std::pow(static_cast<double>(i + 1), -zipf.exponent());
+  // Zipf weight i^-s computed as exp(-s * log i): one transcendental per
+  // rank instead of pow()'s two, into a buffer reused across rebuilds on
+  // the same thread (per-epoch workloads reconstruct samplers often).
+  thread_local std::vector<double> weights;
+  weights.resize(zipf.catalog_size());
+  const double s = zipf.exponent();
+  weights[0] = 1.0;  // exp(-s * log 1)
+  for (std::uint64_t i = 1; i < weights.size(); ++i) {
+    weights[i] = std::exp(-s * std::log(static_cast<double>(i + 1)));
   }
   build(weights);
 }

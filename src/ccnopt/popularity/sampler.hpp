@@ -27,6 +27,11 @@ class RankSampler {
 /// Walker/Vose alias method over an explicit probability vector.
 class AliasSampler final : public RankSampler {
  public:
+  /// Marks the O(1)-per-draw guarantee; workloads on the simulator hot
+  /// path static_assert on this so a sampler swap to an O(log N) draw
+  /// cannot land silently.
+  static constexpr bool kConstantTimeSample = true;
+
   /// Builds from any discrete distribution over ranks 1..N given as
   /// (unnormalized) weights; requires non-empty weights, all >= 0, sum > 0.
   explicit AliasSampler(const std::vector<double>& weights);

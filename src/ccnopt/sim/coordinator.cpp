@@ -4,6 +4,26 @@
 #include "ccnopt/obs/registry.hpp"
 
 namespace ccnopt::sim {
+namespace {
+
+// Interned once per process; handles survive registry reset().
+struct CoordinatorMetricHandles {
+  obs::MetricsRegistry::CounterHandle assignments;
+  obs::MetricsRegistry::CounterHandle placements;
+
+  static const CoordinatorMetricHandles& get() {
+    static const CoordinatorMetricHandles handles = [] {
+      obs::MetricsRegistry& registry = obs::metrics();
+      return CoordinatorMetricHandles{
+          registry.counter_handle("sim.coordinator.assignments"),
+          registry.counter_handle("sim.coordinator.placements"),
+      };
+    }();
+    return handles;
+  }
+};
+
+}  // namespace
 
 Coordinator::Coordinator(std::vector<topology::NodeId> participants)
     : participants_(std::move(participants)) {
@@ -26,8 +46,9 @@ Coordinator::Assignment Coordinator::assign(cache::ContentId first_rank,
     assignment.per_router[router_index].push_back(content);
   }
   assignment.messages = total;  // one placement message per content
-  obs::metrics().incr("sim.coordinator.assignments");
-  obs::metrics().incr("sim.coordinator.placements", total);
+  const CoordinatorMetricHandles& handles = CoordinatorMetricHandles::get();
+  obs::metrics().incr(handles.assignments);
+  obs::metrics().incr(handles.placements, total);
   return assignment;
 }
 
@@ -54,8 +75,9 @@ Coordinator::Assignment Coordinator::assign_weighted(
     cursor = (cursor + 1) % n;
   }
   assignment.messages = total;
-  obs::metrics().incr("sim.coordinator.assignments");
-  obs::metrics().incr("sim.coordinator.placements", total);
+  const CoordinatorMetricHandles& handles = CoordinatorMetricHandles::get();
+  obs::metrics().incr(handles.assignments);
+  obs::metrics().incr(handles.placements, total);
   return assignment;
 }
 

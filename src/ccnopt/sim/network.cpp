@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "ccnopt/cache/reference.hpp"
 #include "ccnopt/cache/static_cache.hpp"
 #include "ccnopt/common/assert.hpp"
 #include "ccnopt/obs/registry.hpp"
@@ -12,22 +13,44 @@ namespace ccnopt::sim {
 namespace {
 
 std::unique_ptr<cache::CachePolicy> make_local_partition(
-    LocalStoreMode mode, std::size_t capacity, std::uint64_t seed) {
+    LocalStoreMode mode, std::size_t capacity, std::uint64_t seed,
+    bool use_reference) {
+  const auto factory = use_reference ? cache::make_reference_policy
+                                     : cache::make_policy;
   switch (mode) {
     case LocalStoreMode::kStaticTop:
       return cache::StaticCache::make_top(capacity);
     case LocalStoreMode::kLru:
-      return cache::make_policy(cache::PolicyKind::kLru, capacity, seed);
+      return factory(cache::PolicyKind::kLru, capacity, seed);
     case LocalStoreMode::kLfu:
-      return cache::make_policy(cache::PolicyKind::kLfu, capacity, seed);
+      return factory(cache::PolicyKind::kLfu, capacity, seed);
     case LocalStoreMode::kFifo:
-      return cache::make_policy(cache::PolicyKind::kFifo, capacity, seed);
+      return factory(cache::PolicyKind::kFifo, capacity, seed);
     case LocalStoreMode::kRandom:
-      return cache::make_policy(cache::PolicyKind::kRandom, capacity, seed);
+      return factory(cache::PolicyKind::kRandom, capacity, seed);
   }
   CCNOPT_ASSERT(false);
   return nullptr;
 }
+
+// Interned once per process; handles survive registry reset().
+struct NetworkMetricHandles {
+  obs::MetricsRegistry::CounterHandle routing_rebuilds;
+  obs::MetricsRegistry::CounterHandle provision_epochs;
+  obs::MetricsRegistry::CounterHandle provision_messages;
+
+  static const NetworkMetricHandles& get() {
+    static const NetworkMetricHandles handles = [] {
+      obs::MetricsRegistry& registry = obs::metrics();
+      return NetworkMetricHandles{
+          registry.counter_handle("sim.network.routing_rebuilds"),
+          registry.counter_handle("sim.provision.epochs"),
+          registry.counter_handle("sim.provision.messages"),
+      };
+    }();
+    return handles;
+  }
+};
 
 }  // namespace
 
@@ -82,38 +105,81 @@ CcnNetwork::CcnNetwork(topology::Graph graph, NetworkConfig config)
   }
   stores_.resize(graph_.node_count());
   failed_.assign(graph_.node_count(), false);
+  owner_of_.assign(config_.catalog_size + 1, kNoOwner);
+  // Dense link index (min,max) -> position in graph().links() order, built
+  // once; parent_link_ rebuilds consult it, serve() never does.
+  const auto n = static_cast<std::uint64_t>(graph_.node_count());
+  const auto& links = graph_.links();
+  link_index_.reserve(links.size());
+  for (std::uint32_t i = 0; i < links.size(); ++i) {
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(links[i].u) * n + links[i].v;
+    link_index_.emplace(key, i);
+  }
+  link_counts_.assign(links.size(), 0);
   rebuild_routing();
   provision(0);
 }
 
 void CcnNetwork::rebuild_routing() {
   const obs::ScopedSpan span("network.rebuild_routing");
-  obs::metrics().incr("sim.network.routing_rebuilds");
+  obs::metrics().incr(NetworkMetricHandles::get().routing_rebuilds);
   paths_ = topology::all_pairs_filtered(graph_, failed_);
   if (config_.track_link_load) {
+    const auto n = static_cast<std::uint64_t>(graph_.node_count());
     trees_.clear();
     trees_.reserve(graph_.node_count());
+    parent_link_.clear();
+    parent_link_.reserve(graph_.node_count());
     for (topology::NodeId src = 0; src < graph_.node_count(); ++src) {
       trees_.push_back(topology::dijkstra_filtered(graph_, src, failed_));
+      const topology::SsspResult& tree = trees_.back();
+      std::vector<std::uint32_t> tree_links(graph_.node_count(), kNoLink);
+      for (topology::NodeId v = 0; v < graph_.node_count(); ++v) {
+        const topology::NodeId p = tree.parent[v];
+        if (p == topology::kNoParent) continue;
+        const std::uint64_t key =
+            static_cast<std::uint64_t>(std::min(p, v)) * n + std::max(p, v);
+        tree_links[v] = link_index_.at(key);
+      }
+      parent_link_.push_back(std::move(tree_links));
+    }
+  }
+  // Origin route costs fold d0, the (possibly failure-filtered) shortest
+  // path, and the spec's extra cost into one load per request.
+  origin_routes_.assign(graph_.node_count() * origins_.size(), OriginRoute{});
+  for (topology::NodeId src = 0; src < graph_.node_count(); ++src) {
+    for (std::size_t o = 0; o < origins_.size(); ++o) {
+      const NetworkConfig::OriginSpec& origin = origins_[o];
+      OriginRoute& route = origin_routes_[src * origins_.size() + o];
+      if (paths_.latency_ms(src, origin.gateway) >= topology::kUnreachable) {
+        continue;  // stays unreachable
+      }
+      route.latency_ms = config_.access_latency_d0_ms +
+                         paths_.latency_ms(src, origin.gateway) +
+                         origin.extra_ms;
+      route.hops = paths_.hops(src, origin.gateway) + origin.extra_hops;
     }
   }
 }
 
-const NetworkConfig::OriginSpec& CcnNetwork::origin_for(
-    cache::ContentId content) const {
-  return origins_[content % origins_.size()];
+void CcnNetwork::rebuild_owner_table() {
+  std::fill(owner_of_.begin(), owner_of_.end(), kNoOwner);
+  for (const auto& [content, owner] : assignment_.owner) {
+    // Ranks beyond the catalog can never be requested (serve() rejects
+    // them), so the dense table simply skips them.
+    if (content < owner_of_.size()) owner_of_[content] = owner;
+  }
 }
 
 void CcnNetwork::record_path(topology::NodeId src, topology::NodeId dst) {
   if (!config_.track_link_load || src == dst) return;
   const topology::SsspResult& tree = trees_[src];
-  const auto n = static_cast<std::uint64_t>(graph_.node_count());
+  const std::vector<std::uint32_t>& tree_links = parent_link_[src];
   for (topology::NodeId v = dst; v != src;) {
     const topology::NodeId p = tree.parent[v];
     CCNOPT_ASSERT(p != topology::kNoParent);
-    const std::uint64_t key =
-        static_cast<std::uint64_t>(std::min(p, v)) * n + std::max(p, v);
-    ++link_counts_[key];
+    ++link_counts_[tree_links[v]];
     ++total_traversals_;
     v = p;
   }
@@ -122,27 +188,24 @@ void CcnNetwork::record_path(topology::NodeId src, topology::NodeId dst) {
 std::vector<CcnNetwork::LinkLoad> CcnNetwork::link_load() const {
   CCNOPT_EXPECTS(config_.track_link_load);
   std::vector<LinkLoad> loads;
-  loads.reserve(graph_.links().size());
-  const auto n = static_cast<std::uint64_t>(graph_.node_count());
-  for (const topology::Graph::Link& link : graph_.links()) {
-    const std::uint64_t key = static_cast<std::uint64_t>(link.u) * n + link.v;
-    const auto it = link_counts_.find(key);
-    loads.push_back(LinkLoad{link.u, link.v,
-                             it == link_counts_.end() ? 0 : it->second});
+  const auto& links = graph_.links();
+  loads.reserve(links.size());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    loads.push_back(LinkLoad{links[i].u, links[i].v, link_counts_[i]});
   }
   return loads;
 }
 
 std::uint64_t CcnNetwork::max_link_load() const {
   std::uint64_t worst = 0;
-  for (const auto& [key, count] : link_counts_) {
+  for (const std::uint64_t count : link_counts_) {
     worst = std::max(worst, count);
   }
   return worst;
 }
 
 void CcnNetwork::reset_link_load() {
-  link_counts_.clear();
+  std::fill(link_counts_.begin(), link_counts_.end(), 0);
   total_traversals_ = 0;
 }
 
@@ -224,11 +287,14 @@ std::uint64_t CcnNetwork::provision(std::size_t coordinated_x) {
     stores_[id] = std::make_unique<cache::PartitionedStore>(
         capacity, x,
         make_local_partition(config_.local_mode, capacity - x,
-                             config_.seed + 0x51ED2701ULL * (id + 1)),
+                             config_.seed + 0x51ED2701ULL * (id + 1),
+                             config_.use_reference_policies),
         std::move(assigned));
   }
-  obs::metrics().incr("sim.provision.epochs");
-  obs::metrics().incr("sim.provision.messages", assignment_.messages);
+  rebuild_owner_table();
+  const NetworkMetricHandles& handles = NetworkMetricHandles::get();
+  obs::metrics().incr(handles.provision_epochs);
+  obs::metrics().incr(handles.provision_messages, assignment_.messages);
   return assignment_.messages;
 }
 
@@ -261,11 +327,14 @@ std::uint64_t CcnNetwork::provision_heterogeneous(
     stores_[id] = std::make_unique<cache::PartitionedStore>(
         capacity, coordinated,
         make_local_partition(config_.local_mode, capacity - coordinated,
-                             config_.seed + 0x51ED2701ULL * (id + 1)),
+                             config_.seed + 0x51ED2701ULL * (id + 1),
+                             config_.use_reference_policies),
         std::move(assigned));
   }
-  obs::metrics().incr("sim.provision.epochs");
-  obs::metrics().incr("sim.provision.messages", assignment_.messages);
+  rebuild_owner_table();
+  const NetworkMetricHandles& handles = NetworkMetricHandles::get();
+  obs::metrics().incr(handles.provision_epochs);
+  obs::metrics().incr(handles.provision_messages, assignment_.messages);
   return assignment_.messages;
 }
 
@@ -282,19 +351,17 @@ ServeResult CcnNetwork::serve(topology::NodeId first_hop,
                        first_hop, own_coordinated};
   }
 
-  // Coordinated placement lookup (the paper's mid tier). A failed or
-  // unreachable owner means the content is lost until repair.
-  const auto owner_it = assignment_.owner.find(content);
-  if (owner_it != assignment_.owner.end() && owner_it->second != first_hop &&
-      !failed_[owner_it->second] &&
-      paths_.latency_ms(first_hop, owner_it->second) <
-          topology::kUnreachable) {
-    const topology::NodeId peer = owner_it->second;
-    record_path(first_hop, peer);
+  // Coordinated placement lookup (the paper's mid tier) — one load from the
+  // dense owner table. A failed or unreachable owner means the content is
+  // lost until repair.
+  const topology::NodeId owner = owner_of_[content];
+  if (owner != kNoOwner && owner != first_hop && !failed_[owner] &&
+      paths_.latency_ms(first_hop, owner) < topology::kUnreachable) {
+    record_path(first_hop, owner);
     return ServeResult{
         ServeTier::kNetwork,
-        config_.access_latency_d0_ms + paths_.latency_ms(first_hop, peer),
-        paths_.hops(first_hop, peer), peer, false};
+        config_.access_latency_d0_ms + paths_.latency_ms(first_hop, owner),
+        paths_.hops(first_hop, owner), owner, false};
   }
 
   // Optional opportunistic replica lookup in peers' local partitions.
@@ -319,17 +386,15 @@ ServeResult CcnNetwork::serve(topology::NodeId first_hop,
   }
 
   // Origin: the gateway hosting this content's origin server. It must
-  // remain reachable from every alive router.
-  const NetworkConfig::OriginSpec& origin = origin_for(content);
-  CCNOPT_ASSERT(paths_.latency_ms(first_hop, origin.gateway) <
-                topology::kUnreachable);
-  record_path(first_hop, origin.gateway);
-  const double latency = config_.access_latency_d0_ms +
-                         paths_.latency_ms(first_hop, origin.gateway) +
-                         origin.extra_ms;
-  const std::uint32_t hops =
-      paths_.hops(first_hop, origin.gateway) + origin.extra_hops;
-  return ServeResult{ServeTier::kOrigin, latency, hops, origin.gateway,
+  // remain reachable from every alive router. The route cost (d0 + path +
+  // origin extra) was folded into one precomputed entry per (router, spec).
+  const std::size_t origin_index = content % origins_.size();
+  const OriginRoute& route =
+      origin_routes_[first_hop * origins_.size() + origin_index];
+  CCNOPT_ASSERT(route.latency_ms < topology::kUnreachable);
+  const topology::NodeId gateway = origins_[origin_index].gateway;
+  record_path(first_hop, gateway);
+  return ServeResult{ServeTier::kOrigin, route.latency_ms, route.hops, gateway,
                      false};
 }
 

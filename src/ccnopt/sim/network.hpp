@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "ccnopt/cache/partitioned.hpp"
@@ -52,6 +53,12 @@ struct NetworkConfig {
     std::uint32_t extra_hops = 1;
   };
   std::vector<OriginSpec> origins;
+  /// When true, dynamic local partitions use the retained node-based
+  /// reference policies (cache/reference.hpp) instead of the flat intrusive
+  /// rewrites. The two sides are contractually byte-identical — this switch
+  /// exists so A/B tests can prove it on whole simulations; never enable it
+  /// for performance runs.
+  bool use_reference_policies = false;
   std::uint64_t seed = 42;
 };
 
@@ -138,6 +145,16 @@ class CcnNetwork {
   void reset_link_load();
 
  private:
+  static constexpr topology::NodeId kNoOwner = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kNoLink = 0xFFFFFFFFu;
+
+  /// Precomputed end-to-end origin route: d0 + shortest path + origin extra,
+  /// one entry per (router, origin spec). kUnreachable when disconnected.
+  struct OriginRoute {
+    double latency_ms = topology::kUnreachable;
+    std::uint32_t hops = topology::kUnreachableHops;
+  };
+
   topology::Graph graph_;
   NetworkConfig config_;
   std::vector<NetworkConfig::OriginSpec> origins_;  // resolved, never empty
@@ -148,18 +165,31 @@ class CcnNetwork {
   std::size_t provisioned_x_ = 0;
   std::vector<bool> failed_;
 
+  // Flat serve()-path tables, so the hot path never probes a hash map:
+  // content rank -> coordinated owner (kNoOwner when uncoordinated),
+  // rebuilt on every provision; (router, origin spec) -> total route cost,
+  // rebuilt with routing.
+  std::vector<topology::NodeId> owner_of_;     // size catalog_size + 1
+  std::vector<OriginRoute> origin_routes_;     // router * |origins| + spec
+
   static std::vector<topology::NodeId> find_participants(
       const topology::Graph& graph, const NetworkConfig& config);
   std::vector<topology::NodeId> alive_participants() const;
-  const NetworkConfig::OriginSpec& origin_for(cache::ContentId content) const;
   void rebuild_routing();
+  void rebuild_owner_table();
   void record_path(topology::NodeId src, topology::NodeId dst);
 
   // Link-load state: per-source shortest-path trees (kept in sync with
-  // failures) and per-link counters keyed by undirected link index.
+  // failures), the dense link index of each tree edge (parent_link_[src][v]
+  // = index of link (v, parent(v)) in graph().links() order), and per-link
+  // traversal counters in that same dense order.
   std::vector<topology::SsspResult> trees_;
-  std::unordered_map<std::uint64_t, std::uint64_t> link_counts_;
+  std::vector<std::vector<std::uint32_t>> parent_link_;
+  std::vector<std::uint64_t> link_counts_;
   std::uint64_t total_traversals_ = 0;
+  // (min,max) node pair -> dense link index, built once at construction and
+  // consulted only when rebuilding parent_link_ (never per request).
+  std::unordered_map<std::uint64_t, std::uint32_t> link_index_;
 };
 
 }  // namespace ccnopt::sim

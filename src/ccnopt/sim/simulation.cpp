@@ -14,6 +14,41 @@ namespace {
 // outside the per-router clock indices [0, router_count).
 constexpr std::uint64_t kTraceSeedIndex = 0x7ace5eedULL;
 
+// Interned handles into obs::metrics(), resolved once per process. Handles
+// survive registry reset(), so the static cache stays valid across runs.
+struct RunMetricHandles {
+  obs::MetricsRegistry::CounterHandle runs;
+  obs::MetricsRegistry::CounterHandle requests_measured;
+  obs::MetricsRegistry::CounterHandle requests_local;
+  obs::MetricsRegistry::CounterHandle requests_network;
+  obs::MetricsRegistry::CounterHandle requests_origin;
+  obs::MetricsRegistry::CounterHandle requests_aggregated;
+  obs::MetricsRegistry::CounterHandle upstream_fetches;
+  obs::MetricsRegistry::CounterHandle coordination_messages;
+  obs::MetricsRegistry::CounterHandle trace_sampled;
+  obs::MetricsRegistry::HistogramHandle latency_ms;
+
+  static const RunMetricHandles& get() {
+    static const RunMetricHandles handles = [] {
+      obs::MetricsRegistry& registry = obs::metrics();
+      return RunMetricHandles{
+          registry.counter_handle("sim.runs"),
+          registry.counter_handle("sim.requests.measured"),
+          registry.counter_handle("sim.requests.local"),
+          registry.counter_handle("sim.requests.network"),
+          registry.counter_handle("sim.requests.origin"),
+          registry.counter_handle("sim.requests.aggregated"),
+          registry.counter_handle("sim.upstream_fetches"),
+          registry.counter_handle("sim.coordination_messages"),
+          registry.counter_handle("sim.trace.sampled"),
+          registry.histogram_handle("sim.latency_ms",
+                                    MetricsCollector::latency_bucket_bounds()),
+      };
+    }();
+    return handles;
+  }
+};
+
 }  // namespace
 
 Simulation::Simulation(topology::Graph graph, SimConfig config)
@@ -167,18 +202,19 @@ SimReport Simulation::run() {
   // merge, so totals are exact and order-independent no matter which
   // thread (or how many) ran the replications.
   obs::MetricsRegistry& registry = obs::metrics();
-  registry.incr("sim.runs");
-  registry.incr("sim.requests.measured", report.total_requests);
-  registry.incr("sim.requests.local", metrics.tier_count(ServeTier::kLocal));
-  registry.incr("sim.requests.network",
+  const RunMetricHandles& handles = RunMetricHandles::get();
+  registry.incr(handles.runs);
+  registry.incr(handles.requests_measured, report.total_requests);
+  registry.incr(handles.requests_local, metrics.tier_count(ServeTier::kLocal));
+  registry.incr(handles.requests_network,
                 metrics.tier_count(ServeTier::kNetwork));
-  registry.incr("sim.requests.origin",
+  registry.incr(handles.requests_origin,
                 metrics.tier_count(ServeTier::kOrigin));
-  registry.incr("sim.requests.aggregated", aggregated);
-  registry.incr("sim.upstream_fetches", upstream);
-  registry.incr("sim.coordination_messages", report.coordination_messages);
-  registry.incr("sim.trace.sampled", trace_.size());
-  registry.merge_histogram("sim.latency_ms", metrics.latency_histogram());
+  registry.incr(handles.requests_aggregated, aggregated);
+  registry.incr(handles.upstream_fetches, upstream);
+  registry.incr(handles.coordination_messages, report.coordination_messages);
+  registry.incr(handles.trace_sampled, trace_.size());
+  registry.merge_histogram(handles.latency_ms, metrics.latency_histogram());
   return report;
 }
 

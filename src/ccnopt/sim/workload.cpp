@@ -7,6 +7,11 @@
 
 namespace ccnopt::sim {
 
+// Every request the simulator emits goes through one sampler draw; pin the
+// hot-path workloads to the O(1) alias path.
+static_assert(popularity::AliasSampler::kConstantTimeSample,
+              "simulator workloads require a constant-time rank sampler");
+
 ZipfWorkload::ZipfWorkload(std::size_t router_count,
                            std::uint64_t catalog_size, double exponent,
                            std::uint64_t seed)

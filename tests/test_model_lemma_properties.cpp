@@ -123,10 +123,15 @@ TEST_P(LemmaProperties, ExactSolverAgreesWithDirectOracle) {
 
 std::string grid_case_name(const ::testing::TestParamInfo<Grid>& param_info) {
   const Grid& g = param_info.param;
-  return "a" + std::to_string(static_cast<int>(g.alpha * 10)) + "_s" +
-         std::to_string(static_cast<int>(g.s * 10)) + "_g" +
-         std::to_string(static_cast<int>(g.gamma)) + "_n" +
-         std::to_string(static_cast<int>(g.n));
+  std::string name = "a";
+  name += std::to_string(static_cast<int>(g.alpha * 10));
+  name += "_s";
+  name += std::to_string(static_cast<int>(g.s * 10));
+  name += "_g";
+  name += std::to_string(static_cast<int>(g.gamma));
+  name += "_n";
+  name += std::to_string(static_cast<int>(g.n));
+  return name;
 }
 
 INSTANTIATE_TEST_SUITE_P(BroadGrid, LemmaProperties,

@@ -164,5 +164,125 @@ TEST(ObsRegistry, GlobalInstancesAreDistinct) {
   EXPECT_NE(&metrics(), &perf());
 }
 
+TEST(ObsRegistryHandles, HandleAndStringCountersAreIndistinguishable) {
+  MetricsRegistry by_string;
+  by_string.incr("a");
+  by_string.incr("a", 4);
+  by_string.incr("b", 10);
+
+  MetricsRegistry by_handle;
+  const auto a = by_handle.counter_handle("a");
+  const auto b = by_handle.counter_handle("b");
+  by_handle.incr(a);
+  by_handle.incr(a, 4);
+  by_handle.incr(b, 10);
+
+  EXPECT_EQ(serialize(by_string), serialize(by_handle));
+}
+
+TEST(ObsRegistryHandles, HandleCreationIsIdempotentAndLazy) {
+  MetricsRegistry registry;
+  const auto first = registry.counter_handle("c");
+  registry.counter_handle("c");  // same name: same dense id, no new slot
+  // A handle alone records nothing; the counter appears once incremented.
+  EXPECT_TRUE(registry.snapshot().counters.empty());
+  registry.incr(first, 2);
+  registry.incr(registry.counter_handle("c"), 3);
+  EXPECT_EQ(registry.snapshot().counters.at("c"), 5u);
+}
+
+TEST(ObsRegistryHandles, ZeroDeltaTouchMatchesStringBehaviour) {
+  // String incr with delta 0 creates the key with value 0; the handle path
+  // must replicate that so A/B metric exports stay byte-identical.
+  MetricsRegistry by_string;
+  by_string.incr("touched", 0);
+  MetricsRegistry by_handle;
+  by_handle.incr(by_handle.counter_handle("touched"), 0);
+  EXPECT_EQ(by_string.snapshot().counters.at("touched"), 0u);
+  EXPECT_EQ(serialize(by_string), serialize(by_handle));
+}
+
+TEST(ObsRegistryHandles, HandleHistogramMatchesStringHistogram) {
+  MetricsRegistry by_string;
+  by_string.define_histogram("h", {1.0, 10.0});
+  by_string.observe("h", 0.5);
+  by_string.observe("h", 4.0);
+  by_string.observe("h", 100.0);
+
+  MetricsRegistry by_handle;
+  const auto h = by_handle.histogram_handle("h", {1.0, 10.0});
+  by_handle.observe(h, 0.5);
+  by_handle.observe(h, 4.0);
+  by_handle.observe(h, 100.0);
+
+  EXPECT_EQ(serialize(by_string), serialize(by_handle));
+}
+
+TEST(ObsRegistryHandles, MergeThroughHandleMatchesStringMerge) {
+  Histogram local({1.0, 10.0});
+  local.observe(0.3);
+  local.observe(30.0);
+
+  MetricsRegistry by_string;
+  by_string.merge_histogram("h", local);
+  MetricsRegistry by_handle;
+  by_handle.merge_histogram(by_handle.histogram_handle("h", {1.0, 10.0}),
+                            local);
+  EXPECT_EQ(serialize(by_string), serialize(by_handle));
+}
+
+TEST(ObsRegistryHandles, HandlesSurviveReset) {
+  MetricsRegistry registry;
+  const auto c = registry.counter_handle("c");
+  const auto h = registry.histogram_handle("h", {1.0});
+  registry.incr(c, 7);
+  registry.observe(h, 0.5);
+  registry.reset();
+  // Reset hides everything recorded...
+  EXPECT_TRUE(registry.snapshot().counters.empty());
+  EXPECT_TRUE(registry.snapshot().histograms.empty());
+  // ...but the interned ids stay valid and start from zero.
+  registry.incr(c, 3);
+  registry.observe(h, 0.25);
+  const RegistrySnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("c"), 3u);
+  EXPECT_EQ(snap.histograms.at("h").count(), 1u);
+}
+
+TEST(ObsRegistryHandles, CrossThreadHandleMergeIsDeterministic) {
+  // Same logical observations through handles from 1 thread and from 8
+  // threads must serialize to the same bytes (shard merge exactness).
+  const auto record = [](MetricsRegistry& registry, int begin, int end) {
+    const auto requests = registry.counter_handle("requests");
+    const auto bytes = registry.counter_handle("bytes");
+    const auto latency = registry.histogram_handle("latency",
+                                                   {1.0, 10.0, 100.0});
+    for (int i = begin; i < end; ++i) {
+      registry.incr(requests);
+      registry.incr(bytes, static_cast<std::uint64_t>(i));
+      registry.observe(latency, 0.1 * i);
+    }
+  };
+
+  MetricsRegistry serial;
+  record(serial, 0, 800);
+
+  MetricsRegistry sharded;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back(
+        [&sharded, t, &record] { record(sharded, t * 100, (t + 1) * 100); });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(serialize(serial), serialize(sharded));
+}
+
+TEST(ObsRegistryHandlesDeathTest, MismatchedHistogramBoundsAbort) {
+  MetricsRegistry registry;
+  registry.histogram_handle("h", {1.0});
+  EXPECT_DEATH(registry.histogram_handle("h", {2.0}), "precondition");
+}
+
 }  // namespace
 }  // namespace ccnopt::obs

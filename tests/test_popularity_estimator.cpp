@@ -54,7 +54,9 @@ TEST_P(EstimatorRecovery, LogLogRecoversExponentOnTheHead) {
 }
 
 std::string exponent_name(const ::testing::TestParamInfo<double>& param_info) {
-  return "s" + std::to_string(static_cast<int>(param_info.param * 100));
+  std::string name = "s";
+  name += std::to_string(static_cast<int>(param_info.param * 100));
+  return name;
 }
 
 INSTANTIATE_TEST_SUITE_P(AcrossExponents, EstimatorRecovery,

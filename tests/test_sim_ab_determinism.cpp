@@ -1,0 +1,167 @@
+// Whole-simulation A/B proof of the hot-path rewrites: a run with
+// NetworkConfig::use_reference_policies (node-based caches) must be
+// bit-identical to the default flat-cache run — same SimReport fields,
+// same sampled traces, same serialized metrics registry — and both sides
+// must stay bit-identical between 1-thread and 8-thread replication runs.
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ccnopt/obs/export.hpp"
+#include "ccnopt/obs/registry.hpp"
+#include "ccnopt/obs/trace.hpp"
+#include "ccnopt/runtime/replication_runner.hpp"
+#include "ccnopt/runtime/thread_pool.hpp"
+#include "ccnopt/sim/simulation.hpp"
+#include "ccnopt/topology/datasets.hpp"
+
+namespace ccnopt::sim {
+namespace {
+
+SimConfig base_config(LocalStoreMode mode) {
+  SimConfig config;
+  config.network.catalog_size = 2000;
+  config.network.capacity_c = 50;
+  config.network.local_mode = mode;
+  config.network.track_link_load = true;
+  config.coordinated_x = 25;
+  config.zipf_s = 0.8;
+  config.warmup_requests = 5000;
+  config.measured_requests = 20000;
+  config.seed = 20240806;
+  config.trace_sample_k = 64;
+  return config;
+}
+
+std::string serialized_traces(const obs::TraceBuffer& traces) {
+  std::ostringstream out;
+  obs::write_traces_json(out, traces);
+  return out.str();
+}
+
+std::string serialized_metrics() {
+  std::ostringstream out;
+  obs::write_registry_json(out, obs::metrics().snapshot(), 0);
+  return out.str();
+}
+
+void expect_identical_reports(const SimReport& a, const SimReport& b) {
+  EXPECT_EQ(a.total_requests, b.total_requests);
+  EXPECT_EQ(a.aggregated_requests, b.aggregated_requests);
+  EXPECT_EQ(a.upstream_fetches, b.upstream_fetches);
+  EXPECT_EQ(a.local_fraction, b.local_fraction);
+  EXPECT_EQ(a.network_fraction, b.network_fraction);
+  EXPECT_EQ(a.origin_load, b.origin_load);
+  EXPECT_EQ(a.mean_latency_ms, b.mean_latency_ms);
+  EXPECT_EQ(a.mean_hops, b.mean_hops);
+  EXPECT_EQ(a.mean_local_latency_ms, b.mean_local_latency_ms);
+  EXPECT_EQ(a.mean_network_latency_ms, b.mean_network_latency_ms);
+  EXPECT_EQ(a.mean_origin_latency_ms, b.mean_origin_latency_ms);
+  EXPECT_EQ(a.coordination_messages, b.coordination_messages);
+}
+
+/// Runs one simulation of `config` from a clean global registry, returning
+/// (report, serialized traces, serialized metrics).
+struct RunResult {
+  SimReport report;
+  std::string traces;
+  std::string metrics;
+  std::uint64_t max_link_load = 0;
+};
+
+RunResult run_once(SimConfig config) {
+  obs::metrics().reset();
+  Simulation sim(topology::us_a(), config);
+  RunResult result;
+  result.report = sim.run();
+  result.traces = serialized_traces(sim.traces());
+  result.metrics = serialized_metrics();
+  result.max_link_load = sim.network().max_link_load();
+  return result;
+}
+
+class SimAbDeterminism : public ::testing::TestWithParam<LocalStoreMode> {};
+
+TEST_P(SimAbDeterminism, FlatAndReferenceRunsAreBitIdentical) {
+  SimConfig config = base_config(GetParam());
+  config.network.use_reference_policies = false;
+  const RunResult flat = run_once(config);
+  config.network.use_reference_policies = true;
+  const RunResult reference = run_once(config);
+
+  expect_identical_reports(flat.report, reference.report);
+  EXPECT_EQ(flat.traces, reference.traces);
+  EXPECT_EQ(flat.metrics, reference.metrics);
+  EXPECT_EQ(flat.max_link_load, reference.max_link_load);
+}
+
+INSTANTIATE_TEST_SUITE_P(DynamicPolicies, SimAbDeterminism,
+                         ::testing::Values(LocalStoreMode::kLru,
+                                           LocalStoreMode::kLfu,
+                                           LocalStoreMode::kFifo),
+                         [](const auto& param_info) {
+                           return std::string(to_string(param_info.param));
+                         });
+
+TEST(SimAbDeterminism, ReplicatedRunsMatchAcrossSidesAndThreadCounts) {
+  // 4 replications of each side on 1 and on 8 threads: all four summaries
+  // must agree report-by-report and trace-buffer-for-trace-buffer.
+  SimConfig config = base_config(LocalStoreMode::kLru);
+  config.warmup_requests = 2000;
+  config.measured_requests = 8000;
+
+  const topology::Graph graph = topology::us_a();
+  constexpr std::size_t kReplications = 4;
+
+  const auto run_with = [&](bool use_reference, std::size_t threads) {
+    SimConfig run_config = config;
+    run_config.network.use_reference_policies = use_reference;
+    runtime::ThreadPool pool(threads);
+    return runtime::ReplicationRunner(pool).run(graph, run_config,
+                                                kReplications);
+  };
+
+  const auto flat_1 = run_with(false, 1);
+  const auto flat_8 = run_with(false, 8);
+  const auto reference_1 = run_with(true, 1);
+  const auto reference_8 = run_with(true, 8);
+
+  ASSERT_EQ(flat_1.reports.size(), kReplications);
+  for (std::size_t i = 0; i < kReplications; ++i) {
+    expect_identical_reports(flat_1.reports[i], flat_8.reports[i]);
+    expect_identical_reports(flat_1.reports[i], reference_1.reports[i]);
+    expect_identical_reports(flat_1.reports[i], reference_8.reports[i]);
+  }
+  const std::string traces = serialized_traces(flat_1.traces);
+  EXPECT_FALSE(flat_1.traces.empty());
+  EXPECT_EQ(traces, serialized_traces(flat_8.traces));
+  EXPECT_EQ(traces, serialized_traces(reference_1.traces));
+  EXPECT_EQ(traces, serialized_traces(reference_8.traces));
+}
+
+TEST(SimAbDeterminism, HandleMetricsAreThreadCountInvariant) {
+  // The interned-handle metric path must keep the global registry export
+  // byte-identical between 1-thread and 8-thread replication runs.
+  SimConfig config = base_config(LocalStoreMode::kLfu);
+  config.warmup_requests = 1000;
+  config.measured_requests = 5000;
+  const topology::Graph graph = topology::us_a();
+
+  obs::metrics().reset();
+  {
+    runtime::ThreadPool pool(1);
+    runtime::ReplicationRunner(pool).run(graph, config, 6);
+  }
+  const std::string serial = serialized_metrics();
+
+  obs::metrics().reset();
+  {
+    runtime::ThreadPool pool(8);
+    runtime::ReplicationRunner(pool).run(graph, config, 6);
+  }
+  EXPECT_EQ(serial, serialized_metrics());
+}
+
+}  // namespace
+}  // namespace ccnopt::sim

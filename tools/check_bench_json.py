@@ -30,6 +30,7 @@ import glob
 import json
 import numbers
 import os
+import shlex
 import subprocess
 import sys
 
@@ -123,6 +124,25 @@ def validate_spans(spans: object, where: str, errors: list[str]) -> None:
                 errors.append(f"{slot}.{key}: expected non-negative number")
 
 
+def validate_throughput_outputs(outputs: dict, errors: list[str]) -> None:
+    """Extra schema for throughput_* records: a positive requests_per_sec
+    rate plus the thread count and catalog size it was measured at."""
+    rps = outputs.get("requests_per_sec")
+    if not _is_number(rps) or rps <= 0:
+        errors.append(
+            f"outputs['requests_per_sec']: expected positive number, got "
+            f"{rps!r}")
+    threads = outputs.get("threads")
+    if not _is_int(threads) or threads <= 0:
+        errors.append(
+            f"outputs['threads']: expected positive integer, got {threads!r}")
+    catalog = outputs.get("catalog_size")
+    if not _is_int(catalog) or catalog <= 0:
+        errors.append(
+            f"outputs['catalog_size']: expected positive integer, got "
+            f"{catalog!r}")
+
+
 def validate_record(path: str) -> list[str]:
     errors: list[str] = []
     try:
@@ -158,6 +178,8 @@ def validate_record(path: str) -> list[str]:
                 errors.append(
                     f"outputs[{key!r}]: expected number, string, or bool, "
                     f"got {type(value).__name__}")
+        if isinstance(name, str) and name.startswith("throughput_"):
+            validate_throughput_outputs(outputs, errors)
     for section in ("registry", "perf"):
         if section not in record:
             errors.append(f"missing key '{section}'")
@@ -178,19 +200,21 @@ def main() -> int:
     parser.add_argument("--out-dir", default=".",
                         help="directory holding (or receiving) the records")
     parser.add_argument("--run", action="append", default=[],
-                        metavar="BIN", dest="runs",
-                        help="bench binary to execute before validating "
-                             "(repeatable); CCNOPT_BENCH_DIR is pointed at "
+                        metavar="CMD", dest="runs",
+                        help="bench command to execute before validating "
+                             "(repeatable; quoted arguments are split "
+                             "shell-style); CCNOPT_BENCH_DIR is pointed at "
                              "--out-dir")
     args = parser.parse_args()
 
     os.makedirs(args.out_dir, exist_ok=True)
-    for binary in args.runs:
+    for command in args.runs:
+        argv = shlex.split(command)
         env = dict(os.environ, CCNOPT_BENCH_DIR=args.out_dir)
-        print(f"running {binary} ...", flush=True)
-        result = subprocess.run([binary], env=env, stdout=subprocess.DEVNULL)
+        print(f"running {command} ...", flush=True)
+        result = subprocess.run(argv, env=env, stdout=subprocess.DEVNULL)
         if result.returncode != 0:
-            print(f"FAIL: {binary} exited with {result.returncode}")
+            print(f"FAIL: {command} exited with {result.returncode}")
             return 1
 
     files = args.files or sorted(

@@ -4,11 +4,21 @@
 // results bit-identical for any thread count; this bench only times it).
 //
 // Usage: bench_throughput_replay [--threads N] [--requests R]
-//                                [--replications K]
+//                                [--replications K] [--catalog N]
+//                                [--capacity C] [--coordinated X]
+//                                [--label SUFFIX]
+//
+// --catalog scales the content catalog (default 20000); at web-scale
+// catalogs the auto-selected rejection sampler and sparse cache indexes
+// keep memory ~O(capacity), which the recorded peak_rss_bytes output
+// demonstrates (compare a --catalog 100000 --label small run against
+// --catalog 10000000 --label large). --label suffixes the bench record
+// name so the two runs produce distinct BENCH_*.json files.
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <string>
 #include <thread>
 
 #include "bench_util.hpp"
@@ -40,11 +50,14 @@ double replications_rps(ccnopt::runtime::ThreadPool& pool,
 
 int main(int argc, char** argv) {
   using namespace ccnopt;
-  bench::BenchReporter reporter("throughput_replay");
   std::size_t threads = std::min<std::size_t>(
       8, std::max<std::size_t>(2, std::thread::hardware_concurrency()));
   std::uint64_t requests = 60000;
   std::size_t replications = 8;
+  std::uint64_t catalog = 20000;
+  std::size_t capacity = 200;
+  std::size_t coordinated = 100;
+  std::string label;
   for (int i = 1; i + 1 < argc + 1; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::strtoull(argv[++i], nullptr, 10);
@@ -52,23 +65,34 @@ int main(int argc, char** argv) {
       requests = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--replications") == 0 && i + 1 < argc) {
       replications = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--catalog") == 0 && i + 1 < argc) {
+      catalog = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--capacity") == 0 && i + 1 < argc) {
+      capacity = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--coordinated") == 0 && i + 1 < argc) {
+      coordinated = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
+      label = argv[++i];
     }
   }
   if (threads == 0) threads = 1;
+  bench::BenchReporter reporter(
+      label.empty() ? std::string("throughput_replay")
+                    : "throughput_replay_" + label);
 
   sim::SimConfig config;
-  config.network.catalog_size = 20000;
-  config.network.capacity_c = 200;
+  config.network.catalog_size = catalog;
+  config.network.capacity_c = capacity;
   config.network.local_mode = sim::LocalStoreMode::kLru;
-  config.coordinated_x = 100;
+  config.coordinated_x = coordinated;
   config.zipf_s = 0.8;
   config.warmup_requests = requests / 3;
   config.measured_requests = requests - config.warmup_requests;
   config.seed = 20240806;
 
-  std::cout << "=== Simulator replay throughput (US-A, N=20000, c=200, "
-            << replications << " replications x " << requests
-            << " requests) ===\n\n";
+  std::cout << "=== Simulator replay throughput (US-A, N=" << catalog
+            << ", c=" << capacity << ", " << replications
+            << " replications x " << requests << " requests) ===\n\n";
 
   double serial_ms = 0.0;
   double parallel_ms = 0.0;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -21,6 +22,7 @@
 #include "ccnopt/experiments/report.hpp"
 #include "ccnopt/model/params.hpp"
 #include "ccnopt/obs/export.hpp"
+#include "ccnopt/obs/process.hpp"
 #include "ccnopt/obs/registry.hpp"
 #include "ccnopt/obs/span.hpp"
 
@@ -75,11 +77,21 @@ class BenchReporter {
   }
 
   /// Writes BENCH_<name>.json and returns `exit_code` (or 1 when the write
-  /// fails and the bench itself succeeded).
+  /// fails and the bench itself succeeded). Every record carries the
+  /// process peak RSS (sampled here, so it bounds the whole bench) and a
+  /// `catalog_size` output (0 unless the bench set one) — the scaling
+  /// benches compare footprints across catalog sizes through these.
   int finish(int exit_code = 0) {
     const auto stop = std::chrono::steady_clock::now();
     timings_["total_ms"] =
         std::chrono::duration<double, std::milli>(stop - start_).count();
+    const std::uint64_t peak_rss = obs::peak_rss_bytes();
+    set_output("peak_rss_bytes", peak_rss);
+    obs::perf().set_gauge("process.peak_rss_bytes",
+                          static_cast<double>(peak_rss));
+    if (outputs_.find("catalog_size") == outputs_.end()) {
+      set_output("catalog_size", 0);
+    }
     const char* dir = std::getenv("CCNOPT_BENCH_DIR");
     const std::string path =
         std::string(dir && *dir ? dir : ".") + "/BENCH_" + name_ + ".json";

@@ -1,0 +1,100 @@
+// The membership index behind the flat cache policies: one interface over
+// the dense SlotMap (array indexed by content id, O(max id) memory, single
+// load per lookup) and the SparseSlotMap (robin-hood table, O(capacity)
+// memory). The policies pick a side once at construction from an IndexSpec
+// and the choice never changes, so the per-request branch is perfectly
+// predicted.
+//
+// kAuto resolves to sparse only when the declared catalog is both large in
+// absolute terms and much larger than the capacity — the paper's
+// heavy-tail, c << N regime — so small-catalog runs keep the dense table's
+// single-load lookups and their historical memory profile.
+#pragma once
+
+#include <cstdint>
+
+#include "ccnopt/cache/policy.hpp"
+#include "ccnopt/cache/slot_map.hpp"
+#include "ccnopt/cache/sparse_slot_map.hpp"
+
+namespace ccnopt::cache {
+
+class ContentIndex {
+ public:
+  static constexpr std::uint32_t kNoSlot = SlotMap::kNoSlot;
+  static_assert(SlotMap::kNoSlot == SparseSlotMap::kNoSlot);
+
+  /// Catalog size below which kAuto never goes sparse.
+  static constexpr std::uint64_t kSparseCatalogFloor = 1ull << 20;
+  /// Minimum catalog/capacity ratio for kAuto to go sparse.
+  static constexpr std::uint64_t kSparseRatio = 64;
+
+  ContentIndex(IndexSpec spec, std::size_t capacity)
+      : sparse_active_(choose_sparse(spec, capacity)),
+        sparse_(sparse_active_ ? capacity : 0) {}
+
+  bool sparse_active() const { return sparse_active_; }
+
+  std::uint32_t find(ContentId id) const {
+    return sparse_active_ ? sparse_.find(id) : dense_.find(id);
+  }
+
+  void insert(ContentId id, std::uint32_t slot) {
+    if (sparse_active_) {
+      sparse_.insert(id, slot);
+    } else {
+      dense_.insert(id, slot);
+    }
+  }
+
+  void erase(ContentId id) {
+    if (sparse_active_) {
+      sparse_.erase(id);
+    } else {
+      dense_.erase(id);
+    }
+  }
+
+  /// Removes the `count` live ids in `ids[0..count)` from the index. The
+  /// sparse side wipes its O(capacity) table outright; the dense side
+  /// erases per id — either way the cost is bounded by the cache capacity,
+  /// never by the catalog (the reset()-path guarantee CachePolicy::clear()
+  /// documents).
+  void clear(const ContentId* ids, std::size_t count) {
+    if (sparse_active_) {
+      sparse_.clear();
+    } else {
+      for (std::size_t i = 0; i < count; ++i) dense_.erase(ids[i]);
+    }
+  }
+
+  void prefetch(ContentId id) const {
+    if (sparse_active_) {
+      sparse_.prefetch(id);
+    } else {
+      dense_.prefetch(id);
+    }
+  }
+
+ private:
+  static bool choose_sparse(IndexSpec spec, std::size_t capacity) {
+    switch (spec.mode) {
+      case IndexMode::kDense:
+        return false;
+      case IndexMode::kSparse:
+        return true;
+      case IndexMode::kAuto:
+        break;
+    }
+    if (spec.catalog_hint < kSparseCatalogFloor) return false;
+    const std::uint64_t floor_capacity =
+        capacity == 0 ? 1 : static_cast<std::uint64_t>(capacity);
+    return spec.catalog_hint / floor_capacity >= kSparseRatio;
+  }
+
+  bool sparse_active_;
+  SlotMap dense_;
+  SparseSlotMap sparse_;
+};
+
+}  // namespace ccnopt::cache

@@ -2,9 +2,19 @@
 
 namespace ccnopt::cache {
 
-FifoCache::FifoCache(std::size_t capacity) : CachePolicy(capacity) {
-  CCNOPT_EXPECTS(capacity < SlotMap::kNoSlot);
+FifoCache::FifoCache(std::size_t capacity, IndexSpec index)
+    : CachePolicy(capacity), members_(index, capacity) {
+  CCNOPT_EXPECTS(capacity < ContentIndex::kNoSlot);
   ring_.resize(capacity);
+}
+
+void FifoCache::clear() {
+  // ring_[0..size_) are exactly the live ids: oldest_ only ever advances
+  // once the ring is full, at which point size_ == capacity. The index
+  // reset is therefore O(size) dense / O(capacity) sparse.
+  members_.clear(ring_.data(), size_);
+  oldest_ = 0;
+  size_ = 0;
 }
 
 std::vector<ContentId> FifoCache::contents() const {
@@ -17,7 +27,7 @@ std::vector<ContentId> FifoCache::contents() const {
 }
 
 bool FifoCache::handle(ContentId id) {
-  if (members_.find(id) != SlotMap::kNoSlot) return true;
+  if (members_.find(id) != ContentIndex::kNoSlot) return true;
   if (capacity() == 0) return false;
   std::size_t slot;
   if (size_ == capacity()) {

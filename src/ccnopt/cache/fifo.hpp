@@ -7,22 +7,26 @@
 // implementation for the equivalence property tests.
 #pragma once
 
+#include "ccnopt/cache/content_index.hpp"
 #include "ccnopt/cache/policy.hpp"
-#include "ccnopt/cache/slot_map.hpp"
 
 namespace ccnopt::cache {
 
 class FifoCache final : public CachePolicy {
  public:
-  explicit FifoCache(std::size_t capacity);
+  explicit FifoCache(std::size_t capacity, IndexSpec index = {});
 
   std::size_t size() const override { return size_; }
   bool contains(ContentId id) const override {
-    return members_.find(id) != SlotMap::kNoSlot;
+    return members_.find(id) != ContentIndex::kNoSlot;
   }
   /// Oldest first (the ReferenceFifoCache order).
   std::vector<ContentId> contents() const override;
+  void clear() override;
+  void prefetch(ContentId id) const override { members_.prefetch(id); }
   const char* name() const override { return "fifo"; }
+
+  bool index_is_sparse() const { return members_.sparse_active(); }
 
  protected:
   bool handle(ContentId id) override;
@@ -31,7 +35,7 @@ class FifoCache final : public CachePolicy {
   std::vector<ContentId> ring_;  // insertion ring, ring_[oldest_] = oldest
   std::size_t oldest_ = 0;
   std::size_t size_ = 0;
-  SlotMap members_;
+  ContentIndex members_;
 };
 
 }  // namespace ccnopt::cache

@@ -2,12 +2,23 @@
 
 namespace ccnopt::cache {
 
-LfuCache::LfuCache(std::size_t capacity) : CachePolicy(capacity) {
+LfuCache::LfuCache(std::size_t capacity, IndexSpec index)
+    : CachePolicy(capacity), slots_(index, capacity) {
   CCNOPT_EXPECTS(capacity < kNull);
   ids_.resize(capacity);
   prev_.resize(capacity);
   next_.resize(capacity);
   bucket_.resize(capacity);
+}
+
+void LfuCache::clear() {
+  // Slots [0, size_) are always live (evicted slots are reused
+  // immediately), so the reset stays O(size + buckets), never O(catalog).
+  slots_.clear(ids_.data(), size_);
+  buckets_.clear();
+  free_buckets_.clear();
+  lowest_ = kNull;
+  size_ = 0;
 }
 
 std::vector<ContentId> LfuCache::contents() const {
@@ -20,7 +31,7 @@ std::vector<ContentId> LfuCache::contents() const {
 
 std::uint64_t LfuCache::frequency(ContentId id) const {
   const std::uint32_t slot = slots_.find(id);
-  return slot == SlotMap::kNoSlot ? 0 : buckets_[bucket_[slot]].freq;
+  return slot == ContentIndex::kNoSlot ? 0 : buckets_[bucket_[slot]].freq;
 }
 
 std::uint32_t LfuCache::alloc_bucket(std::uint64_t freq) {
@@ -89,7 +100,7 @@ void LfuCache::bump(std::uint32_t slot) {
 
 bool LfuCache::handle(ContentId id) {
   const std::uint32_t found = slots_.find(id);
-  if (found != SlotMap::kNoSlot) {
+  if (found != ContentIndex::kNoSlot) {
     bump(found);
     return true;
   }

@@ -14,30 +14,34 @@
 // caching policy based on frequency").
 #pragma once
 
+#include "ccnopt/cache/content_index.hpp"
 #include "ccnopt/cache/policy.hpp"
-#include "ccnopt/cache/slot_map.hpp"
 
 namespace ccnopt::cache {
 
 class LfuCache final : public CachePolicy {
  public:
-  explicit LfuCache(std::size_t capacity);
+  explicit LfuCache(std::size_t capacity, IndexSpec index = {});
 
   std::size_t size() const override { return size_; }
   bool contains(ContentId id) const override {
-    return slots_.find(id) != SlotMap::kNoSlot;
+    return slots_.find(id) != ContentIndex::kNoSlot;
   }
   std::vector<ContentId> contents() const override;
+  void clear() override;
+  void prefetch(ContentId id) const override { slots_.prefetch(id); }
   const char* name() const override { return "lfu"; }
 
   /// Request count of `id` if cached, 0 otherwise (for tests).
   std::uint64_t frequency(ContentId id) const;
 
+  bool index_is_sparse() const { return slots_.sparse_active(); }
+
  protected:
   bool handle(ContentId id) override;
 
  private:
-  static constexpr std::uint32_t kNull = SlotMap::kNoSlot;
+  static constexpr std::uint32_t kNull = ContentIndex::kNoSlot;
 
   /// One frequency bucket: an intrusive LRU list of entry slots plus its
   /// position in the ascending-frequency bucket chain.
@@ -65,7 +69,7 @@ class LfuCache final : public CachePolicy {
   std::vector<std::uint32_t> free_buckets_;
   std::uint32_t lowest_ = kNull;
   std::uint32_t size_ = 0;
-  SlotMap slots_;
+  ContentIndex slots_;
 };
 
 }  // namespace ccnopt::cache

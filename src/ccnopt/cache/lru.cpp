@@ -2,11 +2,21 @@
 
 namespace ccnopt::cache {
 
-LruCache::LruCache(std::size_t capacity) : CachePolicy(capacity) {
+LruCache::LruCache(std::size_t capacity, IndexSpec index)
+    : CachePolicy(capacity), slots_(index, capacity) {
   CCNOPT_EXPECTS(capacity < kNull);
   ids_.resize(capacity);
   prev_.resize(capacity);
   next_.resize(capacity);
+}
+
+void LruCache::clear() {
+  // Slots [0, size_) are always live, so handing them to the index bounds
+  // the reset at O(size) dense / O(capacity) sparse — never O(catalog).
+  slots_.clear(ids_.data(), size_);
+  head_ = kNull;
+  tail_ = kNull;
+  size_ = 0;
 }
 
 std::vector<ContentId> LruCache::contents() const {
@@ -35,7 +45,7 @@ void LruCache::push_front(std::uint32_t slot) {
 
 bool LruCache::handle(ContentId id) {
   const std::uint32_t found = slots_.find(id);
-  if (found != SlotMap::kNoSlot) {
+  if (found != ContentIndex::kNoSlot) {
     if (head_ != found) {
       unlink(found);
       push_front(found);

@@ -1,36 +1,42 @@
 // Least-recently-used replacement on an intrusive array-backed list: the
 // recency chain lives in contiguous index vectors (no per-node heap
-// allocation) and membership is a dense ContentId -> slot table, so every
-// operation is O(1) with cache-friendly accesses. Slots are recycled in
-// place on eviction, so the arrays never exceed `capacity` entries.
+// allocation) and membership is a ContentIndex — dense id -> slot array for
+// small catalogs, capacity-proportional robin-hood table when the catalog
+// dwarfs the capacity — so every operation is O(1) with cache-friendly
+// accesses. Slots are recycled in place on eviction, so the arrays never
+// exceed `capacity` entries.
 //
 // ReferenceLruCache (reference.hpp) keeps the classic std::list + hash map
 // implementation; the equivalence property tests replay identical request
 // streams through both and require identical hit/miss/eviction sequences.
 #pragma once
 
+#include "ccnopt/cache/content_index.hpp"
 #include "ccnopt/cache/policy.hpp"
-#include "ccnopt/cache/slot_map.hpp"
 
 namespace ccnopt::cache {
 
 class LruCache final : public CachePolicy {
  public:
-  explicit LruCache(std::size_t capacity);
+  explicit LruCache(std::size_t capacity, IndexSpec index = {});
 
   std::size_t size() const override { return size_; }
   bool contains(ContentId id) const override {
-    return slots_.find(id) != SlotMap::kNoSlot;
+    return slots_.find(id) != ContentIndex::kNoSlot;
   }
   /// Most recently used first (the ReferenceLruCache order).
   std::vector<ContentId> contents() const override;
+  void clear() override;
+  void prefetch(ContentId id) const override { slots_.prefetch(id); }
   const char* name() const override { return "lru"; }
+
+  bool index_is_sparse() const { return slots_.sparse_active(); }
 
  protected:
   bool handle(ContentId id) override;
 
  private:
-  static constexpr std::uint32_t kNull = SlotMap::kNoSlot;
+  static constexpr std::uint32_t kNull = ContentIndex::kNoSlot;
 
   void unlink(std::uint32_t slot);
   void push_front(std::uint32_t slot);
@@ -41,7 +47,7 @@ class LruCache final : public CachePolicy {
   std::uint32_t head_ = kNull;       // most recently used
   std::uint32_t tail_ = kNull;       // least recently used
   std::uint32_t size_ = 0;
-  SlotMap slots_;
+  ContentIndex slots_;
 };
 
 }  // namespace ccnopt::cache

@@ -29,6 +29,12 @@ class PartitionedStore final : public CachePolicy {
     return coordinated_.count(id) > 0 || local_->contains(id);
   }
   std::vector<ContentId> contents() const override;
+  /// Clears the local partition only; the coordinated set is owned by the
+  /// coordinator and changes exclusively at assign_coordinated() epochs.
+  void clear() override { local_->clear(); }
+  /// Forwarded to the local partition's membership index; the coordinated
+  /// set is a small hash set that stays hot on its own.
+  void prefetch(ContentId id) const override { local_->prefetch(id); }
   const char* name() const override { return "partitioned"; }
 
   std::size_t coordinated_capacity() const { return coordinated_capacity_; }

@@ -21,16 +21,30 @@ const char* to_string(PolicyKind kind) {
   return "unknown";
 }
 
+const char* to_string(IndexMode mode) {
+  switch (mode) {
+    case IndexMode::kAuto:
+      return "auto";
+    case IndexMode::kDense:
+      return "dense";
+    case IndexMode::kSparse:
+      return "sparse";
+  }
+  return "unknown";
+}
+
 std::unique_ptr<CachePolicy> make_policy(PolicyKind kind, std::size_t capacity,
-                                         std::uint64_t seed) {
+                                         std::uint64_t seed, IndexSpec index) {
   switch (kind) {
     case PolicyKind::kLru:
-      return std::make_unique<LruCache>(capacity);
+      return std::make_unique<LruCache>(capacity, index);
     case PolicyKind::kLfu:
-      return std::make_unique<LfuCache>(capacity);
+      return std::make_unique<LfuCache>(capacity, index);
     case PolicyKind::kFifo:
-      return std::make_unique<FifoCache>(capacity);
+      return std::make_unique<FifoCache>(capacity, index);
     case PolicyKind::kRandom:
+      // RandomCache keeps its hash-map index: victim selection already
+      // requires a dense slot vector, so there is no O(id-space) storage.
       return std::make_unique<RandomCache>(capacity, seed);
   }
   CCNOPT_ASSERT(false);

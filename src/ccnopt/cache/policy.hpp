@@ -64,6 +64,17 @@ class CachePolicy {
   /// Snapshot of the stored ids, in no particular order.
   virtual std::vector<ContentId> contents() const = 0;
 
+  /// Removes every stored content, keeping capacity and accumulated stats.
+  /// Cost is proportional to the policy's own state (O(capacity) at most),
+  /// never to the id space: a sparse-indexed cache over a 10^7 catalog must
+  /// not touch 10^7 words to reset (see cache/content_index.hpp).
+  virtual void clear() = 0;
+
+  /// Hints the membership-lookup state of `id` into cache ahead of an
+  /// admit()/contains() — issued by the simulator's batched request engine
+  /// one request ahead. Never mutates; default is a no-op.
+  virtual void prefetch(ContentId id) const { (void)id; }
+
   const CacheStats& stats() const { return stats_; }
   void reset_stats() { stats_.reset(); }
 
@@ -85,10 +96,28 @@ enum class PolicyKind { kLru, kLfu, kFifo, kRandom };
 
 const char* to_string(PolicyKind kind);
 
+/// Membership-index selection for the flat intrusive policies (LRU/LFU/
+/// FIFO). Dense is an array indexed by content id — one load per lookup but
+/// O(max id) memory; sparse is a robin-hood table sized by the cache
+/// capacity — O(capacity) memory at a small constant per lookup. kAuto
+/// picks sparse exactly when the declared catalog dwarfs the capacity.
+enum class IndexMode { kAuto, kDense, kSparse };
+
+const char* to_string(IndexMode mode);
+
+struct IndexSpec {
+  IndexMode mode = IndexMode::kAuto;
+  /// Catalog size the ids are drawn from; 0 = unknown (kAuto then stays
+  /// dense, the historical behaviour).
+  std::uint64_t catalog_hint = 0;
+};
+
 /// Factory for the replacement policies (StaticCache and PartitionedStore
 /// have richer constructors and are created directly). Random policies draw
-/// from `seed`.
+/// from `seed`; `index` selects the membership index of the flat policies
+/// (ignored by kRandom, which is hash-based either way).
 std::unique_ptr<CachePolicy> make_policy(PolicyKind kind, std::size_t capacity,
-                                         std::uint64_t seed = 1);
+                                         std::uint64_t seed = 1,
+                                         IndexSpec index = {});
 
 }  // namespace ccnopt::cache

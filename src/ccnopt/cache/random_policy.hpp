@@ -17,6 +17,10 @@ class RandomCache final : public CachePolicy {
   std::size_t size() const override { return slots_.size(); }
   bool contains(ContentId id) const override { return index_.count(id) > 0; }
   std::vector<ContentId> contents() const override { return slots_; }
+  void clear() override {
+    slots_.clear();
+    index_.clear();
+  }
   const char* name() const override { return "random"; }
 
  protected:

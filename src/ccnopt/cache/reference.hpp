@@ -33,6 +33,10 @@ class ReferenceLruCache final : public CachePolicy {
   std::size_t size() const override { return index_.size(); }
   bool contains(ContentId id) const override { return index_.count(id) > 0; }
   std::vector<ContentId> contents() const override;
+  void clear() override {
+    order_.clear();
+    index_.clear();
+  }
   const char* name() const override { return "lru"; }
 
  protected:
@@ -53,6 +57,10 @@ class ReferenceLfuCache final : public CachePolicy {
   std::size_t size() const override { return index_.size(); }
   bool contains(ContentId id) const override { return index_.count(id) > 0; }
   std::vector<ContentId> contents() const override;
+  void clear() override {
+    buckets_.clear();
+    index_.clear();
+  }
   const char* name() const override { return "lfu"; }
 
   /// Request count of `id` if cached, 0 otherwise (for tests).
@@ -82,6 +90,10 @@ class ReferenceFifoCache final : public CachePolicy {
   bool contains(ContentId id) const override { return members_.count(id) > 0; }
   std::vector<ContentId> contents() const override {
     return {order_.begin(), order_.end()};
+  }
+  void clear() override {
+    order_.clear();
+    members_.clear();
   }
   const char* name() const override { return "fifo"; }
 

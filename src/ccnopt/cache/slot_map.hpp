@@ -45,6 +45,15 @@ class SlotMap {
     }
   }
 
+  /// Hints the id's table cell into cache ahead of a find/insert.
+  void prefetch(ContentId id) const {
+#if defined(__GNUC__) || defined(__clang__)
+    if (id < dense_.size()) __builtin_prefetch(&dense_[id]);
+#else
+    (void)id;
+#endif
+  }
+
  private:
   // 16M dense ids (64 MB worst case), reached only by actually admitting
   // ids that large; the simulator's catalogs sit far below this.

@@ -28,6 +28,7 @@ class StaticCache final : public CachePolicy {
   std::vector<ContentId> contents() const override {
     return {members_.begin(), members_.end()};
   }
+  void clear() override { members_.clear(); }
   const char* name() const override { return "static"; }
 
   /// Replaces the provisioned set (a coordinator epoch update).

@@ -31,6 +31,19 @@ double harmonic_euler_maclaurin(std::uint64_t k, double s);
 double harmonic(std::uint64_t k, double s,
                 std::uint64_t exact_threshold = 4096);
 
+/// Log-weighted harmonic number L_{k,s} = sum_{j=1..k} j^{-s} ln j — the
+/// numerator of the Zipf expected log-rank E[ln rank] = L/H that the MLE
+/// exponent fit matches to data. Same three-strategy split as H_{k,s}.
+double harmonic_log_exact(std::uint64_t k, double s);
+
+/// L_{k,s} via Euler–Maclaurin on f(t) = t^{-s} ln t. Requires k >= 1.
+double harmonic_log_euler_maclaurin(std::uint64_t k, double s);
+
+/// L_{k,s} choosing exact summation below `exact_threshold`, Euler–Maclaurin
+/// above — keeps the MLE fit O(1) per solver iteration at web-scale catalogs.
+double harmonic_log(std::uint64_t k, double s,
+                    std::uint64_t exact_threshold = 4096);
+
 /// The continuous-approximation numerator of Eq. 6:
 /// \int_1^x t^{-s} dt = (x^{1-s} - 1)/(1 - s)  (ln x when s = 1).
 /// Requires x >= 1 (callers clamp; F(x<1) := 0 upstream).

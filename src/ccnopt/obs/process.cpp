@@ -1,0 +1,25 @@
+#include "ccnopt/obs/process.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace ccnopt::obs {
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  // macOS reports ru_maxrss in bytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+  // Linux reports ru_maxrss in kibibytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace ccnopt::obs

@@ -1,0 +1,14 @@
+// Process-level resource probes for benchmarks and capacity accounting.
+#pragma once
+
+#include <cstdint>
+
+namespace ccnopt::obs {
+
+/// High-water-mark resident set size of the calling process, in bytes
+/// (getrusage ru_maxrss). Returns 0 on platforms without the probe. The
+/// value is monotone over the process lifetime — sample it at the end of a
+/// bench to bound the peak footprint of everything that ran before.
+std::uint64_t peak_rss_bytes();
+
+}  // namespace ccnopt::obs

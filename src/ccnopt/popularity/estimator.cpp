@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "ccnopt/common/assert.hpp"
+#include "ccnopt/numerics/harmonic.hpp"
 #include "ccnopt/numerics/roots.hpp"
 #include "ccnopt/numerics/stats.hpp"
 
@@ -68,17 +69,16 @@ Expected<ZipfFit> fit_zipf_mle(std::span<const std::uint64_t> histogram) {
   const double mean_log_rank = sum_log_rank / static_cast<double>(samples);
 
   // Score: g(s) = T1(s)/T0(s) - mean_log_rank, where
-  //   T0 = sum_j j^{-s},  T1 = sum_j j^{-s} log j
+  //   T0 = H_{N,s} = sum_j j^{-s},  T1 = L_{N,s} = sum_j j^{-s} log j
   // (T1/T0 is the model's expected log-rank; MLE matches it to the data).
+  // Both sums route through the numerics split: exact below the threshold
+  // (bit-identical to the old inline loop, smallest-terms-first), O(1)
+  // Euler-Maclaurin above it — so each Brent iteration costs O(1) at
+  // web-scale catalogs instead of O(catalog).
   // g is continuous and decreasing in s; bracket and solve with Brent.
   auto expected_log_rank = [catalog](double s) {
-    double t0 = 0.0, t1 = 0.0;
-    for (std::uint64_t j = catalog; j >= 1; --j) {
-      const double w = std::pow(static_cast<double>(j), -s);
-      const double lj = std::log(static_cast<double>(j));
-      t0 += w;
-      t1 += w * lj;
-    }
+    const double t0 = numerics::harmonic(catalog, s);
+    const double t1 = numerics::harmonic_log(catalog, s);
     return t1 / t0;
   };
   const auto g = [&](double s) {

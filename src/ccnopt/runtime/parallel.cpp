@@ -24,4 +24,15 @@ std::vector<ChunkRange> static_chunks(std::size_t count,
   return chunks;
 }
 
+std::vector<ChunkRange> fixed_blocks(std::size_t count,
+                                     std::size_t block_size) {
+  CCNOPT_EXPECTS(block_size >= 1);
+  std::vector<ChunkRange> blocks;
+  blocks.reserve(count / block_size + 1);
+  for (std::size_t begin = 0; begin < count; begin += block_size) {
+    blocks.push_back(ChunkRange{begin, std::min(begin + block_size, count)});
+  }
+  return blocks;
+}
+
 }  // namespace ccnopt::runtime

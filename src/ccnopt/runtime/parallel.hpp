@@ -33,6 +33,15 @@ struct ChunkRange {
 std::vector<ChunkRange> static_chunks(std::size_t count,
                                       std::size_t chunk_count);
 
+/// Splits [0, count) into ceil(count / block_size) contiguous ranges of
+/// exactly `block_size` items (the last may be short). Unlike
+/// static_chunks, block boundaries depend only on block_size — never on
+/// the worker count — so work partitioned this way is identical at any
+/// thread count (the property the batched request engine's per-block
+/// processing relies on). Requires block_size >= 1.
+std::vector<ChunkRange> fixed_blocks(std::size_t count,
+                                     std::size_t block_size);
+
 /// Runs body(i) for every i in [0, count) across the pool. `chunk_count`
 /// of 0 means one chunk per worker thread; pass a multiple of
 /// pool.thread_count() for finer-grained load balancing when per-item cost
@@ -50,6 +59,32 @@ void parallel_for(ThreadPool& pool, std::size_t count, const Body& body,
     futures.push_back(pool.submit([&body, chunk] {
       for (std::size_t i = chunk.begin; i < chunk.end; ++i) body(i);
     }));
+  }
+  std::exception_ptr first_error;
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Runs body(block) for every fixed-size block of [0, count) across the
+/// pool (block boundaries from fixed_blocks, so they are thread-count
+/// invariant). Use instead of parallel_for when the body amortizes
+/// per-batch setup — e.g. draining a sampler or flushing metrics once per
+/// block — while keeping deterministic partitioning.
+template <typename Body>
+void parallel_for_blocked(ThreadPool& pool, std::size_t count,
+                          std::size_t block_size, const Body& body) {
+  if (count == 0) return;
+  const std::vector<ChunkRange> blocks = fixed_blocks(count, block_size);
+  std::vector<std::future<void>> futures;
+  futures.reserve(blocks.size());
+  for (const ChunkRange& block : blocks) {
+    futures.push_back(pool.submit([&body, block] { body(block); }));
   }
   std::exception_ptr first_error;
   for (std::future<void>& future : futures) {

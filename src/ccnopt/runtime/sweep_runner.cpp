@@ -13,14 +13,15 @@ Expected<std::vector<model::SweepPoint>> SweepRunner::run(
   obs::metrics().incr("model.sweep.runs");
   obs::metrics().incr("model.sweep.points", values.size());
   std::vector<model::SweepPointOutcome> outcomes(values.size());
-  // Root-finding cost varies across the grid (e.g. near s = 1), so chunk
-  // finer than one-per-worker to keep the pool busy.
-  parallel_for(
-      pool_, values.size(),
-      [&](std::size_t i) {
-        outcomes[i] = model::evaluate_sweep_point(base, parameter, values[i]);
-      },
-      4 * pool_.thread_count());
+  // Root-finding cost varies across the grid (e.g. near s = 1), so split
+  // into small fixed-size blocks to keep the pool busy. Fixed blocks (not
+  // per-worker chunks) make the partitioning identical at every thread
+  // count.
+  parallel_for_blocked(pool_, values.size(), 8, [&](ChunkRange block) {
+    for (std::size_t i = block.begin; i < block.end; ++i) {
+      outcomes[i] = model::evaluate_sweep_point(base, parameter, values[i]);
+    }
+  });
   return model::reduce_sweep_outcomes(outcomes);
 }
 

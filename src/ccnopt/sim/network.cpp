@@ -14,23 +14,31 @@ namespace {
 
 std::unique_ptr<cache::CachePolicy> make_local_partition(
     LocalStoreMode mode, std::size_t capacity, std::uint64_t seed,
-    bool use_reference) {
-  const auto factory = use_reference ? cache::make_reference_policy
-                                     : cache::make_policy;
+    bool use_reference, cache::IndexSpec index) {
+  cache::PolicyKind kind;
   switch (mode) {
     case LocalStoreMode::kStaticTop:
       return cache::StaticCache::make_top(capacity);
     case LocalStoreMode::kLru:
-      return factory(cache::PolicyKind::kLru, capacity, seed);
+      kind = cache::PolicyKind::kLru;
+      break;
     case LocalStoreMode::kLfu:
-      return factory(cache::PolicyKind::kLfu, capacity, seed);
+      kind = cache::PolicyKind::kLfu;
+      break;
     case LocalStoreMode::kFifo:
-      return factory(cache::PolicyKind::kFifo, capacity, seed);
+      kind = cache::PolicyKind::kFifo;
+      break;
     case LocalStoreMode::kRandom:
-      return factory(cache::PolicyKind::kRandom, capacity, seed);
+      kind = cache::PolicyKind::kRandom;
+      break;
+    default:
+      CCNOPT_ASSERT(false);
+      return nullptr;
   }
-  CCNOPT_ASSERT(false);
-  return nullptr;
+  // The reference policies are hash/tree-based — they have no dense index
+  // to swap out, so the IndexSpec only reaches the flat rewrites.
+  return use_reference ? cache::make_reference_policy(kind, capacity, seed)
+                       : cache::make_policy(kind, capacity, seed, index);
 }
 
 // Interned once per process; handles survive registry reset().
@@ -105,7 +113,6 @@ CcnNetwork::CcnNetwork(topology::Graph graph, NetworkConfig config)
   }
   stores_.resize(graph_.node_count());
   failed_.assign(graph_.node_count(), false);
-  owner_of_.assign(config_.catalog_size + 1, kNoOwner);
   // Dense link index (min,max) -> position in graph().links() order, built
   // once; parent_link_ rebuilds consult it, serve() never does.
   const auto n = static_cast<std::uint64_t>(graph_.node_count());
@@ -164,11 +171,25 @@ void CcnNetwork::rebuild_routing() {
 }
 
 void CcnNetwork::rebuild_owner_table() {
-  std::fill(owner_of_.begin(), owner_of_.end(), kNoOwner);
+  // The assignment covers a contiguous rank interval; find its bounds and
+  // build the offset-indexed owner vector. Everything here is O(pool), so a
+  // provision epoch over a 10^7 catalog never touches 10^7 words (the dense
+  // rank table this replaces was allocated and re-filled at catalog size).
+  owner_first_rank_ = 1;
+  owner_by_offset_.clear();
+  if (assignment_.owner.empty()) return;
+  cache::ContentId lo = UINT64_MAX;
+  cache::ContentId hi = 0;
   for (const auto& [content, owner] : assignment_.owner) {
-    // Ranks beyond the catalog can never be requested (serve() rejects
-    // them), so the dense table simply skips them.
-    if (content < owner_of_.size()) owner_of_[content] = owner;
+    (void)owner;
+    lo = std::min(lo, content);
+    hi = std::max(hi, content);
+  }
+  CCNOPT_ASSERT(hi - lo + 1 == assignment_.owner.size());
+  owner_first_rank_ = lo;
+  owner_by_offset_.assign(static_cast<std::size_t>(hi - lo + 1), kNoOwner);
+  for (const auto& [content, owner] : assignment_.owner) {
+    owner_by_offset_[static_cast<std::size_t>(content - lo)] = owner;
   }
 }
 
@@ -286,9 +307,11 @@ std::uint64_t CcnNetwork::provision(std::size_t coordinated_x) {
     }
     stores_[id] = std::make_unique<cache::PartitionedStore>(
         capacity, x,
-        make_local_partition(config_.local_mode, capacity - x,
-                             config_.seed + 0x51ED2701ULL * (id + 1),
-                             config_.use_reference_policies),
+        make_local_partition(
+            config_.local_mode, capacity - x,
+            config_.seed + 0x51ED2701ULL * (id + 1),
+            config_.use_reference_policies,
+            cache::IndexSpec{config_.cache_index_mode, config_.catalog_size}),
         std::move(assigned));
   }
   rebuild_owner_table();
@@ -326,9 +349,11 @@ std::uint64_t CcnNetwork::provision_heterogeneous(
     }
     stores_[id] = std::make_unique<cache::PartitionedStore>(
         capacity, coordinated,
-        make_local_partition(config_.local_mode, capacity - coordinated,
-                             config_.seed + 0x51ED2701ULL * (id + 1),
-                             config_.use_reference_policies),
+        make_local_partition(
+            config_.local_mode, capacity - coordinated,
+            config_.seed + 0x51ED2701ULL * (id + 1),
+            config_.use_reference_policies,
+            cache::IndexSpec{config_.cache_index_mode, config_.catalog_size}),
         std::move(assigned));
   }
   rebuild_owner_table();
@@ -354,7 +379,7 @@ ServeResult CcnNetwork::serve(topology::NodeId first_hop,
   // Coordinated placement lookup (the paper's mid tier) — one load from the
   // dense owner table. A failed or unreachable owner means the content is
   // lost until repair.
-  const topology::NodeId owner = owner_of_[content];
+  const topology::NodeId owner = owner_of(content);
   if (owner != kNoOwner && owner != first_hop && !failed_[owner] &&
       paths_.latency_ms(first_hop, owner) < topology::kUnreachable) {
     record_path(first_hop, owner);
@@ -396,6 +421,17 @@ ServeResult CcnNetwork::serve(topology::NodeId first_hop,
   record_path(first_hop, gateway);
   return ServeResult{ServeTier::kOrigin, route.latency_ms, route.hops, gateway,
                      false};
+}
+
+void CcnNetwork::prefetch(topology::NodeId first_hop,
+                          cache::ContentId content) const {
+  stores_[first_hop]->prefetch(content);
+  const cache::ContentId offset = content - owner_first_rank_;
+  if (offset < owner_by_offset_.size()) {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&owner_by_offset_[offset]);
+#endif
+  }
 }
 
 const cache::PartitionedStore& CcnNetwork::store(topology::NodeId id) const {

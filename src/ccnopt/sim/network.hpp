@@ -59,6 +59,12 @@ struct NetworkConfig {
   /// exists so A/B tests can prove it on whole simulations; never enable it
   /// for performance runs.
   bool use_reference_policies = false;
+  /// Membership-index selection for the flat local partitions: kAuto keeps
+  /// the dense array for small catalogs and switches to the O(capacity)
+  /// robin-hood index when catalog_size dwarfs the per-router capacity
+  /// (see cache/content_index.hpp for the exact rule). Forcing kDense at
+  /// web-scale catalogs allocates O(catalog) words per router.
+  cache::IndexMode cache_index_mode = cache::IndexMode::kAuto;
   std::uint64_t seed = 42;
 };
 
@@ -104,6 +110,12 @@ class CcnNetwork {
   /// Serves one request arriving at `first_hop`; mutates dynamic local
   /// partitions (miss-path admission).
   ServeResult serve(topology::NodeId first_hop, cache::ContentId content);
+
+  /// Hints the serve()-path state of an upcoming request into cache: the
+  /// first-hop store's membership index and the coordinated-owner interval
+  /// entry. Issued by the batched request engine one request ahead; never
+  /// mutates, never required for correctness.
+  void prefetch(topology::NodeId first_hop, cache::ContentId content) const;
 
   /// Store of one router; precondition: id < router_count().
   const cache::PartitionedStore& store(topology::NodeId id) const;
@@ -165,12 +177,23 @@ class CcnNetwork {
   std::size_t provisioned_x_ = 0;
   std::vector<bool> failed_;
 
-  // Flat serve()-path tables, so the hot path never probes a hash map:
-  // content rank -> coordinated owner (kNoOwner when uncoordinated),
-  // rebuilt on every provision; (router, origin spec) -> total route cost,
-  // rebuilt with routing.
-  std::vector<topology::NodeId> owner_of_;     // size catalog_size + 1
+  // Flat serve()-path tables, so the hot path never probes a hash map.
+  // Coordinated placement is always a contiguous popularity-rank interval
+  // (coordinator.hpp deals ranks round-robin from a first rank), so the
+  // owner lookup is an interval test plus one indexed load — O(pool)
+  // memory instead of the O(catalog) dense rank table this replaces.
+  // Rebuilt on every provision. origin_routes_ maps (router, origin spec)
+  // -> total route cost, rebuilt with routing.
+  cache::ContentId owner_first_rank_ = 1;
+  std::vector<topology::NodeId> owner_by_offset_;  // size = coordinated pool
   std::vector<OriginRoute> origin_routes_;     // router * |origins| + spec
+
+  topology::NodeId owner_of(cache::ContentId content) const {
+    // Unsigned wrap makes ranks below the interval fail the bound too.
+    const cache::ContentId offset = content - owner_first_rank_;
+    return offset < owner_by_offset_.size() ? owner_by_offset_[offset]
+                                            : kNoOwner;
+  }
 
   static std::vector<topology::NodeId> find_participants(
       const topology::Graph& graph, const NetworkConfig& config);

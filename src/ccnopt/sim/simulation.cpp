@@ -1,5 +1,6 @@
 #include "ccnopt/sim/simulation.hpp"
 
+#include <queue>
 #include <vector>
 
 #include "ccnopt/common/assert.hpp"
@@ -56,7 +57,7 @@ Simulation::Simulation(topology::Graph graph, SimConfig config)
   network_ = std::make_unique<CcnNetwork>(std::move(graph), config_.network);
   workload_ = std::make_unique<ZipfWorkload>(
       network_->router_count(), config_.network.catalog_size, config_.zipf_s,
-      config_.seed);
+      config_.seed, config_.sampler_kind);
 }
 
 void Simulation::set_workload(std::unique_ptr<Workload> workload) {
@@ -106,6 +107,120 @@ SimReport Simulation::run() {
         to_string(result.tier), result.hops,
         static_cast<std::uint32_t>(result.served_by), result.latency_ms});
   };
+
+  // One registry flush per run: integer sums and a fixed-point histogram
+  // merge, so totals are exact and order-independent no matter which
+  // thread (or how many) ran the replications.
+  const auto flush_registry = [this](const MetricsCollector& collected,
+                                     const SimReport& report,
+                                     std::uint64_t aggregated_count,
+                                     std::uint64_t upstream_count) {
+    obs::MetricsRegistry& registry = obs::metrics();
+    const RunMetricHandles& handles = RunMetricHandles::get();
+    registry.incr(handles.runs);
+    registry.incr(handles.requests_measured, report.total_requests);
+    registry.incr(handles.requests_local,
+                  collected.tier_count(ServeTier::kLocal));
+    registry.incr(handles.requests_network,
+                  collected.tier_count(ServeTier::kNetwork));
+    registry.incr(handles.requests_origin,
+                  collected.tier_count(ServeTier::kOrigin));
+    registry.incr(handles.requests_aggregated, aggregated_count);
+    registry.incr(handles.upstream_fetches, upstream_count);
+    registry.incr(handles.coordination_messages, report.coordination_messages);
+    registry.incr(handles.trace_sampled, trace_.size());
+    registry.merge_histogram(handles.latency_ms,
+                             collected.latency_histogram());
+  };
+
+  const bool batched =
+      !config_.interest_aggregation && config_.batch_size > 0;
+  if (batched) {
+    // Batched request engine. Without aggregation the event queue only ever
+    // holds arrival events, one per active router, each rescheduling itself
+    // on pop — so the queue's behaviour is replayed exactly by a k-way
+    // merge on (time, seq): initial seqs in router scheduling order, then a
+    // global counter incremented at each pop, just as EventQueue stamps
+    // schedule_after() calls. Per-router clocks and workload streams are
+    // touched in identical order to the event loop, so every stream,
+    // report, trace and metric export is bit-identical to batch_size = 0.
+    struct NextArrival {
+      SimTime time;
+      std::uint64_t seq;
+      std::uint32_t router;
+    };
+    const auto later = [](const NextArrival& a, const NextArrival& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    };
+    std::priority_queue<NextArrival, std::vector<NextArrival>, decltype(later)>
+        heap(later);
+    std::uint64_t seq_counter = 0;
+    bool any_active = false;
+    for (std::size_t router = 0; router < network_->router_count(); ++router) {
+      if (!workload_->active(router)) continue;
+      any_active = true;
+      heap.push(NextArrival{
+          clocks[router].exponential(config_.arrival_rate_per_router),
+          seq_counter++, static_cast<std::uint32_t>(router)});
+    }
+    CCNOPT_EXPECTS(any_active);
+
+    struct BlockEntry {
+      std::uint64_t index;  // global emission index
+      cache::ContentId content;
+      std::uint32_t router;
+    };
+    const std::size_t batch = static_cast<std::size_t>(config_.batch_size);
+    std::vector<BlockEntry> block;
+    block.reserve(batch);
+    std::vector<ServeResult> results(batch);
+    while (emitted < total_requests) {
+      // Generation pass: resolve the next block of (router, content) pairs
+      // by replaying the queue's exact pop order.
+      block.clear();
+      const std::uint64_t want = std::min<std::uint64_t>(
+          config_.batch_size, total_requests - emitted);
+      for (std::uint64_t i = 0; i < want; ++i) {
+        const NextArrival top = heap.top();
+        heap.pop();
+        const std::uint64_t request_index = emitted;
+        ++emitted;
+        block.push_back(
+            BlockEntry{request_index, workload_->next(top.router), top.router});
+        heap.push(NextArrival{
+            top.time +
+                clocks[top.router].exponential(config_.arrival_rate_per_router),
+            seq_counter++, top.router});
+      }
+      // Serve pass: tight loop over resolved pairs, the next request's
+      // membership-index and owner-table state prefetched one iteration
+      // ahead so the lookups land in cache.
+      for (std::size_t i = 0; i < block.size(); ++i) {
+        if (i + 1 < block.size()) {
+          network_->prefetch(block[i + 1].router, block[i + 1].content);
+        }
+        results[i] = network_->serve(block[i].router, block[i].content);
+        if (results[i].tier != ServeTier::kLocal) ++upstream;
+      }
+      // Metrics/trace pass, once per block, in emission order (the same
+      // order the event loop records in, so RunningStats accumulation is
+      // bit-identical).
+      for (std::size_t i = 0; i < block.size(); ++i) {
+        if (block[i].index < config_.warmup_requests) continue;
+        metrics.record(results[i].tier, results[i].latency_ms,
+                       results[i].hops);
+        maybe_trace(block[i].index, block[i].router, block[i].content,
+                    results[i]);
+      }
+    }
+    CCNOPT_ENSURES(emitted == total_requests);
+    SimReport report = make_report(metrics);
+    report.aggregated_requests = 0;
+    report.upstream_fetches = upstream;
+    flush_registry(metrics, report, 0, upstream);
+    return report;
+  }
 
   // Pending Interest Table (per router x content): requests arriving while
   // a fetch is in flight join it and complete at its completion event.
@@ -197,24 +312,7 @@ SimReport Simulation::run() {
   SimReport report = make_report(metrics);
   report.aggregated_requests = aggregated;
   report.upstream_fetches = upstream;
-
-  // One registry flush per run: integer sums and a fixed-point histogram
-  // merge, so totals are exact and order-independent no matter which
-  // thread (or how many) ran the replications.
-  obs::MetricsRegistry& registry = obs::metrics();
-  const RunMetricHandles& handles = RunMetricHandles::get();
-  registry.incr(handles.runs);
-  registry.incr(handles.requests_measured, report.total_requests);
-  registry.incr(handles.requests_local, metrics.tier_count(ServeTier::kLocal));
-  registry.incr(handles.requests_network,
-                metrics.tier_count(ServeTier::kNetwork));
-  registry.incr(handles.requests_origin,
-                metrics.tier_count(ServeTier::kOrigin));
-  registry.incr(handles.requests_aggregated, aggregated);
-  registry.incr(handles.upstream_fetches, upstream);
-  registry.incr(handles.coordination_messages, report.coordination_messages);
-  registry.incr(handles.trace_sampled, trace_.size());
-  registry.merge_histogram(handles.latency_ms, metrics.latency_histogram());
+  flush_registry(metrics, report, aggregated, upstream);
   return report;
 }
 

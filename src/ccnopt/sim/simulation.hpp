@@ -31,6 +31,19 @@ struct SimConfig {
   /// in-flight time, so this is off by default;
   /// bench_ablation_aggregation measures what it saves.
   bool interest_aggregation = false;
+  /// Request-engine batching: requests are drawn from the arrival processes
+  /// in blocks of this many, then served in a tight loop with the next
+  /// request's cache state prefetched one iteration ahead, then recorded
+  /// into metrics/traces in emission order. Produces bit-identical reports,
+  /// traces and metric exports to the pure event loop (the only event kind
+  /// without aggregation is an arrival, and the block replays the queue's
+  /// exact (time, seq) pop order). 0 forces the event loop; interest
+  /// aggregation always uses the event loop (it needs completion events).
+  std::uint64_t batch_size = 256;
+  /// Sampler implementation for the default Zipf workload: kAuto keeps the
+  /// alias table at small catalogs and switches to the constant-memory
+  /// rejection-inversion sampler at web-scale catalogs.
+  popularity::SamplerKind sampler_kind = popularity::SamplerKind::kAuto;
   std::uint64_t seed = 42;
   /// Deterministic request tracing: every k-th request (1-in-k sampling
   /// keyed off the run seed) is recorded into traces(). 0 disables

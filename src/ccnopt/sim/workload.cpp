@@ -8,18 +8,20 @@
 namespace ccnopt::sim {
 
 // Every request the simulator emits goes through one sampler draw; pin the
-// hot-path workloads to the O(1) alias path.
+// hot-path workloads to O(1) samplers (alias below the auto threshold,
+// rejection-inversion above it).
 static_assert(popularity::AliasSampler::kConstantTimeSample,
+              "simulator workloads require a constant-time rank sampler");
+static_assert(popularity::ZipfRejectionSampler::kConstantTimeSample,
               "simulator workloads require a constant-time rank sampler");
 
 ZipfWorkload::ZipfWorkload(std::size_t router_count,
                            std::uint64_t catalog_size, double exponent,
-                           std::uint64_t seed)
+                           std::uint64_t seed, popularity::SamplerKind kind)
     : catalog_size_(catalog_size) {
   CCNOPT_EXPECTS(router_count >= 1);
   CCNOPT_EXPECTS(catalog_size >= 1);
-  sampler_ = std::make_shared<popularity::AliasSampler>(
-      popularity::ZipfDistribution(catalog_size, exponent));
+  sampler_ = popularity::make_zipf_sampler(catalog_size, exponent, kind);
   streams_.reserve(router_count);
   for (std::size_t i = 0; i < router_count; ++i) {
     streams_.emplace_back(seed + 0x9E3779B97F4A7C15ULL * (i + 1));
@@ -65,9 +67,8 @@ cache::ContentId DriftingZipfWorkload::next(std::size_t router_index) {
     ++phase_;
   }
   if (samplers_[phase_] == nullptr) {
-    samplers_[phase_] = std::make_shared<popularity::AliasSampler>(
-        popularity::ZipfDistribution(catalog_size_,
-                                     schedule_[phase_].exponent));
+    samplers_[phase_] = popularity::make_zipf_sampler(
+        catalog_size_, schedule_[phase_].exponent);
   }
   ++emitted_;
   return samplers_[phase_]->sample(streams_[router_index]);
@@ -83,8 +84,7 @@ SlidingZipfWorkload::SlidingZipfWorkload(std::size_t router_count,
   CCNOPT_EXPECTS(router_count >= 1);
   CCNOPT_EXPECTS(active_window >= 1 && active_window <= catalog_size);
   CCNOPT_EXPECTS(drift_interval >= 1);
-  sampler_ = std::make_shared<popularity::AliasSampler>(
-      popularity::ZipfDistribution(active_window, exponent));
+  sampler_ = popularity::make_zipf_sampler(active_window, exponent);
   streams_.reserve(router_count);
   for (std::size_t i = 0; i < router_count; ++i) {
     streams_.emplace_back(seed + 0x9E3779B97F4A7C15ULL * (i + 1));

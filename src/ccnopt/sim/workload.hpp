@@ -28,17 +28,22 @@ class Workload {
 
 /// IRM: every router draws i.i.d. Zipf(s, N) ranks from its own seeded
 /// stream (so event interleaving does not perturb per-router sequences).
+/// `kind` selects the sampler implementation: the default kAuto keeps the
+/// alias table at small catalogs (identical streams to every historical
+/// run) and switches to the constant-memory rejection-inversion sampler at
+/// web-scale catalogs (popularity/sampler.hpp).
 class ZipfWorkload final : public Workload {
  public:
   ZipfWorkload(std::size_t router_count, std::uint64_t catalog_size,
-               double exponent, std::uint64_t seed);
+               double exponent, std::uint64_t seed,
+               popularity::SamplerKind kind = popularity::SamplerKind::kAuto);
 
   cache::ContentId next(std::size_t router_index) override;
   std::uint64_t catalog_size() const override { return catalog_size_; }
 
  private:
   std::uint64_t catalog_size_;
-  std::shared_ptr<popularity::AliasSampler> sampler_;  // shared, stateless
+  std::shared_ptr<popularity::RankSampler> sampler_;  // shared, stateless
   std::vector<Rng> streams_;
 };
 
@@ -69,7 +74,7 @@ class DriftingZipfWorkload final : public Workload {
   std::uint64_t catalog_size_;
   std::vector<Phase> schedule_;
   // One sampler per phase, built lazily on first entry.
-  std::vector<std::shared_ptr<popularity::AliasSampler>> samplers_;
+  std::vector<std::shared_ptr<popularity::RankSampler>> samplers_;
   std::vector<Rng> streams_;
   std::uint64_t emitted_ = 0;
   std::size_t phase_ = 0;
@@ -97,7 +102,7 @@ class SlidingZipfWorkload final : public Workload {
  private:
   std::uint64_t catalog_size_;
   std::uint64_t drift_interval_;
-  std::shared_ptr<popularity::AliasSampler> sampler_;  // Zipf(active_window)
+  std::shared_ptr<popularity::RankSampler> sampler_;  // Zipf(active_window)
   std::vector<Rng> streams_;
   std::uint64_t emitted_ = 0;
   std::uint64_t base_ = 0;

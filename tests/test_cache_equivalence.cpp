@@ -34,8 +34,11 @@ std::uint64_t frequency_of(const CachePolicy& policy, ContentId id) {
   return 0;
 }
 
-/// Replays `stream` through the flat and reference implementation of
-/// `kind`, asserting lock-step equivalence after every request.
+/// Replays `stream` through three implementations of `kind` — the flat
+/// policy with its dense index, the flat policy with the sparse robin-hood
+/// index forced, and the reference node-based policy — asserting lock-step
+/// equivalence after every request. The index is pure bookkeeping, so both
+/// flat variants must agree with the reference on every observable.
 void replay(PolicyKind kind, std::size_t capacity,
             const std::vector<ContentId>& stream) {
   std::string trace = "policy=";
@@ -46,41 +49,55 @@ void replay(PolicyKind kind, std::size_t capacity,
   trace += std::to_string(stream.size());
   SCOPED_TRACE(trace);
   const auto flat = make_policy(kind, capacity);
+  const auto sparse =
+      make_policy(kind, capacity, 1, IndexSpec{IndexMode::kSparse, 0});
   const auto reference = make_reference_policy(kind, capacity);
   ASSERT_STREQ(flat->name(), reference->name());
+  ASSERT_STREQ(sparse->name(), reference->name());
 
   for (std::size_t i = 0; i < stream.size(); ++i) {
     const ContentId id = stream[i];
     const bool flat_hit = flat->admit(id);
+    const bool sparse_hit = sparse->admit(id);
     const bool reference_hit = reference->admit(id);
     ASSERT_EQ(flat_hit, reference_hit)
         << "diverged at request " << i << " (id " << id << ")";
+    ASSERT_EQ(sparse_hit, reference_hit)
+        << "sparse index diverged at request " << i << " (id " << id << ")";
     ASSERT_EQ(flat->size(), reference->size()) << "after request " << i;
+    ASSERT_EQ(sparse->size(), reference->size()) << "after request " << i;
     ASSERT_EQ(flat->contains(id), reference->contains(id))
+        << "after request " << i;
+    ASSERT_EQ(sparse->contains(id), reference->contains(id))
         << "after request " << i;
   }
 
-  EXPECT_EQ(flat->stats().hits, reference->stats().hits);
-  EXPECT_EQ(flat->stats().misses, reference->stats().misses);
-  EXPECT_EQ(flat->stats().insertions, reference->stats().insertions);
-  EXPECT_EQ(flat->stats().evictions, reference->stats().evictions);
+  for (const CachePolicy* policy : {flat.get(), sparse.get()}) {
+    EXPECT_EQ(policy->stats().hits, reference->stats().hits);
+    EXPECT_EQ(policy->stats().misses, reference->stats().misses);
+    EXPECT_EQ(policy->stats().insertions, reference->stats().insertions);
+    EXPECT_EQ(policy->stats().evictions, reference->stats().evictions);
+  }
 
-  std::vector<ContentId> flat_contents = flat->contents();
   std::vector<ContentId> reference_contents = reference->contents();
-  if (kind == PolicyKind::kLfu) {
-    // LFU iteration order is unspecified; compare as sets, then require
-    // per-id frequency agreement.
-    std::sort(flat_contents.begin(), flat_contents.end());
-    std::sort(reference_contents.begin(), reference_contents.end());
-    EXPECT_EQ(flat_contents, reference_contents);
-    for (const ContentId id : flat_contents) {
-      EXPECT_EQ(frequency_of(*flat, id), frequency_of(*reference, id))
-          << "frequency mismatch for id " << id;
+  for (const CachePolicy* policy : {flat.get(), sparse.get()}) {
+    std::vector<ContentId> contents = policy->contents();
+    if (kind == PolicyKind::kLfu) {
+      // LFU iteration order is unspecified; compare as sets, then require
+      // per-id frequency agreement.
+      std::vector<ContentId> reference_sorted = reference_contents;
+      std::sort(contents.begin(), contents.end());
+      std::sort(reference_sorted.begin(), reference_sorted.end());
+      EXPECT_EQ(contents, reference_sorted);
+      for (const ContentId id : contents) {
+        EXPECT_EQ(frequency_of(*policy, id), frequency_of(*reference, id))
+            << "frequency mismatch for id " << id;
+      }
+    } else {
+      // LRU contents() is MRU-first and FIFO contents() is oldest-first on
+      // both sides: exact order must match.
+      EXPECT_EQ(contents, reference_contents);
     }
-  } else {
-    // LRU contents() is MRU-first and FIFO contents() is oldest-first on
-    // both sides: exact order must match.
-    EXPECT_EQ(flat_contents, reference_contents);
   }
 }
 
@@ -189,6 +206,71 @@ TEST(CacheEquivalence, SparseIdsExerciseOverflowTable) {
   }
   for (const PolicyKind kind : kKinds) {
     replay(kind, 48, stream);
+  }
+}
+
+TEST(CacheEquivalence, ClearMidStreamStaysEquivalent) {
+  // clear() between two stream halves: every implementation (dense-index
+  // flat, sparse-index flat, reference) must restart from an empty store
+  // while keeping its accumulated stats, and the halves must replay
+  // identically afterwards.
+  const auto first = zipf_stream(2000, 0.8, 10000, 51);
+  const auto second = zipf_stream(2000, 1.1, 10000, 52);
+  for (const PolicyKind kind : kKinds) {
+    SCOPED_TRACE(to_string(kind));
+    const auto flat = make_policy(kind, 64);
+    const auto sparse =
+        make_policy(kind, 64, 1, IndexSpec{IndexMode::kSparse, 0});
+    const auto reference = make_reference_policy(kind, 64);
+    for (const ContentId id : first) {
+      flat->admit(id);
+      sparse->admit(id);
+      reference->admit(id);
+    }
+    const CacheStats stats_before = flat->stats();
+    flat->clear();
+    sparse->clear();
+    reference->clear();
+    ASSERT_EQ(flat->size(), 0u);
+    ASSERT_EQ(sparse->size(), 0u);
+    ASSERT_EQ(reference->size(), 0u);
+    // Stats survive a clear (it resets contents, not accounting).
+    ASSERT_EQ(flat->stats().requests(), stats_before.requests());
+    for (const ContentId id : first) {
+      ASSERT_FALSE(flat->contains(id));
+      ASSERT_FALSE(sparse->contains(id));
+    }
+    for (std::size_t i = 0; i < second.size(); ++i) {
+      const ContentId id = second[i];
+      const bool flat_hit = flat->admit(id);
+      const bool sparse_hit = sparse->admit(id);
+      const bool reference_hit = reference->admit(id);
+      ASSERT_EQ(flat_hit, reference_hit) << "request " << i;
+      ASSERT_EQ(sparse_hit, reference_hit) << "request " << i;
+    }
+  }
+}
+
+TEST(CacheEquivalence, ClearThenRefillRepeatedly) {
+  // Epoch-style usage (the simulator clears local partitions at
+  // re-provisioning): many clear/refill cycles must never corrupt any
+  // index flavour.
+  for (const PolicyKind kind : kKinds) {
+    SCOPED_TRACE(to_string(kind));
+    const auto sparse =
+        make_policy(kind, 32, 1, IndexSpec{IndexMode::kSparse, 0});
+    const auto reference = make_reference_policy(kind, 32);
+    Rng rng(77);
+    for (int epoch = 0; epoch < 20; ++epoch) {
+      for (int i = 0; i < 500; ++i) {
+        const ContentId id = rng.uniform_int(1, 300);
+        ASSERT_EQ(sparse->admit(id), reference->admit(id))
+            << "epoch " << epoch << " request " << i;
+      }
+      sparse->clear();
+      reference->clear();
+      ASSERT_EQ(sparse->size(), 0u);
+    }
   }
 }
 

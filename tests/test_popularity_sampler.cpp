@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "ccnopt/numerics/stats.hpp"
@@ -9,11 +12,14 @@
 namespace ccnopt::popularity {
 namespace {
 
-// Both samplers must realize the same distribution; run the same
+// All samplers must realize the same distribution; run the same
 // frequency-vs-pmf check against each.
-enum class Kind { kAlias, kInverse };
+enum class Kind { kAlias, kInverse, kRejection };
 
 std::unique_ptr<RankSampler> make(Kind kind, std::uint64_t n, double s) {
+  if (kind == Kind::kRejection) {
+    return std::make_unique<ZipfRejectionSampler>(n, s);
+  }
   const ZipfDistribution zipf(n, s);
   if (kind == Kind::kAlias) return std::make_unique<AliasSampler>(zipf);
   return std::make_unique<InverseCdfSampler>(zipf);
@@ -70,12 +76,109 @@ TEST_P(Samplers, Deterministic) {
 }
 
 std::string sampler_name(const ::testing::TestParamInfo<Kind>& param_info) {
-  return param_info.param == Kind::kAlias ? "alias" : "inverse_cdf";
+  switch (param_info.param) {
+    case Kind::kAlias:
+      return "alias";
+    case Kind::kInverse:
+      return "inverse_cdf";
+    case Kind::kRejection:
+      return "rejection";
+  }
+  return "unknown";
 }
 
-INSTANTIATE_TEST_SUITE_P(BothSamplers, Samplers,
-                         ::testing::Values(Kind::kAlias, Kind::kInverse),
+INSTANTIATE_TEST_SUITE_P(AllSamplers, Samplers,
+                         ::testing::Values(Kind::kAlias, Kind::kInverse,
+                                           Kind::kRejection),
                          sampler_name);
+
+// Distribution equivalence across the exponent grid the paper sweeps: both
+// O(1) production samplers (alias and rejection-inversion) against the
+// exact pmf, by chi-square and by total-variation distance.
+class SamplerEquivalence
+    : public ::testing::TestWithParam<std::tuple<Kind, double>> {};
+
+TEST_P(SamplerEquivalence, MatchesExactPmf) {
+  const auto [kind, s] = GetParam();
+  const std::uint64_t n = 100;
+  const ZipfDistribution zipf(n, s);
+  auto sampler = make(kind, n, s);
+  Rng rng(20240806);
+  const std::uint64_t draws = 200000;
+  std::vector<std::uint64_t> counts(n, 0);
+  for (std::uint64_t i = 0; i < draws; ++i) ++counts[sampler->sample(rng) - 1];
+
+  std::vector<double> expected(n);
+  double tv = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    expected[i] = zipf.pmf(i + 1) * static_cast<double>(draws);
+    tv += std::abs(static_cast<double>(counts[i]) /
+                       static_cast<double>(draws) -
+                   zipf.pmf(i + 1));
+  }
+  tv *= 0.5;
+  // 99 dof -> 99.9th percentile ~ 149; TV of a faithful sampler at these
+  // draw counts concentrates well below 0.01.
+  const double stat = numerics::chi_square_statistic(counts, expected);
+  EXPECT_LT(stat, 160.0) << "s=" << s;
+  EXPECT_LT(tv, 0.01) << "s=" << s;
+}
+
+std::string equivalence_name(
+    const ::testing::TestParamInfo<std::tuple<Kind, double>>& param_info) {
+  const auto [kind, s] = param_info.param;
+  std::string name = kind == Kind::kAlias ? "alias" : "rejection";
+  name += "_s";
+  name += std::to_string(static_cast<int>(s * 10.0 + 0.5));
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ExponentGrid, SamplerEquivalence,
+    ::testing::Combine(::testing::Values(Kind::kAlias, Kind::kRejection),
+                       ::testing::Values(0.6, 0.8, 1.0, 1.2)),
+    equivalence_name);
+
+TEST(ZipfRejectionSampler, ConstantMemoryAtHugeCatalog) {
+  // 10^12 contents: any tabulated sampler would need terabytes; the
+  // rejection sampler is three doubles. Draws must stay in range and the
+  // head of the distribution must dominate.
+  const std::uint64_t n = 1000000000000ull;
+  ZipfRejectionSampler sampler(n, 0.8);
+  Rng rng(11);
+  std::uint64_t head = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t rank = sampler.sample(rng);
+    ASSERT_GE(rank, 1u);
+    ASSERT_LE(rank, n);
+    if (rank <= n / 1000) ++head;
+  }
+  // F(N/1000) ~= (10^1.8 - 1)/(10^2.4 - 1) ~= 0.248, so ~4960 of 20000
+  // draws in expectation (sd ~61); require a clearly super-uniform head
+  // mass (uniform would give ~20 of 20000).
+  EXPECT_GT(head, 4600u);
+}
+
+TEST(ZipfRejectionSampler, SingleContentCatalog) {
+  ZipfRejectionSampler sampler(1, 0.8);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.sample(rng), 1u);
+}
+
+TEST(MakeZipfSampler, AutoSelectsByCatalogSize) {
+  // Below the threshold kAuto keeps the alias sampler (bit-compatible
+  // streams with every historical run); at/above it, rejection-inversion.
+  const auto small = make_zipf_sampler(1000, 0.8);
+  EXPECT_NE(dynamic_cast<AliasSampler*>(small.get()), nullptr);
+  const auto large = make_zipf_sampler(kRejectionAutoThreshold, 0.8);
+  EXPECT_NE(dynamic_cast<ZipfRejectionSampler*>(large.get()), nullptr);
+  const auto forced =
+      make_zipf_sampler(1000, 0.8, SamplerKind::kRejectionInversion);
+  EXPECT_NE(dynamic_cast<ZipfRejectionSampler*>(forced.get()), nullptr);
+  const auto forced_alias =
+      make_zipf_sampler(kRejectionAutoThreshold, 0.8, SamplerKind::kAlias);
+  EXPECT_NE(dynamic_cast<AliasSampler*>(forced_alias.get()), nullptr);
+}
 
 TEST(AliasSampler, ExplicitWeights) {
   // 3 categories with weights 1:2:1 -> rank 2 about half the draws.

@@ -76,6 +76,61 @@ TEST(ParallelFor, OtherChunksCompleteDespiteException) {
   EXPECT_EQ(visited.load(), 64 - first_chunk_size);
 }
 
+TEST(FixedBlocks, BlocksAreThreadCountInvariantBySize) {
+  // Unlike static_chunks (which divides by worker count), fixed_blocks cuts
+  // by a constant block size — the partition a sweep runner uses so results
+  // group identically no matter how many threads execute them.
+  const auto blocks = fixed_blocks(20, 8);
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0].begin, 0u);
+  EXPECT_EQ(blocks[0].end, 8u);
+  EXPECT_EQ(blocks[1].begin, 8u);
+  EXPECT_EQ(blocks[1].end, 16u);
+  EXPECT_EQ(blocks[2].begin, 16u);
+  EXPECT_EQ(blocks[2].end, 20u);  // short tail
+}
+
+TEST(FixedBlocks, EdgeCases) {
+  EXPECT_TRUE(fixed_blocks(0, 8).empty());
+  const auto one = fixed_blocks(5, 100);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].begin, 0u);
+  EXPECT_EQ(one[0].end, 5u);
+  const auto singles = fixed_blocks(3, 1);
+  ASSERT_EQ(singles.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(singles[i].begin, i);
+    EXPECT_EQ(singles[i].end, i + 1);
+  }
+}
+
+TEST(ParallelForBlocked, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(101);
+  parallel_for_blocked(pool, visits.size(), 7, [&visits](ChunkRange block) {
+    for (std::size_t i = block.begin; i < block.end; ++i) ++visits[i];
+  });
+  for (const auto& count : visits) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelForBlocked, EmptyRangeIsANoOp) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  parallel_for_blocked(pool, 0, 8,
+                       [&calls](ChunkRange) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForBlocked, PropagatesBodyException) {
+  ThreadPool pool(4);
+  const auto run = [&pool] {
+    parallel_for_blocked(pool, 100, 10, [](ChunkRange block) {
+      if (block.begin == 30) throw std::runtime_error("block at 30 failed");
+    });
+  };
+  EXPECT_THROW(run(), std::runtime_error);
+}
+
 TEST(ParallelMap, PreservesItemOrder) {
   ThreadPool pool(4);
   std::vector<int> items(100);

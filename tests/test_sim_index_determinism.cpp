@@ -1,0 +1,196 @@
+// Whole-simulation A/B proofs for the web-scale-catalog machinery:
+//  * sparse (robin-hood) vs dense cache membership indexes,
+//  * the batched request engine vs the pure event loop (and across batch
+//    sizes),
+//  * the rejection-inversion Zipf sampler across 1- and 8-thread
+//    replication runs.
+// Every pair must be bit-identical — same SimReport fields, same sampled
+// traces, same serialized metrics registry.
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ccnopt/cache/lru.hpp"
+#include "ccnopt/obs/export.hpp"
+#include "ccnopt/obs/registry.hpp"
+#include "ccnopt/obs/trace.hpp"
+#include "ccnopt/runtime/replication_runner.hpp"
+#include "ccnopt/runtime/thread_pool.hpp"
+#include "ccnopt/sim/simulation.hpp"
+#include "ccnopt/topology/datasets.hpp"
+
+namespace ccnopt::sim {
+namespace {
+
+SimConfig base_config(LocalStoreMode mode) {
+  SimConfig config;
+  // Catalog large enough for the sparse index to be meaningfully exercised
+  // (every router holds a tiny fraction of it) while keeping the dense side
+  // affordable for the A/B comparison.
+  config.network.catalog_size = 50000;
+  config.network.capacity_c = 50;
+  config.network.local_mode = mode;
+  config.coordinated_x = 25;
+  config.zipf_s = 0.8;
+  config.warmup_requests = 5000;
+  config.measured_requests = 20000;
+  config.seed = 20240806;
+  config.trace_sample_k = 64;
+  return config;
+}
+
+std::string serialized_traces(const obs::TraceBuffer& traces) {
+  std::ostringstream out;
+  obs::write_traces_json(out, traces);
+  return out.str();
+}
+
+std::string serialized_metrics() {
+  std::ostringstream out;
+  obs::write_registry_json(out, obs::metrics().snapshot(), 0);
+  return out.str();
+}
+
+void expect_identical_reports(const SimReport& a, const SimReport& b) {
+  EXPECT_EQ(a.total_requests, b.total_requests);
+  EXPECT_EQ(a.aggregated_requests, b.aggregated_requests);
+  EXPECT_EQ(a.upstream_fetches, b.upstream_fetches);
+  EXPECT_EQ(a.local_fraction, b.local_fraction);
+  EXPECT_EQ(a.network_fraction, b.network_fraction);
+  EXPECT_EQ(a.origin_load, b.origin_load);
+  EXPECT_EQ(a.mean_latency_ms, b.mean_latency_ms);
+  EXPECT_EQ(a.mean_hops, b.mean_hops);
+  EXPECT_EQ(a.mean_local_latency_ms, b.mean_local_latency_ms);
+  EXPECT_EQ(a.mean_network_latency_ms, b.mean_network_latency_ms);
+  EXPECT_EQ(a.mean_origin_latency_ms, b.mean_origin_latency_ms);
+  EXPECT_EQ(a.coordination_messages, b.coordination_messages);
+}
+
+struct RunResult {
+  SimReport report;
+  std::string traces;
+  std::string metrics;
+};
+
+RunResult run_once(SimConfig config) {
+  obs::metrics().reset();
+  Simulation sim(topology::us_a(), config);
+  RunResult result;
+  result.report = sim.run();
+  result.traces = serialized_traces(sim.traces());
+  result.metrics = serialized_metrics();
+  return result;
+}
+
+class SimIndexDeterminism : public ::testing::TestWithParam<LocalStoreMode> {};
+
+TEST_P(SimIndexDeterminism, SparseAndDenseIndexRunsAreBitIdentical) {
+  SimConfig config = base_config(GetParam());
+  config.network.cache_index_mode = cache::IndexMode::kDense;
+  const RunResult dense = run_once(config);
+  config.network.cache_index_mode = cache::IndexMode::kSparse;
+  const RunResult sparse = run_once(config);
+
+  expect_identical_reports(dense.report, sparse.report);
+  EXPECT_FALSE(sparse.traces.empty());
+  EXPECT_EQ(dense.traces, sparse.traces);
+  EXPECT_EQ(dense.metrics, sparse.metrics);
+}
+
+TEST_P(SimIndexDeterminism, BatchedEngineMatchesEventLoop) {
+  SimConfig config = base_config(GetParam());
+  config.batch_size = 0;  // pure event loop
+  const RunResult event_loop = run_once(config);
+  config.batch_size = 256;
+  const RunResult batched = run_once(config);
+  config.batch_size = 17;  // awkward size straddling warmup boundary
+  const RunResult small_batch = run_once(config);
+
+  expect_identical_reports(event_loop.report, batched.report);
+  expect_identical_reports(event_loop.report, small_batch.report);
+  EXPECT_FALSE(batched.traces.empty());
+  EXPECT_EQ(event_loop.traces, batched.traces);
+  EXPECT_EQ(event_loop.traces, small_batch.traces);
+  EXPECT_EQ(event_loop.metrics, batched.metrics);
+  EXPECT_EQ(event_loop.metrics, small_batch.metrics);
+}
+
+INSTANTIATE_TEST_SUITE_P(DynamicPolicies, SimIndexDeterminism,
+                         ::testing::Values(LocalStoreMode::kLru,
+                                           LocalStoreMode::kLfu,
+                                           LocalStoreMode::kFifo),
+                         [](const auto& param_info) {
+                           return std::string(to_string(param_info.param));
+                         });
+
+TEST(SimIndexDeterminism, BatchedSparseMatchesEventLoopDenseEndToEnd) {
+  // Cross product of both tentpole switches at once: the fully optimized
+  // configuration (sparse index + batched engine) against the fully
+  // conservative one (dense index + event loop).
+  SimConfig config = base_config(LocalStoreMode::kLru);
+  config.network.cache_index_mode = cache::IndexMode::kDense;
+  config.batch_size = 0;
+  const RunResult conservative = run_once(config);
+  config.network.cache_index_mode = cache::IndexMode::kSparse;
+  config.batch_size = 256;
+  const RunResult optimized = run_once(config);
+
+  expect_identical_reports(conservative.report, optimized.report);
+  EXPECT_EQ(conservative.traces, optimized.traces);
+  EXPECT_EQ(conservative.metrics, optimized.metrics);
+}
+
+TEST(SimIndexDeterminism, RejectionSamplerThreadCountInvariant) {
+  // The rejection-inversion sampler drives per-router streams exactly like
+  // the alias sampler does, so replicated runs must stay bit-identical
+  // between 1 and 8 threads (mirrors the alias-path test in
+  // test_sim_ab_determinism.cpp).
+  SimConfig config = base_config(LocalStoreMode::kLru);
+  config.sampler_kind = popularity::SamplerKind::kRejectionInversion;
+  config.warmup_requests = 2000;
+  config.measured_requests = 8000;
+  const topology::Graph graph = topology::us_a();
+  constexpr std::size_t kReplications = 4;
+
+  const auto run_with = [&](std::size_t threads) {
+    runtime::ThreadPool pool(threads);
+    return runtime::ReplicationRunner(pool).run(graph, config, kReplications);
+  };
+  const auto serial = run_with(1);
+  const auto parallel = run_with(8);
+
+  ASSERT_EQ(serial.reports.size(), kReplications);
+  for (std::size_t i = 0; i < kReplications; ++i) {
+    expect_identical_reports(serial.reports[i], parallel.reports[i]);
+  }
+  EXPECT_FALSE(serial.traces.empty());
+  EXPECT_EQ(serialized_traces(serial.traces),
+            serialized_traces(parallel.traces));
+}
+
+TEST(SimIndexDeterminism, SparseIndexActiveWhereExpected) {
+  // kAuto keeps dense at this catalog (50000 < the auto floor); forcing
+  // sparse flips every dynamic local partition.
+  SimConfig config = base_config(LocalStoreMode::kLru);
+  {
+    Simulation sim(topology::us_a(), config);
+    sim.run();
+    const auto* local = dynamic_cast<const cache::LruCache*>(
+        &sim.network().store(0).local());
+    ASSERT_NE(local, nullptr);
+    EXPECT_FALSE(local->index_is_sparse());
+  }
+  config.network.cache_index_mode = cache::IndexMode::kSparse;
+  {
+    Simulation sim(topology::us_a(), config);
+    sim.run();
+    const auto* local = dynamic_cast<const cache::LruCache*>(
+        &sim.network().store(0).local());
+    ASSERT_NE(local, nullptr);
+    EXPECT_TRUE(local->index_is_sparse());
+  }
+}
+
+}  // namespace
+}  // namespace ccnopt::sim

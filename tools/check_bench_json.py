@@ -178,6 +178,19 @@ def validate_record(path: str) -> list[str]:
                 errors.append(
                     f"outputs[{key!r}]: expected number, string, or bool, "
                     f"got {type(value).__name__}")
+        # Every record carries the process footprint and the catalog size it
+        # ran against (bench_util.hpp injects both on finish(); catalog_size
+        # defaults to 0 when the bench is catalog-independent).
+        peak_rss = outputs.get("peak_rss_bytes")
+        if not _is_int(peak_rss) or peak_rss <= 0:
+            errors.append(
+                f"outputs['peak_rss_bytes']: expected positive integer, got "
+                f"{peak_rss!r}")
+        catalog_any = outputs.get("catalog_size")
+        if not _is_int(catalog_any) or catalog_any < 0:
+            errors.append(
+                f"outputs['catalog_size']: expected non-negative integer, "
+                f"got {catalog_any!r}")
         if isinstance(name, str) and name.startswith("throughput_"):
             validate_throughput_outputs(outputs, errors)
     for section in ("registry", "perf"):

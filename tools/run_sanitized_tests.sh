@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Build and run the memory-safety-critical test suites (the robin-hood
+# sparse index, the cache policies layered on it, and the Zipf samplers)
+# under AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+# Usage: run_sanitized_tests.sh <source-dir> <build-dir>
+#
+# The sanitized build is configured into <build-dir> (typically a
+# subdirectory of the main build tree, e.g. build/sanitized) so it never
+# contaminates the regular build. Registered as the `sanitized_cache_and_
+# sampler` ctest entry; also runnable by hand.
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+  echo "usage: $0 <source-dir> <build-dir>" >&2
+  exit 2
+fi
+SOURCE_DIR=$1
+BUILD_DIR=$2
+
+TARGETS=(
+  test_cache_sparse_slot_map
+  test_cache_equivalence
+  test_cache_lru
+  test_cache_lfu
+  test_cache_fifo
+  test_cache_partitioned
+  test_popularity_sampler
+)
+
+cmake -S "${SOURCE_DIR}" -B "${BUILD_DIR}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCCNOPT_SANITIZE=address \
+  -DCCNOPT_BUILD_BENCH=OFF \
+  -DCCNOPT_BUILD_EXAMPLES=OFF \
+  >/dev/null
+
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+cmake --build "${BUILD_DIR}" --parallel "${JOBS}" --target "${TARGETS[@]}"
+
+# halt_on_error keeps failures loud; detect_leaks stays on by default where
+# supported. Death tests fork, so allow ASan in subprocesses.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+STATUS=0
+for target in "${TARGETS[@]}"; do
+  echo "== sanitized: ${target} =="
+  if ! "${BUILD_DIR}/tests/${target}" --gtest_brief=1; then
+    STATUS=1
+  fi
+done
+exit "${STATUS}"

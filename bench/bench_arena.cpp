@@ -1,0 +1,138 @@
+// Strategy arena bench: every registered caching strategy head-to-head on
+// the default topology roster (four embedded datasets + grid + Waxman),
+// same seeded workload per topology so the comparison is paired. Prints
+// per-topology comparison tables and writes the machine-readable
+// ARENA_results.{json,csv} (schema ccnopt-arena-v1, validated by
+// tools/check_bench_json.py) next to the BENCH_arena.json record.
+//
+// Usage: bench_arena [--measured R] [--warmup R] [--catalog N]
+//                    [--capacity C] [--x X] [--threads T] [--seed S]
+//                    [--strategies a,b,c]
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ccnopt/experiments/arena.hpp"
+#include "ccnopt/runtime/thread_pool.hpp"
+#include "ccnopt/strategy/registry.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> parts;
+  std::stringstream stream(text);
+  std::string part;
+  while (std::getline(stream, part, ',')) {
+    if (!part.empty()) parts.push_back(part);
+  }
+  return parts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ccnopt;
+  experiments::ArenaOptions options;
+  options.measured_requests = 100000;
+  options.warmup_requests = 100000;
+  std::size_t threads = std::min<std::size_t>(
+      8, std::max<std::size_t>(2, std::thread::hardware_concurrency()));
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--measured") == 0 && i + 1 < argc) {
+      options.measured_requests = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--warmup") == 0 && i + 1 < argc) {
+      options.warmup_requests = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--catalog") == 0 && i + 1 < argc) {
+      options.catalog_size = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--capacity") == 0 && i + 1 < argc) {
+      options.capacity_c = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--x") == 0 && i + 1 < argc) {
+      options.coordinated_x = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--strategies") == 0 && i + 1 < argc) {
+      options.strategies = split_csv(argv[++i]);
+    }
+  }
+  if (threads == 0) threads = 1;
+
+  // Validate requested strategies up front with the registry's own error
+  // message (it lists every registered name).
+  for (const std::string& name : options.strategies) {
+    const auto bundle = strategy::make_strategy(name);
+    if (!bundle) {
+      std::cerr << "bench_arena: " << bundle.status().to_string() << "\n";
+      return 2;
+    }
+  }
+
+  bench::BenchReporter reporter("arena");
+  std::cout << "=== Strategy arena (N=" << options.catalog_size
+            << ", c=" << options.capacity_c << ", x=" << options.coordinated_x
+            << ", s=" << options.zipf_s << ", "
+            << options.measured_requests << " measured requests) ===\n\n";
+
+  runtime::ThreadPool pool(threads);
+  const auto start = std::chrono::steady_clock::now();
+  const experiments::ArenaResult result =
+      experiments::run_arena(options, &pool);
+  const auto stop = std::chrono::steady_clock::now();
+  reporter.add_timing_ms(
+      "arena_ms",
+      std::chrono::duration<double, std::milli>(stop - start).count());
+
+  experiments::print_arena_tables(result, std::cout);
+  experiments::record_arena_metrics(result);
+
+  const char* dir_env = std::getenv("CCNOPT_BENCH_DIR");
+  const std::string dir = dir_env && *dir_env ? dir_env : ".";
+  int code = 0;
+  {
+    const std::string path = dir + "/ARENA_results.json";
+    std::ofstream out(path);
+    if (out) experiments::write_arena_json(result, out);
+    if (!out) {
+      std::cerr << "cannot write " << path << "\n";
+      code = 1;
+    } else {
+      std::cout << "\narena JSON written to " << path << "\n";
+    }
+  }
+  {
+    const std::string path = dir + "/ARENA_results.csv";
+    std::ofstream out(path);
+    if (out) experiments::write_arena_csv(result, out);
+    if (!out) {
+      std::cerr << "cannot write " << path << "\n";
+      code = 1;
+    } else {
+      std::cout << "arena CSV written to " << path << "\n";
+    }
+  }
+
+  reporter.set_output("strategies", result.strategies.size());
+  reporter.set_output("topologies", result.topologies.size());
+  reporter.set_output("cells", result.cells.size());
+  reporter.set_output("threads", threads);
+  reporter.set_output("catalog_size", options.catalog_size);
+
+  // The arena's whole point is breadth: a run that compares fewer than 5
+  // strategies or 4 topologies is a configuration error, not a result.
+  if (result.strategies.size() < 5 || result.topologies.size() < 4) {
+    std::cerr << "bench_arena: expected >= 5 strategies and >= 4 topologies, "
+              << "got " << result.strategies.size() << " x "
+              << result.topologies.size() << "\n";
+    code = 1;
+  }
+  return reporter.finish(code);
+}

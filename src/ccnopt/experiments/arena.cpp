@@ -1,0 +1,244 @@
+#include "ccnopt/experiments/arena.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "ccnopt/common/assert.hpp"
+#include "ccnopt/common/random.hpp"
+#include "ccnopt/common/strings.hpp"
+#include "ccnopt/common/table.hpp"
+#include "ccnopt/obs/export.hpp"
+#include "ccnopt/obs/registry.hpp"
+#include "ccnopt/runtime/parallel.hpp"
+#include "ccnopt/strategy/registry.hpp"
+#include "ccnopt/topology/datasets.hpp"
+#include "ccnopt/topology/generators.hpp"
+
+namespace ccnopt::experiments {
+namespace {
+
+ArenaCell run_cell(const ArenaOptions& options, const topology::Graph& graph,
+                   const std::string& strategy) {
+  sim::SimConfig config;
+  config.network.catalog_size = options.catalog_size;
+  config.network.capacity_c = options.capacity_c;
+  config.network.local_mode = options.local_mode;
+  config.network.strategy = strategy;
+  config.network.seed = options.seed;
+  config.coordinated_x = options.coordinated_x;
+  config.zipf_s = options.zipf_s;
+  config.warmup_requests = options.warmup_requests;
+  config.measured_requests = options.measured_requests;
+  config.seed = options.seed;
+
+  sim::Simulation simulation(graph, config);
+  ArenaCell cell;
+  cell.strategy = strategy;
+  cell.topology = graph.name();
+  cell.routers = graph.node_count();
+  cell.report = simulation.run();
+  return cell;
+}
+
+}  // namespace
+
+std::vector<topology::Graph> default_arena_topologies(std::uint64_t seed) {
+  std::vector<topology::Graph> roster = topology::all_datasets();
+  roster.push_back(topology::make_grid(6, 6));
+  Rng rng(derive_seed(seed, 0xA12E7A));
+  roster.push_back(topology::make_waxman(32, rng));
+  return roster;
+}
+
+ArenaResult run_arena(const ArenaOptions& options,
+                      runtime::ThreadPool* pool) {
+  ArenaResult result;
+  result.options = options;
+  result.strategies = options.strategies.empty() ? strategy::strategy_names()
+                                                 : options.strategies;
+  for (const std::string& name : result.strategies) {
+    const std::vector<std::string> known = strategy::strategy_names();
+    CCNOPT_EXPECTS(std::find(known.begin(), known.end(), name) != known.end());
+  }
+  result.options.strategies = result.strategies;
+  const std::vector<topology::Graph> roster =
+      options.topologies.empty() ? default_arena_topologies(options.seed)
+                                 : options.topologies;
+  CCNOPT_EXPECTS(!roster.empty());
+  for (const topology::Graph& graph : roster) {
+    result.topologies.push_back(graph.name());
+  }
+
+  struct CellSpec {
+    std::size_t topology_index = 0;
+    std::size_t strategy_index = 0;
+  };
+  std::vector<CellSpec> specs;
+  specs.reserve(roster.size() * result.strategies.size());
+  for (std::size_t t = 0; t < roster.size(); ++t) {
+    for (std::size_t s = 0; s < result.strategies.size(); ++s) {
+      specs.push_back(CellSpec{t, s});
+    }
+  }
+  const auto evaluate = [&](const CellSpec& spec) {
+    return run_cell(result.options, roster[spec.topology_index],
+                    result.strategies[spec.strategy_index]);
+  };
+  if (pool != nullptr) {
+    result.cells = runtime::parallel_map(*pool, specs, evaluate);
+  } else {
+    result.cells.reserve(specs.size());
+    for (const CellSpec& spec : specs) {
+      result.cells.push_back(evaluate(spec));
+    }
+  }
+  return result;
+}
+
+void print_arena_tables(const ArenaResult& result, std::ostream& out) {
+  const std::size_t strategy_count = result.strategies.size();
+  for (std::size_t t = 0; t < result.topologies.size(); ++t) {
+    const ArenaCell& first = result.cells[t * strategy_count];
+    out << "--- " << result.topologies[t] << " (" << first.routers
+        << " routers) ---\n";
+    TextTable table({"strategy", "hit ratio", "local frac", "network frac",
+                     "origin load", "mean latency ms", "mean hops",
+                     "coord msgs"});
+    for (std::size_t s = 0; s < strategy_count; ++s) {
+      const ArenaCell& cell = result.cells[t * strategy_count + s];
+      const sim::SimReport& report = cell.report;
+      table.add_row({cell.strategy,
+                     format_double(1.0 - report.origin_load, 4),
+                     format_double(report.local_fraction, 4),
+                     format_double(report.network_fraction, 4),
+                     format_double(report.origin_load, 4),
+                     format_double(report.mean_latency_ms, 2),
+                     format_double(report.mean_hops, 3),
+                     std::to_string(report.coordination_messages)});
+    }
+    table.print(out);
+    out << "\n";
+  }
+
+  out << "--- origin load across topologies (lower is better) ---\n";
+  std::vector<std::string> header{"strategy"};
+  header.insert(header.end(), result.topologies.begin(),
+                result.topologies.end());
+  TextTable summary(header);
+  for (std::size_t s = 0; s < strategy_count; ++s) {
+    std::vector<std::string> row{result.strategies[s]};
+    for (std::size_t t = 0; t < result.topologies.size(); ++t) {
+      row.push_back(format_double(
+          result.cells[t * strategy_count + s].report.origin_load, 4));
+    }
+    summary.add_row(std::move(row));
+  }
+  summary.print(out);
+}
+
+namespace {
+
+void write_cell_json(const ArenaCell& cell, std::ostream& out,
+                     const char* indent) {
+  const sim::SimReport& report = cell.report;
+  out << indent << "{\n"
+      << indent << "  \"strategy\": \"" << obs::json_escape(cell.strategy)
+      << "\",\n"
+      << indent << "  \"topology\": \"" << obs::json_escape(cell.topology)
+      << "\",\n"
+      << indent << "  \"routers\": " << cell.routers << ",\n"
+      << indent << "  \"total_requests\": " << report.total_requests << ",\n"
+      << indent << "  \"hit_ratio\": "
+      << obs::json_number(1.0 - report.origin_load) << ",\n"
+      << indent << "  \"local_fraction\": "
+      << obs::json_number(report.local_fraction) << ",\n"
+      << indent << "  \"network_fraction\": "
+      << obs::json_number(report.network_fraction) << ",\n"
+      << indent << "  \"origin_load\": " << obs::json_number(report.origin_load)
+      << ",\n"
+      << indent << "  \"mean_latency_ms\": "
+      << obs::json_number(report.mean_latency_ms) << ",\n"
+      << indent << "  \"mean_hops\": " << obs::json_number(report.mean_hops)
+      << ",\n"
+      << indent << "  \"mean_local_latency_ms\": "
+      << obs::json_number(report.mean_local_latency_ms) << ",\n"
+      << indent << "  \"mean_network_latency_ms\": "
+      << obs::json_number(report.mean_network_latency_ms) << ",\n"
+      << indent << "  \"mean_origin_latency_ms\": "
+      << obs::json_number(report.mean_origin_latency_ms) << ",\n"
+      << indent << "  \"coordination_messages\": "
+      << report.coordination_messages << "\n"
+      << indent << "}";
+}
+
+void write_string_array(const std::vector<std::string>& values,
+                        std::ostream& out) {
+  out << "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out << (i ? ", " : "") << "\"" << obs::json_escape(values[i]) << "\"";
+  }
+  out << "]";
+}
+
+}  // namespace
+
+void write_arena_json(const ArenaResult& result, std::ostream& out) {
+  const ArenaOptions& options = result.options;
+  out << "{\n  \"schema\": \"ccnopt-arena-v1\",\n  \"config\": {\n"
+      << "    \"catalog_size\": " << options.catalog_size << ",\n"
+      << "    \"capacity_c\": " << options.capacity_c << ",\n"
+      << "    \"coordinated_x\": " << options.coordinated_x << ",\n"
+      << "    \"zipf_s\": " << obs::json_number(options.zipf_s) << ",\n"
+      << "    \"warmup_requests\": " << options.warmup_requests << ",\n"
+      << "    \"measured_requests\": " << options.measured_requests << ",\n"
+      << "    \"local_mode\": \"" << sim::to_string(options.local_mode)
+      << "\",\n"
+      << "    \"seed\": " << options.seed << "\n  },\n"
+      << "  \"strategies\": ";
+  write_string_array(result.strategies, out);
+  out << ",\n  \"topologies\": ";
+  write_string_array(result.topologies, out);
+  out << ",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    write_cell_json(result.cells[i], out, "    ");
+    out << (i + 1 < result.cells.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+}
+
+void write_arena_csv(const ArenaResult& result, std::ostream& out) {
+  out << "topology,strategy,routers,total_requests,hit_ratio,local_fraction,"
+         "network_fraction,origin_load,mean_latency_ms,mean_hops,"
+         "mean_local_latency_ms,mean_network_latency_ms,"
+         "mean_origin_latency_ms,coordination_messages\n";
+  for (const ArenaCell& cell : result.cells) {
+    const sim::SimReport& report = cell.report;
+    out << cell.topology << "," << cell.strategy << "," << cell.routers << ","
+        << report.total_requests << ","
+        << obs::json_number(1.0 - report.origin_load) << ","
+        << obs::json_number(report.local_fraction) << ","
+        << obs::json_number(report.network_fraction) << ","
+        << obs::json_number(report.origin_load) << ","
+        << obs::json_number(report.mean_latency_ms) << ","
+        << obs::json_number(report.mean_hops) << ","
+        << obs::json_number(report.mean_local_latency_ms) << ","
+        << obs::json_number(report.mean_network_latency_ms) << ","
+        << obs::json_number(report.mean_origin_latency_ms) << ","
+        << report.coordination_messages << "\n";
+  }
+}
+
+void record_arena_metrics(const ArenaResult& result) {
+  obs::MetricsRegistry& registry = obs::metrics();
+  for (const ArenaCell& cell : result.cells) {
+    const std::string prefix = "arena." + cell.topology + "." + cell.strategy;
+    registry.set_gauge(prefix + ".hit_ratio", 1.0 - cell.report.origin_load);
+    registry.set_gauge(prefix + ".origin_load", cell.report.origin_load);
+    registry.set_gauge(prefix + ".mean_latency_ms",
+                       cell.report.mean_latency_ms);
+    registry.set_gauge(prefix + ".coordination_messages",
+                       static_cast<double>(cell.report.coordination_messages));
+  }
+}
+
+}  // namespace ccnopt::experiments

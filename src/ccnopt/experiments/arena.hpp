@@ -1,0 +1,82 @@
+// Head-to-head strategy arena: every registered caching strategy runs the
+// same seeded workload on every topology in the roster, producing a
+// cells = strategies x topologies comparison of hit ratio, latency tiers,
+// origin load and coordination messages. Exported as the machine-readable
+// `ccnopt-arena-v1` JSON/CSV (validated by tools/check_bench_json.py) and
+// as aligned console tables; driven by bench/bench_arena.cpp.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ccnopt/sim/simulation.hpp"
+#include "ccnopt/topology/graph.hpp"
+
+namespace ccnopt::runtime {
+class ThreadPool;
+}
+
+namespace ccnopt::experiments {
+
+struct ArenaOptions {
+  /// Strategy names to race; empty = every registered strategy. Unknown
+  /// names are a precondition violation — validate against
+  /// strategy::strategy_names() before calling run_arena.
+  std::vector<std::string> strategies;
+  /// Topology roster; empty = default_arena_topologies(seed).
+  std::vector<topology::Graph> topologies;
+  std::uint64_t catalog_size = 20000;
+  std::size_t capacity_c = 200;
+  /// Per-router coordinated amount offered to each strategy (uncoordinated
+  /// strategies ignore it; coordinated ones split capacity as c - x / x).
+  std::size_t coordinated_x = 100;
+  double zipf_s = 0.8;
+  std::uint64_t warmup_requests = 100000;
+  std::uint64_t measured_requests = 100000;
+  sim::LocalStoreMode local_mode = sim::LocalStoreMode::kLru;
+  /// Every cell of one arena run uses this same seed, so strategies face
+  /// identical request sequences per topology (paired comparison).
+  std::uint64_t seed = 42;
+};
+
+struct ArenaCell {
+  std::string strategy;
+  std::string topology;
+  std::size_t routers = 0;
+  sim::SimReport report;
+};
+
+struct ArenaResult {
+  ArenaOptions options;            // resolved (strategies never empty)
+  std::vector<std::string> strategies;
+  std::vector<std::string> topologies;
+  /// Topology-major: cells[t * strategies.size() + s].
+  std::vector<ArenaCell> cells;
+};
+
+/// The default roster: the four embedded datasets (Table II) plus a 6x6
+/// grid and a 32-node Waxman graph drawn from `seed`, so the comparison
+/// covers both real backbones and synthetic extremes.
+std::vector<topology::Graph> default_arena_topologies(std::uint64_t seed);
+
+/// Runs the full cross product; with a pool, cells run in parallel
+/// (parallel_map keeps cell order deterministic and each cell is an
+/// independent Simulation, so results match the serial run exactly).
+ArenaResult run_arena(const ArenaOptions& options,
+                      runtime::ThreadPool* pool = nullptr);
+
+/// Per-topology comparison tables plus a cross-topology origin-load
+/// summary, rendered with TextTable alignment.
+void print_arena_tables(const ArenaResult& result, std::ostream& out);
+
+/// Machine-readable export, schema "ccnopt-arena-v1".
+void write_arena_json(const ArenaResult& result, std::ostream& out);
+void write_arena_csv(const ArenaResult& result, std::ostream& out);
+
+/// Publishes per-cell gauges "arena.<topology>.<strategy>.<metric>" into
+/// obs::metrics(), so arena outcomes ride the standard registry exports.
+void record_arena_metrics(const ArenaResult& result);
+
+}  // namespace ccnopt::experiments

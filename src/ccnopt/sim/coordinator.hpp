@@ -1,53 +1,13 @@
-// The conceptually-centralized coordinator of Section III-A: decides which
-// contents each participating router's coordinated partition holds, and
-// accounts for the messages that decision costs (Eq. 3's w * n * x
-// communication term: one assignment message per coordinated content per
-// router-epoch).
+// Compatibility shim: the Coordinator moved to the strategy layer
+// (strategy/coordinator.hpp) so placement strategies can plan epochs
+// without depending on the data plane. Existing sim-side includes and the
+// ccnopt::sim::Coordinator spelling keep working through this alias.
 #pragma once
 
-#include <cstdint>
-#include <unordered_map>
-#include <vector>
-
-#include "ccnopt/cache/policy.hpp"
-#include "ccnopt/topology/graph.hpp"
+#include "ccnopt/strategy/coordinator.hpp"
 
 namespace ccnopt::sim {
 
-class Coordinator {
- public:
-  /// `participants` are the routers with non-zero storage, in a fixed order
-  /// (assignment is deterministic). Requires at least one participant.
-  explicit Coordinator(std::vector<topology::NodeId> participants);
-
-  const std::vector<topology::NodeId>& participants() const {
-    return participants_;
-  }
-
-  /// One epoch's placement: the contiguous rank range
-  /// [first_rank, first_rank + per_router_x * |participants|) distributed
-  /// round-robin, `per_router_x` contents per router.
-  struct Assignment {
-    /// content -> owning router (the lookup the data plane uses).
-    std::unordered_map<cache::ContentId, topology::NodeId> owner;
-    /// participant index -> its assigned contents.
-    std::vector<std::vector<cache::ContentId>> per_router;
-    /// Messages this epoch cost: per_router_x per participant (Eq. 3's
-    /// n * x communication term).
-    std::uint64_t messages = 0;
-  };
-  Assignment assign(cache::ContentId first_rank,
-                    std::size_t per_router_x) const;
-
-  /// Heterogeneous epoch: participant i receives exactly counts[i]
-  /// contents from the contiguous range starting at first_rank, dealt
-  /// round-robin among routers with remaining quota so popular ranks
-  /// spread evenly. counts.size() must equal the participant count.
-  Assignment assign_weighted(cache::ContentId first_rank,
-                             const std::vector<std::size_t>& counts) const;
-
- private:
-  std::vector<topology::NodeId> participants_;
-};
+using Coordinator = strategy::Coordinator;
 
 }  // namespace ccnopt::sim

@@ -8,6 +8,7 @@
 #include "ccnopt/common/assert.hpp"
 #include "ccnopt/obs/registry.hpp"
 #include "ccnopt/obs/span.hpp"
+#include "ccnopt/strategy/registry.hpp"
 
 namespace ccnopt::sim {
 namespace {
@@ -59,6 +60,10 @@ struct NetworkMetricHandles {
     return handles;
   }
 };
+
+// splitmix64 sub-stream index of the en-route admission coin flips, kept
+// apart from the per-replication (index = i) and per-router derived seeds.
+constexpr std::uint64_t kStrategyRngStream = 0xCA11AB1Eu;
 
 }  // namespace
 
@@ -124,6 +129,17 @@ CcnNetwork::CcnNetwork(topology::Graph graph, NetworkConfig config)
     link_index_.emplace(key, i);
   }
   link_counts_.assign(links.size(), 0);
+  // Bind the strategy once per run: the virtual objects live in bundle_,
+  // and serve() only ever reads the POD data_plane_ descriptor.
+  Expected<strategy::StrategyBundle> bundle =
+      strategy::make_strategy(config_.strategy);
+  CCNOPT_EXPECTS(bundle.has_value());
+  bundle_ = std::move(bundle).value();
+  data_plane_ = bundle_.data_plane();
+  if (config_.strategy_insertion_p > 0.0) {
+    CCNOPT_EXPECTS(config_.strategy_insertion_p <= 1.0);
+    data_plane_.insertion.p = config_.strategy_insertion_p;
+  }
   rebuild_routing();
   provision(0);
 }
@@ -150,6 +166,17 @@ void CcnNetwork::rebuild_routing() {
         tree_links[v] = link_index_.at(key);
       }
       parent_link_.push_back(std::move(tree_links));
+    }
+  }
+  // On-path forwarding walks toward the origin gateway along its shortest-
+  // path tree (parent[u] = next hop from u toward the gateway); owner-table
+  // strategies never consult these, so skip the Dijkstra runs for them.
+  origin_trees_.clear();
+  if (data_plane_.forwarding == strategy::ForwardingMode::kOnPath) {
+    origin_trees_.reserve(origins_.size());
+    for (const NetworkConfig::OriginSpec& origin : origins_) {
+      origin_trees_.push_back(
+          topology::dijkstra_filtered(graph_, origin.gateway, failed_));
     }
   }
   // Origin route costs fold d0, the (possibly failure-filtered) shortest
@@ -276,6 +303,50 @@ std::size_t CcnNetwork::capacity_of(topology::NodeId id) const {
 }
 
 std::uint64_t CcnNetwork::provision(std::size_t coordinated_x) {
+  if (!config_.use_legacy_coordinator_path) {
+    strategy::PlacementContext context;
+    context.graph = &graph_;
+    context.routers.reserve(graph_.node_count());
+    for (topology::NodeId id = 0; id < graph_.node_count(); ++id) {
+      context.routers.push_back(
+          strategy::RouterInfo{id, capacity_of(id), !failed_[id]});
+    }
+    context.alive_participants = alive_participants();
+    context.catalog_size = config_.catalog_size;
+    context.requested_x = coordinated_x;
+    context.seed = config_.seed;
+
+    strategy::PlacementPlan plan = bundle_.placement->provision(context);
+    CCNOPT_ASSERT(plan.coordinated_capacity.size() == graph_.node_count());
+    CCNOPT_ASSERT(plan.assigned.size() == graph_.node_count());
+    provisioned_x_ = plan.provisioned_x;
+    assignment_ = std::move(plan.assignment);
+    for (topology::NodeId id = 0; id < graph_.node_count(); ++id) {
+      const std::size_t capacity = capacity_of(id);
+      const std::size_t x = plan.coordinated_capacity[id];
+      CCNOPT_ASSERT(x <= capacity);
+      stores_[id] = std::make_unique<cache::PartitionedStore>(
+          capacity, x,
+          make_local_partition(
+              config_.local_mode, capacity - x,
+              config_.seed + 0x51ED2701ULL * (id + 1),
+              config_.use_reference_policies,
+              cache::IndexSpec{config_.cache_index_mode, config_.catalog_size}),
+          std::move(plan.assigned[id]));
+    }
+    rebuild_owner_table();
+    // Each epoch restarts the admission-coin stream so replications and
+    // repeated provisions are reproducible from the config seed alone.
+    strategy_rng_ = Rng(derive_seed(config_.seed, kStrategyRngStream));
+    const NetworkMetricHandles& handles = NetworkMetricHandles::get();
+    obs::metrics().incr(handles.provision_epochs);
+    obs::metrics().incr(handles.provision_messages, assignment_.messages);
+    return assignment_.messages;
+  }
+  return provision_legacy(coordinated_x);
+}
+
+std::uint64_t CcnNetwork::provision_legacy(std::size_t coordinated_x) {
   // The coordinated pool spans the surviving participants only, so
   // re-provisioning after failures acts as the repair step. The analytical
   // model assumes homogeneous participant capacity; clamp x to the
@@ -324,6 +395,10 @@ std::uint64_t CcnNetwork::provision(std::size_t coordinated_x) {
 std::uint64_t CcnNetwork::provision_heterogeneous(
     const std::vector<std::size_t>& x) {
   const auto& participants = coordinator_.participants();
+  // Explicit per-router quotas bypass the placement strategy; they only
+  // make sense under owner-table forwarding.
+  CCNOPT_EXPECTS(data_plane_.forwarding ==
+                 strategy::ForwardingMode::kOwnerTable);
   CCNOPT_EXPECTS(failed_count() == 0);  // hetero + failures not combined
   CCNOPT_EXPECTS(x.size() == participants.size());
   std::size_t coverage_l = 0;  // L = max_i (c_i - x_i)
@@ -368,6 +443,11 @@ ServeResult CcnNetwork::serve(topology::NodeId first_hop,
   CCNOPT_EXPECTS(first_hop < graph_.node_count());
   CCNOPT_EXPECTS(!failed_[first_hop]);
   CCNOPT_EXPECTS(content >= 1 && content <= config_.catalog_size);
+  // Strategy dispatch is one predictable enum branch — the owner-table
+  // fast path below is byte-for-byte the pre-strategy serve body.
+  if (data_plane_.forwarding == strategy::ForwardingMode::kOnPath) {
+    return serve_on_path(first_hop, content);
+  }
   cache::PartitionedStore& own = *stores_[first_hop];
 
   const bool own_coordinated = own.coordinated_contains(content);
@@ -421,6 +501,97 @@ ServeResult CcnNetwork::serve(topology::NodeId first_hop,
   record_path(first_hop, gateway);
   return ServeResult{ServeTier::kOrigin, route.latency_ms, route.hops, gateway,
                      false};
+}
+
+ServeResult CcnNetwork::serve_on_path(topology::NodeId first_hop,
+                                      cache::ContentId content) {
+  const std::size_t origin_index = content % origins_.size();
+  const topology::NodeId gateway = origins_[origin_index].gateway;
+  const topology::SsspResult& tree = origin_trees_[origin_index];
+  CCNOPT_ASSERT(tree.latency_ms[first_hop] < topology::kUnreachable);
+
+  // Walk first_hop -> gateway along the gateway-rooted shortest-path tree,
+  // consulting each en-route store; misses are recorded so the insertion
+  // rule can seed copies afterwards. contains() keeps the probes
+  // non-mutating — only the hit node and the rule's chosen nodes admit.
+  miss_path_.clear();
+  topology::NodeId node = first_hop;
+  while (true) {
+    cache::PartitionedStore& store = *stores_[node];
+    if (store.contains(content)) {
+      store.admit(content);  // hit: promote recency/frequency state
+      ServeResult result;
+      if (node == first_hop) {
+        result = ServeResult{ServeTier::kLocal, config_.access_latency_d0_ms,
+                             0, node, store.coordinated_contains(content)};
+      } else {
+        const double path_ms =
+            tree.latency_ms[first_hop] - tree.latency_ms[node];
+        record_path(first_hop, node);
+        result = ServeResult{
+            ServeTier::kNetwork, config_.access_latency_d0_ms + path_ms,
+            static_cast<std::uint32_t>(miss_path_.size()), node, false};
+      }
+      apply_insertion_rule(content);
+      return result;
+    }
+    miss_path_.push_back(node);
+    if (node == gateway) break;
+    node = tree.parent[node];
+    CCNOPT_ASSERT(node != topology::kNoParent);
+  }
+
+  // Every en-route store missed: the origin serves, and the whole walked
+  // path (first hop through gateway) is the miss path.
+  const OriginRoute& route =
+      origin_routes_[first_hop * origins_.size() + origin_index];
+  CCNOPT_ASSERT(route.latency_ms < topology::kUnreachable);
+  record_path(first_hop, gateway);
+  apply_insertion_rule(content);
+  return ServeResult{ServeTier::kOrigin, route.latency_ms, route.hops, gateway,
+                     false};
+}
+
+void CcnNetwork::apply_insertion_rule(cache::ContentId content) {
+  if (miss_path_.empty()) return;
+  const strategy::InsertionRule& rule = data_plane_.insertion;
+  switch (rule.kind) {
+    case strategy::InsertionKind::kFirstHopOnly:
+      stores_[miss_path_.front()]->admit(content);
+      break;
+    case strategy::InsertionKind::kEveryHop:
+      for (const topology::NodeId node : miss_path_) {
+        stores_[node]->admit(content);
+      }
+      break;
+    case strategy::InsertionKind::kOneHopDown:
+      // The serving point is the node (or origin) just past the last miss,
+      // so "one hop down" is exactly the last node that missed.
+      stores_[miss_path_.back()]->admit(content);
+      break;
+    case strategy::InsertionKind::kProbabilistic: {
+      double capacity_sum = 0.0;
+      if (rule.capacity_weighted) {
+        for (const topology::NodeId node : miss_path_) {
+          capacity_sum += static_cast<double>(capacity_of(node));
+        }
+        if (capacity_sum <= 0.0) return;  // nothing on the path can cache
+      }
+      for (const topology::NodeId node : miss_path_) {
+        double p = rule.p;
+        if (rule.capacity_weighted) {
+          // ProbCache-style: weight by the node's share of the path's
+          // capacity, so the expected copies per miss path is ~p.
+          p *= static_cast<double>(capacity_of(node)) / capacity_sum;
+        }
+        p = std::min(1.0, std::max(0.0, p));
+        if (strategy_rng_.bernoulli(p)) {
+          stores_[node]->admit(content);
+        }
+      }
+      break;
+    }
+  }
 }
 
 void CcnNetwork::prefetch(topology::NodeId first_hop,

@@ -8,8 +8,10 @@
 #include <vector>
 
 #include "ccnopt/cache/partitioned.hpp"
+#include "ccnopt/common/random.hpp"
 #include "ccnopt/sim/coordinator.hpp"
 #include "ccnopt/sim/metrics.hpp"
+#include "ccnopt/strategy/strategy.hpp"
 #include "ccnopt/topology/graph.hpp"
 #include "ccnopt/topology/shortest_paths.hpp"
 
@@ -65,6 +67,18 @@ struct NetworkConfig {
   /// (see cache/content_index.hpp for the exact rule). Forcing kDense at
   /// web-scale catalogs allocates O(catalog) words per router.
   cache::IndexMode cache_index_mode = cache::IndexMode::kAuto;
+  /// Registered caching-strategy name (strategy/registry.hpp) that decides
+  /// both placement (what provision() puts where) and forwarding (how
+  /// serve() locates non-local copies). The default is the paper's scheme.
+  std::string strategy = "coordinated-split";
+  /// Overrides the strategy's probabilistic-insertion base p when > 0
+  /// (only meaningful for on-path strategies with kProbabilistic rules).
+  double strategy_insertion_p = 0.0;
+  /// When true, provision() runs the retained pre-strategy coordinator code
+  /// path instead of dispatching through the bound PlacementStrategy. The
+  /// two are contractually byte-identical for `strategy = default`; this
+  /// switch exists so A/B tests can prove it on whole simulations.
+  bool use_legacy_coordinator_path = false;
   std::uint64_t seed = 42;
 };
 
@@ -122,6 +136,12 @@ class CcnNetwork {
 
   std::size_t capacity_of(topology::NodeId id) const;
   std::size_t provisioned_x() const { return provisioned_x_; }
+
+  /// The bound strategy (resolved from config().strategy at construction).
+  const strategy::StrategyBundle& strategy_bundle() const { return bundle_; }
+  /// The cached per-request descriptor serve() branches on — two enums and
+  /// two scalars, never a virtual call (see strategy/strategy.hpp).
+  const strategy::DataPlane& data_plane() const { return data_plane_; }
 
   // --- Failure injection ---------------------------------------------------
   // A failed router neither serves nor forwards: paths are recomputed over
@@ -188,6 +208,18 @@ class CcnNetwork {
   std::vector<topology::NodeId> owner_by_offset_;  // size = coordinated pool
   std::vector<OriginRoute> origin_routes_;     // router * |origins| + spec
 
+  // Strategy binding (per-run, never per-request): the bundle holds the
+  // virtual strategy objects, data_plane_ the POD descriptor serve() reads.
+  strategy::StrategyBundle bundle_;
+  strategy::DataPlane data_plane_;
+  // On-path forwarding state: per-origin shortest-path trees rooted at the
+  // gateway (parent[u] = next hop from u toward the gateway; rebuilt with
+  // routing), the scratch miss path of the in-flight request, and the
+  // admission-coin stream (reseeded every provision epoch).
+  std::vector<topology::SsspResult> origin_trees_;
+  std::vector<topology::NodeId> miss_path_;
+  Rng strategy_rng_{0};
+
   topology::NodeId owner_of(cache::ContentId content) const {
     // Unsigned wrap makes ranks below the interval fail the bound too.
     const cache::ContentId offset = content - owner_first_rank_;
@@ -201,6 +233,16 @@ class CcnNetwork {
   void rebuild_routing();
   void rebuild_owner_table();
   void record_path(topology::NodeId src, topology::NodeId dst);
+
+  /// The retained pre-strategy provision body (the byte-identity oracle for
+  /// CoordinatedSplitPlacement); reached via use_legacy_coordinator_path.
+  std::uint64_t provision_legacy(std::size_t coordinated_x);
+  /// serve() body for kOnPath forwarding: walk the shortest path toward the
+  /// content's origin gateway checking each en-route store, then seed
+  /// copies along the recorded miss path per the insertion rule.
+  ServeResult serve_on_path(topology::NodeId first_hop,
+                            cache::ContentId content);
+  void apply_insertion_rule(cache::ContentId content);
 
   // Link-load state: per-source shortest-path trees (kept in sync with
   // failures), the dense link index of each tree edge (parent_link_[src][v]

@@ -1,0 +1,91 @@
+#include "ccnopt/strategy/cooperation.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+
+#include "ccnopt/common/assert.hpp"
+
+namespace ccnopt::strategy {
+
+PlacementPlan DegreeWeightedPlacement::provision(
+    const PlacementContext& context) const {
+  const std::vector<topology::NodeId>& alive = context.alive_participants;
+  CCNOPT_EXPECTS(!alive.empty());
+  CCNOPT_EXPECTS(context.graph != nullptr);
+  std::size_t min_capacity = SIZE_MAX;
+  for (const topology::NodeId id : alive) {
+    min_capacity = std::min(min_capacity, context.routers[id].capacity);
+  }
+  // Same feasibility rule as coordinated-split, so the two strategies are
+  // comparable at equal x: the pool totals x per alive participant.
+  CCNOPT_EXPECTS(context.requested_x <= min_capacity);
+  const std::uint64_t pool = static_cast<std::uint64_t>(context.requested_x) *
+                             static_cast<std::uint64_t>(alive.size());
+
+  PlacementPlan plan;
+  plan.coordinated_capacity.assign(context.routers.size(), 0);
+  plan.assigned.resize(context.routers.size());
+  if (pool == 0) return plan;
+
+  // Largest-remainder apportionment of the pool by node degree, capped at
+  // each participant's capacity. The cap can displace shares, so leftover
+  // slots cascade to the highest-remainder participants with spare room;
+  // pool <= n * min_capacity <= sum of capacities guarantees convergence.
+  const std::size_t n = alive.size();
+  std::vector<std::uint64_t> weight(n, 1);
+  std::uint64_t total_weight = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    weight[i] = std::max<std::uint64_t>(
+        1, context.graph->neighbors(alive[i]).size());
+    total_weight += weight[i];
+  }
+  std::vector<std::size_t> counts(n, 0);
+  std::vector<std::uint64_t> remainder(n, 0);
+  std::uint64_t handed_out = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t ideal = pool * weight[i];
+    const std::size_t capacity = context.routers[alive[i]].capacity;
+    counts[i] = std::min<std::uint64_t>(ideal / total_weight, capacity);
+    remainder[i] = ideal % total_weight;
+    handed_out += counts[i];
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return remainder[a] > remainder[b];
+                   });
+  while (handed_out < pool) {
+    bool progressed = false;
+    for (const std::size_t i : order) {
+      if (handed_out == pool) break;
+      if (counts[i] >= context.routers[alive[i]].capacity) continue;
+      ++counts[i];
+      ++handed_out;
+      progressed = true;
+    }
+    CCNOPT_ASSERT(progressed);
+  }
+
+  // Heterogeneous quotas leave heterogeneous local partitions; the pool
+  // covers the ranks just past the network-wide local coverage
+  // L = max_i (c_i - x_i), exactly like model/heterogeneous.hpp.
+  std::size_t coverage_l = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    coverage_l =
+        std::max(coverage_l, context.routers[alive[i]].capacity - counts[i]);
+  }
+  const Coordinator alive_coordinator(alive);
+  plan.assignment = alive_coordinator.assign_weighted(
+      static_cast<cache::ContentId>(coverage_l) + 1, counts);
+  plan.messages = plan.assignment.messages;
+  plan.provisioned_x = 0;  // heterogeneous: no single x
+  for (std::size_t i = 0; i < n; ++i) {
+    plan.coordinated_capacity[alive[i]] = counts[i];
+    plan.assigned[alive[i]] = plan.assignment.per_router[i];
+  }
+  return plan;
+}
+
+}  // namespace ccnopt::strategy

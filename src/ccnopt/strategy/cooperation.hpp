@@ -1,0 +1,20 @@
+// Topology-aware cooperation in the spirit of Wang et al. (arXiv:1312.0133,
+// "Design and Evaluation of the Optimal Cache Allocation for Content-Centric
+// Networking"): routers that sit on more paths should hold more of the
+// shared pool. Here the per-router coordinated quota is apportioned by node
+// degree (the cheap centrality proxy that paper found competitive), then
+// placed through the same rank-interval coordinator as the paper's scheme
+// so the owner-table data plane is reused unchanged.
+#pragma once
+
+#include "ccnopt/strategy/strategy.hpp"
+
+namespace ccnopt::strategy {
+
+class DegreeWeightedPlacement final : public PlacementStrategy {
+ public:
+  const char* name() const override { return "coop-degree"; }
+  PlacementPlan provision(const PlacementContext& context) const override;
+};
+
+}  // namespace ccnopt::strategy

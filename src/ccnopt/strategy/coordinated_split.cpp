@@ -1,0 +1,46 @@
+#include "ccnopt/strategy/coordinated_split.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "ccnopt/common/assert.hpp"
+
+namespace ccnopt::strategy {
+
+PlacementPlan CoordinatedSplitPlacement::provision(
+    const PlacementContext& context) const {
+  // Mirrors the seed CcnNetwork::provision() step for step: the coordinated
+  // pool spans the surviving participants only (re-provisioning after
+  // failures is the repair step), and x is clamped to the smallest alive
+  // participant so the rank ranges line up with the homogeneous model.
+  const std::vector<topology::NodeId>& alive = context.alive_participants;
+  CCNOPT_EXPECTS(!alive.empty());
+  std::size_t min_capacity = SIZE_MAX;
+  for (const topology::NodeId id : alive) {
+    min_capacity = std::min(min_capacity, context.routers[id].capacity);
+  }
+  CCNOPT_EXPECTS(context.requested_x <= min_capacity);
+
+  const cache::ContentId first_coordinated_rank =
+      static_cast<cache::ContentId>(min_capacity - context.requested_x) + 1;
+  const Coordinator alive_coordinator(alive);
+
+  PlacementPlan plan;
+  plan.assignment =
+      alive_coordinator.assign(first_coordinated_rank, context.requested_x);
+  plan.messages = plan.assignment.messages;
+  plan.provisioned_x = context.requested_x;
+  plan.coordinated_capacity.assign(context.routers.size(), 0);
+  plan.assigned.resize(context.routers.size());
+  std::size_t alive_index = 0;
+  for (const RouterInfo& router : context.routers) {
+    const bool participates = router.capacity > 0 && router.alive;
+    if (!participates) continue;
+    plan.coordinated_capacity[router.id] = context.requested_x;
+    plan.assigned[router.id] = plan.assignment.per_router[alive_index];
+    ++alive_index;
+  }
+  return plan;
+}
+
+}  // namespace ccnopt::strategy

@@ -1,0 +1,19 @@
+// The paper's scheme (Section III-A), lifted verbatim out of
+// sim/network.cpp's provision(): every participant keeps the top c - x
+// popularity ranks locally and contributes x slots to a coordinated pool
+// covering the next n * x ranks, dealt round-robin by the Coordinator.
+// Its plan is byte-identical to the pre-extraction coordinator path —
+// tests/test_strategy_ab_identity.cpp enforces that on whole simulations.
+#pragma once
+
+#include "ccnopt/strategy/strategy.hpp"
+
+namespace ccnopt::strategy {
+
+class CoordinatedSplitPlacement final : public PlacementStrategy {
+ public:
+  const char* name() const override { return "coordinated-split"; }
+  PlacementPlan provision(const PlacementContext& context) const override;
+};
+
+}  // namespace ccnopt::strategy

@@ -1,12 +1,14 @@
-#include "ccnopt/sim/coordinator.hpp"
+#include "ccnopt/strategy/coordinator.hpp"
 
 #include "ccnopt/common/assert.hpp"
 #include "ccnopt/obs/registry.hpp"
 
-namespace ccnopt::sim {
+namespace ccnopt::strategy {
 namespace {
 
-// Interned once per process; handles survive registry reset().
+// Interned once per process; handles survive registry reset(). The names
+// keep their historical "sim.coordinator." prefix: metric exports are part
+// of the byte-identity contract with the seed coordinator.
 struct CoordinatorMetricHandles {
   obs::MetricsRegistry::CounterHandle assignments;
   obs::MetricsRegistry::CounterHandle placements;
@@ -81,4 +83,4 @@ Coordinator::Assignment Coordinator::assign_weighted(
   return assignment;
 }
 
-}  // namespace ccnopt::sim
+}  // namespace ccnopt::strategy

@@ -1,0 +1,18 @@
+#include "ccnopt/strategy/en_route.hpp"
+
+namespace ccnopt::strategy {
+
+PlacementPlan EnRoutePlacement::provision(
+    const PlacementContext& context) const {
+  // No coordinated partitions and no control-plane traffic: every router's
+  // full capacity is its dynamic local partition, populated purely by the
+  // en-route admissions the InsertionRule dictates.
+  PlacementPlan plan;
+  plan.coordinated_capacity.assign(context.routers.size(), 0);
+  plan.assigned.resize(context.routers.size());
+  plan.messages = 0;
+  plan.provisioned_x = 0;
+  return plan;
+}
+
+}  // namespace ccnopt::strategy

@@ -1,0 +1,28 @@
+// Uncoordinated en-route caching baselines: LCE, LCD, and probabilistic
+// admission (fixed-p and ProbCache-style capacity-weighted). None of them
+// provision a coordinated partition — all caching happens on the miss path
+// under kOnPath forwarding, driven by the strategy's InsertionRule.
+#pragma once
+
+#include "ccnopt/strategy/strategy.hpp"
+
+namespace ccnopt::strategy {
+
+/// Shared placement for every en-route baseline: the whole capacity is the
+/// local (dynamic) partition, zero coordination messages; behavior differs
+/// only in the InsertionRule the data plane applies.
+class EnRoutePlacement final : public PlacementStrategy {
+ public:
+  EnRoutePlacement(const char* name, InsertionRule rule)
+      : name_(name), rule_(rule) {}
+
+  const char* name() const override { return name_; }
+  PlacementPlan provision(const PlacementContext& context) const override;
+  InsertionRule insertion_rule() const override { return rule_; }
+
+ private:
+  const char* name_;
+  InsertionRule rule_;
+};
+
+}  // namespace ccnopt::strategy

@@ -1,0 +1,184 @@
+#include "ccnopt/strategy/registry.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "ccnopt/common/assert.hpp"
+#include "ccnopt/strategy/cooperation.hpp"
+#include "ccnopt/strategy/coordinated_split.hpp"
+#include "ccnopt/strategy/en_route.hpp"
+
+namespace ccnopt::strategy {
+namespace {
+
+StrategyBundle make_owner_table_bundle(
+    std::string name, std::string description,
+    std::unique_ptr<PlacementStrategy> placement) {
+  StrategyBundle bundle;
+  bundle.name = std::move(name);
+  bundle.description = std::move(description);
+  bundle.placement = std::move(placement);
+  bundle.forwarding = std::make_unique<OwnerTableForwarding>();
+  return bundle;
+}
+
+StrategyBundle make_en_route_bundle(const char* name, std::string description,
+                                    InsertionRule rule) {
+  StrategyBundle bundle;
+  bundle.name = name;
+  bundle.description = std::move(description);
+  bundle.placement = std::make_unique<EnRoutePlacement>(name, rule);
+  bundle.forwarding = std::make_unique<OnPathForwarding>();
+  return bundle;
+}
+
+/// Fixed admission probability of the `prob` baseline; 0.5 is the midpoint
+/// commonly used as the fixed-p reference in en-route caching studies.
+constexpr double kFixedProbability = 0.5;
+
+}  // namespace
+
+StrategyRegistry::StrategyRegistry() {
+  register_strategy(
+      "coordinated-split",
+      "paper's scheme: top c-x ranks local, next n*x ranks coordinated "
+      "round-robin (Sec. III-A)",
+      [] {
+        return make_owner_table_bundle(
+            "coordinated-split",
+            "paper's scheme: top c-x ranks local, next n*x ranks coordinated "
+            "round-robin (Sec. III-A)",
+            std::make_unique<CoordinatedSplitPlacement>());
+      });
+  register_strategy(
+      "coop-degree",
+      "topology-aware cooperation: degree-weighted coordinated quotas "
+      "(arXiv:1312.0133 spirit)",
+      [] {
+        return make_owner_table_bundle(
+            "coop-degree",
+            "topology-aware cooperation: degree-weighted coordinated quotas "
+            "(arXiv:1312.0133 spirit)",
+            std::make_unique<DegreeWeightedPlacement>());
+      });
+  register_strategy(
+      "lce", "leave copy everywhere: en-route admission at every miss-path "
+             "router",
+      [] {
+        return make_en_route_bundle(
+            "lce",
+            "leave copy everywhere: en-route admission at every miss-path "
+            "router",
+            InsertionRule{InsertionKind::kEveryHop, 1.0, false});
+      });
+  register_strategy(
+      "lcd", "leave copy down: admit one hop below the serving point per "
+             "miss",
+      [] {
+        return make_en_route_bundle(
+            "lcd",
+            "leave copy down: admit one hop below the serving point per miss",
+            InsertionRule{InsertionKind::kOneHopDown, 1.0, false});
+      });
+  register_strategy(
+      "prob", "probabilistic en-route caching, fixed p = 0.5",
+      [] {
+        return make_en_route_bundle(
+            "prob", "probabilistic en-route caching, fixed p = 0.5",
+            InsertionRule{InsertionKind::kProbabilistic, kFixedProbability,
+                          false});
+      });
+  register_strategy(
+      "prob-cap",
+      "capacity-weighted probabilistic caching (ProbCache spirit): "
+      "p_i = c_i / sum of miss-path capacities",
+      [] {
+        return make_en_route_bundle(
+            "prob-cap",
+            "capacity-weighted probabilistic caching (ProbCache spirit): "
+            "p_i = c_i / sum of miss-path capacities",
+            InsertionRule{InsertionKind::kProbabilistic, 1.0, true});
+      });
+}
+
+StrategyRegistry& StrategyRegistry::instance() {
+  static StrategyRegistry registry;
+  return registry;
+}
+
+void StrategyRegistry::register_strategy(std::string name,
+                                         std::string description,
+                                         Factory factory) {
+  CCNOPT_EXPECTS(!name.empty());
+  CCNOPT_EXPECTS(factory != nullptr);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry entry{std::move(description), std::move(factory)};
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& existing, const std::string& key) {
+        return existing.first < key;
+      });
+  if (pos != entries_.end() && pos->first == name) {
+    pos->second = std::move(entry);
+    return;
+  }
+  entries_.emplace(pos, std::move(name), std::move(entry));
+}
+
+Expected<StrategyBundle> StrategyRegistry::make(const std::string& name) const {
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto pos = std::lower_bound(
+        entries_.begin(), entries_.end(), name,
+        [](const auto& existing, const std::string& key) {
+          return existing.first < key;
+        });
+    if (pos == entries_.end() || pos->first != name) {
+      std::string known;
+      for (const auto& [known_name, entry] : entries_) {
+        (void)entry;
+        if (!known.empty()) known += ", ";
+        known += known_name;
+      }
+      return Status(ErrorCode::kNotFound, "unknown strategy '" + name +
+                                              "' (registered: " + known + ")");
+    }
+    factory = pos->second.factory;
+  }
+  StrategyBundle bundle = factory();
+  CCNOPT_ASSERT(bundle.name == name);
+  CCNOPT_ASSERT(bundle.placement != nullptr && bundle.forwarding != nullptr);
+  return bundle;
+}
+
+std::vector<StrategyRegistry::Info> StrategyRegistry::list() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Info> infos;
+  infos.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    infos.push_back(Info{name, entry.description});
+  }
+  return infos;
+}
+
+std::vector<std::string> StrategyRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    (void)entry;
+    names.push_back(name);
+  }
+  return names;
+}
+
+Expected<StrategyBundle> make_strategy(const std::string& name) {
+  return StrategyRegistry::instance().make(name);
+}
+
+std::vector<std::string> strategy_names() {
+  return StrategyRegistry::instance().names();
+}
+
+}  // namespace ccnopt::strategy

@@ -1,0 +1,58 @@
+// String-keyed strategy registry: the single place where strategy names
+// resolve to StrategyBundle factories. The CLI's --strategy flag, the
+// ablation bench, and the arena driver all enumerate from here, so adding
+// a strategy means registering it once (builtins self-register lazily).
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ccnopt/common/error.hpp"
+#include "ccnopt/strategy/strategy.hpp"
+
+namespace ccnopt::strategy {
+
+class StrategyRegistry {
+ public:
+  using Factory = std::function<StrategyBundle()>;
+
+  /// The process-wide registry, with builtins already registered.
+  static StrategyRegistry& instance();
+
+  /// Registers (or replaces) a named strategy. The factory must produce a
+  /// bundle whose `name` matches `name`. Thread-safe.
+  void register_strategy(std::string name, std::string description,
+                         Factory factory);
+
+  /// Builds a fresh bundle; kNotFound lists every registered name in the
+  /// message so callers can fail with a helpful error. Thread-safe.
+  Expected<StrategyBundle> make(const std::string& name) const;
+
+  struct Info {
+    std::string name;
+    std::string description;
+  };
+  /// All registered strategies, sorted by name. Thread-safe.
+  std::vector<Info> list() const;
+  std::vector<std::string> names() const;
+
+ private:
+  StrategyRegistry();
+
+  struct Entry {
+    std::string description;
+    Factory factory;
+  };
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, Entry>> entries_;  // sorted by name
+};
+
+/// Shorthand for StrategyRegistry::instance().make(name).
+Expected<StrategyBundle> make_strategy(const std::string& name);
+/// Shorthand for StrategyRegistry::instance().names().
+std::vector<std::string> strategy_names();
+
+}  // namespace ccnopt::strategy

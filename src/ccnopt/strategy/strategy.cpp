@@ -1,0 +1,29 @@
+#include "ccnopt/strategy/strategy.hpp"
+
+namespace ccnopt::strategy {
+
+const char* to_string(ForwardingMode mode) {
+  switch (mode) {
+    case ForwardingMode::kOwnerTable:
+      return "owner-table";
+    case ForwardingMode::kOnPath:
+      return "on-path";
+  }
+  return "unknown";
+}
+
+const char* to_string(InsertionKind kind) {
+  switch (kind) {
+    case InsertionKind::kFirstHopOnly:
+      return "first-hop-only";
+    case InsertionKind::kEveryHop:
+      return "every-hop";
+    case InsertionKind::kOneHopDown:
+      return "one-hop-down";
+    case InsertionKind::kProbabilistic:
+      return "probabilistic";
+  }
+  return "unknown";
+}
+
+}  // namespace ccnopt::strategy

@@ -136,6 +136,36 @@ TEST(Cli, SimulateReplicationsReportConfidenceIntervals) {
   EXPECT_NE(result.output.find("origin_load"), std::string::npos);
 }
 
+TEST(Cli, SimulateAcceptsRegisteredStrategy) {
+  const RunResult result = run_cli(
+      "simulate --topology=abilene --x=20 --requests=5000 --catalog=2000 "
+      "--c=50 --strategy=lcd");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("strategy lcd"), std::string::npos);
+  EXPECT_NE(result.output.find("origin="), std::string::npos);
+}
+
+TEST(Cli, SimulateDefaultsToCoordinatedSplitStrategy) {
+  const RunResult result = run_cli(
+      "simulate --topology=abilene --x=20 --requests=2000 --catalog=2000 "
+      "--c=50");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("strategy coordinated-split"),
+            std::string::npos);
+}
+
+TEST(Cli, SimulateRejectsUnknownStrategyListingAllNames) {
+  const RunResult result = run_cli("simulate --strategy=telepathy");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("unknown strategy"), std::string::npos);
+  // The error must enumerate the registered roster so users can self-serve.
+  for (const char* name :
+       {"coordinated-split", "coop-degree", "lce", "lcd", "prob",
+        "prob-cap"}) {
+    EXPECT_NE(result.output.find(name), std::string::npos) << name;
+  }
+}
+
 TEST(Cli, SimulateRejectsBadReplicationCount) {
   const RunResult result = run_cli("simulate --replications=0");
   EXPECT_NE(result.exit_code, 0);

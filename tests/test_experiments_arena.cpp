@@ -1,0 +1,157 @@
+// Arena driver: cross-product shape, default roster, paired-seed
+// determinism (serial == parallel), and the ccnopt-arena-v1 JSON/CSV
+// exports staying in sync with the cells.
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ccnopt/experiments/arena.hpp"
+#include "ccnopt/obs/registry.hpp"
+#include "ccnopt/runtime/thread_pool.hpp"
+#include "ccnopt/strategy/registry.hpp"
+#include "ccnopt/topology/generators.hpp"
+
+namespace ccnopt::experiments {
+namespace {
+
+ArenaOptions small_options() {
+  ArenaOptions options;
+  options.strategies = {"coordinated-split", "lce", "lcd"};
+  options.topologies = {topology::make_line(4), topology::make_star(5)};
+  options.catalog_size = 2000;
+  options.capacity_c = 50;
+  options.coordinated_x = 25;
+  options.warmup_requests = 2000;
+  options.measured_requests = 4000;
+  options.seed = 1234;
+  return options;
+}
+
+TEST(Arena, CellsAreTheFullCrossProductInTopologyMajorOrder) {
+  const ArenaOptions options = small_options();
+  const ArenaResult result = run_arena(options);
+  ASSERT_EQ(result.strategies, options.strategies);
+  ASSERT_EQ(result.topologies.size(), 2u);
+  ASSERT_EQ(result.cells.size(), 6u);
+  for (std::size_t t = 0; t < result.topologies.size(); ++t) {
+    for (std::size_t s = 0; s < result.strategies.size(); ++s) {
+      const ArenaCell& cell = result.cells[t * result.strategies.size() + s];
+      EXPECT_EQ(cell.strategy, result.strategies[s]);
+      EXPECT_EQ(cell.topology, result.topologies[t]);
+      EXPECT_GT(cell.routers, 0u);
+      EXPECT_EQ(cell.report.total_requests, options.measured_requests);
+      // Tier fractions always partition the measured requests.
+      EXPECT_NEAR(cell.report.local_fraction + cell.report.network_fraction +
+                      cell.report.origin_load,
+                  1.0, 1e-9);
+    }
+  }
+  // Only the coordinated strategy pays coordination messages.
+  for (const ArenaCell& cell : result.cells) {
+    if (cell.strategy == "coordinated-split") {
+      EXPECT_GT(cell.report.coordination_messages, 0u);
+    } else {
+      EXPECT_EQ(cell.report.coordination_messages, 0u);
+    }
+  }
+}
+
+TEST(Arena, EmptyRostersResolveToRegistryAndDefaultTopologies) {
+  ArenaOptions options = small_options();
+  options.strategies.clear();
+  options.topologies.clear();
+  options.warmup_requests = 500;
+  options.measured_requests = 1000;
+  const ArenaResult result = run_arena(options);
+  EXPECT_EQ(result.strategies, strategy::strategy_names());
+  // Default roster: the four Table II datasets + grid + Waxman.
+  ASSERT_GE(result.topologies.size(), 6u);
+  for (const char* expected : {"Abilene", "CERNET", "GEANT", "US-A"}) {
+    EXPECT_TRUE(std::find(result.topologies.begin(), result.topologies.end(),
+                          expected) != result.topologies.end())
+        << expected;
+  }
+  EXPECT_EQ(result.cells.size(),
+            result.strategies.size() * result.topologies.size());
+}
+
+TEST(Arena, ParallelRunMatchesSerialRun) {
+  const ArenaOptions options = small_options();
+  const ArenaResult serial = run_arena(options);
+  runtime::ThreadPool pool(4);
+  const ArenaResult parallel = run_arena(options, &pool);
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].strategy, parallel.cells[i].strategy);
+    EXPECT_EQ(serial.cells[i].topology, parallel.cells[i].topology);
+    EXPECT_EQ(serial.cells[i].report.mean_latency_ms,
+              parallel.cells[i].report.mean_latency_ms);
+    EXPECT_EQ(serial.cells[i].report.origin_load,
+              parallel.cells[i].report.origin_load);
+    EXPECT_EQ(serial.cells[i].report.upstream_fetches,
+              parallel.cells[i].report.upstream_fetches);
+  }
+}
+
+TEST(Arena, JsonExportCarriesSchemaConfigAndEveryCell) {
+  const ArenaOptions options = small_options();
+  const ArenaResult result = run_arena(options);
+  std::ostringstream out;
+  write_arena_json(result, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"schema\": \"ccnopt-arena-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"catalog_size\": 2000"), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 1234"), std::string::npos);
+  for (const ArenaCell& cell : result.cells) {
+    EXPECT_NE(json.find("\"strategy\": \"" + cell.strategy + "\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"topology\": \"" + cell.topology + "\""),
+              std::string::npos);
+  }
+  EXPECT_NE(json.find("\"hit_ratio\""), std::string::npos);
+  EXPECT_NE(json.find("\"coordination_messages\""), std::string::npos);
+}
+
+TEST(Arena, CsvExportHasHeaderPlusOneRowPerCell) {
+  const ArenaOptions options = small_options();
+  const ArenaResult result = run_arena(options);
+  std::ostringstream out;
+  write_arena_csv(result, out);
+  std::istringstream in(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("strategy"), std::string::npos);
+  EXPECT_NE(line.find("topology"), std::string::npos);
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, result.cells.size());
+}
+
+TEST(Arena, TablesAndMetricsCoverEveryStrategy) {
+  const ArenaOptions options = small_options();
+  const ArenaResult result = run_arena(options);
+  std::ostringstream out;
+  print_arena_tables(result, out);
+  for (const std::string& name : result.strategies) {
+    EXPECT_NE(out.str().find(name), std::string::npos) << name;
+  }
+
+  obs::metrics().reset();
+  record_arena_metrics(result);
+  const auto snapshot = obs::metrics().snapshot();
+  std::size_t arena_gauges = 0;
+  for (const auto& [name, value] : snapshot.gauges) {
+    (void)value;
+    if (name.rfind("arena.", 0) == 0) ++arena_gauges;
+  }
+  // Four gauges per cell: hit_ratio, origin_load, latency, messages.
+  EXPECT_EQ(arena_gauges, result.cells.size() * 4);
+}
+
+}  // namespace
+}  // namespace ccnopt::experiments

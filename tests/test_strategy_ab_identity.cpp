@@ -1,0 +1,160 @@
+// Lock-step A/B proof of the strategy extraction: a default-strategy run
+// dispatched through CoordinatedSplitPlacement must be bit-identical to the
+// retained pre-strategy coordinator path (use_legacy_coordinator_path) —
+// same SimReport fields, same sampled traces, same serialized metrics
+// registry — on every embedded Table II topology, and both sides must stay
+// bit-identical between 1-thread and 8-thread replication runs.
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ccnopt/obs/export.hpp"
+#include "ccnopt/obs/registry.hpp"
+#include "ccnopt/obs/trace.hpp"
+#include "ccnopt/runtime/replication_runner.hpp"
+#include "ccnopt/runtime/thread_pool.hpp"
+#include "ccnopt/sim/simulation.hpp"
+#include "ccnopt/topology/datasets.hpp"
+
+namespace ccnopt::sim {
+namespace {
+
+SimConfig base_config() {
+  SimConfig config;
+  config.network.catalog_size = 2000;
+  config.network.capacity_c = 50;
+  config.network.local_mode = LocalStoreMode::kLru;
+  config.coordinated_x = 25;
+  config.zipf_s = 0.8;
+  config.warmup_requests = 5000;
+  config.measured_requests = 20000;
+  config.seed = 20260808;
+  config.trace_sample_k = 64;
+  return config;
+}
+
+std::string serialized_traces(const obs::TraceBuffer& traces) {
+  std::ostringstream out;
+  obs::write_traces_json(out, traces);
+  return out.str();
+}
+
+std::string serialized_metrics() {
+  std::ostringstream out;
+  obs::write_registry_json(out, obs::metrics().snapshot(), 0);
+  return out.str();
+}
+
+void expect_identical_reports(const SimReport& a, const SimReport& b) {
+  EXPECT_EQ(a.total_requests, b.total_requests);
+  EXPECT_EQ(a.aggregated_requests, b.aggregated_requests);
+  EXPECT_EQ(a.upstream_fetches, b.upstream_fetches);
+  EXPECT_EQ(a.local_fraction, b.local_fraction);
+  EXPECT_EQ(a.network_fraction, b.network_fraction);
+  EXPECT_EQ(a.origin_load, b.origin_load);
+  EXPECT_EQ(a.mean_latency_ms, b.mean_latency_ms);
+  EXPECT_EQ(a.mean_hops, b.mean_hops);
+  EXPECT_EQ(a.mean_local_latency_ms, b.mean_local_latency_ms);
+  EXPECT_EQ(a.mean_network_latency_ms, b.mean_network_latency_ms);
+  EXPECT_EQ(a.mean_origin_latency_ms, b.mean_origin_latency_ms);
+  EXPECT_EQ(a.coordination_messages, b.coordination_messages);
+}
+
+struct RunResult {
+  SimReport report;
+  std::string traces;
+  std::string metrics;
+};
+
+RunResult run_once(const topology::Graph& graph, SimConfig config) {
+  obs::metrics().reset();
+  Simulation sim(graph, config);
+  RunResult result;
+  result.report = sim.run();
+  result.traces = serialized_traces(sim.traces());
+  result.metrics = serialized_metrics();
+  return result;
+}
+
+class StrategyAbIdentity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StrategyAbIdentity, StrategyAndLegacyRunsAreBitIdentical) {
+  const auto graph = topology::dataset_by_name(GetParam());
+  ASSERT_TRUE(graph.has_value());
+
+  SimConfig config = base_config();
+  config.network.use_legacy_coordinator_path = false;
+  const RunResult strategy_side = run_once(*graph, config);
+  config.network.use_legacy_coordinator_path = true;
+  const RunResult legacy_side = run_once(*graph, config);
+
+  expect_identical_reports(strategy_side.report, legacy_side.report);
+  EXPECT_EQ(strategy_side.traces, legacy_side.traces);
+  EXPECT_EQ(strategy_side.metrics, legacy_side.metrics);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableTwoTopologies, StrategyAbIdentity,
+                         ::testing::Values("abilene", "cernet", "geant",
+                                           "us-a"),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(StrategyAbIdentity, ReplicatedRunsMatchAcrossSidesAndThreadCounts) {
+  // 4 replications of each side on 1 and on 8 threads, on every embedded
+  // topology: all four summaries must agree report-by-report and
+  // trace-buffer-for-trace-buffer.
+  SimConfig config = base_config();
+  config.warmup_requests = 2000;
+  config.measured_requests = 8000;
+  constexpr std::size_t kReplications = 4;
+
+  for (const topology::Graph& graph : topology::all_datasets()) {
+    SCOPED_TRACE(graph.name());
+    const auto run_with = [&](bool legacy, std::size_t threads) {
+      SimConfig run_config = config;
+      run_config.network.use_legacy_coordinator_path = legacy;
+      runtime::ThreadPool pool(threads);
+      return runtime::ReplicationRunner(pool).run(graph, run_config,
+                                                  kReplications);
+    };
+
+    const auto strategy_1 = run_with(false, 1);
+    const auto strategy_8 = run_with(false, 8);
+    const auto legacy_1 = run_with(true, 1);
+    const auto legacy_8 = run_with(true, 8);
+
+    ASSERT_EQ(strategy_1.reports.size(), kReplications);
+    for (std::size_t i = 0; i < kReplications; ++i) {
+      expect_identical_reports(strategy_1.reports[i], strategy_8.reports[i]);
+      expect_identical_reports(strategy_1.reports[i], legacy_1.reports[i]);
+      expect_identical_reports(strategy_1.reports[i], legacy_8.reports[i]);
+    }
+    const std::string traces = serialized_traces(strategy_1.traces);
+    EXPECT_FALSE(strategy_1.traces.empty());
+    EXPECT_EQ(traces, serialized_traces(strategy_8.traces));
+    EXPECT_EQ(traces, serialized_traces(legacy_1.traces));
+    EXPECT_EQ(traces, serialized_traces(legacy_8.traces));
+  }
+}
+
+TEST(StrategyAbIdentity, LegacyPathRejectsNonDefaultStrategies) {
+  // The legacy oracle only reproduces the paper's scheme; combining it with
+  // any other strategy would silently change semantics, so provisioned state
+  // must still be the coordinated split's.
+  SimConfig config = base_config();
+  config.network.use_legacy_coordinator_path = true;
+  Simulation legacy(topology::abilene(), config);
+  config.network.use_legacy_coordinator_path = false;
+  Simulation fresh(topology::abilene(), config);
+  EXPECT_EQ(legacy.network().provisioned_x(), fresh.network().provisioned_x());
+  EXPECT_EQ(legacy.network().participants(), fresh.network().participants());
+}
+
+}  // namespace
+}  // namespace ccnopt::sim

@@ -1,0 +1,218 @@
+// Behavioral properties of the en-route and cooperative strategies, driven
+// through the real CcnNetwork data plane on small synthetic topologies:
+// LCE seeds every miss-path router, LCD descends exactly one hop per miss
+// path, probabilistic admission matches its nominal p (chi-square), and
+// the degree-weighted cooperative placement skews the pool toward hubs.
+#include <algorithm>
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ccnopt/sim/network.hpp"
+#include "ccnopt/topology/generators.hpp"
+
+namespace ccnopt::sim {
+namespace {
+
+NetworkConfig en_route_config(const std::string& strategy) {
+  NetworkConfig config;
+  config.catalog_size = 10000;
+  config.capacity_c = 32;
+  config.local_mode = LocalStoreMode::kLru;
+  config.origin_gateway = 0;
+  config.strategy = strategy;
+  config.seed = 7;
+  return config;
+}
+
+/// Nodes on the line whose LRU store currently holds `content`.
+std::vector<topology::NodeId> holders(const CcnNetwork& network,
+                                      cache::ContentId content) {
+  std::vector<topology::NodeId> result;
+  for (topology::NodeId id = 0; id < network.router_count(); ++id) {
+    if (network.store(id).contains(content)) result.push_back(id);
+  }
+  return result;
+}
+
+TEST(EnRouteProperties, LceSeedsEveryRouterOnTheMissPath) {
+  // Line 0-1-2-3-4, origin behind node 0. A request at node 4 for a cold
+  // content misses everywhere, so LCE must leave a copy at all 5 routers.
+  CcnNetwork network(topology::make_line(5), en_route_config("lce"));
+  const cache::ContentId content = 123;
+  const ServeResult cold = network.serve(4, content);
+  EXPECT_EQ(cold.tier, ServeTier::kOrigin);
+  EXPECT_EQ(holders(network, content),
+            (std::vector<topology::NodeId>{0, 1, 2, 3, 4}));
+
+  // A later request at node 2 for another cold content seeds only 0, 1, 2.
+  const cache::ContentId other = 456;
+  network.serve(2, other);
+  EXPECT_EQ(holders(network, other),
+            (std::vector<topology::NodeId>{0, 1, 2}));
+
+  // Repeat of the first request is now a first-hop (local) hit.
+  const ServeResult warm = network.serve(4, content);
+  EXPECT_EQ(warm.tier, ServeTier::kLocal);
+}
+
+TEST(EnRouteProperties, LcdDescendsExactlyOneHopPerMissPath) {
+  // LCD leaves one copy just below the serving point, so a repeatedly
+  // requested content walks down the line one hop per request: first the
+  // gateway holds it, then its neighbor, ... until the first hop holds it.
+  CcnNetwork network(topology::make_line(5), en_route_config("lcd"));
+  const cache::ContentId content = 77;
+
+  const ServeResult cold = network.serve(4, content);
+  EXPECT_EQ(cold.tier, ServeTier::kOrigin);
+  EXPECT_EQ(holders(network, content), (std::vector<topology::NodeId>{0}));
+
+  std::vector<topology::NodeId> expected{0};
+  for (topology::NodeId next = 1; next <= 3; ++next) {
+    const ServeResult result = network.serve(4, content);
+    EXPECT_EQ(result.tier, ServeTier::kNetwork);
+    EXPECT_EQ(result.served_by, next - 1);
+    expected.push_back(next);
+    EXPECT_EQ(holders(network, content), expected);
+  }
+
+  // One more request: network hit at node 3 seeds the first hop itself...
+  EXPECT_EQ(network.serve(4, content).tier, ServeTier::kNetwork);
+  EXPECT_EQ(holders(network, content),
+            (std::vector<topology::NodeId>{0, 1, 2, 3, 4}));
+  // ...after which it is a pure local hit (no miss path, no new copies).
+  EXPECT_EQ(network.serve(4, content).tier, ServeTier::kLocal);
+}
+
+TEST(EnRouteProperties, ProbabilisticAdmissionMatchesNominalP) {
+  // 400 cold requests across the full 6-node line under fixed p = 0.5:
+  // per-node admission counts must pass a chi-square goodness-of-fit test
+  // against Binomial(400, 0.5). Deterministic seed, so no flakiness.
+  constexpr std::size_t kNodes = 6;
+  constexpr std::size_t kTrials = 400;
+  constexpr double kP = 0.5;
+  NetworkConfig config = en_route_config("prob");
+  config.capacity_c = 16;
+  CcnNetwork network(topology::make_line(kNodes), config);
+  ASSERT_EQ(network.data_plane().insertion.p, kP);
+
+  std::vector<std::size_t> admitted(kNodes, 0);
+  for (std::size_t trial = 0; trial < kTrials; ++trial) {
+    const cache::ContentId content = 1 + static_cast<cache::ContentId>(trial);
+    const ServeResult result =
+        network.serve(static_cast<topology::NodeId>(kNodes - 1), content);
+    ASSERT_EQ(result.tier, ServeTier::kOrigin);
+    for (const topology::NodeId node : holders(network, content)) {
+      ++admitted[node];
+    }
+  }
+
+  // chi^2 = sum_j (O_j - np)^2 / (np(1-p)), df = 6; 22.46 is the 99.9th
+  // percentile, far above anything a correct Bernoulli(0.5) stream hits
+  // with this seed.
+  const double expected = kTrials * kP;
+  const double variance = kTrials * kP * (1.0 - kP);
+  double chi_square = 0.0;
+  for (const std::size_t count : admitted) {
+    const double delta = static_cast<double>(count) - expected;
+    chi_square += delta * delta / variance;
+    // Each node individually must be in a sane band around 200.
+    EXPECT_GT(count, kTrials / 4) << "node admits far too rarely";
+    EXPECT_LT(count, 3 * kTrials / 4) << "node admits far too often";
+  }
+  EXPECT_LT(chi_square, 22.46);
+}
+
+TEST(EnRouteProperties, CapacityWeightedProbYieldsAboutPCopiesPerPath) {
+  // ProbCache-style weighting: with uniform capacities and base p = 1, each
+  // of the 6 miss-path nodes admits with p/6, so a cold request leaves ~1
+  // copy on the path in expectation.
+  constexpr std::size_t kNodes = 6;
+  constexpr std::size_t kTrials = 400;
+  NetworkConfig config = en_route_config("prob-cap");
+  config.capacity_c = 16;
+  CcnNetwork network(topology::make_line(kNodes), config);
+  ASSERT_TRUE(network.data_plane().insertion.capacity_weighted);
+  ASSERT_EQ(network.data_plane().insertion.p, 1.0);
+
+  std::size_t copies = 0;
+  for (std::size_t trial = 0; trial < kTrials; ++trial) {
+    const cache::ContentId content = 1 + static_cast<cache::ContentId>(trial);
+    network.serve(static_cast<topology::NodeId>(kNodes - 1), content);
+    copies += holders(network, content).size();
+  }
+  const double mean_copies =
+      static_cast<double>(copies) / static_cast<double>(kTrials);
+  EXPECT_GT(mean_copies, 0.75);
+  EXPECT_LT(mean_copies, 1.25);
+}
+
+TEST(EnRouteProperties, InsertionPOverrideTurnsProbIntoLce) {
+  // The strategy_insertion_p knob (the CLI-facing override) forces the base
+  // admission probability; at p = 1 the fixed-p strategy behaves like LCE.
+  NetworkConfig config = en_route_config("prob");
+  config.strategy_insertion_p = 1.0;
+  CcnNetwork network(topology::make_line(5), config);
+  EXPECT_EQ(network.data_plane().insertion.p, 1.0);
+  const cache::ContentId content = 9;
+  network.serve(4, content);
+  EXPECT_EQ(holders(network, content),
+            (std::vector<topology::NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST(EnRouteProperties, EnRouteStrategiesProvisionNoCoordinatedState) {
+  for (const char* name : {"lce", "lcd", "prob", "prob-cap"}) {
+    CcnNetwork network(topology::make_line(4), en_route_config(name));
+    EXPECT_EQ(network.provision(10), 0u) << name;  // zero messages
+    EXPECT_EQ(network.provisioned_x(), 0u) << name;
+    for (topology::NodeId id = 0; id < network.router_count(); ++id) {
+      EXPECT_EQ(network.store(id).coordinated_capacity(), 0u) << name;
+    }
+  }
+}
+
+TEST(CooperationProperties, DegreeWeightedPlacementSkewsPoolTowardHubs) {
+  // Star: the hub (node 0, degree n-1) must receive strictly more of the
+  // coordinated pool than any leaf (degree 1), and the pool must cover a
+  // contiguous rank interval with no duplicates — the same owner-table
+  // invariant the paper's scheme maintains.
+  NetworkConfig config;
+  config.catalog_size = 10000;
+  config.capacity_c = 40;
+  config.local_mode = LocalStoreMode::kLru;
+  config.origin_gateway = 0;
+  config.strategy = "coop-degree";
+  config.seed = 11;
+  CcnNetwork network(topology::make_star(9), config);
+  network.provision(10);
+
+  const std::size_t hub = network.store(0).coordinated_contents().size();
+  std::set<cache::ContentId> pool;
+  std::size_t total = 0;
+  for (topology::NodeId id = 0; id < network.router_count(); ++id) {
+    const auto contents = network.store(id).coordinated_contents();
+    if (id != 0) {
+      EXPECT_LT(contents.size(), hub) << "leaf " << id;
+    }
+    total += contents.size();
+    pool.insert(contents.begin(), contents.end());
+  }
+  EXPECT_EQ(pool.size(), total) << "pool must have no duplicate placements";
+  // Pool size = x * n; the interval is contiguous.
+  EXPECT_EQ(total, 10u * 9u);
+  EXPECT_EQ(*pool.rbegin() - *pool.begin() + 1, pool.size());
+
+  // The data plane still resolves owners: a request for a pooled rank not
+  // held locally must be served from the network tier, not the origin.
+  const cache::ContentId pooled = *pool.rbegin();
+  topology::NodeId requester = 1;
+  if (network.store(requester).contains(pooled)) requester = 2;
+  const ServeResult result = network.serve(requester, pooled);
+  EXPECT_EQ(result.tier, ServeTier::kNetwork);
+}
+
+}  // namespace
+}  // namespace ccnopt::sim

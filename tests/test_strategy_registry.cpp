@@ -1,0 +1,126 @@
+// Strategy registry: builtin roster, bundle shapes, helpful unknown-name
+// errors, and custom registration.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ccnopt/strategy/cooperation.hpp"
+#include "ccnopt/strategy/registry.hpp"
+#include "ccnopt/strategy/strategy.hpp"
+
+namespace ccnopt::strategy {
+namespace {
+
+TEST(StrategyRegistry, BuiltinsAreRegisteredAndSorted) {
+  const std::vector<std::string> names = strategy_names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const char* expected : {"coordinated-split", "coop-degree", "lce",
+                               "lcd", "prob", "prob-cap"}) {
+    EXPECT_TRUE(std::find(names.begin(), names.end(), expected) != names.end())
+        << "missing builtin strategy " << expected;
+  }
+}
+
+TEST(StrategyRegistry, EveryRegisteredNameBuildsACompleteBundle) {
+  for (const std::string& name : strategy_names()) {
+    const auto bundle = make_strategy(name);
+    ASSERT_TRUE(bundle.has_value()) << name;
+    EXPECT_EQ(bundle->name, name);
+    EXPECT_FALSE(bundle->description.empty()) << name;
+    ASSERT_NE(bundle->placement, nullptr) << name;
+    ASSERT_NE(bundle->forwarding, nullptr) << name;
+    // data_plane() must be callable (it dereferences both strategies).
+    const DataPlane plane = bundle->data_plane();
+    EXPECT_EQ(plane.forwarding, bundle->forwarding->mode());
+  }
+}
+
+TEST(StrategyRegistry, ListDescriptionsMatchNames) {
+  const auto infos = StrategyRegistry::instance().list();
+  const auto names = strategy_names();
+  ASSERT_EQ(infos.size(), names.size());
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    EXPECT_EQ(infos[i].name, names[i]);
+    EXPECT_FALSE(infos[i].description.empty());
+  }
+}
+
+TEST(StrategyRegistry, UnknownNameListsEveryRegisteredStrategy) {
+  const auto bundle = make_strategy("definitely-not-registered");
+  ASSERT_FALSE(bundle.has_value());
+  EXPECT_EQ(bundle.status().code(), ErrorCode::kNotFound);
+  const std::string& message = bundle.status().message();
+  EXPECT_NE(message.find("definitely-not-registered"), std::string::npos);
+  for (const std::string& name : strategy_names()) {
+    EXPECT_NE(message.find(name), std::string::npos)
+        << "error message must list " << name << ": " << message;
+  }
+}
+
+TEST(StrategyRegistry, BuiltinDataPlanesMatchTheirContracts) {
+  const auto plane = [](const char* name) {
+    const auto bundle = make_strategy(name);
+    EXPECT_TRUE(bundle.has_value()) << name;
+    return bundle->data_plane();
+  };
+
+  const DataPlane split = plane("coordinated-split");
+  EXPECT_EQ(split.forwarding, ForwardingMode::kOwnerTable);
+
+  const DataPlane coop = plane("coop-degree");
+  EXPECT_EQ(coop.forwarding, ForwardingMode::kOwnerTable);
+
+  const DataPlane lce = plane("lce");
+  EXPECT_EQ(lce.forwarding, ForwardingMode::kOnPath);
+  EXPECT_EQ(lce.insertion.kind, InsertionKind::kEveryHop);
+
+  const DataPlane lcd = plane("lcd");
+  EXPECT_EQ(lcd.forwarding, ForwardingMode::kOnPath);
+  EXPECT_EQ(lcd.insertion.kind, InsertionKind::kOneHopDown);
+
+  const DataPlane prob = plane("prob");
+  EXPECT_EQ(prob.forwarding, ForwardingMode::kOnPath);
+  EXPECT_EQ(prob.insertion.kind, InsertionKind::kProbabilistic);
+  EXPECT_GT(prob.insertion.p, 0.0);
+  EXPECT_LE(prob.insertion.p, 1.0);
+  EXPECT_FALSE(prob.insertion.capacity_weighted);
+
+  const DataPlane prob_cap = plane("prob-cap");
+  EXPECT_EQ(prob_cap.forwarding, ForwardingMode::kOnPath);
+  EXPECT_EQ(prob_cap.insertion.kind, InsertionKind::kProbabilistic);
+  EXPECT_TRUE(prob_cap.insertion.capacity_weighted);
+}
+
+TEST(StrategyRegistry, CustomRegistrationRoundTrips) {
+  StrategyRegistry::instance().register_strategy(
+      "test-custom", "registered by test_strategy_registry", [] {
+        StrategyBundle bundle;
+        bundle.name = "test-custom";
+        bundle.description = "registered by test_strategy_registry";
+        bundle.placement = std::make_unique<DegreeWeightedPlacement>();
+        bundle.forwarding = std::make_unique<OwnerTableForwarding>();
+        return bundle;
+      });
+  const auto names = strategy_names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "test-custom") !=
+              names.end());
+  const auto bundle = make_strategy("test-custom");
+  ASSERT_TRUE(bundle.has_value());
+  EXPECT_EQ(bundle->name, "test-custom");
+  EXPECT_EQ(bundle->data_plane().forwarding, ForwardingMode::kOwnerTable);
+}
+
+TEST(StrategyEnums, ToStringNamesAreStable) {
+  EXPECT_STREQ(to_string(ForwardingMode::kOwnerTable), "owner-table");
+  EXPECT_STREQ(to_string(ForwardingMode::kOnPath), "on-path");
+  EXPECT_STREQ(to_string(InsertionKind::kFirstHopOnly), "first-hop-only");
+  EXPECT_STREQ(to_string(InsertionKind::kEveryHop), "every-hop");
+  EXPECT_STREQ(to_string(InsertionKind::kOneHopDown), "one-hop-down");
+  EXPECT_STREQ(to_string(InsertionKind::kProbabilistic), "probabilistic");
+}
+
+}  // namespace
+}  // namespace ccnopt::strategy

@@ -5,9 +5,13 @@
 //   ccnopt sweep     --figure=4..13 [--csv=path] [--threads=N]
 //   ccnopt simulate  [--topology=geant] [--x=100] [--requests=100000]
 //                    [--policy=static|lru|lfu|fifo|random] [--s=0.8]
-//                    [--catalog=20000] [--c=200] [--seed=42]
-//                    [--replications=1] [--threads=N]
+//                    [--strategy=coordinated-split] [--catalog=20000]
+//                    [--c=200] [--seed=42] [--replications=1] [--threads=N]
 //                    [--trace-out=path] [--trace-sample=K]
+//
+// --strategy picks a registered caching strategy (coordinated-split, lce,
+// lcd, prob, prob-cap, coop-degree, ...); an unknown name fails with the
+// full registered list.
 //
 // --threads defaults to the hardware concurrency; results are bit-identical
 // for any thread count (deterministic seeding + ordered reduction).
@@ -45,6 +49,7 @@
 #include "ccnopt/runtime/replication_runner.hpp"
 #include "ccnopt/runtime/thread_pool.hpp"
 #include "ccnopt/sim/simulation.hpp"
+#include "ccnopt/strategy/registry.hpp"
 #include "ccnopt/topology/datasets.hpp"
 #include "ccnopt/topology/io.hpp"
 #include "ccnopt/topology/params.hpp"
@@ -310,6 +315,15 @@ int cmd_simulate(const ArgParser& args) {
                        "--policy must be static|lru|lfu|fifo|random"));
   }
 
+  const std::string strategy_name = args.get("strategy", "coordinated-split");
+  {
+    // Resolve through the registry so an unknown name fails with the full
+    // list of registered strategies rather than an opaque error.
+    const auto bundle = strategy::make_strategy(strategy_name);
+    if (!bundle) return fail(bundle.status());
+  }
+  config.network.strategy = strategy_name;
+
   const auto replications = args.get_int("replications", 1);
   if (!replications) return fail(replications.status());
   if (*replications < 1 || *replications > 10000) {
@@ -324,6 +338,7 @@ int cmd_simulate(const ArgParser& args) {
     const runtime::ReplicationSummary summary = runner.run(
         *graph, config, static_cast<std::size_t>(*replications));
     std::cout << "topology " << graph->name() << ", policy " << policy
+              << ", strategy " << strategy_name
               << ", x=" << config.coordinated_x << ", " << *replications
               << " replications (master seed " << config.seed << ", "
               << pool.thread_count() << " threads)\n";
@@ -346,6 +361,7 @@ int cmd_simulate(const ArgParser& args) {
   sim::Simulation simulation(*graph, config);
   const sim::SimReport report = simulation.run();
   std::cout << "topology " << graph->name() << ", policy " << policy
+            << ", strategy " << strategy_name
             << ", x=" << config.coordinated_x << "\n"
             << report << "\n"
             << "empirical tiers: d0^=" << format_double(report.mean_local_latency_ms, 2)

@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
-"""Validate BENCH_*.json records emitted by the bench harness.
+"""Validate BENCH_*.json and ARENA_*.json records emitted by the benches.
 
 Every benchmark built on ``bench/bench_util.hpp`` writes a machine-readable
 record ``BENCH_<name>.json`` (schema ``ccnopt-bench-v1``) into the directory
-named by ``$CCNOPT_BENCH_DIR`` (default: the working directory).  This script
-checks those records against the schema so CI can catch silently-broken
-exports.
+named by ``$CCNOPT_BENCH_DIR`` (default: the working directory).  The
+strategy arena (``bench_arena``) additionally writes ``ARENA_*.json``
+(schema ``ccnopt-arena-v1``): a strategies x topologies grid of comparison
+cells.  This script checks both against their schemas — dispatching on each
+record's ``schema`` field — so CI can catch silently-broken exports.
 
 Usage:
   # Validate already-written records in a directory:
@@ -35,6 +37,7 @@ import subprocess
 import sys
 
 SCHEMA = "ccnopt-bench-v1"
+ARENA_SCHEMA = "ccnopt-arena-v1"
 
 
 def _is_number(value: object) -> bool:
@@ -143,6 +146,95 @@ def validate_throughput_outputs(outputs: dict, errors: list[str]) -> None:
             f"{catalog!r}")
 
 
+def validate_arena_cell(cell: object, where: str, errors: list[str]) -> None:
+    if not isinstance(cell, dict):
+        errors.append(f"{where}: must be an object")
+        return
+    for key in ("strategy", "topology"):
+        if not isinstance(cell.get(key), str) or not cell[key]:
+            errors.append(f"{where}.{key}: expected non-empty string")
+    if not _is_int(cell.get("routers")) or cell["routers"] <= 0:
+        errors.append(f"{where}.routers: expected positive integer")
+    if not _is_int(cell.get("total_requests")) or cell["total_requests"] < 0:
+        errors.append(f"{where}.total_requests: expected non-negative int")
+    if (not _is_int(cell.get("coordination_messages"))
+            or cell["coordination_messages"] < 0):
+        errors.append(
+            f"{where}.coordination_messages: expected non-negative int")
+    fractions = ("hit_ratio", "local_fraction", "network_fraction",
+                 "origin_load")
+    for key in fractions:
+        value = cell.get(key)
+        if not _is_number(value) or not 0.0 <= value <= 1.0:
+            errors.append(f"{where}.{key}: expected number in [0, 1], got "
+                          f"{value!r}")
+    if all(_is_number(cell.get(k)) for k in fractions):
+        total = (cell["local_fraction"] + cell["network_fraction"]
+                 + cell["origin_load"])
+        if abs(total - 1.0) > 1e-6:
+            errors.append(
+                f"{where}: tier fractions sum to {total}, expected 1")
+        if abs((1.0 - cell["origin_load"]) - cell["hit_ratio"]) > 1e-9:
+            errors.append(f"{where}.hit_ratio: expected 1 - origin_load")
+    for key in ("mean_latency_ms", "mean_hops", "mean_local_latency_ms",
+                "mean_network_latency_ms", "mean_origin_latency_ms"):
+        value = cell.get(key)
+        if not _is_number(value) or value < 0:
+            errors.append(f"{where}.{key}: expected non-negative number, got "
+                          f"{value!r}")
+
+
+def validate_arena_record(record: dict, errors: list[str]) -> None:
+    """ccnopt-arena-v1: config + strategy/topology rosters + one cell per
+    (topology, strategy) pair of the full cross product, in that order."""
+    config = record.get("config")
+    if not isinstance(config, dict):
+        errors.append("config: must be an object")
+    else:
+        for key in ("catalog_size", "capacity_c", "coordinated_x",
+                    "warmup_requests", "measured_requests", "seed"):
+            if not _is_int(config.get(key)) or config[key] < 0:
+                errors.append(
+                    f"config[{key!r}]: expected non-negative integer")
+        if not _is_number(config.get("zipf_s")):
+            errors.append("config['zipf_s']: expected number")
+        if not isinstance(config.get("local_mode"), str):
+            errors.append("config['local_mode']: expected string")
+    strategies = record.get("strategies")
+    topologies = record.get("topologies")
+    for key, roster in (("strategies", strategies), ("topologies",
+                                                     topologies)):
+        if (not isinstance(roster, list) or not roster or not all(
+                isinstance(name, str) and name for name in roster)):
+            errors.append(f"{key}: expected non-empty list of strings")
+    cells = record.get("cells")
+    if not isinstance(cells, list):
+        errors.append("cells: must be a list")
+        return
+    for index, cell in enumerate(cells):
+        validate_arena_cell(cell, f"cells[{index}]", errors)
+    if isinstance(strategies, list) and isinstance(topologies, list):
+        expected = len(strategies) * len(topologies)
+        if len(cells) != expected:
+            errors.append(
+                f"cells: expected full cross product of {expected} cells "
+                f"({len(topologies)} topologies x {len(strategies)} "
+                f"strategies), got {len(cells)}")
+        else:
+            for t, topology in enumerate(topologies):
+                for s, strategy in enumerate(strategies):
+                    cell = cells[t * len(strategies) + s]
+                    if not isinstance(cell, dict):
+                        continue
+                    if (cell.get("topology") != topology
+                            or cell.get("strategy") != strategy):
+                        errors.append(
+                            f"cells[{t * len(strategies) + s}]: expected "
+                            f"({topology!r}, {strategy!r}), got "
+                            f"({cell.get('topology')!r}, "
+                            f"{cell.get('strategy')!r})")
+
+
 def validate_record(path: str) -> list[str]:
     errors: list[str] = []
     try:
@@ -152,9 +244,13 @@ def validate_record(path: str) -> list[str]:
         return [f"unreadable or invalid JSON: {exc}"]
     if not isinstance(record, dict):
         return ["top level must be a JSON object"]
+    if record.get("schema") == ARENA_SCHEMA:
+        validate_arena_record(record, errors)
+        return errors
     if record.get("schema") != SCHEMA:
         errors.append(
-            f"schema: expected {SCHEMA!r}, got {record.get('schema')!r}")
+            f"schema: expected {SCHEMA!r} or {ARENA_SCHEMA!r}, got "
+            f"{record.get('schema')!r}")
     name = record.get("name")
     if not isinstance(name, str) or not name:
         errors.append(f"name: expected non-empty string, got {name!r}")
@@ -230,10 +326,12 @@ def main() -> int:
             print(f"FAIL: {command} exited with {result.returncode}")
             return 1
 
-    files = args.files or sorted(
-        glob.glob(os.path.join(args.out_dir, "BENCH_*.json")))
+    files = args.files or (
+        sorted(glob.glob(os.path.join(args.out_dir, "BENCH_*.json"))) +
+        sorted(glob.glob(os.path.join(args.out_dir, "ARENA_*.json"))))
     if not files:
-        print(f"FAIL: no BENCH_*.json records found in {args.out_dir!r}")
+        print(f"FAIL: no BENCH_*.json or ARENA_*.json records found "
+              f"in {args.out_dir!r}")
         return 1
 
     failed = 0

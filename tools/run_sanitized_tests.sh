@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Build and run the memory-safety-critical test suites (the robin-hood
-# sparse index, the cache policies layered on it, and the Zipf samplers)
-# under AddressSanitizer + UndefinedBehaviorSanitizer.
+# sparse index, the cache policies layered on it, the Zipf samplers, and
+# the strategy subsystem driving the data plane) under AddressSanitizer +
+# UndefinedBehaviorSanitizer.
 #
 # Usage: run_sanitized_tests.sh <source-dir> <build-dir>
 #
@@ -26,6 +27,9 @@ TARGETS=(
   test_cache_fifo
   test_cache_partitioned
   test_popularity_sampler
+  test_strategy_registry
+  test_strategy_properties
+  test_strategy_ab_identity
 )
 
 cmake -S "${SOURCE_DIR}" -B "${BUILD_DIR}" \

@@ -5,6 +5,11 @@
 // model omits, plus every registered caching strategy head-to-head (the
 // roster is enumerated from the strategy registry, so newly registered
 // strategies show up here without touching this bench).
+//
+// The warmup split is measured, not guessed: a probe run through
+// sim::run_to_steady_state detects where the LRU/coordinated baseline
+// converges and every ablation cell warms up for that long (the old
+// hard-coded 150000 remains only as the no-convergence fallback).
 #include <iostream>
 #include <string>
 
@@ -14,10 +19,15 @@
 #include "ccnopt/common/table.hpp"
 #include "ccnopt/popularity/sampler.hpp"
 #include "ccnopt/sim/simulation.hpp"
+#include "ccnopt/sim/steady_state.hpp"
 #include "ccnopt/strategy/registry.hpp"
 #include "ccnopt/topology/datasets.hpp"
 
 namespace {
+
+// Warmup budget shared by every cell; overwritten by the detection probe
+// in main() before any table runs.
+std::uint64_t g_warmup_requests = 150000;
 
 ccnopt::sim::SimConfig base_config(ccnopt::sim::LocalStoreMode mode,
                                    std::size_t coordinated_x) {
@@ -29,7 +39,7 @@ ccnopt::sim::SimConfig base_config(ccnopt::sim::LocalStoreMode mode,
   config.network.origin_extra_ms = 50.0;
   config.coordinated_x = coordinated_x;
   config.zipf_s = 0.8;
-  config.warmup_requests = 150000;
+  config.warmup_requests = g_warmup_requests;
   config.measured_requests = 150000;
   config.seed = 99;
   return config;
@@ -61,6 +71,29 @@ int main() {
   using sim::LocalStoreMode;
   std::cout << "=== Ablation: local store policies (US-A, N=20000, c=200, "
                "s=0.8) ===\n\n";
+
+  // Detection probe on the LRU/coordinated baseline every other table is
+  // compared against; its convergence point becomes the shared warmup.
+  {
+    sim::SimConfig probe =
+        base_config(LocalStoreMode::kLru, /*coordinated_x=*/100);
+    probe.warmup_requests = 0;
+    probe.measured_requests = 300000;
+    const bench::WallTimer probe_timer;
+    const sim::SteadyStateRun steady =
+        sim::run_to_steady_state(topology::us_a(), std::move(probe));
+    reporter.add_timing_ms("steady_probe_ms", probe_timer.elapsed_ms());
+    if (steady.steady.converged) {
+      g_warmup_requests = steady.steady_state_requests;
+    }
+    reporter.set_output("converged", steady.steady.converged);
+    reporter.set_output("steady_state_requests", steady.steady_state_requests);
+    reporter.set_output("warmup_requests", g_warmup_requests);
+    std::cout << "detected warmup: " << g_warmup_requests << " requests ("
+              << (steady.steady.converged ? "converged"
+                                          : "no convergence, fallback 150000")
+              << ")\n\n";
+  }
 
   const LocalStoreMode modes[] = {LocalStoreMode::kStaticTop,
                                   LocalStoreMode::kLfu, LocalStoreMode::kLru,

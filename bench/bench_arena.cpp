@@ -5,11 +5,16 @@
 // ARENA_results.{json,csv} (schema ccnopt-arena-v1, validated by
 // tools/check_bench_json.py) next to the BENCH_arena.json record.
 //
+// Steady state is detected, not asserted: by default each cell runs its
+// whole warmup+measured budget through the sliding-window convergence
+// detector (sim::run_to_steady_state) and reports the post-convergence
+// epochs, with a per-strategy "steady after req" column;
+// --fixed-warmup restores the hard-coded split.
+//
 // Usage: bench_arena [--measured R] [--warmup R] [--catalog N]
 //                    [--capacity C] [--x X] [--threads T] [--seed S]
-//                    [--strategies a,b,c]
+//                    [--strategies a,b,c] [--fixed-warmup]
 #include <algorithm>
-#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -43,6 +48,7 @@ int main(int argc, char** argv) {
   experiments::ArenaOptions options;
   options.measured_requests = 100000;
   options.warmup_requests = 100000;
+  options.detect_steady_state = true;
   std::size_t threads = std::min<std::size_t>(
       8, std::max<std::size_t>(2, std::thread::hardware_concurrency()));
   for (int i = 1; i < argc; ++i) {
@@ -62,6 +68,8 @@ int main(int argc, char** argv) {
       threads = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--strategies") == 0 && i + 1 < argc) {
       options.strategies = split_csv(argv[++i]);
+    } else if (std::strcmp(argv[i], "--fixed-warmup") == 0) {
+      options.detect_steady_state = false;
     }
   }
   if (threads == 0) threads = 1;
@@ -83,13 +91,10 @@ int main(int argc, char** argv) {
             << options.measured_requests << " measured requests) ===\n\n";
 
   runtime::ThreadPool pool(threads);
-  const auto start = std::chrono::steady_clock::now();
+  const bench::WallTimer timer;
   const experiments::ArenaResult result =
       experiments::run_arena(options, &pool);
-  const auto stop = std::chrono::steady_clock::now();
-  reporter.add_timing_ms(
-      "arena_ms",
-      std::chrono::duration<double, std::milli>(stop - start).count());
+  reporter.add_timing_ms("arena_ms", timer.elapsed_ms());
 
   experiments::print_arena_tables(result, std::cout);
   experiments::record_arena_metrics(result);
@@ -125,6 +130,17 @@ int main(int argc, char** argv) {
   reporter.set_output("cells", result.cells.size());
   reporter.set_output("threads", threads);
   reporter.set_output("catalog_size", options.catalog_size);
+  reporter.set_output("detect_steady_state", options.detect_steady_state);
+  if (options.detect_steady_state) {
+    std::size_t converged = 0;
+    std::uint64_t max_steady = 0;
+    for (const experiments::ArenaCell& cell : result.cells) {
+      if (cell.converged) ++converged;
+      max_steady = std::max(max_steady, cell.steady_state_requests);
+    }
+    reporter.set_output("converged_cells", converged);
+    reporter.set_output("max_steady_state_requests", max_steady);
+  }
 
   // The arena's whole point is breadth: a run that compares fewer than 5
   // strategies or 4 topologies is a configuration error, not a result.

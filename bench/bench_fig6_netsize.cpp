@@ -4,46 +4,33 @@
 // point-parallel on a hardware-sized ThreadPool, the two outputs are
 // checked byte-identical (the determinism contract), and the wall-clock
 // speedup is printed.
-#include <chrono>
 #include <sstream>
 
 #include "bench_util.hpp"
 #include "ccnopt/common/strings.hpp"
 #include "ccnopt/runtime/thread_pool.hpp"
 
-namespace {
-
-double elapsed_ms(std::chrono::steady_clock::time_point start,
-                  std::chrono::steady_clock::time_point stop) {
-  return std::chrono::duration<double, std::milli>(stop - start).count();
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace ccnopt;
-  using Clock = std::chrono::steady_clock;
   const auto base = model::SystemParams::paper_defaults();
   bench::print_params_banner(base, "Figure 6: l* vs n",
                              "n in [10,500], alpha in {0.2..1.0}");
   bench::BenchReporter reporter("fig6_netsize");
 
-  const auto serial_start = Clock::now();
+  bench::WallTimer timer;
   const auto serial = experiments::sweep_vs_routers(base);
-  const auto serial_stop = Clock::now();
+  const double serial_ms = timer.elapsed_ms();
 
   runtime::ThreadPool pool;
-  const auto parallel_start = Clock::now();
+  timer.restart();
   const auto parallel = experiments::sweep_vs_routers(base, &pool);
-  const auto parallel_stop = Clock::now();
+  const double parallel_ms = timer.elapsed_ms();
 
   std::ostringstream serial_csv, parallel_csv;
   experiments::write_series_csv(serial, serial_csv);
   experiments::write_series_csv(parallel, parallel_csv);
   const bool identical = serial_csv.str() == parallel_csv.str();
 
-  const double serial_ms = elapsed_ms(serial_start, serial_stop);
-  const double parallel_ms = elapsed_ms(parallel_start, parallel_stop);
   reporter.add_timing_ms("sweep_serial_ms", serial_ms);
   reporter.add_timing_ms("sweep_parallel_ms", parallel_ms);
   reporter.set_output("threads", pool.thread_count());

@@ -5,7 +5,6 @@
 // so regressions in any one rewrite are visible.
 //
 // Usage: bench_throughput_caches [ops] [capacity] [catalog]
-#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <vector>
@@ -24,10 +23,9 @@ using namespace ccnopt;
 
 double admit_loop_rps(cache::CachePolicy& policy,
                       const std::vector<cache::ContentId>& stream) {
-  const auto start = std::chrono::steady_clock::now();
+  const bench::WallTimer timer;
   for (const cache::ContentId id : stream) policy.admit(id);
-  const auto stop = std::chrono::steady_clock::now();
-  const double seconds = std::chrono::duration<double>(stop - start).count();
+  const double seconds = timer.elapsed_seconds();
   return static_cast<double>(stream.size()) / (seconds > 0.0 ? seconds : 1e-9);
 }
 

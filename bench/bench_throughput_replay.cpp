@@ -25,6 +25,7 @@
 #include "ccnopt/runtime/replication_runner.hpp"
 #include "ccnopt/runtime/thread_pool.hpp"
 #include "ccnopt/sim/simulation.hpp"
+#include "ccnopt/sim/steady_state.hpp"
 #include "ccnopt/topology/datasets.hpp"
 
 namespace {
@@ -33,12 +34,11 @@ double replications_rps(ccnopt::runtime::ThreadPool& pool,
                         const ccnopt::sim::SimConfig& config,
                         std::size_t replications, double* out_ms) {
   using namespace ccnopt;
-  const auto start = std::chrono::steady_clock::now();
+  const bench::WallTimer timer;
   const runtime::ReplicationRunner runner(pool);
   const runtime::ReplicationSummary summary =
       runner.run(topology::us_a(), config, replications);
-  const auto stop = std::chrono::steady_clock::now();
-  const double seconds = std::chrono::duration<double>(stop - start).count();
+  const double seconds = timer.elapsed_seconds();
   if (out_ms != nullptr) *out_ms = seconds * 1000.0;
   const double total_requests =
       static_cast<double>(config.warmup_requests + config.measured_requests) *
@@ -86,13 +86,37 @@ int main(int argc, char** argv) {
   config.network.local_mode = sim::LocalStoreMode::kLru;
   config.coordinated_x = coordinated;
   config.zipf_s = 0.8;
-  config.warmup_requests = requests / 3;
-  config.measured_requests = requests - config.warmup_requests;
   config.seed = 20240806;
 
   std::cout << "=== Simulator replay throughput (US-A, N=" << catalog
             << ", c=" << capacity << ", " << replications
             << " replications x " << requests << " requests) ===\n\n";
+
+  // Probe run: detect when the LRU partitions actually converge on this
+  // config and use that as the warmup split for the timed replications —
+  // replacing the old hard-coded requests/3 guess.
+  {
+    sim::SimConfig probe = config;
+    probe.warmup_requests = 0;
+    probe.measured_requests = requests;
+    const bench::WallTimer probe_timer;
+    const sim::SteadyStateRun steady =
+        sim::run_to_steady_state(topology::us_a(), std::move(probe));
+    reporter.add_timing_ms("steady_probe_ms", probe_timer.elapsed_ms());
+    // Fall back to the historical requests/3 split only if detection says
+    // the run never settles (tiny request budgets).
+    config.warmup_requests = steady.steady.converged
+                                 ? steady.steady_state_requests
+                                 : requests / 3;
+    config.measured_requests = requests - config.warmup_requests;
+    reporter.set_output("converged", steady.steady.converged);
+    reporter.set_output("steady_state_requests", steady.steady_state_requests);
+    reporter.set_output("warmup_requests", config.warmup_requests);
+    std::cout << "detected warmup: " << config.warmup_requests << " requests ("
+              << (steady.steady.converged ? "converged"
+                                          : "no convergence, requests/3")
+              << ")\n\n";
+  }
 
   double serial_ms = 0.0;
   double parallel_ms = 0.0;

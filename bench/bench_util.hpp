@@ -28,6 +28,24 @@
 
 namespace ccnopt::bench {
 
+/// Steady-clock stopwatch, replacing the start/stop/duration_cast
+/// boilerplate every bench used to hand-roll. Starts at construction;
+/// restart() re-zeros; elapsed_ms() reads without stopping.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  double elapsed_seconds() const { return elapsed_ms() / 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
 inline void print_params_banner(const model::SystemParams& p,
                                 const std::string& figure,
                                 const std::string& varied) {
@@ -45,8 +63,7 @@ inline void print_params_banner(const model::SystemParams& p,
 /// BENCH_<name>.json on finish(). Construction starts the total wall clock.
 class BenchReporter {
  public:
-  explicit BenchReporter(std::string name)
-      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+  explicit BenchReporter(std::string name) : name_(std::move(name)) {}
 
   void add_timing_ms(const std::string& label, double ms) {
     timings_[label] = ms;
@@ -82,9 +99,7 @@ class BenchReporter {
   /// `catalog_size` output (0 unless the bench set one) — the scaling
   /// benches compare footprints across catalog sizes through these.
   int finish(int exit_code = 0) {
-    const auto stop = std::chrono::steady_clock::now();
-    timings_["total_ms"] =
-        std::chrono::duration<double, std::milli>(stop - start_).count();
+    timings_["total_ms"] = total_.elapsed_ms();
     const std::uint64_t peak_rss = obs::peak_rss_bytes();
     set_output("peak_rss_bytes", peak_rss);
     obs::perf().set_gauge("process.peak_rss_bytes",
@@ -132,7 +147,7 @@ class BenchReporter {
   }
 
   std::string name_;
-  std::chrono::steady_clock::time_point start_;
+  WallTimer total_;
   std::map<std::string, double> timings_;
   std::map<std::string, std::string> outputs_;  // key -> rendered JSON value
 };

@@ -10,6 +10,7 @@
 #include "ccnopt/obs/export.hpp"
 #include "ccnopt/obs/registry.hpp"
 #include "ccnopt/runtime/parallel.hpp"
+#include "ccnopt/sim/steady_state.hpp"
 #include "ccnopt/strategy/registry.hpp"
 #include "ccnopt/topology/datasets.hpp"
 #include "ccnopt/topology/generators.hpp"
@@ -31,12 +32,22 @@ ArenaCell run_cell(const ArenaOptions& options, const topology::Graph& graph,
   config.measured_requests = options.measured_requests;
   config.seed = options.seed;
 
-  sim::Simulation simulation(graph, config);
   ArenaCell cell;
   cell.strategy = strategy;
   cell.topology = graph.name();
   cell.routers = graph.node_count();
-  cell.report = simulation.run();
+  if (options.detect_steady_state) {
+    config.timeline_epoch = options.timeline_epoch;
+    const sim::SteadyStateRun run = sim::run_to_steady_state(
+        graph, std::move(config), options.steady_options);
+    cell.report = run.report;
+    cell.converged = run.steady.converged;
+    cell.steady_state_epoch = run.measured_from_epoch;
+    cell.steady_state_requests = run.steady_state_requests;
+  } else {
+    sim::Simulation simulation(graph, std::move(config));
+    cell.report = simulation.run();
+  }
   return cell;
 }
 
@@ -97,24 +108,35 @@ ArenaResult run_arena(const ArenaOptions& options,
 
 void print_arena_tables(const ArenaResult& result, std::ostream& out) {
   const std::size_t strategy_count = result.strategies.size();
+  const bool detected = result.options.detect_steady_state;
   for (std::size_t t = 0; t < result.topologies.size(); ++t) {
     const ArenaCell& first = result.cells[t * strategy_count];
     out << "--- " << result.topologies[t] << " (" << first.routers
         << " routers) ---\n";
-    TextTable table({"strategy", "hit ratio", "local frac", "network frac",
-                     "origin load", "mean latency ms", "mean hops",
-                     "coord msgs"});
+    std::vector<std::string> header{"strategy", "hit ratio", "local frac",
+                                    "network frac", "origin load",
+                                    "mean latency ms", "mean hops",
+                                    "coord msgs"};
+    if (detected) header.push_back("steady after req");
+    TextTable table(header);
     for (std::size_t s = 0; s < strategy_count; ++s) {
       const ArenaCell& cell = result.cells[t * strategy_count + s];
       const sim::SimReport& report = cell.report;
-      table.add_row({cell.strategy,
-                     format_double(1.0 - report.origin_load, 4),
-                     format_double(report.local_fraction, 4),
-                     format_double(report.network_fraction, 4),
-                     format_double(report.origin_load, 4),
-                     format_double(report.mean_latency_ms, 2),
-                     format_double(report.mean_hops, 3),
-                     std::to_string(report.coordination_messages)});
+      std::vector<std::string> row{
+          cell.strategy,
+          format_double(1.0 - report.origin_load, 4),
+          format_double(report.local_fraction, 4),
+          format_double(report.network_fraction, 4),
+          format_double(report.origin_load, 4),
+          format_double(report.mean_latency_ms, 2),
+          format_double(report.mean_hops, 3),
+          std::to_string(report.coordination_messages)};
+      if (detected) {
+        // "~" marks the not-converged fallback (second half of the run).
+        row.push_back(std::to_string(cell.steady_state_requests) +
+                      (cell.converged ? "" : " ~"));
+      }
+      table.add_row(std::move(row));
     }
     table.print(out);
     out << "\n";
@@ -167,7 +189,13 @@ void write_cell_json(const ArenaCell& cell, std::ostream& out,
       << indent << "  \"mean_origin_latency_ms\": "
       << obs::json_number(report.mean_origin_latency_ms) << ",\n"
       << indent << "  \"coordination_messages\": "
-      << report.coordination_messages << "\n"
+      << report.coordination_messages << ",\n"
+      << indent << "  \"converged\": " << (cell.converged ? "true" : "false")
+      << ",\n"
+      << indent << "  \"steady_state_epoch\": " << cell.steady_state_epoch
+      << ",\n"
+      << indent << "  \"steady_state_requests\": "
+      << cell.steady_state_requests << "\n"
       << indent << "}";
 }
 
@@ -193,7 +221,10 @@ void write_arena_json(const ArenaResult& result, std::ostream& out) {
       << "    \"measured_requests\": " << options.measured_requests << ",\n"
       << "    \"local_mode\": \"" << sim::to_string(options.local_mode)
       << "\",\n"
-      << "    \"seed\": " << options.seed << "\n  },\n"
+      << "    \"seed\": " << options.seed << ",\n"
+      << "    \"detect_steady_state\": "
+      << (options.detect_steady_state ? "true" : "false") << ",\n"
+      << "    \"timeline_epoch\": " << options.timeline_epoch << "\n  },\n"
       << "  \"strategies\": ";
   write_string_array(result.strategies, out);
   out << ",\n  \"topologies\": ";
@@ -210,7 +241,8 @@ void write_arena_csv(const ArenaResult& result, std::ostream& out) {
   out << "topology,strategy,routers,total_requests,hit_ratio,local_fraction,"
          "network_fraction,origin_load,mean_latency_ms,mean_hops,"
          "mean_local_latency_ms,mean_network_latency_ms,"
-         "mean_origin_latency_ms,coordination_messages\n";
+         "mean_origin_latency_ms,coordination_messages,converged,"
+         "steady_state_epoch,steady_state_requests\n";
   for (const ArenaCell& cell : result.cells) {
     const sim::SimReport& report = cell.report;
     out << cell.topology << "," << cell.strategy << "," << cell.routers << ","
@@ -224,7 +256,9 @@ void write_arena_csv(const ArenaResult& result, std::ostream& out) {
         << obs::json_number(report.mean_local_latency_ms) << ","
         << obs::json_number(report.mean_network_latency_ms) << ","
         << obs::json_number(report.mean_origin_latency_ms) << ","
-        << report.coordination_messages << "\n";
+        << report.coordination_messages << ","
+        << (cell.converged ? 1 : 0) << "," << cell.steady_state_epoch << ","
+        << cell.steady_state_requests << "\n";
   }
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "ccnopt/obs/timeline.hpp"
 #include "ccnopt/sim/simulation.hpp"
 #include "ccnopt/topology/graph.hpp"
 
@@ -39,6 +40,17 @@ struct ArenaOptions {
   /// Every cell of one arena run uses this same seed, so strategies face
   /// identical request sequences per topology (paired comparison).
   std::uint64_t seed = 42;
+  /// Detected-convergence mode: instead of the hard-coded warmup/measured
+  /// split, each cell runs its whole request budget (warmup + measured)
+  /// through sim::run_to_steady_state and reports the post-convergence
+  /// epochs only, with per-cell convergence columns. Off by default so the
+  /// fixed-split semantics stay available for A/B comparisons;
+  /// bench_arena turns it on.
+  bool detect_steady_state = false;
+  /// Requests per timeline epoch in detection mode; 0 = total/64.
+  std::uint64_t timeline_epoch = 0;
+  /// Convergence tolerance of the per-epoch origin-load series.
+  obs::SteadyStateOptions steady_options;
 };
 
 struct ArenaCell {
@@ -46,6 +58,12 @@ struct ArenaCell {
   std::string topology;
   std::size_t routers = 0;
   sim::SimReport report;
+  /// Detection-mode fields (all zero when ArenaOptions::detect_steady_state
+  /// is off): whether the origin-load series converged, the first measured
+  /// epoch, and the number of requests discarded as detected warmup.
+  bool converged = false;
+  std::uint64_t steady_state_epoch = 0;
+  std::uint64_t steady_state_requests = 0;
 };
 
 struct ArenaResult {

@@ -177,6 +177,35 @@ void write_spans_csv(std::ostream& out,
   }
 }
 
+void write_trace_events_json(std::ostream& out,
+                             const std::vector<SpanEvent>& events,
+                             std::uint64_t dropped_events) {
+  out << "{\n";
+  out << "  \"schema\": \"ccnopt-spans-v1\",\n";
+  out << "  \"displayTimeUnit\": \"ms\",\n";
+  out << "  \"dropped_events\": " << dropped_events << ",\n";
+  out << "  \"traceEvents\": [\n";
+  // Process-name metadata row so Perfetto labels the track sensibly.
+  out << "    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
+         "\"args\": {\"name\": \"ccnopt\"}}";
+  for (const SpanEvent& event : events) {
+    const std::size_t slash = event.path.rfind('/');
+    const std::string_view name =
+        slash == std::string::npos
+            ? std::string_view(event.path)
+            : std::string_view(event.path).substr(slash + 1);
+    out << ",\n    {\"name\": \"" << json_escape(name)
+        << "\", \"cat\": \"span\", \"ph\": \"X\", \"ts\": "
+        << json_number(static_cast<double>(event.ts_ns) / 1e3)
+        << ", \"dur\": "
+        << json_number(static_cast<double>(event.dur_ns) / 1e3)
+        << ", \"pid\": 0, \"tid\": " << event.tid << ", \"args\": {\"path\": \""
+        << json_escape(event.path) << "\"}}";
+  }
+  out << "\n  ]\n";
+  out << "}\n";
+}
+
 void export_snapshot(std::ostream& out, const ExportOptions& options) {
   if (options.format == ExportFormat::kJson) {
     out << "{\n  \"schema\": \"ccnopt-obs-v1\"";

@@ -60,4 +60,15 @@ void write_spans_json(std::ostream& out,
 void write_spans_csv(std::ostream& out,
                      const std::vector<SpanAggregate>& spans);
 
+/// Recorded span occurrences in the Chrome trace-events format, loadable
+/// directly by Perfetto / chrome://tracing: {"schema":"ccnopt-spans-v1",
+/// "displayTimeUnit":"ms","dropped_events":N,"traceEvents":[...]} where
+/// each event is a "ph":"X" complete event with microsecond ts/dur, the
+/// span's last path segment as name, its full path under args.path, and
+/// the recording shard as tid. Events should already be in (ts, tid)
+/// order (SpanProfiler::events() returns them sorted).
+void write_trace_events_json(std::ostream& out,
+                             const std::vector<SpanEvent>& events,
+                             std::uint64_t dropped_events = 0);
+
 }  // namespace ccnopt::obs

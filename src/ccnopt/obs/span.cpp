@@ -27,6 +27,8 @@ SpanProfiler& SpanProfiler::instance() {
   return *profiler;
 }
 
+SpanProfiler::SpanProfiler() : epoch_(std::chrono::steady_clock::now()) {}
+
 SpanProfiler::Shard& SpanProfiler::local_shard() const {
   thread_local Shard* t_span_shard = nullptr;
   if (t_span_shard != nullptr) return *t_span_shard;
@@ -34,20 +36,68 @@ SpanProfiler::Shard& SpanProfiler::local_shard() const {
   Shard* raw = shard.get();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    raw->index = static_cast<std::uint32_t>(shards_.size());
     shards_.push_back(std::move(shard));
   }
   t_span_shard = raw;
   return *raw;
 }
 
-void SpanProfiler::record(const std::string& path, std::int64_t wall_ns,
-                          std::int64_t cpu_ns) {
+void SpanProfiler::record(const std::string& path,
+                          std::chrono::steady_clock::time_point wall_start,
+                          std::int64_t wall_ns, std::int64_t cpu_ns) {
   Shard& shard = local_shard();
   const std::lock_guard<std::mutex> lock(shard.mutex);
   Cell& cell = shard.cells[path];
   ++cell.count;
   cell.wall_ns += wall_ns;
   cell.cpu_ns += cpu_ns;
+  if (events_enabled_.load(std::memory_order_relaxed)) {
+    if (shard.events.size() < kMaxEventsPerShard) {
+      const auto ts_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             wall_start - epoch_)
+                             .count();
+      shard.events.push_back(SpanEvent{path, shard.index, ts_ns, wall_ns});
+    } else {
+      ++shard.dropped_events;
+    }
+  }
+}
+
+void SpanProfiler::set_event_recording(bool enabled) {
+  events_enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+bool SpanProfiler::event_recording() const {
+  return events_enabled_.load(std::memory_order_relaxed);
+}
+
+std::vector<SpanEvent> SpanProfiler::events() const {
+  std::vector<SpanEvent> result;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& shard : shards_) {
+      const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+      result.insert(result.end(), shard->events.begin(), shard->events.end());
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.path < b.path;
+            });
+  return result;
+}
+
+std::uint64_t SpanProfiler::dropped_events() const {
+  std::uint64_t dropped = 0;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    dropped += shard->dropped_events;
+  }
+  return dropped;
 }
 
 std::vector<SpanAggregate> SpanProfiler::snapshot() const {
@@ -82,6 +132,8 @@ void SpanProfiler::reset() {
   for (const auto& shard : shards_) {
     const std::lock_guard<std::mutex> shard_lock(shard->mutex);
     shard->cells.clear();
+    shard->events.clear();
+    shard->dropped_events = 0;
   }
 }
 
@@ -110,7 +162,8 @@ ScopedSpan::~ScopedSpan() {
           std::chrono::steady_clock::now() - wall_start_)
           .count();
   const std::int64_t cpu_ns = thread_cpu_ns() - cpu_start_ns_;
-  SpanProfiler::instance().record(path_, wall_ns, cpu_ns < 0 ? 0 : cpu_ns);
+  SpanProfiler::instance().record(path_, wall_start_, wall_ns,
+                                  cpu_ns < 0 ? 0 : cpu_ns);
 }
 
 const ScopedSpan* ScopedSpan::current() { return t_current_span; }

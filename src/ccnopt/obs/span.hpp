@@ -13,6 +13,7 @@
 // `--profile-out` and bench JSON, never by `--metrics-out`.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <chrono>
 #include <memory>
@@ -32,6 +33,18 @@ struct SpanAggregate {
   std::int64_t cpu_ns = 0;
 };
 
+/// One closed span occurrence, for timeline (Perfetto) export. Only
+/// recorded while event recording is enabled — aggregates alone cannot
+/// reconstruct when each phase ran.
+struct SpanEvent {
+  std::string path;
+  /// Recording thread, as the profiler's shard index (stable per thread).
+  std::uint32_t tid = 0;
+  /// Start time relative to the profiler's construction, steady clock.
+  std::int64_t ts_ns = 0;
+  std::int64_t dur_ns = 0;
+};
+
 class ScopedSpan;
 
 class SpanProfiler {
@@ -44,8 +57,28 @@ class SpanProfiler {
   /// Merged per-path aggregates across all threads, sorted by path.
   std::vector<SpanAggregate> snapshot() const;
 
-  /// Drops all aggregates (open spans still record on close).
+  /// Opt-in per-occurrence event recording (off by default: aggregates are
+  /// cheap and unbounded runs must not grow memory). While enabled, every
+  /// span close also appends a SpanEvent to its thread's bounded buffer
+  /// (kMaxEventsPerShard; overflow counts into dropped_events()). Enabled
+  /// by the CLI when a Perfetto export was requested.
+  void set_event_recording(bool enabled);
+  bool event_recording() const;
+
+  /// All recorded events merged across threads, sorted by
+  /// (ts_ns, tid, path) — chronological, ties broken deterministically.
+  std::vector<SpanEvent> events() const;
+
+  /// Events discarded because a shard's buffer was full.
+  std::uint64_t dropped_events() const;
+
+  /// Drops all aggregates and recorded events (open spans still record on
+  /// close).
   void reset();
+
+  /// Per-thread event-buffer bound: deep enough for every phase span of a
+  /// full bench run, small enough (~a few MB) to never matter.
+  static constexpr std::size_t kMaxEventsPerShard = 1u << 16;
 
  private:
   friend class ScopedSpan;
@@ -58,15 +91,22 @@ class SpanProfiler {
   struct Shard {
     std::mutex mutex;
     std::unordered_map<std::string, Cell> cells;
+    std::uint32_t index = 0;
+    std::vector<SpanEvent> events;
+    std::uint64_t dropped_events = 0;
   };
 
-  SpanProfiler() = default;
+  SpanProfiler();
   Shard& local_shard() const;
-  void record(const std::string& path, std::int64_t wall_ns,
-              std::int64_t cpu_ns);
+  void record(const std::string& path,
+              std::chrono::steady_clock::time_point wall_start,
+              std::int64_t wall_ns, std::int64_t cpu_ns);
 
   mutable std::mutex mutex_;
   mutable std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> events_enabled_{false};
+  /// Zero point of SpanEvent::ts_ns (profiler construction).
+  std::chrono::steady_clock::time_point epoch_;
 };
 
 /// Times a scope and records it under the active span path on this thread.

@@ -1,0 +1,154 @@
+#include "ccnopt/obs/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "ccnopt/common/assert.hpp"
+#include "ccnopt/obs/export.hpp"
+
+namespace ccnopt::obs {
+
+Timeline::Timeline(std::uint64_t epoch_requests,
+                   std::vector<std::string> columns)
+    : epoch_requests_(epoch_requests), columns_(std::move(columns)) {
+  CCNOPT_EXPECTS(epoch_requests_ >= 1);
+  CCNOPT_EXPECTS(!columns_.empty());
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    for (std::size_t j = i + 1; j < columns_.size(); ++j) {
+      CCNOPT_EXPECTS(columns_[i] != columns_[j]);
+    }
+  }
+}
+
+std::size_t Timeline::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return i;
+  }
+  return npos;
+}
+
+void Timeline::push_epoch(std::uint64_t first_request,
+                          std::uint64_t last_request,
+                          std::vector<double> values) {
+  CCNOPT_EXPECTS(enabled());
+  CCNOPT_EXPECTS(values.size() == columns_.size());
+  CCNOPT_EXPECTS(first_request <= last_request);
+  TimelineEpoch row;
+  if (!epochs_.empty()) {
+    // push_epoch is for single-run accumulation; merging is append's job.
+    const TimelineEpoch& prev = epochs_.back();
+    CCNOPT_EXPECTS(prev.replication == 0);
+    CCNOPT_EXPECTS(first_request == prev.last_request + 1);
+    row.epoch = prev.epoch + 1;
+  }
+  row.first_request = first_request;
+  row.last_request = last_request;
+  row.values = std::move(values);
+  epochs_.push_back(std::move(row));
+}
+
+void Timeline::append(const Timeline& other, std::uint32_t replication) {
+  CCNOPT_EXPECTS(other.epoch_requests_ == epoch_requests_);
+  CCNOPT_EXPECTS(other.columns_ == columns_);
+  epochs_.reserve(epochs_.size() + other.epochs_.size());
+  for (const TimelineEpoch& row : other.epochs_) {
+    TimelineEpoch stamped = row;
+    stamped.replication = replication;
+    epochs_.push_back(std::move(stamped));
+  }
+}
+
+std::vector<double> Timeline::series(std::size_t column) const {
+  CCNOPT_EXPECTS(column < columns_.size());
+  std::vector<double> out;
+  out.reserve(epochs_.size());
+  for (const TimelineEpoch& row : epochs_) out.push_back(row.values[column]);
+  return out;
+}
+
+double Timeline::column_sum(std::size_t column, std::size_t from_epoch) const {
+  CCNOPT_EXPECTS(column < columns_.size());
+  double sum = 0.0;
+  for (const TimelineEpoch& row : epochs_) {
+    if (row.epoch < from_epoch) continue;
+    sum += row.values[column];
+  }
+  return sum;
+}
+
+SteadyStateResult detect_steady_state(const std::vector<double>& series,
+                                      const SteadyStateOptions& options) {
+  SteadyStateResult result;
+  const std::size_t window = std::max<std::size_t>(options.window, 2);
+  if (series.size() < window) return result;
+  for (std::size_t start = 0; start + window <= series.size(); ++start) {
+    double lo = series[start];
+    double hi = series[start];
+    double scale = std::abs(series[start]);
+    bool finite = std::isfinite(series[start]);
+    for (std::size_t i = start + 1; i < start + window; ++i) {
+      const double v = series[i];
+      if (!std::isfinite(v)) {
+        finite = false;
+        break;
+      }
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      scale = std::max(scale, std::abs(v));
+    }
+    if (!finite) continue;
+    scale = std::max(scale, options.min_scale);
+    if (hi - lo <= options.tolerance * scale) {
+      result.converged = true;
+      result.epoch = start;
+      return result;
+    }
+  }
+  return result;
+}
+
+void write_timeline_json(std::ostream& out, const Timeline& timeline) {
+  out << "{\n";
+  out << "  \"schema\": \"ccnopt-timeline-v1\",\n";
+  out << "  \"epoch_requests\": " << timeline.epoch_requests() << ",\n";
+  out << "  \"columns\": [";
+  const std::vector<std::string>& columns = timeline.columns();
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << '"' << json_escape(columns[i]) << '"';
+  }
+  out << "],\n";
+  out << "  \"epochs\": [";
+  const std::vector<TimelineEpoch>& epochs = timeline.epochs();
+  for (std::size_t i = 0; i < epochs.size(); ++i) {
+    const TimelineEpoch& row = epochs[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"replication\": " << row.replication
+        << ", \"epoch\": " << row.epoch
+        << ", \"first_request\": " << row.first_request
+        << ", \"last_request\": " << row.last_request << ", \"values\": [";
+    for (std::size_t j = 0; j < row.values.size(); ++j) {
+      if (j != 0) out << ", ";
+      out << json_number(row.values[j]);
+    }
+    out << "]}";
+  }
+  if (!epochs.empty()) out << "\n  ";
+  out << "]\n";
+  out << "}\n";
+}
+
+void write_timeline_csv(std::ostream& out, const Timeline& timeline) {
+  out << "replication,epoch,first_request,last_request";
+  for (const std::string& column : timeline.columns()) out << ',' << column;
+  out << '\n';
+  for (const TimelineEpoch& row : timeline.epochs()) {
+    out << row.replication << ',' << row.epoch << ',' << row.first_request
+        << ',' << row.last_request;
+    for (double value : row.values) out << ',' << json_number(value);
+    out << '\n';
+  }
+}
+
+}  // namespace ccnopt::obs

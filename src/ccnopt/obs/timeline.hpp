@@ -1,0 +1,124 @@
+// Time-resolved telemetry: per-epoch series of deterministic run metrics.
+//
+// A Timeline divides a run into fixed *request-count* epochs (every
+// `epoch_requests` emitted requests, never wall clock) and stores one row
+// of named columns per epoch — delta counts (requests, tier hits,
+// evictions) and end-of-epoch gauges (occupancy, max link load). Because
+// epoch boundaries are request indices and every recorded value is a pure
+// function of seeds and inputs, a timeline is byte-identical for any
+// --threads value: it lives in the deterministic domain of the
+// obs::metrics() registry split, never the perf() domain.
+//
+// Timelines are accumulated per run by the owner (e.g. sim::Simulation)
+// rather than sampled from the process-global registry: parallel
+// replications all flush into the same obs::metrics() instance, so a
+// mid-run global snapshot would see other replications' increments and
+// break thread-count invariance. The per-run deltas sum to exactly what
+// the run flushes into the registry at the end, which is what the
+// epoch-sum tests assert.
+//
+// On top of the series sits a sliding-window steady-state detector
+// (detect_steady_state) that finds the first epoch at which a metric has
+// converged — replacing hard-coded warmup request counts in the benches
+// and the strategy arena.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccnopt::obs {
+
+/// One epoch row: the half-open run slice [first_request, last_request]
+/// (inclusive emission indices) and one value per Timeline column.
+struct TimelineEpoch {
+  /// Replication index the epoch belongs to (0 for single runs; stamped by
+  /// Timeline::append when a runner merges per-replication timelines).
+  std::uint32_t replication = 0;
+  /// Epoch index within its replication, starting at 0.
+  std::uint64_t epoch = 0;
+  std::uint64_t first_request = 0;
+  std::uint64_t last_request = 0;
+  std::vector<double> values;
+};
+
+class Timeline {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  Timeline() = default;
+  /// Requires epoch_requests >= 1 and at least one uniquely named column.
+  Timeline(std::uint64_t epoch_requests, std::vector<std::string> columns);
+
+  bool enabled() const { return epoch_requests_ > 0; }
+  std::uint64_t epoch_requests() const { return epoch_requests_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  /// Index of `name` in columns(); npos when absent.
+  std::size_t column_index(std::string_view name) const;
+
+  const std::vector<TimelineEpoch>& epochs() const { return epochs_; }
+  bool empty() const { return epochs_.empty(); }
+
+  /// Appends the next epoch of replication 0 (single-run accumulation).
+  /// `values` must have one entry per column; the slice must continue the
+  /// previous epoch (first_request == previous last_request + 1).
+  void push_epoch(std::uint64_t first_request, std::uint64_t last_request,
+                  std::vector<double> values);
+
+  /// Appends all of `other`'s epochs stamped with `replication`, in order.
+  /// Requires matching epoch_requests and columns. Used by the replication
+  /// runner to merge per-replication timelines in replication order so the
+  /// merged timeline is independent of worker scheduling.
+  void append(const Timeline& other, std::uint32_t replication);
+
+  /// Drops all epochs, keeping epoch size and columns.
+  void clear() { epochs_.clear(); }
+
+  /// The per-epoch values of one column, in epoch order (all replications).
+  std::vector<double> series(std::size_t column) const;
+
+  /// Sum of one column over epochs [from_epoch, end), all replications.
+  double column_sum(std::size_t column, std::size_t from_epoch = 0) const;
+
+ private:
+  std::uint64_t epoch_requests_ = 0;
+  std::vector<std::string> columns_;
+  std::vector<TimelineEpoch> epochs_;
+};
+
+/// Sliding-window convergence test for a per-epoch metric series.
+struct SteadyStateOptions {
+  /// Number of consecutive epochs that must agree.
+  std::size_t window = 8;
+  /// Maximum relative spread within the window: (max - min) <= tolerance *
+  /// max(|value|) — with `min_scale` as the scale floor so all-zero series
+  /// (e.g. origin load 0) count as converged rather than dividing by zero.
+  double tolerance = 0.02;
+  double min_scale = 1e-9;
+};
+
+struct SteadyStateResult {
+  bool converged = false;
+  /// First epoch of the first stable window (0 when not converged).
+  std::size_t epoch = 0;
+};
+
+/// Finds the first index i such that series[i, i + window) stays within
+/// the relative band of `options`. Series shorter than the window never
+/// converge. Pure function of its inputs — safe for deterministic exports.
+SteadyStateResult detect_steady_state(const std::vector<double>& series,
+                                      const SteadyStateOptions& options = {});
+
+/// JSON: {"schema":"ccnopt-timeline-v1","epoch_requests":E,
+/// "columns":[...],"epochs":[{"replication":r,"epoch":k,
+/// "first_request":i,"last_request":j,"values":[...]},...]}.
+/// Deterministic: equal timelines serialize to equal bytes.
+void write_timeline_json(std::ostream& out, const Timeline& timeline);
+
+/// CSV: "replication,epoch,first_request,last_request,<columns...>" header
+/// then one row per epoch.
+void write_timeline_csv(std::ostream& out, const Timeline& timeline);
+
+}  // namespace ccnopt::obs

@@ -35,6 +35,7 @@ ReplicationSummary ReplicationRunner::run(const topology::Graph& graph,
   summary.master_seed = base.seed;
   summary.reports.resize(replications);
   std::vector<obs::TraceBuffer> trace_slots(replications);
+  std::vector<obs::Timeline> timeline_slots(replications);
   parallel_for(pool_, replications, [&](std::size_t i) {
     const obs::ScopedSpan sim_span("replication.sim");
     sim::SimConfig config = base;
@@ -43,13 +44,22 @@ ReplicationSummary ReplicationRunner::run(const topology::Graph& graph,
     sim::Simulation simulation(graph, config);
     summary.reports[i] = simulation.run();
     if (base.trace_sample_k > 0) trace_slots[i] = simulation.traces();
+    if (base.timeline_epoch > 0) timeline_slots[i] = simulation.timeline();
   });
-  // Concatenate in replication order so the merged buffer is independent
+  // Concatenate in replication order so the merged buffers are independent
   // of worker scheduling.
   for (std::size_t i = 0; i < replications; ++i) {
     for (obs::TraceEvent event : trace_slots[i]) {
       event.replication = static_cast<std::uint32_t>(i);
       summary.traces.push_back(event);
+    }
+  }
+  if (base.timeline_epoch > 0) {
+    summary.timeline =
+        obs::Timeline(base.timeline_epoch, sim::timeline_columns());
+    for (std::size_t i = 0; i < replications; ++i) {
+      summary.timeline.append(timeline_slots[i],
+                              static_cast<std::uint32_t>(i));
     }
   }
   summary.mean_latency_ms =

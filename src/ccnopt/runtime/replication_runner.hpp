@@ -34,6 +34,11 @@ struct ReplicationSummary {
   /// base.trace_sample_k > 0. Replication order (not completion order), so
   /// the buffer is bit-identical regardless of thread count.
   obs::TraceBuffer traces;
+  /// Per-epoch timelines merged in replication order, with each epoch's
+  /// `replication` field set to its replication index. Disabled/empty
+  /// unless base.timeline_epoch > 0; bit-identical regardless of thread
+  /// count for the same reason as `traces`.
+  obs::Timeline timeline;
   MetricSummary mean_latency_ms;
   MetricSummary origin_load;
   MetricSummary local_fraction;

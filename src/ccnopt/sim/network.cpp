@@ -610,4 +610,17 @@ const cache::PartitionedStore& CcnNetwork::store(topology::NodeId id) const {
   return *stores_[id];
 }
 
+CcnNetwork::CacheTotals CcnNetwork::cache_totals() const {
+  CacheTotals totals;
+  for (std::size_t id = 0; id < stores_.size(); ++id) {
+    const cache::PartitionedStore& partitioned = *stores_[id];
+    const cache::CacheStats& local_stats = partitioned.local().stats();
+    totals.evictions += local_stats.evictions;
+    totals.insertions += local_stats.insertions;
+    totals.occupancy += partitioned.size();
+    totals.capacity += capacity_of(static_cast<topology::NodeId>(id));
+  }
+  return totals;
+}
+
 }  // namespace ccnopt::sim

@@ -134,6 +134,20 @@ class CcnNetwork {
   /// Store of one router; precondition: id < router_count().
   const cache::PartitionedStore& store(topology::NodeId id) const;
 
+  /// Aggregate cache state over every router's store: summed local-partition
+  /// eviction/insertion counters (the coordinated partitions never evict —
+  /// they change only at provision epochs) plus current total occupancy and
+  /// capacity, coordinated contents included. O(router_count); read by the
+  /// timeline epoch recorder at every epoch boundary, and a pure function of
+  /// the request history, so timeline rows stay thread-count invariant.
+  struct CacheTotals {
+    std::uint64_t evictions = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t occupancy = 0;
+    std::uint64_t capacity = 0;
+  };
+  CacheTotals cache_totals() const;
+
   std::size_t capacity_of(topology::NodeId id) const;
   std::size_t provisioned_x() const { return provisioned_x_; }
 

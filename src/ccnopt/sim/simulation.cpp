@@ -1,5 +1,6 @@
 #include "ccnopt/sim/simulation.hpp"
 
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -50,7 +51,125 @@ struct RunMetricHandles {
   }
 };
 
+// Accumulates one timeline row per `epoch_requests` emitted requests.
+// Fed exclusively from run-local state (per-epoch tallies plus the run's
+// own CcnNetwork counters) — never from the process-global obs::metrics()
+// registry, which parallel replications share and mutate concurrently.
+// Both request engines call on_request()/on_aggregated() once per emitted
+// request in emission order, so rows are identical whichever engine ran.
+class EpochRecorder {
+ public:
+  EpochRecorder(obs::Timeline* timeline, const CcnNetwork* network)
+      : timeline_(timeline),
+        network_(network),
+        epoch_requests_(timeline->epoch_requests()) {}
+
+  /// One request whose serve outcome is known at emission.
+  void on_request(const ServeResult& result) {
+    ++requests_;
+    ++tier_counts_[static_cast<std::size_t>(result.tier)];
+    latency_ms_sum_ += result.latency_ms;
+    hops_sum_ += static_cast<double>(result.hops);
+    tier_latency_ms_sum_[static_cast<std::size_t>(result.tier)] +=
+        result.latency_ms;
+    maybe_flush();
+  }
+
+  /// One request that joined an in-flight fetch (interest aggregation):
+  /// counted in the `requests` and `aggregated` columns at emission; its
+  /// tier/latency resolve at the completion event and are not re-binned.
+  void on_aggregated() {
+    ++requests_;
+    ++aggregated_;
+    maybe_flush();
+  }
+
+  /// Emits the final partial epoch, if any requests are pending in it.
+  void finish() {
+    if (requests_ > 0) flush();
+  }
+
+ private:
+  void maybe_flush() {
+    ++emitted_;
+    if (emitted_ % epoch_requests_ == 0) flush();
+  }
+
+  void flush() {
+    const CcnNetwork::CacheTotals totals = network_->cache_totals();
+    const std::uint64_t traversals = network_->total_link_traversals();
+    std::vector<double> values;
+    values.reserve(15);
+    values.push_back(static_cast<double>(requests_));
+    values.push_back(static_cast<double>(tier_counts_[0]));
+    values.push_back(static_cast<double>(tier_counts_[1]));
+    values.push_back(static_cast<double>(tier_counts_[2]));
+    values.push_back(static_cast<double>(aggregated_));
+    values.push_back(latency_ms_sum_);
+    values.push_back(hops_sum_);
+    values.push_back(tier_latency_ms_sum_[0]);
+    values.push_back(tier_latency_ms_sum_[1]);
+    values.push_back(tier_latency_ms_sum_[2]);
+    values.push_back(static_cast<double>(totals.evictions - prev_evictions_));
+    values.push_back(
+        static_cast<double>(totals.insertions - prev_insertions_));
+    values.push_back(static_cast<double>(totals.occupancy));
+    values.push_back(static_cast<double>(traversals - prev_traversals_));
+    values.push_back(static_cast<double>(network_->max_link_load()));
+    timeline_->push_epoch(emitted_ - requests_, emitted_ - 1,
+                          std::move(values));
+    prev_evictions_ = totals.evictions;
+    prev_insertions_ = totals.insertions;
+    prev_traversals_ = traversals;
+    requests_ = 0;
+    aggregated_ = 0;
+    latency_ms_sum_ = 0.0;
+    hops_sum_ = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      tier_counts_[i] = 0;
+      tier_latency_ms_sum_[i] = 0.0;
+    }
+  }
+
+  obs::Timeline* timeline_;
+  const CcnNetwork* network_;
+  std::uint64_t epoch_requests_;
+  std::uint64_t emitted_ = 0;
+  // Current-epoch tallies, cleared at every flush.
+  std::uint64_t requests_ = 0;
+  std::uint64_t aggregated_ = 0;
+  std::uint64_t tier_counts_[3] = {0, 0, 0};
+  double latency_ms_sum_ = 0.0;
+  double hops_sum_ = 0.0;
+  double tier_latency_ms_sum_[3] = {0.0, 0.0, 0.0};
+  // Cumulative network counters at the previous epoch boundary, for deltas.
+  std::uint64_t prev_evictions_ = 0;
+  std::uint64_t prev_insertions_ = 0;
+  std::uint64_t prev_traversals_ = 0;
+};
+
 }  // namespace
+
+const std::vector<std::string>& timeline_columns() {
+  static const std::vector<std::string> columns = {
+      "requests",
+      "local",
+      "network",
+      "origin",
+      "aggregated",
+      "latency_ms_sum",
+      "hops_sum",
+      "local_latency_ms_sum",
+      "network_latency_ms_sum",
+      "origin_latency_ms_sum",
+      "evictions",
+      "insertions",
+      "occupancy",
+      "link_traversals",
+      "max_link_load",
+  };
+  return columns;
+}
 
 Simulation::Simulation(topology::Graph graph, SimConfig config)
     : config_(std::move(config)) {
@@ -70,6 +189,9 @@ SimReport Simulation::run() {
   CCNOPT_EXPECTS(config_.arrival_rate_per_router > 0.0);
   const obs::ScopedSpan run_span("sim.run");
   trace_.clear();
+  timeline_ = config_.timeline_epoch > 0
+                  ? obs::Timeline(config_.timeline_epoch, timeline_columns())
+                  : obs::Timeline();
   const obs::TraceSampler sampler(derive_seed(config_.seed, kTraceSeedIndex),
                                   config_.trace_sample_k);
   std::uint64_t messages = 0;
@@ -96,6 +218,11 @@ SimReport Simulation::run() {
   for (std::size_t i = 0; i < network_->router_count(); ++i) {
     clocks.emplace_back(derive_seed(config_.seed, i));
   }
+
+  // Per-epoch telemetry (timeline_epoch > 0): one recorder call per emitted
+  // request, in emission order, from both engines.
+  std::optional<EpochRecorder> recorder;
+  if (timeline_.enabled()) recorder.emplace(&timeline_, network_.get());
 
   // Records one sampled request; the decision is pure in (seed, index).
   const auto maybe_trace = [&](std::uint64_t index, std::size_t router,
@@ -179,8 +306,19 @@ SimReport Simulation::run() {
       // Generation pass: resolve the next block of (router, content) pairs
       // by replaying the queue's exact pop order.
       block.clear();
-      const std::uint64_t want = std::min<std::uint64_t>(
+      std::uint64_t want = std::min<std::uint64_t>(
           config_.batch_size, total_requests - emitted);
+      if (recorder) {
+        // Align block ends to timeline epoch boundaries so the recorder's
+        // end-of-epoch network-state snapshot (evictions, occupancy, link
+        // counters) sees exactly the requests of the epoch — the same state
+        // the event loop observes at that boundary. Truncating a block
+        // never changes the merge order, so the request streams (and thus
+        // every other output) stay bit-identical to full-size blocks.
+        const std::uint64_t to_boundary =
+            config_.timeline_epoch - (emitted % config_.timeline_epoch);
+        want = std::min(want, to_boundary);
+      }
       for (std::uint64_t i = 0; i < want; ++i) {
         const NextArrival top = heap.top();
         heap.pop();
@@ -207,6 +345,7 @@ SimReport Simulation::run() {
       // order the event loop records in, so RunningStats accumulation is
       // bit-identical).
       for (std::size_t i = 0; i < block.size(); ++i) {
+        if (recorder) recorder->on_request(results[i]);
         if (block[i].index < config_.warmup_requests) continue;
         metrics.record(results[i].tier, results[i].latency_ms,
                        results[i].hops);
@@ -215,6 +354,7 @@ SimReport Simulation::run() {
       }
     }
     CCNOPT_ENSURES(emitted == total_requests);
+    if (recorder) recorder->finish();
     SimReport report = make_report(metrics);
     report.aggregated_requests = 0;
     report.upstream_fetches = upstream;
@@ -248,6 +388,7 @@ SimReport Simulation::run() {
       const ServeResult result =
           network_->serve(static_cast<topology::NodeId>(router), content);
       if (result.tier != ServeTier::kLocal) ++upstream;
+      if (recorder) recorder->on_request(result);
       if (measured) {
         metrics.record(result.tier, result.latency_ms, result.hops);
         maybe_trace(request_index, router, content, result);
@@ -257,10 +398,12 @@ SimReport Simulation::run() {
       const auto it = pit.find(key);
       if (it != pit.end()) {
         ++aggregated;
+        if (recorder) recorder->on_aggregated();
         it->second.joiners.emplace_back(queue.now(), measured);
       } else {
         const ServeResult result =
             network_->serve(static_cast<topology::NodeId>(router), content);
+        if (recorder) recorder->on_request(result);
         if (result.tier == ServeTier::kLocal) {
           if (measured) {
             metrics.record(result.tier, result.latency_ms, result.hops);
@@ -309,6 +452,7 @@ SimReport Simulation::run() {
   queue.run();
   CCNOPT_ENSURES(emitted == total_requests);
   CCNOPT_ENSURES(pit.empty());
+  if (recorder) recorder->finish();
   SimReport report = make_report(metrics);
   report.aggregated_requests = aggregated;
   report.upstream_fetches = upstream;

@@ -4,7 +4,10 @@
 #pragma once
 
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "ccnopt/obs/timeline.hpp"
 #include "ccnopt/obs/trace.hpp"
 #include "ccnopt/sim/event.hpp"
 #include "ccnopt/sim/network.hpp"
@@ -45,6 +48,14 @@ struct SimConfig {
   /// rejection-inversion sampler at web-scale catalogs.
   popularity::SamplerKind sampler_kind = popularity::SamplerKind::kAuto;
   std::uint64_t seed = 42;
+  /// Time-resolved telemetry: when > 0, the run accumulates an
+  /// obs::Timeline with one row per `timeline_epoch` emitted requests
+  /// (warmup included, so convergence is visible). Epoch boundaries are
+  /// request indices — never wall clock — and every column is a pure
+  /// function of seeds and inputs, so the timeline is byte-identical for
+  /// any thread count. See timeline_columns() for the column roster.
+  /// 0 disables timeline accumulation.
+  std::uint64_t timeline_epoch = 0;
   /// Deterministic request tracing: every k-th request (1-in-k sampling
   /// keyed off the run seed) is recorded into traces(). 0 disables
   /// tracing; 1 traces every measured request. The sampled set is a pure
@@ -75,11 +86,26 @@ class Simulation {
   /// trace_sample_k == 0), in request emission order.
   const obs::TraceBuffer& traces() const { return trace_; }
 
+  /// Per-epoch telemetry of the last run() (disabled/empty when
+  /// timeline_epoch == 0), in epoch order. Covers warmup + measured
+  /// requests; byte-identical for any thread count.
+  const obs::Timeline& timeline() const { return timeline_; }
+
  private:
   SimConfig config_;
   std::unique_ptr<CcnNetwork> network_;
   std::unique_ptr<Workload> workload_;
   obs::TraceBuffer trace_;
+  obs::Timeline timeline_;
 };
+
+/// The fixed column roster of simulation timelines, in column order:
+/// requests, local, network, origin, aggregated, latency_ms_sum, hops_sum,
+/// local_latency_ms_sum, network_latency_ms_sum, origin_latency_ms_sum,
+/// evictions, insertions, occupancy, link_traversals, max_link_load.
+/// All columns are per-epoch deltas except `occupancy` and `max_link_load`,
+/// which are end-of-epoch gauges. Link columns are 0 when
+/// NetworkConfig::track_link_load is off.
+const std::vector<std::string>& timeline_columns();
 
 }  // namespace ccnopt::sim

@@ -1,0 +1,101 @@
+#include "ccnopt/sim/steady_state.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "ccnopt/common/assert.hpp"
+
+namespace ccnopt::sim {
+namespace {
+
+double safe_div(double numerator, double denominator) {
+  return denominator == 0.0 ? 0.0 : numerator / denominator;
+}
+
+}  // namespace
+
+SimReport report_from_timeline(const obs::Timeline& timeline,
+                               std::size_t from_epoch,
+                               std::uint64_t coordination_messages) {
+  const auto column = [&timeline](const char* name) {
+    const std::size_t index = timeline.column_index(name);
+    CCNOPT_EXPECTS(index != obs::Timeline::npos);
+    return index;
+  };
+  const double local = timeline.column_sum(column("local"), from_epoch);
+  const double network = timeline.column_sum(column("network"), from_epoch);
+  const double origin = timeline.column_sum(column("origin"), from_epoch);
+  const double served = local + network + origin;
+
+  SimReport report;
+  report.total_requests = static_cast<std::uint64_t>(served);
+  report.aggregated_requests = static_cast<std::uint64_t>(
+      timeline.column_sum(column("aggregated"), from_epoch));
+  report.upstream_fetches = static_cast<std::uint64_t>(network + origin);
+  report.local_fraction = safe_div(local, served);
+  report.network_fraction = safe_div(network, served);
+  report.origin_load = safe_div(origin, served);
+  report.mean_latency_ms =
+      safe_div(timeline.column_sum(column("latency_ms_sum"), from_epoch),
+               served);
+  report.mean_hops =
+      safe_div(timeline.column_sum(column("hops_sum"), from_epoch), served);
+  report.mean_local_latency_ms = safe_div(
+      timeline.column_sum(column("local_latency_ms_sum"), from_epoch), local);
+  report.mean_network_latency_ms = safe_div(
+      timeline.column_sum(column("network_latency_ms_sum"), from_epoch),
+      network);
+  report.mean_origin_latency_ms = safe_div(
+      timeline.column_sum(column("origin_latency_ms_sum"), from_epoch),
+      origin);
+  report.coordination_messages = coordination_messages;
+  return report;
+}
+
+SteadyStateRun run_to_steady_state(topology::Graph graph, SimConfig config,
+                                   const obs::SteadyStateOptions& options) {
+  // The detector decides the warmup: fold any configured warmup into one
+  // measured budget and let every request produce timeline rows.
+  config.measured_requests += config.warmup_requests;
+  config.warmup_requests = 0;
+  CCNOPT_EXPECTS(config.measured_requests > 0);
+  if (config.timeline_epoch == 0) {
+    config.timeline_epoch = std::max<std::uint64_t>(
+        config.measured_requests / 64, 1);
+  }
+
+  Simulation simulation(std::move(graph), std::move(config));
+  const SimReport full = simulation.run();
+  const obs::Timeline& timeline = simulation.timeline();
+
+  SteadyStateRun result;
+  result.full_report = full;
+  result.timeline = timeline;
+
+  // Convergence of the per-epoch origin load (the paper's headline
+  // steady-state metric; caches filling up show as a falling series).
+  const std::size_t origin_col = timeline.column_index("origin");
+  const std::size_t requests_col = timeline.column_index("requests");
+  CCNOPT_EXPECTS(origin_col != obs::Timeline::npos);
+  CCNOPT_EXPECTS(requests_col != obs::Timeline::npos);
+  std::vector<double> origin_load;
+  origin_load.reserve(timeline.epochs().size());
+  for (const obs::TimelineEpoch& row : timeline.epochs()) {
+    origin_load.push_back(
+        safe_div(row.values[origin_col], row.values[requests_col]));
+  }
+  result.steady = obs::detect_steady_state(origin_load, options);
+  result.measured_from_epoch =
+      result.steady.converged ? result.steady.epoch : origin_load.size() / 2;
+
+  for (const obs::TimelineEpoch& row : timeline.epochs()) {
+    if (row.epoch >= result.measured_from_epoch) break;
+    result.steady_state_requests +=
+        static_cast<std::uint64_t>(row.values[requests_col]);
+  }
+  result.report = report_from_timeline(timeline, result.measured_from_epoch,
+                                       full.coordination_messages);
+  return result;
+}
+
+}  // namespace ccnopt::sim

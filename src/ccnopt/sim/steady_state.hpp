@@ -1,0 +1,56 @@
+// Detected-convergence simulation runs: instead of guessing a hard-coded
+// warmup_requests, run the whole request budget with a timeline enabled,
+// find the first epoch where the per-epoch origin load stabilizes
+// (obs::detect_steady_state), and rebuild the report from the
+// post-convergence epochs only. Used by the benches and the strategy arena
+// so "steady state" is measured, not asserted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ccnopt/obs/timeline.hpp"
+#include "ccnopt/sim/simulation.hpp"
+
+namespace ccnopt::sim {
+
+/// Rebuilds a SimReport from the epoch sums of `timeline` restricted to
+/// epochs >= from_epoch (all replications): tier counts and fractions,
+/// mean/per-tier latencies, mean hops, aggregated requests and upstream
+/// fetches all come from the timeline columns; coordination_messages is
+/// passed through (the timeline does not track it). Requires a timeline
+/// with the sim::timeline_columns() roster.
+SimReport report_from_timeline(const obs::Timeline& timeline,
+                               std::size_t from_epoch,
+                               std::uint64_t coordination_messages = 0);
+
+struct SteadyStateRun {
+  /// Report over the post-convergence epochs only (the detected measured
+  /// phase). Falls back to the second half of the run when the detector
+  /// does not converge.
+  SimReport report;
+  /// Report over every epoch (the whole request budget), for comparison.
+  SimReport full_report;
+  /// The detector's verdict on the per-epoch origin-load series.
+  obs::SteadyStateResult steady;
+  /// First epoch index of the measured phase actually used for `report`
+  /// (steady.epoch when converged, half the epochs otherwise).
+  std::size_t measured_from_epoch = 0;
+  /// Requests discarded as warmup (those before measured_from_epoch) — the
+  /// detected replacement for a hard-coded warmup_requests.
+  std::uint64_t steady_state_requests = 0;
+  /// The full run timeline (epoch size = the config's timeline_epoch).
+  obs::Timeline timeline;
+};
+
+/// Runs `config`'s whole request budget (warmup_requests is folded into the
+/// measured budget and zeroed — the detector decides what warmup was) with
+/// a timeline of `config.timeline_epoch` requests per epoch (defaulted to
+/// total/64, min 1, when 0), then detects convergence of the per-epoch
+/// origin load and rebuilds the steady-state report. Deterministic: every
+/// field of the result is a pure function of (graph, config, options).
+SteadyStateRun run_to_steady_state(
+    topology::Graph graph, SimConfig config,
+    const obs::SteadyStateOptions& options = {});
+
+}  // namespace ccnopt::sim

@@ -2,6 +2,7 @@
 // as a real process (path injected by CMake) and its stdout inspected.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <fstream>
@@ -234,6 +235,83 @@ TEST(Cli, TraceOutJsonOnSingleRun) {
   const std::string json = slurp_file(path);
   EXPECT_NE(json.find("ccnopt-trace-v1"), std::string::npos);
   std::remove(path.c_str());
+}
+
+TEST(Cli, TimelineOutIsByteIdenticalAcrossThreadCounts) {
+  const std::string one_path = testing::TempDir() + "ccnopt_timeline_t1.json";
+  const std::string eight_path =
+      testing::TempDir() + "ccnopt_timeline_t8.json";
+  const std::string base =
+      "simulate --topology=geant --x=20 --requests=4000 --catalog=2000 "
+      "--c=50 --replications=4 --seed=7 --timeline-epoch=500";
+  const RunResult one =
+      run_cli(base + " --threads=1 --timeline-out=" + one_path);
+  const RunResult eight =
+      run_cli(base + " --threads=8 --timeline-out=" + eight_path);
+  EXPECT_EQ(one.exit_code, 0) << one.output;
+  EXPECT_EQ(eight.exit_code, 0) << eight.output;
+  const std::string one_json = slurp_file(one_path);
+  ASSERT_FALSE(one_json.empty());
+  EXPECT_NE(one_json.find("ccnopt-timeline-v1"), std::string::npos);
+  EXPECT_NE(one_json.find("\"epoch_requests\": 500"), std::string::npos);
+  EXPECT_NE(one_json.find("\"origin\""), std::string::npos);
+  EXPECT_EQ(one_json, slurp_file(eight_path));
+  std::remove(one_path.c_str());
+  std::remove(eight_path.c_str());
+}
+
+TEST(Cli, TimelineOutCsvOnSingleRun) {
+  const std::string path = testing::TempDir() + "ccnopt_timeline.csv";
+  const RunResult result = run_cli(
+      "simulate --topology=abilene --x=20 --requests=3000 --catalog=2000 "
+      "--c=50 --timeline-epoch=999 --timeline-out=" +
+      path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("timeline written to"), std::string::npos);
+  const std::string csv = slurp_file(path);
+  EXPECT_EQ(csv.rfind("replication,epoch,first_request,last_request,"
+                      "requests,local,network,origin,aggregated,",
+                      0),
+            0u);
+  // 3000 requests at 999 per epoch: three full epochs plus the final
+  // partial one.
+  EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')), 5);
+}
+
+TEST(Cli, TimelineEpochMustBePositive) {
+  const RunResult result = run_cli(
+      "simulate --topology=abilene --requests=1000 --timeline-epoch=0 "
+      "--timeline-out=/tmp/ccnopt_timeline_invalid.json");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("--timeline-epoch"), std::string::npos);
+}
+
+TEST(Cli, PerfettoOutWritesTraceEvents) {
+  const std::string path = testing::TempDir() + "ccnopt_perfetto.json";
+  const RunResult result = run_cli(
+      "simulate --topology=abilene --x=20 --requests=3000 --catalog=2000 "
+      "--c=50 --replications=2 --threads=2 --perfetto-out=" +
+      path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  const std::string json = slurp_file(path);
+  EXPECT_NE(json.find("ccnopt-spans-v1"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("sim.run"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ProfileOutAlsoEmitsPerfettoSidecar) {
+  const std::string path = testing::TempDir() + "ccnopt_profile_side.json";
+  const std::string sidecar = path + ".perfetto.json";
+  const RunResult result = run_cli(
+      "simulate --topology=abilene --x=20 --requests=3000 --catalog=2000 "
+      "--c=50 --profile-out=" +
+      path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  const std::string json = slurp_file(sidecar);
+  EXPECT_NE(json.find("ccnopt-spans-v1"), std::string::npos);
+  std::remove(path.c_str());
+  std::remove(sidecar.c_str());
 }
 
 TEST(Cli, SweepMetricsOutIncludesOptimizerCounters) {

@@ -117,5 +117,33 @@ TEST(ObsExport, SpansJsonShape) {
   EXPECT_NE(out.str().find("\"cpu_ms\": 1.5"), std::string::npos);
 }
 
+TEST(ObsExport, TraceEventsJsonIsPerfettoShaped) {
+  std::vector<SpanEvent> events;
+  events.push_back(SpanEvent{"run/phase", 3, 2'000, 5'000'000});
+  std::ostringstream out;
+  write_trace_events_json(out, events, 7);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"schema\": \"ccnopt-spans-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\": 7"), std::string::npos);
+  // The complete event: last path segment as name, full path in args,
+  // microsecond timestamps, the shard index as tid.
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"path\": \"run/phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 5000"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 3"), std::string::npos);
+  // Plus the process-name metadata event.
+  EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);
+}
+
+TEST(ObsExport, TraceEventsJsonHandlesEmptyEventList) {
+  std::ostringstream out;
+  write_trace_events_json(out, {});
+  EXPECT_NE(out.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"dropped_events\": 0"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ccnopt::obs

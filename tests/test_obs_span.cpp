@@ -90,5 +90,57 @@ TEST(ObsSpanDeathTest, LabelMustNotContainSlash) {
   EXPECT_DEATH(ScopedSpan span("a/b"), "precondition");
 }
 
+TEST(ObsSpanEvents, RecordingIsOffByDefault) {
+  SpanProfiler::instance().reset();
+  SpanProfiler::instance().set_event_recording(false);
+  { const ScopedSpan span("silent"); }
+  EXPECT_TRUE(SpanProfiler::instance().events().empty());
+  EXPECT_EQ(SpanProfiler::instance().dropped_events(), 0u);
+}
+
+TEST(ObsSpanEvents, EnabledRecordingCapturesFullPathsInOrder) {
+  SpanProfiler::instance().reset();
+  SpanProfiler::instance().set_event_recording(true);
+  {
+    const ScopedSpan outer("outer");
+    { const ScopedSpan inner("inner"); }
+  }
+  SpanProfiler::instance().set_event_recording(false);
+  const std::vector<SpanEvent> events = SpanProfiler::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  // The inner span closes first but the sort is by start time: outer first.
+  EXPECT_EQ(events[0].path, "outer");
+  EXPECT_EQ(events[1].path, "outer/inner");
+  EXPECT_LE(events[0].ts_ns, events[1].ts_ns);
+  for (const SpanEvent& event : events) {
+    EXPECT_GE(event.ts_ns, 0);
+    EXPECT_GE(event.dur_ns, 0);
+  }
+  // The nested span is contained in its parent's interval.
+  EXPECT_LE(events[1].ts_ns + events[1].dur_ns,
+            events[0].ts_ns + events[0].dur_ns);
+}
+
+TEST(ObsSpanEvents, ResetDropsRecordedEvents) {
+  SpanProfiler::instance().reset();
+  SpanProfiler::instance().set_event_recording(true);
+  { const ScopedSpan span("gone"); }
+  SpanProfiler::instance().reset();
+  SpanProfiler::instance().set_event_recording(false);
+  EXPECT_TRUE(SpanProfiler::instance().events().empty());
+}
+
+TEST(ObsSpanEvents, WorkerThreadEventsCarryDistinctShardIds) {
+  SpanProfiler::instance().reset();
+  SpanProfiler::instance().set_event_recording(true);
+  { const ScopedSpan span("main_phase"); }
+  std::thread worker([] { const ScopedSpan span("worker_phase"); });
+  worker.join();
+  SpanProfiler::instance().set_event_recording(false);
+  const std::vector<SpanEvent> events = SpanProfiler::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
 }  // namespace
 }  // namespace ccnopt::obs

@@ -1,0 +1,160 @@
+#include "ccnopt/obs/timeline.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ccnopt::obs {
+namespace {
+
+Timeline make_timeline() {
+  return Timeline(10, {"requests", "hits"});
+}
+
+TEST(ObsTimeline, DefaultConstructedIsDisabledAndEmpty) {
+  const Timeline timeline;
+  EXPECT_FALSE(timeline.enabled());
+  EXPECT_TRUE(timeline.empty());
+  EXPECT_EQ(timeline.column_index("anything"), Timeline::npos);
+}
+
+TEST(ObsTimeline, ColumnIndexResolvesNames) {
+  const Timeline timeline = make_timeline();
+  EXPECT_TRUE(timeline.enabled());
+  EXPECT_EQ(timeline.column_index("requests"), 0u);
+  EXPECT_EQ(timeline.column_index("hits"), 1u);
+  EXPECT_EQ(timeline.column_index("absent"), Timeline::npos);
+}
+
+TEST(ObsTimeline, PushEpochAccumulatesContiguousRows) {
+  Timeline timeline = make_timeline();
+  timeline.push_epoch(0, 9, {10.0, 3.0});
+  timeline.push_epoch(10, 19, {10.0, 5.0});
+  ASSERT_EQ(timeline.epochs().size(), 2u);
+  EXPECT_EQ(timeline.epochs()[0].epoch, 0u);
+  EXPECT_EQ(timeline.epochs()[1].epoch, 1u);
+  EXPECT_EQ(timeline.epochs()[1].first_request, 10u);
+  EXPECT_EQ(timeline.epochs()[1].replication, 0u);
+  EXPECT_DOUBLE_EQ(timeline.column_sum(1), 8.0);
+  EXPECT_DOUBLE_EQ(timeline.column_sum(1, 1), 5.0);
+  const std::vector<double> hits = timeline.series(1);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_DOUBLE_EQ(hits[0], 3.0);
+  EXPECT_DOUBLE_EQ(hits[1], 5.0);
+}
+
+TEST(ObsTimeline, AppendStampsReplicationAndRestartsEpochs) {
+  Timeline merged = make_timeline();
+  Timeline rep = make_timeline();
+  rep.push_epoch(0, 9, {10.0, 1.0});
+  rep.push_epoch(10, 19, {10.0, 2.0});
+  merged.append(rep, 0);
+  merged.append(rep, 1);
+  ASSERT_EQ(merged.epochs().size(), 4u);
+  EXPECT_EQ(merged.epochs()[2].replication, 1u);
+  EXPECT_EQ(merged.epochs()[2].epoch, 0u);
+  // column_sum with from_epoch skips that prefix in EVERY replication.
+  EXPECT_DOUBLE_EQ(merged.column_sum(1), 6.0);
+  EXPECT_DOUBLE_EQ(merged.column_sum(1, 1), 4.0);
+}
+
+TEST(ObsTimeline, DetectorFindsFirstStableWindow) {
+  // Converging series: big moves for 6 epochs, then flat at 100.
+  std::vector<double> series{10, 30, 50, 70, 85, 95};
+  for (int i = 0; i < 10; ++i) series.push_back(100.0);
+  const SteadyStateResult result = detect_steady_state(series);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.epoch, 6u);
+}
+
+TEST(ObsTimeline, DetectorToleratesRelativeJitterWithinBand) {
+  // +-0.5% around 200 is inside the default 2% band.
+  std::vector<double> series;
+  for (int i = 0; i < 12; ++i) {
+    series.push_back(200.0 + ((i % 2 == 0) ? 1.0 : -1.0));
+  }
+  const SteadyStateResult result = detect_steady_state(series);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.epoch, 0u);
+}
+
+TEST(ObsTimeline, DetectorRejectsOscillatingSeries) {
+  // 50% swings never fit in a 2% band.
+  std::vector<double> series;
+  for (int i = 0; i < 32; ++i) {
+    series.push_back((i % 2 == 0) ? 100.0 : 50.0);
+  }
+  const SteadyStateResult result = detect_steady_state(series);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.epoch, 0u);
+}
+
+TEST(ObsTimeline, DetectorNeedsAFullWindow) {
+  const std::vector<double> series{1.0, 1.0, 1.0};  // shorter than window=8
+  EXPECT_FALSE(detect_steady_state(series).converged);
+  SteadyStateOptions options;
+  options.window = 3;
+  EXPECT_TRUE(detect_steady_state(series, options).converged);
+}
+
+TEST(ObsTimeline, DetectorTreatsAllZeroSeriesAsConverged) {
+  const std::vector<double> series(10, 0.0);
+  const SteadyStateResult result = detect_steady_state(series);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.epoch, 0u);
+}
+
+TEST(ObsTimeline, DetectorSkipsWindowsWithNonFiniteValues) {
+  std::vector<double> series(16, 5.0);
+  series[3] = std::numeric_limits<double>::quiet_NaN();
+  const SteadyStateResult result = detect_steady_state(series);
+  EXPECT_TRUE(result.converged);
+  // The first window free of the NaN starts right after it.
+  EXPECT_EQ(result.epoch, 4u);
+}
+
+TEST(ObsTimeline, JsonExportIsDeterministicAndTagged) {
+  Timeline timeline = make_timeline();
+  timeline.push_epoch(0, 9, {10.0, 2.5});
+  std::ostringstream first, second;
+  write_timeline_json(first, timeline);
+  write_timeline_json(second, timeline);
+  EXPECT_EQ(first.str(), second.str());
+  EXPECT_NE(first.str().find("\"schema\": \"ccnopt-timeline-v1\""),
+            std::string::npos);
+  EXPECT_NE(first.str().find("\"epoch_requests\": 10"), std::string::npos);
+  EXPECT_NE(first.str().find("\"requests\""), std::string::npos);
+}
+
+TEST(ObsTimeline, CsvExportHasHeaderAndOneRowPerEpoch) {
+  Timeline timeline = make_timeline();
+  timeline.push_epoch(0, 9, {10.0, 2.0});
+  timeline.push_epoch(10, 19, {10.0, 4.0});
+  std::ostringstream out;
+  write_timeline_csv(out, timeline);
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "replication,epoch,first_request,last_request,requests,hits");
+  std::size_t rows = 0;
+  while (std::getline(lines, line)) ++rows;
+  EXPECT_EQ(rows, 2u);
+}
+
+TEST(ObsTimelineDeathTest, NonContiguousEpochIsAPreconditionViolation) {
+  Timeline timeline = make_timeline();
+  timeline.push_epoch(0, 9, {10.0, 1.0});
+  EXPECT_DEATH(timeline.push_epoch(11, 20, {10.0, 1.0}), "precondition");
+}
+
+TEST(ObsTimelineDeathTest, WrongValueCountIsAPreconditionViolation) {
+  Timeline timeline = make_timeline();
+  EXPECT_DEATH(timeline.push_epoch(0, 9, {1.0}), "precondition");
+}
+
+}  // namespace
+}  // namespace ccnopt::obs

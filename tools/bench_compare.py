@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""Gate BENCH_*.json records against committed baselines.
+
+Each baseline in ``bench/baselines/*.json`` (schema
+``ccnopt-bench-baseline-v1``) names one bench record and a set of per-metric
+checks against dotted paths into it:
+
+  {
+    "schema": "ccnopt-bench-baseline-v1",
+    "bench": "throughput_serve",
+    "command": "bench_throughput_serve 500000 20000 200",
+    "record": "BENCH_throughput_serve.json",
+    "checks": {
+      "outputs.local_hits":        {"equals": 69714},
+      "outputs.requests_per_sec":  {"min": 2.0e6},
+      "outputs.peak_rss_bytes":    {"max": 134217728}
+    }
+  }
+
+Check kinds:
+  equals  -- exact match; for numbers an optional "rel_tol" widens it to a
+             relative band (|got - want| <= rel_tol * max(|want|, 1e-12))
+  min     -- numeric floor (conservative perf floors live here, so a gate
+             failure means a real regression, not machine noise)
+  max     -- numeric ceiling (peak RSS, element counts)
+
+All floors/ceilings are inclusive.  NaN never satisfies any check.
+
+Usage:
+  # Compare records already written into a directory:
+  python3 tools/bench_compare.py --out-dir /tmp/bench
+
+  # Run every baseline's command first (binaries resolved under --bin-dir),
+  # then compare -- this is what the ccnopt_bench_regression ctest does:
+  python3 tools/bench_compare.py --run-from-baselines \
+      --bin-dir build/bench --out-dir /tmp/bench
+
+Exit status is 0 when every check of every baseline passes, 1 otherwise.
+Only the Python standard library is used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import math
+import numbers
+import os
+import shlex
+import subprocess
+import sys
+
+BASELINE_SCHEMA = "ccnopt-bench-baseline-v1"
+RECORD_SCHEMA = "ccnopt-bench-v1"
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, numbers.Real) and not isinstance(value, bool)
+
+
+def load_json(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def resolve_path(record: object, dotted: str) -> object:
+    """Walk a dotted path ('outputs.requests_per_sec') into nested dicts.
+    Returns the sentinel _MISSING when any component is absent."""
+    node = record
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return _MISSING
+        node = node[part]
+    return node
+
+
+_MISSING = object()
+
+
+def check_value(dotted: str, spec: dict, got: object) -> list[str]:
+    """Evaluate one check spec against the resolved value; returns the list
+    of failure messages (empty = pass)."""
+    failures: list[str] = []
+    if got is _MISSING:
+        return [f"{dotted}: missing from record"]
+    if _is_number(got) and math.isnan(got):
+        return [f"{dotted}: value is NaN"]
+    known = {"equals", "min", "max", "rel_tol"}
+    for key in spec:
+        if key not in known:
+            failures.append(f"{dotted}: unknown check kind {key!r}")
+    if "equals" in spec:
+        want = spec["equals"]
+        rel_tol = spec.get("rel_tol", 0.0)
+        if _is_number(want) and _is_number(got):
+            band = rel_tol * max(abs(want), 1e-12)
+            if abs(got - want) > band:
+                failures.append(
+                    f"{dotted}: expected {want!r}"
+                    + (f" (rel_tol {rel_tol})" if rel_tol else "")
+                    + f", got {got!r}")
+        elif got != want:
+            failures.append(f"{dotted}: expected {want!r}, got {got!r}")
+    for kind, op in (("min", lambda g, b: g >= b),
+                     ("max", lambda g, b: g <= b)):
+        if kind not in spec:
+            continue
+        bound = spec[kind]
+        if not _is_number(got):
+            failures.append(
+                f"{dotted}: {kind} check needs a number, got {got!r}")
+        elif not op(got, bound):
+            failures.append(f"{dotted}: expected {kind} {bound!r}, "
+                            f"got {got!r}")
+    return failures
+
+
+def validate_baseline(baseline: dict, path: str) -> list[str]:
+    errors: list[str] = []
+    if baseline.get("schema") != BASELINE_SCHEMA:
+        errors.append(f"{path}: schema must be {BASELINE_SCHEMA!r}, got "
+                      f"{baseline.get('schema')!r}")
+    for key in ("bench", "command", "record"):
+        if not isinstance(baseline.get(key), str) or not baseline[key]:
+            errors.append(f"{path}: {key!r} must be a non-empty string")
+    checks = baseline.get("checks")
+    if not isinstance(checks, dict) or not checks:
+        errors.append(f"{path}: 'checks' must be a non-empty object")
+    else:
+        for dotted, spec in checks.items():
+            if not isinstance(spec, dict) or not (
+                    set(spec) & {"equals", "min", "max"}):
+                errors.append(f"{path}: checks[{dotted!r}] needs at least "
+                              f"one of equals/min/max")
+    return errors
+
+
+def compare_one(baseline: dict, out_dir: str) -> list[str]:
+    record_path = os.path.join(out_dir, baseline["record"])
+    try:
+        record = load_json(record_path)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{record_path}: unreadable or invalid JSON: {exc}"]
+    failures: list[str] = []
+    if record.get("schema") != RECORD_SCHEMA:
+        failures.append(f"{record_path}: schema must be {RECORD_SCHEMA!r}, "
+                        f"got {record.get('schema')!r}")
+    for dotted, spec in sorted(baseline["checks"].items()):
+        failures.extend(check_value(dotted, spec, resolve_path(record,
+                                                               dotted)))
+    return failures
+
+
+def run_command(baseline: dict, bin_dir: str, out_dir: str) -> int:
+    argv = shlex.split(baseline["command"])
+    if bin_dir and not os.path.isabs(argv[0]):
+        argv[0] = os.path.join(bin_dir, argv[0])
+    env = dict(os.environ, CCNOPT_BENCH_DIR=out_dir)
+    print(f"running {' '.join(argv)} ...", flush=True)
+    result = subprocess.run(argv, env=env, stdout=subprocess.DEVNULL)
+    if result.returncode != 0:
+        print(f"FAIL: {baseline['bench']}: command exited with "
+              f"{result.returncode}")
+    return result.returncode
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare BENCH_*.json records against committed "
+                    "baselines")
+    parser.add_argument("files", nargs="*",
+                        help="specific baseline files (default: every "
+                             "*.json under --baselines)")
+    parser.add_argument("--baselines",
+                        default=os.path.join(os.path.dirname(__file__),
+                                             os.pardir, "bench", "baselines"),
+                        help="directory of baseline files")
+    parser.add_argument("--out-dir", default=".",
+                        help="directory holding (or receiving) the bench "
+                             "records")
+    parser.add_argument("--run-from-baselines", action="store_true",
+                        help="execute each baseline's 'command' before "
+                             "comparing (CCNOPT_BENCH_DIR points at "
+                             "--out-dir)")
+    parser.add_argument("--bin-dir", default="",
+                        help="directory prepended to relative bench binary "
+                             "names in baseline commands")
+    args = parser.parse_args()
+
+    paths = args.files or sorted(
+        glob.glob(os.path.join(args.baselines, "*.json")))
+    if not paths:
+        print(f"FAIL: no baseline files found in {args.baselines!r}")
+        return 1
+
+    baselines = []
+    errors = 0
+    for path in paths:
+        try:
+            baseline = load_json(path)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"FAIL: {path}: unreadable or invalid JSON: {exc}")
+            errors += 1
+            continue
+        bad = validate_baseline(baseline, path)
+        if bad:
+            errors += 1
+            for message in bad:
+                print(f"FAIL: {message}")
+            continue
+        baselines.append(baseline)
+    if errors:
+        return 1
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    if args.run_from_baselines:
+        for baseline in baselines:
+            if run_command(baseline, args.bin_dir, args.out_dir) != 0:
+                errors += 1
+        if errors:
+            return 1
+
+    failed = 0
+    total_checks = 0
+    for baseline in baselines:
+        failures = compare_one(baseline, args.out_dir)
+        total_checks += len(baseline["checks"])
+        if failures:
+            failed += 1
+            print(f"FAIL: {baseline['bench']}")
+            for message in failures:
+                print(f"  - {message}")
+        else:
+            print(f"ok: {baseline['bench']} "
+                  f"({len(baseline['checks'])} checks)")
+    print(f"{len(baselines) - failed}/{len(baselines)} baselines pass "
+          f"({total_checks} checks)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

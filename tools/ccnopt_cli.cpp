@@ -24,6 +24,15 @@
 //   --trace-out=path     (simulate) sampled per-request trace; deterministic
 //   --trace-sample=K     trace 1-in-K measured requests (default 100 when
 //                        --trace-out is given; 1 = every measured request)
+//   --timeline-out=path  (simulate) per-epoch telemetry timeline
+//                        (ccnopt-timeline-v1; .csv → CSV, else JSON);
+//                        byte-identical across --threads values
+//   --timeline-epoch=E   requests per timeline epoch (default 5000 when
+//                        --timeline-out is given)
+//   --perfetto-out=path  span occurrences as Chrome trace events
+//                        (ccnopt-spans-v1; open in Perfetto / about:tracing);
+//                        also auto-emitted as <profile-out>.perfetto.json
+//                        whenever --profile-out is given
 //   ccnopt adaptive  [--topology=geant] [--epochs=6]
 //   ccnopt hetero    [--capacities=500x10,1500x10] [--alpha=1] [--gamma=5]
 //                    [--s=0.8] [--catalog=1e6]
@@ -98,7 +107,20 @@ int write_obs_export(const std::string& path, obs::ExportOptions options) {
   return 0;
 }
 
-/// --metrics-out / --profile-out, honoured after every subcommand.
+/// Writes the recorded span occurrences as a Perfetto-loadable trace.
+int write_perfetto_out(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return fail(Status(ErrorCode::kInvalidArgument, "cannot open " + path));
+  }
+  const obs::SpanProfiler& profiler = obs::SpanProfiler::instance();
+  obs::write_trace_events_json(out, profiler.events(),
+                               profiler.dropped_events());
+  return 0;
+}
+
+/// --metrics-out / --profile-out / --perfetto-out, honoured after every
+/// subcommand.
 int write_obs_outputs(const ArgParser& args) {
   if (args.has("metrics-out")) {
     obs::ExportOptions options;  // deterministic metrics registry only
@@ -112,6 +134,18 @@ int write_obs_outputs(const ArgParser& args) {
     options.include_perf = true;
     options.include_spans = true;
     if (int code = write_obs_export(args.get("profile-out", ""), options)) {
+      return code;
+    }
+  }
+  // A profile without a timeline view is half the story: every --profile-out
+  // also gets the Perfetto form, under an explicit path when given.
+  if (args.has("perfetto-out")) {
+    if (int code = write_perfetto_out(args.get("perfetto-out", ""))) {
+      return code;
+    }
+  } else if (args.has("profile-out")) {
+    if (int code = write_perfetto_out(args.get("profile-out", "") +
+                                      ".perfetto.json")) {
       return code;
     }
   }
@@ -130,6 +164,22 @@ int write_trace_out(const std::string& path, const obs::TraceBuffer& traces) {
   }
   std::cout << "trace written to " << path << " (" << traces.size()
             << " events)\n";
+  return 0;
+}
+
+int write_timeline_out(const std::string& path,
+                       const obs::Timeline& timeline) {
+  std::ofstream out(path);
+  if (!out) {
+    return fail(Status(ErrorCode::kInvalidArgument, "cannot open " + path));
+  }
+  if (wants_csv(path)) {
+    obs::write_timeline_csv(out, timeline);
+  } else {
+    obs::write_timeline_json(out, timeline);
+  }
+  std::cout << "timeline written to " << path << " ("
+            << timeline.epochs().size() << " epochs)\n";
   return 0;
 }
 
@@ -295,6 +345,17 @@ int cmd_simulate(const ArgParser& args) {
   }
   config.trace_sample_k = static_cast<std::uint64_t>(*trace_sample);
 
+  const bool want_timeline = args.has("timeline-out");
+  const std::string timeline_path = args.get("timeline-out", "");
+  const auto timeline_epoch =
+      args.get_int("timeline-epoch", want_timeline ? 5000 : 0);
+  if (!timeline_epoch) return fail(timeline_epoch.status());
+  if (*timeline_epoch < 0 || (want_timeline && *timeline_epoch < 1)) {
+    return fail(Status(ErrorCode::kInvalidArgument,
+                       "--timeline-epoch must be >= 1"));
+  }
+  config.timeline_epoch = static_cast<std::uint64_t>(*timeline_epoch);
+
   const std::string policy = args.get("policy", "static");
   if (policy == "static") {
     config.network.local_mode = sim::LocalStoreMode::kStaticTop;
@@ -354,7 +415,14 @@ int cmd_simulate(const ArgParser& args) {
     row("local_fraction", summary.local_fraction);
     row("mean_hops", summary.mean_hops);
     table.print(std::cout);
-    if (want_trace) return write_trace_out(trace_path, summary.traces);
+    if (want_trace) {
+      if (int trace_code = write_trace_out(trace_path, summary.traces)) {
+        return trace_code;
+      }
+    }
+    if (want_timeline) {
+      return write_timeline_out(timeline_path, summary.timeline);
+    }
     return 0;
   }
 
@@ -368,7 +436,14 @@ int cmd_simulate(const ArgParser& args) {
             << " d1^=" << format_double(report.mean_network_latency_ms, 2)
             << " d2^=" << format_double(report.mean_origin_latency_ms, 2)
             << " ms\n";
-  if (want_trace) return write_trace_out(trace_path, simulation.traces());
+  if (want_trace) {
+    if (int trace_code = write_trace_out(trace_path, simulation.traces())) {
+      return trace_code;
+    }
+  }
+  if (want_timeline) {
+    return write_timeline_out(timeline_path, simulation.timeline());
+  }
   return 0;
 }
 
@@ -545,6 +620,12 @@ int main(int argc, char** argv) {
   const ArgParser& args = *parsed;
   if (args.positional().empty()) return usage();
   const std::string command = args.positional().front();
+
+  // Perfetto export needs per-occurrence span events, which are off by
+  // default; turn recording on before any span opens.
+  if (args.has("perfetto-out") || args.has("profile-out")) {
+    obs::SpanProfiler::instance().set_event_recording(true);
+  }
 
   int code = 0;
   if (command == "optimize") {

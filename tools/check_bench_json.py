@@ -1,13 +1,18 @@
 #!/usr/bin/env python3
-"""Validate BENCH_*.json and ARENA_*.json records emitted by the benches.
+"""Validate the machine-readable records emitted by the benches and CLI.
 
 Every benchmark built on ``bench/bench_util.hpp`` writes a machine-readable
 record ``BENCH_<name>.json`` (schema ``ccnopt-bench-v1``) into the directory
 named by ``$CCNOPT_BENCH_DIR`` (default: the working directory).  The
 strategy arena (``bench_arena``) additionally writes ``ARENA_*.json``
 (schema ``ccnopt-arena-v1``): a strategies x topologies grid of comparison
-cells.  This script checks both against their schemas — dispatching on each
-record's ``schema`` field — so CI can catch silently-broken exports.
+cells.  ``ccnopt simulate --timeline-out`` writes per-epoch telemetry
+(schema ``ccnopt-timeline-v1``), and ``--perfetto-out`` writes a
+chrome://tracing span trace (schema ``ccnopt-spans-v1``).  This script
+checks all four against their schemas — dispatching on each record's
+``schema`` field — so CI can catch silently-broken exports.  Non-finite
+numbers (NaN/Infinity) are rejected everywhere: they are invalid JSON and
+poison any downstream comparison.
 
 Usage:
   # Validate already-written records in a directory:
@@ -38,6 +43,14 @@ import sys
 
 SCHEMA = "ccnopt-bench-v1"
 ARENA_SCHEMA = "ccnopt-arena-v1"
+TIMELINE_SCHEMA = "ccnopt-timeline-v1"
+SPANS_SCHEMA = "ccnopt-spans-v1"
+
+
+def _reject_constant(name: str) -> float:
+    """json.load hook: the writers must never emit NaN/Infinity (it is not
+    valid JSON), so any occurrence is a validation failure, not a value."""
+    raise ValueError(f"non-finite JSON constant {name!r}")
 
 
 def _is_number(value: object) -> bool:
@@ -157,6 +170,11 @@ def validate_arena_cell(cell: object, where: str, errors: list[str]) -> None:
         errors.append(f"{where}.routers: expected positive integer")
     if not _is_int(cell.get("total_requests")) or cell["total_requests"] < 0:
         errors.append(f"{where}.total_requests: expected non-negative int")
+    if not isinstance(cell.get("converged"), bool):
+        errors.append(f"{where}.converged: expected bool")
+    for key in ("steady_state_epoch", "steady_state_requests"):
+        if not _is_int(cell.get(key)) or cell[key] < 0:
+            errors.append(f"{where}.{key}: expected non-negative int")
     if (not _is_int(cell.get("coordination_messages"))
             or cell["coordination_messages"] < 0):
         errors.append(
@@ -200,6 +218,12 @@ def validate_arena_record(record: dict, errors: list[str]) -> None:
             errors.append("config['zipf_s']: expected number")
         if not isinstance(config.get("local_mode"), str):
             errors.append("config['local_mode']: expected string")
+        if not isinstance(config.get("detect_steady_state"), bool):
+            errors.append("config['detect_steady_state']: expected bool")
+        if (not _is_int(config.get("timeline_epoch"))
+                or config["timeline_epoch"] < 0):
+            errors.append(
+                "config['timeline_epoch']: expected non-negative integer")
     strategies = record.get("strategies")
     topologies = record.get("topologies")
     for key, roster in (("strategies", strategies), ("topologies",
@@ -235,21 +259,116 @@ def validate_arena_record(record: dict, errors: list[str]) -> None:
                             f"{cell.get('strategy')!r})")
 
 
+def validate_timeline_record(record: dict, errors: list[str]) -> None:
+    """ccnopt-timeline-v1: a fixed column roster plus per-epoch delta rows,
+    contiguous and zero-based within each replication."""
+    epoch_requests = record.get("epoch_requests")
+    if not _is_int(epoch_requests) or epoch_requests <= 0:
+        errors.append("epoch_requests: expected positive integer")
+    columns = record.get("columns")
+    if (not isinstance(columns, list) or not columns or not all(
+            isinstance(name, str) and name for name in columns)):
+        errors.append("columns: expected non-empty list of strings")
+        columns = []
+    epochs = record.get("epochs")
+    if not isinstance(epochs, list):
+        errors.append("epochs: must be a list")
+        return
+    next_epoch: dict[int, int] = {}
+    for index, row in enumerate(epochs):
+        slot = f"epochs[{index}]"
+        if not isinstance(row, dict):
+            errors.append(f"{slot}: must be an object")
+            continue
+        for key in ("replication", "epoch", "first_request", "last_request"):
+            if not _is_int(row.get(key)) or row[key] < 0:
+                errors.append(f"{slot}.{key}: expected non-negative integer")
+        values = row.get("values")
+        if not isinstance(values, list) or not all(
+                _is_number(v) for v in values):
+            errors.append(f"{slot}.values: expected list of numbers")
+        elif columns and len(values) != len(columns):
+            errors.append(f"{slot}.values: expected {len(columns)} entries "
+                          f"(one per column), got {len(values)}")
+        if _is_int(row.get("first_request")) and _is_int(
+                row.get("last_request")):
+            if row["last_request"] < row["first_request"]:
+                errors.append(f"{slot}: last_request < first_request")
+            elif (_is_int(epoch_requests) and epoch_requests > 0
+                  and row["last_request"] - row["first_request"] + 1
+                  > epoch_requests):
+                errors.append(f"{slot}: epoch spans more than "
+                              f"epoch_requests = {epoch_requests} requests")
+        if _is_int(row.get("replication")) and _is_int(row.get("epoch")):
+            expected = next_epoch.get(row["replication"], 0)
+            if row["epoch"] != expected:
+                errors.append(
+                    f"{slot}: replication {row['replication']} epochs must "
+                    f"be contiguous from 0; expected {expected}, got "
+                    f"{row['epoch']}")
+            next_epoch[row["replication"]] = row["epoch"] + 1
+
+
+def validate_trace_events(record: dict, errors: list[str]) -> None:
+    """ccnopt-spans-v1: chrome://tracing (Perfetto-loadable) trace_events
+    JSON — 'X' complete events with microsecond ts/dur plus optional 'M'
+    metadata events."""
+    dropped = record.get("dropped_events")
+    if not _is_int(dropped) or dropped < 0:
+        errors.append("dropped_events: expected non-negative integer")
+    events = record.get("traceEvents")
+    if not isinstance(events, list):
+        errors.append("traceEvents: must be a list")
+        return
+    for index, event in enumerate(events):
+        slot = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{slot}: must be an object")
+            continue
+        phase = event.get("ph")
+        if phase == "M":
+            if not isinstance(event.get("name"), str):
+                errors.append(f"{slot}.name: expected string")
+            continue
+        if phase != "X":
+            errors.append(f"{slot}.ph: expected 'X' or 'M', got {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            errors.append(f"{slot}.name: expected non-empty string")
+        for key in ("ts", "dur"):
+            if not _is_number(event.get(key)) or event[key] < 0:
+                errors.append(f"{slot}.{key}: expected non-negative number")
+        for key in ("pid", "tid"):
+            if not _is_int(event.get(key)) or event[key] < 0:
+                errors.append(f"{slot}.{key}: expected non-negative integer")
+        args = event.get("args")
+        if not isinstance(args, dict) or not isinstance(
+                args.get("path"), str) or not args["path"]:
+            errors.append(f"{slot}.args.path: expected non-empty string")
+
+
 def validate_record(path: str) -> list[str]:
     errors: list[str] = []
     try:
         with open(path, encoding="utf-8") as handle:
-            record = json.load(handle)
-    except (OSError, json.JSONDecodeError) as exc:
+            record = json.load(handle, parse_constant=_reject_constant)
+    except (OSError, ValueError) as exc:
         return [f"unreadable or invalid JSON: {exc}"]
     if not isinstance(record, dict):
         return ["top level must be a JSON object"]
     if record.get("schema") == ARENA_SCHEMA:
         validate_arena_record(record, errors)
         return errors
+    if record.get("schema") == TIMELINE_SCHEMA:
+        validate_timeline_record(record, errors)
+        return errors
+    if record.get("schema") == SPANS_SCHEMA:
+        validate_trace_events(record, errors)
+        return errors
     if record.get("schema") != SCHEMA:
         errors.append(
-            f"schema: expected {SCHEMA!r} or {ARENA_SCHEMA!r}, got "
+            f"schema: expected one of {SCHEMA!r}, {ARENA_SCHEMA!r}, "
+            f"{TIMELINE_SCHEMA!r}, {SPANS_SCHEMA!r}, got "
             f"{record.get('schema')!r}")
     name = record.get("name")
     if not isinstance(name, str) or not name:
@@ -328,10 +447,11 @@ def main() -> int:
 
     files = args.files or (
         sorted(glob.glob(os.path.join(args.out_dir, "BENCH_*.json"))) +
-        sorted(glob.glob(os.path.join(args.out_dir, "ARENA_*.json"))))
+        sorted(glob.glob(os.path.join(args.out_dir, "ARENA_*.json"))) +
+        sorted(glob.glob(os.path.join(args.out_dir, "TIMELINE_*.json"))))
     if not files:
-        print(f"FAIL: no BENCH_*.json or ARENA_*.json records found "
-              f"in {args.out_dir!r}")
+        print(f"FAIL: no BENCH_*.json, ARENA_*.json, or TIMELINE_*.json "
+              f"records found in {args.out_dir!r}")
         return 1
 
     failed = 0

@@ -3,7 +3,9 @@
 // same seeded workload per topology so the comparison is paired. Prints
 // per-topology comparison tables and writes the machine-readable
 // ARENA_results.{json,csv} (schema ccnopt-arena-v1, validated by
-// tools/check_bench_json.py) next to the BENCH_arena.json record.
+// tools/check_bench_json.py) next to the BENCH_arena.json record, plus
+// one TOPO_arena_<topology>_<strategy>.json flight-recorder export
+// (ccnopt-topo-v1) per cell for tools/render_topo.py heatmaps.
 //
 // Steady state is detected, not asserted: by default each cell runs its
 // whole warmup+measured budget through the sliding-window convergence
@@ -15,6 +17,7 @@
 //                    [--capacity C] [--x X] [--threads T] [--seed S]
 //                    [--strategies a,b,c] [--fixed-warmup]
 #include <algorithm>
+#include <cctype>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -26,6 +29,7 @@
 
 #include "bench_util.hpp"
 #include "ccnopt/experiments/arena.hpp"
+#include "ccnopt/obs/topo.hpp"
 #include "ccnopt/runtime/thread_pool.hpp"
 #include "ccnopt/strategy/registry.hpp"
 
@@ -39,6 +43,21 @@ std::vector<std::string> split_csv(const std::string& text) {
     if (!part.empty()) parts.push_back(part);
   }
   return parts;
+}
+
+// "US-A" / "coordinated-split" -> filename-safe lowercase slug.
+std::string slug(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      out.push_back('-');
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -123,6 +142,26 @@ int main(int argc, char** argv) {
     } else {
       std::cout << "arena CSV written to " << path << "\n";
     }
+  }
+  // Per-cell flight-recorder exports (ccnopt-topo-v1), one per
+  // strategy x topology, so heatmaps come straight from the arena:
+  //   tools/render_topo.py TOPO_arena_geant_lcd.json --out geant_lcd.dot
+  {
+    std::size_t written = 0;
+    for (const experiments::ArenaCell& cell : result.cells) {
+      const std::string path = dir + "/TOPO_arena_" + slug(cell.topology) +
+                               "_" + slug(cell.strategy) + ".json";
+      std::ofstream out(path);
+      if (out) obs::write_topo_json(out, cell.topo);
+      if (!out) {
+        std::cerr << "cannot write " << path << "\n";
+        code = 1;
+      } else {
+        ++written;
+      }
+    }
+    std::cout << "arena topo telemetry written to " << dir << "/TOPO_arena_*"
+              << ".json (" << written << " cells)\n";
   }
 
   reporter.set_output("strategies", result.strategies.size());

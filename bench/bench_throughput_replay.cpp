@@ -131,14 +131,32 @@ int main(int argc, char** argv) {
     parallel_rps = replications_rps(pool, config, replications, &parallel_ms);
   }
 
+  // Same workload with the per-router/per-link flight recorder on: the gap
+  // between requests_per_sec and requests_per_sec_topo is the tentpole's
+  // enabled-path cost, while the baseline gate on requests_per_sec keeps
+  // the disabled path (one null-pointer branch) honest.
+  double topo_ms = 0.0;
+  double topo_rps = 0.0;
+  {
+    sim::SimConfig topo_config = config;
+    topo_config.record_topo = true;
+    runtime::ThreadPool pool(threads);
+    topo_rps = replications_rps(pool, topo_config, replications, &topo_ms);
+  }
+
   std::cout << "serial   (1 thread):  " << serial_rps / 1e6 << " Mreq/s\n"
             << "parallel (" << threads << " threads): " << parallel_rps / 1e6
-            << " Mreq/s (speedup " << parallel_rps / serial_rps << "x)\n";
+            << " Mreq/s (speedup " << parallel_rps / serial_rps << "x)\n"
+            << "topo on  (" << threads << " threads): " << topo_rps / 1e6
+            << " Mreq/s (" << topo_rps / parallel_rps
+            << "x of topo-off)\n";
 
   reporter.add_timing_ms("serial_ms", serial_ms);
   reporter.add_timing_ms("parallel_ms", parallel_ms);
+  reporter.add_timing_ms("topo_ms", topo_ms);
   reporter.set_output("requests_per_sec", parallel_rps);
   reporter.set_output("requests_per_sec_serial", serial_rps);
+  reporter.set_output("requests_per_sec_topo", topo_rps);
   reporter.set_output("threads", threads);
   reporter.set_output("catalog_size", config.network.catalog_size);
   reporter.set_output("replications", replications);

@@ -31,11 +31,20 @@ ArenaCell run_cell(const ArenaOptions& options, const topology::Graph& graph,
   config.warmup_requests = options.warmup_requests;
   config.measured_requests = options.measured_requests;
   config.seed = options.seed;
+  config.record_topo = true;
 
   ArenaCell cell;
   cell.strategy = strategy;
   cell.topology = graph.name();
   cell.routers = graph.node_count();
+  const auto summarize_topo = [&cell](const obs::TopoRecorder& topo) {
+    cell.placements = topo.total_placements();
+    cell.mean_placement_depth = topo.mean_placement_depth();
+    cell.placement_depths = topo.placement_depths();
+    cell.link_traversals = topo.total_link_traversals();
+    cell.max_link_load = topo.max_link_load();
+    cell.topo = topo;
+  };
   if (options.detect_steady_state) {
     config.timeline_epoch = options.timeline_epoch;
     const sim::SteadyStateRun run = sim::run_to_steady_state(
@@ -44,9 +53,11 @@ ArenaCell run_cell(const ArenaOptions& options, const topology::Graph& graph,
     cell.converged = run.steady.converged;
     cell.steady_state_epoch = run.measured_from_epoch;
     cell.steady_state_requests = run.steady_state_requests;
+    summarize_topo(run.topo);
   } else {
     sim::Simulation simulation(graph, std::move(config));
     cell.report = simulation.run();
+    summarize_topo(simulation.topo());
   }
   return cell;
 }
@@ -116,7 +127,8 @@ void print_arena_tables(const ArenaResult& result, std::ostream& out) {
     std::vector<std::string> header{"strategy", "hit ratio", "local frac",
                                     "network frac", "origin load",
                                     "mean latency ms", "mean hops",
-                                    "coord msgs"};
+                                    "coord msgs", "placements", "mean depth",
+                                    "max link load"};
     if (detected) header.push_back("steady after req");
     TextTable table(header);
     for (std::size_t s = 0; s < strategy_count; ++s) {
@@ -130,7 +142,10 @@ void print_arena_tables(const ArenaResult& result, std::ostream& out) {
           format_double(report.origin_load, 4),
           format_double(report.mean_latency_ms, 2),
           format_double(report.mean_hops, 3),
-          std::to_string(report.coordination_messages)};
+          std::to_string(report.coordination_messages),
+          std::to_string(cell.placements),
+          format_double(cell.mean_placement_depth, 3),
+          std::to_string(cell.max_link_load)};
       if (detected) {
         // "~" marks the not-converged fallback (second half of the run).
         row.push_back(std::to_string(cell.steady_state_requests) +
@@ -140,6 +155,46 @@ void print_arena_tables(const ArenaResult& result, std::ostream& out) {
     }
     table.print(out);
     out << "\n";
+
+    // Where along the delivery path each strategy leaves copies: the
+    // fraction of its placements at each hop distance from the requester.
+    // This is the LCD-vs-LCE signature — LCE smears mass over the whole
+    // path, LCD keeps it one hop below the serving point.
+    std::size_t max_depth = 0;
+    for (std::size_t s = 0; s < strategy_count; ++s) {
+      max_depth = std::max(
+          max_depth,
+          result.cells[t * strategy_count + s].placement_depths.size());
+    }
+    if (max_depth > 0) {
+      out << "--- " << result.topologies[t]
+          << ": placement-depth distribution (fraction of placements at "
+             "d hops from the requester) ---\n";
+      std::vector<std::string> depth_header{"strategy", "placements"};
+      for (std::size_t d = 0; d < max_depth; ++d) {
+        depth_header.push_back("d=" + std::to_string(d));
+      }
+      TextTable depths(depth_header);
+      for (std::size_t s = 0; s < strategy_count; ++s) {
+        const ArenaCell& cell = result.cells[t * strategy_count + s];
+        std::vector<std::string> row{cell.strategy,
+                                     std::to_string(cell.placements)};
+        for (std::size_t d = 0; d < max_depth; ++d) {
+          const std::uint64_t count = d < cell.placement_depths.size()
+                                          ? cell.placement_depths[d]
+                                          : 0;
+          row.push_back(cell.placements == 0
+                            ? "-"
+                            : format_double(static_cast<double>(count) /
+                                                static_cast<double>(
+                                                    cell.placements),
+                                            3));
+        }
+        depths.add_row(std::move(row));
+      }
+      depths.print(out);
+      out << "\n";
+    }
   }
 
   out << "--- origin load across topologies (lower is better) ---\n";
@@ -195,7 +250,17 @@ void write_cell_json(const ArenaCell& cell, std::ostream& out,
       << indent << "  \"steady_state_epoch\": " << cell.steady_state_epoch
       << ",\n"
       << indent << "  \"steady_state_requests\": "
-      << cell.steady_state_requests << "\n"
+      << cell.steady_state_requests << ",\n"
+      << indent << "  \"placements\": " << cell.placements << ",\n"
+      << indent << "  \"mean_placement_depth\": "
+      << obs::json_number(cell.mean_placement_depth) << ",\n"
+      << indent << "  \"placement_depths\": [";
+  for (std::size_t d = 0; d < cell.placement_depths.size(); ++d) {
+    out << (d ? ", " : "") << cell.placement_depths[d];
+  }
+  out << "],\n"
+      << indent << "  \"link_traversals\": " << cell.link_traversals << ",\n"
+      << indent << "  \"max_link_load\": " << cell.max_link_load << "\n"
       << indent << "}";
 }
 
@@ -242,7 +307,8 @@ void write_arena_csv(const ArenaResult& result, std::ostream& out) {
          "network_fraction,origin_load,mean_latency_ms,mean_hops,"
          "mean_local_latency_ms,mean_network_latency_ms,"
          "mean_origin_latency_ms,coordination_messages,converged,"
-         "steady_state_epoch,steady_state_requests\n";
+         "steady_state_epoch,steady_state_requests,placements,"
+         "mean_placement_depth,link_traversals,max_link_load\n";
   for (const ArenaCell& cell : result.cells) {
     const sim::SimReport& report = cell.report;
     out << cell.topology << "," << cell.strategy << "," << cell.routers << ","
@@ -258,7 +324,9 @@ void write_arena_csv(const ArenaResult& result, std::ostream& out) {
         << obs::json_number(report.mean_origin_latency_ms) << ","
         << report.coordination_messages << ","
         << (cell.converged ? 1 : 0) << "," << cell.steady_state_epoch << ","
-        << cell.steady_state_requests << "\n";
+        << cell.steady_state_requests << "," << cell.placements << ","
+        << obs::json_number(cell.mean_placement_depth) << ","
+        << cell.link_traversals << "," << cell.max_link_load << "\n";
   }
 }
 
@@ -272,6 +340,10 @@ void record_arena_metrics(const ArenaResult& result) {
                        cell.report.mean_latency_ms);
     registry.set_gauge(prefix + ".coordination_messages",
                        static_cast<double>(cell.report.coordination_messages));
+    registry.set_gauge(prefix + ".mean_placement_depth",
+                       cell.mean_placement_depth);
+    registry.set_gauge(prefix + ".max_link_load",
+                       static_cast<double>(cell.max_link_load));
   }
 }
 

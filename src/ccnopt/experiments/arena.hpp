@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ccnopt/obs/timeline.hpp"
+#include "ccnopt/obs/topo.hpp"
 #include "ccnopt/sim/simulation.hpp"
 #include "ccnopt/topology/graph.hpp"
 
@@ -64,6 +65,21 @@ struct ArenaCell {
   bool converged = false;
   std::uint64_t steady_state_epoch = 0;
   std::uint64_t steady_state_requests = 0;
+  /// Topology-resolved summary of the cell's run (every cell runs with
+  /// SimConfig::record_topo): how many copies the strategy's insertion
+  /// rule actually placed, where along the delivery path it put them
+  /// (placement_depths[d] = copies d hops from the requester; LCE smears
+  /// mass across the path, LCD concentrates it one hop below the serving
+  /// point), and how hot the busiest link ran.
+  std::uint64_t placements = 0;
+  double mean_placement_depth = 0.0;
+  std::vector<std::uint64_t> placement_depths;
+  std::uint64_t link_traversals = 0;
+  std::uint64_t max_link_load = 0;
+  /// The cell's full flight recorder, for per-cell ccnopt-topo-v1 exports
+  /// (bench_arena writes one TOPO_arena_* file per cell; render_topo.py
+  /// turns them into heatmaps).
+  obs::TopoRecorder topo;
 };
 
 struct ArenaResult {

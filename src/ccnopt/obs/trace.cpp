@@ -15,7 +15,7 @@ bool TraceSampler::should_sample(std::uint64_t request_index) const {
 }
 
 void write_traces_json(std::ostream& out, const TraceBuffer& traces) {
-  out << "{\n  \"schema\": \"ccnopt-trace-v1\",\n  \"events\": [";
+  out << "{\n  \"schema\": \"ccnopt-trace-v2\",\n  \"events\": [";
   bool first = true;
   for (const TraceEvent& event : traces) {
     out << (first ? "\n" : ",\n") << "    {\"replication\": "
@@ -23,20 +23,28 @@ void write_traces_json(std::ostream& out, const TraceBuffer& traces) {
         << ", \"router\": " << event.router
         << ", \"content\": " << event.content << ", \"tier\": \""
         << json_escape(event.tier) << "\", \"hops\": " << event.hops
-        << ", \"served_by\": " << event.served_by << ", \"latency_ms\": "
-        << json_number(event.latency_ms) << "}";
+        << ", \"served_by\": " << event.served_by << ", \"path\": [";
+    for (std::size_t i = 0; i < event.path.size(); ++i) {
+      out << (i ? ", " : "") << event.path[i];
+    }
+    out << "], \"placement_depth\": " << event.placement_depth
+        << ", \"latency_ms\": " << json_number(event.latency_ms) << "}";
     first = false;
   }
   out << (first ? "" : "\n  ") << "]\n}\n";
 }
 
 void write_traces_csv(std::ostream& out, const TraceBuffer& traces) {
-  out << "replication,request,router,content,tier,hops,served_by,"
-         "latency_ms\n";
+  out << "replication,request,router,content,tier,hops,served_by,path,"
+         "placement_depth,latency_ms\n";
   for (const TraceEvent& event : traces) {
     out << event.replication << "," << event.request_index << ","
         << event.router << "," << event.content << "," << event.tier << ","
-        << event.hops << "," << event.served_by << ","
+        << event.hops << "," << event.served_by << ",";
+    for (std::size_t i = 0; i < event.path.size(); ++i) {
+      out << (i ? "|" : "") << event.path[i];
+    }
+    out << "," << event.placement_depth << ","
         << json_number(event.latency_ms) << "\n";
   }
 }

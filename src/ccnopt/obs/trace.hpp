@@ -25,7 +25,15 @@ struct TraceEvent {
   std::uint64_t content = 0;
   std::string tier;                 // "local" | "network" | "origin"
   std::uint32_t hops = 0;
-  std::uint32_t served_by = 0;
+  std::uint32_t served_by = 0;      // serving router (gateway for origin)
+  /// Router ids of the delivery path, first hop through the serving router
+  /// (through the origin gateway for origin-tier requests); {router} for
+  /// local hits. Empty when the producer does not capture paths.
+  std::vector<std::uint32_t> path;
+  /// Hop distance from the requesting router of the copy the insertion
+  /// rule placed nearest to it on this request (0 = at the first hop
+  /// itself); -1 when no copy was placed.
+  std::int32_t placement_depth = -1;
   double latency_ms = 0.0;
 };
 
@@ -50,10 +58,12 @@ class TraceSampler {
   std::uint64_t every_k_ = 0;
 };
 
-/// JSON: {"schema":"ccnopt-trace-v1","events":[...]}.
+/// JSON: {"schema":"ccnopt-trace-v2","events":[...]}. v2 added the
+/// `path` node-id array and the `placement_depth` field to every event.
 void write_traces_json(std::ostream& out, const TraceBuffer& traces);
 
-/// CSV with a fixed header row; one line per event.
+/// CSV with a fixed header row; one line per event. The path renders as
+/// '|'-separated node ids ("0|3|7").
 void write_traces_csv(std::ostream& out, const TraceBuffer& traces);
 
 }  // namespace ccnopt::obs

@@ -36,6 +36,7 @@ ReplicationSummary ReplicationRunner::run(const topology::Graph& graph,
   summary.reports.resize(replications);
   std::vector<obs::TraceBuffer> trace_slots(replications);
   std::vector<obs::Timeline> timeline_slots(replications);
+  std::vector<obs::TopoRecorder> topo_slots(replications);
   parallel_for(pool_, replications, [&](std::size_t i) {
     const obs::ScopedSpan sim_span("replication.sim");
     sim::SimConfig config = base;
@@ -45,6 +46,7 @@ ReplicationSummary ReplicationRunner::run(const topology::Graph& graph,
     summary.reports[i] = simulation.run();
     if (base.trace_sample_k > 0) trace_slots[i] = simulation.traces();
     if (base.timeline_epoch > 0) timeline_slots[i] = simulation.timeline();
+    if (base.record_topo) topo_slots[i] = simulation.topo();
   });
   // Concatenate in replication order so the merged buffers are independent
   // of worker scheduling.
@@ -60,6 +62,11 @@ ReplicationSummary ReplicationRunner::run(const topology::Graph& graph,
     for (std::size_t i = 0; i < replications; ++i) {
       summary.timeline.append(timeline_slots[i],
                               static_cast<std::uint32_t>(i));
+    }
+  }
+  if (base.record_topo) {
+    for (std::size_t i = 0; i < replications; ++i) {
+      summary.topo.merge(topo_slots[i]);
     }
   }
   summary.mean_latency_ms =

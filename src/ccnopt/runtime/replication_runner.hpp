@@ -39,6 +39,12 @@ struct ReplicationSummary {
   /// unless base.timeline_epoch > 0; bit-identical regardless of thread
   /// count for the same reason as `traces`.
   obs::Timeline timeline;
+  /// Per-router/per-link flight recorders summed entity-by-entity in
+  /// replication index order (replications() tracks how many merged).
+  /// Disabled/empty unless base.record_topo; every counter is an integer
+  /// sum and the one double accumulates in that fixed order, so the merged
+  /// recorder is bit-identical regardless of thread count.
+  obs::TopoRecorder topo;
   MetricSummary mean_latency_ms;
   MetricSummary origin_load;
   MetricSummary local_fraction;

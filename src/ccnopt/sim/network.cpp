@@ -450,10 +450,23 @@ ServeResult CcnNetwork::serve(topology::NodeId first_hop,
   }
   cache::PartitionedStore& own = *stores_[first_hop];
 
+  // Placement telemetry reads the local partition's insertion counter
+  // around admit(): a delta means the miss actually seeded a copy here
+  // (depth 0). Static local partitions never insert, so they truthfully
+  // record nothing.
+  const bool telemetry = placement_telemetry();
+  std::uint64_t insertions_before = 0;
+  if (telemetry) insertions_before = own.local().stats().insertions;
+
   const bool own_coordinated = own.coordinated_contains(content);
   if (own.admit(content)) {
     return ServeResult{ServeTier::kLocal, config_.access_latency_d0_ms, 0,
                        first_hop, own_coordinated};
+  }
+  std::int32_t placement_depth = -1;
+  if (telemetry && own.local().stats().insertions > insertions_before) {
+    placement_depth = 0;
+    if (topo_ != nullptr) topo_->on_placement(first_hop, 0);
   }
 
   // Coordinated placement lookup (the paper's mid tier) — one load from the
@@ -463,10 +476,12 @@ ServeResult CcnNetwork::serve(topology::NodeId first_hop,
   if (owner != kNoOwner && owner != first_hop && !failed_[owner] &&
       paths_.latency_ms(first_hop, owner) < topology::kUnreachable) {
     record_path(first_hop, owner);
-    return ServeResult{
+    ServeResult result{
         ServeTier::kNetwork,
         config_.access_latency_d0_ms + paths_.latency_ms(first_hop, owner),
         paths_.hops(first_hop, owner), owner, false};
+    result.placement_depth = placement_depth;
+    return result;
   }
 
   // Optional opportunistic replica lookup in peers' local partitions.
@@ -484,9 +499,11 @@ ServeResult CcnNetwork::serve(topology::NodeId first_hop,
     }
     if (best_peer != first_hop) {
       record_path(first_hop, best_peer);
-      return ServeResult{ServeTier::kNetwork,
+      ServeResult result{ServeTier::kNetwork,
                          config_.access_latency_d0_ms + best_latency,
                          paths_.hops(first_hop, best_peer), best_peer, false};
+      result.placement_depth = placement_depth;
+      return result;
     }
   }
 
@@ -499,8 +516,10 @@ ServeResult CcnNetwork::serve(topology::NodeId first_hop,
   CCNOPT_ASSERT(route.latency_ms < topology::kUnreachable);
   const topology::NodeId gateway = origins_[origin_index].gateway;
   record_path(first_hop, gateway);
-  return ServeResult{ServeTier::kOrigin, route.latency_ms, route.hops, gateway,
+  ServeResult result{ServeTier::kOrigin, route.latency_ms, route.hops, gateway,
                      false};
+  result.placement_depth = placement_depth;
+  return result;
 }
 
 ServeResult CcnNetwork::serve_on_path(topology::NodeId first_hop,
@@ -532,7 +551,7 @@ ServeResult CcnNetwork::serve_on_path(topology::NodeId first_hop,
             ServeTier::kNetwork, config_.access_latency_d0_ms + path_ms,
             static_cast<std::uint32_t>(miss_path_.size()), node, false};
       }
-      apply_insertion_rule(content);
+      result.placement_depth = apply_insertion_rule(content);
       return result;
     }
     miss_path_.push_back(node);
@@ -547,27 +566,50 @@ ServeResult CcnNetwork::serve_on_path(topology::NodeId first_hop,
       origin_routes_[first_hop * origins_.size() + origin_index];
   CCNOPT_ASSERT(route.latency_ms < topology::kUnreachable);
   record_path(first_hop, gateway);
-  apply_insertion_rule(content);
-  return ServeResult{ServeTier::kOrigin, route.latency_ms, route.hops, gateway,
+  ServeResult result{ServeTier::kOrigin, route.latency_ms, route.hops, gateway,
                      false};
+  result.placement_depth = apply_insertion_rule(content);
+  return result;
 }
 
-void CcnNetwork::apply_insertion_rule(cache::ContentId content) {
-  if (miss_path_.empty()) return;
+std::int32_t CcnNetwork::apply_insertion_rule(cache::ContentId content) {
+  if (miss_path_.empty()) return -1;
   const strategy::InsertionRule& rule = data_plane_.insertion;
+  const bool telemetry = placement_telemetry();
+  std::int32_t nearest = -1;
+  // Admits at miss_path_[depth]; with telemetry on, the local partition's
+  // insertion-counter delta distinguishes an actual new copy from a
+  // no-op admit (static partitions, coordinated hits). Depths ascend in
+  // every rule, so the first recorded insertion is the nearest one.
+  const auto admit_at = [&](std::size_t depth) {
+    cache::PartitionedStore& store = *stores_[miss_path_[depth]];
+    if (!telemetry) {
+      store.admit(content);
+      return;
+    }
+    const std::uint64_t before = store.local().stats().insertions;
+    store.admit(content);
+    if (store.local().stats().insertions > before) {
+      if (nearest < 0) nearest = static_cast<std::int32_t>(depth);
+      if (topo_ != nullptr) {
+        topo_->on_placement(miss_path_[depth],
+                            static_cast<std::uint32_t>(depth));
+      }
+    }
+  };
   switch (rule.kind) {
     case strategy::InsertionKind::kFirstHopOnly:
-      stores_[miss_path_.front()]->admit(content);
+      admit_at(0);
       break;
     case strategy::InsertionKind::kEveryHop:
-      for (const topology::NodeId node : miss_path_) {
-        stores_[node]->admit(content);
+      for (std::size_t depth = 0; depth < miss_path_.size(); ++depth) {
+        admit_at(depth);
       }
       break;
     case strategy::InsertionKind::kOneHopDown:
       // The serving point is the node (or origin) just past the last miss,
       // so "one hop down" is exactly the last node that missed.
-      stores_[miss_path_.back()]->admit(content);
+      admit_at(miss_path_.size() - 1);
       break;
     case strategy::InsertionKind::kProbabilistic: {
       double capacity_sum = 0.0;
@@ -575,23 +617,68 @@ void CcnNetwork::apply_insertion_rule(cache::ContentId content) {
         for (const topology::NodeId node : miss_path_) {
           capacity_sum += static_cast<double>(capacity_of(node));
         }
-        if (capacity_sum <= 0.0) return;  // nothing on the path can cache
+        if (capacity_sum <= 0.0) return -1;  // nothing on the path can cache
       }
-      for (const topology::NodeId node : miss_path_) {
+      for (std::size_t depth = 0; depth < miss_path_.size(); ++depth) {
         double p = rule.p;
         if (rule.capacity_weighted) {
           // ProbCache-style: weight by the node's share of the path's
           // capacity, so the expected copies per miss path is ~p.
-          p *= static_cast<double>(capacity_of(node)) / capacity_sum;
+          p *= static_cast<double>(capacity_of(miss_path_[depth])) /
+               capacity_sum;
         }
         p = std::min(1.0, std::max(0.0, p));
         if (strategy_rng_.bernoulli(p)) {
-          stores_[node]->admit(content);
+          admit_at(depth);
         }
       }
       break;
     }
   }
+  return nearest;
+}
+
+std::vector<topology::NodeId> CcnNetwork::hop_path(
+    topology::NodeId first_hop, const ServeResult& result) const {
+  CCNOPT_EXPECTS(first_hop < graph_.node_count());
+  std::vector<topology::NodeId> path;
+  if (result.tier == ServeTier::kLocal) {
+    path.push_back(first_hop);
+    return path;
+  }
+  if (data_plane_.forwarding == strategy::ForwardingMode::kOnPath) {
+    // The scratch miss path of the preceding serve() is the walked prefix;
+    // a network-tier hit stopped one node past it, an origin-tier result
+    // walked through the gateway (= miss_path_.back()).
+    path = miss_path_;
+    if (result.tier == ServeTier::kNetwork) path.push_back(result.served_by);
+    CCNOPT_ASSERT(!path.empty() && path.front() == first_hop);
+    return path;
+  }
+  const topology::NodeId dst = result.served_by;
+  if (dst == first_hop) {
+    // Origin behind the requester's own gateway: no router-to-router hops.
+    path.push_back(first_hop);
+    return path;
+  }
+  if (config_.track_link_load) {
+    // Walk the precomputed first_hop-rooted tree from the destination back.
+    const topology::SsspResult& tree = trees_[first_hop];
+    for (topology::NodeId v = dst; v != first_hop;) {
+      path.push_back(v);
+      const topology::NodeId parent = tree.parent[v];
+      CCNOPT_ASSERT(parent != topology::kNoParent);
+      v = parent;
+    }
+    path.push_back(first_hop);
+    std::reverse(path.begin(), path.end());
+    return path;
+  }
+  // No trees without link tracking: run the same Dijkstra those trees come
+  // from, so both branches reconstruct identical paths.
+  const topology::SsspResult sssp =
+      topology::dijkstra_filtered(graph_, first_hop, failed_);
+  return topology::extract_path(sssp, first_hop, dst);
 }
 
 void CcnNetwork::prefetch(topology::NodeId first_hop,

@@ -9,6 +9,7 @@
 
 #include "ccnopt/cache/partitioned.hpp"
 #include "ccnopt/common/random.hpp"
+#include "ccnopt/obs/topo.hpp"
 #include "ccnopt/sim/coordinator.hpp"
 #include "ccnopt/sim/metrics.hpp"
 #include "ccnopt/strategy/strategy.hpp"
@@ -91,6 +92,13 @@ struct ServeResult {
   /// Eq. 2 charges those d1 while the physical path is d0; the
   /// model-vs-simulation bench uses this to reconcile the two accountings.
   bool own_coordinated_hit = false;
+  /// Hop distance from the requesting router of the copy the insertion
+  /// rule placed nearest to it while serving this request (0 = at the
+  /// first hop itself); -1 when no copy was placed. Only computed when a
+  /// topo recorder is attached or placement-depth recording is on
+  /// (set_record_placement_depth) — the hot path stays branch-free
+  /// otherwise.
+  std::int32_t placement_depth = -1;
 };
 
 class CcnNetwork {
@@ -185,10 +193,36 @@ class CcnNetwork {
   /// Per-link traversal counts accumulated by serve(); zero-traffic links
   /// included. Precondition: tracking enabled.
   std::vector<LinkLoad> link_load() const;
+  /// The dense traversal counters behind link_load(), in graph().links()
+  /// order (all zero when tracking is off). The topo recorder snapshots
+  /// these at the end of a run.
+  const std::vector<std::uint64_t>& link_counts() const {
+    return link_counts_;
+  }
   /// Largest per-link count (0 when nothing recorded).
   std::uint64_t max_link_load() const;
   std::uint64_t total_link_traversals() const { return total_traversals_; }
   void reset_link_load();
+
+  // --- Topology-resolved telemetry -----------------------------------------
+
+  /// Attaches a run-local flight recorder: serve() reports every copy the
+  /// insertion rule actually admits (obs::TopoRecorder::on_placement) and
+  /// computes ServeResult::placement_depth. nullptr detaches; detached (the
+  /// default) costs one predictable branch per serve.
+  void set_topo_recorder(obs::TopoRecorder* recorder) { topo_ = recorder; }
+  /// Computes ServeResult::placement_depth even without a recorder (the
+  /// trace sampler wants depths when topo recording is off).
+  void set_record_placement_depth(bool on) { record_depths_ = on; }
+
+  /// Reconstructs the router-id delivery path of the result that the
+  /// immediately preceding serve() returned: {first_hop} for local hits,
+  /// first hop through the serving router otherwise (through the origin
+  /// gateway for origin-tier results — the origin itself is not a router).
+  /// Must be called before the next serve() (on-path forwarding reuses the
+  /// internal miss-path scratch). Deterministic: pure in the routing state.
+  std::vector<topology::NodeId> hop_path(topology::NodeId first_hop,
+                                         const ServeResult& result) const;
 
  private:
   static constexpr topology::NodeId kNoOwner = 0xFFFFFFFFu;
@@ -234,6 +268,10 @@ class CcnNetwork {
   std::vector<topology::NodeId> miss_path_;
   Rng strategy_rng_{0};
 
+  // Run-local telemetry hooks (see set_topo_recorder); never owned here.
+  obs::TopoRecorder* topo_ = nullptr;
+  bool record_depths_ = false;
+
   topology::NodeId owner_of(cache::ContentId content) const {
     // Unsigned wrap makes ranks below the interval fail the bound too.
     const cache::ContentId offset = content - owner_first_rank_;
@@ -256,7 +294,16 @@ class CcnNetwork {
   /// copies along the recorded miss path per the insertion rule.
   ServeResult serve_on_path(topology::NodeId first_hop,
                             cache::ContentId content);
-  void apply_insertion_rule(cache::ContentId content);
+  /// Seeds copies along miss_path_ per the insertion rule; returns the
+  /// depth (miss_path_ index) of the copy admitted nearest the requester,
+  /// -1 when none was (only computed under placement_telemetry()).
+  std::int32_t apply_insertion_rule(cache::ContentId content);
+
+  /// True when serve() must account placements (recorder attached or
+  /// explicit depth recording) — one branch on the disabled hot path.
+  bool placement_telemetry() const {
+    return topo_ != nullptr || record_depths_;
+  }
 
   // Link-load state: per-source shortest-path trees (kept in sync with
   // failures), the dense link index of each tree edge (parent_link_[src][v]

@@ -173,6 +173,9 @@ const std::vector<std::string>& timeline_columns() {
 
 Simulation::Simulation(topology::Graph graph, SimConfig config)
     : config_(std::move(config)) {
+  // The topo recorder exports per-link loads, so its runs keep the link
+  // counters live. (Tracking never changes serve outcomes, only counters.)
+  if (config_.record_topo) config_.network.track_link_load = true;
   network_ = std::make_unique<CcnNetwork>(std::move(graph), config_.network);
   workload_ = std::make_unique<ZipfWorkload>(
       network_->router_count(), config_.network.catalog_size, config_.zipf_s,
@@ -194,6 +197,22 @@ SimReport Simulation::run() {
                   : obs::Timeline();
   const obs::TraceSampler sampler(derive_seed(config_.seed, kTraceSeedIndex),
                                   config_.trace_sample_k);
+  // Topology-resolved flight recorder: run-local like the timeline's
+  // EpochRecorder, merged in replication order by the runner.
+  topo_ = obs::TopoRecorder();
+  if (config_.record_topo) {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> links;
+    links.reserve(network_->graph().links().size());
+    for (const topology::Graph::Link& link : network_->graph().links()) {
+      links.emplace_back(link.u, link.v);
+    }
+    topo_ = obs::TopoRecorder(network_->graph().name(),
+                              network_->router_count(), std::move(links));
+  }
+  obs::TopoRecorder* const topo = topo_.enabled() ? &topo_ : nullptr;
+  network_->set_topo_recorder(topo);
+  // Sampled traces record the placement depth even when topo is off.
+  network_->set_record_placement_depth(sampler.enabled());
   std::uint64_t messages = 0;
   {
     const obs::ScopedSpan provision_span("sim.provision");
@@ -225,14 +244,51 @@ SimReport Simulation::run() {
   if (timeline_.enabled()) recorder.emplace(&timeline_, network_.get());
 
   // Records one sampled request; the decision is pure in (seed, index).
+  // Must run straight after the serve() that produced `result` — the hop
+  // path reads the network's in-flight routing scratch.
   const auto maybe_trace = [&](std::uint64_t index, std::size_t router,
                                cache::ContentId content,
                                const ServeResult& result) {
     if (!sampler.enabled() || !sampler.should_sample(index)) return;
-    trace_.push_back(obs::TraceEvent{
+    obs::TraceEvent event{
         0, index, static_cast<std::uint32_t>(router), content,
         to_string(result.tier), result.hops,
-        static_cast<std::uint32_t>(result.served_by), result.latency_ms});
+        static_cast<std::uint32_t>(result.served_by), {}, -1,
+        result.latency_ms};
+    event.path =
+        network_->hop_path(static_cast<topology::NodeId>(router), result);
+    event.placement_depth = result.placement_depth;
+    trace_.push_back(std::move(event));
+  };
+
+  // One topo-recorder tick per measured request, in emission order; the
+  // tier codes are shared with obs by construction.
+  static_assert(static_cast<std::uint32_t>(ServeTier::kLocal) ==
+                obs::kTopoTierLocal);
+  static_assert(static_cast<std::uint32_t>(ServeTier::kNetwork) ==
+                obs::kTopoTierNetwork);
+  static_assert(static_cast<std::uint32_t>(ServeTier::kOrigin) ==
+                obs::kTopoTierOrigin);
+  const auto topo_record = [topo](std::size_t router,
+                                  const ServeResult& result) {
+    topo->on_request(static_cast<std::uint32_t>(router),
+                     static_cast<std::uint32_t>(result.tier),
+                     static_cast<std::uint32_t>(result.served_by),
+                     result.latency_ms, result.hops);
+  };
+
+  // End-of-run snapshot of cache state and link loads into the recorder
+  // (whole-run totals; they reconcile with cache_totals()/link_counts()).
+  const auto finalize_topo = [&] {
+    if (topo == nullptr) return;
+    for (topology::NodeId id = 0; id < network_->router_count(); ++id) {
+      const cache::PartitionedStore& store = network_->store(id);
+      const cache::CacheStats& local_stats = store.local().stats();
+      topo->set_router_cache(
+          id, local_stats.evictions, local_stats.insertions, store.size(),
+          static_cast<std::uint64_t>(network_->capacity_of(id)));
+    }
+    topo->add_link_traversals(network_->link_counts());
   };
 
   // One registry flush per run: integer sums and a fixed-point histogram
@@ -333,28 +389,35 @@ SimReport Simulation::run() {
       }
       // Serve pass: tight loop over resolved pairs, the next request's
       // membership-index and owner-table state prefetched one iteration
-      // ahead so the lookups land in cache.
+      // ahead so the lookups land in cache. Sampled traces are captured
+      // here, right after their serve(), while the hop-path scratch is
+      // still this request's — the pass iterates in emission order, so the
+      // trace buffer is identical to recording in the metrics pass.
       for (std::size_t i = 0; i < block.size(); ++i) {
         if (i + 1 < block.size()) {
           network_->prefetch(block[i + 1].router, block[i + 1].content);
         }
         results[i] = network_->serve(block[i].router, block[i].content);
         if (results[i].tier != ServeTier::kLocal) ++upstream;
+        if (block[i].index >= config_.warmup_requests) {
+          maybe_trace(block[i].index, block[i].router, block[i].content,
+                      results[i]);
+        }
       }
-      // Metrics/trace pass, once per block, in emission order (the same
-      // order the event loop records in, so RunningStats accumulation is
+      // Metrics pass, once per block, in emission order (the same order
+      // the event loop records in, so RunningStats accumulation is
       // bit-identical).
       for (std::size_t i = 0; i < block.size(); ++i) {
         if (recorder) recorder->on_request(results[i]);
         if (block[i].index < config_.warmup_requests) continue;
         metrics.record(results[i].tier, results[i].latency_ms,
                        results[i].hops);
-        maybe_trace(block[i].index, block[i].router, block[i].content,
-                    results[i]);
+        if (topo != nullptr) topo_record(block[i].router, results[i]);
       }
     }
     CCNOPT_ENSURES(emitted == total_requests);
     if (recorder) recorder->finish();
+    finalize_topo();
     SimReport report = make_report(metrics);
     report.aggregated_requests = 0;
     report.upstream_fetches = upstream;
@@ -391,6 +454,7 @@ SimReport Simulation::run() {
       if (recorder) recorder->on_request(result);
       if (measured) {
         metrics.record(result.tier, result.latency_ms, result.hops);
+        if (topo != nullptr) topo_record(router, result);
         maybe_trace(request_index, router, content, result);
       }
     } else {
@@ -404,6 +468,7 @@ SimReport Simulation::run() {
         const ServeResult result =
             network_->serve(static_cast<topology::NodeId>(router), content);
         if (recorder) recorder->on_request(result);
+        if (measured && topo != nullptr) topo_record(router, result);
         if (result.tier == ServeTier::kLocal) {
           if (measured) {
             metrics.record(result.tier, result.latency_ms, result.hops);
@@ -453,6 +518,7 @@ SimReport Simulation::run() {
   CCNOPT_ENSURES(emitted == total_requests);
   CCNOPT_ENSURES(pit.empty());
   if (recorder) recorder->finish();
+  finalize_topo();
   SimReport report = make_report(metrics);
   report.aggregated_requests = aggregated;
   report.upstream_fetches = upstream;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ccnopt/obs/timeline.hpp"
+#include "ccnopt/obs/topo.hpp"
 #include "ccnopt/obs/trace.hpp"
 #include "ccnopt/sim/event.hpp"
 #include "ccnopt/sim/network.hpp"
@@ -63,6 +64,16 @@ struct SimConfig {
   /// thread counts. With interest_aggregation, requests that join an
   /// in-flight fetch are not traced (only the initiating fetch is).
   std::uint64_t trace_sample_k = 0;
+  /// Topology-resolved telemetry: when true, the run accumulates an
+  /// obs::TopoRecorder (per-router tier/latency/placement counters,
+  /// per-link traversal loads, the placement-depth histogram) exposed via
+  /// topo(). Forces network.track_link_load on so the link counters are
+  /// live. Tier counters cover the measured phase only (they reconcile
+  /// exactly with the run's SimReport); placements and link loads cover
+  /// the whole run. With interest_aggregation, requests that join an
+  /// in-flight fetch are not topo-recorded (same rule as traces). Off by
+  /// default — the serve path then pays a single null-pointer branch.
+  bool record_topo = false;
 };
 
 class Simulation {
@@ -91,12 +102,17 @@ class Simulation {
   /// requests; byte-identical for any thread count.
   const obs::Timeline& timeline() const { return timeline_; }
 
+  /// Topology-resolved telemetry of the last run() (disabled/empty unless
+  /// record_topo); byte-identical for any thread count.
+  const obs::TopoRecorder& topo() const { return topo_; }
+
  private:
   SimConfig config_;
   std::unique_ptr<CcnNetwork> network_;
   std::unique_ptr<Workload> workload_;
   obs::TraceBuffer trace_;
   obs::Timeline timeline_;
+  obs::TopoRecorder topo_;
 };
 
 /// The fixed column roster of simulation timelines, in column order:

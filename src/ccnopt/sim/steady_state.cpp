@@ -71,6 +71,7 @@ SteadyStateRun run_to_steady_state(topology::Graph graph, SimConfig config,
   SteadyStateRun result;
   result.full_report = full;
   result.timeline = timeline;
+  result.topo = simulation.topo();
 
   // Convergence of the per-epoch origin load (the paper's headline
   // steady-state metric; caches filling up show as a falling series).

@@ -41,6 +41,11 @@ struct SteadyStateRun {
   std::uint64_t steady_state_requests = 0;
   /// The full run timeline (epoch size = the config's timeline_epoch).
   obs::Timeline timeline;
+  /// Topology-resolved telemetry of the run (disabled/empty unless
+  /// config.record_topo). Detection folds the warmup into the measured
+  /// budget, so the recorder covers every request of the run — including
+  /// the pre-convergence epochs that `report` discards.
+  obs::TopoRecorder topo;
 };
 
 /// Runs `config`'s whole request budget (warmup_requests is folded into the

@@ -216,7 +216,7 @@ TEST(Cli, TraceOutIsByteIdenticalAcrossThreadCounts) {
   const std::string one_csv = slurp_file(one_path);
   ASSERT_FALSE(one_csv.empty());
   EXPECT_EQ(one_csv.rfind("replication,request,router,content,tier,hops,"
-                          "served_by,latency_ms\n",
+                          "served_by,path,placement_depth,latency_ms\n",
                           0),
             0u);
   EXPECT_EQ(one_csv, slurp_file(eight_path));
@@ -233,7 +233,49 @@ TEST(Cli, TraceOutJsonOnSingleRun) {
   EXPECT_EQ(result.exit_code, 0) << result.output;
   EXPECT_NE(result.output.find("trace written to"), std::string::npos);
   const std::string json = slurp_file(path);
-  EXPECT_NE(json.find("ccnopt-trace-v1"), std::string::npos);
+  EXPECT_NE(json.find("ccnopt-trace-v2"), std::string::npos);
+  EXPECT_NE(json.find("\"path\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"placement_depth\": "), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, TopoOutIsByteIdenticalAcrossThreadCounts) {
+  const std::string one_path = testing::TempDir() + "ccnopt_topo_t1.json";
+  const std::string eight_path = testing::TempDir() + "ccnopt_topo_t8.json";
+  const std::string base =
+      "simulate --topology=geant --x=20 --requests=4000 --catalog=2000 "
+      "--c=50 --replications=4 --seed=7";
+  const RunResult one = run_cli(base + " --threads=1 --topo-out=" + one_path);
+  const RunResult eight =
+      run_cli(base + " --threads=8 --topo-out=" + eight_path);
+  EXPECT_EQ(one.exit_code, 0) << one.output;
+  EXPECT_EQ(eight.exit_code, 0) << eight.output;
+  EXPECT_NE(one.output.find("topo telemetry written to"), std::string::npos);
+  const std::string one_json = slurp_file(one_path);
+  ASSERT_FALSE(one_json.empty());
+  EXPECT_NE(one_json.find("ccnopt-topo-v1"), std::string::npos);
+  EXPECT_NE(one_json.find("\"replications\": 4"), std::string::npos);
+  EXPECT_NE(one_json.find("\"nodes\": ["), std::string::npos);
+  EXPECT_NE(one_json.find("\"edges\": ["), std::string::npos);
+  EXPECT_EQ(one_json, slurp_file(eight_path));
+  std::remove(one_path.c_str());
+  std::remove(eight_path.c_str());
+}
+
+TEST(Cli, TopoOutCsvOnSingleRun) {
+  const std::string path = testing::TempDir() + "ccnopt_topo.csv";
+  const RunResult result = run_cli(
+      "simulate --topology=abilene --x=20 --requests=3000 --catalog=2000 "
+      "--c=50 --topo-out=" +
+      path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("topo telemetry written to"),
+            std::string::npos);
+  const std::string csv = slurp_file(path);
+  EXPECT_EQ(csv.rfind("kind,id,u,v,requests,local,network,origin,misses,", 0),
+            0u);
+  EXPECT_NE(csv.find("\nnode,0,"), std::string::npos);
+  EXPECT_NE(csv.find("\nedge,,"), std::string::npos);
   std::remove(path.c_str());
 }
 

@@ -96,6 +96,37 @@ TEST(Arena, ParallelRunMatchesSerialRun) {
   }
 }
 
+TEST(Arena, TopoSummariesSeparateLceFromLcd) {
+  const ArenaOptions options = small_options();
+  const ArenaResult result = run_arena(options);
+  // Cells for the 4-node line, where path placement depth is visible.
+  const ArenaCell* lce = nullptr;
+  const ArenaCell* lcd = nullptr;
+  for (const ArenaCell& cell : result.cells) {
+    if (cell.topology != result.topologies[0]) continue;
+    if (cell.strategy == "lce") lce = &cell;
+    if (cell.strategy == "lcd") lcd = &cell;
+  }
+  ASSERT_NE(lce, nullptr);
+  ASSERT_NE(lcd, nullptr);
+  ASSERT_GT(lce->placements, 0u);
+  ASSERT_GT(lcd->placements, 0u);
+  // The histogram partitions the placements for every cell.
+  for (const ArenaCell* cell : {lce, lcd}) {
+    std::uint64_t histogram = 0;
+    for (const std::uint64_t count : cell->placement_depths) {
+      histogram += count;
+    }
+    EXPECT_EQ(histogram, cell->placements) << cell->strategy;
+    EXPECT_GT(cell->link_traversals, 0u) << cell->strategy;
+    EXPECT_GT(cell->max_link_load, 0u) << cell->strategy;
+  }
+  // LCE copies everywhere along the delivery path; LCD leaves the copy
+  // one hop below the serving point, so its mass sits deeper on average.
+  EXPECT_GT(lce->placement_depths[0], 0u);
+  EXPECT_GE(lcd->mean_placement_depth, lce->mean_placement_depth);
+}
+
 TEST(Arena, JsonExportCarriesSchemaConfigAndEveryCell) {
   const ArenaOptions options = small_options();
   const ArenaResult result = run_arena(options);
@@ -149,8 +180,9 @@ TEST(Arena, TablesAndMetricsCoverEveryStrategy) {
     (void)value;
     if (name.rfind("arena.", 0) == 0) ++arena_gauges;
   }
-  // Four gauges per cell: hit_ratio, origin_load, latency, messages.
-  EXPECT_EQ(arena_gauges, result.cells.size() * 4);
+  // Six gauges per cell: hit_ratio, origin_load, latency, messages,
+  // mean_placement_depth, max_link_load.
+  EXPECT_EQ(arena_gauges, result.cells.size() * 6);
 }
 
 }  // namespace

@@ -67,25 +67,40 @@ TEST(TraceWriters, CsvHasFixedHeaderAndOneLinePerEvent) {
   event.tier = "local";
   event.hops = 0;
   event.served_by = 3;
+  event.path = {3};
+  event.placement_depth = -1;
   event.latency_ms = 1.25;
   traces.push_back(event);
+  TraceEvent hop = event;
+  hop.tier = "network";
+  hop.hops = 2;
+  hop.served_by = 9;
+  hop.path = {3, 5, 9};
+  hop.placement_depth = 1;
+  traces.push_back(hop);
   std::ostringstream out;
   write_traces_csv(out, traces);
   EXPECT_EQ(out.str(),
-            "replication,request,router,content,tier,hops,served_by,"
-            "latency_ms\n1,42,3,17,local,0,3,1.25\n");
+            "replication,request,router,content,tier,hops,served_by,path,"
+            "placement_depth,latency_ms\n"
+            "1,42,3,17,local,0,3,3,-1,1.25\n"
+            "1,42,3,17,network,2,9,3|5|9,1,1.25\n");
 }
 
-TEST(TraceWriters, JsonCarriesSchemaAndEvents) {
+TEST(TraceWriters, JsonCarriesSchemaEventsAndHopPaths) {
   TraceBuffer traces;
   TraceEvent event;
   event.tier = "origin";
+  event.path = {0, 4, 7};
+  event.placement_depth = 2;
   traces.push_back(event);
   std::ostringstream out;
   write_traces_json(out, traces);
-  EXPECT_NE(out.str().find("\"schema\": \"ccnopt-trace-v1\""),
+  EXPECT_NE(out.str().find("\"schema\": \"ccnopt-trace-v2\""),
             std::string::npos);
   EXPECT_NE(out.str().find("\"tier\": \"origin\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"path\": [0, 4, 7]"), std::string::npos);
+  EXPECT_NE(out.str().find("\"placement_depth\": 2"), std::string::npos);
 }
 
 sim::SimConfig traced_config() {
@@ -112,6 +127,25 @@ TEST(SimulationTrace, SampledEventsAreWellFormed) {
                 event.tier == "origin")
         << event.tier;
     EXPECT_GT(event.latency_ms, 0.0);
+    // Every event carries its delivery path, requester first; the nearest
+    // new copy (when one was placed) lies on that path.
+    ASSERT_FALSE(event.path.empty());
+    EXPECT_EQ(event.path.front(), event.router);
+    for (const std::uint32_t node : event.path) {
+      EXPECT_LT(node, graph.node_count());
+    }
+    // The path always ends at the serving router (for origin-tier
+    // requests whose first hop is the origin gateway itself, that is a
+    // one-node path).
+    EXPECT_EQ(event.path.back(), event.served_by);
+    if (event.tier == "local") {
+      EXPECT_EQ(event.path.size(), 1u);
+    } else if (event.tier == "network") {
+      EXPECT_GT(event.path.size(), 1u);
+    }
+    EXPECT_GE(event.placement_depth, -1);
+    EXPECT_LT(event.placement_depth,
+              static_cast<std::int32_t>(event.path.size()));
   }
 }
 

@@ -1,0 +1,221 @@
+// Conservation and determinism contract of topology-resolved telemetry:
+// the flight recorder's per-router tier sums reconcile exactly with the
+// run's global SimReport, its per-link loads equal the network's own
+// traversal counters, enabling it never changes the simulated results, and
+// the serialized export is byte-identical for any thread count.
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ccnopt/obs/topo.hpp"
+#include "ccnopt/runtime/replication_runner.hpp"
+#include "ccnopt/runtime/thread_pool.hpp"
+#include "ccnopt/sim/simulation.hpp"
+#include "ccnopt/topology/datasets.hpp"
+
+namespace ccnopt::sim {
+namespace {
+
+SimConfig topo_config() {
+  SimConfig config;
+  config.network.catalog_size = 5000;
+  config.network.capacity_c = 100;
+  config.coordinated_x = 40;
+  config.warmup_requests = 2000;
+  config.measured_requests = 8000;
+  config.seed = 20260808;
+  config.record_topo = true;
+  return config;
+}
+
+std::vector<topology::Graph> table2_datasets() {
+  return {topology::abilene(), topology::cernet(), topology::geant(),
+          topology::us_a()};
+}
+
+TEST(SimulationTopo, DisabledByDefault) {
+  SimConfig config = topo_config();
+  config.record_topo = false;
+  Simulation simulation(topology::abilene(), config);
+  simulation.run();
+  EXPECT_FALSE(simulation.topo().enabled());
+  EXPECT_TRUE(simulation.topo().nodes().empty());
+}
+
+TEST(SimulationTopo, TierSumsReconcileWithReport) {
+  for (const topology::Graph& graph : table2_datasets()) {
+    Simulation simulation(graph, topo_config());
+    const SimReport report = simulation.run();
+    const obs::TopoRecorder& topo = simulation.topo();
+    ASSERT_TRUE(topo.enabled()) << graph.name();
+    ASSERT_EQ(topo.nodes().size(), graph.node_count()) << graph.name();
+
+    std::uint64_t local = 0;
+    std::uint64_t network = 0;
+    std::uint64_t origin = 0;
+    std::uint64_t served_for_peers = 0;
+    std::uint64_t hops = 0;
+    double latency = 0.0;
+    for (const obs::TopoNodeStats& node : topo.nodes()) {
+      EXPECT_EQ(node.local + node.network + node.origin, node.requests);
+      local += node.local;
+      network += node.network;
+      origin += node.origin;
+      served_for_peers += node.served_for_peers;
+      hops += node.hops_sum;
+      latency += node.latency_ms_sum;
+    }
+    // Tier counters cover exactly the measured phase: the totals are the
+    // report's, and the fractions divide out identically.
+    EXPECT_EQ(topo.total_requests(), report.total_requests) << graph.name();
+    EXPECT_EQ(local + network + origin, report.total_requests);
+    // upstream_fetches counts warmup misses too, so it can only exceed
+    // the recorder's measured-phase tally.
+    EXPECT_LE(network + origin, report.upstream_fetches) << graph.name();
+    // Every network-tier request has exactly one serving peer.
+    EXPECT_EQ(served_for_peers, network) << graph.name();
+    const double total = static_cast<double>(report.total_requests);
+    EXPECT_DOUBLE_EQ(static_cast<double>(local) / total,
+                     report.local_fraction);
+    EXPECT_DOUBLE_EQ(static_cast<double>(network) / total,
+                     report.network_fraction);
+    EXPECT_DOUBLE_EQ(static_cast<double>(origin) / total,
+                     report.origin_load);
+    // The collector accumulates hop/latency sums as per-request doubles
+    // while the recorder regroups them per router, so allow rounding
+    // slack in the means.
+    EXPECT_NEAR(static_cast<double>(hops) / total, report.mean_hops,
+                1e-9 * (1.0 + report.mean_hops));
+    EXPECT_NEAR(latency / total, report.mean_latency_ms,
+                1e-9 * report.mean_latency_ms);
+  }
+}
+
+TEST(SimulationTopo, ZeroWarmupTierSumsEqualUpstreamFetches) {
+  SimConfig config = topo_config();
+  config.warmup_requests = 0;
+  Simulation simulation(topology::abilene(), config);
+  const SimReport report = simulation.run();
+  const obs::TopoRecorder& topo = simulation.topo();
+  std::uint64_t upstream = 0;
+  for (const obs::TopoNodeStats& node : topo.nodes()) {
+    upstream += node.network + node.origin;
+  }
+  // With no warmup, every upstream fetch is a measured one.
+  EXPECT_EQ(upstream, report.upstream_fetches);
+}
+
+TEST(SimulationTopo, LinkLoadsEqualNetworkCounters) {
+  for (const topology::Graph& graph : table2_datasets()) {
+    Simulation simulation(graph, topo_config());
+    simulation.run();
+    const obs::TopoRecorder& topo = simulation.topo();
+    // record_topo forces link tracking on.
+    const std::vector<std::uint64_t>& counts =
+        simulation.network().link_counts();
+    ASSERT_EQ(topo.links().size(), counts.size()) << graph.name();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      EXPECT_EQ(topo.links()[i].traversals, counts[i])
+          << graph.name() << " link " << i;
+      EXPECT_EQ(topo.links()[i].u, graph.links()[i].u);
+      EXPECT_EQ(topo.links()[i].v, graph.links()[i].v);
+    }
+    EXPECT_EQ(topo.total_link_traversals(),
+              simulation.network().total_link_traversals());
+    EXPECT_EQ(topo.max_link_load(), simulation.network().max_link_load());
+  }
+}
+
+TEST(SimulationTopo, CacheAndPlacementTotalsReconcile) {
+  for (const topology::Graph& graph : table2_datasets()) {
+    Simulation simulation(graph, topo_config());
+    simulation.run();
+    const obs::TopoRecorder& topo = simulation.topo();
+    const CcnNetwork::CacheTotals totals =
+        simulation.network().cache_totals();
+    std::uint64_t evictions = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t occupancy = 0;
+    std::uint64_t capacity = 0;
+    std::uint64_t placements = 0;
+    for (const obs::TopoNodeStats& node : topo.nodes()) {
+      evictions += node.evictions;
+      insertions += node.insertions;
+      occupancy += node.occupancy;
+      capacity += node.capacity;
+      placements += node.placements;
+      // A placement is a local-partition insertion observed on the serve
+      // path; a router can never place more than it inserted.
+      EXPECT_LE(node.placements, node.insertions);
+    }
+    EXPECT_EQ(evictions, totals.evictions) << graph.name();
+    EXPECT_EQ(insertions, totals.insertions) << graph.name();
+    EXPECT_EQ(occupancy, totals.occupancy) << graph.name();
+    EXPECT_EQ(capacity, totals.capacity) << graph.name();
+    // Every serve-path insertion is recorded as a placement, so the only
+    // gap is provisioning-free here: whole-run placements == insertions.
+    EXPECT_EQ(placements, insertions) << graph.name();
+    // The depth histogram is the same placements, bucketed by distance.
+    std::uint64_t histogram = 0;
+    for (const std::uint64_t count : topo.placement_depths()) {
+      histogram += count;
+    }
+    EXPECT_EQ(histogram, placements) << graph.name();
+    EXPECT_EQ(topo.total_placements(), placements) << graph.name();
+  }
+}
+
+TEST(SimulationTopo, RecordingDoesNotChangeTheReport) {
+  for (const bool aggregation : {false, true}) {
+    SimConfig off = topo_config();
+    off.record_topo = false;
+    off.interest_aggregation = aggregation;
+    SimConfig on = off;
+    on.record_topo = true;
+    Simulation without(topology::geant(), off);
+    Simulation with(topology::geant(), on);
+    const SimReport plain = without.run();
+    const SimReport recorded = with.run();
+    EXPECT_EQ(plain.total_requests, recorded.total_requests);
+    EXPECT_EQ(plain.upstream_fetches, recorded.upstream_fetches);
+    EXPECT_EQ(plain.aggregated_requests, recorded.aggregated_requests);
+    EXPECT_EQ(plain.local_fraction, recorded.local_fraction);
+    EXPECT_EQ(plain.network_fraction, recorded.network_fraction);
+    EXPECT_EQ(plain.origin_load, recorded.origin_load);
+    EXPECT_EQ(plain.mean_latency_ms, recorded.mean_latency_ms);
+    EXPECT_EQ(plain.mean_hops, recorded.mean_hops);
+  }
+}
+
+std::string replicated_export(const topology::Graph& graph,
+                              std::size_t threads, bool csv) {
+  runtime::ThreadPool pool(threads);
+  const runtime::ReplicationSummary summary =
+      runtime::ReplicationRunner(pool).run(graph, topo_config(), 6);
+  EXPECT_EQ(summary.topo.replications(), 6u);
+  std::ostringstream out;
+  if (csv) {
+    obs::write_topo_csv(out, summary.topo);
+  } else {
+    obs::write_topo_json(out, summary.topo);
+  }
+  return out.str();
+}
+
+TEST(ReplicationTopo, ExportByteIdenticalAcrossThreadCounts) {
+  for (const topology::Graph& graph : table2_datasets()) {
+    const std::string json_one = replicated_export(graph, 1, false);
+    const std::string json_eight = replicated_export(graph, 8, false);
+    EXPECT_FALSE(json_one.empty());
+    EXPECT_EQ(json_one, json_eight) << graph.name();
+    const std::string csv_one = replicated_export(graph, 1, true);
+    const std::string csv_eight = replicated_export(graph, 8, true);
+    EXPECT_EQ(csv_one, csv_eight) << graph.name();
+  }
+}
+
+}  // namespace
+}  // namespace ccnopt::sim

@@ -29,6 +29,10 @@
 //                        byte-identical across --threads values
 //   --timeline-epoch=E   requests per timeline epoch (default 5000 when
 //                        --timeline-out is given)
+//   --topo-out=path      (simulate) per-router / per-link flight recorder
+//                        (ccnopt-topo-v1; .csv → CSV, else JSON); render as
+//                        a Graphviz heatmap with tools/render_topo.py;
+//                        byte-identical across --threads values
 //   --perfetto-out=path  span occurrences as Chrome trace events
 //                        (ccnopt-spans-v1; open in Perfetto / about:tracing);
 //                        also auto-emitted as <profile-out>.perfetto.json
@@ -54,6 +58,7 @@
 #include "ccnopt/model/robustness.hpp"
 #include "ccnopt/model/sensitivity.hpp"
 #include "ccnopt/obs/export.hpp"
+#include "ccnopt/obs/topo.hpp"
 #include "ccnopt/obs/trace.hpp"
 #include "ccnopt/runtime/replication_runner.hpp"
 #include "ccnopt/runtime/thread_pool.hpp"
@@ -180,6 +185,22 @@ int write_timeline_out(const std::string& path,
   }
   std::cout << "timeline written to " << path << " ("
             << timeline.epochs().size() << " epochs)\n";
+  return 0;
+}
+
+int write_topo_out(const std::string& path, const obs::TopoRecorder& topo) {
+  std::ofstream out(path);
+  if (!out) {
+    return fail(Status(ErrorCode::kInvalidArgument, "cannot open " + path));
+  }
+  if (wants_csv(path)) {
+    obs::write_topo_csv(out, topo);
+  } else {
+    obs::write_topo_json(out, topo);
+  }
+  std::cout << "topo telemetry written to " << path << " ("
+            << topo.nodes().size() << " nodes, " << topo.links().size()
+            << " links)\n";
   return 0;
 }
 
@@ -356,6 +377,10 @@ int cmd_simulate(const ArgParser& args) {
   }
   config.timeline_epoch = static_cast<std::uint64_t>(*timeline_epoch);
 
+  const bool want_topo = args.has("topo-out");
+  const std::string topo_path = args.get("topo-out", "");
+  config.record_topo = want_topo;
+
   const std::string policy = args.get("policy", "static");
   if (policy == "static") {
     config.network.local_mode = sim::LocalStoreMode::kStaticTop;
@@ -421,7 +446,12 @@ int cmd_simulate(const ArgParser& args) {
       }
     }
     if (want_timeline) {
-      return write_timeline_out(timeline_path, summary.timeline);
+      if (int code = write_timeline_out(timeline_path, summary.timeline)) {
+        return code;
+      }
+    }
+    if (want_topo) {
+      return write_topo_out(topo_path, summary.topo);
     }
     return 0;
   }
@@ -442,7 +472,12 @@ int cmd_simulate(const ArgParser& args) {
     }
   }
   if (want_timeline) {
-    return write_timeline_out(timeline_path, simulation.timeline());
+    if (int code = write_timeline_out(timeline_path, simulation.timeline())) {
+      return code;
+    }
+  }
+  if (want_topo) {
+    return write_topo_out(topo_path, simulation.topo());
   }
   return 0;
 }

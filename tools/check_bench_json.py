@@ -7,9 +7,13 @@ named by ``$CCNOPT_BENCH_DIR`` (default: the working directory).  The
 strategy arena (``bench_arena``) additionally writes ``ARENA_*.json``
 (schema ``ccnopt-arena-v1``): a strategies x topologies grid of comparison
 cells.  ``ccnopt simulate --timeline-out`` writes per-epoch telemetry
-(schema ``ccnopt-timeline-v1``), and ``--perfetto-out`` writes a
-chrome://tracing span trace (schema ``ccnopt-spans-v1``).  This script
-checks all four against their schemas — dispatching on each record's
+(schema ``ccnopt-timeline-v1``), ``--perfetto-out`` writes a
+chrome://tracing span trace (schema ``ccnopt-spans-v1``),
+``--topo-out`` writes the per-router/per-link flight recorder (schema
+``ccnopt-topo-v1``, rendered by ``tools/render_topo.py``), and
+``--trace-out`` writes sampled per-request events with hop paths (schema
+``ccnopt-trace-v2``).  This script checks all of them against their
+schemas — dispatching on each record's
 ``schema`` field — so CI can catch silently-broken exports.  Non-finite
 numbers (NaN/Infinity) are rejected everywhere: they are invalid JSON and
 poison any downstream comparison.
@@ -45,6 +49,8 @@ SCHEMA = "ccnopt-bench-v1"
 ARENA_SCHEMA = "ccnopt-arena-v1"
 TIMELINE_SCHEMA = "ccnopt-timeline-v1"
 SPANS_SCHEMA = "ccnopt-spans-v1"
+TOPO_SCHEMA = "ccnopt-topo-v1"
+TRACE_SCHEMA = "ccnopt-trace-v2"
 
 
 def _reject_constant(name: str) -> float:
@@ -200,6 +206,25 @@ def validate_arena_cell(cell: object, where: str, errors: list[str]) -> None:
         if not _is_number(value) or value < 0:
             errors.append(f"{where}.{key}: expected non-negative number, got "
                           f"{value!r}")
+    # Topology-resolved summary fields (every cell runs with record_topo).
+    for key in ("placements", "link_traversals", "max_link_load"):
+        if not _is_int(cell.get(key)) or cell[key] < 0:
+            errors.append(f"{where}.{key}: expected non-negative int")
+    depth = cell.get("mean_placement_depth")
+    if not _is_number(depth) or depth < 0:
+        errors.append(
+            f"{where}.mean_placement_depth: expected non-negative number, "
+            f"got {depth!r}")
+    depths = cell.get("placement_depths")
+    if not isinstance(depths, list) or not all(
+            _is_int(d) and d >= 0 for d in depths):
+        errors.append(
+            f"{where}.placement_depths: expected list of non-negative ints")
+    elif _is_int(cell.get("placements")) and sum(depths) != cell[
+            "placements"]:
+        errors.append(
+            f"{where}.placement_depths: histogram sums to {sum(depths)}, "
+            f"expected placements = {cell['placements']}")
 
 
 def validate_arena_record(record: dict, errors: list[str]) -> None:
@@ -347,6 +372,134 @@ def validate_trace_events(record: dict, errors: list[str]) -> None:
             errors.append(f"{slot}.args.path: expected non-empty string")
 
 
+def validate_topo_record(record: dict, errors: list[str]) -> None:
+    """ccnopt-topo-v1: per-router flight-recorder rows (dense, id == index)
+    plus per-link traversal counts and the placement-depth histogram.  The
+    declared routers/links counts must match the arrays, every counter is a
+    non-negative integer, and tier counts must sum to each node's requests."""
+    if not isinstance(record.get("topology"), str) or not record["topology"]:
+        errors.append("topology: expected non-empty string")
+    routers = record.get("routers")
+    if not _is_int(routers) or routers <= 0:
+        errors.append("routers: expected positive integer")
+        routers = None
+    links = record.get("links")
+    if not _is_int(links) or links < 0:
+        errors.append("links: expected non-negative integer")
+        links = None
+    if not _is_int(record.get("replications")) or record["replications"] < 1:
+        errors.append("replications: expected positive integer")
+    depths = record.get("placement_depths")
+    if not isinstance(depths, list) or not all(
+            _is_int(d) and d >= 0 for d in depths):
+        errors.append("placement_depths: expected list of non-negative ints")
+        depths = []
+    nodes = record.get("nodes")
+    if not isinstance(nodes, list):
+        errors.append("nodes: must be a list")
+        nodes = []
+    if routers is not None and len(nodes) != routers:
+        errors.append(
+            f"nodes: expected routers = {routers} entries, got {len(nodes)}")
+    total_placements = 0
+    for index, node in enumerate(nodes):
+        slot = f"nodes[{index}]"
+        if not isinstance(node, dict):
+            errors.append(f"{slot}: must be an object")
+            continue
+        if node.get("id") != index:
+            errors.append(f"{slot}.id: expected dense index {index}, got "
+                          f"{node.get('id')!r}")
+        for key in ("requests", "local", "network", "origin", "misses",
+                    "served_for_peers", "placements", "hops_sum",
+                    "evictions", "insertions", "occupancy", "capacity"):
+            if not _is_int(node.get(key)) or node[key] < 0:
+                errors.append(f"{slot}.{key}: expected non-negative int, "
+                              f"got {node.get(key)!r}")
+        value = node.get("latency_ms_sum")
+        if not _is_number(value) or value < 0:
+            errors.append(f"{slot}.latency_ms_sum: expected non-negative "
+                          f"number, got {value!r}")
+        if all(_is_int(node.get(k))
+               for k in ("requests", "local", "network", "origin", "misses")):
+            if node["local"] + node["network"] + node["origin"] != node[
+                    "requests"]:
+                errors.append(f"{slot}: tier counts do not sum to requests")
+            if node["misses"] != node["requests"] - node["local"]:
+                errors.append(f"{slot}.misses: expected requests - local")
+        if _is_int(node.get("placements")):
+            total_placements += node["placements"]
+    if nodes and sum(depths) != total_placements:
+        errors.append(
+            f"placement_depths: histogram sums to {sum(depths)}, expected "
+            f"total node placements = {total_placements}")
+    edges = record.get("edges")
+    if not isinstance(edges, list):
+        errors.append("edges: must be a list")
+        return
+    if links is not None and len(edges) != links:
+        errors.append(
+            f"edges: expected links = {links} entries, got {len(edges)}")
+    for index, edge in enumerate(edges):
+        slot = f"edges[{index}]"
+        if not isinstance(edge, dict):
+            errors.append(f"{slot}: must be an object")
+            continue
+        u, v = edge.get("u"), edge.get("v")
+        if not _is_int(u) or not _is_int(v) or not 0 <= u < v:
+            errors.append(f"{slot}: expected endpoint ids with 0 <= u < v, "
+                          f"got u={u!r} v={v!r}")
+        elif routers is not None and v >= routers:
+            errors.append(f"{slot}.v: endpoint {v} out of range for "
+                          f"{routers} routers")
+        if not _is_int(edge.get("traversals")) or edge["traversals"] < 0:
+            errors.append(f"{slot}.traversals: expected non-negative int")
+
+
+def validate_trace_record(record: dict, errors: list[str]) -> None:
+    """ccnopt-trace-v2: sampled per-request events, each carrying the full
+    delivery hop path (requester first) and the placement depth of the
+    nearest new copy (-1 when the insertion rule placed nothing)."""
+    events = record.get("events")
+    if not isinstance(events, list):
+        errors.append("events: must be a list")
+        return
+    tiers = {"local", "network", "origin"}
+    for index, event in enumerate(events):
+        slot = f"events[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{slot}: must be an object")
+            continue
+        for key in ("replication", "request", "router", "content", "hops",
+                    "served_by"):
+            if not _is_int(event.get(key)) or event[key] < 0:
+                errors.append(f"{slot}.{key}: expected non-negative int")
+        if event.get("tier") not in tiers:
+            errors.append(f"{slot}.tier: expected one of {sorted(tiers)}, "
+                          f"got {event.get('tier')!r}")
+        path = event.get("path")
+        if not isinstance(path, list) or not path or not all(
+                _is_int(p) and p >= 0 for p in path):
+            errors.append(
+                f"{slot}.path: expected non-empty list of node ids")
+        else:
+            if _is_int(event.get("router")) and path[0] != event["router"]:
+                errors.append(f"{slot}.path: must start at the requesting "
+                              f"router {event['router']}, got {path[0]}")
+            if _is_int(event.get("hops")) and len(path) - 1 > event["hops"]:
+                errors.append(f"{slot}.path: {len(path) - 1} edges exceeds "
+                              f"hops = {event['hops']}")
+        depth = event.get("placement_depth")
+        if not _is_int(depth) or depth < -1:
+            errors.append(f"{slot}.placement_depth: expected int >= -1, "
+                          f"got {depth!r}")
+        elif isinstance(path, list) and path and depth >= len(path):
+            errors.append(f"{slot}.placement_depth: depth {depth} is past "
+                          f"the end of a {len(path)}-node path")
+        if not _is_number(event.get("latency_ms")) or event["latency_ms"] < 0:
+            errors.append(f"{slot}.latency_ms: expected non-negative number")
+
+
 def validate_record(path: str) -> list[str]:
     errors: list[str] = []
     try:
@@ -365,11 +518,17 @@ def validate_record(path: str) -> list[str]:
     if record.get("schema") == SPANS_SCHEMA:
         validate_trace_events(record, errors)
         return errors
+    if record.get("schema") == TOPO_SCHEMA:
+        validate_topo_record(record, errors)
+        return errors
+    if record.get("schema") == TRACE_SCHEMA:
+        validate_trace_record(record, errors)
+        return errors
     if record.get("schema") != SCHEMA:
         errors.append(
             f"schema: expected one of {SCHEMA!r}, {ARENA_SCHEMA!r}, "
-            f"{TIMELINE_SCHEMA!r}, {SPANS_SCHEMA!r}, got "
-            f"{record.get('schema')!r}")
+            f"{TIMELINE_SCHEMA!r}, {SPANS_SCHEMA!r}, {TOPO_SCHEMA!r}, "
+            f"{TRACE_SCHEMA!r}, got {record.get('schema')!r}")
     name = record.get("name")
     if not isinstance(name, str) or not name:
         errors.append(f"name: expected non-empty string, got {name!r}")
@@ -448,10 +607,11 @@ def main() -> int:
     files = args.files or (
         sorted(glob.glob(os.path.join(args.out_dir, "BENCH_*.json"))) +
         sorted(glob.glob(os.path.join(args.out_dir, "ARENA_*.json"))) +
-        sorted(glob.glob(os.path.join(args.out_dir, "TIMELINE_*.json"))))
+        sorted(glob.glob(os.path.join(args.out_dir, "TIMELINE_*.json"))) +
+        sorted(glob.glob(os.path.join(args.out_dir, "TOPO_*.json"))))
     if not files:
-        print(f"FAIL: no BENCH_*.json, ARENA_*.json, or TIMELINE_*.json "
-              f"records found in {args.out_dir!r}")
+        print(f"FAIL: no BENCH_*.json, ARENA_*.json, TIMELINE_*.json, or "
+              f"TOPO_*.json records found in {args.out_dir!r}")
         return 1
 
     failed = 0

@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Render a ccnopt-topo-v1 flight-recorder export as a Graphviz heatmap.
+
+``ccnopt simulate --topo-out=TOPO_run.json`` (or any Simulation with
+``SimConfig::record_topo``) writes per-router tier counters and per-link
+traversal counts.  This script turns that JSON into a Graphviz DOT graph:
+
+- node fill color encodes the router's local hit ratio (red = every
+  request missed the local cache, green = every request hit), with the
+  label showing ``id``, requests, and hit ratio;
+- edge pen width scales with link traversals relative to the busiest
+  link, so hot paths stand out; edge labels carry the raw counts;
+- routers that received no requests (pure transit nodes) render gray.
+
+Usage:
+  # Produce DOT on stdout (pipe into `dot -Tsvg` if Graphviz is around):
+  python3 tools/render_topo.py TOPO_run.json > topo.dot
+
+  # Write to a file:
+  python3 tools/render_topo.py TOPO_run.json --out topo.dot
+
+  # Self-test: run the CLI, validate the export, render it, check the DOT
+  # (used by the ccnopt_topo_smoke ctest; needs only the ccnopt binary):
+  python3 tools/render_topo.py --smoke build/tools/ccnopt
+
+Only the Python standard library is used; Graphviz itself is NOT required
+to produce the DOT file, only to rasterize it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+MAX_PENWIDTH = 8.0
+MIN_PENWIDTH = 0.5
+
+
+def _reject_constant(name: str) -> float:
+    raise ValueError(f"non-finite JSON constant {name!r}")
+
+
+def load_topo(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        record = json.load(handle, parse_constant=_reject_constant)
+    if not isinstance(record, dict):
+        raise ValueError("top level must be a JSON object")
+    if record.get("schema") != "ccnopt-topo-v1":
+        raise ValueError(
+            f"expected schema 'ccnopt-topo-v1', got {record.get('schema')!r}")
+    for key in ("topology", "nodes", "edges"):
+        if key not in record:
+            raise ValueError(f"missing key {key!r}")
+    return record
+
+
+def hit_ratio_color(ratio: float) -> str:
+    """Red (0.0) -> yellow (0.5) -> green (1.0), as an #rrggbb fill."""
+    ratio = min(1.0, max(0.0, ratio))
+    if ratio < 0.5:
+        red, green = 255, int(round(510 * ratio))
+    else:
+        red, green = int(round(510 * (1.0 - ratio))), 255
+    return f"#{red:02x}{green:02x}40"
+
+
+def dot_escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def render_dot(record: dict) -> str:
+    nodes = record["nodes"]
+    edges = record["edges"]
+    max_load = max((edge["traversals"] for edge in edges), default=0)
+    lines = [
+        "graph ccnopt_topo {",
+        f'  label="{dot_escape(record["topology"])} — local hit ratio '
+        f'(node color), link load (edge width)";',
+        "  labelloc=t;",
+        '  node [style=filled, shape=circle, fontname="Helvetica"];',
+        '  edge [color="#404040", fontname="Helvetica", fontsize=9];',
+    ]
+    for node in nodes:
+        requests = node["requests"]
+        if requests > 0:
+            ratio = node["local"] / requests
+            fill = hit_ratio_color(ratio)
+            label = f"{node['id']}\\n{requests} req\\n{ratio:.0%} hit"
+        else:
+            fill = "#d0d0d0"
+            label = f"{node['id']}\\ntransit"
+        lines.append(
+            f'  n{node["id"]} [label="{label}", fillcolor="{fill}"];')
+    for edge in edges:
+        traversals = edge["traversals"]
+        if max_load > 0:
+            width = MIN_PENWIDTH + (MAX_PENWIDTH - MIN_PENWIDTH) * (
+                traversals / max_load)
+        else:
+            width = MIN_PENWIDTH
+        label = f' [penwidth={width:.2f}, label="{traversals}"]'
+        lines.append(f'  n{edge["u"]} -- n{edge["v"]}{label};')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def smoke(cli_path: str) -> int:
+    """End-to-end self-test: simulate --topo-out, validate, render, check."""
+    cli_path = os.path.abspath(cli_path)
+    with tempfile.TemporaryDirectory(prefix="ccnopt_topo_smoke_") as tmp:
+        topo_json = os.path.join(tmp, "TOPO_smoke.json")
+        command = [
+            cli_path, "simulate", "--topology=geant", "--requests=20000",
+            "--seed=7", f"--topo-out={topo_json}",
+        ]
+        print("running", " ".join(command), flush=True)
+        result = subprocess.run(command, stdout=subprocess.DEVNULL)
+        if result.returncode != 0:
+            print(f"FAIL: simulate exited with {result.returncode}")
+            return 1
+        try:
+            record = load_topo(topo_json)
+        except (OSError, ValueError) as exc:
+            print(f"FAIL: {topo_json}: {exc}")
+            return 1
+        # Hand the export to the schema validator when it is alongside us.
+        checker = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "check_bench_json.py")
+        if os.path.exists(checker):
+            check = subprocess.run([sys.executable, checker, topo_json])
+            if check.returncode != 0:
+                print("FAIL: check_bench_json.py rejected the topo export")
+                return 1
+        dot = render_dot(record)
+        node_count = sum(1 for line in dot.splitlines()
+                         if re.match(r"\s*n\d+ \[label=", line))
+        edge_count = sum(1 for line in dot.splitlines() if " -- " in line)
+        ok = (dot.startswith("graph ccnopt_topo {") and dot.rstrip().endswith(
+            "}") and node_count == len(record["nodes"])
+            and edge_count == len(record["edges"])
+            and sum(n["requests"] for n in record["nodes"]) > 0
+            and all(math.isfinite(n["latency_ms_sum"])
+                    for n in record["nodes"]))
+        if not ok:
+            print(f"FAIL: DOT render mismatch ({node_count} node lines vs "
+                  f"{len(record['nodes'])} nodes, {edge_count} edge lines "
+                  f"vs {len(record['edges'])} edges)")
+            return 1
+        print(f"ok: rendered {node_count} nodes, {edge_count} edges from "
+              f"{record['topology']}")
+        return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Render ccnopt-topo-v1 JSON as a Graphviz DOT heatmap")
+    parser.add_argument("topo_json", nargs="?",
+                        help="TOPO_*.json file written by --topo-out")
+    parser.add_argument("--out", help="write DOT here instead of stdout")
+    parser.add_argument("--smoke", metavar="CCNOPT_CLI",
+                        help="self-test: run `CCNOPT_CLI simulate "
+                             "--topo-out`, validate and render the export")
+    args = parser.parse_args()
+
+    if args.smoke:
+        return smoke(args.smoke)
+    if not args.topo_json:
+        parser.error("topo_json is required unless --smoke is given")
+    try:
+        record = load_topo(args.topo_json)
+    except (OSError, ValueError) as exc:
+        print(f"error: {args.topo_json}: {exc}", file=sys.stderr)
+        return 1
+    dot = render_dot(record)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(dot)
+        print(f"DOT written to {args.out} ({len(record['nodes'])} nodes, "
+              f"{len(record['edges'])} edges)", file=sys.stderr)
+    else:
+        sys.stdout.write(dot)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Build and run the memory-safety-critical test suites (the robin-hood
-# sparse index, the cache policies layered on it, the Zipf samplers, and
-# the strategy subsystem driving the data plane) under AddressSanitizer +
+# sparse index, the cache policies layered on it, the Zipf samplers, the
+# strategy subsystem driving the data plane, and the topology-resolved
+# flight recorder fed from the serve hot path) under AddressSanitizer +
 # UndefinedBehaviorSanitizer.
 #
 # Usage: run_sanitized_tests.sh <source-dir> <build-dir>
@@ -30,6 +31,8 @@ TARGETS=(
   test_strategy_registry
   test_strategy_properties
   test_strategy_ab_identity
+  test_obs_topo
+  test_sim_topo
 )
 
 cmake -S "${SOURCE_DIR}" -B "${BUILD_DIR}" \

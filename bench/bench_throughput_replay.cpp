@@ -6,7 +6,14 @@
 // Usage: bench_throughput_replay [--threads N] [--requests R]
 //                                [--replications K] [--catalog N]
 //                                [--capacity C] [--coordinated X]
-//                                [--label SUFFIX]
+//                                [--shards S] [--label SUFFIX]
+//
+// Besides the replication fan-out, the bench times ONE big run through the
+// sharded request engine (--shards, default 8) against the same run at
+// shards=1, reporting requests_per_sec_sharded and sharded_speedup — both
+// runs are bit-identical by construction (see DESIGN.md §14), so this is a
+// pure like-for-like timing. Per-phase throughput (warmup vs measured) of
+// the single-thread run is reported from Simulation::last_phase_seconds().
 //
 // --catalog scales the content catalog (default 20000); at web-scale
 // catalogs the auto-selected rejection sampler and sparse cache indexes
@@ -23,6 +30,7 @@
 
 #include "bench_util.hpp"
 #include "ccnopt/runtime/replication_runner.hpp"
+#include "ccnopt/runtime/shard_scheduler.hpp"
 #include "ccnopt/runtime/thread_pool.hpp"
 #include "ccnopt/sim/simulation.hpp"
 #include "ccnopt/sim/steady_state.hpp"
@@ -57,6 +65,7 @@ int main(int argc, char** argv) {
   std::uint64_t catalog = 20000;
   std::size_t capacity = 200;
   std::size_t coordinated = 100;
+  std::size_t shards = 8;
   std::string label;
   for (int i = 1; i + 1 < argc + 1; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -71,11 +80,14 @@ int main(int argc, char** argv) {
       capacity = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--coordinated") == 0 && i + 1 < argc) {
       coordinated = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
       label = argv[++i];
     }
   }
   if (threads == 0) threads = 1;
+  if (shards == 0) shards = 1;
   bench::BenchReporter reporter(
       label.empty() ? std::string("throughput_replay")
                     : "throughput_replay_" + label);
@@ -144,19 +156,71 @@ int main(int argc, char** argv) {
     topo_rps = replications_rps(pool, topo_config, replications, &topo_ms);
   }
 
+  // Sharded engine on ONE big run: the same request budget as a single
+  // replication, shards=1 (batched engine) vs shards=S on a real pool.
+  // Both produce bit-identical outputs, so the ratio is pure engine cost.
+  double single_ms = 0.0;
+  double single_rps = 0.0;
+  double sharded_ms = 0.0;
+  double sharded_rps = 0.0;
+  double warmup_phase_rps = 0.0;
+  double measured_phase_rps = 0.0;
+  {
+    const double total_requests =
+        static_cast<double>(config.warmup_requests + config.measured_requests);
+    {
+      sim::Simulation single(topology::us_a(), config);
+      const bench::WallTimer timer;
+      single.run();
+      single_ms = timer.elapsed_ms();
+      single_rps = total_requests / (single_ms > 0.0 ? single_ms / 1000.0
+                                                     : 1e-9);
+      const sim::Simulation::PhaseSeconds phases = single.last_phase_seconds();
+      warmup_phase_rps = static_cast<double>(config.warmup_requests) /
+                         (phases.warmup > 0.0 ? phases.warmup : 1e-9);
+      measured_phase_rps = static_cast<double>(config.measured_requests) /
+                           (phases.measured > 0.0 ? phases.measured : 1e-9);
+    }
+    {
+      sim::SimConfig sharded_config = config;
+      sharded_config.shards = shards;
+      runtime::ThreadPool pool(std::min(threads, shards));
+      runtime::ShardScheduler scheduler(pool);
+      sim::Simulation sharded(topology::us_a(), sharded_config);
+      sharded.set_shard_executor(&scheduler);
+      const bench::WallTimer timer;
+      sharded.run();
+      sharded_ms = timer.elapsed_ms();
+      sharded_rps = total_requests / (sharded_ms > 0.0 ? sharded_ms / 1000.0
+                                                       : 1e-9);
+    }
+  }
+
   std::cout << "serial   (1 thread):  " << serial_rps / 1e6 << " Mreq/s\n"
             << "parallel (" << threads << " threads): " << parallel_rps / 1e6
             << " Mreq/s (speedup " << parallel_rps / serial_rps << "x)\n"
             << "topo on  (" << threads << " threads): " << topo_rps / 1e6
             << " Mreq/s (" << topo_rps / parallel_rps
-            << "x of topo-off)\n";
+            << "x of topo-off)\n"
+            << "one run  (1 thread):  " << single_rps / 1e6
+            << " Mreq/s (warmup phase " << warmup_phase_rps / 1e6
+            << ", measured phase " << measured_phase_rps / 1e6 << ")\n"
+            << "one run  (" << shards << " shards):  " << sharded_rps / 1e6
+            << " Mreq/s (speedup " << sharded_rps / single_rps << "x)\n";
 
   reporter.add_timing_ms("serial_ms", serial_ms);
   reporter.add_timing_ms("parallel_ms", parallel_ms);
   reporter.add_timing_ms("topo_ms", topo_ms);
+  reporter.add_timing_ms("single_run_ms", single_ms);
+  reporter.add_timing_ms("sharded_run_ms", sharded_ms);
   reporter.set_output("requests_per_sec", parallel_rps);
   reporter.set_output("requests_per_sec_serial", serial_rps);
   reporter.set_output("requests_per_sec_topo", topo_rps);
+  reporter.set_output("requests_per_sec_warmup_phase", warmup_phase_rps);
+  reporter.set_output("requests_per_sec_measured_phase", measured_phase_rps);
+  reporter.set_output("requests_per_sec_sharded", sharded_rps);
+  reporter.set_output("sharded_speedup", sharded_rps / single_rps);
+  reporter.set_output("shards", shards);
   reporter.set_output("threads", threads);
   reporter.set_output("catalog_size", config.network.catalog_size);
   reporter.set_output("replications", replications);

@@ -81,10 +81,16 @@ void TopoRecorder::merge(const TopoRecorder& other) {
     *this = other;
     return;
   }
+  replications_ += other.replications_;
+  absorb(other);
+}
+
+void TopoRecorder::absorb(const TopoRecorder& other) {
+  if (!other.enabled()) return;
+  CCNOPT_EXPECTS(enabled());
   CCNOPT_EXPECTS(other.topology_ == topology_);
   CCNOPT_EXPECTS(other.nodes_.size() == nodes_.size());
   CCNOPT_EXPECTS(other.links_.size() == links_.size());
-  replications_ += other.replications_;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     TopoNodeStats& mine = nodes_[i];
     const TopoNodeStats& theirs = other.nodes_[i];

@@ -111,6 +111,14 @@ class TopoRecorder {
   /// Enabled-to-enabled merges require identical topology shape.
   void merge(const TopoRecorder& other);
 
+  /// Same entity-by-entity sum as merge(), but `other` is a shard of THIS
+  /// run rather than another replication: replications() is left untouched.
+  /// The sharded request engine folds its per-shard placement recorders
+  /// into the run recorder with this, in shard index order (every summed
+  /// field is an integer or a serially accumulated double, so the result
+  /// is byte-identical for any shard count).
+  void absorb(const TopoRecorder& other);
+
   // Whole-network sums, for reconciliation against the global report.
   std::uint64_t total_requests() const;
   std::uint64_t total_placements() const;

@@ -83,6 +83,11 @@ std::uint64_t AliasSampler::sample(Rng& rng) {
   return index + 1;  // ranks are 1-based
 }
 
+void AliasSampler::sample_block(Rng& rng, std::uint64_t* out,
+                                std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) out[i] = AliasSampler::sample(rng);
+}
+
 ZipfRejectionSampler::ZipfRejectionSampler(std::uint64_t catalog_size,
                                            double exponent)
     : n_(catalog_size), s_(exponent) {
@@ -133,6 +138,13 @@ std::uint64_t ZipfRejectionSampler::sample(Rng& rng) {
         u >= h_integral(k + 0.5) - h(k)) {
       return static_cast<std::uint64_t>(k);
     }
+  }
+}
+
+void ZipfRejectionSampler::sample_block(Rng& rng, std::uint64_t* out,
+                                        std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = ZipfRejectionSampler::sample(rng);
   }
 }
 

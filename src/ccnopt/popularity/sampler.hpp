@@ -31,6 +31,14 @@ class RankSampler {
   virtual ~RankSampler() = default;
   virtual std::uint64_t sample(Rng& rng) = 0;
   virtual std::uint64_t catalog_size() const = 0;
+
+  /// Draws `count` ranks into `out`, consuming `rng` exactly as `count`
+  /// successive sample() calls would — the block is a pure amortization of
+  /// the per-draw virtual dispatch, never a different stream. Hot-path
+  /// samplers override this with a tight devirtualized loop.
+  virtual void sample_block(Rng& rng, std::uint64_t* out, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) out[i] = sample(rng);
+  }
 };
 
 /// Walker/Vose alias method over an explicit probability vector.
@@ -49,6 +57,9 @@ class AliasSampler final : public RankSampler {
   explicit AliasSampler(const ZipfDistribution& zipf);
 
   std::uint64_t sample(Rng& rng) override;
+  /// Block draws devirtualized through the final class (the inner sample()
+  /// calls inline); same stream as repeated sample().
+  void sample_block(Rng& rng, std::uint64_t* out, std::size_t count) override;
   std::uint64_t catalog_size() const override { return prob_.size(); }
 
  private:
@@ -89,6 +100,9 @@ class ZipfRejectionSampler final : public RankSampler {
   ZipfRejectionSampler(std::uint64_t catalog_size, double exponent);
 
   std::uint64_t sample(Rng& rng) override;
+  /// Block draws devirtualized through the final class (the inner sample()
+  /// calls inline); same stream as repeated sample().
+  void sample_block(Rng& rng, std::uint64_t* out, std::size_t count) override;
   std::uint64_t catalog_size() const override { return n_; }
   double exponent() const { return s_; }
 

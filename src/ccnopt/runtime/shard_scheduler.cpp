@@ -1,0 +1,29 @@
+#include "ccnopt/runtime/shard_scheduler.hpp"
+
+#include <future>
+#include <vector>
+
+namespace ccnopt::runtime {
+
+void ShardScheduler::run_shards(std::size_t count,
+                                const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  std::vector<std::future<void>> futures;
+  futures.reserve(count - 1);
+  for (std::size_t shard = 0; shard + 1 < count; ++shard) {
+    futures.push_back(pool_->submit([&body, shard] { body(shard); }));
+  }
+  // Even a throwing inline body must not leave the barrier: the submitted
+  // bodies capture `body` by reference and may still be running.
+  std::exception_ptr error;
+  try {
+    body(count - 1);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  for (std::future<void>& future : futures) future.wait();
+  if (error) std::rethrow_exception(error);
+  for (std::future<void>& future : futures) future.get();
+}
+
+}  // namespace ccnopt::runtime

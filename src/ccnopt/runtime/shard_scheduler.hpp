@@ -1,0 +1,40 @@
+// ShardExecutor on top of the worker pool: the bridge that gives one
+// Simulation run real threads. Lives in runtime/ because sim/ sits below
+// the pool in the dependency order — the sharded engine only sees the
+// ShardExecutor interface.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "ccnopt/runtime/thread_pool.hpp"
+#include "ccnopt/sim/sharded.hpp"
+
+namespace ccnopt::runtime {
+
+/// Runs shard bodies on a ThreadPool: bodies 0..count-2 are submitted,
+/// the last runs inline on the calling thread (with count worker-sized
+/// pools the caller would otherwise idle through every region). Each
+/// run_shards() call blocks until all bodies finished — future get() is
+/// the barrier, so every body's writes happen-before the caller resumes —
+/// and rethrows the first body exception after the barrier.
+///
+/// The scheduler is an execution resource only: the sharded engine's
+/// outputs are byte-identical whether regions run here, on a 1-thread
+/// pool, or on SerialShardExecutor.
+class ShardScheduler final : public sim::ShardExecutor {
+ public:
+  /// The pool is not owned and must outlive the scheduler. Sharing a pool
+  /// between a scheduler and other concurrent submitters is fine; sharing
+  /// it between two schedulers running simultaneously deadlock-free too
+  /// (the inline shard keeps every caller making progress).
+  explicit ShardScheduler(ThreadPool& pool) : pool_(&pool) {}
+
+  void run_shards(std::size_t count,
+                  const std::function<void(std::size_t)>& body) override;
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace ccnopt::runtime

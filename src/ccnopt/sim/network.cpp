@@ -221,14 +221,20 @@ void CcnNetwork::rebuild_owner_table() {
 }
 
 void CcnNetwork::record_path(topology::NodeId src, topology::NodeId dst) {
+  record_path_into(src, dst, link_counts_, total_traversals_);
+}
+
+void CcnNetwork::record_path_into(topology::NodeId src, topology::NodeId dst,
+                                  std::vector<std::uint64_t>& counts,
+                                  std::uint64_t& total) const {
   if (!config_.track_link_load || src == dst) return;
   const topology::SsspResult& tree = trees_[src];
   const std::vector<std::uint32_t>& tree_links = parent_link_[src];
   for (topology::NodeId v = dst; v != src;) {
     const topology::NodeId p = tree.parent[v];
     CCNOPT_ASSERT(p != topology::kNoParent);
-    ++link_counts_[tree_links[v]];
-    ++total_traversals_;
+    ++counts[tree_links[v]];
+    ++total;
     v = p;
   }
 }
@@ -448,13 +454,21 @@ ServeResult CcnNetwork::serve(topology::NodeId first_hop,
   if (data_plane_.forwarding == strategy::ForwardingMode::kOnPath) {
     return serve_on_path(first_hop, content);
   }
+  return serve_owner_table(first_hop, content, link_counts_,
+                           total_traversals_, topo_);
+}
+
+ServeResult CcnNetwork::serve_owner_table(
+    topology::NodeId first_hop, cache::ContentId content,
+    std::vector<std::uint64_t>& link_counts, std::uint64_t& total_traversals,
+    obs::TopoRecorder* topo) {
   cache::PartitionedStore& own = *stores_[first_hop];
 
   // Placement telemetry reads the local partition's insertion counter
   // around admit(): a delta means the miss actually seeded a copy here
   // (depth 0). Static local partitions never insert, so they truthfully
   // record nothing.
-  const bool telemetry = placement_telemetry();
+  const bool telemetry = topo != nullptr || record_depths_;
   std::uint64_t insertions_before = 0;
   if (telemetry) insertions_before = own.local().stats().insertions;
 
@@ -466,7 +480,7 @@ ServeResult CcnNetwork::serve(topology::NodeId first_hop,
   std::int32_t placement_depth = -1;
   if (telemetry && own.local().stats().insertions > insertions_before) {
     placement_depth = 0;
-    if (topo_ != nullptr) topo_->on_placement(first_hop, 0);
+    if (topo != nullptr) topo->on_placement(first_hop, 0);
   }
 
   // Coordinated placement lookup (the paper's mid tier) — one load from the
@@ -475,7 +489,7 @@ ServeResult CcnNetwork::serve(topology::NodeId first_hop,
   const topology::NodeId owner = owner_of(content);
   if (owner != kNoOwner && owner != first_hop && !failed_[owner] &&
       paths_.latency_ms(first_hop, owner) < topology::kUnreachable) {
-    record_path(first_hop, owner);
+    record_path_into(first_hop, owner, link_counts, total_traversals);
     ServeResult result{
         ServeTier::kNetwork,
         config_.access_latency_d0_ms + paths_.latency_ms(first_hop, owner),
@@ -498,7 +512,7 @@ ServeResult CcnNetwork::serve(topology::NodeId first_hop,
       }
     }
     if (best_peer != first_hop) {
-      record_path(first_hop, best_peer);
+      record_path_into(first_hop, best_peer, link_counts, total_traversals);
       ServeResult result{ServeTier::kNetwork,
                          config_.access_latency_d0_ms + best_latency,
                          paths_.hops(first_hop, best_peer), best_peer, false};
@@ -515,11 +529,45 @@ ServeResult CcnNetwork::serve(topology::NodeId first_hop,
       origin_routes_[first_hop * origins_.size() + origin_index];
   CCNOPT_ASSERT(route.latency_ms < topology::kUnreachable);
   const topology::NodeId gateway = origins_[origin_index].gateway;
-  record_path(first_hop, gateway);
+  record_path_into(first_hop, gateway, link_counts, total_traversals);
   ServeResult result{ServeTier::kOrigin, route.latency_ms, route.hops, gateway,
                      false};
   result.placement_depth = placement_depth;
   return result;
+}
+
+CcnNetwork::ShardScratch CcnNetwork::make_shard_scratch(
+    obs::TopoRecorder* topo) const {
+  ShardScratch scratch;
+  scratch.link_counts.assign(graph_.links().size(), 0);
+  scratch.topo = topo;
+  return scratch;
+}
+
+ServeResult CcnNetwork::serve_sharded(topology::NodeId first_hop,
+                                      cache::ContentId content,
+                                      ShardScratch& scratch) {
+  CCNOPT_ASSERT(first_hop < graph_.node_count());
+  CCNOPT_ASSERT(!failed_[first_hop]);
+  CCNOPT_ASSERT(content >= 1 && content <= config_.catalog_size);
+  // The sharded engine only dispatches here under owner-table forwarding
+  // without peer-local fetch (sharded_run_supported), where the request
+  // mutates nothing but its first-hop store — which this shard owns.
+  CCNOPT_ASSERT(data_plane_.forwarding ==
+                strategy::ForwardingMode::kOwnerTable);
+  CCNOPT_ASSERT(!config_.allow_peer_local_fetch);
+  return serve_owner_table(first_hop, content, scratch.link_counts,
+                           scratch.total_traversals, scratch.topo);
+}
+
+void CcnNetwork::fold_shard_scratch(ShardScratch& scratch) {
+  CCNOPT_EXPECTS(scratch.link_counts.size() == link_counts_.size());
+  for (std::size_t i = 0; i < link_counts_.size(); ++i) {
+    link_counts_[i] += scratch.link_counts[i];
+    scratch.link_counts[i] = 0;
+  }
+  total_traversals_ += scratch.total_traversals;
+  scratch.total_traversals = 0;
 }
 
 ServeResult CcnNetwork::serve_on_path(topology::NodeId first_hop,

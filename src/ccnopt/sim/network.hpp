@@ -139,6 +139,39 @@ class CcnNetwork {
   /// mutates, never required for correctness.
   void prefetch(topology::NodeId first_hop, cache::ContentId content) const;
 
+  // --- Sharded serving ------------------------------------------------------
+  // Under owner-table forwarding a request's only mutation is its first-hop
+  // store, so shards owning disjoint first-hop routers may serve
+  // concurrently against ONE shared network — provided each shard writes
+  // its link traversals and placement telemetry into private scratch
+  // instead of the shared members. serve_sharded() is exactly serve()'s
+  // owner-table body with the counter sinks swapped; fold_shard_scratch()
+  // adds the scratch back into the shared counters (integer sums, so any
+  // fold order reproduces the sequential counts bit for bit).
+
+  struct ShardScratch {
+    std::vector<std::uint64_t> link_counts;  // graph().links() order
+    std::uint64_t total_traversals = 0;
+    /// Per-shard placement recorder (may be null); the engine folds it into
+    /// the run recorder with obs::TopoRecorder::absorb.
+    obs::TopoRecorder* topo = nullptr;
+  };
+
+  /// Scratch with zeroed link counters sized for this graph.
+  ShardScratch make_shard_scratch(obs::TopoRecorder* topo) const;
+
+  /// serve() restricted to owner-table forwarding, with link/placement
+  /// telemetry diverted into `scratch`. Requires
+  /// data_plane().forwarding == kOwnerTable and no peer-local fetch; the
+  /// caller (the sharded engine) guarantees no two concurrent calls share a
+  /// first_hop router.
+  ServeResult serve_sharded(topology::NodeId first_hop,
+                            cache::ContentId content, ShardScratch& scratch);
+
+  /// Adds `scratch`'s link counters into the shared ones and zeroes them
+  /// (the topo recorder is left for the caller to absorb).
+  void fold_shard_scratch(ShardScratch& scratch);
+
   /// Store of one router; precondition: id < router_count().
   const cache::PartitionedStore& store(topology::NodeId id) const;
 
@@ -285,6 +318,19 @@ class CcnNetwork {
   void rebuild_routing();
   void rebuild_owner_table();
   void record_path(topology::NodeId src, topology::NodeId dst);
+  /// record_path with explicit counter sinks — the shared body behind both
+  /// the sequential and the sharded serve paths. Const: mutates only the
+  /// passed counters.
+  void record_path_into(topology::NodeId src, topology::NodeId dst,
+                        std::vector<std::uint64_t>& counts,
+                        std::uint64_t& total) const;
+  /// The owner-table serve body with parameterized telemetry sinks:
+  /// serve() passes the shared members, serve_sharded() a shard's scratch.
+  ServeResult serve_owner_table(topology::NodeId first_hop,
+                                cache::ContentId content,
+                                std::vector<std::uint64_t>& link_counts,
+                                std::uint64_t& total_traversals,
+                                obs::TopoRecorder* topo);
 
   /// The retained pre-strategy provision body (the byte-identity oracle for
   /// CoordinatedSplitPlacement); reached via use_legacy_coordinator_path.

@@ -1,0 +1,486 @@
+// The sharded request engine. See sharded.hpp for the exactness argument;
+// the pipeline per window of kWindow requests is
+//
+//   generate  (parallel over shards)  per-router arrival times, extended
+//                                     until the window is fully covered
+//   select    (sequential, cheap)     per-router cut positions of the
+//                                     window's chunk boundaries, by binary
+//                                     search on the time value
+//   merge     (parallel over chunks)  each chunk k-way-merges its slice of
+//                                     the per-router sequences into the
+//                                     canonical global order
+//   serve     (parallel over shards)  fused content-draw + serve into
+//                                     per-shard SoA scratch, traces sampled
+//                                     in place
+//   record    (sequential)            replays the merged order through the
+//                                     metrics/timeline/topo accumulators,
+//                                     which are all order-dependent
+//
+// Windows truncate at timeline-epoch and warmup boundaries, so the epoch
+// recorder's end-of-epoch network snapshots see exactly the sequential
+// engine's state, and the phase clock stamps the warmup crossing exactly.
+#include "ccnopt/sim/sharded.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "ccnopt/common/assert.hpp"
+#include "ccnopt/common/random.hpp"
+#include "ccnopt/obs/span.hpp"
+#include "ccnopt/obs/trace.hpp"
+#include "ccnopt/sim/engine_detail.hpp"
+
+namespace ccnopt::sim {
+namespace {
+
+// Requests merged and served per window. Large enough to amortize the
+// per-window barriers and keep every worker busy, small enough that the
+// per-shard SoA scratch stays cache-resident (~20 bytes per request).
+constexpr std::uint64_t kWindow = 32768;
+
+// Compact a router's arrival-time vector once this many consumed entries
+// accumulate at its front.
+constexpr std::size_t kCompactThreshold = 65536;
+
+// One active router's arrival process: the same seeded clock sub-stream
+// the event loop uses, unrolled into an ascending absolute-time vector.
+// last_time += exponential() reproduces the loop's `top.time + draw` sums
+// bit for bit (both add the draw to the router's previous arrival time).
+struct RouterGen {
+  explicit RouterGen(std::uint64_t seed) : clock(seed) {}
+  Rng clock;
+  std::vector<double> times;
+  std::size_t head = 0;     // first entry not yet emitted
+  std::size_t avail = 0;    // entries past head with time < horizon
+  double last_time = 0.0;
+};
+
+// Everything one shard owns: its contiguous range of active routers, the
+// network scratch its serves write telemetry into, its whole-run placement
+// recorder and trace buffer, and the per-window SoA serve results the
+// sequential record pass reads back in merged order.
+struct ShardState {
+  std::uint32_t lo = 0;  // active-position range [lo, hi)
+  std::uint32_t hi = 0;
+  CcnNetwork::ShardScratch scratch;
+  obs::TopoRecorder topo;     // enabled iff the run records topo
+  obs::TraceBuffer traces;    // whole run, ascending request index
+  std::vector<std::uint32_t> idx;  // window-relative indices owned
+  std::vector<std::uint8_t> tier;
+  std::vector<double> latency;
+  std::vector<std::uint32_t> hops;
+  std::vector<std::uint32_t> served_by;
+  std::size_t cursor = 0;  // record-pass read position
+};
+
+}  // namespace
+
+bool sharded_run_supported(const SimConfig& config, const Workload& workload,
+                           const CcnNetwork& network) {
+  return config.shards > 1 && !config.interest_aggregation &&
+         workload.per_router_streams() &&
+         network.data_plane().forwarding ==
+             strategy::ForwardingMode::kOwnerTable &&
+         !network.config().allow_peer_local_fetch;
+}
+
+SimReport Simulation::run_sharded_impl(ShardExecutor& executor) {
+  const obs::ScopedSpan run_span("sim.run");
+  trace_.clear();
+  timeline_ = config_.timeline_epoch > 0
+                  ? obs::Timeline(config_.timeline_epoch, timeline_columns())
+                  : obs::Timeline();
+  const obs::TraceSampler sampler(
+      derive_seed(config_.seed, detail::kTraceSeedIndex),
+      config_.trace_sample_k);
+  topo_ = obs::TopoRecorder();
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> links;
+  if (config_.record_topo) {
+    links.reserve(network_->graph().links().size());
+    for (const topology::Graph::Link& link : network_->graph().links()) {
+      links.emplace_back(link.u, link.v);
+    }
+    topo_ = obs::TopoRecorder(network_->graph().name(),
+                              network_->router_count(), links);
+  }
+  obs::TopoRecorder* const topo = topo_.enabled() ? &topo_ : nullptr;
+  // The shared network carries NO recorder while shards serve — placements
+  // go to the per-shard recorders in the serve scratch, absorbed into the
+  // run recorder at the end. Depth recording mirrors the sequential
+  // engines so placement_depth is computed under the same condition.
+  network_->set_topo_recorder(nullptr);
+  network_->set_record_placement_depth(sampler.enabled());
+  std::uint64_t messages = 0;
+  {
+    const obs::ScopedSpan provision_span("sim.provision");
+    messages = network_->provision(config_.coordinated_x);
+  }
+  MetricsCollector metrics;
+  metrics.record_coordination_messages(messages);
+
+  const obs::ScopedSpan replay_span("sim.replay");
+  const double rate = config_.arrival_rate_per_router;
+  const std::uint64_t total_requests =
+      config_.warmup_requests + config_.measured_requests;
+
+  // Active routers, in router-id order; all positions below are indices
+  // into this list ("active positions").
+  std::vector<topology::NodeId> actives;
+  for (std::size_t r = 0; r < network_->router_count(); ++r) {
+    if (workload_->active(r)) {
+      actives.push_back(static_cast<topology::NodeId>(r));
+    }
+  }
+  CCNOPT_EXPECTS(!actives.empty());
+  const std::size_t active_count = actives.size();
+
+  // Contiguous split of the actives across at most `shards` shards (each
+  // shard needs at least one router — more shards than routers cannot
+  // help, router-partitioned as the engine is).
+  const std::size_t shard_count = std::min(config_.shards, active_count);
+  std::vector<ShardState> shards(shard_count);
+  std::vector<std::uint32_t> shard_of_active(active_count, 0);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    shards[s].lo = static_cast<std::uint32_t>(active_count * s / shard_count);
+    shards[s].hi =
+        static_cast<std::uint32_t>(active_count * (s + 1) / shard_count);
+    for (std::uint32_t a = shards[s].lo; a < shards[s].hi; ++a) {
+      shard_of_active[a] = static_cast<std::uint32_t>(s);
+    }
+    obs::TopoRecorder* shard_topo = nullptr;
+    if (config_.record_topo) {
+      shards[s].topo = obs::TopoRecorder(network_->graph().name(),
+                                         network_->router_count(), links);
+      shard_topo = &shards[s].topo;
+    }
+    shards[s].scratch = network_->make_shard_scratch(shard_topo);
+  }
+
+  std::vector<RouterGen> gens;
+  gens.reserve(active_count);
+  for (const topology::NodeId router : actives) {
+    gens.emplace_back(derive_seed(config_.seed, router));
+  }
+
+  std::optional<detail::EpochRecorder> recorder;
+  if (timeline_.enabled()) recorder.emplace(&timeline_, network_.get());
+
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point replay_start = Clock::now();
+  Clock::time_point warmup_end = replay_start;
+
+  // Merged order of the current window: win_active[i] = active position of
+  // the i-th request. Chunks write disjoint ranges.
+  std::vector<std::uint32_t> win_active;
+  // Chunk cut positions: cut[p][a] = absolute position in gens[a].times
+  // where chunk p starts (cut[chunks] = window end). Chunk boundaries are
+  // global-order positions k_p = W * p / chunks.
+  const std::size_t chunks = shard_count;
+  std::vector<std::vector<std::size_t>> cut(
+      chunks + 1, std::vector<std::size_t>(active_count));
+
+  std::uint64_t emitted = 0;
+  std::uint64_t upstream = 0;
+  while (emitted < total_requests) {
+    std::uint64_t window = std::min(kWindow, total_requests - emitted);
+    if (recorder) {
+      // Epoch-aligned windows: the recorder's end-of-epoch network
+      // snapshot then sees exactly the epoch's requests, like the
+      // sequential engines' epoch-aligned blocks.
+      window = std::min(window, config_.timeline_epoch -
+                                    (emitted % config_.timeline_epoch));
+    }
+    if (emitted < config_.warmup_requests) {
+      window = std::min(window, config_.warmup_requests - emitted);
+    } else if (emitted == config_.warmup_requests) {
+      warmup_end = Clock::now();
+    }
+
+    // --- Generate: extend per-router arrival times until the window's
+    // requests are all certain. An entry is certain once it lies strictly
+    // below the horizon (the smallest per-router frontier time) — every
+    // future draw lands at or above it.
+    std::uint64_t available = 0;
+    for (;;) {
+      double horizon = std::numeric_limits<double>::infinity();
+      for (const RouterGen& gen : gens) {
+        horizon = std::min(horizon, gen.last_time);
+      }
+      available = 0;
+      for (RouterGen& gen : gens) {
+        const auto begin = gen.times.begin() + gen.head;
+        gen.avail = static_cast<std::size_t>(
+            std::lower_bound(begin, gen.times.end(), horizon) - begin);
+        available += gen.avail;
+      }
+      if (available >= window) break;
+      const std::size_t grow = std::max<std::size_t>(
+          64, (window - available) / active_count + 32);
+      executor.run_shards(shard_count, [&](std::size_t s) {
+        for (std::uint32_t a = shards[s].lo; a < shards[s].hi; ++a) {
+          RouterGen& gen = gens[a];
+          for (std::size_t n = 0; n < grow; ++n) {
+            gen.last_time += gen.clock.exponential(rate);
+            gen.times.push_back(gen.last_time);
+          }
+        }
+      });
+    }
+
+    // --- Select: per-router cut positions of each chunk boundary — the
+    // k smallest available entries under the total order (time, active
+    // position). Binary search on the time value down to adjacent
+    // doubles; any remainder is then a tie on one exact value, broken in
+    // ascending active-position order (the merge heap's tie-break).
+    const auto count_le = [&](double value) {
+      std::uint64_t count = 0;
+      for (const RouterGen& gen : gens) {
+        const auto begin = gen.times.begin() + gen.head;
+        count += static_cast<std::uint64_t>(
+            std::upper_bound(begin, begin + gen.avail, value) - begin);
+      }
+      return count;
+    };
+    for (std::size_t a = 0; a < active_count; ++a) {
+      cut[0][a] = gens[a].head;
+    }
+    for (std::size_t p = 1; p <= chunks; ++p) {
+      const std::uint64_t k = window * p / chunks;
+      if (k == 0) {  // degenerate tiny windows
+        cut[p] = cut[0];
+        continue;
+      }
+      double lo = -1.0;
+      double hi = std::numeric_limits<double>::infinity();
+      for (const RouterGen& gen : gens) {
+        hi = std::min(hi, gen.last_time);
+      }
+      for (;;) {
+        const double mid = lo + (hi - lo) / 2.0;
+        if (!(mid > lo && mid < hi)) break;
+        const std::uint64_t count = count_le(mid);
+        if (count >= k) {
+          hi = mid;
+          if (count == k) break;
+        } else {
+          lo = mid;
+        }
+      }
+      std::uint64_t taken = 0;
+      for (std::size_t a = 0; a < active_count; ++a) {
+        const RouterGen& gen = gens[a];
+        const auto begin = gen.times.begin() + gen.head;
+        cut[p][a] =
+            gen.head + static_cast<std::size_t>(std::upper_bound(
+                           begin, begin + gen.avail, lo) -
+                       begin);
+        taken += cut[p][a] - gen.head;
+      }
+      std::uint64_t extra = k - taken;
+      for (std::size_t a = 0; a < active_count && extra > 0; ++a) {
+        const RouterGen& gen = gens[a];
+        const auto begin = gen.times.begin() + gen.head;
+        const std::size_t up_hi =
+            gen.head + static_cast<std::size_t>(std::upper_bound(
+                           begin, begin + gen.avail, hi) -
+                       begin);
+        const std::uint64_t more =
+            std::min<std::uint64_t>(extra, up_hi - cut[p][a]);
+        cut[p][a] += more;
+        extra -= more;
+      }
+      CCNOPT_ASSERT(extra == 0);
+    }
+
+    // --- Merge: each chunk k-way-merges its slice of the per-router
+    // sequences into its disjoint range of win_active.
+    win_active.resize(window);
+    executor.run_shards(chunks, [&](std::size_t p) {
+      struct HeapEntry {
+        double time;
+        std::uint32_t a;
+      };
+      const auto later = [](const HeapEntry& x, const HeapEntry& y) {
+        if (x.time != y.time) return x.time > y.time;
+        return x.a > y.a;
+      };
+      std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(later)>
+          heap(later);
+      std::vector<std::size_t> pos(active_count);
+      for (std::size_t a = 0; a < active_count; ++a) {
+        pos[a] = cut[p][a];
+        if (pos[a] < cut[p + 1][a]) {
+          heap.push(HeapEntry{gens[a].times[pos[a]],
+                              static_cast<std::uint32_t>(a)});
+        }
+      }
+      std::uint64_t out = window * p / chunks;
+      while (!heap.empty()) {
+        const HeapEntry top = heap.top();
+        heap.pop();
+        win_active[out++] = top.a;
+        if (++pos[top.a] < cut[p + 1][top.a]) {
+          heap.push(HeapEntry{gens[top.a].times[pos[top.a]], top.a});
+        }
+      }
+      CCNOPT_ASSERT(out == window * (p + 1) / chunks);
+    });
+
+    // --- Serve: each shard picks its requests out of the merged order and
+    // runs the fused draw + prefetch + serve pipeline into its SoA
+    // scratch. Per-router draw order equals the sequential engines' (the
+    // global order restricted to one router is that router's order), and
+    // the workload streams are per-router, so content values match bit
+    // for bit.
+    const std::uint64_t base = emitted;
+    executor.run_shards(shard_count, [&](std::size_t s) {
+      ShardState& shard = shards[s];
+      shard.idx.clear();
+      for (std::uint64_t i = 0; i < window; ++i) {
+        const std::uint32_t a = win_active[i];
+        if (a >= shard.lo && a < shard.hi) {
+          shard.idx.push_back(static_cast<std::uint32_t>(i));
+        }
+      }
+      shard.tier.clear();
+      shard.latency.clear();
+      shard.hops.clear();
+      shard.served_by.clear();
+      shard.cursor = 0;
+      if (shard.idx.empty()) return;
+      cache::ContentId next_content =
+          workload_->next(actives[win_active[shard.idx[0]]]);
+      for (std::size_t j = 0; j < shard.idx.size(); ++j) {
+        const std::uint32_t i = shard.idx[j];
+        const topology::NodeId router = actives[win_active[i]];
+        const cache::ContentId content = next_content;
+        if (j + 1 < shard.idx.size()) {
+          const topology::NodeId next_router =
+              actives[win_active[shard.idx[j + 1]]];
+          next_content = workload_->next(next_router);
+          network_->prefetch(next_router, next_content);
+        }
+        const ServeResult result =
+            network_->serve_sharded(router, content, shard.scratch);
+        shard.tier.push_back(static_cast<std::uint8_t>(result.tier));
+        shard.latency.push_back(result.latency_ms);
+        shard.hops.push_back(result.hops);
+        shard.served_by.push_back(
+            static_cast<std::uint32_t>(result.served_by));
+        const std::uint64_t gindex = base + i;
+        if (gindex >= config_.warmup_requests && sampler.enabled() &&
+            sampler.should_sample(gindex)) {
+          obs::TraceEvent event{
+              0, gindex, static_cast<std::uint32_t>(router), content,
+              to_string(result.tier), result.hops,
+              static_cast<std::uint32_t>(result.served_by), {}, -1,
+              result.latency_ms};
+          event.path = network_->hop_path(router, result);
+          event.placement_depth = result.placement_depth;
+          shard.traces.push_back(std::move(event));
+        }
+      }
+    });
+
+    // --- Record: fold the shard link counters first (the epoch recorder's
+    // boundary snapshot reads them), then replay the merged order through
+    // every order-dependent accumulator.
+    for (ShardState& shard : shards) {
+      network_->fold_shard_scratch(shard.scratch);
+    }
+    for (std::uint64_t i = 0; i < window; ++i) {
+      const std::uint32_t a = win_active[i];
+      ShardState& shard = shards[shard_of_active[a]];
+      const std::size_t j = shard.cursor++;
+      ServeResult result;
+      result.tier = static_cast<ServeTier>(shard.tier[j]);
+      result.latency_ms = shard.latency[j];
+      result.hops = shard.hops[j];
+      result.served_by = shard.served_by[j];
+      if (recorder) recorder->on_request(result);
+      if (result.tier != ServeTier::kLocal) ++upstream;
+      if (base + i < config_.warmup_requests) continue;
+      metrics.record(result.tier, result.latency_ms, result.hops);
+      if (topo != nullptr) {
+        topo->on_request(static_cast<std::uint32_t>(actives[a]),
+                         static_cast<std::uint32_t>(result.tier),
+                         result.served_by, result.latency_ms, result.hops);
+      }
+    }
+    emitted += window;
+
+    // --- Advance and compact the consumed arrival-time prefixes.
+    for (std::size_t a = 0; a < active_count; ++a) {
+      RouterGen& gen = gens[a];
+      gen.head = cut[chunks][a];
+      if (gen.head >= kCompactThreshold) {
+        gen.times.erase(gen.times.begin(),
+                        gen.times.begin() +
+                            static_cast<std::ptrdiff_t>(gen.head));
+        gen.head = 0;
+      }
+    }
+  }
+  CCNOPT_ENSURES(emitted == total_requests);
+  if (recorder) recorder->finish();
+
+  // Fold the per-shard placement recorders (integer counters — any fold
+  // order is exact; shard index order keeps it canonical), then take the
+  // same end-of-run snapshots as the sequential engines.
+  if (topo != nullptr) {
+    for (ShardState& shard : shards) {
+      topo->absorb(shard.topo);
+    }
+    for (topology::NodeId id = 0; id < network_->router_count(); ++id) {
+      const cache::PartitionedStore& store = network_->store(id);
+      const cache::CacheStats& local_stats = store.local().stats();
+      topo->set_router_cache(
+          id, local_stats.evictions, local_stats.insertions, store.size(),
+          static_cast<std::uint64_t>(network_->capacity_of(id)));
+    }
+    topo->add_link_traversals(network_->link_counts());
+  }
+
+  // Per-shard trace buffers each ascend in request index; a cursor merge
+  // restores the global emission order (indices are unique).
+  std::size_t trace_total = 0;
+  for (const ShardState& shard : shards) trace_total += shard.traces.size();
+  trace_.reserve(trace_total);
+  std::vector<std::size_t> trace_pos(shard_count, 0);
+  while (trace_.size() < trace_total) {
+    std::size_t best = shard_count;
+    std::uint64_t best_index = 0;
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      if (trace_pos[s] >= shards[s].traces.size()) continue;
+      const std::uint64_t index =
+          shards[s].traces[trace_pos[s]].request_index;
+      if (best == shard_count || index < best_index) {
+        best = s;
+        best_index = index;
+      }
+    }
+    CCNOPT_ASSERT(best < shard_count);
+    trace_.push_back(std::move(shards[best].traces[trace_pos[best]]));
+    ++trace_pos[best];
+  }
+
+  if (config_.warmup_requests == 0) warmup_end = replay_start;
+  phase_seconds_.warmup =
+      std::chrono::duration<double>(warmup_end - replay_start).count();
+  phase_seconds_.measured =
+      std::chrono::duration<double>(Clock::now() - warmup_end).count();
+
+  SimReport report = make_report(metrics);
+  report.aggregated_requests = 0;
+  report.upstream_fetches = upstream;
+  detail::flush_run_registry(metrics, report, 0, upstream, trace_.size());
+  return report;
+}
+
+}  // namespace ccnopt::sim

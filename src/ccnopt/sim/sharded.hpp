@@ -1,0 +1,75 @@
+// Sharded request engine: one simulation run partitioned by first-hop
+// router across worker shards, bit-identical to the single-thread engines.
+//
+// Why router partitioning is exact (not approximate): under owner-table
+// forwarding without peer-local fetch, serving a request at router r
+// mutates ONLY r's own store (plus link counters, which are diverted into
+// per-shard scratch and summed back — see CcnNetwork::serve_sharded). A
+// request's outcome is therefore a pure function of the prior request
+// subsequence at its own router, so shards owning disjoint routers can
+// serve concurrently against the one shared network and reproduce the
+// sequential cache-state trajectory exactly. The per-router arrival clocks
+// and workload streams are independently seeded sub-streams, so each
+// shard also generates its routers' arrival times and content draws
+// without seeing the global interleaving.
+//
+// The canonical global order is recovered, not simulated: each router's
+// arrival times ascend, so the event loop's pop order is the k-way merge
+// of the per-router sequences. The engine merges them window by window
+// (windows truncate at timeline-epoch and warmup boundaries, which never
+// changes merge order), serves each window's requests shard-parallel into
+// per-shard structure-of-arrays scratch, and replays the merged order in
+// one sequential record pass — so every order-dependent accumulation
+// (Welford stats, timeline epochs, topo latency sums, trace buffers) sees
+// exactly the sequence the event loop would have produced.
+//
+// Tie-breaking caveat: the event loop breaks equal-time events by global
+// scheduling sequence, the merge by router index. The two differ only
+// when two DIFFERENT routers' clocks collide on the exact same double —
+// measure-zero for sums of continuous draws, and enforced empirically by
+// test_sim_shard_determinism across all Table II topologies.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "ccnopt/sim/simulation.hpp"
+
+namespace ccnopt::sim {
+
+/// Runs the bodies of one parallel region. The sharded engine issues a
+/// sequence of regions (generate, merge, serve); each run_shards() call is
+/// a barrier: it returns only after every body completed, and every write
+/// a body made happens-before the caller's next statement. Implementations
+/// may run bodies concurrently (runtime::ShardScheduler) or inline.
+class ShardExecutor {
+ public:
+  virtual ~ShardExecutor() = default;
+  /// Invokes body(0) ... body(count - 1), each exactly once, possibly
+  /// concurrently; propagates the first body exception after all complete.
+  virtual void run_shards(std::size_t count,
+                          const std::function<void(std::size_t)>& body) = 0;
+};
+
+/// Runs the bodies one after another on the calling thread — the fallback
+/// when no executor is attached, and the single-threaded reference the
+/// A/B suite compares the pooled scheduler against.
+class SerialShardExecutor final : public ShardExecutor {
+ public:
+  void run_shards(std::size_t count,
+                  const std::function<void(std::size_t)>& body) override {
+    for (std::size_t shard = 0; shard < count; ++shard) body(shard);
+  }
+};
+
+/// True when the run qualifies for the sharded engine: more than one shard
+/// requested, no interest aggregation (completion events need the event
+/// loop), per-router workload streams (the shards draw without seeing the
+/// global interleaving), and owner-table forwarding without peer-local
+/// fetch (the router-exclusive mutation argument above). Non-qualifying
+/// runs fall back to the single-thread engines — same outputs, by the
+/// bit-identity contract.
+bool sharded_run_supported(const SimConfig& config, const Workload& workload,
+                           const CcnNetwork& network);
+
+}  // namespace ccnopt::sim

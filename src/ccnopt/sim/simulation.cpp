@@ -1,5 +1,6 @@
 #include "ccnopt/sim/simulation.hpp"
 
+#include <chrono>
 #include <optional>
 #include <queue>
 #include <vector>
@@ -8,147 +9,13 @@
 #include "ccnopt/common/random.hpp"
 #include "ccnopt/obs/registry.hpp"
 #include "ccnopt/obs/span.hpp"
+#include "ccnopt/sim/engine_detail.hpp"
+#include "ccnopt/sim/sharded.hpp"
 
 namespace ccnopt::sim {
-namespace {
 
-// Sub-stream index of the run seed reserved for the trace sampler, far
-// outside the per-router clock indices [0, router_count).
-constexpr std::uint64_t kTraceSeedIndex = 0x7ace5eedULL;
-
-// Interned handles into obs::metrics(), resolved once per process. Handles
-// survive registry reset(), so the static cache stays valid across runs.
-struct RunMetricHandles {
-  obs::MetricsRegistry::CounterHandle runs;
-  obs::MetricsRegistry::CounterHandle requests_measured;
-  obs::MetricsRegistry::CounterHandle requests_local;
-  obs::MetricsRegistry::CounterHandle requests_network;
-  obs::MetricsRegistry::CounterHandle requests_origin;
-  obs::MetricsRegistry::CounterHandle requests_aggregated;
-  obs::MetricsRegistry::CounterHandle upstream_fetches;
-  obs::MetricsRegistry::CounterHandle coordination_messages;
-  obs::MetricsRegistry::CounterHandle trace_sampled;
-  obs::MetricsRegistry::HistogramHandle latency_ms;
-
-  static const RunMetricHandles& get() {
-    static const RunMetricHandles handles = [] {
-      obs::MetricsRegistry& registry = obs::metrics();
-      return RunMetricHandles{
-          registry.counter_handle("sim.runs"),
-          registry.counter_handle("sim.requests.measured"),
-          registry.counter_handle("sim.requests.local"),
-          registry.counter_handle("sim.requests.network"),
-          registry.counter_handle("sim.requests.origin"),
-          registry.counter_handle("sim.requests.aggregated"),
-          registry.counter_handle("sim.upstream_fetches"),
-          registry.counter_handle("sim.coordination_messages"),
-          registry.counter_handle("sim.trace.sampled"),
-          registry.histogram_handle("sim.latency_ms",
-                                    MetricsCollector::latency_bucket_bounds()),
-      };
-    }();
-    return handles;
-  }
-};
-
-// Accumulates one timeline row per `epoch_requests` emitted requests.
-// Fed exclusively from run-local state (per-epoch tallies plus the run's
-// own CcnNetwork counters) — never from the process-global obs::metrics()
-// registry, which parallel replications share and mutate concurrently.
-// Both request engines call on_request()/on_aggregated() once per emitted
-// request in emission order, so rows are identical whichever engine ran.
-class EpochRecorder {
- public:
-  EpochRecorder(obs::Timeline* timeline, const CcnNetwork* network)
-      : timeline_(timeline),
-        network_(network),
-        epoch_requests_(timeline->epoch_requests()) {}
-
-  /// One request whose serve outcome is known at emission.
-  void on_request(const ServeResult& result) {
-    ++requests_;
-    ++tier_counts_[static_cast<std::size_t>(result.tier)];
-    latency_ms_sum_ += result.latency_ms;
-    hops_sum_ += static_cast<double>(result.hops);
-    tier_latency_ms_sum_[static_cast<std::size_t>(result.tier)] +=
-        result.latency_ms;
-    maybe_flush();
-  }
-
-  /// One request that joined an in-flight fetch (interest aggregation):
-  /// counted in the `requests` and `aggregated` columns at emission; its
-  /// tier/latency resolve at the completion event and are not re-binned.
-  void on_aggregated() {
-    ++requests_;
-    ++aggregated_;
-    maybe_flush();
-  }
-
-  /// Emits the final partial epoch, if any requests are pending in it.
-  void finish() {
-    if (requests_ > 0) flush();
-  }
-
- private:
-  void maybe_flush() {
-    ++emitted_;
-    if (emitted_ % epoch_requests_ == 0) flush();
-  }
-
-  void flush() {
-    const CcnNetwork::CacheTotals totals = network_->cache_totals();
-    const std::uint64_t traversals = network_->total_link_traversals();
-    std::vector<double> values;
-    values.reserve(15);
-    values.push_back(static_cast<double>(requests_));
-    values.push_back(static_cast<double>(tier_counts_[0]));
-    values.push_back(static_cast<double>(tier_counts_[1]));
-    values.push_back(static_cast<double>(tier_counts_[2]));
-    values.push_back(static_cast<double>(aggregated_));
-    values.push_back(latency_ms_sum_);
-    values.push_back(hops_sum_);
-    values.push_back(tier_latency_ms_sum_[0]);
-    values.push_back(tier_latency_ms_sum_[1]);
-    values.push_back(tier_latency_ms_sum_[2]);
-    values.push_back(static_cast<double>(totals.evictions - prev_evictions_));
-    values.push_back(
-        static_cast<double>(totals.insertions - prev_insertions_));
-    values.push_back(static_cast<double>(totals.occupancy));
-    values.push_back(static_cast<double>(traversals - prev_traversals_));
-    values.push_back(static_cast<double>(network_->max_link_load()));
-    timeline_->push_epoch(emitted_ - requests_, emitted_ - 1,
-                          std::move(values));
-    prev_evictions_ = totals.evictions;
-    prev_insertions_ = totals.insertions;
-    prev_traversals_ = traversals;
-    requests_ = 0;
-    aggregated_ = 0;
-    latency_ms_sum_ = 0.0;
-    hops_sum_ = 0.0;
-    for (std::size_t i = 0; i < 3; ++i) {
-      tier_counts_[i] = 0;
-      tier_latency_ms_sum_[i] = 0.0;
-    }
-  }
-
-  obs::Timeline* timeline_;
-  const CcnNetwork* network_;
-  std::uint64_t epoch_requests_;
-  std::uint64_t emitted_ = 0;
-  // Current-epoch tallies, cleared at every flush.
-  std::uint64_t requests_ = 0;
-  std::uint64_t aggregated_ = 0;
-  std::uint64_t tier_counts_[3] = {0, 0, 0};
-  double latency_ms_sum_ = 0.0;
-  double hops_sum_ = 0.0;
-  double tier_latency_ms_sum_[3] = {0.0, 0.0, 0.0};
-  // Cumulative network counters at the previous epoch boundary, for deltas.
-  std::uint64_t prev_evictions_ = 0;
-  std::uint64_t prev_insertions_ = 0;
-  std::uint64_t prev_traversals_ = 0;
-};
-
-}  // namespace
+using detail::EpochRecorder;
+using detail::kTraceSeedIndex;
 
 const std::vector<std::string>& timeline_columns() {
   static const std::vector<std::string> columns = {
@@ -190,6 +57,16 @@ void Simulation::set_workload(std::unique_ptr<Workload> workload) {
 
 SimReport Simulation::run() {
   CCNOPT_EXPECTS(config_.arrival_rate_per_router > 0.0);
+  // Sharded engine dispatch: qualifying runs partition the stream by
+  // first-hop router and serve shards concurrently (bit-identical outputs
+  // at any shard count); without an attached executor the shards run
+  // serially, which keeps the engine testable single-threaded.
+  if (config_.shards > 1 &&
+      sharded_run_supported(config_, *workload_, *network_)) {
+    if (shard_executor_ != nullptr) return run_sharded_impl(*shard_executor_);
+    SerialShardExecutor serial;
+    return run_sharded_impl(serial);
+  }
   const obs::ScopedSpan run_span("sim.run");
   trace_.clear();
   timeline_ = config_.timeline_epoch > 0
@@ -291,29 +168,18 @@ SimReport Simulation::run() {
     topo->add_link_traversals(network_->link_counts());
   };
 
-  // One registry flush per run: integer sums and a fixed-point histogram
-  // merge, so totals are exact and order-independent no matter which
-  // thread (or how many) ran the replications.
-  const auto flush_registry = [this](const MetricsCollector& collected,
-                                     const SimReport& report,
-                                     std::uint64_t aggregated_count,
-                                     std::uint64_t upstream_count) {
-    obs::MetricsRegistry& registry = obs::metrics();
-    const RunMetricHandles& handles = RunMetricHandles::get();
-    registry.incr(handles.runs);
-    registry.incr(handles.requests_measured, report.total_requests);
-    registry.incr(handles.requests_local,
-                  collected.tier_count(ServeTier::kLocal));
-    registry.incr(handles.requests_network,
-                  collected.tier_count(ServeTier::kNetwork));
-    registry.incr(handles.requests_origin,
-                  collected.tier_count(ServeTier::kOrigin));
-    registry.incr(handles.requests_aggregated, aggregated_count);
-    registry.incr(handles.upstream_fetches, upstream_count);
-    registry.incr(handles.coordination_messages, report.coordination_messages);
-    registry.incr(handles.trace_sampled, trace_.size());
-    registry.merge_histogram(handles.latency_ms,
-                             collected.latency_histogram());
+  // Phase wall-clock: the batched engine aligns block ends to the warmup
+  // boundary (truncation never changes the merge order) so the split is
+  // exact; the event loop stamps at the first measured emission.
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point replay_start = Clock::now();
+  Clock::time_point warmup_end = replay_start;
+  const auto finish_phase_clock = [&] {
+    if (config_.warmup_requests == 0) warmup_end = replay_start;
+    phase_seconds_.warmup =
+        std::chrono::duration<double>(warmup_end - replay_start).count();
+    phase_seconds_.measured =
+        std::chrono::duration<double>(Clock::now() - warmup_end).count();
   };
 
   const bool batched =
@@ -375,6 +241,13 @@ SimReport Simulation::run() {
             config_.timeline_epoch - (emitted % config_.timeline_epoch);
         want = std::min(want, to_boundary);
       }
+      if (emitted < config_.warmup_requests) {
+        // Align to the warmup boundary too, so the phase clock stamps it
+        // exactly (truncation keeps outputs bit-identical, as above).
+        want = std::min(want, config_.warmup_requests - emitted);
+      } else if (emitted == config_.warmup_requests) {
+        warmup_end = Clock::now();
+      }
       for (std::uint64_t i = 0; i < want; ++i) {
         const NextArrival top = heap.top();
         heap.pop();
@@ -418,10 +291,11 @@ SimReport Simulation::run() {
     CCNOPT_ENSURES(emitted == total_requests);
     if (recorder) recorder->finish();
     finalize_topo();
+    finish_phase_clock();
     SimReport report = make_report(metrics);
     report.aggregated_requests = 0;
     report.upstream_fetches = upstream;
-    flush_registry(metrics, report, 0, upstream);
+    detail::flush_run_registry(metrics, report, 0, upstream, trace_.size());
     return report;
   }
 
@@ -444,6 +318,7 @@ SimReport Simulation::run() {
     if (emitted >= total_requests) return;
     const std::uint64_t request_index = emitted;
     const bool measured = emitted >= config_.warmup_requests;
+    if (request_index == config_.warmup_requests) warmup_end = Clock::now();
     ++emitted;
     const cache::ContentId content = workload_->next(router);
 
@@ -519,10 +394,12 @@ SimReport Simulation::run() {
   CCNOPT_ENSURES(pit.empty());
   if (recorder) recorder->finish();
   finalize_topo();
+  finish_phase_clock();
   SimReport report = make_report(metrics);
   report.aggregated_requests = aggregated;
   report.upstream_fetches = upstream;
-  flush_registry(metrics, report, aggregated, upstream);
+  detail::flush_run_registry(metrics, report, aggregated, upstream,
+                             trace_.size());
   return report;
 }
 

@@ -16,6 +16,8 @@
 
 namespace ccnopt::sim {
 
+class ShardExecutor;  // sharded.hpp
+
 struct SimConfig {
   NetworkConfig network;
   /// Per-router coordinated storage x (contents). The provisioning epoch
@@ -48,6 +50,16 @@ struct SimConfig {
   /// alias table at small catalogs and switches to the constant-memory
   /// rejection-inversion sampler at web-scale catalogs.
   popularity::SamplerKind sampler_kind = popularity::SamplerKind::kAuto;
+  /// Sharded request engine: when > 1 (and the run qualifies — see
+  /// sharded_run_supported in sharded.hpp), the request stream is
+  /// partitioned by first-hop router across this many shards, served
+  /// against the one shared network, and folded back in canonical order.
+  /// Every output (report, metrics, timeline, topo, traces) is
+  /// byte-identical to the single-thread engines at any shard count; an
+  /// attached ShardExecutor (set_shard_executor) supplies the worker
+  /// threads, otherwise the shards run serially on the calling thread.
+  /// Runs that do not qualify fall back to the single-thread engines.
+  std::size_t shards = 1;
   std::uint64_t seed = 42;
   /// Time-resolved telemetry: when > 0, the run accumulates an
   /// obs::Timeline with one row per `timeline_epoch` emitted requests
@@ -90,6 +102,22 @@ class Simulation {
   /// the measured-phase report (coordination messages included).
   SimReport run();
 
+  /// Attaches the executor that runs shard bodies when config().shards > 1
+  /// (e.g. runtime::ShardScheduler); nullptr (the default) runs the shards
+  /// serially on the calling thread. Not owned; must outlive run().
+  void set_shard_executor(ShardExecutor* executor) {
+    shard_executor_ = executor;
+  }
+
+  /// Wall-clock split of the last run(): time spent emitting warmup
+  /// requests vs measured requests (benchmarks report the two phases'
+  /// throughput separately). Zeroes before the first run.
+  struct PhaseSeconds {
+    double warmup = 0.0;
+    double measured = 0.0;
+  };
+  PhaseSeconds last_phase_seconds() const { return phase_seconds_; }
+
   const CcnNetwork& network() const { return *network_; }
   CcnNetwork& network() { return *network_; }
 
@@ -107,9 +135,15 @@ class Simulation {
   const obs::TopoRecorder& topo() const { return topo_; }
 
  private:
+  /// The sharded request engine (sharded.cpp); reached from run() when
+  /// config().shards > 1 and the run qualifies.
+  SimReport run_sharded_impl(ShardExecutor& executor);
+
   SimConfig config_;
   std::unique_ptr<CcnNetwork> network_;
   std::unique_ptr<Workload> workload_;
+  ShardExecutor* shard_executor_ = nullptr;
+  PhaseSeconds phase_seconds_;
   obs::TraceBuffer trace_;
   obs::Timeline timeline_;
   obs::TopoRecorder topo_;

@@ -26,11 +26,25 @@ ZipfWorkload::ZipfWorkload(std::size_t router_count,
   for (std::size_t i = 0; i < router_count; ++i) {
     streams_.emplace_back(seed + 0x9E3779B97F4A7C15ULL * (i + 1));
   }
+  buffers_.resize(router_count);
 }
 
 cache::ContentId ZipfWorkload::next(std::size_t router_index) {
   CCNOPT_EXPECTS(router_index < streams_.size());
-  return sampler_->sample(streams_[router_index]);
+  // Refill in blocks: sample_block() consumes the stream exactly as
+  // kDrawBlock successive sample() calls would, and the refill boundary is
+  // a pure function of this router's call count — so every engine (event
+  // loop, batched, sharded) sees the identical per-router sequence while
+  // paying the virtual sampler dispatch once per block.
+  DrawBuffer& buf = buffers_[router_index];
+  if (buf.pos == buf.filled) {
+    if (buf.draws.empty()) buf.draws.resize(kDrawBlock);
+    sampler_->sample_block(streams_[router_index], buf.draws.data(),
+                           kDrawBlock);
+    buf.filled = kDrawBlock;
+    buf.pos = 0;
+  }
+  return buf.draws[buf.pos++];
 }
 
 DriftingZipfWorkload::DriftingZipfWorkload(std::size_t router_count,

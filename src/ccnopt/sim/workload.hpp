@@ -24,6 +24,13 @@ class Workload {
   /// False for routers with no attached clients (they route and cache but
   /// never originate requests).
   virtual bool active(std::size_t) const { return true; }
+  /// True when each router's request sequence depends only on how many
+  /// times next() was called FOR THAT ROUTER — never on the global
+  /// interleaving across routers. The sharded engine requires this to call
+  /// next() from concurrent shards (each owning disjoint routers) and still
+  /// reproduce the sequential streams bit for bit. Workloads with global
+  /// mutable state (drift phase, sliding base) must return false.
+  virtual bool per_router_streams() const { return false; }
 };
 
 /// IRM: every router draws i.i.d. Zipf(s, N) ranks from its own seeded
@@ -40,11 +47,25 @@ class ZipfWorkload final : public Workload {
 
   cache::ContentId next(std::size_t router_index) override;
   std::uint64_t catalog_size() const override { return catalog_size_; }
+  /// IRM streams are seeded per router and never consult global state, so
+  /// shards may interleave routers freely.
+  bool per_router_streams() const override { return true; }
 
  private:
+  /// Draws per sample_block() refill. Refill boundaries depend only on the
+  /// per-router call count, so buffering never changes the emitted stream.
+  static constexpr std::size_t kDrawBlock = 256;
+
+  struct DrawBuffer {
+    std::vector<std::uint64_t> draws;  // sized kDrawBlock on first refill
+    std::size_t pos = 0;
+    std::size_t filled = 0;
+  };
+
   std::uint64_t catalog_size_;
   std::shared_ptr<popularity::RankSampler> sampler_;  // shared, stateless
   std::vector<Rng> streams_;
+  std::vector<DrawBuffer> buffers_;
 };
 
 /// Zipf IRM whose exponent drifts through a schedule of phases — the
@@ -120,6 +141,7 @@ class CyclicWorkload final : public Workload {
   bool active(std::size_t router_index) const override {
     return !patterns_[router_index].empty();
   }
+  bool per_router_streams() const override { return true; }
 
  private:
   std::vector<std::vector<cache::ContentId>> patterns_;

@@ -1,0 +1,296 @@
+// Whole-simulation A/B proof of the sharded request engine: a sharded run
+// — serial shards or a real ThreadPool-backed scheduler, at any shard
+// count — must be bit-identical to the single-thread event loop. Every
+// export is compared: SimReport fields, sampled traces, the global
+// metrics registry, the timeline, the topo recorder, and link loads; the
+// suite covers all four Table II topologies plus the shard-boundary edge
+// cases (remainders, more shards than requests/routers, epoch boundaries
+// inside windows) and the non-qualifying fallbacks.
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ccnopt/obs/export.hpp"
+#include "ccnopt/obs/registry.hpp"
+#include "ccnopt/obs/timeline.hpp"
+#include "ccnopt/obs/topo.hpp"
+#include "ccnopt/obs/trace.hpp"
+#include "ccnopt/runtime/shard_scheduler.hpp"
+#include "ccnopt/runtime/thread_pool.hpp"
+#include "ccnopt/sim/sharded.hpp"
+#include "ccnopt/sim/simulation.hpp"
+#include "ccnopt/sim/workload.hpp"
+#include "ccnopt/topology/datasets.hpp"
+
+namespace ccnopt::sim {
+namespace {
+
+SimConfig base_config() {
+  SimConfig config;
+  config.network.catalog_size = 2000;
+  config.network.capacity_c = 50;
+  config.network.local_mode = LocalStoreMode::kLru;
+  config.network.track_link_load = true;
+  config.coordinated_x = 25;
+  config.zipf_s = 0.8;
+  config.warmup_requests = 3000;
+  config.measured_requests = 12000;
+  config.seed = 20240806;
+  config.trace_sample_k = 64;
+  config.timeline_epoch = 1000;
+  config.record_topo = true;
+  return config;
+}
+
+struct RunResult {
+  SimReport report;
+  std::string traces;
+  std::string metrics;
+  std::string timeline;
+  std::string topo;
+  std::uint64_t max_link_load = 0;
+};
+
+/// One simulation from a clean global registry, every export serialized.
+RunResult run_once(const topology::Graph& graph, const SimConfig& config,
+                   ShardExecutor* executor = nullptr) {
+  obs::metrics().reset();
+  Simulation sim(graph, config);
+  if (executor != nullptr) sim.set_shard_executor(executor);
+  RunResult result;
+  result.report = sim.run();
+  {
+    std::ostringstream out;
+    obs::write_traces_json(out, sim.traces());
+    result.traces = out.str();
+  }
+  {
+    std::ostringstream out;
+    obs::write_registry_json(out, obs::metrics().snapshot(), 0);
+    result.metrics = out.str();
+  }
+  if (sim.timeline().enabled()) {
+    std::ostringstream out;
+    obs::write_timeline_json(out, sim.timeline());
+    result.timeline = out.str();
+  }
+  if (sim.topo().enabled()) {
+    std::ostringstream out;
+    obs::write_topo_json(out, sim.topo());
+    result.topo = out.str();
+  }
+  result.max_link_load = sim.network().max_link_load();
+  return result;
+}
+
+void expect_identical_reports(const SimReport& a, const SimReport& b) {
+  EXPECT_EQ(a.total_requests, b.total_requests);
+  EXPECT_EQ(a.aggregated_requests, b.aggregated_requests);
+  EXPECT_EQ(a.upstream_fetches, b.upstream_fetches);
+  EXPECT_EQ(a.local_fraction, b.local_fraction);
+  EXPECT_EQ(a.network_fraction, b.network_fraction);
+  EXPECT_EQ(a.origin_load, b.origin_load);
+  EXPECT_EQ(a.mean_latency_ms, b.mean_latency_ms);
+  EXPECT_EQ(a.mean_hops, b.mean_hops);
+  EXPECT_EQ(a.mean_local_latency_ms, b.mean_local_latency_ms);
+  EXPECT_EQ(a.mean_network_latency_ms, b.mean_network_latency_ms);
+  EXPECT_EQ(a.mean_origin_latency_ms, b.mean_origin_latency_ms);
+  EXPECT_EQ(a.coordination_messages, b.coordination_messages);
+}
+
+void expect_identical_runs(const RunResult& a, const RunResult& b) {
+  expect_identical_reports(a.report, b.report);
+  EXPECT_EQ(a.traces, b.traces);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.timeline, b.timeline);
+  EXPECT_EQ(a.topo, b.topo);
+  EXPECT_EQ(a.max_link_load, b.max_link_load);
+}
+
+class ShardDeterminism : public ::testing::TestWithParam<std::string> {
+ protected:
+  topology::Graph graph() const {
+    return *topology::dataset_by_name(GetParam());
+  }
+};
+
+TEST_P(ShardDeterminism, ShardedMatchesEventLoopAtAllShardCounts) {
+  const topology::Graph graph = this->graph();
+  SimConfig config = base_config();
+
+  config.batch_size = 0;  // the pure event loop: ground truth
+  config.shards = 1;
+  const RunResult event_loop = run_once(graph, config);
+  EXPECT_EQ(event_loop.report.total_requests, config.measured_requests);
+  EXPECT_FALSE(event_loop.traces.empty());
+  EXPECT_FALSE(event_loop.timeline.empty());
+  EXPECT_FALSE(event_loop.topo.empty());
+
+  config.batch_size = 256;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{8}}) {
+    SCOPED_TRACE("serial shards=" + std::to_string(shards));
+    config.shards = shards;
+    expect_identical_runs(event_loop, run_once(graph, config));
+  }
+
+  // The pooled scheduler at 1 and 8 worker threads must not perturb a bit.
+  config.shards = 8;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    SCOPED_TRACE("pool threads=" + std::to_string(threads));
+    runtime::ThreadPool pool(threads);
+    runtime::ShardScheduler scheduler(pool);
+    expect_identical_runs(event_loop, run_once(graph, config, &scheduler));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TableII, ShardDeterminism,
+                         ::testing::Values("abilene", "cernet", "geant",
+                                           "us-a"),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(ShardDeterminismEdges, RequestCountNotDivisibleByShards) {
+  // 10007 total requests (prime) across 8 shards: window remainders and
+  // ragged per-shard request counts everywhere.
+  SimConfig config = base_config();
+  config.warmup_requests = 2003;
+  config.measured_requests = 8004;
+  config.shards = 1;
+  config.batch_size = 0;
+  const RunResult event_loop = run_once(topology::us_a(), config);
+  config.batch_size = 256;
+  config.shards = 8;
+  expect_identical_runs(event_loop, run_once(topology::us_a(), config));
+}
+
+TEST(ShardDeterminismEdges, MoreShardsThanRequestsAndRouters) {
+  // 5 requests under 64 requested shards: the engine clamps to the active
+  // router count and still reproduces the event loop.
+  SimConfig config = base_config();
+  config.warmup_requests = 2;
+  config.measured_requests = 3;
+  config.timeline_epoch = 2;
+  config.shards = 1;
+  config.batch_size = 0;
+  const RunResult event_loop = run_once(topology::abilene(), config);
+  config.batch_size = 256;
+  config.shards = 64;
+  expect_identical_runs(event_loop, run_once(topology::abilene(), config));
+}
+
+TEST(ShardDeterminismEdges, EpochBoundariesInsideShardWindows) {
+  // A 7-request epoch never aligns with any internal block/window size, so
+  // every timeline row closes mid-stream on both sides.
+  SimConfig config = base_config();
+  config.warmup_requests = 1000;
+  config.measured_requests = 5003;
+  config.timeline_epoch = 7;
+  config.shards = 1;
+  config.batch_size = 0;
+  const RunResult event_loop = run_once(topology::geant(), config);
+  config.batch_size = 256;
+  config.shards = 8;
+  const RunResult sharded = run_once(topology::geant(), config);
+  expect_identical_runs(event_loop, sharded);
+  EXPECT_FALSE(sharded.timeline.empty());
+}
+
+TEST(ShardDeterminismEdges, ShardsOneNeverEntersShardedEngine) {
+  // shards = 1 takes the batched engine path; the sharded engine at 2
+  // serial shards must agree with it anyway.
+  SimConfig config = base_config();
+  config.shards = 1;
+  const RunResult batched = run_once(topology::cernet(), config);
+  config.shards = 2;
+  expect_identical_runs(batched, run_once(topology::cernet(), config));
+}
+
+TEST(ShardDeterminismFallback, InterestAggregationFallsBackToEventLoop) {
+  // Aggregation needs completion events; shards > 1 must quietly take the
+  // event loop and produce its exact outputs.
+  SimConfig config = base_config();
+  config.interest_aggregation = true;
+  config.record_topo = false;  // aggregation skips topo/trace for joiners
+  config.shards = 1;
+  const RunResult plain = run_once(topology::us_a(), config);
+  config.shards = 8;
+  expect_identical_runs(plain, run_once(topology::us_a(), config));
+  EXPECT_GT(plain.report.aggregated_requests, 0u);
+}
+
+TEST(ShardDeterminismFallback, GloballyCoupledWorkloadFallsBack) {
+  // DriftingZipfWorkload's phase depends on the global request count, so
+  // per_router_streams() is false and shards > 1 must not shard it.
+  const auto make_workload = [](const topology::Graph& graph) {
+    std::vector<DriftingZipfWorkload::Phase> schedule;
+    schedule.push_back({0, 0.6});
+    schedule.push_back({4000, 1.1});
+    return std::make_unique<DriftingZipfWorkload>(graph.node_count(), 2000,
+                                                  schedule, 20240806);
+  };
+  SimConfig config = base_config();
+  const topology::Graph graph = topology::us_a();
+
+  obs::metrics().reset();
+  Simulation plain(graph, config);
+  plain.set_workload(make_workload(graph));
+  const SimReport plain_report = plain.run();
+
+  config.shards = 8;
+  obs::metrics().reset();
+  Simulation sharded(graph, config);
+  sharded.set_workload(make_workload(graph));
+  EXPECT_FALSE(
+      sharded_run_supported(config, *make_workload(graph), sharded.network()));
+  const SimReport sharded_report = sharded.run();
+  expect_identical_reports(plain_report, sharded_report);
+}
+
+TEST(ShardDeterminismFallback, SupportPredicateMatchesContract) {
+  SimConfig config = base_config();
+  config.shards = 8;
+  Simulation sim(topology::us_a(), config);
+  const ZipfWorkload zipf(20, 2000, 0.8, 1);
+  EXPECT_TRUE(sharded_run_supported(config, zipf, sim.network()));
+
+  SimConfig one = config;
+  one.shards = 1;
+  EXPECT_FALSE(sharded_run_supported(one, zipf, sim.network()));
+
+  SimConfig aggregated = config;
+  aggregated.interest_aggregation = true;
+  EXPECT_FALSE(sharded_run_supported(aggregated, zipf, sim.network()));
+
+  SimConfig peer_fetch = config;
+  peer_fetch.network.allow_peer_local_fetch = true;
+  Simulation peer_sim(topology::us_a(), peer_fetch);
+  EXPECT_FALSE(sharded_run_supported(peer_fetch, zipf, peer_sim.network()));
+
+  SimConfig on_path = config;
+  on_path.network.strategy = "lce";
+  Simulation on_path_sim(topology::us_a(), on_path);
+  EXPECT_FALSE(sharded_run_supported(on_path, zipf, on_path_sim.network()));
+}
+
+TEST(ShardDeterminismPhases, PhaseClockCoversBothPhases) {
+  SimConfig config = base_config();
+  config.shards = 4;
+  Simulation sim(topology::us_a(), config);
+  sim.run();
+  const Simulation::PhaseSeconds phases = sim.last_phase_seconds();
+  EXPECT_GT(phases.warmup, 0.0);
+  EXPECT_GT(phases.measured, 0.0);
+}
+
+}  // namespace
+}  // namespace ccnopt::sim

@@ -7,7 +7,7 @@
 //                    [--policy=static|lru|lfu|fifo|random] [--s=0.8]
 //                    [--strategy=coordinated-split] [--catalog=20000]
 //                    [--c=200] [--seed=42] [--replications=1] [--threads=N]
-//                    [--trace-out=path] [--trace-sample=K]
+//                    [--shards=S] [--trace-out=path] [--trace-sample=K]
 //
 // --strategy picks a registered caching strategy (coordinated-split, lce,
 // lcd, prob, prob-cap, coop-degree, ...); an unknown name fails with the
@@ -15,6 +15,12 @@
 //
 // --threads defaults to the hardware concurrency; results are bit-identical
 // for any thread count (deterministic seeding + ordered reduction).
+//
+// --shards=S parallelizes a SINGLE simulate run across S worker shards
+// (sharded request engine; see DESIGN.md §14). Outputs are bit-identical to
+// --shards=1 for any S. Configurations the sharded engine cannot shard
+// exactly (interest aggregation, on-path strategies, globally coupled
+// workloads) silently run the event loop instead.
 //
 // Observability (any subcommand):
 //   --metrics-out=path   deterministic metrics registry snapshot (.csv → CSV,
@@ -44,8 +50,10 @@
 //   ccnopt topology  [--name=us-a] [--dot=path] [--edges=path]
 //                    [--load=path]
 //   ccnopt help
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "ccnopt/common/args.hpp"
 #include "ccnopt/common/strings.hpp"
@@ -61,6 +69,7 @@
 #include "ccnopt/obs/topo.hpp"
 #include "ccnopt/obs/trace.hpp"
 #include "ccnopt/runtime/replication_runner.hpp"
+#include "ccnopt/runtime/shard_scheduler.hpp"
 #include "ccnopt/runtime/thread_pool.hpp"
 #include "ccnopt/sim/simulation.hpp"
 #include "ccnopt/strategy/registry.hpp"
@@ -418,6 +427,13 @@ int cmd_simulate(const ArgParser& args) {
   }
   const auto threads = parse_threads(args);
   if (!threads) return fail(threads.status());
+  const auto shards = args.get_int("shards", 1);
+  if (!shards) return fail(shards.status());
+  if (*shards < 1 || *shards > 256) {
+    return fail(Status(ErrorCode::kInvalidArgument,
+                       "--shards must be in [1, 256]"));
+  }
+  config.shards = static_cast<std::size_t>(*shards);
   if (*replications > 1) {
     runtime::ThreadPool pool(*threads);
     const runtime::ReplicationRunner runner(pool);
@@ -457,6 +473,15 @@ int cmd_simulate(const ArgParser& args) {
   }
 
   sim::Simulation simulation(*graph, config);
+  // Give the sharded engine real threads for the single-run case; pool
+  // size tracks --threads so --shards=8 --threads=1 still means one core.
+  std::optional<runtime::ThreadPool> pool;
+  std::optional<runtime::ShardScheduler> scheduler;
+  if (config.shards > 1) {
+    pool.emplace(std::min(*threads, config.shards));
+    scheduler.emplace(*pool);
+    simulation.set_shard_executor(&*scheduler);
+  }
   const sim::SimReport report = simulation.run();
   std::cout << "topology " << graph->name() << ", policy " << policy
             << ", strategy " << strategy_name

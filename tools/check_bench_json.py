@@ -165,6 +165,23 @@ def validate_throughput_outputs(outputs: dict, errors: list[str]) -> None:
             f"{catalog!r}")
 
 
+def validate_throughput_replay_outputs(outputs: dict,
+                                       errors: list[str]) -> None:
+    """Extra schema for throughput_replay* records on top of the generic
+    throughput checks: the sharded-engine and per-phase rates plus the
+    shard count they were measured at."""
+    shards = outputs.get("shards")
+    if not _is_int(shards) or shards <= 0:
+        errors.append(
+            f"outputs['shards']: expected positive integer, got {shards!r}")
+    for key in ("requests_per_sec_sharded", "requests_per_sec_warmup_phase",
+                "requests_per_sec_measured_phase", "sharded_speedup"):
+        value = outputs.get(key)
+        if not _is_number(value) or value <= 0:
+            errors.append(
+                f"outputs[{key!r}]: expected positive number, got {value!r}")
+
+
 def validate_arena_cell(cell: object, where: str, errors: list[str]) -> None:
     if not isinstance(cell, dict):
         errors.append(f"{where}: must be an object")
@@ -567,6 +584,8 @@ def validate_record(path: str) -> list[str]:
                 f"got {catalog_any!r}")
         if isinstance(name, str) and name.startswith("throughput_"):
             validate_throughput_outputs(outputs, errors)
+        if isinstance(name, str) and name.startswith("throughput_replay"):
+            validate_throughput_replay_outputs(outputs, errors)
     for section in ("registry", "perf"):
         if section not in record:
             errors.append(f"missing key '{section}'")

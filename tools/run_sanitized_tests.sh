@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # Build and run the memory-safety-critical test suites (the robin-hood
 # sparse index, the cache policies layered on it, the Zipf samplers, the
-# strategy subsystem driving the data plane, and the topology-resolved
-# flight recorder fed from the serve hot path) under AddressSanitizer +
-# UndefinedBehaviorSanitizer.
+# strategy subsystem driving the data plane, the topology-resolved
+# flight recorder fed from the serve hot path, and the sharded request
+# engine) under AddressSanitizer + UndefinedBehaviorSanitizer, then the
+# concurrency-critical shard suites again under ThreadSanitizer — the
+# sharded engine mutates shared cache stores from pool threads, so TSan
+# is the proof that the router partition really is race-free.
 #
 # Usage: run_sanitized_tests.sh <source-dir> <build-dir>
 #
-# The sanitized build is configured into <build-dir> (typically a
-# subdirectory of the main build tree, e.g. build/sanitized) so it never
-# contaminates the regular build. Registered as the `sanitized_cache_and_
-# sampler` ctest entry; also runnable by hand.
+# The sanitized builds are configured into <build-dir> and
+# <build-dir>-tsan (typically subdirectories of the main build tree,
+# e.g. build/sanitized) so they never contaminate the regular build.
+# Registered as the `sanitized_cache_and_sampler` ctest entry; also
+# runnable by hand.
 set -euo pipefail
 
 if [[ $# -ne 2 ]]; then
@@ -33,6 +37,15 @@ TARGETS=(
   test_strategy_ab_identity
   test_obs_topo
   test_sim_topo
+  test_sim_shard_determinism
+  test_runtime_shard_scheduler
+)
+
+# The shard suites exercise real cross-thread execution; TSan-build these
+# two on top of the ASan pass.
+TSAN_TARGETS=(
+  test_sim_shard_determinism
+  test_runtime_shard_scheduler
 )
 
 cmake -S "${SOURCE_DIR}" -B "${BUILD_DIR}" \
@@ -54,6 +67,25 @@ STATUS=0
 for target in "${TARGETS[@]}"; do
   echo "== sanitized: ${target} =="
   if ! "${BUILD_DIR}/tests/${target}" --gtest_brief=1; then
+    STATUS=1
+  fi
+done
+
+# ThreadSanitizer pass over the shard suites (separate build tree: TSan
+# and ASan cannot share objects).
+TSAN_DIR="${BUILD_DIR}-tsan"
+cmake -S "${SOURCE_DIR}" -B "${TSAN_DIR}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCCNOPT_SANITIZE=thread \
+  -DCCNOPT_BUILD_BENCH=OFF \
+  -DCCNOPT_BUILD_EXAMPLES=OFF \
+  >/dev/null
+cmake --build "${TSAN_DIR}" --parallel "${JOBS}" --target "${TSAN_TARGETS[@]}"
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+for target in "${TSAN_TARGETS[@]}"; do
+  echo "== tsan: ${target} =="
+  if ! "${TSAN_DIR}/tests/${target}" --gtest_brief=1; then
     STATUS=1
   fi
 done

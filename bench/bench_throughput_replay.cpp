@@ -12,8 +12,11 @@
 // sharded request engine (--shards, default 8) against the same run at
 // shards=1, reporting requests_per_sec_sharded and sharded_speedup — both
 // runs are bit-identical by construction (see DESIGN.md §14), so this is a
-// pure like-for-like timing. Per-phase throughput (warmup vs measured) of
-// the single-thread run is reported from Simulation::last_phase_seconds().
+// pure like-for-like timing. The sharded run is additionally repeated with
+// parallel_record = false to isolate the record pass (DESIGN.md §15):
+// record_pass_seconds_serial / record_pass_seconds_parallel and their
+// ratio record_speedup. Per-phase throughput (warmup vs measured) of the
+// single-thread run is reported from Simulation::last_phase_seconds().
 //
 // --catalog scales the content catalog (default 20000); at web-scale
 // catalogs the auto-selected rejection sampler and sparse cache indexes
@@ -165,6 +168,8 @@ int main(int argc, char** argv) {
   double sharded_rps = 0.0;
   double warmup_phase_rps = 0.0;
   double measured_phase_rps = 0.0;
+  double record_serial_s = 0.0;
+  double record_parallel_s = 0.0;
   {
     const double total_requests =
         static_cast<double>(config.warmup_requests + config.measured_requests);
@@ -186,6 +191,18 @@ int main(int argc, char** argv) {
       sharded_config.shards = shards;
       runtime::ThreadPool pool(std::min(threads, shards));
       runtime::ShardScheduler scheduler(pool);
+      // Record-pass A/B on the same pool: parallel_record=false runs the
+      // identical per-shard record bodies serially in shard order, so the
+      // two runs differ only in where the record work executes — the
+      // seconds ratio is the record pass's own speedup.
+      {
+        sim::SimConfig serial_record = sharded_config;
+        serial_record.parallel_record = false;
+        sim::Simulation sharded(topology::us_a(), serial_record);
+        sharded.set_shard_executor(&scheduler);
+        sharded.run();
+        record_serial_s = sharded.last_record_seconds();
+      }
       sim::Simulation sharded(topology::us_a(), sharded_config);
       sharded.set_shard_executor(&scheduler);
       const bench::WallTimer timer;
@@ -193,6 +210,7 @@ int main(int argc, char** argv) {
       sharded_ms = timer.elapsed_ms();
       sharded_rps = total_requests / (sharded_ms > 0.0 ? sharded_ms / 1000.0
                                                        : 1e-9);
+      record_parallel_s = sharded.last_record_seconds();
     }
   }
 
@@ -206,7 +224,13 @@ int main(int argc, char** argv) {
             << " Mreq/s (warmup phase " << warmup_phase_rps / 1e6
             << ", measured phase " << measured_phase_rps / 1e6 << ")\n"
             << "one run  (" << shards << " shards):  " << sharded_rps / 1e6
-            << " Mreq/s (speedup " << sharded_rps / single_rps << "x)\n";
+            << " Mreq/s (speedup " << sharded_rps / single_rps << "x)\n"
+            << "record pass: serial " << record_serial_s * 1000.0
+            << " ms, parallel " << record_parallel_s * 1000.0
+            << " ms (speedup "
+            << record_serial_s / (record_parallel_s > 0.0 ? record_parallel_s
+                                                          : 1e-9)
+            << "x)\n";
 
   reporter.add_timing_ms("serial_ms", serial_ms);
   reporter.add_timing_ms("parallel_ms", parallel_ms);
@@ -220,6 +244,11 @@ int main(int argc, char** argv) {
   reporter.set_output("requests_per_sec_measured_phase", measured_phase_rps);
   reporter.set_output("requests_per_sec_sharded", sharded_rps);
   reporter.set_output("sharded_speedup", sharded_rps / single_rps);
+  reporter.set_output("record_pass_seconds_serial", record_serial_s);
+  reporter.set_output("record_pass_seconds_parallel", record_parallel_s);
+  reporter.set_output("record_speedup",
+                      record_serial_s /
+                          (record_parallel_s > 0.0 ? record_parallel_s : 1e-9));
   reporter.set_output("shards", shards);
   reporter.set_output("threads", threads);
   reporter.set_output("catalog_size", config.network.catalog_size);

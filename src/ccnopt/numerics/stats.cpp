@@ -67,6 +67,15 @@ void RunningStats::merge(const RunningStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+RunningStats merge_tree(std::span<const RunningStats> parts) {
+  if (parts.empty()) return RunningStats{};
+  if (parts.size() == 1) return parts[0];
+  const std::size_t half = parts.size() / 2;
+  RunningStats left = merge_tree(parts.first(half));
+  left.merge(merge_tree(parts.subspan(half)));
+  return left;
+}
+
 double mean(std::span<const double> xs) {
   CCNOPT_EXPECTS(!xs.empty());
   double sum = 0.0;

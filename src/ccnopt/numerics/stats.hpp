@@ -25,7 +25,15 @@ class RunningStats {
   double max() const;
   double sum() const { return sum_; }
 
-  /// Merges another accumulator into this one (parallel-safe combine).
+  /// Merges another accumulator into this one with Chan's parallel
+  /// update: mean' = mean + delta * n2 / n, m2' = m2_a + m2_b +
+  /// delta^2 * n1 * n2 / n. Exact in the sense that the result is a pure
+  /// function of the two operand states — merging the same pair always
+  /// produces the same bits — and an empty operand is an identity element
+  /// (merging it changes nothing; merging INTO it adopts the other's
+  /// state verbatim). Merge is NOT bit-associative in general; when a
+  /// reduction must be independent of how partials are grouped, fix the
+  /// grouping with merge_tree() below.
   void merge(const RunningStats& other);
 
   /// Half-width of a normal-approximation confidence interval on the mean,
@@ -40,6 +48,17 @@ class RunningStats {
   double max_ = 0.0;
   double sum_ = 0.0;
 };
+
+/// Deterministic fixed-shape pairwise reduction of `parts` under
+/// RunningStats::merge: the merge tree splits [0, n) at n/2 and recurses,
+/// so the grouping — and therefore every bit of the combined moments —
+/// depends only on parts.size(), never on how many threads or shards
+/// produced the partials. Empty accumulators are identity elements, but
+/// their POSITIONS still shape the tree, so callers that need
+/// run-to-run bit-identity must present a fixed-size slot array (e.g.
+/// one slot per router, empty slots included). Returns an empty
+/// accumulator for empty input.
+RunningStats merge_tree(std::span<const RunningStats> parts);
 
 /// Arithmetic mean; requires non-empty input.
 double mean(std::span<const double> xs);

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ccnopt/common/assert.hpp"
 #include "ccnopt/obs/registry.hpp"
 #include "ccnopt/obs/timeline.hpp"
 #include "ccnopt/sim/metrics.hpp"
@@ -58,94 +59,123 @@ struct RunMetricHandles {
 // Fed exclusively from run-local state (per-epoch tallies plus the run's
 // own CcnNetwork counters) — never from the process-global obs::metrics()
 // registry, which parallel replications share and mutate concurrently.
-// Every request engine calls on_request()/on_aggregated() once per emitted
-// request in emission order, and aligns its processing blocks to epoch
-// boundaries, so rows are identical whichever engine ran.
+//
+// The per-epoch tallies are PER-ROUTER partials: accumulate() may be
+// called concurrently for disjoint routers (the sharded engine's record
+// pass), and a flush sums the partials in router-index order — the
+// canonical accumulation order shared by every engine. The serial
+// engines call accumulate() per request in emission order, which
+// restricted to one router is that router's own order, so partials (and
+// therefore rows) are bit-identical whichever engine ran. Engines align
+// their processing blocks/windows to epoch boundaries and drive
+// advance() serially, so the end-of-epoch network snapshot always sees
+// exactly the epoch's requests.
 class EpochRecorder {
  public:
-  EpochRecorder(obs::Timeline* timeline, const CcnNetwork* network)
+  EpochRecorder(obs::Timeline* timeline, const CcnNetwork* network,
+                std::size_t router_count)
       : timeline_(timeline),
         network_(network),
-        epoch_requests_(timeline->epoch_requests()) {}
+        epoch_requests_(timeline->epoch_requests()),
+        slots_(router_count) {}
 
-  /// One request whose serve outcome is known at emission.
-  void on_request(const ServeResult& result) {
-    ++requests_;
-    ++tier_counts_[static_cast<std::size_t>(result.tier)];
-    latency_ms_sum_ += result.latency_ms;
-    hops_sum_ += static_cast<double>(result.hops);
-    tier_latency_ms_sum_[static_cast<std::size_t>(result.tier)] +=
+  /// Tallies one request whose serve outcome is known at emission into
+  /// its first-hop router's partial. Thread-safe for DISTINCT routers;
+  /// does not advance the epoch clock — pair with advance().
+  void accumulate(std::size_t router, const ServeResult& result) {
+    RouterSlot& slot = slots_[router];
+    ++slot.requests;
+    ++slot.tier_counts[static_cast<std::size_t>(result.tier)];
+    slot.latency_ms_sum += result.latency_ms;
+    slot.hops_sum += static_cast<double>(result.hops);
+    slot.tier_latency_ms_sum[static_cast<std::size_t>(result.tier)] +=
         result.latency_ms;
-    maybe_flush();
   }
 
   /// One request that joined an in-flight fetch (interest aggregation):
   /// counted in the `requests` and `aggregated` columns at emission; its
   /// tier/latency resolve at the completion event and are not re-binned.
-  void on_aggregated() {
-    ++requests_;
-    ++aggregated_;
-    maybe_flush();
+  /// Event-loop only (aggregation never runs sharded), hence serial.
+  void on_aggregated() { ++aggregated_; }
+
+  /// Advances the epoch clock by `n` emitted requests and flushes a row
+  /// when that lands exactly on an epoch boundary. Serial; callers keep
+  /// blocks/windows epoch-aligned so a boundary can only be hit at n's
+  /// end (the event loop advances one request at a time).
+  void advance(std::uint64_t n) {
+    emitted_ += n;
+    if (n > 0 && emitted_ % epoch_requests_ == 0) flush();
   }
 
   /// Emits the final partial epoch, if any requests are pending in it.
   void finish() {
-    if (requests_ > 0) flush();
+    if (emitted_ > flushed_) flush();
   }
 
  private:
-  void maybe_flush() {
-    ++emitted_;
-    if (emitted_ % epoch_requests_ == 0) flush();
-  }
+  struct RouterSlot {
+    std::uint64_t requests = 0;
+    std::uint64_t tier_counts[3] = {0, 0, 0};
+    double latency_ms_sum = 0.0;
+    double hops_sum = 0.0;
+    double tier_latency_ms_sum[3] = {0.0, 0.0, 0.0};
+  };
 
   void flush() {
     const CcnNetwork::CacheTotals totals = network_->cache_totals();
     const std::uint64_t traversals = network_->total_link_traversals();
+    // Sum the per-router partials in router-index order — the fixed
+    // grouping every engine reproduces.
+    std::uint64_t requests = aggregated_;
+    std::uint64_t tier_counts[3] = {0, 0, 0};
+    double latency_ms_sum = 0.0;
+    double hops_sum = 0.0;
+    double tier_latency_ms_sum[3] = {0.0, 0.0, 0.0};
+    for (const RouterSlot& slot : slots_) {
+      requests += slot.requests;
+      latency_ms_sum += slot.latency_ms_sum;
+      hops_sum += slot.hops_sum;
+      for (std::size_t i = 0; i < 3; ++i) {
+        tier_counts[i] += slot.tier_counts[i];
+        tier_latency_ms_sum[i] += slot.tier_latency_ms_sum[i];
+      }
+    }
+    CCNOPT_ASSERT(requests == emitted_ - flushed_);
     std::vector<double> values;
     values.reserve(15);
-    values.push_back(static_cast<double>(requests_));
-    values.push_back(static_cast<double>(tier_counts_[0]));
-    values.push_back(static_cast<double>(tier_counts_[1]));
-    values.push_back(static_cast<double>(tier_counts_[2]));
+    values.push_back(static_cast<double>(requests));
+    values.push_back(static_cast<double>(tier_counts[0]));
+    values.push_back(static_cast<double>(tier_counts[1]));
+    values.push_back(static_cast<double>(tier_counts[2]));
     values.push_back(static_cast<double>(aggregated_));
-    values.push_back(latency_ms_sum_);
-    values.push_back(hops_sum_);
-    values.push_back(tier_latency_ms_sum_[0]);
-    values.push_back(tier_latency_ms_sum_[1]);
-    values.push_back(tier_latency_ms_sum_[2]);
+    values.push_back(latency_ms_sum);
+    values.push_back(hops_sum);
+    values.push_back(tier_latency_ms_sum[0]);
+    values.push_back(tier_latency_ms_sum[1]);
+    values.push_back(tier_latency_ms_sum[2]);
     values.push_back(static_cast<double>(totals.evictions - prev_evictions_));
     values.push_back(
         static_cast<double>(totals.insertions - prev_insertions_));
     values.push_back(static_cast<double>(totals.occupancy));
     values.push_back(static_cast<double>(traversals - prev_traversals_));
     values.push_back(static_cast<double>(network_->max_link_load()));
-    timeline_->push_epoch(emitted_ - requests_, emitted_ - 1,
-                          std::move(values));
+    timeline_->push_epoch(flushed_, emitted_ - 1, std::move(values));
     prev_evictions_ = totals.evictions;
     prev_insertions_ = totals.insertions;
     prev_traversals_ = traversals;
-    requests_ = 0;
+    flushed_ = emitted_;
     aggregated_ = 0;
-    latency_ms_sum_ = 0.0;
-    hops_sum_ = 0.0;
-    for (std::size_t i = 0; i < 3; ++i) {
-      tier_counts_[i] = 0;
-      tier_latency_ms_sum_[i] = 0.0;
-    }
+    for (RouterSlot& slot : slots_) slot = RouterSlot{};
   }
 
   obs::Timeline* timeline_;
   const CcnNetwork* network_;
   std::uint64_t epoch_requests_;
   std::uint64_t emitted_ = 0;
-  // Current-epoch tallies, cleared at every flush.
-  std::uint64_t requests_ = 0;
+  std::uint64_t flushed_ = 0;  // emitted_ at the last flush
+  // Current-epoch per-router tallies, cleared at every flush.
+  std::vector<RouterSlot> slots_;
   std::uint64_t aggregated_ = 0;
-  std::uint64_t tier_counts_[3] = {0, 0, 0};
-  double latency_ms_sum_ = 0.0;
-  double hops_sum_ = 0.0;
-  double tier_latency_ms_sum_[3] = {0.0, 0.0, 0.0};
   // Cumulative network counters at the previous epoch boundary, for deltas.
   std::uint64_t prev_evictions_ = 0;
   std::uint64_t prev_insertions_ = 0;

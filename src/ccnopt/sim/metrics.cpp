@@ -22,40 +22,63 @@ std::vector<double> MetricsCollector::latency_bucket_bounds() {
   return {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0};
 }
 
-MetricsCollector::MetricsCollector()
-    : latency_hist_(latency_bucket_bounds()) {}
+MetricsCollector::MetricsCollector() { resize_routers(1); }
 
-void MetricsCollector::record(ServeTier tier, double latency_ms,
-                              std::uint32_t hops) {
+void MetricsCollector::resize_routers(std::size_t router_count) {
+  CCNOPT_EXPECTS(router_count >= 1);
+  slots_.assign(router_count, RouterSlot{});
+  for (RouterSlot& slot : slots_) {
+    slot.latency_hist = obs::Histogram(latency_bucket_bounds());
+  }
+}
+
+void MetricsCollector::record(std::size_t router, ServeTier tier,
+                              double latency_ms, std::uint32_t hops) {
   CCNOPT_EXPECTS(latency_ms >= 0.0);
-  latency_.add(latency_ms);
-  hops_.add(static_cast<double>(hops));
+  CCNOPT_EXPECTS(router < slots_.size());
+  RouterSlot& slot = slots_[router];
+  slot.latency.add(latency_ms);
+  slot.hops.add(static_cast<double>(hops));
   const auto index = static_cast<std::size_t>(tier);
-  tier_latency_[index].add(latency_ms);
-  ++tier_counts_[index];
-  latency_hist_.observe(latency_ms);
+  slot.tier_latency[index].add(latency_ms);
+  ++slot.tier_counts[index];
+  slot.latency_hist.observe(latency_ms);
 }
 
 void MetricsCollector::reset() {
-  // Field-wise so every accumulator is provably covered; a new field added
-  // without a matching line here should fail the regression test in
-  // test_sim_metrics.cpp.
-  latency_ = numerics::RunningStats{};
-  hops_ = numerics::RunningStats{};
-  for (numerics::RunningStats& stats : tier_latency_) {
-    stats = numerics::RunningStats{};
-  }
-  for (std::uint64_t& count : tier_counts_) count = 0;
+  // Back to the freshly constructed state: one empty router slot. The
+  // slot assignment clears every per-request accumulator field-wise; a
+  // new global field added without a matching line here should fail the
+  // regression test in test_sim_metrics.cpp.
+  resize_routers(1);
   coordination_messages_ = 0;
-  latency_hist_.reset();
+}
+
+template <typename Member>
+numerics::RunningStats MetricsCollector::fold(const Member& member) const {
+  // Materialize the per-router partials in router-index order, then
+  // reduce through the fixed-shape merge tree: the tree's grouping
+  // depends only on slots_.size(), so the combined moments are
+  // bit-identical however many shards filled the slots.
+  std::vector<numerics::RunningStats> parts;
+  parts.reserve(slots_.size());
+  for (const RouterSlot& slot : slots_) parts.push_back(member(slot));
+  return numerics::merge_tree(parts);
 }
 
 std::uint64_t MetricsCollector::total_requests() const {
-  return tier_counts_[0] + tier_counts_[1] + tier_counts_[2];
+  std::uint64_t total = 0;
+  for (const RouterSlot& slot : slots_) {
+    total += slot.tier_counts[0] + slot.tier_counts[1] + slot.tier_counts[2];
+  }
+  return total;
 }
 
 std::uint64_t MetricsCollector::tier_count(ServeTier tier) const {
-  return tier_counts_[static_cast<std::size_t>(tier)];
+  const auto index = static_cast<std::size_t>(tier);
+  std::uint64_t total = 0;
+  for (const RouterSlot& slot : slots_) total += slot.tier_counts[index];
+  return total;
 }
 
 double MetricsCollector::tier_fraction(ServeTier tier) const {
@@ -65,16 +88,30 @@ double MetricsCollector::tier_fraction(ServeTier tier) const {
 }
 
 double MetricsCollector::mean_latency_ms() const {
-  return latency_.count() == 0 ? 0.0 : latency_.mean();
+  const numerics::RunningStats stats =
+      fold([](const RouterSlot& slot) { return slot.latency; });
+  return stats.count() == 0 ? 0.0 : stats.mean();
 }
 
 double MetricsCollector::mean_tier_latency_ms(ServeTier tier) const {
-  const auto& stats = tier_latency_[static_cast<std::size_t>(tier)];
+  const auto index = static_cast<std::size_t>(tier);
+  const numerics::RunningStats stats = fold(
+      [index](const RouterSlot& slot) { return slot.tier_latency[index]; });
   return stats.count() == 0 ? 0.0 : stats.mean();
 }
 
 double MetricsCollector::mean_hops() const {
-  return hops_.count() == 0 ? 0.0 : hops_.mean();
+  const numerics::RunningStats stats =
+      fold([](const RouterSlot& slot) { return slot.hops; });
+  return stats.count() == 0 ? 0.0 : stats.mean();
+}
+
+obs::Histogram MetricsCollector::latency_histogram() const {
+  obs::Histogram merged(latency_bucket_bounds());
+  // Router-index order; the fixed-point sums make any grouping exact,
+  // so the order is a convention, not a correctness requirement.
+  for (const RouterSlot& slot : slots_) merged.merge(slot.latency_hist);
+  return merged;
 }
 
 SimReport make_report(const MetricsCollector& metrics) {

@@ -18,17 +18,46 @@ enum class ServeTier { kLocal = 0, kNetwork = 1, kOrigin = 2 };
 
 const char* to_string(ServeTier tier);
 
+/// Accumulates per-request measurements into PER-ROUTER partial
+/// accumulators (Welford stats, tier counts, a fixed-point latency
+/// histogram) and aggregates them on demand through the deterministic
+/// fixed-shape merge tree of numerics::merge_tree. The per-router
+/// partials are the canonical accumulation order: every request engine
+/// records each router's requests in that router's emission order, and
+/// the slot array is always sized to the router count — so the
+/// aggregated moments are bit-identical whichever engine ran and however
+/// many shards recorded concurrently (shards own disjoint routers, hence
+/// disjoint slots).
 class MetricsCollector {
  public:
+  /// One router slot; single-slot collectors behave like a plain global
+  /// accumulator (the router-less record() overload below).
   MetricsCollector();
 
-  void record(ServeTier tier, double latency_ms, std::uint32_t hops);
+  /// Resizes the per-router slot array, clearing all request
+  /// accumulators (coordination messages are preserved — they are
+  /// recorded per run, not per router). Engines call this once before
+  /// replay with the network's router count.
+  void resize_routers(std::size_t router_count);
+  std::size_t router_count() const { return slots_.size(); }
+
+  /// Records one served request against `router`'s slot. Safe to call
+  /// concurrently for DISTINCT routers; calls for the same router must
+  /// be serialized (the sharded engine's router partition guarantees
+  /// this).
+  void record(std::size_t router, ServeTier tier, double latency_ms,
+              std::uint32_t hops);
+  /// Single-slot convenience (router 0) for unit tests and call sites
+  /// without a router identity.
+  void record(ServeTier tier, double latency_ms, std::uint32_t hops) {
+    record(0, tier, latency_ms, hops);
+  }
   void record_coordination_messages(std::uint64_t count) {
     coordination_messages_ += count;
   }
   /// Returns the collector to its freshly constructed state — every
-  /// accumulator is cleared, including coordination_messages_ and the
-  /// latency histogram.
+  /// router slot is cleared back to a single empty slot, including
+  /// coordination_messages_ and the latency histograms.
   void reset();
 
   std::uint64_t total_requests() const;
@@ -50,21 +79,35 @@ class MetricsCollector {
     return coordination_messages_;
   }
 
-  /// Fixed-bucket latency distribution accumulated by record(); merged
-  /// into the obs::metrics() registry once per simulation run so the hot
-  /// path never touches the registry.
-  const obs::Histogram& latency_histogram() const { return latency_hist_; }
+  /// Fixed-bucket latency distribution accumulated by record(): the
+  /// per-router histograms merged in router-index order (fixed-point
+  /// sums, so the merge is exact under any grouping). Merged into the
+  /// obs::metrics() registry once per simulation run so the hot path
+  /// never touches the registry.
+  obs::Histogram latency_histogram() const;
 
   /// Upper bucket bounds (ms) of latency_histogram().
   static std::vector<double> latency_bucket_bounds();
 
  private:
-  numerics::RunningStats latency_;
-  numerics::RunningStats hops_;
-  numerics::RunningStats tier_latency_[3];
-  std::uint64_t tier_counts_[3] = {0, 0, 0};
+  /// One router's partial accumulators. Every double-valued statistic
+  /// lives here (never globally) so concurrent shards touch disjoint
+  /// memory and the aggregation order is canonical.
+  struct RouterSlot {
+    numerics::RunningStats latency;
+    numerics::RunningStats hops;
+    numerics::RunningStats tier_latency[3];
+    std::uint64_t tier_counts[3] = {0, 0, 0};
+    obs::Histogram latency_hist;
+  };
+
+  /// Fixed-shape merge-tree fold of one RunningStats member over the
+  /// router slots, in router-index order.
+  template <typename Member>
+  numerics::RunningStats fold(const Member& member) const;
+
+  std::vector<RouterSlot> slots_;
   std::uint64_t coordination_messages_ = 0;
-  obs::Histogram latency_hist_;
 };
 
 /// Final report of one simulation run.

@@ -12,13 +12,20 @@
 //   serve     (parallel over shards)  fused content-draw + serve into
 //                                     per-shard SoA scratch, traces sampled
 //                                     in place
-//   record    (sequential)            replays the merged order through the
-//                                     metrics/timeline/topo accumulators,
-//                                     which are all order-dependent
+//   record    (parallel over shards)  each shard tallies its own SoA
+//                                     results into per-router partial
+//                                     accumulators (metrics slots, epoch
+//                                     recorder slots, the shard's own topo
+//                                     recorder); partials fold in
+//                                     router-index order at flush/report
+//                                     time, so no global order is needed
 //
 // Windows truncate at timeline-epoch and warmup boundaries, so the epoch
 // recorder's end-of-epoch network snapshots see exactly the sequential
 // engine's state, and the phase clock stamps the warmup crossing exactly.
+// SimConfig::parallel_record = false runs the identical record bodies in
+// shard order on the calling thread — byte-identical by construction —
+// which is what bench_throughput_replay times to report record_speedup.
 #include "ccnopt/sim/sharded.hpp"
 
 #include <algorithm>
@@ -62,9 +69,9 @@ struct RouterGen {
 };
 
 // Everything one shard owns: its contiguous range of active routers, the
-// network scratch its serves write telemetry into, its whole-run placement
-// recorder and trace buffer, and the per-window SoA serve results the
-// sequential record pass reads back in merged order.
+// network scratch its serves write telemetry into, its whole-run tier and
+// placement recorder, its trace buffer, and the per-window SoA serve
+// results its own record pass reads back.
 struct ShardState {
   std::uint32_t lo = 0;  // active-position range [lo, hi)
   std::uint32_t hi = 0;
@@ -76,7 +83,7 @@ struct ShardState {
   std::vector<double> latency;
   std::vector<std::uint32_t> hops;
   std::vector<std::uint32_t> served_by;
-  std::size_t cursor = 0;  // record-pass read position
+  std::uint64_t upstream = 0;  // whole-run non-local serves (integer fold)
 };
 
 }  // namespace
@@ -88,6 +95,26 @@ bool sharded_run_supported(const SimConfig& config, const Workload& workload,
          network.data_plane().forwarding ==
              strategy::ForwardingMode::kOwnerTable &&
          !network.config().allow_peer_local_fetch;
+}
+
+const char* sharded_unsupported_reason(const SimConfig& config,
+                                       const Workload& workload,
+                                       const CcnNetwork& network) {
+  if (config.shards <= 1) return "shards <= 1";
+  if (config.interest_aggregation) {
+    return "interest aggregation needs the event loop's completion events";
+  }
+  if (!workload.per_router_streams()) {
+    return "workload streams are globally coupled across routers";
+  }
+  if (network.data_plane().forwarding !=
+      strategy::ForwardingMode::kOwnerTable) {
+    return "on-path forwarding strategy mutates caches along the path";
+  }
+  if (network.config().allow_peer_local_fetch) {
+    return "peer-local fetch couples router stores";
+  }
+  return "run qualifies";
 }
 
 SimReport Simulation::run_sharded_impl(ShardExecutor& executor) {
@@ -122,7 +149,9 @@ SimReport Simulation::run_sharded_impl(ShardExecutor& executor) {
     messages = network_->provision(config_.coordinated_x);
   }
   MetricsCollector metrics;
+  metrics.resize_routers(network_->router_count());
   metrics.record_coordination_messages(messages);
+  record_seconds_ = 0.0;
 
   const obs::ScopedSpan replay_span("sim.replay");
   const double rate = config_.arrival_rate_per_router;
@@ -145,14 +174,10 @@ SimReport Simulation::run_sharded_impl(ShardExecutor& executor) {
   // help, router-partitioned as the engine is).
   const std::size_t shard_count = std::min(config_.shards, active_count);
   std::vector<ShardState> shards(shard_count);
-  std::vector<std::uint32_t> shard_of_active(active_count, 0);
   for (std::size_t s = 0; s < shard_count; ++s) {
     shards[s].lo = static_cast<std::uint32_t>(active_count * s / shard_count);
     shards[s].hi =
         static_cast<std::uint32_t>(active_count * (s + 1) / shard_count);
-    for (std::uint32_t a = shards[s].lo; a < shards[s].hi; ++a) {
-      shard_of_active[a] = static_cast<std::uint32_t>(s);
-    }
     obs::TopoRecorder* shard_topo = nullptr;
     if (config_.record_topo) {
       shards[s].topo = obs::TopoRecorder(network_->graph().name(),
@@ -169,7 +194,9 @@ SimReport Simulation::run_sharded_impl(ShardExecutor& executor) {
   }
 
   std::optional<detail::EpochRecorder> recorder;
-  if (timeline_.enabled()) recorder.emplace(&timeline_, network_.get());
+  if (timeline_.enabled()) {
+    recorder.emplace(&timeline_, network_.get(), network_->router_count());
+  }
 
   using Clock = std::chrono::steady_clock;
   const Clock::time_point replay_start = Clock::now();
@@ -352,7 +379,6 @@ SimReport Simulation::run_sharded_impl(ShardExecutor& executor) {
       shard.latency.clear();
       shard.hops.clear();
       shard.served_by.clear();
-      shard.cursor = 0;
       if (shard.idx.empty()) return;
       cache::ContentId next_content =
           workload_->next(actives[win_active[shard.idx[0]]]);
@@ -389,30 +415,56 @@ SimReport Simulation::run_sharded_impl(ShardExecutor& executor) {
     });
 
     // --- Record: fold the shard link counters first (the epoch recorder's
-    // boundary snapshot reads them), then replay the merged order through
-    // every order-dependent accumulator.
+    // boundary snapshot reads them), then tally every shard's slice of the
+    // window into the per-router partial accumulators. No global replay is
+    // needed anymore: all double accumulation (metrics Welford slots,
+    // epoch-recorder sums, topo latency sums) is per-router, each router
+    // is owned by exactly one shard, and each shard walks its SoA results
+    // in window order — which restricted to any of its routers is that
+    // router's emission order, the canonical accumulation order the serial
+    // engines also use. Tier events go to the shard's OWN topo recorder
+    // (served_for_peers may cross shards, and integer counters fold
+    // exactly at absorb time). Only the epoch-boundary flush in advance()
+    // stays serial.
     for (ShardState& shard : shards) {
       network_->fold_shard_scratch(shard.scratch);
     }
-    for (std::uint64_t i = 0; i < window; ++i) {
-      const std::uint32_t a = win_active[i];
-      ShardState& shard = shards[shard_of_active[a]];
-      const std::size_t j = shard.cursor++;
-      ServeResult result;
-      result.tier = static_cast<ServeTier>(shard.tier[j]);
-      result.latency_ms = shard.latency[j];
-      result.hops = shard.hops[j];
-      result.served_by = shard.served_by[j];
-      if (recorder) recorder->on_request(result);
-      if (result.tier != ServeTier::kLocal) ++upstream;
-      if (base + i < config_.warmup_requests) continue;
-      metrics.record(result.tier, result.latency_ms, result.hops);
-      if (topo != nullptr) {
-        topo->on_request(static_cast<std::uint32_t>(actives[a]),
-                         static_cast<std::uint32_t>(result.tier),
-                         result.served_by, result.latency_ms, result.hops);
+    const Clock::time_point record_start = Clock::now();
+    detail::EpochRecorder* const epoch = recorder ? &*recorder : nullptr;
+    const auto record_shard = [&](std::size_t s) {
+      ShardState& shard = shards[s];
+      std::uint64_t shard_upstream = 0;
+      obs::TopoRecorder* const shard_topo =
+          topo != nullptr ? &shard.topo : nullptr;
+      for (std::size_t j = 0; j < shard.idx.size(); ++j) {
+        const std::uint32_t i = shard.idx[j];
+        const topology::NodeId router = actives[win_active[i]];
+        ServeResult result;
+        result.tier = static_cast<ServeTier>(shard.tier[j]);
+        result.latency_ms = shard.latency[j];
+        result.hops = shard.hops[j];
+        result.served_by = shard.served_by[j];
+        if (epoch != nullptr) epoch->accumulate(router, result);
+        if (result.tier != ServeTier::kLocal) ++shard_upstream;
+        if (base + i < config_.warmup_requests) continue;
+        metrics.record(router, result.tier, result.latency_ms, result.hops);
+        if (shard_topo != nullptr) {
+          shard_topo->on_request(static_cast<std::uint32_t>(router),
+                                 static_cast<std::uint32_t>(result.tier),
+                                 result.served_by, result.latency_ms,
+                                 result.hops);
+        }
       }
+      shard.upstream += shard_upstream;
+    };
+    if (config_.parallel_record) {
+      executor.run_shards(shard_count, record_shard);
+    } else {
+      for (std::size_t s = 0; s < shard_count; ++s) record_shard(s);
     }
+    record_seconds_ +=
+        std::chrono::duration<double>(Clock::now() - record_start).count();
+    if (recorder) recorder->advance(window);
     emitted += window;
 
     // --- Advance and compact the consumed arrival-time prefixes.
@@ -429,21 +481,36 @@ SimReport Simulation::run_sharded_impl(ShardExecutor& executor) {
   }
   CCNOPT_ENSURES(emitted == total_requests);
   if (recorder) recorder->finish();
+  for (const ShardState& shard : shards) upstream += shard.upstream;
 
-  // Fold the per-shard placement recorders (integer counters — any fold
-  // order is exact; shard index order keeps it canonical), then take the
-  // same end-of-run snapshots as the sequential engines.
+  // Fold the per-shard tier/placement recorders (integer counters sum
+  // exactly under any grouping; the double latency sums are per-router
+  // and only the owning shard's recorder carries a non-zero value, so
+  // absorbing the others adds a bit-neutral +0.0 — shard index order
+  // keeps the fold canonical anyway). Then take the same end-of-run
+  // snapshots as the sequential engines; the per-router cache snapshot
+  // writes disjoint nodes, so it folds over fixed index-ordered router
+  // blocks on the executor.
   if (topo != nullptr) {
     for (ShardState& shard : shards) {
       topo->absorb(shard.topo);
     }
-    for (topology::NodeId id = 0; id < network_->router_count(); ++id) {
-      const cache::PartitionedStore& store = network_->store(id);
-      const cache::CacheStats& local_stats = store.local().stats();
-      topo->set_router_cache(
-          id, local_stats.evictions, local_stats.insertions, store.size(),
-          static_cast<std::uint64_t>(network_->capacity_of(id)));
-    }
+    const std::size_t router_count = network_->router_count();
+    constexpr std::size_t kSnapshotBlock = 256;
+    const std::size_t snapshot_blocks =
+        (router_count + kSnapshotBlock - 1) / kSnapshotBlock;
+    executor.run_shards(snapshot_blocks, [&](std::size_t b) {
+      const std::size_t lo = b * kSnapshotBlock;
+      const std::size_t hi = std::min(router_count, lo + kSnapshotBlock);
+      for (std::size_t r = lo; r < hi; ++r) {
+        const auto id = static_cast<topology::NodeId>(r);
+        const cache::PartitionedStore& store = network_->store(id);
+        const cache::CacheStats& local_stats = store.local().stats();
+        topo->set_router_cache(
+            id, local_stats.evictions, local_stats.insertions, store.size(),
+            static_cast<std::uint64_t>(network_->capacity_of(id)));
+      }
+    });
     topo->add_link_traversals(network_->link_counts());
   }
 

@@ -18,10 +18,19 @@
 // of the per-router sequences. The engine merges them window by window
 // (windows truncate at timeline-epoch and warmup boundaries, which never
 // changes merge order), serves each window's requests shard-parallel into
-// per-shard structure-of-arrays scratch, and replays the merged order in
-// one sequential record pass — so every order-dependent accumulation
-// (Welford stats, timeline epochs, topo latency sums, trace buffers) sees
-// exactly the sequence the event loop would have produced.
+// per-shard structure-of-arrays scratch, then records each window
+// shard-parallel as well: every floating-point accumulation (Welford
+// stats, timeline epoch sums, topo latency sums) lives in PER-ROUTER
+// partials, each written by exactly one shard in that router's own
+// emission order, and folded in router-index order through a fixed-shape
+// merge tree (numerics::merge_tree) whose grouping depends only on the
+// router count. The serial engines accumulate into the identical
+// per-router partials and fold them identically, so reports, timelines,
+// topo exports, traces and metric exports are bit-identical at any shard
+// count — including shard count one. Integer counters (tier counts,
+// histograms' fixed-point sums, link traversals) are exact under any
+// order. Only the per-window epoch-boundary flush, the trace-buffer
+// cursor merge, and final export remain serial.
 //
 // Tie-breaking caveat: the event loop breaks equal-time events by global
 // scheduling sequence, the merge by router index. The two differ only
@@ -71,5 +80,13 @@ class SerialShardExecutor final : public ShardExecutor {
 /// bit-identity contract.
 bool sharded_run_supported(const SimConfig& config, const Workload& workload,
                            const CcnNetwork& network);
+
+/// Human-readable disqualifier for a run with shards > 1 that
+/// sharded_run_supported() rejected — logged by Simulation::run() so a
+/// silent fallback can never masquerade as a sharded measurement.
+/// Returns "run qualifies" when nothing disqualifies it.
+const char* sharded_unsupported_reason(const SimConfig& config,
+                                       const Workload& workload,
+                                       const CcnNetwork& network);
 
 }  // namespace ccnopt::sim

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ccnopt/common/assert.hpp"
+#include "ccnopt/common/logging.hpp"
 #include "ccnopt/common/random.hpp"
 #include "ccnopt/obs/registry.hpp"
 #include "ccnopt/obs/span.hpp"
@@ -61,12 +62,23 @@ SimReport Simulation::run() {
   // first-hop router and serve shards concurrently (bit-identical outputs
   // at any shard count); without an attached executor the shards run
   // serially, which keeps the engine testable single-threaded.
-  if (config_.shards > 1 &&
-      sharded_run_supported(config_, *workload_, *network_)) {
-    if (shard_executor_ != nullptr) return run_sharded_impl(*shard_executor_);
-    SerialShardExecutor serial;
-    return run_sharded_impl(serial);
+  if (config_.shards > 1) {
+    if (sharded_run_supported(config_, *workload_, *network_)) {
+      if (shard_executor_ != nullptr) {
+        return run_sharded_impl(*shard_executor_);
+      }
+      SerialShardExecutor serial;
+      return run_sharded_impl(serial);
+    }
+    // The fallback is bit-identical by contract, but far slower — never
+    // let a bench measure the event loop thinking it measured shards.
+    CCNOPT_LOG(kWarn) << "sharded engine: shards=" << config_.shards
+                      << " requested but the run does not qualify ("
+                      << sharded_unsupported_reason(config_, *workload_,
+                                                    *network_)
+                      << "); falling back to the single-thread engine";
   }
+  record_seconds_ = 0.0;
   const obs::ScopedSpan run_span("sim.run");
   trace_.clear();
   timeline_ = config_.timeline_epoch > 0
@@ -97,6 +109,7 @@ SimReport Simulation::run() {
   }
 
   MetricsCollector metrics;
+  metrics.resize_routers(network_->router_count());
   metrics.record_coordination_messages(messages);
 
   const obs::ScopedSpan replay_span("sim.replay");
@@ -118,7 +131,9 @@ SimReport Simulation::run() {
   // Per-epoch telemetry (timeline_epoch > 0): one recorder call per emitted
   // request, in emission order, from both engines.
   std::optional<EpochRecorder> recorder;
-  if (timeline_.enabled()) recorder.emplace(&timeline_, network_.get());
+  if (timeline_.enabled()) {
+    recorder.emplace(&timeline_, network_.get(), network_->router_count());
+  }
 
   // Records one sampled request; the decision is pure in (seed, index).
   // Must run straight after the serve() that produced `result` — the hop
@@ -277,16 +292,20 @@ SimReport Simulation::run() {
                       results[i]);
         }
       }
-      // Metrics pass, once per block, in emission order (the same order
-      // the event loop records in, so RunningStats accumulation is
-      // bit-identical).
+      // Metrics pass, once per block, in emission order. All double
+      // accumulation goes into per-router partials, and emission order
+      // restricted to one router is that router's own order — so the
+      // partials (and everything folded from them) are bit-identical to
+      // the event loop's.
       for (std::size_t i = 0; i < block.size(); ++i) {
-        if (recorder) recorder->on_request(results[i]);
+        if (recorder) recorder->accumulate(block[i].router, results[i]);
         if (block[i].index < config_.warmup_requests) continue;
-        metrics.record(results[i].tier, results[i].latency_ms,
-                       results[i].hops);
+        metrics.record(block[i].router, results[i].tier,
+                       results[i].latency_ms, results[i].hops);
         if (topo != nullptr) topo_record(block[i].router, results[i]);
       }
+      // Blocks are epoch-aligned, so a boundary can only land here.
+      if (recorder) recorder->advance(block.size());
     }
     CCNOPT_ENSURES(emitted == total_requests);
     if (recorder) recorder->finish();
@@ -326,9 +345,12 @@ SimReport Simulation::run() {
       const ServeResult result =
           network_->serve(static_cast<topology::NodeId>(router), content);
       if (result.tier != ServeTier::kLocal) ++upstream;
-      if (recorder) recorder->on_request(result);
+      if (recorder) {
+        recorder->accumulate(router, result);
+        recorder->advance(1);
+      }
       if (measured) {
-        metrics.record(result.tier, result.latency_ms, result.hops);
+        metrics.record(router, result.tier, result.latency_ms, result.hops);
         if (topo != nullptr) topo_record(router, result);
         maybe_trace(request_index, router, content, result);
       }
@@ -337,16 +359,23 @@ SimReport Simulation::run() {
       const auto it = pit.find(key);
       if (it != pit.end()) {
         ++aggregated;
-        if (recorder) recorder->on_aggregated();
+        if (recorder) {
+          recorder->on_aggregated();
+          recorder->advance(1);
+        }
         it->second.joiners.emplace_back(queue.now(), measured);
       } else {
         const ServeResult result =
             network_->serve(static_cast<topology::NodeId>(router), content);
-        if (recorder) recorder->on_request(result);
+        if (recorder) {
+          recorder->accumulate(router, result);
+          recorder->advance(1);
+        }
         if (measured && topo != nullptr) topo_record(router, result);
         if (result.tier == ServeTier::kLocal) {
           if (measured) {
-            metrics.record(result.tier, result.latency_ms, result.hops);
+            metrics.record(router, result.tier, result.latency_ms,
+                           result.hops);
             maybe_trace(request_index, router, content, result);
           }
         } else {
@@ -357,17 +386,18 @@ SimReport Simulation::run() {
           pit.emplace(key, PendingInterest{});
           queue.schedule_after(
               result.latency_ms, [&metrics, &pit, &queue, key, result,
-                                  measured] {
+                                  measured, router] {
                 if (measured) {
-                  metrics.record(result.tier, result.latency_ms, result.hops);
+                  metrics.record(router, result.tier, result.latency_ms,
+                                 result.hops);
                 }
                 auto node = pit.extract(key);
                 CCNOPT_ASSERT(!node.empty());
                 for (const auto& [joined_at, joiner_measured] :
                      node.mapped().joiners) {
                   if (joiner_measured) {
-                    metrics.record(result.tier, queue.now() - joined_at,
-                                   result.hops);
+                    metrics.record(router, result.tier,
+                                   queue.now() - joined_at, result.hops);
                   }
                 }
               });

@@ -58,8 +58,18 @@ struct SimConfig {
   /// byte-identical to the single-thread engines at any shard count; an
   /// attached ShardExecutor (set_shard_executor) supplies the worker
   /// threads, otherwise the shards run serially on the calling thread.
-  /// Runs that do not qualify fall back to the single-thread engines.
+  /// Runs that do not qualify fall back to the single-thread engines
+  /// (with a one-line CCNOPT_LOG(kWarn) naming the disqualifier, so
+  /// bench runs cannot silently measure the event loop).
   std::size_t shards = 1;
+  /// Sharded engine only: run the per-window record pass (metrics,
+  /// timeline partials, topo tier counters) shard-parallel on the
+  /// executor. The accumulators are per-router partials folded in
+  /// router-index order, so the serial walk (false) produces
+  /// byte-identical output — the knob exists to time the record pass
+  /// serial vs parallel (bench_throughput_replay's record_speedup) and
+  /// to A/B the two in test_sim_record_parallel.
+  bool parallel_record = true;
   std::uint64_t seed = 42;
   /// Time-resolved telemetry: when > 0, the run accumulates an
   /// obs::Timeline with one row per `timeline_epoch` emitted requests
@@ -118,6 +128,11 @@ class Simulation {
   };
   PhaseSeconds last_phase_seconds() const { return phase_seconds_; }
 
+  /// Wall-clock seconds the last run() spent in the record pass (summed
+  /// over windows). 0 for the single-thread engines, whose record work
+  /// is not separately clocked.
+  double last_record_seconds() const { return record_seconds_; }
+
   const CcnNetwork& network() const { return *network_; }
   CcnNetwork& network() { return *network_; }
 
@@ -144,6 +159,7 @@ class Simulation {
   std::unique_ptr<Workload> workload_;
   ShardExecutor* shard_executor_ = nullptr;
   PhaseSeconds phase_seconds_;
+  double record_seconds_ = 0.0;
   obs::TraceBuffer trace_;
   obs::Timeline timeline_;
   obs::TopoRecorder topo_;

@@ -63,29 +63,45 @@ DriftingZipfWorkload::DriftingZipfWorkload(std::size_t router_count,
                      schedule_[i - 1].start_request);
     }
   }
-  samplers_.resize(schedule_.size());
+  // Build every phase sampler up front: next() may run from concurrent
+  // shards, so it must never mutate shared state.
+  samplers_.reserve(schedule_.size());
+  for (const Phase& phase : schedule_) {
+    samplers_.push_back(
+        popularity::make_zipf_sampler(catalog_size, phase.exponent));
+  }
   streams_.reserve(router_count);
   for (std::size_t i = 0; i < router_count; ++i) {
     streams_.emplace_back(seed + 0x9E3779B97F4A7C15ULL * (i + 1));
   }
+  counts_.assign(router_count, 0);
+  phase_.assign(router_count, 0);
 }
 
 double DriftingZipfWorkload::current_exponent() const {
-  return schedule_[phase_].exponent;
+  std::size_t phase = 0;
+  for (const std::size_t p : phase_) phase = std::max(phase, p);
+  return schedule_[phase].exponent;
+}
+
+std::uint64_t DriftingZipfWorkload::requests_emitted() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : counts_) total += count;
+  return total;
 }
 
 cache::ContentId DriftingZipfWorkload::next(std::size_t router_index) {
   CCNOPT_EXPECTS(router_index < streams_.size());
-  while (phase_ + 1 < schedule_.size() &&
-         emitted_ >= schedule_[phase_ + 1].start_request) {
-    ++phase_;
+  // Phase from this router's own position: its k-th draw estimates the
+  // global request index as k * router_count (exactly k for one router).
+  const std::uint64_t scaled = counts_[router_index] * streams_.size();
+  std::size_t& phase = phase_[router_index];
+  while (phase + 1 < schedule_.size() &&
+         scaled >= schedule_[phase + 1].start_request) {
+    ++phase;
   }
-  if (samplers_[phase_] == nullptr) {
-    samplers_[phase_] = popularity::make_zipf_sampler(
-        catalog_size_, schedule_[phase_].exponent);
-  }
-  ++emitted_;
-  return samplers_[phase_]->sample(streams_[router_index]);
+  ++counts_[router_index];
+  return samplers_[phase]->sample(streams_[router_index]);
 }
 
 SlidingZipfWorkload::SlidingZipfWorkload(std::size_t router_count,
@@ -103,14 +119,24 @@ SlidingZipfWorkload::SlidingZipfWorkload(std::size_t router_count,
   for (std::size_t i = 0; i < router_count; ++i) {
     streams_.emplace_back(seed + 0x9E3779B97F4A7C15ULL * (i + 1));
   }
+  counts_.assign(router_count, 0);
+}
+
+std::uint64_t SlidingZipfWorkload::base_offset() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : counts_) total += count;
+  return total == 0 ? 0 : (total - 1) / drift_interval_;
 }
 
 cache::ContentId SlidingZipfWorkload::next(std::size_t router_index) {
   CCNOPT_EXPECTS(router_index < streams_.size());
-  base_ = emitted_ / drift_interval_;
-  ++emitted_;
+  // Base from this router's own position: its k-th draw estimates the
+  // global request index as k * router_count (exactly k for one router).
+  const std::uint64_t base =
+      counts_[router_index] * streams_.size() / drift_interval_;
+  ++counts_[router_index];
   const std::uint64_t rank = sampler_->sample(streams_[router_index]);
-  return (base_ + rank - 1) % catalog_size_ + 1;
+  return (base + rank - 1) % catalog_size_ + 1;
 }
 
 CyclicWorkload::CyclicWorkload(

@@ -28,8 +28,9 @@ class Workload {
   /// times next() was called FOR THAT ROUTER — never on the global
   /// interleaving across routers. The sharded engine requires this to call
   /// next() from concurrent shards (each owning disjoint routers) and still
-  /// reproduce the sequential streams bit for bit. Workloads with global
-  /// mutable state (drift phase, sliding base) must return false.
+  /// reproduce the sequential streams bit for bit. Workloads whose drift
+  /// state cannot be derived from per-router positions (and anything else
+  /// with cross-router mutable state) must return false.
   virtual bool per_router_streams() const { return false; }
 };
 
@@ -70,9 +71,15 @@ class ZipfWorkload final : public Workload {
 
 /// Zipf IRM whose exponent drifts through a schedule of phases — the
 /// non-stationary workload the adaptive controller (model/adaptive.hpp) is
-/// built against. The phase is selected by the total request count across
-/// all routers, so two instances with equal seeds and schedules replay
-/// identical streams.
+/// built against. Each router derives the phase from ITS OWN stream
+/// position scaled by the router count: router r's k-th draw (0-based)
+/// uses the phase whose start_request satisfies k * router_count >=
+/// start_request. With one router this is exactly the global-count
+/// schedule; with many, every router crosses each phase boundary within
+/// router_count requests of the global schedule while depending only on
+/// per-router state — which is what lets the sharded engine draw from
+/// concurrent shards (per_router_streams() below) and still replay the
+/// sequential streams bit for bit.
 class DriftingZipfWorkload final : public Workload {
  public:
   struct Phase {
@@ -81,33 +88,47 @@ class DriftingZipfWorkload final : public Workload {
   };
 
   /// Phases must be non-empty, start at request 0, be strictly increasing
-  /// in start_request, and carry exponents > 0.
+  /// in start_request, and carry exponents > 0. All phase samplers are
+  /// built here (not lazily) so next() is safe from concurrent shards.
   DriftingZipfWorkload(std::size_t router_count, std::uint64_t catalog_size,
                        std::vector<Phase> schedule, std::uint64_t seed);
 
   cache::ContentId next(std::size_t router_index) override;
   std::uint64_t catalog_size() const override { return catalog_size_; }
+  /// Phase state is per-router (derived from the router's own draw
+  /// count), so shards may interleave routers freely.
+  bool per_router_streams() const override { return true; }
 
+  /// Exponent of the most advanced router's current phase (equals the
+  /// global-schedule phase for single-router workloads). Call between
+  /// runs, not while shards are drawing.
   double current_exponent() const;
-  std::uint64_t requests_emitted() const { return emitted_; }
+  std::uint64_t requests_emitted() const;
 
  private:
   std::uint64_t catalog_size_;
   std::vector<Phase> schedule_;
-  // One sampler per phase, built lazily on first entry.
   std::vector<std::shared_ptr<popularity::RankSampler>> samplers_;
   std::vector<Rng> streams_;
-  std::uint64_t emitted_ = 0;
-  std::size_t phase_ = 0;
+  // Per-router draw counts and phase cursors; next(r) touches only
+  // index r of each.
+  std::vector<std::uint64_t> counts_;
+  std::vector<std::size_t> phase_;
 };
 
 /// Zipf IRM with catalog churn: popularity ranks slide through the content
 /// id space, modeling new contents displacing old ones (news cycles, VoD
-/// releases). Rank r maps to id ((base + r - 1) mod catalog) + 1 and the
-/// base advances by one every `drift_interval` total requests, so after
-/// `active_window * drift_interval` requests the popular set has fully
-/// turned over. The paper's steady-state provisioning assumes no churn;
-/// bench_ablation_churn measures what that assumption costs.
+/// releases). Rank r maps to id ((base + r - 1) mod catalog) + 1. Each
+/// router derives the base from its own stream position scaled by the
+/// router count — router r's k-th draw (0-based) uses base
+/// (k * router_count) / drift_interval — so the base advances by one per
+/// `drift_interval` requests of estimated global progress while depending
+/// only on per-router state (per_router_streams() below, the sharded
+/// engine's requirement). With one router this is exactly the old
+/// global-count rule. After `active_window * drift_interval` requests the
+/// popular set has fully turned over. The paper's steady-state
+/// provisioning assumes no churn; bench_ablation_churn measures what that
+/// assumption costs.
 class SlidingZipfWorkload final : public Workload {
  public:
   /// Requires active_window <= catalog_size, drift_interval >= 1.
@@ -117,16 +138,22 @@ class SlidingZipfWorkload final : public Workload {
 
   cache::ContentId next(std::size_t router_index) override;
   std::uint64_t catalog_size() const override { return catalog_size_; }
+  /// Base state is per-router (derived from the router's own draw
+  /// count), so shards may interleave routers freely.
+  bool per_router_streams() const override { return true; }
 
-  std::uint64_t base_offset() const { return base_; }
+  /// Global-progress view of the slide: the base implied by the total
+  /// draw count across routers (the base of the last draw, for
+  /// single-router workloads). Call between runs, not while shards are
+  /// drawing.
+  std::uint64_t base_offset() const;
 
  private:
   std::uint64_t catalog_size_;
   std::uint64_t drift_interval_;
   std::shared_ptr<popularity::RankSampler> sampler_;  // Zipf(active_window)
   std::vector<Rng> streams_;
-  std::uint64_t emitted_ = 0;
-  std::uint64_t base_ = 0;
+  std::vector<std::uint64_t> counts_;  // per-router draw counts
 };
 
 /// Replays a fixed cyclic pattern per router; routers with an empty pattern

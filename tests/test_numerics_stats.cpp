@@ -46,6 +46,134 @@ TEST(RunningStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 2.0);
 }
 
+// Bit-level comparison of two accumulators through their observable
+// state. mean/min/max require count >= 1; callers pass only non-empty or
+// compare empties via count alone.
+void expect_identical_bits(const RunningStats& a, const RunningStats& b) {
+  ASSERT_EQ(a.count(), b.count());
+  if (a.count() == 0) return;
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  if (a.count() >= 2) {
+    EXPECT_EQ(a.variance(), b.variance());
+  }
+}
+
+// Adversarial magnitude spread: values spanning ~16 decades with sign
+// flips, so naive sum-of-squares formulations and order-dependent
+// groupings diverge in the low bits.
+std::vector<double> adversarial_values(std::size_t n) {
+  std::vector<double> xs;
+  xs.reserve(n);
+  double magnitude = 1e-8;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double sign = (i % 3 == 0) ? -1.0 : 1.0;
+    xs.push_back(sign * magnitude * (1.0 + 0.125 * static_cast<double>(i % 7)));
+    magnitude *= 1.9;
+    if (magnitude > 1e8) magnitude = 1e-8;
+  }
+  return xs;
+}
+
+TEST(RunningStatsMergeTree, FixedShapeIsExplicitPairwiseHalving) {
+  // The tree's grouping is pinned: split at n/2, recurse. Four partials
+  // must reduce as merge(merge(A,B), merge(C,D)); three as
+  // merge(A, merge(B,C)) — bit for bit.
+  const std::vector<double> xs = adversarial_values(64);
+  std::vector<RunningStats> parts(4);
+  for (std::size_t i = 0; i < xs.size(); ++i) parts[i % 4].add(xs[i]);
+
+  RunningStats ab = parts[0];
+  ab.merge(parts[1]);
+  RunningStats cd = parts[2];
+  cd.merge(parts[3]);
+  RunningStats expected4 = ab;
+  expected4.merge(cd);
+  expect_identical_bits(merge_tree(parts), expected4);
+
+  const std::vector<RunningStats> three(parts.begin(), parts.begin() + 3);
+  RunningStats bc = parts[1];
+  bc.merge(parts[2]);
+  RunningStats expected3 = parts[0];
+  expected3.merge(bc);
+  expect_identical_bits(merge_tree(three), expected3);
+
+  // Degenerate shapes: empty input and a single partial.
+  EXPECT_EQ(merge_tree({}).count(), 0u);
+  expect_identical_bits(merge_tree(std::vector<RunningStats>{parts[2]}),
+                        parts[2]);
+}
+
+TEST(RunningStatsMergeTree, IndependentOfShardGrouping) {
+  // The sharded record pass's contract: per-router partials are filled by
+  // whichever shard owns the router, then reduced through the fixed-shape
+  // tree — so the result must depend only on the partials, never on how
+  // routers were grouped into shards. Simulate several shard layouts
+  // filling the same 13 router slots from the same per-router streams.
+  const std::size_t routers = 13;
+  const std::vector<double> xs = adversarial_values(13 * 41);
+  const auto fill_slots = [&](std::size_t shard_count) {
+    std::vector<RunningStats> slots(routers);
+    // Each shard owns a contiguous router range and replays its routers'
+    // values in per-router order — mirroring the engine's record pass.
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      const std::size_t lo = routers * s / shard_count;
+      const std::size_t hi = routers * (s + 1) / shard_count;
+      for (std::size_t r = lo; r < hi; ++r) {
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+          if (i % routers == r) slots[r].add(xs[i]);
+        }
+      }
+    }
+    return merge_tree(slots);
+  };
+  const RunningStats one = fill_slots(1);
+  for (const std::size_t shard_count : {2u, 3u, 8u, 13u}) {
+    SCOPED_TRACE(shard_count);
+    expect_identical_bits(fill_slots(shard_count), one);
+  }
+}
+
+TEST(RunningStatsMergeTree, EmptySlotPositionsShapeTheTree) {
+  // Empty accumulators are identity ELEMENTS but not identity POSITIONS:
+  // the documented contract is that callers present fixed-size slot
+  // arrays. Verify an empty slot changes nothing about the merged
+  // moments when the shape is held fixed.
+  const std::vector<double> xs = adversarial_values(32);
+  std::vector<RunningStats> with_gap(5);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    // Slot 2 stays empty.
+    const std::size_t slot = i % 4;
+    with_gap[slot >= 2 ? slot + 1 : slot].add(xs[i]);
+  }
+  std::vector<RunningStats> with_gap_again = with_gap;
+  expect_identical_bits(merge_tree(with_gap), merge_tree(with_gap_again));
+  EXPECT_EQ(merge_tree(with_gap).count(), xs.size());
+}
+
+TEST(RunningStatsMergeTree, CloseToStreamingOnAdversarialInput) {
+  // Not bit-equal to a single global stream (grouping differs), but the
+  // Chan update is numerically stable: relative error stays tiny even
+  // across 16 decades of magnitude spread.
+  const std::vector<double> xs = adversarial_values(4096);
+  RunningStats streaming;
+  std::vector<RunningStats> slots(64);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    streaming.add(xs[i]);
+    slots[i % 64].add(xs[i]);
+  }
+  const RunningStats merged = merge_tree(slots);
+  EXPECT_EQ(merged.count(), streaming.count());
+  EXPECT_NEAR(merged.mean(), streaming.mean(),
+              1e-9 * std::abs(streaming.mean()));
+  EXPECT_NEAR(merged.variance(), streaming.variance(),
+              1e-9 * streaming.variance());
+  EXPECT_EQ(merged.min(), streaming.min());
+  EXPECT_EQ(merged.max(), streaming.max());
+}
+
 TEST(RunningStatsDeath, RequiresSamples) {
   RunningStats empty;
   EXPECT_DEATH((void)empty.mean(), "precondition");

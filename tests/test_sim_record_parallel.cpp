@@ -1,0 +1,172 @@
+// Byte-identity proof of the parallel record pass: with everything else
+// held fixed, SimConfig::parallel_record = true (per-shard record bodies
+// on the shard executor) and false (the same bodies run serially in shard
+// order) must produce identical bytes in every export — SimReport fields,
+// sampled traces, the global metrics registry, the timeline, the topo
+// recorder, and link loads — across all four Table II topologies and
+// shards in {1, 2, 8}. This is the A/B the record_speedup bench rests on:
+// if the two sides ever diverge, the speedup compares different answers.
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ccnopt/obs/export.hpp"
+#include "ccnopt/obs/registry.hpp"
+#include "ccnopt/obs/timeline.hpp"
+#include "ccnopt/obs/topo.hpp"
+#include "ccnopt/obs/trace.hpp"
+#include "ccnopt/runtime/shard_scheduler.hpp"
+#include "ccnopt/runtime/thread_pool.hpp"
+#include "ccnopt/sim/sharded.hpp"
+#include "ccnopt/sim/simulation.hpp"
+#include "ccnopt/topology/datasets.hpp"
+
+namespace ccnopt::sim {
+namespace {
+
+SimConfig base_config() {
+  SimConfig config;
+  config.network.catalog_size = 2000;
+  config.network.capacity_c = 50;
+  config.network.local_mode = LocalStoreMode::kLru;
+  config.network.track_link_load = true;
+  config.coordinated_x = 25;
+  config.zipf_s = 0.8;
+  config.warmup_requests = 3000;
+  config.measured_requests = 12000;
+  config.seed = 20240806;
+  config.trace_sample_k = 64;
+  config.timeline_epoch = 1000;
+  config.record_topo = true;
+  config.batch_size = 256;
+  return config;
+}
+
+struct RunResult {
+  SimReport report;
+  std::string traces;
+  std::string metrics;
+  std::string timeline;
+  std::string topo;
+  std::uint64_t max_link_load = 0;
+  double record_seconds = 0.0;
+};
+
+/// One simulation from a clean global registry, every export serialized.
+RunResult run_once(const topology::Graph& graph, const SimConfig& config,
+                   ShardExecutor* executor = nullptr) {
+  obs::metrics().reset();
+  Simulation sim(graph, config);
+  if (executor != nullptr) sim.set_shard_executor(executor);
+  RunResult result;
+  result.report = sim.run();
+  {
+    std::ostringstream out;
+    obs::write_traces_json(out, sim.traces());
+    result.traces = out.str();
+  }
+  {
+    std::ostringstream out;
+    obs::write_registry_json(out, obs::metrics().snapshot(), 0);
+    result.metrics = out.str();
+  }
+  if (sim.timeline().enabled()) {
+    std::ostringstream out;
+    obs::write_timeline_json(out, sim.timeline());
+    result.timeline = out.str();
+  }
+  if (sim.topo().enabled()) {
+    std::ostringstream out;
+    obs::write_topo_json(out, sim.topo());
+    result.topo = out.str();
+  }
+  result.max_link_load = sim.network().max_link_load();
+  result.record_seconds = sim.last_record_seconds();
+  return result;
+}
+
+void expect_identical_runs(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.report.total_requests, b.report.total_requests);
+  EXPECT_EQ(a.report.aggregated_requests, b.report.aggregated_requests);
+  EXPECT_EQ(a.report.upstream_fetches, b.report.upstream_fetches);
+  EXPECT_EQ(a.report.local_fraction, b.report.local_fraction);
+  EXPECT_EQ(a.report.network_fraction, b.report.network_fraction);
+  EXPECT_EQ(a.report.origin_load, b.report.origin_load);
+  EXPECT_EQ(a.report.mean_latency_ms, b.report.mean_latency_ms);
+  EXPECT_EQ(a.report.mean_hops, b.report.mean_hops);
+  EXPECT_EQ(a.report.mean_local_latency_ms, b.report.mean_local_latency_ms);
+  EXPECT_EQ(a.report.mean_network_latency_ms,
+            b.report.mean_network_latency_ms);
+  EXPECT_EQ(a.report.mean_origin_latency_ms, b.report.mean_origin_latency_ms);
+  EXPECT_EQ(a.report.coordination_messages, b.report.coordination_messages);
+  EXPECT_EQ(a.traces, b.traces);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.timeline, b.timeline);
+  EXPECT_EQ(a.topo, b.topo);
+  EXPECT_EQ(a.max_link_load, b.max_link_load);
+}
+
+class RecordPassIdentity : public ::testing::TestWithParam<std::string> {
+ protected:
+  topology::Graph graph() const {
+    return *topology::dataset_by_name(GetParam());
+  }
+};
+
+TEST_P(RecordPassIdentity, ParallelMatchesSerialAtAllShardCounts) {
+  const topology::Graph graph = this->graph();
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{8}}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    SimConfig config = base_config();
+    config.shards = shards;
+    config.parallel_record = false;
+    const RunResult serial = run_once(graph, config);
+    config.parallel_record = true;
+    expect_identical_runs(serial, run_once(graph, config));
+  }
+}
+
+TEST_P(RecordPassIdentity, ParallelMatchesSerialUnderThreadPool) {
+  // Same A/B with real worker threads driving the record lambdas — the
+  // configuration the speedup claim is actually about.
+  const topology::Graph graph = this->graph();
+  SimConfig config = base_config();
+  config.shards = 8;
+  config.parallel_record = false;
+  const RunResult serial = run_once(graph, config);
+  config.parallel_record = true;
+  runtime::ThreadPool pool(4);
+  runtime::ShardScheduler scheduler(pool);
+  expect_identical_runs(serial, run_once(graph, config, &scheduler));
+}
+
+INSTANTIATE_TEST_SUITE_P(TableII, RecordPassIdentity,
+                         ::testing::Values("abilene", "cernet", "geant",
+                                           "us-a"),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(RecordPassTiming, RecordSecondsAreMeasuredOnlyForShardedRuns) {
+  // last_record_seconds() feeds the bench's record_speedup; it must be
+  // populated (strictly positive) whenever the sharded engine ran and
+  // reset to zero on the other engines.
+  SimConfig config = base_config();
+  config.shards = 8;
+  const RunResult sharded = run_once(topology::us_a(), config);
+  EXPECT_GT(sharded.record_seconds, 0.0);
+
+  config.shards = 1;
+  const RunResult batched = run_once(topology::us_a(), config);
+  EXPECT_EQ(batched.record_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace ccnopt::sim

@@ -228,32 +228,96 @@ TEST(ShardDeterminismFallback, InterestAggregationFallsBackToEventLoop) {
   EXPECT_GT(plain.report.aggregated_requests, 0u);
 }
 
-TEST(ShardDeterminismFallback, GloballyCoupledWorkloadFallsBack) {
-  // DriftingZipfWorkload's phase depends on the global request count, so
-  // per_router_streams() is false and shards > 1 must not shard it.
+/// run_once with a non-default workload installed before the run.
+template <typename MakeWorkload>
+RunResult run_once_with(const topology::Graph& graph, const SimConfig& config,
+                        const MakeWorkload& make_workload,
+                        ShardExecutor* executor = nullptr) {
+  obs::metrics().reset();
+  Simulation sim(graph, config);
+  sim.set_workload(make_workload(graph));
+  if (executor != nullptr) sim.set_shard_executor(executor);
+  RunResult result;
+  result.report = sim.run();
+  {
+    std::ostringstream out;
+    obs::write_traces_json(out, sim.traces());
+    result.traces = out.str();
+  }
+  {
+    std::ostringstream out;
+    obs::write_registry_json(out, obs::metrics().snapshot(), 0);
+    result.metrics = out.str();
+  }
+  if (sim.timeline().enabled()) {
+    std::ostringstream out;
+    obs::write_timeline_json(out, sim.timeline());
+    result.timeline = out.str();
+  }
+  if (sim.topo().enabled()) {
+    std::ostringstream out;
+    obs::write_topo_json(out, sim.topo());
+    result.topo = out.str();
+  }
+  result.max_link_load = sim.network().max_link_load();
+  return result;
+}
+
+TEST(ShardDeterminismWorkloads, DriftingZipfShardsMatchEventLoop) {
+  // DriftingZipfWorkload derives its phase from per-router stream
+  // positions, so it qualifies for the sharded engine — and the sharded
+  // run must reproduce the event loop's every export bit for bit.
   const auto make_workload = [](const topology::Graph& graph) {
     std::vector<DriftingZipfWorkload::Phase> schedule;
     schedule.push_back({0, 0.6});
     schedule.push_back({4000, 1.1});
+    schedule.push_back({9000, 0.8});
     return std::make_unique<DriftingZipfWorkload>(graph.node_count(), 2000,
                                                   schedule, 20240806);
   };
   SimConfig config = base_config();
   const topology::Graph graph = topology::us_a();
+  config.batch_size = 0;
+  config.shards = 1;
+  const RunResult event_loop = run_once_with(graph, config, make_workload);
 
-  obs::metrics().reset();
-  Simulation plain(graph, config);
-  plain.set_workload(make_workload(graph));
-  const SimReport plain_report = plain.run();
-
+  config.batch_size = 256;
   config.shards = 8;
-  obs::metrics().reset();
-  Simulation sharded(graph, config);
-  sharded.set_workload(make_workload(graph));
-  EXPECT_FALSE(
-      sharded_run_supported(config, *make_workload(graph), sharded.network()));
-  const SimReport sharded_report = sharded.run();
-  expect_identical_reports(plain_report, sharded_report);
+  EXPECT_TRUE(sharded_run_supported(
+      config, *make_workload(graph),
+      Simulation(graph, config).network()));
+  expect_identical_runs(event_loop,
+                        run_once_with(graph, config, make_workload));
+  runtime::ThreadPool pool(4);
+  runtime::ShardScheduler scheduler(pool);
+  expect_identical_runs(
+      event_loop, run_once_with(graph, config, make_workload, &scheduler));
+}
+
+TEST(ShardDeterminismWorkloads, SlidingZipfShardsMatchEventLoop) {
+  // SlidingZipfWorkload derives its base offset from per-router stream
+  // positions; same contract as above.
+  const auto make_workload = [](const topology::Graph& graph) {
+    return std::make_unique<SlidingZipfWorkload>(graph.node_count(), 2000,
+                                                 0.8, 500, 40, 20240806);
+  };
+  SimConfig config = base_config();
+  const topology::Graph graph = topology::geant();
+  config.batch_size = 0;
+  config.shards = 1;
+  const RunResult event_loop = run_once_with(graph, config, make_workload);
+
+  config.batch_size = 256;
+  config.shards = 8;
+  EXPECT_TRUE(sharded_run_supported(
+      config, *make_workload(graph),
+      Simulation(graph, config).network()));
+  expect_identical_runs(event_loop,
+                        run_once_with(graph, config, make_workload));
+  runtime::ThreadPool pool(4);
+  runtime::ShardScheduler scheduler(pool);
+  expect_identical_runs(
+      event_loop, run_once_with(graph, config, make_workload, &scheduler));
 }
 
 TEST(ShardDeterminismFallback, SupportPredicateMatchesContract) {
@@ -280,6 +344,44 @@ TEST(ShardDeterminismFallback, SupportPredicateMatchesContract) {
   on_path.network.strategy = "lce";
   Simulation on_path_sim(topology::us_a(), on_path);
   EXPECT_FALSE(sharded_run_supported(on_path, zipf, on_path_sim.network()));
+}
+
+TEST(ShardDeterminismFallback, UnsupportedReasonNamesTheDisqualifier) {
+  // The fallback is logged with the reason string; pin each disqualifier
+  // to the clause it names so the log line stays meaningful.
+  SimConfig config = base_config();
+  config.shards = 8;
+  Simulation sim(topology::us_a(), config);
+  const ZipfWorkload zipf(20, 2000, 0.8, 1);
+  EXPECT_STREQ(sharded_unsupported_reason(config, zipf, sim.network()),
+               "run qualifies");
+
+  SimConfig aggregated = config;
+  aggregated.interest_aggregation = true;
+  EXPECT_STREQ(
+      sharded_unsupported_reason(aggregated, zipf, sim.network()),
+      "interest aggregation needs the event loop's completion events");
+
+  struct CoupledWorkload final : Workload {
+    cache::ContentId next(std::size_t) override { return 1; }
+    std::uint64_t catalog_size() const override { return 1; }
+  } coupled;
+  EXPECT_STREQ(sharded_unsupported_reason(config, coupled, sim.network()),
+               "workload streams are globally coupled across routers");
+
+  SimConfig on_path = config;
+  on_path.network.strategy = "lce";
+  Simulation on_path_sim(topology::us_a(), on_path);
+  EXPECT_STREQ(
+      sharded_unsupported_reason(on_path, zipf, on_path_sim.network()),
+      "on-path forwarding strategy mutates caches along the path");
+
+  SimConfig peer_fetch = config;
+  peer_fetch.network.allow_peer_local_fetch = true;
+  Simulation peer_sim(topology::us_a(), peer_fetch);
+  EXPECT_STREQ(
+      sharded_unsupported_reason(peer_fetch, zipf, peer_sim.network()),
+      "peer-local fetch couples router stores");
 }
 
 TEST(ShardDeterminismPhases, PhaseClockCoversBothPhases) {

@@ -175,7 +175,9 @@ def validate_throughput_replay_outputs(outputs: dict,
         errors.append(
             f"outputs['shards']: expected positive integer, got {shards!r}")
     for key in ("requests_per_sec_sharded", "requests_per_sec_warmup_phase",
-                "requests_per_sec_measured_phase", "sharded_speedup"):
+                "requests_per_sec_measured_phase", "sharded_speedup",
+                "record_pass_seconds_serial", "record_pass_seconds_parallel",
+                "record_speedup"):
         value = outputs.get(key)
         if not _is_number(value) or value <= 0:
             errors.append(

@@ -38,13 +38,17 @@ TARGETS=(
   test_obs_topo
   test_sim_topo
   test_sim_shard_determinism
+  test_sim_record_parallel
   test_runtime_shard_scheduler
 )
 
 # The shard suites exercise real cross-thread execution; TSan-build these
-# two on top of the ASan pass.
+# on top of the ASan pass. test_sim_record_parallel drives the parallel
+# record pass, which writes per-router metric/epoch/topo partials from
+# pool threads — TSan proves the router partition extends to recording.
 TSAN_TARGETS=(
   test_sim_shard_determinism
+  test_sim_record_parallel
   test_runtime_shard_scheduler
 )
 
